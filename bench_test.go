@@ -1,0 +1,149 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each BenchmarkFigNN target times the regeneration of that
+// figure's series and, on its first run, prints the series themselves —
+// so `go test -bench=. -benchmem` doubles as the reproduction harness.
+//
+// Figures whose paper version plots cost curves also have a "Sim" variant
+// that measures the executable system at reduced scale; BenchmarkSimFull*
+// measure one full-scale (N = 100,000) workload per strategy.
+package dbproc
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/experiments"
+	"dbproc/internal/sim"
+)
+
+var printOnce sync.Map // experiment id -> *sync.Once
+
+// benchFigure times one experiment and prints its tables once.
+func benchFigure(b *testing.B, id string, opt experiments.Options) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	onceI, _ := printOnce.LoadOrStore(id, &sync.Once{})
+	onceI.(*sync.Once).Do(func() {
+		for _, tb := range e.Run(opt) {
+			tb.Render(os.Stdout)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tb := range e.Run(opt) {
+			tb.Render(io.Discard)
+		}
+	}
+}
+
+// simOpts runs simulated validation points at 1/10 scale, 4 points per
+// curve, to keep bench time reasonable.
+var simOpts = experiments.Options{Sim: true, SimPoints: 4, SimSeed: 1, Scale: 10}
+
+func BenchmarkFig02DefaultParams(b *testing.B) { benchFigure(b, "fig02", experiments.Options{}) }
+
+func BenchmarkFig04CostVsP_HighCinval(b *testing.B) { benchFigure(b, "fig04", experiments.Options{}) }
+
+func BenchmarkFig05CostVsP_Default(b *testing.B) { benchFigure(b, "fig05", experiments.Options{}) }
+
+func BenchmarkFig05CostVsP_DefaultSim(b *testing.B) { benchFigure(b, "fig05", simOpts) }
+
+func BenchmarkFig06CostVsP_LargeObjects(b *testing.B) {
+	benchFigure(b, "fig06", experiments.Options{})
+}
+
+func BenchmarkFig07CostVsP_SmallObjects(b *testing.B) {
+	benchFigure(b, "fig07", experiments.Options{})
+}
+
+func BenchmarkFig08CostVsP_SingleTuple(b *testing.B) { benchFigure(b, "fig08", experiments.Options{}) }
+
+func BenchmarkFig09CostVsP_HighLocality(b *testing.B) {
+	benchFigure(b, "fig09", experiments.Options{})
+}
+
+func BenchmarkFig10CostVsP_ManyObjects(b *testing.B) { benchFigure(b, "fig10", experiments.Options{}) }
+
+func BenchmarkFig11SharingModel1(b *testing.B) { benchFigure(b, "fig11", experiments.Options{}) }
+
+func BenchmarkFig12WinnerRegions(b *testing.B) { benchFigure(b, "fig12", experiments.Options{}) }
+
+func BenchmarkFig13WinnerRegionsHighLocality(b *testing.B) {
+	benchFigure(b, "fig13", experiments.Options{})
+}
+
+func BenchmarkFig14Closeness(b *testing.B) { benchFigure(b, "fig14", experiments.Options{}) }
+
+func BenchmarkFig15ClosenessNoFalseInval(b *testing.B) {
+	benchFigure(b, "fig15", experiments.Options{})
+}
+
+func BenchmarkFig17Model2CostVsP(b *testing.B) { benchFigure(b, "fig17", experiments.Options{}) }
+
+func BenchmarkFig17Model2CostVsPSim(b *testing.B) { benchFigure(b, "fig17", simOpts) }
+
+func BenchmarkFig18Model2Sharing(b *testing.B) { benchFigure(b, "fig18", experiments.Options{}) }
+
+func BenchmarkFig19Model2WinnerRegions(b *testing.B) {
+	benchFigure(b, "fig19", experiments.Options{})
+}
+
+func BenchmarkExtAdaptive(b *testing.B) { benchFigure(b, "ext-adaptive", experiments.Options{}) }
+
+func BenchmarkExtR2Updates(b *testing.B) { benchFigure(b, "ext-r2updates", experiments.Options{}) }
+
+func BenchmarkExtIPBias(b *testing.B) { benchFigure(b, "ext-ip", experiments.Options{}) }
+
+func BenchmarkExtSensitivity(b *testing.B) {
+	benchFigure(b, "ext-sensitivity", experiments.Options{})
+}
+
+func BenchmarkAblationReteDispatch(b *testing.B) {
+	benchFigure(b, "abl-dispatch", experiments.Options{})
+}
+
+func BenchmarkAblationCoarseLocks(b *testing.B) { benchFigure(b, "abl-locks", experiments.Options{}) }
+
+func BenchmarkAblationRootPin(b *testing.B) { benchFigure(b, "abl-rootpin", experiments.Options{}) }
+
+func BenchmarkTableAVMComponents(b *testing.B) { benchFigure(b, "tbl-avm", experiments.Options{}) }
+
+func BenchmarkTableRVMComponents(b *testing.B) { benchFigure(b, "tbl-rvm", experiments.Options{}) }
+
+func BenchmarkClaimSpeedups(b *testing.B) { benchFigure(b, "claims", experiments.Options{}) }
+
+// benchSimFull measures one full-scale paper-default workload.
+func benchSimFull(b *testing.B, m costmodel.Model, s costmodel.Strategy) {
+	cfg := sim.Config{Params: costmodel.Default(), Model: m, Strategy: s, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(cfg)
+		b.ReportMetric(res.MsPerQuery, "simms/query")
+		b.ReportMetric(res.PredictedMs, "modelms/query")
+	}
+}
+
+func BenchmarkSimFullRecompute(b *testing.B) {
+	benchSimFull(b, costmodel.Model1, costmodel.AlwaysRecompute)
+}
+
+func BenchmarkSimFullCacheInvalidate(b *testing.B) {
+	benchSimFull(b, costmodel.Model1, costmodel.CacheInvalidate)
+}
+
+func BenchmarkSimFullUpdateCacheAVM(b *testing.B) {
+	benchSimFull(b, costmodel.Model1, costmodel.UpdateCacheAVM)
+}
+
+func BenchmarkSimFullUpdateCacheRVM(b *testing.B) {
+	benchSimFull(b, costmodel.Model1, costmodel.UpdateCacheRVM)
+}
+
+func BenchmarkSimFullModel2RVM(b *testing.B) {
+	benchSimFull(b, costmodel.Model2, costmodel.UpdateCacheRVM)
+}

@@ -1,0 +1,66 @@
+// Command procbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	procbench                  # every figure and table, analytic only
+//	procbench -figure fig05    # one figure
+//	procbench -sim             # add measured points from the simulator
+//	procbench -sim -scale 10   # simulate at 1/10 population scale
+//	procbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbproc/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "", "experiment id to run (default: all)")
+	chart := flag.Bool("chart", false, "draw ASCII charts under curve tables")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	simFlag := flag.Bool("sim", false, "add simulated validation points")
+	simPoints := flag.Int("sim-points", 0, "max simulated points per curve (0 = all)")
+	scale := flag.Float64("scale", 1, "divide populations and op counts by this for simulation")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{
+		Sim:       *simFlag,
+		SimPoints: *simPoints,
+		SimSeed:   *seed,
+		Scale:     *scale,
+	}
+
+	show := func(tb *experiments.Table) {
+		tb.Render(os.Stdout)
+		if *chart {
+			tb.Chart(os.Stdout)
+		}
+	}
+	if *figure != "" {
+		e, ok := experiments.Get(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "procbench: unknown experiment %q; try -list\n", *figure)
+			os.Exit(1)
+		}
+		for _, tb := range e.Run(opt) {
+			show(tb)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		for _, tb := range e.Run(opt) {
+			show(tb)
+		}
+	}
+}

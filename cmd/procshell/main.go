@@ -1,0 +1,128 @@
+// Command procshell is an interactive QUEL-flavored shell over the
+// engine: create relations, append tuples, run retrieves, and store
+// database procedures whose cached results are maintained by Cache and
+// Invalidate with i-locks — watch the cost meter to see cache hits,
+// invalidations and recomputations.
+//
+//	$ go run ./cmd/procshell
+//	quel> create emp (tid, age, dept) cluster on age
+//	quel> append to emp (tid = 1, age = 30, dept = 10)
+//	quel> define procedure thirties as retrieve (emp.all) where emp.age >= 30 and emp.age < 40
+//	quel> execute thirties
+//
+// Meta commands: .help, .cost (cumulative meter), .quit.
+// A statement may span lines; end it with a semicolon or an empty line.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbproc/internal/metric"
+	"dbproc/internal/quel"
+)
+
+func main() {
+	db := quel.Open(0, 0, metric.DefaultCosts())
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("dbproc QUEL shell — .help for help, .quit to exit")
+	var pending strings.Builder
+	prompt := "quel> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "" && pending.Len() == 0:
+			continue
+		case strings.HasPrefix(line, "."):
+			meta(db, line)
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		if !strings.HasSuffix(line, ";") && line != "" {
+			prompt = "  ... "
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+		pending.Reset()
+		prompt = "quel> "
+		if stmt == "" {
+			continue
+		}
+		run(db, stmt)
+	}
+}
+
+func meta(db *quel.DB, line string) {
+	switch strings.Fields(line)[0] {
+	case ".quit", ".exit":
+		os.Exit(0)
+	case ".cost":
+		fmt.Printf("cumulative simulated cost: %.0f ms (%v)\n",
+			db.Meter().Milliseconds(), db.Meter().Snapshot())
+	case ".help":
+		fmt.Println(`statements (end with ';' or an empty line):
+  create <rel> (f1, f2, ...) cluster on <f> | hash on <f> [buckets N] [width N]
+      clustered relations need a unique 'tid' field
+  append to <rel> (f1 = v1, f2 = v2, ...)
+  delete from <rel> [where quals]
+  replace <rel> (f1 = v1, ...) [where quals]   -- in-place modification
+  retrieve (rel.attr | rel.all | count(rel.attr) | sum/min/max/avg(rel.attr), ...)
+      [where quals joined by 'and'] [sort by rel.attr, ...]
+      plain attrs group the aggregates
+  define procedure <name> as retrieve ...
+  execute <name>            -- serves the cached result while valid
+  explain retrieve ... | explain <name>
+meta: .cost  .help  .quit`)
+	default:
+		fmt.Println("unknown meta command; try .help")
+	}
+}
+
+func run(db *quel.DB, stmt string) {
+	res, err := db.Run(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printSection(res.Columns, res.Rows)
+	for _, sec := range res.Sections {
+		fmt.Println()
+		printSection(sec.Columns, sec.Rows)
+	}
+	fmt.Printf("%s   [%.0f ms simulated]\n", res.Message, res.CostMs)
+}
+
+func printSection(columns []string, rows [][]int64) {
+	if len(columns) == 0 {
+		return
+	}
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if n := len(fmt.Sprint(v)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	for i, c := range columns {
+		fmt.Printf("%*s  ", widths[i], c)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		for i, v := range row {
+			fmt.Printf("%*d  ", widths[i], v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// Command procsim runs one simulated workload against the executable
+// system and prints the measured cost next to the analytic prediction.
+//
+// Usage:
+//
+//	procsim                               # paper defaults, all strategies
+//	procsim -strategy uc-avm -P 0.3       # one strategy at P = 0.3
+//	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/sim"
+)
+
+var strategyNames = map[string]costmodel.Strategy{
+	"recompute": costmodel.AlwaysRecompute,
+	"ci":        costmodel.CacheInvalidate,
+	"uc-avm":    costmodel.UpdateCacheAVM,
+	"uc-rvm":    costmodel.UpdateCacheRVM,
+}
+
+func main() {
+	p := costmodel.Default()
+	flag.Float64Var(&p.N, "N", p.N, "tuples in R1")
+	flag.Float64Var(&p.F, "f", p.F, "selectivity of C_f")
+	flag.Float64Var(&p.F2, "f2", p.F2, "selectivity of C_f2")
+	flag.Float64Var(&p.N1, "N1", p.N1, "P1 procedures")
+	flag.Float64Var(&p.N2, "N2", p.N2, "P2 procedures")
+	flag.Float64Var(&p.K, "k", p.K, "update transactions")
+	flag.Float64Var(&p.Q, "q", p.Q, "procedure accesses")
+	flag.Float64Var(&p.L, "l", p.L, "tuples modified per update")
+	flag.Float64Var(&p.SF, "sf", p.SF, "sharing factor")
+	flag.Float64Var(&p.Z, "Z", p.Z, "locality skew")
+	flag.Float64Var(&p.CInval, "cinval", p.CInval, "invalidation cost (ms)")
+	upd := flag.Float64("P", -1, "update probability (overrides -k, keeping -q)")
+	modelFlag := flag.Int("model", 1, "procedure model: 1 (2-way joins) or 2 (3-way)")
+	strategyFlag := flag.String("strategy", "", "recompute | ci | uc-avm | uc-rvm (default: all)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *upd >= 0 {
+		p = p.WithUpdateProbability(*upd)
+	}
+	model := costmodel.Model(*modelFlag)
+
+	var strategies []costmodel.Strategy
+	if *strategyFlag == "" {
+		strategies = costmodel.Strategies[:]
+	} else {
+		s, ok := strategyNames[strings.ToLower(*strategyFlag)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "procsim: unknown strategy %q (want recompute, ci, uc-avm or uc-rvm)\n", *strategyFlag)
+			os.Exit(1)
+		}
+		strategies = []costmodel.Strategy{s}
+	}
+
+	fmt.Printf("%s, P = %.2f (k=%.0f q=%.0f), f = %g, N1+N2 = %.0f, SF = %g, Z = %g, C_inval = %g ms\n\n",
+		model, p.UpdateProbability(), p.K, p.Q, p.F, p.NumProcs(), p.SF, p.Z, p.CInval)
+	fmt.Printf("%-22s %12s %12s %7s   %s\n", "strategy", "measured", "predicted", "ratio", "events")
+	for _, s := range strategies {
+		res := sim.Run(sim.Config{Params: p, Model: model, Strategy: s, Seed: *seed})
+		fmt.Printf("%-22s %9.1f ms %9.1f ms %7.2f   %v\n",
+			s, res.MsPerQuery, res.PredictedMs, res.MsPerQuery/res.PredictedMs, res.Counters)
+	}
+}

@@ -1,0 +1,111 @@
+// Package dbproc reproduces Eric N. Hanson's "Processing Queries Against
+// Database Procedures: A Performance Analysis" (UCB/ERL M87/68, SIGMOD
+// 1988): the analytic cost model for the Always Recompute, Cache and
+// Invalidate, and Update Cache (AVM/RVM) strategies, and an executable
+// mini-DBMS — storage engine, B+-tree and hash indexes, compiled-plan
+// executor, i-lock manager, algebraic and Rete view maintenance — that
+// validates the model on the paper's workloads.
+//
+// This package is the library facade: the types most users need, re-
+// exported from the internal packages.
+//
+//	p := dbproc.DefaultParams()            // the paper's Figure 2 values
+//	p = p.WithUpdateProbability(0.1)
+//	cost := dbproc.Cost(dbproc.Model1, dbproc.CacheInvalidate, p)
+//	best := dbproc.BestStrategy(dbproc.Model1, p)
+//
+//	res := dbproc.Simulate(dbproc.SimConfig{   // run the real system
+//	    Params: p, Model: dbproc.Model1,
+//	    Strategy: best.Best, Seed: 42,
+//	})
+//	fmt.Println(res.MsPerQuery, "vs predicted", res.PredictedMs)
+//
+// The deeper layers are importable directly for building other systems on
+// the substrates: dbproc/internal/rete is a general Rete view-maintenance
+// network, dbproc/internal/btree and hashidx are standalone access
+// methods, and dbproc/internal/experiments regenerates every figure of
+// the paper.
+package dbproc
+
+import (
+	"io"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/experiments"
+	"dbproc/internal/sim"
+)
+
+// Params re-exports the cost-model parameter set (the paper's Figure 2).
+type Params = costmodel.Params
+
+// Model selects the procedure population: Model1 (P2 = 2-way joins) or
+// Model2 (P2 = 3-way joins).
+type Model = costmodel.Model
+
+// Strategy identifies a query-processing strategy.
+type Strategy = costmodel.Strategy
+
+// Re-exported enumerations.
+const (
+	Model1 = costmodel.Model1
+	Model2 = costmodel.Model2
+
+	AlwaysRecompute = costmodel.AlwaysRecompute
+	CacheInvalidate = costmodel.CacheInvalidate
+	UpdateCacheAVM  = costmodel.UpdateCacheAVM
+	UpdateCacheRVM  = costmodel.UpdateCacheRVM
+)
+
+// Strategies lists all four strategies in presentation order.
+var Strategies = costmodel.Strategies
+
+// DefaultParams returns the paper's default parameter values.
+func DefaultParams() Params { return costmodel.Default() }
+
+// Cost returns the analytic expected cost, in milliseconds, of one
+// procedure access under the given strategy.
+func Cost(m Model, s Strategy, p Params) float64 { return costmodel.Cost(m, s, p) }
+
+// AllCosts evaluates every strategy at p.
+func AllCosts(m Model, p Params) [costmodel.NumStrategies]float64 {
+	return costmodel.AllCosts(m, p)
+}
+
+// Winner reports the cheapest strategy at a parameter point.
+type Winner = costmodel.Winner
+
+// BestStrategy evaluates all four strategies and returns the cheapest.
+func BestStrategy(m Model, p Params) Winner { return costmodel.BestStrategy(m, p) }
+
+// SimConfig configures one run of the executable system.
+type SimConfig = sim.Config
+
+// SimResult reports a run's measured and predicted cost.
+type SimResult = sim.Result
+
+// Simulate builds the paper's database and procedures and measures the
+// given strategy on the paper's workload.
+func Simulate(cfg SimConfig) SimResult { return sim.Run(cfg) }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions controls experiment execution (simulated validation
+// points, scaling).
+type ExperimentOptions = experiments.Options
+
+// Experiments returns every paper figure/table experiment in order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes the experiment with the given id and renders its
+// tables to w, reporting whether the id exists.
+func RunExperiment(id string, opt ExperimentOptions, w io.Writer) bool {
+	e, ok := experiments.Get(id)
+	if !ok {
+		return false
+	}
+	for _, tb := range e.Run(opt) {
+		tb.Render(w)
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package dbproc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeCostModel(t *testing.T) {
+	p := DefaultParams()
+	if p.N != 100_000 || p.NumProcs() != 200 {
+		t.Fatalf("DefaultParams = %+v", p)
+	}
+	p = p.WithUpdateProbability(0.1)
+	costs := AllCosts(Model1, p)
+	for _, s := range Strategies {
+		if got := Cost(Model1, s, p); got != costs[s] || got <= 0 || math.IsNaN(got) {
+			t.Fatalf("Cost(%v) = %v vs AllCosts %v", s, got, costs[s])
+		}
+	}
+	w := BestStrategy(Model1, p)
+	if w.Best == AlwaysRecompute {
+		t.Fatal("at P=0.1 a caching strategy must win")
+	}
+	if Cost(Model2, AlwaysRecompute, p) <= Cost(Model1, AlwaysRecompute, p) {
+		t.Fatal("model 2 recompute should cost more (3-way joins)")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	p := DefaultParams()
+	p.N = 10_000
+	p.F = 0.01
+	p.N1, p.N2 = 8, 8
+	p.K, p.Q = 10, 10
+	res := Simulate(SimConfig{Params: p, Model: Model1, Strategy: CacheInvalidate, Seed: 9})
+	if res.Queries != 10 || res.Updates != 10 {
+		t.Fatalf("bookkeeping wrong: %+v", res)
+	}
+	if res.MsPerQuery <= 0 || res.PredictedMs <= 0 {
+		t.Fatalf("measurements missing: %+v", res)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	all := Experiments()
+	if len(all) < 20 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	var buf bytes.Buffer
+	if !RunExperiment("fig02", ExperimentOptions{}, &buf) {
+		t.Fatal("fig02 missing")
+	}
+	if !strings.Contains(buf.String(), "tuples in R1") {
+		t.Fatalf("fig02 output wrong: %q", buf.String())
+	}
+	if RunExperiment("not-an-experiment", ExperimentOptions{}, &buf) {
+		t.Fatal("unknown experiment reported success")
+	}
+}

@@ -1,0 +1,3 @@
+module dbproc
+
+go 1.22

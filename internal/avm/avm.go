@@ -1,0 +1,238 @@
+// Package avm implements statically-optimized algebraic view maintenance
+// (the paper's non-shared Update Cache variant, after Blakeley, Larson and
+// Tompa 1986). For a view V over relations A and B, a transaction that
+// inserts the tuple set a into A and deletes d yields
+//
+//	V(A ∪ a − d, B) = V(A, B) ∪ V(a, B) − V(d, B)
+//
+// so only the small delta expressions V(a, B) and V(d, B) are evaluated,
+// against pre-compiled delta plans; the stored copy of V is patched in
+// place. A view registers one Source per updatable base relation; the
+// symmetric identity handles updates to B with a B-side delta plan.
+//
+// Cost events, matching the model's section 4.3 terms:
+//
+//   - one C1 screen per (changed tuple value, view) pair identified by rule
+//     indexing (C_screenP1 / C_screenP2);
+//   - one C3 delta op per tuple entered into a view's A_net or D_net set
+//     (C_overhead);
+//   - page reads from evaluating the delta plans' joins (C_join);
+//   - page reads+writes on the stored view's pages from applying the
+//     deltas (C_refreshP1 / C_refreshP2).
+package avm
+
+import (
+	"fmt"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/ilock"
+	"dbproc/internal/metric"
+	"dbproc/internal/query"
+	"dbproc/internal/relation"
+)
+
+// Source describes how updates to one base relation reach a view.
+type Source struct {
+	// Rel is the updatable base relation.
+	Rel *relation.Relation
+	// Attr names the attribute rule indexing routes on; Band is the
+	// restriction band on it (the view's selection predicate over Rel, or
+	// the full value range if the view does not restrict Rel).
+	Attr string
+	Band [2]int64
+	// DeltaPlan compiles the V(delta, ...) evaluation: it receives the
+	// delta tuples of Rel and returns the view tuples they produce,
+	// emitting tuples of the view's FullPlan schema. For a plain selection
+	// whose predicate equals the band this is the values themselves.
+	DeltaPlan func(deltas *query.ValuesScan) query.Plan
+}
+
+// View describes one materialized result maintained by the engine.
+type View struct {
+	// ID names the view; it is also its cache entry id and i-lock owner.
+	ID int
+	// FullPlan computes the view from scratch (used for the initial fill).
+	FullPlan query.Plan
+	// Key returns the clustering key of a result tuple.
+	Key func(tup []byte) uint64
+	// Sources lists the base relations whose updates the view tracks, at
+	// most one per relation.
+	Sources []Source
+}
+
+// sourceFor returns the view's source for the named relation, or nil.
+func (v *View) sourceFor(rel string) *Source {
+	for i := range v.Sources {
+		if v.Sources[i].Rel.Schema().Name() == rel {
+			return &v.Sources[i]
+		}
+	}
+	return nil
+}
+
+// Engine maintains a set of views differentially.
+type Engine struct {
+	meter  *metric.Meter
+	store  *cache.Store
+	router *ilock.Manager
+	views  map[int]*View
+	order  []int
+	// attrsByRel lists the distinct routing attributes registered per
+	// relation, so Apply extracts each changed tuple's routing values
+	// once.
+	attrsByRel map[string][]string
+
+	// Scratch delta sets, reused across transactions: view id -> A_net and
+	// D_net tuple sets for the current transaction.
+	anet map[int][][]byte
+	dnet map[int][][]byte
+}
+
+// NewEngine creates an empty engine charging work to meter, storing view
+// contents in store, and using router for rule-indexed change screening.
+func NewEngine(meter *metric.Meter, store *cache.Store, router *ilock.Manager) *Engine {
+	return &Engine{
+		meter:      meter,
+		store:      store,
+		router:     router,
+		views:      make(map[int]*View),
+		attrsByRel: make(map[string][]string),
+		anet:       make(map[int][][]byte),
+		dnet:       make(map[int][][]byte),
+	}
+}
+
+// Name identifies the maintenance algorithm.
+func (e *Engine) Name() string { return "AVM" }
+
+// routeKey qualifies a relation's lock namespace with the routed
+// attribute, so bands on different attributes of one relation do not mix.
+func routeKey(rel, attr string) string { return rel + "\x00" + attr }
+
+// Register adds a view. Its cache entry must already be defined.
+func (e *Engine) Register(v *View) {
+	if _, dup := e.views[v.ID]; dup {
+		panic(fmt.Sprintf("avm: view %d already registered", v.ID))
+	}
+	if v.FullPlan == nil || v.Key == nil || len(v.Sources) == 0 {
+		panic("avm: incomplete view definition")
+	}
+	seen := map[string]bool{}
+	for _, src := range v.Sources {
+		if src.Rel == nil || src.DeltaPlan == nil {
+			panic("avm: incomplete view source")
+		}
+		rel := src.Rel.Schema().Name()
+		if seen[rel] {
+			panic(fmt.Sprintf("avm: view %d has two sources on %s", v.ID, rel))
+		}
+		seen[rel] = true
+		if src.Rel.Schema().FieldIndex(src.Attr) < 0 {
+			panic(fmt.Sprintf("avm: view %d routes %s on unknown attribute %q", v.ID, rel, src.Attr))
+		}
+		e.router.LockRange(routeKey(rel, src.Attr), src.Band[0], src.Band[1], ilock.Owner(v.ID))
+		attrs := e.attrsByRel[rel]
+		found := false
+		for _, a := range attrs {
+			if a == src.Attr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.attrsByRel[rel] = append(attrs, src.Attr)
+		}
+	}
+	e.views[v.ID] = v
+	e.order = append(e.order, v.ID)
+}
+
+// NumViews returns the number of registered views.
+func (e *Engine) NumViews() int { return len(e.views) }
+
+// Prepare computes every view from scratch and marks its cache entry
+// valid. Run it with charging disabled: it is setup, not workload.
+func (e *Engine) Prepare() {
+	ctx := &query.Ctx{Meter: e.meter}
+	for _, id := range e.order {
+		v := e.views[id]
+		entry := e.store.MustEntry(cache.ID(id))
+		keys, recs := query.Materialize(v.FullPlan, v.Key, ctx)
+		entry.Replace(keys, recs)
+		entry.MarkValid()
+	}
+}
+
+// Apply maintains every registered view after an update transaction that
+// deleted the old tuple values in deleted and inserted the new values in
+// inserted on rel (an in-place modification contributes to both).
+func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+	// Phase 1 — rule-indexed screening: route each changed tuple value to
+	// the views whose band on the routed attribute it falls in, charging
+	// one screen per (value, view) pair, and accumulate the A_net/D_net
+	// sets at C3 per entry.
+	relName := rel.Schema().Name()
+	sch := rel.Schema()
+	attrs := e.attrsByRel[relName]
+	if len(attrs) == 0 {
+		return
+	}
+	route := func(tup []byte, into map[int][][]byte) {
+		for _, attr := range attrs {
+			v := sch.GetByName(tup, attr)
+			e.router.Conflicts(routeKey(relName, attr), v, func(o ilock.Owner) {
+				id := int(o)
+				if _, ours := e.views[id]; !ours {
+					return // lock owned by another subsystem sharing the router
+				}
+				e.meter.Screen(1)
+				into[id] = append(into[id], tup)
+				e.meter.DeltaOp(1)
+			})
+		}
+	}
+	for _, tup := range deleted {
+		route(tup, e.dnet)
+	}
+	for _, tup := range inserted {
+		route(tup, e.anet)
+	}
+
+	// Phase 2 — evaluate delta plans and patch stored views:
+	// V_new = V ∪ V(a, B) − V(d, B).
+	ctx := &query.Ctx{Meter: e.meter}
+	for _, id := range e.order {
+		a, da := e.anet[id]
+		dl, dd := e.dnet[id]
+		if !da && !dd {
+			continue
+		}
+		v := e.views[id]
+		src := v.sourceFor(relName)
+		file := e.store.MustEntry(cache.ID(id)).File()
+		if dd {
+			plan := src.DeltaPlan(&query.ValuesScan{Sch: sch, Tuples: dl})
+			plan.Execute(ctx, func(tup []byte) bool {
+				file.Delete(v.Key(tup))
+				return true
+			})
+			delete(e.dnet, id)
+		}
+		if da {
+			plan := src.DeltaPlan(&query.ValuesScan{Sch: sch, Tuples: a})
+			plan.Execute(ctx, func(tup []byte) bool {
+				key := v.Key(tup)
+				// An update that moves a tuple within the band deletes and
+				// reinserts the same key; Delete above already removed it.
+				if !file.Contains(key) {
+					file.Insert(key, tup)
+				}
+				return true
+			})
+			delete(e.anet, id)
+		}
+	}
+}
+
+// Lookup returns the registered view with the given id, or nil.
+func (e *Engine) Lookup(id int) *View { return e.views[id] }

@@ -1,0 +1,143 @@
+// Package cache stores materialized procedure results on disk pages, with
+// the validity flag that Cache and Invalidate toggles and the always-valid
+// contents that Update Cache maintains.
+//
+// Each entry is a key-clustered file of result tuples (storage.OrderedFile)
+// so differential maintenance touches only the pages holding the changed
+// tuples, as the cost model's y(fN, fb, 2fl) refresh term assumes. Reading
+// an entry charges one page read per result page (the model's C_read);
+// recording an invalidation charges C_inval through the meter.
+package cache
+
+import (
+	"fmt"
+
+	"dbproc/internal/metric"
+	"dbproc/internal/storage"
+)
+
+// ID identifies a cached object; procedure IDs are used directly.
+type ID int
+
+// Journal durably records validity transitions, making the in-memory
+// validity table recoverable — the paper's low-C_inval alternative to
+// flagging the cached object's pages (see package vlog for the
+// write-ahead implementation). A nil journal means volatile validity.
+type Journal interface {
+	Invalidate(id int) error
+	Validate(id int) error
+}
+
+// Store is the set of cached procedure results.
+type Store struct {
+	pager   *storage.Pager
+	meter   *metric.Meter
+	entries map[ID]*Entry
+	journal Journal
+}
+
+// SetJournal attaches a durability journal; every subsequent validity
+// transition is logged. A journal write failure is a simulated crash and
+// panics — recovery is exercised by replaying the journal's contents.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// Entry is one procedure's cached result.
+type Entry struct {
+	id    ID
+	store *Store
+	file  *storage.OrderedFile
+	meter *metric.Meter
+	valid bool
+}
+
+// NewStore creates an empty cache on the given pager, charging costs to
+// meter.
+func NewStore(pager *storage.Pager, meter *metric.Meter) *Store {
+	return &Store{pager: pager, meter: meter, entries: make(map[ID]*Entry)}
+}
+
+// Define creates an (invalid, empty) entry for id with recSize-byte result
+// tuples. Defining an existing id panics.
+func (s *Store) Define(id ID, recSize int) *Entry {
+	if _, dup := s.entries[id]; dup {
+		panic(fmt.Sprintf("cache: entry %d already defined", id))
+	}
+	e := &Entry{
+		id:    id,
+		store: s,
+		file:  storage.NewOrderedFile(s.pager, recSize),
+		meter: s.meter,
+	}
+	s.entries[id] = e
+	return e
+}
+
+// Entry returns the entry for id, or nil.
+func (s *Store) Entry(id ID) *Entry { return s.entries[id] }
+
+// MustEntry returns the entry for id or panics.
+func (s *Store) MustEntry(id ID) *Entry {
+	e := s.entries[id]
+	if e == nil {
+		panic(fmt.Sprintf("cache: entry %d not defined", id))
+	}
+	return e
+}
+
+// Len returns the number of defined entries.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Valid reports whether the cached result may be served.
+func (e *Entry) Valid() bool { return e.valid }
+
+// File exposes the underlying result file for differential maintenance.
+func (e *Entry) File() *storage.OrderedFile { return e.file }
+
+// Pages returns the current size of the result in pages.
+func (e *Entry) Pages() int { return e.file.Pages() }
+
+// Len returns the number of result tuples.
+func (e *Entry) Len() int { return e.file.Len() }
+
+// Invalidate marks the entry invalid and charges one invalidation record
+// (the model's C_inval). The paper's T3 term charges every conflicting
+// update, so callers invoke this once per update transaction that breaks
+// one of the entry's i-locks, whether or not the entry is already invalid.
+func (e *Entry) Invalidate() {
+	e.valid = false
+	e.meter.Invalidation(1)
+	if j := e.store.journal; j != nil {
+		if err := j.Invalidate(int(e.id)); err != nil {
+			panic("cache: journal write failed (simulated crash): " + err.Error())
+		}
+	}
+}
+
+// Replace refreshes the whole result from sorted (key, tuple) pairs and
+// marks it valid: the Cache and Invalidate refresh, costing two I/Os per
+// result page (read-modify-write, the model's C_WriteCache).
+func (e *Entry) Replace(keys []uint64, recs [][]byte) {
+	e.file.Replace(keys, recs)
+	e.markValid()
+}
+
+// MarkValid marks the entry valid without touching its contents; Update
+// Cache uses it once after the initial load, after which maintenance keeps
+// the contents current.
+func (e *Entry) MarkValid() { e.markValid() }
+
+func (e *Entry) markValid() {
+	e.valid = true
+	if j := e.store.journal; j != nil {
+		if err := j.Validate(int(e.id)); err != nil {
+			panic("cache: journal write failed (simulated crash): " + err.Error())
+		}
+	}
+}
+
+// ReadAll scans the cached result in key order (one charged read per
+// page), regardless of validity — callers check Valid first. The rec slice
+// is only valid during the callback.
+func (e *Entry) ReadAll(fn func(key uint64, rec []byte) bool) {
+	e.file.Scan(fn)
+}

@@ -1,0 +1,34 @@
+package costmodel
+
+import "testing"
+
+func BenchmarkAllCosts(b *testing.B) {
+	p := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AllCosts(Model1, p)
+	}
+}
+
+func BenchmarkWinnerGrid(b *testing.B) {
+	base := Default()
+	ps := LinSpace(0.02, 0.95, 16)
+	fs := LogSpace(1e-5, 0.05, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WinnerGrid(Model1, base, ps, fs)
+	}
+}
+
+func BenchmarkYaoExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		YaoExact(100_000, 2500, 1000)
+	}
+}
+
+func BenchmarkPagesTouched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PagesTouched(100_000, 2500, 1000)
+	}
+}

@@ -1,0 +1,146 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomParams derives a valid parameter point from fuzz inputs, spanning
+// the ranges the paper's figures sweep.
+func randomParams(fSeed, upSeed, sfSeed, zSeed uint16) Params {
+	p := Default()
+	p.F = 1e-5 * math.Pow(5000, float64(fSeed)/65535) // 1e-5 .. 5e-2
+	p = p.WithUpdateProbability(0.98 * float64(upSeed) / 65535)
+	p.SF = float64(sfSeed) / 65535
+	p.Z = 0.02 + 0.96*float64(zSeed)/65535
+	return p
+}
+
+// Property: every strategy's cost is finite and positive for any valid
+// parameter point, in both models.
+func TestCostsAlwaysFiniteAndPositive(t *testing.T) {
+	f := func(fSeed, upSeed, sfSeed, zSeed uint16) bool {
+		p := randomParams(fSeed, upSeed, sfSeed, zSeed)
+		for _, m := range []Model{Model1, Model2} {
+			for _, s := range Strategies {
+				c := Cost(m, s, p)
+				if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Update Cache and Cache and Invalidate costs are monotonically
+// non-decreasing in the update probability; Always Recompute is constant.
+func TestCostsMonotoneInP(t *testing.T) {
+	f := func(fSeed, sfSeed, zSeed uint16) bool {
+		p := randomParams(fSeed, 0, sfSeed, zSeed)
+		prev := [NumStrategies]float64{}
+		for i, up := range LinSpace(0, 0.95, 12) {
+			q := p.WithUpdateProbability(up)
+			for _, s := range Strategies {
+				c := Cost(Model1, s, q)
+				if i > 0 {
+					if s == AlwaysRecompute {
+						if c != prev[s] {
+							return false
+						}
+					} else if c < prev[s]-1e-9 {
+						return false
+					}
+				}
+				prev[s] = c
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: costs never decrease when objects grow (f increases), for the
+// recompute and update-cache strategies. (C&I is not monotone in f: larger
+// objects can shift work between the T1/T2/T3 terms.)
+func TestCostsMonotoneInF(t *testing.T) {
+	f := func(upSeed, sfSeed uint16) bool {
+		p := randomParams(0, upSeed, sfSeed, 20000)
+		prev := map[Strategy]float64{}
+		for i, fv := range LogSpace(1e-5, 0.05, 10) {
+			p.F = fv
+			for _, s := range []Strategy{AlwaysRecompute, UpdateCacheAVM, UpdateCacheRVM} {
+				c := Cost(Model1, s, p)
+				if i > 0 && c < prev[s]-1e-9 {
+					return false
+				}
+				prev[s] = c
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: model 2 never costs less than model 1 for the same parameters
+// (three-way joins strictly add work) for recompute, C&I and AVM, and RVM
+// differs only through the right-memory geometry.
+func TestModel2AtLeastModel1(t *testing.T) {
+	f := func(fSeed, upSeed, sfSeed, zSeed uint16) bool {
+		p := randomParams(fSeed, upSeed, sfSeed, zSeed)
+		for _, s := range []Strategy{AlwaysRecompute, CacheInvalidate, UpdateCacheAVM} {
+			if Cost(Model2, s, p) < Cost(Model1, s, p)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the T3 invalidation term is linear in C_inval.
+func TestCacheInvalLinearInCinval(t *testing.T) {
+	f := func(fSeed, upSeed uint16) bool {
+		p := randomParams(fSeed, upSeed, 0, 20000)
+		base := CacheInvalidateCost(Model1, p)
+		p.CInval = 30
+		mid := CacheInvalidateCost(Model1, p)
+		p.CInval = 60
+		high := CacheInvalidateCost(Model1, p)
+		// Equal spacing: high - mid == mid - base.
+		return math.Abs((high-mid)-(mid-base)) < 1e-6*math.Max(1, high)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at P = 0 all caching strategies cost exactly the cached read,
+// for any object size and sharing factor.
+func TestZeroPReadOnlyEverywhere(t *testing.T) {
+	f := func(fSeed, sfSeed, zSeed uint16) bool {
+		p := randomParams(fSeed, 0, sfSeed, zSeed).WithUpdateProbability(0)
+		read := p.C2 * p.ProcSize()
+		for _, m := range []Model{Model1, Model2} {
+			for _, s := range []Strategy{CacheInvalidate, UpdateCacheAVM, UpdateCacheRVM} {
+				if math.Abs(Cost(m, s, p)-read) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package costmodel
+
+import "math"
+
+// This file computes the paper's "who wins where" maps: Figures 12, 13 and
+// 19 partition the (update probability P, object size f) plane by the
+// cheapest strategy, and Figures 14 and 15 mark where Cache and Invalidate
+// is within a factor of two of the best Update Cache variant.
+
+// Winner reports the cheapest strategy at one parameter point together
+// with the full cost vector, so ties and margins can be inspected.
+type Winner struct {
+	// Best is the cheapest strategy (lowest index wins exact ties, so
+	// Always Recompute is preferred to equally-priced caching, matching
+	// the paper's "implement the simplest adequate method" advice).
+	Best Strategy
+	// Costs holds every strategy's cost at this point.
+	Costs [NumStrategies]float64
+}
+
+// BestStrategy evaluates all four strategies at p and returns the winner.
+func BestStrategy(m Model, p Params) Winner {
+	w := Winner{Costs: AllCosts(m, p)}
+	for _, s := range Strategies {
+		if w.Costs[s] < w.Costs[w.Best] {
+			w.Best = s
+		}
+	}
+	return w
+}
+
+// Grid is a rectangular sweep over update probability (rows) and the
+// object-size selectivity f (columns).
+type Grid struct {
+	// Ps are the update-probability row values, ascending.
+	Ps []float64
+	// Fs are the selectivity column values, ascending.
+	Fs []float64
+	// Cells[i][j] is the evaluation at P = Ps[i], f = Fs[j].
+	Cells [][]Winner
+}
+
+// WinnerGrid sweeps base over the given P and f values and records the
+// cheapest strategy at each point (Figures 12, 13, 19).
+func WinnerGrid(m Model, base Params, ps, fs []float64) Grid {
+	g := Grid{Ps: ps, Fs: fs, Cells: make([][]Winner, len(ps))}
+	for i, up := range ps {
+		g.Cells[i] = make([]Winner, len(fs))
+		for j, f := range fs {
+			pt := base.WithUpdateProbability(up)
+			pt.F = f
+			g.Cells[i][j] = BestStrategy(m, pt)
+		}
+	}
+	return g
+}
+
+// UpdateCacheBest returns the cheaper of the two Update Cache variants at
+// this cell.
+func (w Winner) UpdateCacheBest() float64 {
+	avm, rvm := w.Costs[UpdateCacheAVM], w.Costs[UpdateCacheRVM]
+	if avm < rvm {
+		return avm
+	}
+	return rvm
+}
+
+// CacheInvalWithinFactor reports whether Cache and Invalidate costs at most
+// factor times the best Update Cache variant at this cell (Figures 14, 15
+// use factor = 2).
+func (w Winner) CacheInvalWithinFactor(factor float64) bool {
+	return w.Costs[CacheInvalidate] <= factor*w.UpdateCacheBest()
+}
+
+// LogSpace returns n values spaced logarithmically from lo to hi inclusive.
+// It panics unless 0 < lo < hi and n >= 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("costmodel: LogSpace requires 0 < lo < hi and n >= 2")
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	out[n-1] = hi
+	return out
+}
+
+// LinSpace returns n values spaced linearly from lo to hi inclusive.
+// It panics unless lo < hi and n >= 2.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		panic("costmodel: LinSpace requires lo < hi and n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + step*float64(i)
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,146 @@
+package costmodel
+
+import "testing"
+
+func winnerGridDefaults(m Model, base Params) Grid {
+	ps := LinSpace(0.02, 0.9, 12)
+	fs := LogSpace(1e-5, 0.05, 12)
+	return WinnerGrid(m, base, ps, fs)
+}
+
+// TestWinnerGridShape asserts the qualitative layout of Figure 12: Always
+// Recompute wins the high-P edge, Update Cache wins the low-P edge, and the
+// P-range where Update Cache wins is narrower for large f than for small f.
+func TestWinnerGridShape(t *testing.T) {
+	g := winnerGridDefaults(Model1, Default())
+	// Low-P row: caching strategies should win everywhere.
+	for j := range g.Fs {
+		if w := g.Cells[0][j].Best; w == AlwaysRecompute {
+			t.Errorf("P=%.2f f=%.5f: Always Recompute should not win at low P", g.Ps[0], g.Fs[j])
+		}
+	}
+	// High-P row: Always Recompute or C&I (its plateau tracks recompute).
+	for j := range g.Fs {
+		if w := g.Cells[len(g.Ps)-1][j].Best; w == UpdateCacheAVM || w == UpdateCacheRVM {
+			t.Errorf("P=%.2f f=%.5f: Update Cache should not win at high P", g.Ps[len(g.Ps)-1], g.Fs[j])
+		}
+	}
+
+	// Update Cache winning range in P narrows as f grows.
+	ucRange := func(col int) int {
+		count := 0
+		for i := range g.Ps {
+			if b := g.Cells[i][col].Best; b == UpdateCacheAVM || b == UpdateCacheRVM {
+				count++
+			}
+		}
+		return count
+	}
+	small, large := ucRange(0), ucRange(len(g.Fs)-1)
+	if large >= small {
+		t.Errorf("Update Cache winning P-range should shrink with f: small-f %d rows vs large-f %d rows", small, large)
+	}
+}
+
+// TestWinnerGridModel2PrefersRVM asserts the Figure 19 observation: in
+// model 2 (with the default SF=0.5, just above the crossover) the winning
+// Update Cache variant is RVM, not AVM.
+func TestWinnerGridModel2PrefersRVM(t *testing.T) {
+	base := Default()
+	base.SF = 0.6
+	g := winnerGridDefaults(Model2, base)
+	var avmWins, rvmWins int
+	for i := range g.Ps {
+		for j := range g.Fs {
+			switch g.Cells[i][j].Best {
+			case UpdateCacheAVM:
+				avmWins++
+			case UpdateCacheRVM:
+				rvmWins++
+			}
+		}
+	}
+	if rvmWins == 0 {
+		t.Fatal("RVM should win somewhere in model 2 at SF=0.6")
+	}
+	if avmWins > 0 {
+		t.Errorf("AVM wins %d cells in model 2 at SF=0.6; RVM should dominate (RVM wins %d)", avmWins, rvmWins)
+	}
+}
+
+// TestClosenessGrid asserts Figure 14/15 behaviour: with f2 = 1 (no false
+// invalidations) Cache and Invalidate is within 2x of Update Cache on at
+// least as many cells as with the default f2 = 0.1.
+func TestClosenessGrid(t *testing.T) {
+	count := func(base Params) int {
+		g := winnerGridDefaults(Model1, base)
+		n := 0
+		for i := range g.Ps {
+			for j := range g.Fs {
+				if g.Cells[i][j].CacheInvalWithinFactor(2) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	def := count(Default())
+	noFalse := Default()
+	noFalse.F2 = 1
+	nf := count(noFalse)
+	if def == 0 {
+		t.Fatal("C&I should be within 2x of Update Cache somewhere")
+	}
+	if nf < def {
+		t.Errorf("removing false invalidations should not shrink the closeness region: f2=1 %d vs default %d", nf, def)
+	}
+}
+
+// TestHighLocalityExpandsCacheInvalRegion asserts the Figure 13 claim that
+// Cache and Invalidate benefits from locality: at Z = 0.05 it wins at least
+// as many cells as at Z = 0.2.
+func TestHighLocalityExpandsCacheInvalRegion(t *testing.T) {
+	wins := func(z float64) int {
+		base := Default()
+		base.Z = z
+		g := winnerGridDefaults(Model1, base)
+		n := 0
+		for i := range g.Ps {
+			for j := range g.Fs {
+				if g.Cells[i][j].Best == CacheInvalidate {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if hi, def := wins(0.05), wins(0.2); hi < def {
+		t.Errorf("Z=0.05 C&I wins %d cells < Z=0.2 wins %d", hi, def)
+	}
+}
+
+func TestWinnerHelpers(t *testing.T) {
+	w := Winner{Costs: [NumStrategies]float64{100, 50, 40, 60}}
+	if got := w.UpdateCacheBest(); got != 40 {
+		t.Errorf("UpdateCacheBest = %v, want 40", got)
+	}
+	if !w.CacheInvalWithinFactor(2) {
+		t.Error("50 <= 2*40 should be within factor")
+	}
+	if w.CacheInvalWithinFactor(1.2) {
+		t.Error("50 > 1.2*40 should not be within factor")
+	}
+	w2 := Winner{Costs: [NumStrategies]float64{10, 50, 40, 5}}
+	if got := w2.UpdateCacheBest(); got != 5 {
+		t.Errorf("UpdateCacheBest = %v, want 5", got)
+	}
+}
+
+func TestBestStrategyTieBreaksTowardSimplicity(t *testing.T) {
+	// At P=0 C&I, AVM and RVM all cost exactly the cached read; the tie
+	// must break toward the earlier (simpler) strategy, C&I.
+	w := BestStrategy(Model1, Default().WithUpdateProbability(0))
+	if w.Best != CacheInvalidate {
+		t.Errorf("tie at P=0 should pick Cache and Invalidate, got %v", w.Best)
+	}
+}

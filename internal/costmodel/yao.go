@@ -1,0 +1,90 @@
+package costmodel
+
+import "math"
+
+// yaoUpperBound is U in Appendix A: below this many pages the min(k, m)
+// special case is used instead of Cardenas' approximation, which degrades
+// as m approaches 1.
+const yaoUpperBound = 2
+
+// PagesTouched returns y(n, m, k): the expected number of distinct pages
+// accessed when k records are retrieved at random from a file of n records
+// stored on m pages.
+//
+// It implements the piecewise approximation of the paper's Appendix A:
+//
+//   - k ≤ 1: a fractional expected record count touches k pages in
+//     expectation (every stored object occupies at least one page, but the
+//     *expected* page count of an access that happens with probability k
+//     is k).
+//   - k > 1 and m < 1: one page.
+//   - k > 1 and m < U (= 2): min(k, m) pages.
+//   - otherwise: Cardenas' approximation m·(1 − (1 − 1/m)^k).
+//
+// The n parameter is unused by the approximation but kept so call sites
+// read exactly like the paper's y(n, m, k) expressions, and so the exact
+// Yao formula (YaoExact) is a drop-in replacement in tests.
+func PagesTouched(n, m, k float64) float64 {
+	_ = n
+	if k <= 0 || m <= 0 {
+		return 0
+	}
+	if k <= 1 {
+		return k
+	}
+	if m < 1 {
+		return 1
+	}
+	if m < yaoUpperBound {
+		return math.Min(k, m)
+	}
+	return Cardenas(m, k)
+}
+
+// Cardenas returns Cardenas' approximation m·(1 − (1 − 1/m)^k) to the Yao
+// function. It is accurate when the blocking factor n/m is large (> 10)
+// and m is not close to 1. The power is computed via log1p for numerical
+// stability when m is large and k is huge.
+func Cardenas(m, k float64) float64 {
+	if m <= 0 || k <= 0 {
+		return 0
+	}
+	return m * (1 - math.Exp(k*math.Log1p(-1/m)))
+}
+
+// YaoExact returns the exact Yao (1977) expected number of distinct pages
+// touched when k records are selected without replacement from n records
+// on m pages, each page holding p = n/m records:
+//
+//	y(n, m, k) = m · (1 − C(n−p, k) / C(n, k))
+//
+// Binomial coefficients are evaluated in log space so large n do not
+// overflow. When k > n−p every page is touched. It is used by tests to
+// bound the error of the Appendix A approximation, and is exported for
+// callers that need the exact value.
+func YaoExact(n, m, k float64) float64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	if m == 1 {
+		return 1
+	}
+	p := n / m
+	if k >= n-p {
+		return m
+	}
+	// C(n-p, k)/C(n, k) in log space.
+	logRatio := logChoose(n-p, k) - logChoose(n, k)
+	return m * (1 - math.Exp(logRatio))
+}
+
+// logChoose returns ln C(a, b) using the log-gamma function.
+func logChoose(a, b float64) float64 {
+	if b < 0 || b > a {
+		return math.Inf(-1)
+	}
+	la, _ := math.Lgamma(a + 1)
+	lb, _ := math.Lgamma(b + 1)
+	lab, _ := math.Lgamma(a - b + 1)
+	return la - lb - lab
+}

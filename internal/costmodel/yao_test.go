@@ -1,0 +1,126 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesTouchedPiecewise(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, m, k float64
+		want    float64
+	}{
+		{"zero records", 1000, 100, 0, 0},
+		{"fractional k is expectation", 1000, 100, 0.05, 0.05},
+		{"k exactly one", 1000, 100, 1, 1},
+		{"sub-page file", 10, 0.25, 5, 1},
+		{"small file uses min(k,m)", 60, 1.5, 4, 1.5},
+		{"small file uses min(k,m) other side", 60, 1.5, 1.2, 1.2},
+		{"zero pages", 0, 0, 10, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PagesTouched(tt.n, tt.m, tt.k); got != tt.want {
+				t.Errorf("PagesTouched(%v, %v, %v) = %v, want %v", tt.n, tt.m, tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCardenasMatchesKnownValue(t *testing.T) {
+	// y(10000, 250, 100): 250 pages, Cardenas = 250(1-(1-1/250)^100).
+	got := Cardenas(250, 100)
+	want := 250 * (1 - math.Pow(1-1.0/250, 100))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Cardenas(250, 100) = %v, want %v", got, want)
+	}
+	if got < 82 || got > 83 {
+		t.Fatalf("Cardenas(250, 100) = %v, want about 82.5", got)
+	}
+}
+
+func TestPagesTouchedUsesCardenasForLargeFiles(t *testing.T) {
+	got := PagesTouched(10000, 250, 100)
+	if want := Cardenas(250, 100); got != want {
+		t.Fatalf("PagesTouched = %v, want Cardenas value %v", got, want)
+	}
+}
+
+func TestYaoExactBounds(t *testing.T) {
+	// Exact Yao never exceeds min(k, m) pages... actually it never exceeds
+	// m, and never exceeds k (each record touches at most one new page).
+	cases := []struct{ n, m, k float64 }{
+		{1000, 25, 10}, {1000, 25, 500}, {4000, 100, 4000},
+		{40, 1, 5}, {400, 10, 1},
+	}
+	for _, c := range cases {
+		y := YaoExact(c.n, c.m, c.k)
+		if y < 0 || y > c.m+1e-9 || y > c.k+1e-9 {
+			t.Errorf("YaoExact(%v,%v,%v) = %v out of bounds", c.n, c.m, c.k, y)
+		}
+	}
+}
+
+func TestYaoExactAllRecordsTouchesAllPages(t *testing.T) {
+	if got := YaoExact(1000, 25, 1000); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("selecting every record should touch every page, got %v", got)
+	}
+}
+
+// TestCardenasCloseToExact checks Appendix A's claim that Cardenas'
+// approximation is very close to the exact Yao function when the blocking
+// factor exceeds 10 and m is not near 1.
+func TestCardenasCloseToExact(t *testing.T) {
+	for _, m := range []float64{10, 25, 100, 250, 2500} {
+		for _, frac := range []float64{0.001, 0.01, 0.1, 0.5, 1} {
+			n := m * 40 // blocking factor 40, as in the paper's defaults
+			k := math.Max(1, n*frac)
+			exact := YaoExact(n, m, k)
+			approx := Cardenas(m, k)
+			if exact == 0 {
+				continue
+			}
+			if rel := math.Abs(exact-approx) / exact; rel > 0.02 {
+				t.Errorf("m=%v k=%v: exact %v vs Cardenas %v (rel err %.3f)", m, k, exact, approx, rel)
+			}
+		}
+	}
+}
+
+// Property: PagesTouched is monotone in k (touching more records can never
+// touch fewer pages) and bounded by m and k.
+func TestPagesTouchedProperties(t *testing.T) {
+	f := func(mSeed, kSeed uint16, dSeed uint8) bool {
+		m := 1 + float64(mSeed)/8     // pages in [1, ~8193]
+		k := float64(kSeed) / 4       // records in [0, ~16384]
+		d := float64(dSeed)/64 + 0.01 // increment
+		n := m * 40                   // blocking factor 40
+		y1 := PagesTouched(n, m, k)
+		y2 := PagesTouched(n, m, k+d)
+		if y2 < y1-1e-12 {
+			return false
+		}
+		if y1 > m+1e-9 || y1 > k+1e-9 && k >= 1 {
+			// For k >= 1 the estimate must not exceed k; for k < 1 it is k.
+			return false
+		}
+		return y1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogChooseDegenerate(t *testing.T) {
+	if v := logChoose(5, 6); !math.IsInf(v, -1) {
+		t.Fatalf("C(5,6) should be log-zero, got %v", v)
+	}
+	if v := logChoose(5, -1); !math.IsInf(v, -1) {
+		t.Fatalf("C(5,-1) should be log-zero, got %v", v)
+	}
+	if v := logChoose(5, 0); math.Abs(v) > 1e-12 {
+		t.Fatalf("ln C(5,0) should be 0, got %v", v)
+	}
+}

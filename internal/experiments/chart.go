@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// chartHeight and chartWidth size the ASCII plots.
+const (
+	chartHeight = 18
+	chartWidth  = 64
+)
+
+// Chartable reports whether the table is a curve (an x column followed by
+// numeric series columns) that Chart can draw.
+func (t *Table) Chartable() bool {
+	if len(t.Header) < 2 || len(t.Rows) < 2 {
+		return false
+	}
+	numeric := 0
+	for _, row := range t.Rows {
+		for _, c := range row[1:] {
+			if _, err := strconv.ParseFloat(c, 64); err == nil {
+				numeric++
+			}
+		}
+	}
+	return numeric >= 2*len(t.Rows)
+}
+
+// Chart draws the table as an ASCII line chart with a logarithmic y axis:
+// x is the first column, each further column one series, marked with the
+// first distinctive letter of its header ("Recompute" -> R, "C&I" -> C,
+// "UC-AVM" -> A, "UC-RVM" -> V). Cells holding several series show '*'.
+func (t *Table) Chart(w io.Writer) {
+	if !t.Chartable() {
+		return
+	}
+	series := t.Header[1:]
+	symbols := seriesSymbols(series)
+
+	// Collect points and the log-y range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := make([][]float64, len(t.Rows)) // per row, per series (NaN = absent)
+	for i, row := range t.Rows {
+		vals[i] = make([]float64, len(series))
+		for j := range series {
+			v, err := strconv.ParseFloat(row[1+j], 64)
+			if err != nil || v <= 0 {
+				vals[i][j] = math.NaN()
+				continue
+			}
+			vals[i][j] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		return
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+
+	grid := make([][]rune, chartHeight)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", chartWidth))
+	}
+	n := len(t.Rows)
+	for i := range t.Rows {
+		x := i * (chartWidth - 1) / (n - 1)
+		for j := range series {
+			v := vals[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int((math.Log10(v) - logLo) / (logHi - logLo) * float64(chartHeight-1))
+			r := chartHeight - 1 - y
+			switch grid[r][x] {
+			case ' ':
+				grid[r][x] = symbols[j]
+			case symbols[j]:
+			default:
+				grid[r][x] = '*'
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s (log y, ms/query)\n", t.ID)
+	for r := 0; r < chartHeight; r++ {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.0f ", hi)
+		case chartHeight - 1:
+			label = fmt.Sprintf("%7.0f ", lo)
+		case chartHeight / 2:
+			label = fmt.Sprintf("%7.0f ", math.Pow(10, (logLo+logHi)/2))
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", chartWidth))
+	fmt.Fprintf(w, "         %-8s%*s\n", t.Rows[0][0], chartWidth-9, t.Rows[n-1][0])
+	var legend []string
+	for j, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[j], s))
+	}
+	fmt.Fprintf(w, "         %s  (*=overlap)\n\n", strings.Join(legend, "  "))
+}
+
+// seriesSymbols picks one distinctive rune per series name.
+func seriesSymbols(names []string) []rune {
+	used := map[rune]bool{'*': true, ' ': true}
+	out := make([]rune, len(names))
+	for i, name := range names {
+		picked := rune(0)
+		for _, r := range name {
+			u := []rune(strings.ToUpper(string(r)))[0]
+			if u >= 'A' && u <= 'Z' && !used[u] {
+				picked = u
+				break
+			}
+		}
+		if picked == 0 {
+			for c := '1'; c <= '9'; c++ {
+				if !used[c] {
+					picked = c
+					break
+				}
+			}
+		}
+		if picked == 0 {
+			picked = '?'
+		}
+		used[picked] = true
+		out[i] = picked
+	}
+	return out
+}

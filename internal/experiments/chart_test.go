@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersCurves(t *testing.T) {
+	tb := runOne(t, "fig05", Options{})[0]
+	if !tb.Chartable() {
+		t.Fatal("fig05 should be chartable")
+	}
+	var buf bytes.Buffer
+	tb.Chart(&buf)
+	out := buf.String()
+	for _, want := range []string{"log y", "R=Recompute", "C=C&I", "(*=overlap)", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != chartHeight+4 {
+		t.Fatalf("chart has %d lines, want %d", len(lines), chartHeight+4)
+	}
+	// Every series symbol appears somewhere in the plot body.
+	body := strings.Join(lines[1:chartHeight+1], "\n")
+	for _, sym := range []string{"R", "C", "U", "V"} {
+		if !strings.Contains(body, sym) && !strings.Contains(body, "*") {
+			t.Errorf("series %s never plotted", sym)
+		}
+	}
+}
+
+func TestChartSkipsNonCurves(t *testing.T) {
+	tb := runOne(t, "fig12", Options{})[0] // region letters, not numbers
+	if tb.Chartable() {
+		t.Fatal("region grid should not be chartable")
+	}
+	var buf bytes.Buffer
+	tb.Chart(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("Chart drew a non-chartable table")
+	}
+	// Parameter table likewise.
+	tb2 := runOne(t, "fig02", Options{})[0]
+	if tb2.Chartable() {
+		t.Fatal("parameter table should not be chartable")
+	}
+}
+
+func TestSeriesSymbolsDistinct(t *testing.T) {
+	syms := seriesSymbols([]string{"Recompute", "C&I", "UC-AVM", "UC-RVM", "sim:Recompute", "zzz", "zzz", "zzz"})
+	seen := map[rune]bool{}
+	for i, s := range syms {
+		if s == '*' || s == ' ' {
+			t.Fatalf("symbol %d is reserved %q", i, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate symbol %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dbproc/internal/costmodel"
+)
+
+// sweepPs are the update-probability points for cost-vs-P curves. P = 1 is
+// not representable (cost per query diverges); 0.95 shows the asymptote.
+var sweepPs = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+
+// curveExperiment builds a cost-vs-update-probability figure: the four
+// strategies' analytic cost at each P, plus simulated validation columns
+// when requested.
+func curveExperiment(id, title, note string, model costmodel.Model, mutate func(*costmodel.Params)) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(opt Options) []*Table {
+			base := costmodel.Default()
+			if mutate != nil {
+				mutate(&base)
+			}
+			t := &Table{
+				ID:     id,
+				Title:  title,
+				Note:   note,
+				Header: []string{"P", "Recompute", "C&I", "UC-AVM", "UC-RVM"},
+			}
+			if opt.Sim {
+				t.Header = append(t.Header, "sim:Recompute", "sim:C&I", "sim:AVM", "sim:RVM")
+			}
+			simEvery := 1
+			if opt.Sim && opt.SimPoints > 0 && opt.SimPoints < len(sweepPs) {
+				simEvery = (len(sweepPs) + opt.SimPoints - 1) / opt.SimPoints
+			}
+			for i, up := range sweepPs {
+				p := base.WithUpdateProbability(up)
+				row := []string{fmt.Sprintf("%.2f", up)}
+				for _, s := range costmodel.Strategies {
+					row = append(row, fmtMs(costmodel.Cost(model, s, p)))
+				}
+				if opt.Sim {
+					if i%simEvery == 0 {
+						sp := scaled(base, opt).WithUpdateProbability(up)
+						for _, s := range costmodel.Strategies {
+							row = append(row, fmtMs(simPoint(model, s, sp, opt)))
+						}
+					} else {
+						row = append(row, "-", "-", "-", "-")
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return []*Table{t}
+		},
+	}
+}
+
+// sharingExperiment builds a cost-vs-sharing-factor figure comparing the
+// two Update Cache variants.
+func sharingExperiment(id, title, note string, model costmodel.Model) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(opt Options) []*Table {
+			base := costmodel.Default()
+			t := &Table{
+				ID: id, Title: title, Note: note,
+				Header: []string{"SF", "UC-AVM", "UC-RVM"},
+			}
+			if opt.Sim {
+				t.Header = append(t.Header, "sim:AVM", "sim:RVM")
+			}
+			sfs := costmodel.LinSpace(0, 1, 11)
+			simEvery := 1
+			if opt.Sim && opt.SimPoints > 0 && opt.SimPoints < len(sfs) {
+				simEvery = (len(sfs) + opt.SimPoints - 1) / opt.SimPoints
+			}
+			var cross float64 = math.NaN()
+			prevDiff := math.NaN()
+			for i, sf := range sfs {
+				p := base
+				p.SF = sf
+				avmC := costmodel.AVMCost(model, p)
+				rvmC := costmodel.RVMCost(model, p)
+				row := []string{fmt.Sprintf("%.1f", sf), fmtMs(avmC), fmtMs(rvmC)}
+				if opt.Sim {
+					if i%simEvery == 0 {
+						sp := scaled(p, opt)
+						row = append(row,
+							fmtMs(simPoint(model, costmodel.UpdateCacheAVM, sp, opt)),
+							fmtMs(simPoint(model, costmodel.UpdateCacheRVM, sp, opt)))
+					} else {
+						row = append(row, "-", "-")
+					}
+				}
+				t.Rows = append(t.Rows, row)
+				diff := avmC - rvmC
+				if !math.IsNaN(prevDiff) && prevDiff < 0 && diff >= 0 && math.IsNaN(cross) {
+					// Linear interpolation for the crossover SF.
+					frac := -prevDiff / (diff - prevDiff)
+					cross = sfs[i-1] + frac*(sfs[i]-sfs[i-1])
+				}
+				prevDiff = diff
+			}
+			if !math.IsNaN(cross) {
+				t.Note += fmt.Sprintf(" AVM/RVM crossover at SF ≈ %.2f.", cross)
+			}
+			return []*Table{t}
+		},
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig02",
+		Title: "Default parameter values (paper Figure 2)",
+		Run: func(Options) []*Table {
+			p := costmodel.Default()
+			t := &Table{
+				ID: "fig02", Title: "Default parameter values (paper Figure 2)",
+				Header: []string{"parameter", "value", "meaning"},
+			}
+			add := func(name string, v, meaning string) {
+				t.Rows = append(t.Rows, []string{name, v, meaning})
+			}
+			add("N", fmt.Sprintf("%.0f", p.N), "tuples in R1")
+			add("S", fmt.Sprintf("%.0f", p.S), "bytes per tuple")
+			add("B", fmt.Sprintf("%.0f", p.B), "bytes per block")
+			add("b", fmt.Sprintf("%.0f", p.Blocks()), "blocks in R1 (N/(B/S))")
+			add("d", fmt.Sprintf("%.0f", p.D), "bytes per index record")
+			add("k", fmt.Sprintf("%.0f", p.K), "update transactions")
+			add("l", fmt.Sprintf("%.0f", p.L), "tuples modified per update")
+			add("q", fmt.Sprintf("%.0f", p.Q), "procedure accesses")
+			add("f", fmt.Sprintf("%g", p.F), "selectivity of C_f")
+			add("f2", fmt.Sprintf("%g", p.F2), "selectivity of C_f2")
+			add("fR2", fmt.Sprintf("%g", p.FR2), "size of R2 / N")
+			add("fR3", fmt.Sprintf("%g", p.FR3), "size of R3 / N")
+			add("C1", fmt.Sprintf("%.0f ms", p.C1), "screen one record")
+			add("C2", fmt.Sprintf("%.0f ms", p.C2), "one page I/O")
+			add("C3", fmt.Sprintf("%.0f ms", p.C3), "one delta-set tuple op")
+			add("C_inval", fmt.Sprintf("%.0f ms", p.CInval), "record one invalidation")
+			add("N1", fmt.Sprintf("%.0f", p.N1), "type-P1 procedures")
+			add("N2", fmt.Sprintf("%.0f", p.N2), "type-P2 procedures")
+			add("SF", fmt.Sprintf("%g", p.SF), "sharing factor")
+			add("Z", fmt.Sprintf("%g", p.Z), "locality (Z procs get 1-Z of refs)")
+			return []*Table{t}
+		},
+	})
+
+	register(curveExperiment("fig04",
+		"Query cost vs update probability, expensive invalidation (C_inval = 60 ms)",
+		"Paper Figure 4: C&I is highly sensitive to the invalidation cost.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.CInval = 60 }))
+
+	register(curveExperiment("fig05",
+		"Query cost vs update probability, free invalidation (C_inval = 0)",
+		"Paper Figure 5: Update Cache wins for 0 < P < ~0.7; C&I plateaus just above Recompute for high P.",
+		costmodel.Model1, nil))
+
+	register(curveExperiment("fig06",
+		"Query cost vs update probability, large objects (f = 0.01)",
+		"Paper Figure 6: incremental update of large objects beats invalidate-and-recompute at low P.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.F = 0.01 }))
+
+	register(curveExperiment("fig07",
+		"Query cost vs update probability, small objects (f = 0.0001)",
+		"Paper Figure 7: C&I is competitive with Update Cache for small objects, and safer at high P.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.F = 0.0001 }))
+
+	register(curveExperiment("fig08",
+		"Query cost vs update probability, single-tuple objects (N1=100, N2=0, f=1/N)",
+		"Paper Figure 8: with one-tuple objects, C&I is essentially equivalent to Update Cache except at high P.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.N1, p.N2, p.F = 100, 0, 1/p.N }))
+
+	register(curveExperiment("fig09",
+		"Query cost vs update probability, high locality (Z = 0.05)",
+		"Paper Figure 9: locality helps C&I (fewer cold reads of invalid objects) but not Update Cache.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.Z = 0.05 }))
+
+	register(curveExperiment("fig10",
+		"Query cost vs update probability, many objects (N1 = N2 = 1000)",
+		"Paper Figure 10: more objects steepen the Update Cache slope and shift the C&I plateau.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.N1, p.N2 = 1000, 1000 }))
+
+	register(sharingExperiment("fig11",
+		"Update Cache variants vs sharing factor (model 1)",
+		"Paper Figure 11: with 2-way joins RVM only approaches AVM when SF ≈ 1.",
+		costmodel.Model1))
+
+	register(curveExperiment("fig17",
+		"Query cost vs update probability (model 2, 3-way joins)",
+		"Paper Figure 17: same shape as Figure 5 with a more expensive recompute.",
+		costmodel.Model2, nil))
+
+	register(sharingExperiment("fig18",
+		"Update Cache variants vs sharing factor (model 2)",
+		"Paper Figure 18: with 3-way joins the variants cross at SF ≈ 0.47; RVM wins above.",
+		costmodel.Model2))
+}

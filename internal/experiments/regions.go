@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dbproc/internal/costmodel"
+)
+
+// Region maps sweep object size f (columns, log scale) against update
+// probability P (rows) and mark each cell with the winning strategy:
+// R = Always Recompute, C = Cache and Invalidate, A = Update Cache (AVM),
+// V = Update Cache (RVM).
+
+var regionPs = costmodel.LinSpace(0.02, 0.95, 16)
+var regionFs = costmodel.LogSpace(1e-5, 0.05, 14)
+
+func strategyLetter(s costmodel.Strategy) string {
+	switch s {
+	case costmodel.AlwaysRecompute:
+		return "R"
+	case costmodel.CacheInvalidate:
+		return "C"
+	case costmodel.UpdateCacheAVM:
+		return "A"
+	case costmodel.UpdateCacheRVM:
+		return "V"
+	default:
+		return "?"
+	}
+}
+
+func regionHeader() []string {
+	h := []string{"P \\ f"}
+	for _, f := range regionFs {
+		h = append(h, fmt.Sprintf("%.0e", f))
+	}
+	return h
+}
+
+// regionExperiment renders a winner map for a base parameter set.
+func regionExperiment(id, title, note string, model costmodel.Model, mutate func(*costmodel.Params)) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(Options) []*Table {
+			base := costmodel.Default()
+			if mutate != nil {
+				mutate(&base)
+			}
+			g := costmodel.WinnerGrid(model, base, regionPs, regionFs)
+			t := &Table{
+				ID: id, Title: title,
+				Note:   note + " R=Recompute C=Cache&Invalidate A=UC-AVM V=UC-RVM.",
+				Header: regionHeader(),
+			}
+			for i, up := range g.Ps {
+				row := []string{fmt.Sprintf("%.2f", up)}
+				for j := range g.Fs {
+					row = append(row, strategyLetter(g.Cells[i][j].Best))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return []*Table{t}
+		},
+	}
+}
+
+// closenessExperiment renders where C&I is within the given factor of the
+// best Update Cache variant.
+func closenessExperiment(id, title, note string, factor float64, mutate func(*costmodel.Params)) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(Options) []*Table {
+			base := costmodel.Default()
+			if mutate != nil {
+				mutate(&base)
+			}
+			g := costmodel.WinnerGrid(costmodel.Model1, base, regionPs, regionFs)
+			t := &Table{
+				ID: id, Title: title,
+				Note:   note + fmt.Sprintf(" '*' = C&I within %.0fx of Update Cache, '.' = not.", factor),
+				Header: regionHeader(),
+			}
+			for i, up := range g.Ps {
+				row := []string{fmt.Sprintf("%.2f", up)}
+				for j := range g.Fs {
+					cell := "."
+					if g.Cells[i][j].CacheInvalWithinFactor(factor) {
+						cell = "*"
+					}
+					row = append(row, cell)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return []*Table{t}
+		},
+	}
+}
+
+func init() {
+	register(regionExperiment("fig12",
+		"Winner regions: update probability vs object size (model 1)",
+		"Paper Figure 12: Update Cache wins a narrower P-range for large objects.",
+		costmodel.Model1, nil))
+
+	register(regionExperiment("fig13",
+		"Winner regions with high locality (Z = 0.05)",
+		"Paper Figure 13: locality expands the C&I region, especially for small objects.",
+		costmodel.Model1,
+		func(p *costmodel.Params) { p.Z = 0.05 }))
+
+	register(closenessExperiment("fig14",
+		"Closeness of C&I to Update Cache (factor 2)",
+		"Paper Figure 14.", 2, nil))
+
+	register(closenessExperiment("fig15",
+		"Closeness of C&I to Update Cache with no false invalidations (f2 = 1)",
+		"Paper Figure 15: without false invalidations C&I is close for small objects too.",
+		2,
+		func(p *costmodel.Params) { p.F2 = 1 }))
+
+	register(regionExperiment("fig19",
+		"Winner regions (model 2)",
+		"Paper Figure 19: like Figure 12 but the winning Update Cache variant is RVM (SF=0.5 > crossover).",
+		costmodel.Model2,
+		func(p *costmodel.Params) { p.SF = 0.6 }))
+}

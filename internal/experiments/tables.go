@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dbproc/internal/costmodel"
+)
+
+// componentTable renders an Update Cache cost-component breakdown (the
+// tables of sections 4.3, 4.4, 6.3 and 6.4).
+func componentTable(id, title string, comps func(costmodel.Model, costmodel.Params) []costmodel.Component) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(Options) []*Table {
+			p := costmodel.Default()
+			t := &Table{
+				ID: id, Title: title,
+				Note:   "Default parameters; per-update components are multiplied by k/q in the per-access total.",
+				Header: []string{"component", "paid per", "model 1 (ms)", "model 2 (ms)"},
+			}
+			m1 := comps(costmodel.Model1, p)
+			m2 := comps(costmodel.Model2, p)
+			for i, c := range m1 {
+				per := "access"
+				if c.PerUpdate {
+					per = "update"
+				}
+				name := c.Name
+				v2 := fmtMs(m2[i].Value)
+				if m2[i].Name != c.Name {
+					name = c.Name + " / " + m2[i].Name
+				}
+				t.Rows = append(t.Rows, []string{name, per, fmtMs(c.Value), v2})
+			}
+			return []*Table{t}
+		},
+	}
+}
+
+func init() {
+	register(componentTable("tbl-avm",
+		"AVM cost components (sections 4.3 and 6.3)", costmodel.AVMComponents))
+	register(componentTable("tbl-rvm",
+		"RVM cost components (sections 4.4 and 6.4)", costmodel.RVMComponents))
+
+	register(Experiment{
+		ID:    "claims",
+		Title: "Section 8 quantitative claims",
+		Run: func(opt Options) []*Table {
+			t := &Table{
+				ID: "claims", Title: "Section 8 quantitative claims",
+				Header: []string{"claim", "paper", "model", "simulated"},
+			}
+			// Claim 1: speedups at f = 0.0001, P = 0.1.
+			p := costmodel.Default().WithUpdateProbability(0.1)
+			p.F = 0.0001
+			rc := costmodel.RecomputeCost(costmodel.Model1, p)
+			ci := rc / costmodel.CacheInvalidateCost(costmodel.Model1, p)
+			uc := rc / costmodel.AVMCost(costmodel.Model1, p)
+			simCI, simUC := "-", "-"
+			if opt.Sim {
+				sp := scaled(p, opt)
+				sp.K *= 4
+				sp.Q *= 4 // reach the steady state the closed forms describe
+				simRC := simPoint(costmodel.Model1, costmodel.AlwaysRecompute, sp, opt)
+				simCI = fmt.Sprintf("%.1fx", simRC/simPoint(costmodel.Model1, costmodel.CacheInvalidate, sp, opt))
+				simUC = fmt.Sprintf("%.1fx", simRC/simPoint(costmodel.Model1, costmodel.UpdateCacheAVM, sp, opt))
+			}
+			t.Rows = append(t.Rows, []string{
+				"C&I speedup over Recompute (f=1e-4, P=0.1)", "~5x",
+				fmt.Sprintf("%.1fx", ci), simCI})
+			t.Rows = append(t.Rows, []string{
+				"Update Cache speedup over Recompute (f=1e-4, P=0.1)", "~7x",
+				fmt.Sprintf("%.1fx", uc), simUC})
+
+			// Claim 2: model-2 crossover SF.
+			cross := sharingCrossover(costmodel.Model2)
+			t.Rows = append(t.Rows, []string{
+				"AVM = RVM crossover SF (model 2)", "~0.47",
+				fmt.Sprintf("%.2f", cross), "-"})
+			// Claim 3: model-1 crossover only near SF = 1.
+			cross1 := sharingCrossover(costmodel.Model1)
+			t.Rows = append(t.Rows, []string{
+				"AVM = RVM crossover SF (model 1)", "~1",
+				fmt.Sprintf("%.2f", cross1), "-"})
+			return []*Table{t}
+		},
+	})
+}
+
+// sharingCrossover bisects for the SF where AVM and RVM cost the same;
+// returns 1 if RVM never becomes cheaper.
+func sharingCrossover(m costmodel.Model) float64 {
+	p := costmodel.Default()
+	diff := func(sf float64) float64 {
+		p.SF = sf
+		return costmodel.AVMCost(m, p) - costmodel.RVMCost(m, p)
+	}
+	if diff(1) < 0 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if diff(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

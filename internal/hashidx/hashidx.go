@@ -1,0 +1,235 @@
+// Package hashidx implements a static hashed primary index, the access
+// method of relations R2 and R3 in the paper: records are stored in
+// page-sized buckets selected by key modulo the bucket count, with
+// overflow chains when a bucket page fills. An equality probe therefore
+// touches one page in the well-sized case, so a batch of k random probes
+// touches ~y(n, m, k) distinct pages — the quantity the cost model charges
+// for index-nested-loop joins.
+package hashidx
+
+import (
+	"fmt"
+
+	"dbproc/internal/storage"
+)
+
+// KeyFunc extracts the hash key from a record's bytes.
+type KeyFunc func(rec []byte) uint64
+
+// Table is a static-hash file of fixed-size records.
+type Table struct {
+	pager   *storage.Pager
+	recSize int
+	perPage int
+	keyOf   KeyFunc
+	buckets []bucket
+	n       int
+}
+
+type bucket struct {
+	pages []storage.PageID
+	count int // records in this bucket across its chain
+}
+
+// New creates an empty hash file with the given number of primary buckets.
+func New(pager *storage.Pager, recSize, numBuckets int, keyOf KeyFunc) *Table {
+	perPage := pager.Disk().PageSize() / recSize
+	if recSize <= 0 || perPage < 1 {
+		panic(fmt.Sprintf("hashidx: record size %d does not fit page size %d", recSize, pager.Disk().PageSize()))
+	}
+	if numBuckets < 1 {
+		panic("hashidx: need at least one bucket")
+	}
+	if keyOf == nil {
+		panic("hashidx: nil KeyFunc")
+	}
+	return &Table{
+		pager:   pager,
+		recSize: recSize,
+		perPage: perPage,
+		keyOf:   keyOf,
+		buckets: make([]bucket, numBuckets),
+	}
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.n }
+
+// NumBuckets returns the number of primary buckets.
+func (t *Table) NumBuckets() int { return len(t.buckets) }
+
+// Pages returns the number of allocated bucket and overflow pages.
+func (t *Table) Pages() int {
+	total := 0
+	for i := range t.buckets {
+		total += len(t.buckets[i].pages)
+	}
+	return total
+}
+
+// PerPage returns the blocking factor.
+func (t *Table) PerPage() int { return t.perPage }
+
+func (t *Table) bucketFor(key uint64) *bucket {
+	return &t.buckets[key%uint64(len(t.buckets))]
+}
+
+// Insert stores a record in its key's bucket, allocating an overflow page
+// if the chain is full. Duplicate keys are allowed.
+func (t *Table) Insert(rec []byte) {
+	if len(rec) != t.recSize {
+		panic(fmt.Sprintf("hashidx: record of %d bytes, want %d", len(rec), t.recSize))
+	}
+	b := t.bucketFor(t.keyOf(rec))
+	slot := b.count % t.perPage
+	var buf []byte
+	if slot == 0 && b.count == len(b.pages)*t.perPage {
+		id := t.pager.Disk().Alloc()
+		b.pages = append(b.pages, id)
+		buf = t.pager.Overwrite(id)
+	} else {
+		buf = t.pager.Update(b.pages[b.count/t.perPage])
+	}
+	copy(buf[slot*t.recSize:], rec)
+	b.count++
+	t.n++
+}
+
+// Lookup returns a copy of the first record with the given key, reading
+// the bucket chain until found.
+func (t *Table) Lookup(key uint64) ([]byte, bool) {
+	var out []byte
+	t.LookupEach(key, func(rec []byte) bool {
+		out = make([]byte, t.recSize)
+		copy(out, rec)
+		return false
+	})
+	return out, out != nil
+}
+
+// LookupEach calls fn for every record with the given key until fn returns
+// false. The rec slice aliases the page frame and is valid only during the
+// call. Matching by key is the hash machinery itself and is not a charged
+// predicate screen; callers charge C1 for the predicates they evaluate on
+// the results.
+func (t *Table) LookupEach(key uint64, fn func(rec []byte) bool) {
+	b := t.bucketFor(key)
+	remaining := b.count
+	for _, id := range b.pages {
+		if remaining <= 0 {
+			return
+		}
+		buf := t.pager.Read(id)
+		limit := t.perPage
+		if remaining < limit {
+			limit = remaining
+		}
+		for s := 0; s < limit; s++ {
+			rec := buf[s*t.recSize : (s+1)*t.recSize]
+			if t.keyOf(rec) == key && !fn(rec) {
+				return
+			}
+		}
+		remaining -= limit
+	}
+}
+
+// Delete removes the first record with the given key, reporting whether
+// one was present. The vacated slot is filled by the bucket's last record;
+// an emptied overflow page is freed.
+func (t *Table) Delete(key uint64) bool {
+	return t.deleteWhere(key, func([]byte) bool { return true })
+}
+
+// DeleteExact removes the first record whose bytes equal rec entirely,
+// reporting whether one was present — the safe delete when several records
+// share a hash key.
+func (t *Table) DeleteExact(rec []byte) bool {
+	if len(rec) != t.recSize {
+		panic(fmt.Sprintf("hashidx: record of %d bytes, want %d", len(rec), t.recSize))
+	}
+	return t.deleteWhere(t.keyOf(rec), func(got []byte) bool {
+		for i := range rec {
+			if got[i] != rec[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (t *Table) deleteWhere(key uint64, match func([]byte) bool) bool {
+	b := t.bucketFor(key)
+	// Find the record's position in the chain.
+	pos := -1
+	remaining := b.count
+scan:
+	for pi, id := range b.pages {
+		if remaining <= 0 {
+			break
+		}
+		buf := t.pager.Read(id)
+		limit := t.perPage
+		if remaining < limit {
+			limit = remaining
+		}
+		for s := 0; s < limit; s++ {
+			r := buf[s*t.recSize : (s+1)*t.recSize]
+			if t.keyOf(r) == key && match(r) {
+				pos = pi*t.perPage + s
+				break scan
+			}
+		}
+		remaining -= limit
+	}
+	if pos < 0 {
+		return false
+	}
+	last := b.count - 1
+	if pos != last {
+		lastBuf := t.pager.Read(b.pages[last/t.perPage])
+		rec := make([]byte, t.recSize)
+		copy(rec, lastBuf[(last%t.perPage)*t.recSize:])
+		buf := t.pager.Update(b.pages[pos/t.perPage])
+		copy(buf[(pos%t.perPage)*t.recSize:], rec)
+	} else {
+		// Still a write: the slot is cleared below.
+		_ = t.pager.Update(b.pages[pos/t.perPage])
+	}
+	lb := t.pager.Update(b.pages[last/t.perPage])
+	clear(lb[(last%t.perPage)*t.recSize : (last%t.perPage+1)*t.recSize])
+	b.count--
+	t.n--
+	if b.count%t.perPage == 0 && len(b.pages) > 0 && b.count == (len(b.pages)-1)*t.perPage {
+		id := b.pages[len(b.pages)-1]
+		b.pages = b.pages[:len(b.pages)-1]
+		t.pager.Drop(id)
+		t.pager.Disk().Free(id)
+	}
+	return true
+}
+
+// ScanAll visits every record in bucket order. The rec slice is valid only
+// during the call.
+func (t *Table) ScanAll(fn func(rec []byte) bool) {
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		remaining := b.count
+		for _, id := range b.pages {
+			if remaining <= 0 {
+				break
+			}
+			buf := t.pager.Read(id)
+			limit := t.perPage
+			if remaining < limit {
+				limit = remaining
+			}
+			for s := 0; s < limit; s++ {
+				if !fn(buf[s*t.recSize : (s+1)*t.recSize]) {
+					return
+				}
+			}
+			remaining -= limit
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package ilock implements invalidate locks ("i-locks") via rule indexing,
+// the mechanism of Stonebraker, Sellis and Hanson (1986) the paper relies
+// on: when a procedure's value is computed, persistent locks are set on
+// all data read — index intervals for B-tree range reads, keys for hash
+// probes. A later write that falls inside a locked interval conflicts, and
+// the lock's owner (the cached procedure value) must be invalidated or
+// differentially maintained.
+//
+// Conflict detection itself is lock-manager machinery and charges no cost;
+// what the strategies do with a conflict (invalidate, screen, join) is
+// charged by them. The cost model likewise prices invalidation recording
+// and screening but not the lock check.
+package ilock
+
+import "sort"
+
+// Owner identifies the holder of an i-lock: a cached procedure value or a
+// maintained view.
+type Owner int
+
+// Manager is the i-lock table for one database.
+type Manager struct {
+	rels   map[string]*relLocks
+	owners map[Owner][]lockRef
+}
+
+type relLocks struct {
+	// intervals, kept sorted by lo for deterministic iteration and an
+	// early-out on scan. Overlapping intervals from different owners are
+	// expected (procedures share attribute ranges).
+	intervals []interval
+	// keys maps an exact locked value to its owners.
+	keys map[int64][]Owner
+}
+
+type interval struct {
+	lo, hi int64
+	owner  Owner
+}
+
+type lockRef struct {
+	rel string
+	// For interval locks, the bounds; key locks use lo == hi and isKey.
+	lo, hi int64
+	isKey  bool
+}
+
+// NewManager returns an empty i-lock table.
+func NewManager() *Manager {
+	return &Manager{
+		rels:   make(map[string]*relLocks),
+		owners: make(map[Owner][]lockRef),
+	}
+}
+
+func (m *Manager) rel(name string) *relLocks {
+	r := m.rels[name]
+	if r == nil {
+		r = &relLocks{keys: make(map[int64][]Owner)}
+		m.rels[name] = r
+	}
+	return r
+}
+
+// LockRange sets an interval i-lock on relation rel's indexed attribute
+// values [lo, hi] (inclusive) for owner.
+func (m *Manager) LockRange(rel string, lo, hi int64, owner Owner) {
+	if lo > hi {
+		panic("ilock: inverted interval")
+	}
+	r := m.rel(rel)
+	iv := interval{lo: lo, hi: hi, owner: owner}
+	pos := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].lo >= lo })
+	r.intervals = append(r.intervals, interval{})
+	copy(r.intervals[pos+1:], r.intervals[pos:])
+	r.intervals[pos] = iv
+	m.owners[owner] = append(m.owners[owner], lockRef{rel: rel, lo: lo, hi: hi})
+}
+
+// LockKey sets a key i-lock on relation rel's indexed attribute value key
+// for owner (the lock form of a hash-index probe).
+func (m *Manager) LockKey(rel string, key int64, owner Owner) {
+	r := m.rel(rel)
+	r.keys[key] = append(r.keys[key], owner)
+	m.owners[owner] = append(m.owners[owner], lockRef{rel: rel, lo: key, hi: key, isKey: true})
+}
+
+// Release removes every lock held by owner.
+func (m *Manager) Release(owner Owner) {
+	refs := m.owners[owner]
+	if refs == nil {
+		return
+	}
+	delete(m.owners, owner)
+	for _, ref := range refs {
+		r := m.rels[ref.rel]
+		if r == nil {
+			continue
+		}
+		if ref.isKey {
+			owners := r.keys[ref.lo]
+			for i, o := range owners {
+				if o == owner {
+					r.keys[ref.lo] = append(owners[:i], owners[i+1:]...)
+					break
+				}
+			}
+			if len(r.keys[ref.lo]) == 0 {
+				delete(r.keys, ref.lo)
+			}
+			continue
+		}
+		for i := range r.intervals {
+			iv := r.intervals[i]
+			if iv.owner == owner && iv.lo == ref.lo && iv.hi == ref.hi {
+				r.intervals = append(r.intervals[:i], r.intervals[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// HoldCount returns the number of locks held by owner.
+func (m *Manager) HoldCount(owner Owner) int { return len(m.owners[owner]) }
+
+// Conflicts calls fn once per lock that conflicts with a write of the
+// indexed attribute value v on relation rel. An owner holding several
+// conflicting locks is reported once per lock; use ConflictSet for the
+// deduplicated owner set.
+func (m *Manager) Conflicts(rel string, v int64, fn func(Owner)) {
+	r := m.rels[rel]
+	if r == nil {
+		return
+	}
+	for _, iv := range r.intervals {
+		if iv.lo > v {
+			break // sorted by lo: nothing further can cover v
+		}
+		if v <= iv.hi {
+			fn(iv.owner)
+		}
+	}
+	for _, o := range r.keys[v] {
+		fn(o)
+	}
+}
+
+// ConflictSet accumulates into set the owners whose locks conflict with a
+// write of value v on rel.
+func (m *Manager) ConflictSet(rel string, v int64, set map[Owner]struct{}) {
+	m.Conflicts(rel, v, func(o Owner) { set[o] = struct{}{} })
+}

@@ -1,0 +1,172 @@
+package ilock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collect(m *Manager, rel string, v int64) []Owner {
+	var got []Owner
+	m.Conflicts(rel, v, func(o Owner) { got = append(got, o) })
+	return got
+}
+
+func TestRangeConflicts(t *testing.T) {
+	m := NewManager()
+	m.LockRange("r1", 10, 19, 1)
+	m.LockRange("r1", 15, 30, 2)
+	m.LockRange("r1", 100, 100, 3)
+
+	cases := map[int64][]Owner{
+		9:   nil,
+		10:  {1},
+		15:  {1, 2},
+		19:  {1, 2},
+		20:  {2},
+		31:  nil,
+		100: {3},
+	}
+	for v, want := range cases {
+		got := collect(m, "r1", v)
+		if len(got) != len(want) {
+			t.Errorf("v=%d: conflicts %v, want %v", v, got, want)
+			continue
+		}
+		seen := map[Owner]bool{}
+		for _, o := range got {
+			seen[o] = true
+		}
+		for _, o := range want {
+			if !seen[o] {
+				t.Errorf("v=%d: conflicts %v missing %v", v, got, o)
+			}
+		}
+	}
+	// Other relations are independent.
+	if got := collect(m, "r2", 15); got != nil {
+		t.Errorf("wrong relation conflicted: %v", got)
+	}
+}
+
+func TestKeyLocks(t *testing.T) {
+	m := NewManager()
+	m.LockKey("r2", 7, 1)
+	m.LockKey("r2", 7, 2)
+	m.LockKey("r2", 8, 1)
+	if got := collect(m, "r2", 7); len(got) != 2 {
+		t.Fatalf("key 7 conflicts = %v", got)
+	}
+	if got := collect(m, "r2", 9); got != nil {
+		t.Fatalf("key 9 conflicts = %v", got)
+	}
+	if m.HoldCount(1) != 2 || m.HoldCount(2) != 1 {
+		t.Fatalf("HoldCount = %d, %d", m.HoldCount(1), m.HoldCount(2))
+	}
+}
+
+func TestRelease(t *testing.T) {
+	m := NewManager()
+	m.LockRange("r1", 0, 100, 1)
+	m.LockRange("r1", 50, 60, 2)
+	m.LockKey("r2", 5, 1)
+	m.Release(1)
+	if got := collect(m, "r1", 55); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after release, conflicts = %v, want [2]", got)
+	}
+	if got := collect(m, "r2", 5); got != nil {
+		t.Fatalf("key lock survived release: %v", got)
+	}
+	if m.HoldCount(1) != 0 {
+		t.Fatalf("HoldCount(1) = %d after release", m.HoldCount(1))
+	}
+	// Releasing an owner with no locks is a no-op.
+	m.Release(42)
+	// Re-locking after release works.
+	m.LockRange("r1", 55, 55, 1)
+	if got := collect(m, "r1", 55); len(got) != 2 {
+		t.Fatalf("re-lock failed: %v", got)
+	}
+}
+
+func TestConflictSetDeduplicates(t *testing.T) {
+	m := NewManager()
+	m.LockRange("r1", 0, 10, 1)
+	m.LockRange("r1", 5, 15, 1) // same owner, overlapping
+	m.LockKey("r1", 7, 1)
+	set := map[Owner]struct{}{}
+	m.ConflictSet("r1", 7, set)
+	if len(set) != 1 {
+		t.Fatalf("ConflictSet = %v, want one owner", set)
+	}
+}
+
+func TestInvertedIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManager().LockRange("r1", 5, 4, 1)
+}
+
+// Property: Conflicts agrees with a brute-force reference over random lock
+// tables and probes, including after random releases.
+func TestConflictsMatchReference(t *testing.T) {
+	type lk struct {
+		lo, hi int64
+		owner  Owner
+		key    bool
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewManager()
+		var locks []lk
+		for i := 0; i < 40; i++ {
+			owner := Owner(rng.Intn(8))
+			if rng.Intn(3) == 0 {
+				k := int64(rng.Intn(50))
+				m.LockKey("r", k, owner)
+				locks = append(locks, lk{k, k, owner, true})
+			} else {
+				lo := int64(rng.Intn(50))
+				hi := lo + int64(rng.Intn(20))
+				m.LockRange("r", lo, hi, owner)
+				locks = append(locks, lk{lo, hi, owner, false})
+			}
+		}
+		// Release a couple of owners entirely.
+		for _, o := range []Owner{Owner(rng.Intn(8)), Owner(rng.Intn(8))} {
+			m.Release(o)
+			kept := locks[:0]
+			for _, l := range locks {
+				if l.owner != o {
+					kept = append(kept, l)
+				}
+			}
+			locks = kept
+		}
+		for v := int64(0); v < 75; v++ {
+			want := map[Owner]int{}
+			for _, l := range locks {
+				if v >= l.lo && v <= l.hi {
+					want[l.owner]++
+				}
+			}
+			got := map[Owner]int{}
+			m.Conflicts("r", v, func(o Owner) { got[o]++ })
+			if len(got) != len(want) {
+				return false
+			}
+			for o, n := range want {
+				if got[o] != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

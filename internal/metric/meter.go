@@ -1,0 +1,156 @@
+// Package metric accumulates the simulated cost events of the executable
+// system and converts them to milliseconds with the paper's cost constants:
+// C1 per predicate screen, C2 per disk page read or write, C3 per delta-set
+// tuple operation, and C_inval per cached-value invalidation.
+//
+// The simulator compares these measured milliseconds against the analytic
+// predictions of package costmodel.
+package metric
+
+import "fmt"
+
+// Costs holds the per-event cost constants in milliseconds.
+type Costs struct {
+	// C1 is the CPU cost to screen one record against a predicate.
+	C1 float64
+	// C2 is the cost of one disk page read or write.
+	C2 float64
+	// C3 is the cost per tuple to maintain an AVM delta (A_net/D_net) set.
+	C3 float64
+	// CInval is the cost to record one cache invalidation.
+	CInval float64
+}
+
+// DefaultCosts returns the paper's Figure 2 constants (C1=1ms, C2=30ms,
+// C3=1ms, C_inval=0).
+func DefaultCosts() Costs {
+	return Costs{C1: 1, C2: 30, C3: 1, CInval: 0}
+}
+
+// Counters is a value snapshot of accumulated event counts.
+type Counters struct {
+	// PageReads and PageWrites count disk page transfers (C2 each).
+	PageReads  int64
+	PageWrites int64
+	// Screens counts predicate evaluations (C1 each).
+	Screens int64
+	// DeltaOps counts delta-set tuple operations (C3 each).
+	DeltaOps int64
+	// Invalidations counts cache invalidation records (CInval each).
+	Invalidations int64
+}
+
+// Add returns the event-wise sum of two counter snapshots.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		PageReads:     c.PageReads + o.PageReads,
+		PageWrites:    c.PageWrites + o.PageWrites,
+		Screens:       c.Screens + o.Screens,
+		DeltaOps:      c.DeltaOps + o.DeltaOps,
+		Invalidations: c.Invalidations + o.Invalidations,
+	}
+}
+
+// Sub returns the event-wise difference c − o, used to cost a window of
+// work between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		PageReads:     c.PageReads - o.PageReads,
+		PageWrites:    c.PageWrites - o.PageWrites,
+		Screens:       c.Screens - o.Screens,
+		DeltaOps:      c.DeltaOps - o.DeltaOps,
+		Invalidations: c.Invalidations - o.Invalidations,
+	}
+}
+
+// Milliseconds prices the counters with the given constants.
+func (c Counters) Milliseconds(costs Costs) float64 {
+	return costs.C2*float64(c.PageReads+c.PageWrites) +
+		costs.C1*float64(c.Screens) +
+		costs.C3*float64(c.DeltaOps) +
+		costs.CInval*float64(c.Invalidations)
+}
+
+// String formats the counters compactly for logs and test failures.
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d writes=%d screens=%d deltaOps=%d invals=%d",
+		c.PageReads, c.PageWrites, c.Screens, c.DeltaOps, c.Invalidations)
+}
+
+// Meter accumulates cost events. It is not safe for concurrent use; the
+// simulated workload is a serial stream of operations, as in the paper.
+type Meter struct {
+	costs Costs
+	c     Counters
+	muted bool
+}
+
+// SetMuted suspends event recording entirely (setup work that the cost
+// model excludes); it returns the previous state. Storage-layer I/O is
+// usually muted through the pager's charging flag instead — use this when
+// CPU events (screens, delta ops) must also be excluded.
+func (m *Meter) SetMuted(muted bool) bool {
+	prev := m.muted
+	m.muted = muted
+	return prev
+}
+
+// NewMeter returns a meter pricing events with the given constants.
+func NewMeter(costs Costs) *Meter {
+	return &Meter{costs: costs}
+}
+
+// Costs returns the meter's cost constants.
+func (m *Meter) Costs() Costs { return m.costs }
+
+// PageRead records n disk page reads.
+func (m *Meter) PageRead(n int) {
+	if m.muted {
+		return
+	}
+	m.c.PageReads += int64(n)
+}
+
+// PageWrite records n disk page writes.
+func (m *Meter) PageWrite(n int) {
+	if m.muted {
+		return
+	}
+	m.c.PageWrites += int64(n)
+}
+
+// Screen records n predicate screenings.
+func (m *Meter) Screen(n int) {
+	if m.muted {
+		return
+	}
+	m.c.Screens += int64(n)
+}
+
+// DeltaOp records n delta-set tuple operations.
+func (m *Meter) DeltaOp(n int) {
+	if m.muted {
+		return
+	}
+	m.c.DeltaOps += int64(n)
+}
+
+// Invalidation records n cache-invalidation writes.
+func (m *Meter) Invalidation(n int) {
+	if m.muted {
+		return
+	}
+	m.c.Invalidations += int64(n)
+}
+
+// Snapshot returns the current counter values.
+func (m *Meter) Snapshot() Counters { return m.c }
+
+// Since returns the counters accumulated after the given snapshot.
+func (m *Meter) Since(s Counters) Counters { return m.c.Sub(s) }
+
+// Milliseconds returns the total simulated cost so far.
+func (m *Meter) Milliseconds() float64 { return m.c.Milliseconds(m.costs) }
+
+// Reset zeroes the counters, keeping the cost constants.
+func (m *Meter) Reset() { m.c = Counters{} }

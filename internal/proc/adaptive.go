@@ -1,0 +1,214 @@
+package proc
+
+import (
+	"dbproc/internal/cache"
+	"dbproc/internal/ilock"
+	"dbproc/internal/metric"
+	"dbproc/internal/query"
+)
+
+// Adaptive decides per procedure whether caching its result pays — the
+// question the paper's section 8 raises via Sellis's work and leaves open.
+// Each procedure runs in one of two modes:
+//
+//   - caching: behave exactly like Cache and Invalidate (serve the cache
+//     while valid, refresh on a cold access, record invalidations at
+//     C_inval per conflicting update);
+//   - bypass: keep no cached value and hold no i-locks — every access
+//     recomputes, but there is no write-back and no invalidation cost.
+//
+// A procedure whose recent accesses were almost always cold (the C&I
+// plateau regime, where caching costs strictly more than recomputing)
+// drops to bypass; a bypassed procedure periodically retries caching so it
+// can recover when the update rate falls. The paper notes C&I "does not
+// degrade significantly if the system makes a mistake" — Adaptive removes
+// even that residual degradation (the wasted write-backs and, with
+// expensive invalidation, the whole T3 term).
+type Adaptive struct {
+	mgr   *Manager
+	meter *metric.Meter
+	store *cache.Store
+	locks *ilock.Manager
+
+	// Window is the number of accesses per mode evaluation (default 4).
+	Window int
+	// ColdThreshold is the cold-access fraction above which a procedure
+	// drops to bypass (default 0.9, near the plateau crossover).
+	ColdThreshold float64
+	// ProbeEvery is the number of bypassed accesses before caching is
+	// retried (default 16).
+	ProbeEvery int
+	// BypassAfterInvalidations drops a procedure to bypass as soon as this
+	// many invalidations arrive without an intervening access (default 8):
+	// with expensive invalidation recording, waiting for the next access
+	// to notice the churn wastes a C_inval per conflicting update.
+	BypassAfterInvalidations int
+
+	states map[int]*adaptiveState
+}
+
+type adaptiveState struct {
+	bypass      bool
+	accesses    int
+	cold        int
+	sinceBypass int
+	// backoff is the current probe interval; it doubles (up to 16x the
+	// configured ProbeEvery) each time a caching retry immediately fails,
+	// and resets when a retry sticks, so procedures under sustained churn
+	// spend almost all their time in the cheap bypass mode.
+	backoff int
+	// stint counts accesses since caching (re)started and retried marks
+	// whether the current caching period came from a bypass retry, to
+	// detect immediately-failed retries.
+	stint   int
+	retried bool
+	// invalSinceAccess counts invalidations with no intervening access.
+	invalSinceAccess int
+}
+
+// NewAdaptive builds the strategy with its own cache store and lock table.
+func NewAdaptive(mgr *Manager, meter *metric.Meter, store *cache.Store) *Adaptive {
+	return &Adaptive{
+		mgr:                      mgr,
+		meter:                    meter,
+		store:                    store,
+		locks:                    ilock.NewManager(),
+		Window:                   4,
+		ColdThreshold:            0.9,
+		ProbeEvery:               16,
+		BypassAfterInvalidations: 8,
+		states:                   make(map[int]*adaptiveState),
+	}
+}
+
+// Name implements Strategy.
+func (s *Adaptive) Name() string { return "Adaptive Caching" }
+
+// Prepare implements Strategy: start every procedure in caching mode with
+// a warm cache, like Cache and Invalidate.
+func (s *Adaptive) Prepare() {
+	for _, id := range s.mgr.IDs() {
+		d := s.mgr.MustGet(id)
+		s.store.Define(cache.ID(id), d.ResultWidth())
+		s.refresh(d)
+		s.states[id] = &adaptiveState{backoff: s.ProbeEvery}
+	}
+}
+
+func (s *Adaptive) refresh(d *Definition) {
+	owner := ilock.Owner(d.ID)
+	s.locks.Release(owner)
+	sink := &lockSink{locks: s.locks, owner: owner}
+	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: s.meter, Locks: sink})
+	s.store.MustEntry(cache.ID(d.ID)).Replace(keys, recs)
+}
+
+// Access implements Strategy.
+func (s *Adaptive) Access(id int) [][]byte {
+	d := s.mgr.MustGet(id)
+	st := s.states[id]
+	if st.bypass {
+		st.sinceBypass++
+		if st.sinceBypass < st.backoff {
+			// Plain recomputation; no cache write, no locks.
+			return query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+		}
+		// Retry caching.
+		st.bypass = false
+		st.retried = true
+		st.accesses, st.cold, st.sinceBypass, st.stint = 0, 0, 0, 0
+		s.refresh(d)
+		return s.readCache(id)
+	}
+
+	e := s.store.MustEntry(cache.ID(id))
+	st.accesses++
+	st.stint++
+	st.invalSinceAccess = 0
+	if !e.Valid() {
+		st.cold++
+		s.refresh(d)
+	}
+	out := s.readCache(id)
+	if st.accesses >= s.Window {
+		if float64(st.cold) > s.ColdThreshold*float64(st.accesses) {
+			// Caching is not paying: drop the cached value and its locks.
+			st.bypass = true
+			st.sinceBypass = 0
+			if st.retried && st.stint <= s.Window {
+				// The retry failed immediately: back off harder.
+				st.backoff *= 2
+				if max := 16 * s.ProbeEvery; st.backoff > max {
+					st.backoff = max
+				}
+			} else {
+				st.backoff = s.ProbeEvery
+			}
+			s.locks.Release(ilock.Owner(id))
+		} else {
+			st.backoff = s.ProbeEvery
+			st.retried = false
+		}
+		st.accesses, st.cold = 0, 0
+	}
+	return out
+}
+
+func (s *Adaptive) readCache(id int) [][]byte {
+	var out [][]byte
+	s.store.MustEntry(cache.ID(id)).ReadAll(func(_ uint64, rec []byte) bool {
+		out = append(out, append([]byte(nil), rec...))
+		return true
+	})
+	return out
+}
+
+// OnUpdate implements Strategy: invalidate conflicting cached procedures,
+// exactly as Cache and Invalidate does. Bypassed procedures hold no locks,
+// so they cost nothing here.
+func (s *Adaptive) OnUpdate(dl Delta) {
+	rel := dl.Rel.Schema().Name()
+	field := dl.Rel.KeyField()
+	sch := dl.Rel.Schema()
+	hit := make(map[ilock.Owner]struct{})
+	for _, tup := range dl.Deleted {
+		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
+	}
+	for _, tup := range dl.Inserted {
+		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
+	}
+	for owner := range hit {
+		s.store.MustEntry(cache.ID(owner)).Invalidate()
+		st := s.states[int(owner)]
+		st.invalSinceAccess++
+		if st.invalSinceAccess >= s.BypassAfterInvalidations {
+			// The object churns faster than it is read: stop protecting
+			// it. The next access recomputes; backoff as for a failed
+			// caching stint.
+			st.bypass = true
+			st.sinceBypass = 0
+			st.invalSinceAccess = 0
+			if st.retried && st.stint <= s.Window {
+				st.backoff *= 2
+				if max := 16 * s.ProbeEvery; st.backoff > max {
+					st.backoff = max
+				}
+			} else {
+				st.backoff = s.ProbeEvery
+			}
+			s.locks.Release(owner)
+		}
+	}
+}
+
+// BypassedCount reports how many procedures are currently in bypass mode
+// (for tests and diagnostics).
+func (s *Adaptive) BypassedCount() int {
+	n := 0
+	for _, st := range s.states {
+		if st.bypass {
+			n++
+		}
+	}
+	return n
+}

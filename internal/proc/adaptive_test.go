@@ -1,0 +1,231 @@
+package proc
+
+import (
+	"testing"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/dbtest"
+)
+
+func newAdaptiveFixture(t *testing.T) (*dbtest.World, *Adaptive, *Manager) {
+	t.Helper()
+	w := dbtest.NewWorld(dbtest.Config{})
+	m := NewManager()
+	m.Define(p1Def(w, 1, 10, 19))
+	m.Define(p1Def(w, 2, 100, 109))
+	s := NewAdaptive(m, w.Meter, cache.NewStore(w.Pager, w.Meter))
+	s.Window = 4
+	s.ProbeEvery = 20
+	w.Pager.SetCharging(false)
+	s.Prepare()
+	w.Pager.BeginOp()
+	w.Pager.SetCharging(true)
+	w.Meter.Reset()
+	return w, s, m
+}
+
+func TestAdaptiveStaysCachingWhenUpdatesRare(t *testing.T) {
+	w, s, _ := newAdaptiveFixture(t)
+	if s.Name() != "Adaptive Caching" {
+		t.Fatal("name wrong")
+	}
+	for i := 0; i < 20; i++ {
+		w.Pager.BeginOp()
+		if got := len(s.Access(1)); got != 10 {
+			t.Fatalf("Access returned %d", got)
+		}
+		w.Pager.Flush()
+	}
+	if s.BypassedCount() != 0 {
+		t.Fatal("quiet procedure dropped caching")
+	}
+	// Warm accesses charge only the cached read: 20 accesses x 3 result
+	// pages (10 tuples at 4 per page), and no screens or writes.
+	if c := w.Meter.Snapshot(); c.PageReads != 60 || c.Screens != 0 || c.PageWrites != 0 {
+		t.Fatalf("warm accesses charged %v", c)
+	}
+}
+
+// churn invalidates procedure 1's band before every access.
+func churn(t *testing.T, w *dbtest.World, s *Adaptive, rounds int) {
+	t.Helper()
+	skey := map[int64]int64{}
+	for i := 0; i < rounds; i++ {
+		// Bounce tuple 15 in and out of the band [10, 19].
+		tid := int64(15)
+		cur, ok := skey[tid]
+		if !ok {
+			cur = 15
+		}
+		next := int64(500 + i)
+		d := moveTuple(t, w, tid, cur, next)
+		skey[tid] = next
+		s.OnUpdate(d)
+		// Move it back so the band keeps changing.
+		d = moveTuple(t, w, tid, next, 15)
+		skey[tid] = 15
+		s.OnUpdate(d)
+		w.Pager.BeginOp()
+		s.Access(1)
+		w.Pager.Flush()
+	}
+}
+
+func TestAdaptiveBypassesUnderChurnAndRecovers(t *testing.T) {
+	w, s, _ := newAdaptiveFixture(t)
+	churn(t, w, s, 12)
+	if s.BypassedCount() != 1 {
+		t.Fatalf("BypassedCount = %d, want 1 (procedure 1 under churn)", s.BypassedCount())
+	}
+
+	// Bypassed accesses recompute without write-backs.
+	w.Meter.Reset()
+	w.Pager.BeginOp()
+	out := s.Access(1)
+	w.Pager.Flush()
+	if len(out) != 10 {
+		t.Fatalf("bypassed access returned %d", len(out))
+	}
+	if c := w.Meter.Snapshot(); c.PageWrites != 0 || c.Screens == 0 {
+		t.Fatalf("bypassed access should recompute without refresh: %v", c)
+	}
+
+	// With the churn gone, the probe access re-enables caching...
+	for i := 0; i < s.ProbeEvery; i++ {
+		w.Pager.BeginOp()
+		s.Access(1)
+		w.Pager.Flush()
+	}
+	if s.BypassedCount() != 0 {
+		t.Fatal("procedure did not recover to caching mode")
+	}
+	// ...and subsequent accesses are warm reads again.
+	w.Meter.Reset()
+	w.Pager.BeginOp()
+	s.Access(1)
+	w.Pager.Flush()
+	if c := w.Meter.Snapshot(); c.Screens != 0 {
+		t.Fatalf("recovered access should be a cached read: %v", c)
+	}
+}
+
+func TestAdaptiveBypassAvoidsInvalidationCost(t *testing.T) {
+	w, s, _ := newAdaptiveFixture(t)
+	churn(t, w, s, 12)
+	if s.BypassedCount() != 1 {
+		t.Fatalf("BypassedCount = %d, want 1", s.BypassedCount())
+	}
+	// Procedure 1 is bypassed: it holds no locks, so updates in its band
+	// record no invalidations.
+	w.Meter.Reset()
+	d := moveTuple(t, w, 12, 12, 600)
+	s.OnUpdate(d)
+	if c := w.Meter.Snapshot(); c.Invalidations != 0 {
+		t.Fatalf("bypassed procedure still charged %d invalidations", c.Invalidations)
+	}
+	// Procedure 2 still caches: its band being hit does charge.
+	d = moveTuple(t, w, 105, 105, 601)
+	s.OnUpdate(d)
+	if c := w.Meter.Snapshot(); c.Invalidations != 1 {
+		t.Fatalf("caching procedure charged %d invalidations, want 1", c.Invalidations)
+	}
+}
+
+// TestAdaptiveBypassesOnInvalidationBurst: repeated invalidations with no
+// intervening access drop the procedure to bypass straight from the
+// update path, before the next access even happens.
+func TestAdaptiveBypassesOnInvalidationBurst(t *testing.T) {
+	w, s, _ := newAdaptiveFixture(t)
+	s.BypassAfterInvalidations = 5
+	cur := int64(15)
+	for i := 0; i < 5; i++ {
+		next := int64(700 + i)
+		s.OnUpdate(moveTuple(t, w, 15, cur, next))
+		cur = next
+		s.OnUpdate(moveTuple(t, w, 15, cur, 15))
+		cur = 15
+		if i < 2 && s.BypassedCount() != 0 {
+			t.Fatalf("bypassed after only %d update rounds", i+1)
+		}
+	}
+	if s.BypassedCount() != 1 {
+		t.Fatalf("BypassedCount = %d after burst, want 1", s.BypassedCount())
+	}
+	// Further updates in the band cost nothing (no locks held).
+	w.Meter.Reset()
+	s.OnUpdate(moveTuple(t, w, 12, 12, 800))
+	if c := w.Meter.Snapshot(); c.Invalidations != 0 {
+		t.Fatalf("burst-bypassed procedure still charged %d invalidations", c.Invalidations)
+	}
+}
+
+func TestRecomputeInterfaceCompleteness(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	m := NewManager()
+	m.Define(p1Def(w, 1, 0, 9))
+	var s Strategy = NewAlwaysRecompute(m, w.Meter)
+	s.Prepare() // no-op must not panic
+	s.OnUpdate(Delta{Rel: w.R1})
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestCacheInvalidateName(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	m := NewManager()
+	m.Define(p1Def(w, 1, 0, 9))
+	s := NewCacheInvalidate(m, w.Meter, cache.NewStore(w.Pager, w.Meter))
+	if s.Name() != "Cache and Invalidate" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestCacheInvalidateCoarseLocks(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	m := NewManager()
+	m.Define(p1Def(w, 1, 10, 19))
+	m.Define(p1Def(w, 2, 100, 109))
+	store := cache.NewStore(w.Pager, w.Meter)
+	s := NewCacheInvalidate(m, w.Meter, store)
+	s.SetCoarseLocks(true)
+	w.Pager.SetCharging(false)
+	s.Prepare()
+	w.Pager.BeginOp()
+	w.Pager.SetCharging(true)
+	// An update touching NEITHER band still invalidates both procedures.
+	s.OnUpdate(moveTuple(t, w, 150, 150, 160))
+	if store.MustEntry(1).Valid() || store.MustEntry(2).Valid() {
+		t.Fatal("coarse locks should invalidate every procedure")
+	}
+	if got := w.Meter.Snapshot().Invalidations; got != 2 {
+		t.Fatalf("invalidations = %d, want 2", got)
+	}
+}
+
+func TestAdaptiveResultsStayCorrect(t *testing.T) {
+	w, s, m := newAdaptiveFixture(t)
+	rc := NewAlwaysRecompute(m, w.Meter)
+	check := func() {
+		t.Helper()
+		for _, id := range []int{1, 2} {
+			w.Pager.BeginOp()
+			got := s.Access(id)
+			w.Pager.BeginOp()
+			want := rc.Access(id)
+			w.Pager.Flush()
+			if len(got) != len(want) {
+				t.Fatalf("proc %d: adaptive %d tuples vs recompute %d", id, len(got), len(want))
+			}
+		}
+	}
+	check()
+	churn(t, w, s, 12) // forces proc 1 into bypass
+	check()
+	for i := 0; i < s.ProbeEvery+1; i++ {
+		w.Pager.BeginOp()
+		s.Access(1)
+		w.Pager.Flush()
+	}
+	check() // after recovery
+}

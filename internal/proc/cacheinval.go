@@ -1,0 +1,162 @@
+package proc
+
+import (
+	"dbproc/internal/cache"
+	"dbproc/internal/ilock"
+	"dbproc/internal/metric"
+	"dbproc/internal/query"
+)
+
+// CacheInvalidate serves cached procedure results while they are valid
+// (cost T2 = one read of the result pages) and recomputes-and-refreshes on
+// access after an invalidating update (cost T1 = plan execution plus a
+// read-modify-write of the result pages). Rule indexing sets i-locks on
+// everything the plan reads — the B-tree interval of the R1 scan and each
+// hash key probed — and a conflicting update invalidates the owning entry
+// at C_inval per (procedure, update transaction), the model's T3.
+type CacheInvalidate struct {
+	mgr    *Manager
+	meter  *metric.Meter
+	store  *cache.Store
+	locks  *ilock.Manager
+	coarse bool
+
+	accesses     int
+	coldAccesses int
+}
+
+// AccessStats reports how many procedure accesses the strategy served and
+// how many found the cache invalid — the measured counterpart of the
+// model's IP.
+func (s *CacheInvalidate) AccessStats() (accesses, cold int) {
+	return s.accesses, s.coldAccesses
+}
+
+// SetCoarseLocks switches invalidation to relation granularity: any update
+// to a relation a procedure read invalidates the procedure, without
+// checking intervals or keys. This is what a system without rule indexing
+// must do; it exists for the ablation experiment quantifying what i-lock
+// precision is worth.
+func (s *CacheInvalidate) SetCoarseLocks(on bool) { s.coarse = on }
+
+// NewCacheInvalidate builds the strategy with its own cache store and lock
+// table.
+func NewCacheInvalidate(mgr *Manager, meter *metric.Meter, store *cache.Store) *CacheInvalidate {
+	return &CacheInvalidate{
+		mgr:   mgr,
+		meter: meter,
+		store: store,
+		locks: ilock.NewManager(),
+	}
+}
+
+// Name implements Strategy.
+func (s *CacheInvalidate) Name() string { return "Cache and Invalidate" }
+
+// Prepare implements Strategy: define and warm every cache entry, setting
+// its i-locks. Run with charging disabled.
+func (s *CacheInvalidate) Prepare() {
+	for _, id := range s.mgr.IDs() {
+		s.Adopt(id)
+	}
+}
+
+// Adopt brings one procedure (defined after Prepare, e.g. interactively)
+// under the strategy: its cache entry is created, warmed and i-locked.
+// Adopting an already-adopted procedure is a no-op.
+func (s *CacheInvalidate) Adopt(id int) {
+	if s.store.Entry(cache.ID(id)) != nil {
+		return
+	}
+	d := s.mgr.MustGet(id)
+	s.store.Define(cache.ID(id), d.ResultWidth())
+	s.refresh(d)
+}
+
+// lockSink records what a plan execution reads as i-locks for one owner.
+type lockSink struct {
+	locks *ilock.Manager
+	owner ilock.Owner
+	// seenKeys dedupes key locks within one computation: probing the same
+	// hash key twice needs one lock.
+	seenKeys map[string]map[int64]struct{}
+}
+
+func (ls *lockSink) ReadRange(rel string, lo, hi int64) {
+	ls.locks.LockRange(rel, lo, hi, ls.owner)
+}
+
+func (ls *lockSink) ReadKey(rel string, key int64) {
+	if ls.seenKeys == nil {
+		ls.seenKeys = make(map[string]map[int64]struct{})
+	}
+	m := ls.seenKeys[rel]
+	if m == nil {
+		m = make(map[int64]struct{})
+		ls.seenKeys[rel] = m
+	}
+	if _, dup := m[key]; dup {
+		return
+	}
+	m[key] = struct{}{}
+	ls.locks.LockKey(rel, key, ls.owner)
+}
+
+// refresh recomputes d's value, refreshes the cache entry, and re-installs
+// i-locks on everything read.
+func (s *CacheInvalidate) refresh(d *Definition) {
+	owner := ilock.Owner(d.ID)
+	s.locks.Release(owner)
+	sink := &lockSink{locks: s.locks, owner: owner}
+	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: s.meter, Locks: sink})
+	s.store.MustEntry(cache.ID(d.ID)).Replace(keys, recs)
+}
+
+// Access implements Strategy: serve the cache when valid, otherwise
+// recompute and refresh.
+func (s *CacheInvalidate) Access(id int) [][]byte {
+	d := s.mgr.MustGet(id)
+	e := s.store.MustEntry(cache.ID(id))
+	s.accesses++
+	if !e.Valid() {
+		s.coldAccesses++
+		s.refresh(d)
+	}
+	var out [][]byte
+	e.ReadAll(func(_ uint64, rec []byte) bool {
+		out = append(out, append([]byte(nil), rec...))
+		return true
+	})
+	return out
+}
+
+// OnUpdate implements Strategy: find every procedure whose i-locks the
+// transaction's old or new tuple values conflict with and record one
+// invalidation per procedure per transaction.
+func (s *CacheInvalidate) OnUpdate(dl Delta) {
+	if s.coarse {
+		// Relation-granularity invalidation: every procedure read some
+		// relation this update touched (in this system all procedures
+		// read R1, and P2 procedures read R2/R3), so all are invalidated.
+		for _, id := range s.mgr.IDs() {
+			s.store.MustEntry(cache.ID(id)).Invalidate()
+		}
+		return
+	}
+	rel := dl.Rel.Schema().Name()
+	field := dl.Rel.KeyField()
+	sch := dl.Rel.Schema()
+	hit := make(map[ilock.Owner]struct{})
+	for _, tup := range dl.Deleted {
+		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
+	}
+	for _, tup := range dl.Inserted {
+		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
+	}
+	for owner := range hit {
+		s.store.MustEntry(cache.ID(owner)).Invalidate()
+	}
+}
+
+// Locks exposes the lock table (for tests and diagnostics).
+func (s *CacheInvalidate) Locks() *ilock.Manager { return s.locks }

@@ -1,0 +1,34 @@
+package proc
+
+import (
+	"dbproc/internal/metric"
+	"dbproc/internal/query"
+)
+
+// AlwaysRecompute executes the procedure's precompiled plan on every
+// access: the conventional algorithm (TOT_Recompute in the model). It
+// keeps no cached state, so updates cost it nothing.
+type AlwaysRecompute struct {
+	mgr   *Manager
+	meter *metric.Meter
+}
+
+// NewAlwaysRecompute builds the strategy over the given definitions.
+func NewAlwaysRecompute(mgr *Manager, meter *metric.Meter) *AlwaysRecompute {
+	return &AlwaysRecompute{mgr: mgr, meter: meter}
+}
+
+// Name implements Strategy.
+func (s *AlwaysRecompute) Name() string { return "Always Recompute" }
+
+// Prepare implements Strategy; there is nothing to set up.
+func (s *AlwaysRecompute) Prepare() {}
+
+// Access implements Strategy: run the plan, return its output.
+func (s *AlwaysRecompute) Access(id int) [][]byte {
+	d := s.mgr.MustGet(id)
+	return query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+}
+
+// OnUpdate implements Strategy; recomputation needs no update hook.
+func (s *AlwaysRecompute) OnUpdate(Delta) {}

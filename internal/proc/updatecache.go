@@ -1,0 +1,57 @@
+package proc
+
+import (
+	"dbproc/internal/cache"
+	"dbproc/internal/relation"
+)
+
+// Maintainer is a differential view-maintenance engine that keeps every
+// procedure's cached result current; avm.Engine satisfies it directly and
+// rete networks through rete-side adapters built by the simulator.
+type Maintainer interface {
+	// Name identifies the algorithm ("AVM" or "RVM").
+	Name() string
+	// Prepare performs the engine's one-time fill; run uncharged.
+	Prepare()
+	// Apply maintains all results after an update transaction on rel.
+	Apply(rel *relation.Relation, inserted, deleted [][]byte)
+}
+
+// UpdateCache answers procedure queries straight from the always-current
+// cache and forwards every update to its maintenance engine — the paper's
+// Update Cache strategy, in its AVM (non-shared) or RVM (shared) variant
+// depending on the engine supplied.
+type UpdateCache struct {
+	mgr   *Manager
+	store *cache.Store
+	maint Maintainer
+}
+
+// NewUpdateCache builds the strategy over a cache store whose entries the
+// engine maintains.
+func NewUpdateCache(mgr *Manager, store *cache.Store, maint Maintainer) *UpdateCache {
+	return &UpdateCache{mgr: mgr, store: store, maint: maint}
+}
+
+// Name implements Strategy.
+func (s *UpdateCache) Name() string { return "Update Cache (" + s.maint.Name() + ")" }
+
+// Prepare implements Strategy.
+func (s *UpdateCache) Prepare() { s.maint.Prepare() }
+
+// Access implements Strategy: one read of the (always valid) cached
+// result.
+func (s *UpdateCache) Access(id int) [][]byte {
+	e := s.store.MustEntry(cache.ID(id))
+	var out [][]byte
+	e.ReadAll(func(_ uint64, rec []byte) bool {
+		out = append(out, append([]byte(nil), rec...))
+		return true
+	})
+	return out
+}
+
+// OnUpdate implements Strategy.
+func (s *UpdateCache) OnUpdate(d Delta) {
+	s.maint.Apply(d.Rel, d.Inserted, d.Deleted)
+}

@@ -1,0 +1,114 @@
+package quel
+
+import "dbproc/internal/query"
+
+// Statement is one parsed QUEL statement.
+type Statement interface{ statement() }
+
+// CreateStmt defines a relation.
+type CreateStmt struct {
+	Name   string
+	Fields []string
+	// Org is "cluster" (B-tree clustered on Key, with an implicit unique
+	// tuple-id tiebreaker field "tid", which must be among Fields) or
+	// "hash" (static hashing on Key).
+	Org     string
+	Key     string
+	Buckets int // hash only; 0 picks a default
+	Width   int // bytes per tuple; 0 picks the session default
+}
+
+func (*CreateStmt) statement() {}
+
+// Assign is one field = value pair.
+type Assign struct {
+	Field string
+	Value int64
+}
+
+// AppendStmt inserts one tuple.
+type AppendStmt struct {
+	Rel    string
+	Values []Assign
+}
+
+func (*AppendStmt) statement() {}
+
+// Target is one retrieve target: rel.attr, rel.all (All = true), or an
+// aggregate fn(rel.attr) (Agg set). Plain targets alongside aggregates
+// become grouping attributes.
+type Target struct {
+	Rel  string
+	Attr string
+	All  bool
+	Agg  query.AggFn
+}
+
+// Operand is one side of a qualification: a constant or rel.attr.
+type Operand struct {
+	Const bool
+	Value int64
+	Rel   string
+	Attr  string
+}
+
+// Qual is one conjunct of the where clause.
+type Qual struct {
+	Left  Operand
+	Op    query.Op
+	Right Operand
+}
+
+// RetrieveStmt is a query.
+type RetrieveStmt struct {
+	Targets []Target
+	Quals   []Qual
+	// SortBy orders the output by these attributes (ascending); each must
+	// also appear in Targets (or belong to a rel.all target).
+	SortBy []Target
+}
+
+func (*RetrieveStmt) statement() {}
+
+// DeleteStmt removes the tuples of one relation matching the quals.
+type DeleteStmt struct {
+	Rel   string
+	Quals []Qual
+}
+
+func (*DeleteStmt) statement() {}
+
+// ReplaceStmt modifies matching tuples in place (QUEL's replace): each
+// matched tuple gets the assignments applied — a delete of the old value
+// followed by an insert of the new one, as the maintenance layer sees it.
+type ReplaceStmt struct {
+	Rel    string
+	Values []Assign
+	Quals  []Qual
+}
+
+func (*ReplaceStmt) statement() {}
+
+// DefineProcStmt stores one or more retrieves as a database procedure —
+// the paper's "collection of query language statements stored in a field
+// of a record". A single-query procedure omits the braces.
+type DefineProcStmt struct {
+	Name    string
+	Queries []*RetrieveStmt
+}
+
+func (*DefineProcStmt) statement() {}
+
+// ExecuteStmt processes a query against a stored procedure.
+type ExecuteStmt struct{ Name string }
+
+func (*ExecuteStmt) statement() {}
+
+// ExplainStmt prints the compiled plan of a retrieve or of a stored
+// procedure (exactly one of Query and Proc is set).
+type ExplainStmt struct {
+	Query *RetrieveStmt
+	Proc  string
+}
+
+func (*ExplainStmt) statement() {}

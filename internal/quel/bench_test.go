@@ -1,0 +1,84 @@
+package quel
+
+import (
+	"fmt"
+	"testing"
+
+	"dbproc/internal/metric"
+)
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open(4000, 100, metric.DefaultCosts())
+	stmts := []string{
+		"create emp (tid, age, dept, salary) cluster on age",
+		"create dept (dname, floor) hash on dname buckets 8",
+	}
+	for _, s := range stmts {
+		if _, err := db.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		stmt := fmt.Sprintf("append to emp (tid = %d, age = %d, dept = %d, salary = %d)",
+			i, i%80, i%10, 30000+i)
+		if _, err := db.Run(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for d := 0; d < 10; d++ {
+		if _, err := db.Run(fmt.Sprintf("append to dept (dname = %d, floor = %d)", d, d%3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkParse(b *testing.B) {
+	const stmt = "retrieve (emp.tid, dept.floor, count(emp.salary)) where emp.age >= 30 and emp.age < 40 and emp.dept = dept.dname"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanJoin(b *testing.B) {
+	db := benchDB(b)
+	stmt, err := Parse("retrieve (emp.tid) where emp.age >= 30 and emp.age < 40 and emp.dept = dept.dname and dept.floor = 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stmt.(*RetrieveStmt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.compile(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveJoin(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Run("retrieve (emp.tid, dept.floor) where emp.age >= 30 and emp.age < 40 and emp.dept = dept.dname and dept.floor = 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteCachedProcedure(b *testing.B) {
+	db := benchDB(b)
+	if _, err := db.Run("define procedure p as retrieve (emp.all) where emp.age >= 30 and emp.age < 40"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Run("execute p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

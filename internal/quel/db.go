@@ -1,0 +1,412 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/metric"
+	"dbproc/internal/proc"
+	"dbproc/internal/query"
+	"dbproc/internal/relation"
+	"dbproc/internal/storage"
+	"dbproc/internal/tuple"
+)
+
+// DB is an interactive database session: a catalog, a metered pager, and a
+// procedure manager running stored procedures under Cache and Invalidate
+// (with Always Recompute available through plain retrieves).
+type DB struct {
+	cat   *relation.Catalog
+	pager *storage.Pager
+	meter *metric.Meter
+	width int
+
+	procs    *proc.Manager
+	strategy *proc.CacheInvalidate
+	store    *cache.Store
+	procIDs  map[string][]int // procedure name -> leaf query ids
+	nextID   int
+	nextSeq  uint64
+}
+
+// Open creates an empty session. pageSize and width follow the paper's
+// defaults when 0 (4000-byte pages, 100-byte tuples); costs price the
+// meter (metric.DefaultCosts for the paper's constants).
+func Open(pageSize, width int, costs metric.Costs) *DB {
+	if pageSize == 0 {
+		pageSize = 4000
+	}
+	if width == 0 {
+		width = 100
+	}
+	meter := metric.NewMeter(costs)
+	pager := storage.NewPager(storage.NewDisk(pageSize), meter)
+	db := &DB{
+		cat:     relation.NewCatalog(),
+		pager:   pager,
+		meter:   meter,
+		width:   width,
+		procs:   proc.NewManager(),
+		store:   cache.NewStore(pager, meter),
+		procIDs: make(map[string][]int),
+	}
+	db.strategy = proc.NewCacheInvalidate(db.procs, meter, db.store)
+	return db
+}
+
+// Meter exposes the session's cost meter.
+func (db *DB) Meter() *metric.Meter { return db.meter }
+
+// Catalog exposes the session's catalog.
+func (db *DB) Catalog() *relation.Catalog { return db.cat }
+
+// Section is one result set of a multi-query procedure.
+type Section struct {
+	Columns []string
+	Rows    [][]int64
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Message summarizes non-row results ("created emp", "appended", ...).
+	Message string
+	// Columns and Rows carry retrieve/execute output.
+	Columns []string
+	Rows    [][]int64
+	// Sections carries the further result sets of a multi-query procedure
+	// (the first set is in Columns/Rows).
+	Sections []Section
+	// CostMs is the simulated cost charged by the statement.
+	CostMs float64
+}
+
+// Run parses and executes one statement. Engine-level panics (bad widths,
+// capacity violations) are converted to errors so an interactive session
+// survives bad input.
+func (db *DB) Run(input string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("quel: %v", r)
+		}
+	}()
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	db.pager.BeginOp()
+	before := db.meter.Snapshot()
+	res, err = db.exec(stmt)
+	db.pager.Flush()
+	if err != nil {
+		return nil, err
+	}
+	res.CostMs = db.meter.Since(before).Milliseconds(db.meter.Costs())
+	return res, nil
+}
+
+func (db *DB) exec(stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *CreateStmt:
+		return db.create(s)
+	case *AppendStmt:
+		return db.append_(s)
+	case *RetrieveStmt:
+		return db.retrieve(s)
+	case *DeleteStmt:
+		return db.delete_(s)
+	case *ReplaceStmt:
+		return db.replace(s)
+	case *DefineProcStmt:
+		return db.defineProc(s)
+	case *ExecuteStmt:
+		return db.execute(s)
+	case *ExplainStmt:
+		return db.explain(s)
+	default:
+		return nil, fmt.Errorf("quel: unhandled statement %T", stmt)
+	}
+}
+
+func (db *DB) create(s *CreateStmt) (*Result, error) {
+	if db.cat.Lookup(s.Name) != nil {
+		return nil, fmt.Errorf("quel: relation %q already exists", s.Name)
+	}
+	width := s.Width
+	if width == 0 {
+		width = db.width
+	}
+	fields := make([]tuple.Field, len(s.Fields))
+	for i, f := range s.Fields {
+		fields[i] = tuple.Field{Name: f}
+	}
+	sch := tuple.NewSchema(s.Name, width, fields...)
+	var rel *relation.Relation
+	switch s.Org {
+	case "cluster":
+		if sch.FieldIndex("tid") < 0 {
+			return nil, fmt.Errorf("quel: clustered relations need a unique 'tid' field (the clustering tiebreaker)")
+		}
+		rel = relation.NewBTree(db.pager, sch, s.Key, "tid", 20)
+	case "hash":
+		buckets := s.Buckets
+		if buckets == 0 {
+			buckets = 16
+		}
+		rel = relation.NewHash(db.pager, sch, s.Key, buckets)
+	default:
+		return nil, fmt.Errorf("quel: unknown organization %q", s.Org)
+	}
+	db.cat.Define(rel)
+	return &Result{Message: fmt.Sprintf("created %s (%s on %s, width %d)", s.Name, s.Org, s.Key, width)}, nil
+}
+
+func (db *DB) append_(s *AppendStmt) (*Result, error) {
+	rel := db.cat.Lookup(s.Rel)
+	if rel == nil {
+		return nil, fmt.Errorf("quel: unknown relation %q", s.Rel)
+	}
+	sch := rel.Schema()
+	tup := sch.New()
+	for _, a := range s.Values {
+		if sch.FieldIndex(a.Field) < 0 {
+			return nil, fmt.Errorf("quel: relation %q has no attribute %q", s.Rel, a.Field)
+		}
+		sch.SetByName(tup, a.Field, a.Value)
+	}
+	rel.Insert(tup)
+	// Tell the stored-procedure layer, so conflicting cached results are
+	// invalidated.
+	db.strategy.OnUpdate(proc.Delta{Rel: rel, Inserted: [][]byte{tup}})
+	return &Result{Message: "appended 1 tuple to " + s.Rel}, nil
+}
+
+func (db *DB) compile(r *RetrieveStmt) (query.Plan, error) {
+	pl := &planner{cat: db.cat, width: db.width}
+	return pl.plan(r)
+}
+
+func (db *DB) collect(plan query.Plan) *Result {
+	sch := plan.Schema()
+	res := &Result{}
+	for i := 0; i < sch.NumFields(); i++ {
+		res.Columns = append(res.Columns, sch.FieldName(i))
+	}
+	plan.Execute(&query.Ctx{Meter: db.meter}, func(tup []byte) bool {
+		row := make([]int64, sch.NumFields())
+		for i := range row {
+			row[i] = sch.Get(tup, i)
+		}
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	res.Message = fmt.Sprintf("%d tuple(s)", len(res.Rows))
+	return res
+}
+
+func (db *DB) retrieve(s *RetrieveStmt) (*Result, error) {
+	plan, err := db.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return db.collect(plan), nil
+}
+
+// matchTuples evaluates single-relation quals and returns the matching
+// base tuples, reconstructed in schema field order.
+func (db *DB) matchTuples(relName string, quals []Qual) (*relation.Relation, [][]byte, error) {
+	rel := db.cat.Lookup(relName)
+	if rel == nil {
+		return nil, nil, fmt.Errorf("quel: unknown relation %q", relName)
+	}
+	for _, q := range quals {
+		if (!q.Left.Const && q.Left.Rel != relName) || (!q.Right.Const && q.Right.Rel != relName) {
+			return nil, nil, fmt.Errorf("quel: delete/replace quals may only reference %q", relName)
+		}
+	}
+	plan, err := db.compile(&RetrieveStmt{
+		Targets: []Target{{Rel: relName, All: true}},
+		Quals:   quals,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := rel.Schema()
+	var tuples [][]byte
+	plan.Execute(&query.Ctx{Meter: db.meter}, func(row []byte) bool {
+		// The rel.all projection preserves field order, so rebuild the
+		// base tuple field by field.
+		tup := sch.New()
+		ps := plan.Schema()
+		for i := 0; i < sch.NumFields(); i++ {
+			sch.Set(tup, i, ps.Get(row, i))
+		}
+		tuples = append(tuples, tup)
+		return true
+	})
+	return rel, tuples, nil
+}
+
+func (db *DB) removeBase(rel *relation.Relation, tup []byte) {
+	if rel.Tree() != nil {
+		rel.DeleteKeyed(rel.Key(tup))
+		return
+	}
+	rel.Hash().DeleteExact(tup)
+}
+
+func (db *DB) delete_(s *DeleteStmt) (*Result, error) {
+	rel, tuples, err := db.matchTuples(s.Rel, s.Quals)
+	if err != nil {
+		return nil, err
+	}
+	for _, tup := range tuples {
+		db.removeBase(rel, tup)
+	}
+	if len(tuples) > 0 {
+		db.strategy.OnUpdate(proc.Delta{Rel: rel, Deleted: tuples})
+	}
+	return &Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", len(tuples), s.Rel)}, nil
+}
+
+func (db *DB) replace(s *ReplaceStmt) (*Result, error) {
+	rel, tuples, err := db.matchTuples(s.Rel, s.Quals)
+	if err != nil {
+		return nil, err
+	}
+	sch := rel.Schema()
+	for _, a := range s.Values {
+		if sch.FieldIndex(a.Field) < 0 {
+			return nil, fmt.Errorf("quel: relation %q has no attribute %q", s.Rel, a.Field)
+		}
+	}
+	var inserted [][]byte
+	for _, old := range tuples {
+		newTup := append([]byte(nil), old...)
+		for _, a := range s.Values {
+			sch.SetByName(newTup, a.Field, a.Value)
+		}
+		db.removeBase(rel, old)
+		rel.Insert(newTup)
+		inserted = append(inserted, newTup)
+	}
+	if len(tuples) > 0 {
+		db.strategy.OnUpdate(proc.Delta{Rel: rel, Deleted: tuples, Inserted: inserted})
+	}
+	return &Result{Message: fmt.Sprintf("replaced %d tuple(s) in %s", len(tuples), s.Rel)}, nil
+}
+
+func (db *DB) defineProc(s *DefineProcStmt) (*Result, error) {
+	if _, dup := db.procIDs[s.Name]; dup {
+		return nil, fmt.Errorf("quel: procedure %q already defined", s.Name)
+	}
+	// Compile every query before defining anything, so a failed part
+	// leaves no partial procedure behind.
+	plans := make([]query.Plan, len(s.Queries))
+	for i, q := range s.Queries {
+		p, err := db.compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d of %s: %w", i+1, s.Name, err)
+		}
+		plans[i] = p
+	}
+	var ids []int
+	for i, plan := range plans {
+		id := db.nextID
+		db.nextID++
+		// Sequence-valued result keys: unique and ascending in plan
+		// output order, all Cache and Invalidate needs.
+		def := proc.NewDefinitionWithKey(id, fmt.Sprintf("%s#%d", s.Name, i+1), plan,
+			func([]byte) uint64 {
+				db.nextSeq++
+				return db.nextSeq
+			})
+		db.procs.Define(def)
+		ids = append(ids, id)
+	}
+	// Warming the caches is setup, not workload: mute both the pager's
+	// I/O charging and the meter's CPU events.
+	prevCharge := db.pager.SetCharging(false)
+	prevMute := db.meter.SetMuted(true)
+	for _, id := range ids {
+		db.strategy.Adopt(id)
+	}
+	db.pager.BeginOp()
+	db.meter.SetMuted(prevMute)
+	db.pager.SetCharging(prevCharge)
+	db.procIDs[s.Name] = ids
+	plural := ""
+	if len(ids) > 1 {
+		plural = fmt.Sprintf(", %d queries", len(ids))
+	}
+	return &Result{Message: fmt.Sprintf("defined procedure %s (cached, i-locks set%s)", s.Name, plural)}, nil
+}
+
+// accessPart runs one leaf query of a procedure and renders its rows.
+func (db *DB) accessPart(id int) (Section, bool) {
+	def := db.procs.MustGet(id)
+	sch := def.Plan.Schema()
+	var sec Section
+	for i := 0; i < sch.NumFields(); i++ {
+		sec.Columns = append(sec.Columns, sch.FieldName(i))
+	}
+	valid := db.store.MustEntry(cache.ID(id)).Valid()
+	for _, tup := range db.strategy.Access(id) {
+		row := make([]int64, sch.NumFields())
+		for i := range row {
+			row[i] = sch.Get(tup, i)
+		}
+		sec.Rows = append(sec.Rows, row)
+	}
+	return sec, valid
+}
+
+func (db *DB) execute(s *ExecuteStmt) (*Result, error) {
+	ids, ok := db.procIDs[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("quel: unknown procedure %q", s.Name)
+	}
+	res := &Result{}
+	total := 0
+	allValid := true
+	for i, id := range ids {
+		sec, valid := db.accessPart(id)
+		allValid = allValid && valid
+		total += len(sec.Rows)
+		if i == 0 {
+			res.Columns, res.Rows = sec.Columns, sec.Rows
+		} else {
+			res.Sections = append(res.Sections, sec)
+		}
+	}
+	how := "from cache"
+	if !allValid {
+		how = "recomputed and cached"
+	}
+	res.Message = fmt.Sprintf("%d tuple(s) (%s)", total, how)
+	return res, nil
+}
+
+func (db *DB) explain(s *ExplainStmt) (*Result, error) {
+	var plans []query.Plan
+	if s.Query != nil {
+		plan, err := db.compile(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		plans = []query.Plan{plan}
+	} else {
+		ids, ok := db.procIDs[s.Proc]
+		if !ok {
+			return nil, fmt.Errorf("quel: unknown procedure %q", s.Proc)
+		}
+		for _, id := range ids {
+			plans = append(plans, db.procs.MustGet(id).Plan)
+		}
+	}
+	var out []string
+	for _, plan := range plans {
+		out = append(out, strings.TrimRight(query.Explain(plan), "\n"))
+	}
+	return &Result{Message: strings.Join(out, "\n")}, nil
+}

@@ -1,0 +1,439 @@
+package quel
+
+import (
+	"fmt"
+
+	"dbproc/internal/query"
+)
+
+// Parse turns one statement's text into its AST.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text, what string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %s, found %q", what, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("quel: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t, err := p.expect(tokIdent, "", what)
+	return t.text, err
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.eat(tokIdent, "create"):
+		return p.create()
+	case p.eat(tokIdent, "append"):
+		return p.append_()
+	case p.at(tokIdent, "retrieve"):
+		return p.retrieve()
+	case p.eat(tokIdent, "delete"):
+		return p.delete_()
+	case p.eat(tokIdent, "replace"):
+		return p.replace()
+	case p.eat(tokIdent, "define"):
+		return p.defineProc()
+	case p.eat(tokIdent, "execute"):
+		name, err := p.ident("procedure name")
+		if err != nil {
+			return nil, err
+		}
+		return &ExecuteStmt{Name: name}, nil
+	case p.eat(tokIdent, "explain"):
+		if p.at(tokIdent, "retrieve") {
+			q, err := p.retrieve()
+			if err != nil {
+				return nil, err
+			}
+			return &ExplainStmt{Query: q.(*RetrieveStmt)}, nil
+		}
+		name, err := p.ident("procedure name or retrieve")
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Proc: name}, nil
+	default:
+		return nil, p.errf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) create() (Statement, error) {
+	name, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "(", "'('"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateStmt{Name: name}
+	for {
+		f, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Fields = append(stmt.Fields, f)
+		if p.eat(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.eat(tokIdent, "cluster"):
+		stmt.Org = "cluster"
+	case p.eat(tokIdent, "hash"):
+		stmt.Org = "hash"
+	default:
+		return nil, p.errf("expected 'cluster on <field>' or 'hash on <field>'")
+	}
+	if _, err := p.expect(tokIdent, "on", "'on'"); err != nil {
+		return nil, err
+	}
+	if stmt.Key, err = p.ident("key field"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eat(tokIdent, "buckets"):
+			t, err := p.expect(tokNumber, "", "bucket count")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Buckets = int(t.num)
+		case p.eat(tokIdent, "width"):
+			t, err := p.expect(tokNumber, "", "tuple width")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Width = int(t.num)
+		default:
+			return stmt, nil
+		}
+	}
+}
+
+func (p *parser) append_() (Statement, error) {
+	if _, err := p.expect(tokIdent, "to", "'to'"); err != nil {
+		return nil, err
+	}
+	rel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "(", "'('"); err != nil {
+		return nil, err
+	}
+	stmt := &AppendStmt{Rel: rel}
+	for {
+		f, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "=", "'='"); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokNumber, "", "value")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Values = append(stmt.Values, Assign{Field: f, Value: v.num})
+		if p.eat(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) retrieve() (Statement, error) {
+	if _, err := p.expect(tokIdent, "retrieve", "'retrieve'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "(", "'('"); err != nil {
+		return nil, err
+	}
+	stmt := &RetrieveStmt{}
+	for {
+		tgt, err := p.target()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Targets = append(stmt.Targets, tgt)
+		if p.eat(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+		return nil, err
+	}
+	if p.eat(tokIdent, "where") {
+		for {
+			q, err := p.qual()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Quals = append(stmt.Quals, q)
+			if p.eat(tokIdent, "and") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eat(tokIdent, "sort") {
+		if _, err := p.expect(tokIdent, "by", "'by'"); err != nil {
+			return nil, err
+		}
+		for {
+			rel, err := p.ident("relation name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+				return nil, err
+			}
+			attr, err := p.ident("attribute")
+			if err != nil {
+				return nil, err
+			}
+			stmt.SortBy = append(stmt.SortBy, Target{Rel: rel, Attr: attr})
+			if p.eat(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	return stmt, nil
+}
+
+var aggFns = map[string]query.AggFn{
+	"count": query.AggCount, "sum": query.AggSum,
+	"min": query.AggMin, "max": query.AggMax, "avg": query.AggAvg,
+}
+
+// target parses rel.attr, rel.all, or fn(rel.attr).
+func (p *parser) target() (Target, error) {
+	name, err := p.ident("target")
+	if err != nil {
+		return Target{}, err
+	}
+	if fn, isAgg := aggFns[name]; isAgg && p.eat(tokSymbol, "(") {
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return Target{}, err
+		}
+		if _, err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+			return Target{}, err
+		}
+		attr, err := p.ident("attribute")
+		if err != nil {
+			return Target{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return Target{}, err
+		}
+		return Target{Rel: rel, Attr: attr, Agg: fn}, nil
+	}
+	if _, err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+		return Target{}, err
+	}
+	attr, err := p.ident("attribute or 'all'")
+	if err != nil {
+		return Target{}, err
+	}
+	return Target{Rel: name, Attr: attr, All: attr == "all"}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	if p.at(tokNumber, "") {
+		t := p.next()
+		return Operand{Const: true, Value: t.num}, nil
+	}
+	rel, err := p.ident("relation.attribute or constant")
+	if err != nil {
+		return Operand{}, err
+	}
+	if _, err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+		return Operand{}, err
+	}
+	attr, err := p.ident("attribute")
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Rel: rel, Attr: attr}, nil
+}
+
+var opFor = map[string]query.Op{
+	"=": query.Eq, "!=": query.Ne,
+	"<": query.Lt, "<=": query.Le,
+	">": query.Gt, ">=": query.Ge,
+}
+
+func (p *parser) qual() (Qual, error) {
+	left, err := p.operand()
+	if err != nil {
+		return Qual{}, err
+	}
+	t := p.cur()
+	op, ok := opFor[t.text]
+	if t.kind != tokSymbol || !ok {
+		return Qual{}, p.errf("expected a comparison operator, found %q", t.text)
+	}
+	p.next()
+	right, err := p.operand()
+	if err != nil {
+		return Qual{}, err
+	}
+	if left.Const && right.Const {
+		return Qual{}, p.errf("qualification compares two constants")
+	}
+	return Qual{Left: left, Op: op, Right: right}, nil
+}
+
+// quals parses an optional "where q and q and ..." suffix.
+func (p *parser) whereQuals() ([]Qual, error) {
+	if !p.eat(tokIdent, "where") {
+		return nil, nil
+	}
+	var out []Qual
+	for {
+		q, err := p.qual()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+		if !p.eat(tokIdent, "and") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) delete_() (Statement, error) {
+	if _, err := p.expect(tokIdent, "from", "'from'"); err != nil {
+		return nil, err
+	}
+	rel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	quals, err := p.whereQuals()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Rel: rel, Quals: quals}, nil
+}
+
+func (p *parser) replace() (Statement, error) {
+	rel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "(", "'('"); err != nil {
+		return nil, err
+	}
+	stmt := &ReplaceStmt{Rel: rel}
+	for {
+		f, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "=", "'='"); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokNumber, "", "value")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Values = append(stmt.Values, Assign{Field: f, Value: v.num})
+		if p.eat(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")", "')'"); err != nil {
+		return nil, err
+	}
+	if stmt.Quals, err = p.whereQuals(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) defineProc() (Statement, error) {
+	if _, err := p.expect(tokIdent, "procedure", "'procedure'"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("procedure name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "as", "'as'"); err != nil {
+		return nil, err
+	}
+	stmt := &DefineProcStmt{Name: name}
+	if p.eat(tokSymbol, "{") {
+		for !p.eat(tokSymbol, "}") {
+			q, err := p.retrieve()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Queries = append(stmt.Queries, q.(*RetrieveStmt))
+		}
+		if len(stmt.Queries) == 0 {
+			return nil, p.errf("procedure body is empty")
+		}
+		return stmt, nil
+	}
+	q, err := p.retrieve()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Queries = []*RetrieveStmt{q.(*RetrieveStmt)}
+	return stmt, nil
+}

@@ -1,0 +1,327 @@
+package quel
+
+import (
+	"fmt"
+	"math"
+
+	"dbproc/internal/query"
+	"dbproc/internal/relation"
+	"dbproc/internal/tuple"
+)
+
+// planner compiles a RetrieveStmt onto the query package's plan nodes,
+// following the paper's fixed execution shapes: a B-tree range scan on the
+// best-restricted clustered relation drives; further relations are joined
+// through their hash indexes; leftover qualifications become a filter; the
+// target list becomes a projection. Plans are compiled once (at statement
+// or procedure-definition time), the "statically optimized" regime.
+type planner struct {
+	cat   *relation.Catalog
+	width int
+}
+
+// field names in join outputs: the driver's attributes keep their names;
+// each joined relation's attributes carry "<rel>_".
+func outField(driver, rel, attr string) string {
+	if rel == driver {
+		return attr
+	}
+	return rel + "_" + attr
+}
+
+// flip mirrors an operator when its operands are swapped.
+func flip(op query.Op) query.Op {
+	switch op {
+	case query.Lt:
+		return query.Gt
+	case query.Le:
+		return query.Ge
+	case query.Gt:
+		return query.Lt
+	case query.Ge:
+		return query.Le
+	default:
+		return op
+	}
+}
+
+// maxKeyValue bounds clustering attribute values (tuple.ClusterKey packs
+// them into 32 bits).
+const maxKeyValue = int64(math.MaxUint32)
+
+func (pl *planner) plan(r *RetrieveStmt) (query.Plan, error) {
+	if len(r.Targets) == 0 {
+		return nil, fmt.Errorf("quel: no targets")
+	}
+
+	// Resolve the referenced relations (in first-mention order) and check
+	// every attribute.
+	var relOrder []string
+	rels := map[string]*relation.Relation{}
+	mention := func(name string) error {
+		if _, ok := rels[name]; ok {
+			return nil
+		}
+		rel := pl.cat.Lookup(name)
+		if rel == nil {
+			return fmt.Errorf("quel: unknown relation %q", name)
+		}
+		rels[name] = rel
+		relOrder = append(relOrder, name)
+		return nil
+	}
+	checkAttr := func(rel, attr string) error {
+		if err := mention(rel); err != nil {
+			return err
+		}
+		if rels[rel].Schema().FieldIndex(attr) < 0 {
+			return fmt.Errorf("quel: relation %q has no attribute %q", rel, attr)
+		}
+		return nil
+	}
+	hasAgg := false
+	for _, tgt := range r.Targets {
+		if tgt.Agg != "" {
+			hasAgg = true
+		}
+		if tgt.All {
+			if err := mention(tgt.Rel); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := checkAttr(tgt.Rel, tgt.Attr); err != nil {
+			return nil, err
+		}
+	}
+	// Normalize quals: constants to the right.
+	quals := make([]Qual, len(r.Quals))
+	for i, q := range r.Quals {
+		if q.Left.Const {
+			q.Left, q.Op, q.Right = q.Right, flip(q.Op), q.Left
+		}
+		if err := checkAttr(q.Left.Rel, q.Left.Attr); err != nil {
+			return nil, err
+		}
+		if !q.Right.Const {
+			if err := checkAttr(q.Right.Rel, q.Right.Attr); err != nil {
+				return nil, err
+			}
+		}
+		quals[i] = q
+	}
+
+	// Pick the driver: the clustered relation with a constant restriction
+	// on its clustering attribute, else any clustered relation, else (for
+	// single-relation queries) a hash scan.
+	driver := ""
+	for _, name := range relOrder {
+		rel := rels[name]
+		if rel.Tree() == nil {
+			continue
+		}
+		clusterAttr := rel.Schema().FieldName(rel.ClusterField())
+		restricted := false
+		for _, q := range quals {
+			if q.Right.Const && q.Left.Rel == name && q.Left.Attr == clusterAttr && q.Op != query.Ne {
+				restricted = true
+				break
+			}
+		}
+		if restricted {
+			driver = name
+			break
+		}
+		if driver == "" {
+			driver = name
+		}
+	}
+
+	var plan query.Plan
+	consumed := make([]bool, len(quals))
+	switch {
+	case driver != "":
+		rel := rels[driver]
+		clusterAttr := rel.Schema().FieldName(rel.ClusterField())
+		lo, hi := int64(0), maxKeyValue
+		for i, q := range quals {
+			if !q.Right.Const || q.Left.Rel != driver || q.Left.Attr != clusterAttr {
+				continue
+			}
+			v := q.Right.Value
+			switch q.Op {
+			case query.Eq:
+				lo, hi = max64(lo, v), min64(hi, v)
+			case query.Le:
+				hi = min64(hi, v)
+			case query.Lt:
+				hi = min64(hi, v-1)
+			case query.Ge:
+				lo = max64(lo, v)
+			case query.Gt:
+				lo = max64(lo, v+1)
+			default:
+				continue // != stays a filter
+			}
+			consumed[i] = true
+		}
+		plan = query.NewBTreeRangeScan(rel, lo, hi)
+	case len(relOrder) == 1:
+		plan = query.NewHashScan(rels[relOrder[0]])
+		driver = relOrder[0]
+	default:
+		return nil, fmt.Errorf("quel: joins need at least one clustered relation to drive the scan")
+	}
+
+	// Join in the remaining relations through their hash indexes.
+	joined := map[string]bool{driver: true}
+	for len(joined) < len(relOrder) {
+		progressed := false
+		for i, q := range quals {
+			if consumed[i] || q.Right.Const || q.Op != query.Eq {
+				continue
+			}
+			l, r := q.Left, q.Right
+			if joined[r.Rel] && !joined[l.Rel] {
+				l, r = r, l
+			}
+			if !joined[l.Rel] || joined[r.Rel] {
+				continue
+			}
+			target := rels[r.Rel]
+			if target.Hash() == nil {
+				return nil, fmt.Errorf("quel: cannot join %s: not hash-organized", r.Rel)
+			}
+			hashAttr := target.Schema().FieldName(target.HashField())
+			if r.Attr != hashAttr {
+				return nil, fmt.Errorf("quel: join on %s.%s needs the hash attribute %s.%s",
+					r.Rel, r.Attr, r.Rel, hashAttr)
+			}
+			width := pl.joinWidth(plan.Schema().NumFields() + target.Schema().NumFields())
+			plan = query.NewHashJoinProbe(plan, target, outField(driver, l.Rel, l.Attr), width)
+			joined[r.Rel] = true
+			consumed[i] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("quel: no usable join path (joins must equate an attribute of an already-joined relation with another relation's hash attribute)")
+		}
+	}
+
+	// Leftover qualifications become one filter.
+	var preds query.And
+	for i, q := range quals {
+		if consumed[i] {
+			continue
+		}
+		lf := outField(driver, q.Left.Rel, q.Left.Attr)
+		if q.Right.Const {
+			preds = append(preds, query.Compare{Field: lf, Op: q.Op, Value: q.Right.Value})
+			continue
+		}
+		rf := outField(driver, q.Right.Rel, q.Right.Attr)
+		preds = append(preds, attrCompare{Left: lf, Op: q.Op, Right: rf})
+	}
+	if len(preds) > 0 {
+		plan = &query.Filter{Child: plan, Pred: preds}
+	}
+
+	var final query.Plan
+	if hasAgg {
+		// Plain targets become grouping attributes; aggregates compute per
+		// group (one row total if there are none).
+		var groupBy, fields, names []string
+		var aggs []query.AggSpec
+		for _, tgt := range r.Targets {
+			if tgt.All {
+				return nil, fmt.Errorf("quel: rel.all cannot be mixed with aggregates")
+			}
+			if tgt.Agg == "" {
+				f := outField(driver, tgt.Rel, tgt.Attr)
+				groupBy = append(groupBy, f)
+				fields = append(fields, f)
+				names = append(names, tgt.Rel+"_"+tgt.Attr)
+				continue
+			}
+			name := string(tgt.Agg) + "_" + tgt.Rel + "_" + tgt.Attr
+			aggs = append(aggs, query.AggSpec{
+				Fn:    tgt.Agg,
+				Field: outField(driver, tgt.Rel, tgt.Attr),
+				Name:  name,
+			})
+			fields = append(fields, name)
+			names = append(names, name)
+		}
+		final = query.NewProject(query.NewAggregate(plan, groupBy, aggs), fields, names)
+	} else {
+		// Projection from the target list.
+		var fields, names []string
+		for _, tgt := range r.Targets {
+			if tgt.All {
+				sch := rels[tgt.Rel].Schema()
+				for i := 0; i < sch.NumFields(); i++ {
+					fields = append(fields, outField(driver, tgt.Rel, sch.FieldName(i)))
+					names = append(names, tgt.Rel+"_"+sch.FieldName(i))
+				}
+				continue
+			}
+			fields = append(fields, outField(driver, tgt.Rel, tgt.Attr))
+			names = append(names, tgt.Rel+"_"+tgt.Attr)
+		}
+		final = query.NewProject(plan, fields, names)
+	}
+
+	if len(r.SortBy) > 0 {
+		var sortFields []string
+		for _, tgt := range r.SortBy {
+			name := tgt.Rel + "_" + tgt.Attr
+			if final.Schema().FieldIndex(name) < 0 {
+				return nil, fmt.Errorf("quel: sort attribute %s.%s is not among the targets", tgt.Rel, tgt.Attr)
+			}
+			sortFields = append(sortFields, name)
+		}
+		final = query.NewSort(final, sortFields)
+	}
+	return final, nil
+}
+
+// joinWidth sizes join output tuples: the session default, grown when a
+// wide join needs more room for its attributes.
+func (pl *planner) joinWidth(nFields int) int {
+	if need := 8 * nFields; need > pl.width {
+		return need
+	}
+	return pl.width
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// attrCompare is the attribute-op-attribute predicate of QUEL quals (the
+// query package's Compare handles attribute-op-constant).
+type attrCompare struct {
+	Left  string
+	Op    query.Op
+	Right string
+}
+
+// Eval implements query.Predicate.
+func (c attrCompare) Eval(s *tuple.Schema, tup []byte) bool {
+	return c.Op.Eval(s.GetByName(tup, c.Left), s.GetByName(tup, c.Right))
+}
+
+// String implements query.Predicate.
+func (c attrCompare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}

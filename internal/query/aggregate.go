@@ -1,0 +1,207 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbproc/internal/tuple"
+)
+
+// AggFn is an aggregate function over int64 attribute values.
+type AggFn string
+
+// Supported aggregate functions. Avg truncates toward zero (the engine is
+// integer-valued, like QUEL's aggregates over int domains).
+const (
+	AggCount AggFn = "count"
+	AggSum   AggFn = "sum"
+	AggMin   AggFn = "min"
+	AggMax   AggFn = "max"
+	AggAvg   AggFn = "avg"
+)
+
+// AggSpec is one aggregate target.
+type AggSpec struct {
+	Fn    AggFn
+	Field string // child field aggregated; ignored for count
+	Name  string // output field name
+}
+
+// Aggregate groups its input by the GroupBy fields and computes the
+// aggregates per group (hash aggregation; groups are emitted in ascending
+// group-key order for determinism). With no GroupBy fields it emits one
+// row for the whole input — also when the input is empty (count = 0,
+// sum = 0, min/max = 0), matching QUEL's scalar aggregates.
+//
+// Aggregation state is query-processing machinery: it charges nothing
+// beyond what the child charges.
+type Aggregate struct {
+	Child   Plan
+	GroupBy []string
+	Aggs    []AggSpec
+
+	out      *tuple.Schema
+	groupIdx []int
+	aggIdx   []int
+}
+
+// NewAggregate validates and builds the node.
+func NewAggregate(child Plan, groupBy []string, aggs []AggSpec) *Aggregate {
+	if len(aggs) == 0 {
+		panic("query: aggregate with no aggregate targets")
+	}
+	cs := child.Schema()
+	fields := make([]tuple.Field, 0, len(groupBy)+len(aggs))
+	groupIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		groupIdx[i] = cs.MustFieldIndex(g)
+		fields = append(fields, tuple.Field{Name: g})
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		switch a.Fn {
+		case AggCount:
+			aggIdx[i] = -1
+			if a.Field != "" {
+				aggIdx[i] = cs.MustFieldIndex(a.Field)
+			}
+		case AggSum, AggMin, AggMax, AggAvg:
+			aggIdx[i] = cs.MustFieldIndex(a.Field)
+		default:
+			panic(fmt.Sprintf("query: unknown aggregate %q", a.Fn))
+		}
+		if a.Name == "" {
+			panic("query: aggregate target needs an output name")
+		}
+		fields = append(fields, tuple.Field{Name: a.Name})
+	}
+	width := cs.Width()
+	if need := 8 * len(fields); need > width {
+		width = need
+	}
+	return &Aggregate{
+		Child:    child,
+		GroupBy:  append([]string(nil), groupBy...),
+		Aggs:     append([]AggSpec(nil), aggs...),
+		out:      tuple.NewSchema(cs.Name()+"_agg", width, fields...),
+		groupIdx: groupIdx,
+		aggIdx:   aggIdx,
+	}
+}
+
+// Schema implements Plan.
+func (a *Aggregate) Schema() *tuple.Schema { return a.out }
+
+// Children implements Plan.
+func (a *Aggregate) Children() []Plan { return []Plan{a.Child} }
+
+type aggState struct {
+	group []int64
+	count int64
+	sum   []int64
+	min   []int64
+	max   []int64
+}
+
+// Execute implements Plan.
+func (a *Aggregate) Execute(ctx *Ctx, emit func([]byte) bool) {
+	cs := a.Child.Schema()
+	groups := map[string]*aggState{}
+	a.Child.Execute(ctx, func(tup []byte) bool {
+		keyParts := make([]int64, len(a.groupIdx))
+		var key strings.Builder
+		for i, gi := range a.groupIdx {
+			keyParts[i] = cs.Get(tup, gi)
+			fmt.Fprintf(&key, "%d|", keyParts[i])
+		}
+		st := groups[key.String()]
+		if st == nil {
+			st = &aggState{
+				group: keyParts,
+				sum:   make([]int64, len(a.Aggs)),
+				min:   make([]int64, len(a.Aggs)),
+				max:   make([]int64, len(a.Aggs)),
+			}
+			groups[key.String()] = st
+		}
+		st.count++
+		for i, ai := range a.aggIdx {
+			if ai < 0 {
+				continue
+			}
+			v := cs.Get(tup, ai)
+			st.sum[i] += v
+			if st.count == 1 || v < st.min[i] {
+				st.min[i] = v
+			}
+			if st.count == 1 || v > st.max[i] {
+				st.max[i] = v
+			}
+		}
+		return true
+	})
+	// Scalar aggregates over an empty input still produce one row.
+	if len(groups) == 0 && len(a.GroupBy) == 0 {
+		groups[""] = &aggState{
+			sum: make([]int64, len(a.Aggs)),
+			min: make([]int64, len(a.Aggs)),
+			max: make([]int64, len(a.Aggs)),
+		}
+	}
+
+	states := make([]*aggState, 0, len(groups))
+	for _, st := range groups {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool {
+		gi, gj := states[i].group, states[j].group
+		for k := range gi {
+			if gi[k] != gj[k] {
+				return gi[k] < gj[k]
+			}
+		}
+		return false
+	})
+
+	for _, st := range states {
+		out := a.out.New()
+		for i, v := range st.group {
+			a.out.Set(out, i, v)
+		}
+		for i, spec := range a.Aggs {
+			var v int64
+			switch spec.Fn {
+			case AggCount:
+				v = st.count
+			case AggSum:
+				v = st.sum[i]
+			case AggMin:
+				v = st.min[i]
+			case AggMax:
+				v = st.max[i]
+			case AggAvg:
+				if st.count > 0 {
+					v = st.sum[i] / st.count
+				}
+			}
+			a.out.Set(out, len(st.group)+i, v)
+		}
+		if !emit(out) {
+			return
+		}
+	}
+}
+
+// String implements Plan.
+func (a *Aggregate) String() string {
+	var parts []string
+	for _, spec := range a.Aggs {
+		parts = append(parts, fmt.Sprintf("%s(%s)", spec.Fn, spec.Field))
+	}
+	s := "Aggregate(" + strings.Join(parts, ", ")
+	if len(a.GroupBy) > 0 {
+		s += " by " + strings.Join(a.GroupBy, ", ")
+	}
+	return s + ")"
+}

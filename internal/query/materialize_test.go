@@ -1,0 +1,83 @@
+package query
+
+import (
+	"testing"
+
+	"dbproc/internal/dbtest"
+	"dbproc/internal/tuple"
+)
+
+func TestMaterializeSortsByKey(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	s1 := w.R1.Schema()
+	// Feed values out of key order; Materialize must sort them.
+	vs := &ValuesScan{Sch: s1, Tuples: [][]byte{
+		w.R1Tuple(3, 30, 0), w.R1Tuple(1, 10, 0), w.R1Tuple(2, 20, 0),
+	}}
+	key := func(tup []byte) uint64 {
+		return tuple.ClusterKey(s1.GetByName(tup, "skey"), s1.GetByName(tup, "tid"))
+	}
+	keys, recs := Materialize(vs, key, ctx)
+	if len(keys) != 3 || len(recs) != 3 {
+		t.Fatalf("Materialize returned %d/%d", len(keys), len(recs))
+	}
+	want := []uint64{tuple.ClusterKey(10, 1), tuple.ClusterKey(20, 2), tuple.ClusterKey(30, 3)}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+		if s1.GetByName(recs[i], "skey") != int64((i+1)*10) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+	// Empty plan materializes to empty slices.
+	keys, recs = Materialize(&ValuesScan{Sch: s1}, key, ctx)
+	if len(keys) != 0 || len(recs) != 0 {
+		t.Fatal("empty Materialize not empty")
+	}
+}
+
+func TestRefineFiltersWithoutScreens(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	vs := &ValuesScan{Sch: w.R1.Schema(), Tuples: [][]byte{
+		w.R1Tuple(1, 5, 0), w.R1Tuple(2, 15, 0), w.R1Tuple(3, 25, 0),
+	}}
+	r := &Refine{Child: vs, Pred: Range{Field: "skey", Lo: 10, Hi: 20}}
+	if r.Schema() != vs.Sch {
+		t.Fatal("Refine.Schema wrong")
+	}
+	if len(r.Children()) != 1 {
+		t.Fatal("Refine.Children wrong")
+	}
+	w.Meter.Reset()
+	out := Run(r, ctx)
+	if len(out) != 1 || w.R1.Schema().GetByName(out[0], "tid") != 2 {
+		t.Fatalf("Refine output wrong: %d tuples", len(out))
+	}
+	if c := w.Meter.Snapshot(); c.Screens != 0 {
+		t.Fatalf("Refine charged %d screens; maintenance filters are free", c.Screens)
+	}
+	if got := r.String(); got != "Refine(10 <= skey <= 20)" {
+		t.Fatalf("String = %q", got)
+	}
+	// Early stop propagates.
+	count := 0
+	big := &Refine{Child: vs, Pred: True{}}
+	big.Execute(ctx, func([]byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestValuesScanStringAndChildren(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	vs := &ValuesScan{Sch: w.R1.Schema(), Tuples: [][]byte{w.R1Tuple(1, 1, 1)}}
+	if got := vs.String(); got != "ValuesScan(r1, 1 tuples)" {
+		t.Fatalf("String = %q", got)
+	}
+	if vs.Children() != nil {
+		t.Fatal("ValuesScan has no children")
+	}
+}

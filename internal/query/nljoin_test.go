@@ -1,0 +1,151 @@
+package query
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"dbproc/internal/dbtest"
+)
+
+// TestNestedLoopJoinMatchesHashJoin: joining the same inputs must produce
+// the same combined tuples as the hash-probe join, independent of which
+// side drives.
+func TestNestedLoopJoinMatchesHashJoin(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+
+	hash := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 20, 59), w.R2, "a", 80)
+	want := Run(hash, ctx)
+
+	// Nested loop with the full R2 contents as the in-memory side.
+	var r2Tuples [][]byte
+	w.R2.Hash().ScanAll(func(rec []byte) bool {
+		r2Tuples = append(r2Tuples, append([]byte(nil), rec...))
+		return true
+	})
+	nl := NewNestedLoopJoin(
+		NewBTreeRangeScan(w.R1, 20, 59),
+		&ValuesScan{Sch: w.R2.Schema(), Tuples: r2Tuples},
+		"a", "b", "r2_", 80)
+	got := Run(nl, ctx)
+
+	key := func(b []byte) string { return string(b) }
+	sortTuples := func(ts [][]byte) {
+		sort.Slice(ts, func(i, j int) bool { return key(ts[i]) < key(ts[j]) })
+	}
+	sortTuples(want)
+	sortTuples(got)
+	if len(got) != len(want) {
+		t.Fatalf("nested loop returned %d tuples, hash join %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("tuple %d differs between join implementations", i)
+		}
+	}
+	// Schemas expose the same field names.
+	for i := 0; i < hash.Schema().NumFields(); i++ {
+		if hash.Schema().FieldName(i) != nl.Schema().FieldName(i) {
+			t.Fatalf("field %d: %q vs %q", i, hash.Schema().FieldName(i), nl.Schema().FieldName(i))
+		}
+	}
+}
+
+func TestNestedLoopJoinEmptyInner(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	nl := NewNestedLoopJoin(
+		NewBTreeRangeScan(w.R1, 0, 50),
+		&ValuesScan{Sch: w.R2.Schema()},
+		"a", "b", "r2_", 80)
+	w.Pager.BeginOp()
+	w.Meter.Reset()
+	if out := Run(nl, ctx); len(out) != 0 {
+		t.Fatalf("empty inner joined %d tuples", len(out))
+	}
+	// An empty inner must not even scan the outer.
+	if c := w.Meter.Snapshot(); c.PageReads != 0 || c.Screens != 0 {
+		t.Fatalf("empty inner still scanned the outer: %v", c)
+	}
+}
+
+func TestNestedLoopJoinEarlyStop(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	var r2Tuples [][]byte
+	w.R2.Hash().ScanAll(func(rec []byte) bool {
+		r2Tuples = append(r2Tuples, append([]byte(nil), rec...))
+		return true
+	})
+	nl := NewNestedLoopJoin(
+		NewBTreeRangeScan(w.R1, 0, 99),
+		&ValuesScan{Sch: w.R2.Schema(), Tuples: r2Tuples},
+		"a", "b", "r2_", 80)
+	count := 0
+	nl.Execute(ctx, func([]byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNestedLoopJoinDuplicateInnerKeys(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	s2 := w.R2.Schema()
+	dup := func(b, tid int64) []byte {
+		tup := s2.New()
+		s2.SetByName(tup, "tid", tid)
+		s2.SetByName(tup, "b", b)
+		return tup
+	}
+	nl := NewNestedLoopJoin(
+		NewBTreeRangeScan(w.R1, 5, 5), // one tuple, a = 5
+		&ValuesScan{Sch: s2, Tuples: [][]byte{dup(5, 100), dup(5, 101), dup(6, 102)}},
+		"a", "b", "r2_", 80)
+	out := Run(nl, ctx)
+	if len(out) != 2 {
+		t.Fatalf("duplicate inner keys joined %d tuples, want 2", len(out))
+	}
+}
+
+func TestNestedLoopJoinExplain(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	nl := NewNestedLoopJoin(
+		NewBTreeRangeScan(w.R1, 0, 9),
+		&ValuesScan{Sch: w.R2.Schema()},
+		"a", "b", "r2_", 80)
+	if got := nl.String(); got != "NestedLoopJoin(a = r2.b)" {
+		t.Fatalf("String = %q", got)
+	}
+	if len(nl.Children()) != 2 {
+		t.Fatal("Children should expose both inputs")
+	}
+}
+
+func TestLockSinkObservesReads(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	sink := &recordingSink{keys: map[string][]int64{}}
+	ctx := &Ctx{Meter: w.Meter, Locks: sink}
+	plan := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 10, 14), w.R2, "a", 80)
+	Run(plan, ctx)
+	if len(sink.ranges) != 1 || sink.ranges[0] != [3]interface{}{"r1", int64(10), int64(14)} {
+		t.Fatalf("ranges = %v", sink.ranges)
+	}
+	if got := len(sink.keys["r2"]); got != 5 {
+		t.Fatalf("probe keys recorded = %d, want 5", got)
+	}
+}
+
+type recordingSink struct {
+	ranges [][3]interface{}
+	keys   map[string][]int64
+}
+
+func (s *recordingSink) ReadRange(rel string, lo, hi int64) {
+	s.ranges = append(s.ranges, [3]interface{}{rel, lo, hi})
+}
+
+func (s *recordingSink) ReadKey(rel string, key int64) {
+	s.keys[rel] = append(s.keys[rel], key)
+}

@@ -1,0 +1,301 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbproc/internal/metric"
+	"dbproc/internal/relation"
+	"dbproc/internal/tuple"
+)
+
+// LockSink observes what a plan reads, so rule indexing can set i-locks on
+// all data touched during query processing. Scans report their index
+// interval; hash probes report the probed key.
+type LockSink interface {
+	ReadRange(rel string, lo, hi int64)
+	ReadKey(rel string, key int64)
+}
+
+// Ctx carries per-execution state: the meter that predicate screens are
+// charged to (page I/O is charged by the storage layer) and an optional
+// lock sink for rule indexing.
+type Ctx struct {
+	Meter *metric.Meter
+	Locks LockSink
+}
+
+// Plan is a compiled, executable query plan node. Execute streams output
+// tuples to emit until the input is exhausted or emit returns false.
+// Emitted slices are freshly allocated and may be retained by the caller.
+type Plan interface {
+	// Schema describes the emitted tuples.
+	Schema() *tuple.Schema
+	// Execute runs the plan.
+	Execute(ctx *Ctx, emit func(tup []byte) bool)
+	// String names the node for explain output.
+	String() string
+	// Children returns the node's inputs, outermost first.
+	Children() []Plan
+}
+
+// BTreeRangeScan scans a B-tree relation's clustering attribute over the
+// inclusive value band [Lo, Hi] — the paper's "B-tree index scan on R1"
+// used by both procedure types. It charges one predicate screen per tuple
+// in the band (the model's C1·fN term) on top of the storage layer's index
+// descent and leaf reads.
+type BTreeRangeScan struct {
+	Rel    *relation.Relation
+	Lo, Hi int64
+}
+
+// NewBTreeRangeScan validates and builds the scan node.
+func NewBTreeRangeScan(rel *relation.Relation, lo, hi int64) *BTreeRangeScan {
+	if rel.Tree() == nil {
+		panic("query: BTreeRangeScan needs a B-tree relation")
+	}
+	return &BTreeRangeScan{Rel: rel, Lo: lo, Hi: hi}
+}
+
+// Schema implements Plan.
+func (s *BTreeRangeScan) Schema() *tuple.Schema { return s.Rel.Schema() }
+
+// Children implements Plan.
+func (s *BTreeRangeScan) Children() []Plan { return nil }
+
+// Execute implements Plan.
+func (s *BTreeRangeScan) Execute(ctx *Ctx, emit func([]byte) bool) {
+	if s.Lo > s.Hi {
+		return
+	}
+	if ctx.Locks != nil {
+		ctx.Locks.ReadRange(s.Rel.Schema().Name(), s.Lo, s.Hi)
+	}
+	lo := tuple.MinKeyFor(s.Lo)
+	hi := tuple.MaxKeyFor(s.Hi)
+	s.Rel.Tree().ScanRange(lo, hi, func(rec []byte) bool {
+		ctx.Meter.Screen(1)
+		out := make([]byte, len(rec))
+		copy(out, rec)
+		return emit(out)
+	})
+}
+
+// String implements Plan.
+func (s *BTreeRangeScan) String() string {
+	cf := s.Rel.Schema().FieldName(s.Rel.ClusterField())
+	return fmt.Sprintf("BTreeRangeScan(%s: %d <= %s <= %d)", s.Rel.Schema().Name(), s.Lo, cf, s.Hi)
+}
+
+// ValuesScan replays in-memory tuples, the input node of AVM delta plans
+// (the paper's V(a, B) and V(d, B) evaluations over the A_net/D_net sets).
+// It charges nothing itself.
+type ValuesScan struct {
+	Sch    *tuple.Schema
+	Tuples [][]byte
+}
+
+// Schema implements Plan.
+func (v *ValuesScan) Schema() *tuple.Schema { return v.Sch }
+
+// Children implements Plan.
+func (v *ValuesScan) Children() []Plan { return nil }
+
+// Execute implements Plan.
+func (v *ValuesScan) Execute(_ *Ctx, emit func([]byte) bool) {
+	for _, t := range v.Tuples {
+		out := make([]byte, len(t))
+		copy(out, t)
+		if !emit(out) {
+			return
+		}
+	}
+}
+
+// String implements Plan.
+func (v *ValuesScan) String() string {
+	return fmt.Sprintf("ValuesScan(%s, %d tuples)", v.Sch.Name(), len(v.Tuples))
+}
+
+// Filter passes through tuples satisfying Pred, charging one screen per
+// input tuple.
+type Filter struct {
+	Child Plan
+	Pred  Predicate
+}
+
+// Schema implements Plan.
+func (f *Filter) Schema() *tuple.Schema { return f.Child.Schema() }
+
+// Children implements Plan.
+func (f *Filter) Children() []Plan { return []Plan{f.Child} }
+
+// Execute implements Plan.
+func (f *Filter) Execute(ctx *Ctx, emit func([]byte) bool) {
+	s := f.Child.Schema()
+	f.Child.Execute(ctx, func(tup []byte) bool {
+		ctx.Meter.Screen(1)
+		if !f.Pred.Eval(s, tup) {
+			return true
+		}
+		return emit(tup)
+	})
+}
+
+// String implements Plan.
+func (f *Filter) String() string { return "Filter(" + f.Pred.String() + ")" }
+
+// Refine passes through tuples satisfying Pred like Filter, but charges no
+// predicate screens: it is for maintenance (delta) plans, where the cost
+// model attributes all screening either to rule indexing (charged when
+// deltas are routed to views) or to nothing at all (the model's C_join
+// terms are pure page I/O). Use Filter in user-facing query plans.
+type Refine struct {
+	Child Plan
+	Pred  Predicate
+}
+
+// Schema implements Plan.
+func (f *Refine) Schema() *tuple.Schema { return f.Child.Schema() }
+
+// Children implements Plan.
+func (f *Refine) Children() []Plan { return []Plan{f.Child} }
+
+// Execute implements Plan.
+func (f *Refine) Execute(ctx *Ctx, emit func([]byte) bool) {
+	s := f.Child.Schema()
+	f.Child.Execute(ctx, func(tup []byte) bool {
+		if !f.Pred.Eval(s, tup) {
+			return true
+		}
+		return emit(tup)
+	})
+}
+
+// String implements Plan.
+func (f *Refine) String() string { return "Refine(" + f.Pred.String() + ")" }
+
+// HashJoinProbe implements index-nested-loop join through a hash-organized
+// relation: for each input tuple it probes the table's hash index with the
+// input's ProbeField value and emits one concatenated tuple per match.
+// Probing charges page reads through the storage layer; key comparison
+// inside a bucket is hash machinery, not a predicate screen.
+type HashJoinProbe struct {
+	Child      Plan
+	Table      *relation.Relation
+	ProbeField string
+
+	out        *tuple.Schema
+	probeIdx   int
+	leftFields int
+}
+
+// NewHashJoinProbe builds the join node. The output schema is the child's
+// attributes followed by the table's attributes prefixed with the table's
+// name and an underscore, in a tuple of width bytes.
+func NewHashJoinProbe(child Plan, table *relation.Relation, probeField string, width int) *HashJoinProbe {
+	if table.Hash() == nil {
+		panic("query: HashJoinProbe needs a hash relation")
+	}
+	rightPrefix := table.Schema().Name() + "_"
+	out := tuple.Concat(
+		child.Schema().Name()+"_join_"+table.Schema().Name(),
+		width, child.Schema(), table.Schema(), rightPrefix)
+	return &HashJoinProbe{
+		Child:      child,
+		Table:      table,
+		ProbeField: probeField,
+		out:        out,
+		probeIdx:   child.Schema().MustFieldIndex(probeField),
+		leftFields: child.Schema().NumFields(),
+	}
+}
+
+// Schema implements Plan.
+func (j *HashJoinProbe) Schema() *tuple.Schema { return j.out }
+
+// Children implements Plan.
+func (j *HashJoinProbe) Children() []Plan { return []Plan{j.Child} }
+
+// Execute implements Plan.
+func (j *HashJoinProbe) Execute(ctx *Ctx, emit func([]byte) bool) {
+	ls := j.Child.Schema()
+	rs := j.Table.Schema()
+	j.Child.Execute(ctx, func(ltup []byte) bool {
+		key := uint64(ls.Get(ltup, j.probeIdx))
+		if ctx.Locks != nil {
+			ctx.Locks.ReadKey(j.Table.Schema().Name(), int64(key))
+		}
+		cont := true
+		j.Table.Hash().LookupEach(key, func(rtup []byte) bool {
+			out := j.out.New()
+			for i := 0; i < j.leftFields; i++ {
+				j.out.Set(out, i, ls.Get(ltup, i))
+			}
+			for i := 0; i < rs.NumFields(); i++ {
+				j.out.Set(out, j.leftFields+i, rs.Get(rtup, i))
+			}
+			cont = emit(out)
+			return cont
+		})
+		return cont
+	})
+}
+
+// String implements Plan.
+func (j *HashJoinProbe) String() string {
+	return fmt.Sprintf("HashJoinProbe(%s = %s.%s)",
+		j.ProbeField, j.Table.Schema().Name(),
+		j.Table.Schema().FieldName(j.Table.HashField()))
+}
+
+// Materialize runs a plan and returns its results sorted by the given
+// cluster key, ready to Replace a cached object's contents.
+func Materialize(p Plan, key func([]byte) uint64, ctx *Ctx) ([]uint64, [][]byte) {
+	type row struct {
+		k uint64
+		r []byte
+	}
+	var rows []row
+	p.Execute(ctx, func(tup []byte) bool {
+		rows = append(rows, row{key(tup), tup})
+		return true
+	})
+	// Plans rooted at a clustered scan emit in key order already; sort
+	// defensively for plans that do not.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	keys := make([]uint64, len(rows))
+	recs := make([][]byte, len(rows))
+	for i, r := range rows {
+		keys[i] = r.k
+		recs[i] = r.r
+	}
+	return keys, recs
+}
+
+// Run executes the plan and collects every output tuple.
+func Run(p Plan, ctx *Ctx) [][]byte {
+	var out [][]byte
+	p.Execute(ctx, func(tup []byte) bool {
+		out = append(out, tup)
+		return true
+	})
+	return out
+}
+
+// Explain renders the plan tree, one node per line, children indented.
+func Explain(p Plan) string {
+	var b strings.Builder
+	var walk func(Plan, int)
+	walk = func(n Plan, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"dbproc/internal/dbtest"
+)
+
+func TestBTreeRangeScanSelectsBand(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	scan := NewBTreeRangeScan(w.R1, 50, 59)
+	w.Pager.BeginOp()
+	out := Run(scan, ctx)
+	if len(out) != 10 {
+		t.Fatalf("scan returned %d tuples, want 10", len(out))
+	}
+	s := w.R1.Schema()
+	for i, tup := range out {
+		if got := s.GetByName(tup, "skey"); got != int64(50+i) {
+			t.Fatalf("tuple %d has skey %d", i, got)
+		}
+	}
+	// One screen per tuple in the band.
+	if got := w.Meter.Snapshot().Screens; got != 10 {
+		t.Fatalf("scan charged %d screens, want 10", got)
+	}
+	// Inverted band yields nothing.
+	if got := Run(NewBTreeRangeScan(w.R1, 59, 50), ctx); len(got) != 0 {
+		t.Fatalf("inverted band returned %d tuples", len(got))
+	}
+}
+
+func TestFilterScreensAndFilters(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	plan := &Filter{
+		Child: NewBTreeRangeScan(w.R1, 0, 99),
+		Pred:  Compare{Field: "a", Op: Lt, Value: 5},
+	}
+	w.Pager.BeginOp()
+	w.Meter.Reset()
+	out := Run(plan, ctx)
+	// a = tid % 40; tids 0..99 with a<5: tids 0-4,40-44,80-84 = 15.
+	if len(out) != 15 {
+		t.Fatalf("filter returned %d tuples, want 15", len(out))
+	}
+	// 100 screens by the scan + 100 by the filter.
+	if got := w.Meter.Snapshot().Screens; got != 200 {
+		t.Fatalf("charged %d screens, want 200", got)
+	}
+}
+
+func TestHashJoinProbeModel1Shape(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	// The model-1 P2 plan: scan R1 band, probe R2 on a=b, filter C_f2(p2).
+	join := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 0, 39), w.R2, "a", 64)
+	plan := &Filter{Child: join, Pred: Compare{Field: "r2_p2", Op: Lt, Value: 3}}
+	w.Pager.BeginOp()
+	out := Run(plan, ctx)
+	// skey 0..39 -> a = 0..39, each joins r2 tuple with b=a; p2 = b%10 < 3
+	// keeps b in {0,1,2,10,11,12,20,21,22,30,31,32} = 12 tuples.
+	if len(out) != 12 {
+		t.Fatalf("join returned %d tuples, want 12", len(out))
+	}
+	s := plan.Schema()
+	for _, tup := range out {
+		if s.GetByName(tup, "a") != s.GetByName(tup, "r2_b") {
+			t.Fatalf("join key mismatch in %s", s.String(tup))
+		}
+		if s.GetByName(tup, "r2_p2") >= 3 {
+			t.Fatalf("filter leaked %s", s.String(tup))
+		}
+	}
+}
+
+func TestThreeWayJoinModel2Shape(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	// 9 output attributes need 72 bytes; use a wider result tuple.
+	j1 := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 10, 19), w.R2, "a", 80)
+	j2 := NewHashJoinProbe(j1, w.R3, "r2_c", 80)
+	w.Pager.BeginOp()
+	out := Run(j2, ctx)
+	if len(out) != 10 {
+		t.Fatalf("three-way join returned %d tuples, want 10", len(out))
+	}
+	s := j2.Schema()
+	for _, tup := range out {
+		if s.GetByName(tup, "r2_c") != s.GetByName(tup, "r3_d") {
+			t.Fatalf("second join key mismatch in %s", s.String(tup))
+		}
+	}
+}
+
+func TestValuesScan(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	vs := &ValuesScan{Sch: w.R1.Schema(), Tuples: [][]byte{
+		w.R1Tuple(1000, 5, 3), w.R1Tuple(1001, 6, 4),
+	}}
+	out := Run(vs, ctx)
+	if len(out) != 2 {
+		t.Fatalf("ValuesScan returned %d", len(out))
+	}
+	if w.Meter.Milliseconds() != 0 {
+		t.Fatal("ValuesScan charged cost")
+	}
+	// Early stop.
+	count := 0
+	vs.Execute(ctx, func([]byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Emitted tuples are copies: mutating one must not corrupt the source.
+	out[0][0] = 0xFF
+	out2 := Run(vs, ctx)
+	if out2[0][0] == 0xFF {
+		t.Fatal("ValuesScan aliases its input tuples")
+	}
+}
+
+func TestJoinIOCharges(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	ctx := &Ctx{Meter: w.Meter}
+	// 10 probes into R2 (40 tuples on 10 pages at 4/page, b unique):
+	// distinct buckets touched <= 10 pages, >= 1.
+	join := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 0, 9), w.R2, "a", 64)
+	w.Pager.BeginOp()
+	w.Meter.Reset()
+	Run(join, ctx)
+	reads := w.Meter.Snapshot().PageReads
+	if reads < 3 || reads > 14 {
+		t.Fatalf("join charged %d reads, expected a handful (scan+probes)", reads)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	j1 := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 0, 9), w.R2, "a", 64)
+	plan := &Filter{Child: j1, Pred: And{
+		Compare{Field: "r2_p2", Op: Le, Value: 3},
+		Range{Field: "skey", Lo: 0, Hi: 9},
+	}}
+	got := Explain(plan)
+	for _, want := range []string{"Filter(", "HashJoinProbe(a = r2.b)", "BTreeRangeScan(r1:", "  "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain output %q missing %q", got, want)
+		}
+	}
+	lines := strings.Count(got, "\n")
+	if lines != 3 {
+		t.Errorf("Explain rendered %d lines, want 3:\n%s", lines, got)
+	}
+}
+
+func TestPlanConstructorPanics(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	for name, fn := range map[string]func(){
+		"range scan on hash relation": func() { NewBTreeRangeScan(w.R2, 0, 1) },
+		"hash join on btree relation": func() { NewHashJoinProbe(&ValuesScan{Sch: w.R2.Schema()}, w.R1, "b", 64) },
+		"unknown probe field":         func() { NewHashJoinProbe(&ValuesScan{Sch: w.R1.Schema()}, w.R2, "zzz", 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

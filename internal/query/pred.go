@@ -1,0 +1,149 @@
+// Package query provides predicates, compiled query plans, and a metered
+// executor. Plans are built once when a procedure or view is defined and
+// executed without further optimization — the paper's "statically
+// optimized" regime: all planning cost is paid at definition time.
+//
+// The executor charges the meter C1 per predicate screen; page I/O is
+// charged by the storage layer as plans touch relations.
+package query
+
+import (
+	"fmt"
+
+	"dbproc/internal/tuple"
+)
+
+// Op is a comparison operator, the operator set of the paper's t-const
+// nodes: {<, <=, =, !=, >=, >}.
+type Op int
+
+// Comparison operators.
+const (
+	Lt Op = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// Eval applies the operator to two attribute values.
+func (op Op) Eval(a, b int64) bool {
+	switch op {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Ge:
+		return a >= b
+	case Gt:
+		return a > b
+	default:
+		panic(fmt.Sprintf("query: invalid operator %d", int(op)))
+	}
+}
+
+// String returns the operator's SQL-ish spelling.
+func (op Op) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	default:
+		return "?"
+	}
+}
+
+// Predicate is a boolean condition over one tuple.
+type Predicate interface {
+	// Eval reports whether the tuple satisfies the predicate.
+	Eval(s *tuple.Schema, tup []byte) bool
+	// String renders the predicate for explain output.
+	String() string
+}
+
+// Compare is "attribute op constant", the condition form of a t-const
+// node.
+type Compare struct {
+	Field string
+	Op    Op
+	Value int64
+}
+
+// Eval implements Predicate.
+func (c Compare) Eval(s *tuple.Schema, tup []byte) bool {
+	return c.Op.Eval(s.GetByName(tup, c.Field), c.Value)
+}
+
+// String implements Predicate.
+func (c Compare) String() string {
+	return fmt.Sprintf("%s %s %d", c.Field, c.Op, c.Value)
+}
+
+// Range is the inclusive band "lo <= attribute <= hi", the natural form of
+// the paper's selectivity-f restriction C_f over a clustered attribute.
+type Range struct {
+	Field  string
+	Lo, Hi int64
+}
+
+// Eval implements Predicate.
+func (r Range) Eval(s *tuple.Schema, tup []byte) bool {
+	v := s.GetByName(tup, r.Field)
+	return v >= r.Lo && v <= r.Hi
+}
+
+// String implements Predicate.
+func (r Range) String() string {
+	return fmt.Sprintf("%d <= %s <= %d", r.Lo, r.Field, r.Hi)
+}
+
+// And is the conjunction of its members; an empty And is true.
+type And []Predicate
+
+// Eval implements Predicate.
+func (a And) Eval(s *tuple.Schema, tup []byte) bool {
+	for _, p := range a {
+		if !p.Eval(s, tup) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (a And) String() string {
+	if len(a) == 0 {
+		return "true"
+	}
+	out := ""
+	for i, p := range a {
+		if i > 0 {
+			out += " and "
+		}
+		out += p.String()
+	}
+	return out
+}
+
+// True is the always-true predicate.
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(*tuple.Schema, []byte) bool { return true }
+
+// String implements Predicate.
+func (True) String() string { return "true" }

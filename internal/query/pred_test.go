@@ -1,0 +1,93 @@
+package query
+
+import (
+	"testing"
+
+	"dbproc/internal/tuple"
+)
+
+var predSchema = tuple.NewSchema("t", 24, tuple.Field{Name: "x"}, tuple.Field{Name: "y"})
+
+func tup(x, y int64) []byte {
+	t := predSchema.New()
+	predSchema.Set(t, 0, x)
+	predSchema.Set(t, 1, y)
+	return t
+}
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Eq, 5, 5, true}, {Eq, 5, 6, false},
+		{Ne, 5, 6, true}, {Ne, 5, 5, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if Lt.String() != "<" || Ge.String() != ">=" || Op(99).String() != "?" {
+		t.Error("Op.String wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid op Eval should panic")
+		}
+	}()
+	Op(99).Eval(1, 2)
+}
+
+func TestComparePredicate(t *testing.T) {
+	p := Compare{Field: "x", Op: Gt, Value: 10}
+	if !p.Eval(predSchema, tup(11, 0)) || p.Eval(predSchema, tup(10, 0)) {
+		t.Error("Compare.Eval wrong")
+	}
+	if p.String() != "x > 10" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestRangePredicate(t *testing.T) {
+	p := Range{Field: "y", Lo: 5, Hi: 7}
+	for v, want := range map[int64]bool{4: false, 5: true, 6: true, 7: true, 8: false} {
+		if got := p.Eval(predSchema, tup(0, v)); got != want {
+			t.Errorf("range eval y=%d = %v, want %v", v, got, want)
+		}
+	}
+	if p.String() != "5 <= y <= 7" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestAndPredicate(t *testing.T) {
+	p := And{
+		Compare{Field: "x", Op: Ge, Value: 1},
+		Compare{Field: "y", Op: Lt, Value: 10},
+	}
+	if !p.Eval(predSchema, tup(1, 9)) {
+		t.Error("And should pass")
+	}
+	if p.Eval(predSchema, tup(0, 9)) || p.Eval(predSchema, tup(1, 10)) {
+		t.Error("And should fail")
+	}
+	if got := p.String(); got != "x >= 1 and y < 10" {
+		t.Errorf("String = %q", got)
+	}
+	empty := And{}
+	if !empty.Eval(predSchema, tup(0, 0)) || empty.String() != "true" {
+		t.Error("empty And should be true")
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	if !(True{}).Eval(predSchema, tup(0, 0)) || (True{}).String() != "true" {
+		t.Error("True predicate wrong")
+	}
+}

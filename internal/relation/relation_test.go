@@ -1,0 +1,134 @@
+package relation
+
+import (
+	"testing"
+
+	"dbproc/internal/metric"
+	"dbproc/internal/storage"
+	"dbproc/internal/tuple"
+)
+
+func newPager(pageSize int) *storage.Pager {
+	return storage.NewPager(storage.NewDisk(pageSize), metric.NewMeter(metric.DefaultCosts()))
+}
+
+func empSchema() *tuple.Schema {
+	return tuple.NewSchema("emp", 64,
+		tuple.Field{Name: "tid"}, tuple.Field{Name: "age"}, tuple.Field{Name: "dept"})
+}
+
+func TestBTreeRelation(t *testing.T) {
+	p := newPager(256)
+	s := empSchema()
+	r := NewBTree(p, s, "age", "tid", 16)
+	if r.Tree() == nil || r.Hash() != nil {
+		t.Fatal("organization wrong")
+	}
+	for i := int64(0); i < 20; i++ {
+		tup := s.New()
+		s.SetByName(tup, "tid", i)
+		s.SetByName(tup, "age", 30+i%5)
+		r.Insert(tup)
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Keys order by (age, tid); delete one specific tuple.
+	if !r.DeleteKeyed(tuple.ClusterKey(30, 0)) {
+		t.Fatal("DeleteKeyed missed")
+	}
+	if r.Len() != 19 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+	if r.ClusterField() != s.MustFieldIndex("age") || r.IDField() != 0 {
+		t.Fatal("field indexes wrong")
+	}
+}
+
+func TestBulkLoadBTreeRelation(t *testing.T) {
+	p := newPager(256)
+	s := empSchema()
+	tuples := make([][]byte, 50)
+	for i := range tuples {
+		tup := s.New()
+		s.SetByName(tup, "tid", int64(i))
+		s.SetByName(tup, "age", int64(i))
+		tuples[i] = tup
+	}
+	r := BulkLoadBTree(p, s, "age", "tid", 16, tuples)
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.Key(tuples[7]); got != tuple.ClusterKey(7, 7) {
+		t.Fatalf("Key = %d", got)
+	}
+}
+
+func TestHashRelation(t *testing.T) {
+	p := newPager(256)
+	s := empSchema()
+	r := NewHash(p, s, "dept", 4)
+	if r.Hash() == nil || r.Tree() != nil {
+		t.Fatal("organization wrong")
+	}
+	for i := int64(0); i < 12; i++ {
+		tup := s.New()
+		s.SetByName(tup, "tid", i)
+		s.SetByName(tup, "dept", i%3)
+		r.Insert(tup)
+	}
+	if r.Len() != 12 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	count := 0
+	r.Hash().LookupEach(1, func([]byte) bool { count++; return true })
+	if count != 4 {
+		t.Fatalf("dept=1 has %d tuples, want 4", count)
+	}
+	if r.HashField() != s.MustFieldIndex("dept") {
+		t.Fatal("HashField wrong")
+	}
+	// Misusing the B-tree-only API panics.
+	for name, fn := range map[string]func(){
+		"Key on hash": func() { r.Key(s.New()) },
+		"DeleteKeyed": func() { r.DeleteKeyed(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	p := newPager(256)
+	c := NewCatalog()
+	r := NewBTree(p, empSchema(), "age", "tid", 16)
+	c.Define(r)
+	if c.Lookup("emp") != r || c.MustLookup("emp") != r {
+		t.Fatal("lookup failed")
+	}
+	if c.Lookup("nope") != nil {
+		t.Fatal("phantom relation")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "emp" {
+		t.Fatalf("Names = %v", names)
+	}
+	for name, fn := range map[string]func(){
+		"redefine":        func() { c.Define(r) },
+		"MustLookup miss": func() { c.MustLookup("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

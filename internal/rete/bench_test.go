@@ -1,0 +1,76 @@
+package rete
+
+import (
+	"testing"
+
+	"dbproc/internal/dbtest"
+	"dbproc/internal/tuple"
+)
+
+// benchNet builds a network with nProcs P1-style α-memories over adjacent
+// bands and returns a token inside the first band.
+func benchNet(b *testing.B, nProcs int) (*Network, *dbtest.World, []byte) {
+	b.Helper()
+	w := dbtest.NewWorld(dbtest.Config{N1: 2000})
+	net := NewNetwork(w.Meter, w.Pager)
+	s1 := w.R1.Schema()
+	key := func(tup []byte) uint64 {
+		return tuple.ClusterKey(s1.GetByName(tup, "skey"), s1.GetByName(tup, "tid"))
+	}
+	for i := 0; i < nProcs; i++ {
+		lo := int64(i * 10)
+		tc := net.TConst(s1, "skey", lo, lo+9)
+		tc.Attach(net.NewMemory(s1, nil, key))
+	}
+	return net, w, w.R1Tuple(5000, 5, 3)
+}
+
+func BenchmarkDispatch200TConsts(b *testing.B) {
+	net, _, tup := benchNet(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SubmitModify("r1", tup, tup)
+	}
+}
+
+func BenchmarkDispatchNaive200TConsts(b *testing.B) {
+	net, _, tup := benchNet(b, 200)
+	net.SetNaiveDispatch(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SubmitModify("r1", tup, tup)
+	}
+}
+
+func BenchmarkJoinTokenThroughAndNode(b *testing.B) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	net := NewNetwork(w.Meter, w.Pager)
+	s1, s2 := w.R1.Schema(), w.R2.Schema()
+	tc := net.TConst(s1, "skey", 0, 199)
+	left := net.NewMemory(s1, nil, func(t []byte) uint64 {
+		return tuple.ClusterKey(s1.GetByName(t, "skey"), s1.GetByName(t, "tid"))
+	})
+	tc.Attach(left)
+	right := net.NewMemory(s2, nil, func(t []byte) uint64 {
+		return tuple.ClusterKey(s2.GetByName(t, "b"), s2.GetByName(t, "tid"))
+	})
+	w.R2.Hash().ScanAll(func(rec []byte) bool {
+		right.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		return true
+	})
+	and := net.NewAndNode(left, right, "a", "b", "r2_", 80)
+	beta := net.NewMemory(and.Schema(), nil, func(t []byte) uint64 {
+		return tuple.ClusterKey(and.Schema().GetByName(t, "skey"), and.Schema().GetByName(t, "tid"))
+	})
+	and.Attach(beta)
+
+	tup := w.R1Tuple(9999, 50, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Submit("r1", Token{Tag: Plus, Tuple: tup})
+		net.Submit("r1", Token{Tag: Minus, Tuple: tup})
+	}
+}

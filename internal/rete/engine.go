@@ -1,0 +1,43 @@
+package rete
+
+import "dbproc/internal/relation"
+
+// Engine adapts a Network to the procedure layer's Maintainer interface:
+// each update transaction is turned into − tokens for the old tuple values
+// and + tokens for the new ones, submitted at the network root.
+type Engine struct {
+	net     *Network
+	prepare func()
+}
+
+// NewEngine wraps net; prepare (may be nil) runs the one-time network fill
+// when the strategy is prepared.
+func NewEngine(net *Network, prepare func()) *Engine {
+	return &Engine{net: net, prepare: prepare}
+}
+
+// Name identifies the algorithm.
+func (e *Engine) Name() string { return "RVM" }
+
+// Network returns the wrapped network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Prepare runs the one-time fill; run it with charging disabled.
+func (e *Engine) Prepare() {
+	if e.prepare != nil {
+		e.prepare()
+	}
+}
+
+// Apply submits the transaction's deltas as tokens: deletions first, then
+// insertions, so an in-place modification is the paper's "delete followed
+// by insert".
+func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+	name := rel.Schema().Name()
+	for _, tup := range deleted {
+		e.net.Submit(name, Token{Tag: Minus, Tuple: tup})
+	}
+	for _, tup := range inserted {
+		e.net.Submit(name, Token{Tag: Plus, Tuple: tup})
+	}
+}

@@ -1,0 +1,394 @@
+package rete
+
+import (
+	"testing"
+
+	"dbproc/internal/dbtest"
+	"dbproc/internal/query"
+	"dbproc/internal/tuple"
+)
+
+// buildModel1 wires the paper's Figure 3 network over the dbtest world:
+// one P1 procedure (band [20, 39]) whose α-memory is its value, and one P2
+// procedure joining the SAME band to R2 (shared subexpression) plus one P2
+// with its own band [50, 69] (unshared).
+type m1Fixture struct {
+	w        *dbtest.World
+	net      *Network
+	alphaP1  *Memory // shared C_f(R1) α-memory == P1's value
+	alphaown *Memory // unshared P2's own left α-memory
+	betaSh   *Memory // shared P2's value
+	betaOwn  *Memory // unshared P2's value
+	rightSh  *Memory // shared P2's right memory (σ_p2<5 R2)
+	rightOwn *Memory
+}
+
+func r1Key(s *tuple.Schema) func([]byte) uint64 {
+	return func(tup []byte) uint64 {
+		return tuple.ClusterKey(s.GetByName(tup, "skey"), s.GetByName(tup, "tid"))
+	}
+}
+
+func newM1Fixture(t *testing.T) *m1Fixture {
+	t.Helper()
+	w := dbtest.NewWorld(dbtest.Config{})
+	net := NewNetwork(w.Meter, w.Pager)
+	s1, s2 := w.R1.Schema(), w.R2.Schema()
+
+	w.Pager.SetCharging(false)
+
+	// Right memories: R2 tuples passing p2 < 5, clustered by join attr b.
+	r2Key := func(tup []byte) uint64 {
+		return tuple.ClusterKey(s2.GetByName(tup, "b"), s2.GetByName(tup, "tid"))
+	}
+	fill := func(m *Memory) {
+		w.R2.Hash().ScanAll(func(rec []byte) bool {
+			if s2.GetByName(rec, "p2") < 5 {
+				m.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+			}
+			return true
+		})
+	}
+	rightSh := net.NewMemory(s2, nil, r2Key)
+	rightOwn := net.NewMemory(s2, nil, r2Key)
+	fill(rightSh)
+	fill(rightOwn)
+
+	// P1 and shared P2: one t-const + α for band [20, 39].
+	tcShared := net.TConst(s1, "skey", 20, 39)
+	alphaP1 := net.NewMemory(s1, nil, r1Key(s1))
+	tcShared.Attach(alphaP1)
+	andSh := net.NewAndNode(alphaP1, rightSh, "a", "b", "r2_", 80)
+	betaSh := net.NewMemory(andSh.Schema(), nil, func(tup []byte) uint64 {
+		return tuple.ClusterKey(andSh.Schema().GetByName(tup, "skey"), andSh.Schema().GetByName(tup, "tid"))
+	})
+	andSh.Attach(betaSh)
+
+	// Unshared P2: own t-const + α for band [50, 69].
+	tcOwn := net.TConst(s1, "skey", 50, 69)
+	alphaOwn := net.NewMemory(s1, nil, r1Key(s1))
+	tcOwn.Attach(alphaOwn)
+	andOwn := net.NewAndNode(alphaOwn, rightOwn, "a", "b", "r2_", 80)
+	betaOwn := net.NewMemory(andOwn.Schema(), nil, func(tup []byte) uint64 {
+		return tuple.ClusterKey(andOwn.Schema().GetByName(tup, "skey"), andOwn.Schema().GetByName(tup, "tid"))
+	})
+	andOwn.Attach(betaOwn)
+
+	// Initial fill: submit every R1 tuple as a + token.
+	w.R1.Tree().ScanAll(func(rec []byte) bool {
+		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		return true
+	})
+
+	w.Pager.BeginOp()
+	w.Pager.SetCharging(true)
+	w.Meter.Reset()
+	return &m1Fixture{
+		w: w, net: net,
+		alphaP1: alphaP1, alphaown: alphaOwn,
+		betaSh: betaSh, betaOwn: betaOwn,
+		rightSh: rightSh, rightOwn: rightOwn,
+	}
+}
+
+// moveTuple rewrites R1 tuple tid from oldSkey to newSkey and submits the
+// ± tokens.
+func (f *m1Fixture) moveTuple(t *testing.T, tid, oldSkey, newSkey int64) {
+	t.Helper()
+	w := f.w
+	prev := w.Pager.SetCharging(false)
+	old, ok := w.R1.Tree().Get(tuple.ClusterKey(oldSkey, tid))
+	if !ok {
+		t.Fatalf("tuple %d at skey %d missing", tid, oldSkey)
+	}
+	newTup := append([]byte(nil), old...)
+	w.R1.Schema().SetByName(newTup, "skey", newSkey)
+	w.R1.DeleteKeyed(tuple.ClusterKey(oldSkey, tid))
+	w.R1.Insert(newTup)
+	w.Pager.BeginOp()
+	w.Pager.SetCharging(prev)
+	f.net.SubmitModify("r1", old, newTup)
+	w.Pager.BeginOp()
+}
+
+// expectBeta recomputes a band's join value and compares to the β-memory.
+func (f *m1Fixture) expectBeta(t *testing.T, beta *Memory, lo, hi int64) {
+	t.Helper()
+	prev := f.w.Pager.SetCharging(false)
+	defer f.w.Pager.SetCharging(prev)
+	want := map[uint64]bool{}
+	plan := &query.Refine{
+		Child: query.NewHashJoinProbe(query.NewBTreeRangeScan(f.w.R1, lo, hi), f.w.R2, "a", 80),
+		Pred:  query.Compare{Field: "r2_p2", Op: query.Lt, Value: 5},
+	}
+	sch := plan.Schema()
+	plan.Execute(&query.Ctx{Meter: f.w.Meter}, func(tup []byte) bool {
+		want[tuple.ClusterKey(sch.GetByName(tup, "skey"), sch.GetByName(tup, "tid"))] = true
+		return true
+	})
+	got := 0
+	beta.File().Scan(func(k uint64, _ []byte) bool {
+		if !want[k] {
+			t.Errorf("β holds unexpected key %d", k)
+		}
+		got++
+		return true
+	})
+	if got != len(want) {
+		t.Errorf("β holds %d tuples, recompute has %d", got, len(want))
+	}
+}
+
+func TestInitialFill(t *testing.T) {
+	f := newM1Fixture(t)
+	if f.alphaP1.Len() != 20 {
+		t.Fatalf("shared α holds %d, want 20", f.alphaP1.Len())
+	}
+	if f.alphaown.Len() != 20 {
+		t.Fatalf("own α holds %d, want 20", f.alphaown.Len())
+	}
+	// Band [20,39] -> a = skey%40 in 20..39, p2 = a%10 < 5 keeps 10.
+	f.expectBeta(t, f.betaSh, 20, 39)
+	f.expectBeta(t, f.betaOwn, 50, 69)
+	if f.betaSh.Len() != 10 || f.betaOwn.Len() != 10 {
+		t.Fatalf("β sizes %d, %d; want 10, 10", f.betaSh.Len(), f.betaOwn.Len())
+	}
+}
+
+func TestTConstSharing(t *testing.T) {
+	f := newM1Fixture(t)
+	// Re-requesting the same band returns the same node; a new band makes
+	// a new one.
+	before := f.net.NumTConsts()
+	tc := f.net.TConst(f.w.R1.Schema(), "skey", 20, 39)
+	if f.net.NumTConsts() != before {
+		t.Fatal("shared t-const duplicated")
+	}
+	_ = tc
+	f.net.TConst(f.w.R1.Schema(), "skey", 70, 79)
+	if f.net.NumTConsts() != before+1 {
+		t.Fatal("new band did not create a t-const")
+	}
+}
+
+func TestTokenPropagation(t *testing.T) {
+	f := newM1Fixture(t)
+	// Move into the shared band: α and both downstream structures update.
+	f.moveTuple(t, 110, 110, 30) // a = 110%40 = 30, p2 = 0 < 5: joins
+	if !f.alphaP1.File().Contains(tuple.ClusterKey(30, 110)) {
+		t.Fatal("+ token did not reach shared α")
+	}
+	f.expectBeta(t, f.betaSh, 20, 39)
+	// Move out again.
+	f.moveTuple(t, 110, 30, 110)
+	if f.alphaP1.File().Contains(tuple.ClusterKey(30, 110)) {
+		t.Fatal("- token did not delete from shared α")
+	}
+	f.expectBeta(t, f.betaSh, 20, 39)
+	f.expectBeta(t, f.betaOwn, 50, 69)
+}
+
+func TestFailedJoinLeavesBetaUnchanged(t *testing.T) {
+	f := newM1Fixture(t)
+	// tid 115: a = 35, p2 = 5 -> right memory lacks it; α gains, β doesn't.
+	f.moveTuple(t, 115, 115, 25)
+	if !f.alphaP1.File().Contains(tuple.ClusterKey(25, 115)) {
+		t.Fatal("α missing band tuple")
+	}
+	f.expectBeta(t, f.betaSh, 20, 39)
+}
+
+func TestScreeningCharges(t *testing.T) {
+	f := newM1Fixture(t)
+	f.w.Meter.Reset()
+	// Move within the shared band: both token values activate exactly the
+	// one shared t-const -> 2 screens. (The unshared band is untouched.)
+	f.moveTuple(t, 22, 22, 35)
+	if got := f.w.Meter.Snapshot().Screens; got != 2 {
+		t.Fatalf("screens = %d, want 2 (rule-indexed dispatch)", got)
+	}
+	// A move between the two bands activates each band's t-const once.
+	f.w.Meter.Reset()
+	f.moveTuple(t, 22, 35, 55)
+	if got := f.w.Meter.Snapshot().Screens; got != 2 {
+		t.Fatalf("cross-band move screens = %d, want 2", got)
+	}
+	// A completely irrelevant move charges nothing at all.
+	f.w.Meter.Reset()
+	f.moveTuple(t, 150, 150, 160)
+	if ms := f.w.Meter.Milliseconds(); ms != 0 {
+		t.Fatalf("irrelevant move cost %v ms", ms)
+	}
+}
+
+func TestJoinProbeChargesRightMemoryReads(t *testing.T) {
+	f := newM1Fixture(t)
+	f.w.Meter.Reset()
+	f.moveTuple(t, 110, 110, 30)
+	c := f.w.Meter.Snapshot()
+	// α refresh (read+write) plus at least one right-memory probe read
+	// plus β refresh.
+	if c.PageReads < 2 || c.PageWrites < 2 {
+		t.Fatalf("expected α+β refresh and probe I/O, got %v", c)
+	}
+	// RVM never charges delta-set ops; that is AVM's C_overhead.
+	if c.DeltaOps != 0 {
+		t.Fatalf("RVM charged %d delta ops", c.DeltaOps)
+	}
+}
+
+func TestRightActivation(t *testing.T) {
+	f := newM1Fixture(t)
+	s2 := f.w.R2.Schema()
+	// Insert a brand-new R2 tuple joining skey band [20,39] tuples with
+	// a=25 (tids 25, 65, ...): p2 < 5 so it qualifies.
+	nt := s2.New()
+	s2.SetByName(nt, "tid", 999)
+	s2.SetByName(nt, "b", 25)
+	s2.SetByName(nt, "c", 0)
+	s2.SetByName(nt, "p2", 1)
+	before := f.betaSh.Len()
+	f.rightSh.Activate(Token{Tag: Plus, Tuple: nt})
+	// R1 has skey 25 (tid 25) in band with a=25: one... every R1 tuple in
+	// band with a=25: skey in [20,39] and a=skey%40=25 -> skey=25 only.
+	if got := f.betaSh.Len(); got != before+1 {
+		t.Fatalf("right activation produced %d new β tuples, want 1", got-before)
+	}
+	// And the reverse - token removes it again.
+	f.rightSh.Activate(Token{Tag: Minus, Tuple: nt})
+	if got := f.betaSh.Len(); got != before {
+		t.Fatalf("right - token left β at %d, want %d", got, before)
+	}
+}
+
+func TestChainedTConsts(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	net := NewNetwork(w.Meter, w.Pager)
+	s1 := w.R1.Schema()
+	// Chain: skey in [0, 99] then a <= 4 (as a one-sided band).
+	tc1 := net.TConst(s1, "skey", 0, 99)
+	tc2 := net.TConstChained(s1, "a", 0, 4)
+	alpha := net.NewMemory(s1, nil, r1Key(s1))
+	tc1.Attach(tc2)
+	tc2.Attach(alpha)
+	w.R1.Tree().ScanAll(func(rec []byte) bool {
+		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		return true
+	})
+	// skey 0..99 with a=skey%40 in 0..4: 0-4, 40-44, 80-84 = 15 tuples.
+	if alpha.Len() != 15 {
+		t.Fatalf("chained α holds %d, want 15", alpha.Len())
+	}
+}
+
+func TestSubmitUnknownRelationIsNoop(t *testing.T) {
+	f := newM1Fixture(t)
+	f.w.Meter.Reset()
+	f.net.Submit("nonexistent", Token{Tag: Plus, Tuple: f.w.R1Tuple(1, 2, 3)})
+	if f.w.Meter.Milliseconds() != 0 {
+		t.Fatal("unknown relation charged cost")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	f := newM1Fixture(t)
+	for name, fn := range map[string]func(){
+		"inverted band": func() { f.net.TConst(f.w.R1.Schema(), "skey", 5, 4) },
+		"nil key":       func() { f.net.NewMemory(f.w.R1.Schema(), nil, nil) },
+		"bad field":     func() { f.net.TConst(f.w.R1.Schema(), "zzz", 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Plus.String() != "+" || Minus.String() != "-" {
+		t.Fatal("Tag.String wrong")
+	}
+}
+
+// TestModel2Chain builds the model-2 shape: left α joins a right β-memory
+// that is itself the join σ_p2<5(R2) ⋈ R3, and checks three-way results.
+func TestModel2Chain(t *testing.T) {
+	w := dbtest.NewWorld(dbtest.Config{})
+	net := NewNetwork(w.Meter, w.Pager)
+	s1, s2, s3 := w.R1.Schema(), w.R2.Schema(), w.R3.Schema()
+	w.Pager.SetCharging(false)
+
+	// Right side: α(σ R2) ⋈ α(R3) -> β, clustered by R2.b for the outer
+	// probe.
+	alphaR2 := net.NewMemory(s2, nil, func(tup []byte) uint64 {
+		return tuple.ClusterKey(s2.GetByName(tup, "c"), s2.GetByName(tup, "tid"))
+	})
+	alphaR3 := net.NewMemory(s3, nil, func(tup []byte) uint64 {
+		return tuple.ClusterKey(s3.GetByName(tup, "d"), s3.GetByName(tup, "tid"))
+	})
+	andR23 := net.NewAndNode(alphaR2, alphaR3, "c", "d", "r3_", 96)
+	betaRight := net.NewMemory(andR23.Schema(), nil, func(tup []byte) uint64 {
+		sch := andR23.Schema()
+		return tuple.ClusterKey(sch.GetByName(tup, "b"), sch.GetByName(tup, "tid"))
+	})
+	andR23.Attach(betaRight)
+
+	// Load R3 first, then σ R2, through the network itself.
+	w.R3.Hash().ScanAll(func(rec []byte) bool {
+		alphaR3.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		return true
+	})
+	w.R2.Hash().ScanAll(func(rec []byte) bool {
+		if s2.GetByName(rec, "p2") < 5 {
+			alphaR2.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		}
+		return true
+	})
+	if betaRight.Len() != 20 { // 20 of 40 R2 tuples pass p2<5, each joins 1 R3
+		t.Fatalf("right β holds %d, want 20", betaRight.Len())
+	}
+
+	// Left side: C_f(R1) α probing the right β on a = b.
+	tc := net.TConst(s1, "skey", 20, 39)
+	alphaL := net.NewMemory(s1, nil, r1Key(s1))
+	tc.Attach(alphaL)
+	and2 := net.NewAndNode(alphaL, betaRight, "a", "b", "rb_", 96)
+	result := net.NewMemory(and2.Schema(), nil, func(tup []byte) uint64 {
+		sch := and2.Schema()
+		return tuple.ClusterKey(sch.GetByName(tup, "skey"), sch.GetByName(tup, "tid"))
+	})
+	and2.Attach(result)
+	w.R1.Tree().ScanAll(func(rec []byte) bool {
+		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		return true
+	})
+	if result.Len() != 10 {
+		t.Fatalf("3-way result holds %d, want 10", result.Len())
+	}
+	// Verify the three-way join attributes line up.
+	sch := and2.Schema()
+	result.File().Scan(func(_ uint64, rec []byte) bool {
+		if sch.GetByName(rec, "a") != sch.GetByName(rec, "rb_b") {
+			t.Errorf("R1-R2 join mismatch")
+		}
+		if sch.GetByName(rec, "rb_c") != sch.GetByName(rec, "rb_r3_d") {
+			t.Errorf("R2-R3 join mismatch")
+		}
+		return true
+	})
+
+	// Dynamic check: move a tuple into the band and confirm the three-way
+	// result tracks it.
+	w.Pager.SetCharging(true)
+	old, _ := w.R1.Tree().Get(tuple.ClusterKey(110, 110)) // a=30, p2=0: qualifies
+	newTup := append([]byte(nil), old...)
+	s1.SetByName(newTup, "skey", 25)
+	net.SubmitModify("r1", old, newTup)
+	if result.Len() != 11 {
+		t.Fatalf("after move-in, result holds %d, want 11", result.Len())
+	}
+}

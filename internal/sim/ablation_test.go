@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"dbproc/internal/costmodel"
+)
+
+// TestAblationsPreserveResults: every ablation changes only cost, never
+// answers — the ablated system returns bitwise identical procedure values.
+func TestAblationsPreserveResults(t *testing.T) {
+	cases := map[string]Ablations{
+		"naive dispatch": {NaiveReteDispatch: true},
+		"no root pin":    {NoRootPin: true},
+		"coarse locks":   {CoarseInvalidation: true},
+	}
+	strategyFor := map[string]costmodel.Strategy{
+		"naive dispatch": costmodel.UpdateCacheRVM,
+		"no root pin":    costmodel.AlwaysRecompute,
+		"coarse locks":   costmodel.CacheInvalidate,
+	}
+	for name, abl := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := strategyFor[name]
+			base := Build(testConfig(costmodel.Model1, s))
+			cfg := testConfig(costmodel.Model1, s)
+			cfg.Ablations = abl
+			ablated := Build(cfg)
+			ids := base.ProcIDs()
+			for round := 0; round < 5; round++ {
+				base.Update()
+				ablated.Update()
+				for _, id := range []int{ids[0], ids[15]} {
+					want := base.Access(id)
+					got := ablated.Access(id)
+					if len(got) != len(want) {
+						t.Fatalf("round %d proc %d: %d vs %d tuples", round, id, len(got), len(want))
+					}
+					for i := range want {
+						if !bytes.Equal(got[i], want[i]) {
+							t.Fatalf("round %d proc %d tuple %d differs", round, id, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAblationsCostMore: each ablation strictly raises the measured cost
+// of the strategy it targets.
+func TestAblationsCostMore(t *testing.T) {
+	run := func(s costmodel.Strategy, abl Ablations) float64 {
+		cfg := testConfig(costmodel.Model1, s)
+		cfg.Params.K, cfg.Params.Q = 40, 40
+		cfg.Ablations = abl
+		return Run(cfg).TotalMs
+	}
+	if a, b := run(costmodel.UpdateCacheRVM, Ablations{}), run(costmodel.UpdateCacheRVM, Ablations{NaiveReteDispatch: true}); b <= a {
+		t.Errorf("naive dispatch should cost more: %v vs %v", b, a)
+	}
+	if a, b := run(costmodel.AlwaysRecompute, Ablations{}), run(costmodel.AlwaysRecompute, Ablations{NoRootPin: true}); b <= a {
+		t.Errorf("unpinned root should cost more: %v vs %v", b, a)
+	}
+	if a, b := run(costmodel.CacheInvalidate, Ablations{}), run(costmodel.CacheInvalidate, Ablations{CoarseInvalidation: true}); b <= a {
+		t.Errorf("coarse locks should cost more: %v vs %v", b, a)
+	}
+}

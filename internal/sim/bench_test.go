@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"testing"
+
+	"dbproc/internal/costmodel"
+)
+
+func BenchmarkBuildFullScale(b *testing.B) {
+	cfg := Config{Params: costmodel.Default(), Model: costmodel.Model1, Strategy: costmodel.UpdateCacheRVM, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(cfg)
+	}
+}
+
+func benchOps(b *testing.B, s costmodel.Strategy) {
+	p := costmodel.Default()
+	w := Build(Config{Params: p, Model: costmodel.Model1, Strategy: s, Seed: 1})
+	ids := w.ProcIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Update()
+		w.Access(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkOpPairRecompute(b *testing.B) { benchOps(b, costmodel.AlwaysRecompute) }
+
+func BenchmarkOpPairCacheInvalidate(b *testing.B) { benchOps(b, costmodel.CacheInvalidate) }
+
+func BenchmarkOpPairUpdateCacheAVM(b *testing.B) { benchOps(b, costmodel.UpdateCacheAVM) }
+
+func BenchmarkOpPairUpdateCacheRVM(b *testing.B) { benchOps(b, costmodel.UpdateCacheRVM) }

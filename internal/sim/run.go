@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
+	"dbproc/internal/proc"
+	"dbproc/internal/tuple"
+	"dbproc/internal/workload"
+	"math"
+)
+
+// Run builds the world for cfg and executes the workload, returning the
+// measured and predicted cost per query.
+func Run(cfg Config) Result {
+	return Build(cfg).Run()
+}
+
+// Run executes the configured workload once. The world is consumed: run a
+// fresh Build for another measurement.
+func (w *World) Run() Result {
+	p := w.cfg.Params
+	k, q := int(p.K+0.5), int(p.Q+0.5)
+	ops := w.gen.Sequence(k, q)
+
+	res := Result{Config: w.cfg}
+	for _, op := range ops {
+		w.pager.BeginOp()
+		switch op.Kind {
+		case workload.Update:
+			delta := w.baseUpdate()
+			w.strat.OnUpdate(delta)
+			res.Updates++
+		case workload.Query:
+			out := w.strat.Access(op.ProcID)
+			res.TuplesReturned += len(out)
+			res.Queries++
+		}
+		w.pager.Flush()
+	}
+	res.Counters = w.meter.Snapshot()
+	res.TotalMs = w.meter.Milliseconds()
+	res.ColdFraction = math.NaN()
+	if ci, ok := w.strat.(*proc.CacheInvalidate); ok {
+		if acc, cold := ci.AccessStats(); acc > 0 {
+			res.ColdFraction = float64(cold) / float64(acc)
+		}
+	}
+	if res.Queries > 0 {
+		res.MsPerQuery = res.TotalMs / float64(res.Queries)
+	}
+	if w.cfg.Adaptive {
+		ci := costmodel.CacheInvalidateCost(w.cfg.Model, p)
+		rc := costmodel.RecomputeCost(w.cfg.Model, p)
+		if ci < rc {
+			res.PredictedMs = ci
+		} else {
+			res.PredictedMs = rc
+		}
+	} else {
+		res.PredictedMs = costmodel.Cost(w.cfg.Model, w.cfg.Strategy, p)
+	}
+	return res
+}
+
+// baseUpdate performs one update transaction — l distinct tuples modified
+// in place — without charging I/O (the base-table update cost is common to
+// every strategy and excluded by the model), and returns the delta for the
+// strategy hooks. By default the transaction modifies R1 (re-drawing the
+// clustering attribute); with probability R2UpdateFraction it modifies R2
+// instead (re-drawing the C_f2 filter attribute).
+func (w *World) baseUpdate() proc.Delta {
+	if f := w.cfg.R2UpdateFraction; f > 0 && w.gen.Float64() < f {
+		return w.updateR2()
+	}
+	return w.updateR1()
+}
+
+func (w *World) updateR1() proc.Delta {
+	p := w.cfg.Params
+	l := int(p.L + 0.5)
+	n := int(p.N)
+	prev := w.pager.SetCharging(false)
+
+	tids := w.gen.PickDistinct(l, n)
+	delta := proc.Delta{Rel: w.r1}
+	for _, tid := range tids {
+		oldKey := tuple.ClusterKey(w.skey[tid], int64(tid))
+		old, ok := w.r1.Tree().Get(oldKey)
+		if !ok {
+			panic("sim: base tuple lost")
+		}
+		newSkey := int64(w.gen.Intn(n))
+		newTup := append([]byte(nil), old...)
+		w.r1.Schema().SetByName(newTup, "skey", newSkey)
+		w.r1.DeleteKeyed(oldKey)
+		w.r1.Insert(newTup)
+		w.skey[tid] = newSkey
+		delta.Deleted = append(delta.Deleted, old)
+		delta.Inserted = append(delta.Inserted, newTup)
+	}
+	w.pager.BeginOp() // flush the uncharged base-table writes
+	w.pager.SetCharging(prev)
+	return delta
+}
+
+func (w *World) updateR2() proc.Delta {
+	p := w.cfg.Params
+	l := int(p.L + 0.5)
+	n2 := len(w.p2)
+	if l > n2 {
+		l = n2
+	}
+	prev := w.pager.SetCharging(false)
+
+	tids := w.gen.PickDistinct(l, n2)
+	s2 := w.r2.Schema()
+	delta := proc.Delta{Rel: w.r2}
+	for _, tid := range tids {
+		// R2's hash key b equals the tuple id by construction.
+		old, ok := w.r2.Hash().Lookup(uint64(tid))
+		if !ok {
+			panic("sim: R2 tuple lost")
+		}
+		newP2 := int64(w.gen.Intn(p2Max))
+		newTup := append([]byte(nil), old...)
+		s2.SetByName(newTup, "p2", newP2)
+		w.r2.Hash().Delete(uint64(tid))
+		w.r2.Insert(newTup)
+		w.p2[tid] = newP2
+		delta.Deleted = append(delta.Deleted, old)
+		delta.Inserted = append(delta.Inserted, newTup)
+	}
+	w.pager.BeginOp()
+	w.pager.SetCharging(prev)
+	return delta
+}
+
+// Access runs one procedure query outside the workload loop (used by
+// examples and equivalence tests).
+func (w *World) Access(id int) [][]byte {
+	w.pager.BeginOp()
+	out := w.strat.Access(id)
+	w.pager.Flush()
+	return out
+}
+
+// Update applies one update transaction outside the workload loop.
+func (w *World) Update() {
+	w.pager.BeginOp()
+	d := w.baseUpdate()
+	w.strat.OnUpdate(d)
+	w.pager.Flush()
+}
+
+// Strategy exposes the built strategy.
+func (w *World) Strategy() proc.Strategy { return w.strat }
+
+// ProcIDs returns the defined procedure ids.
+func (w *World) ProcIDs() []int { return w.mgr.IDs() }
+
+// Meter returns the world's cost meter.
+func (w *World) Meter() *metric.Meter { return w.meter }

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"bytes"
+
+	"testing"
+
+	"dbproc/internal/costmodel"
+)
+
+// testParams returns a scaled-down parameter set that keeps the paper's
+// shape (b = 250 pages, fN = 100-tuple P1 results, 1:1 joins) but runs
+// fast enough for unit tests.
+func testParams() costmodel.Params {
+	p := costmodel.Default()
+	p.N = 10_000
+	p.F = 0.01 // fN = 100 tuples, like the paper's default
+	p.N1, p.N2 = 10, 10
+	p.K, p.Q = 15, 15
+	p.L = 5
+	return p
+}
+
+func testConfig(m costmodel.Model, s costmodel.Strategy) Config {
+	return Config{Params: testParams(), Model: m, Strategy: s, Seed: 11}
+}
+
+// TestStrategiesAgreeOnResults drives the four strategies through an
+// identical interleaving of updates and accesses and requires bitwise
+// identical query answers — the core correctness property: every strategy
+// computes the same procedure values.
+func TestStrategiesAgreeOnResults(t *testing.T) {
+	for _, m := range []costmodel.Model{costmodel.Model1, costmodel.Model2} {
+		t.Run(m.String(), func(t *testing.T) {
+			worlds := make([]*World, 0, 4)
+			for _, s := range costmodel.Strategies {
+				worlds = append(worlds, Build(testConfig(m, s)))
+			}
+			ids := worlds[0].ProcIDs()
+			for round := 0; round < 8; round++ {
+				for _, w := range worlds {
+					w.Update()
+				}
+				for _, id := range []int{ids[0], ids[5], ids[10], ids[15], ids[len(ids)-1]} {
+					ref := worlds[0].Access(id)
+					for wi, w := range worlds[1:] {
+						got := w.Access(id)
+						if len(got) != len(ref) {
+							t.Fatalf("round %d proc %d: %v returned %d tuples, recompute %d",
+								round, id, costmodel.Strategies[wi+1], len(got), len(ref))
+						}
+						for i := range ref {
+							if !bytes.Equal(got[i], ref[i]) {
+								t.Fatalf("round %d proc %d tuple %d: %v differs from recompute",
+									round, id, i, costmodel.Strategies[wi+1])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStrategiesAgreeUnderR2Updates repeats the equivalence check with
+// half of the update transactions hitting R2's filter attribute — the
+// section 8 extension the paper leaves unanalyzed. Every strategy must
+// still compute identical procedure values.
+func TestStrategiesAgreeUnderR2Updates(t *testing.T) {
+	for _, m := range []costmodel.Model{costmodel.Model1, costmodel.Model2} {
+		t.Run(m.String(), func(t *testing.T) {
+			worlds := make([]*World, 0, 4)
+			for _, s := range costmodel.Strategies {
+				cfg := testConfig(m, s)
+				cfg.R2UpdateFraction = 0.5
+				worlds = append(worlds, Build(cfg))
+			}
+			ids := worlds[0].ProcIDs()
+			for round := 0; round < 10; round++ {
+				for _, w := range worlds {
+					w.Update()
+				}
+				for _, id := range []int{ids[11], ids[14], ids[19]} { // P2 procs
+					ref := worlds[0].Access(id)
+					for wi, w := range worlds[1:] {
+						got := w.Access(id)
+						if len(got) != len(ref) {
+							t.Fatalf("round %d proc %d: %v returned %d tuples, recompute %d",
+								round, id, costmodel.Strategies[wi+1], len(got), len(ref))
+						}
+						for i := range ref {
+							if !bytes.Equal(got[i], ref[i]) {
+								t.Fatalf("round %d proc %d tuple %d: %v differs from recompute",
+									round, id, i, costmodel.Strategies[wi+1])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestR2UpdateWorkloadRuns smoke-tests a full mixed-update run and checks
+// the paper-motivated expectation: R2-heavy updates hurt Update Cache
+// (whose static plans must join deltas back through an unindexed
+// direction) much more than Cache and Invalidate.
+func TestR2UpdateWorkloadRuns(t *testing.T) {
+	run := func(s costmodel.Strategy, frac float64) float64 {
+		cfg := testConfig(costmodel.Model1, s)
+		cfg.R2UpdateFraction = frac
+		return Run(cfg).MsPerQuery
+	}
+	ciR1, ciR2 := run(costmodel.CacheInvalidate, 0), run(costmodel.CacheInvalidate, 1)
+	avmR1, avmR2 := run(costmodel.UpdateCacheAVM, 0), run(costmodel.UpdateCacheAVM, 1)
+	ciGrowth := ciR2 / ciR1
+	avmGrowth := avmR2 / avmR1
+	if avmGrowth <= ciGrowth {
+		t.Errorf("R2-only updates should hurt AVM (x%.2f) more than C&I (x%.2f)", avmGrowth, ciGrowth)
+	}
+}
+
+// TestAdaptiveTracksEnvelope: the adaptive strategy should cost about the
+// same as Cache and Invalidate when updates are rare, and escape the C&I
+// invalidation-cost blowup when updates dominate, landing near Always
+// Recompute — the lower envelope of the two pure strategies.
+func TestAdaptiveTracksEnvelope(t *testing.T) {
+	base := testParams()
+	base.CInval = 60
+	base.K, base.Q = 200, 200 // long enough for per-procedure adaptation
+	run := func(up float64, s costmodel.Strategy, adaptive bool) float64 {
+		cfg := Config{
+			Params:   base.WithUpdateProbability(up),
+			Model:    costmodel.Model1,
+			Strategy: s,
+			Seed:     3,
+			Adaptive: adaptive,
+		}
+		return Run(cfg).MsPerQuery
+	}
+	// Low P: adaptive ~= C&I, far below recompute.
+	ciLo := run(0.1, costmodel.CacheInvalidate, false)
+	adLo := run(0.1, costmodel.CacheInvalidate, true)
+	rcLo := run(0.1, costmodel.AlwaysRecompute, false)
+	if adLo > 1.3*ciLo {
+		t.Errorf("P=0.1: adaptive %.0f should track C&I %.0f", adLo, ciLo)
+	}
+	if adLo > rcLo/2 {
+		t.Errorf("P=0.1: adaptive %.0f should be far below recompute %.0f", adLo, rcLo)
+	}
+	// High P: adaptive escapes the C&I blowup and lands near recompute.
+	ciHi := run(0.9, costmodel.CacheInvalidate, false)
+	adHi := run(0.9, costmodel.CacheInvalidate, true)
+	rcHi := run(0.9, costmodel.AlwaysRecompute, false)
+	if adHi > 0.6*ciHi {
+		t.Errorf("P=0.9: adaptive %.0f should escape C&I's %.0f", adHi, ciHi)
+	}
+	if adHi > 1.6*rcHi {
+		t.Errorf("P=0.9: adaptive %.0f should approach recompute %.0f", adHi, rcHi)
+	}
+}
+
+// TestRunProducesSaneMeasurements checks Run's bookkeeping and that every
+// strategy measures a positive cost within an order of magnitude of the
+// analytic prediction at a mid-range update probability.
+func TestRunProducesSaneMeasurements(t *testing.T) {
+	for _, s := range costmodel.Strategies {
+		res := Run(testConfig(costmodel.Model1, s))
+		if res.Queries != 15 || res.Updates != 15 {
+			t.Fatalf("%v: queries=%d updates=%d", s, res.Queries, res.Updates)
+		}
+		if res.MsPerQuery <= 0 {
+			t.Fatalf("%v: MsPerQuery = %v", s, res.MsPerQuery)
+		}
+		if res.PredictedMs <= 0 {
+			t.Fatalf("%v: PredictedMs = %v", s, res.PredictedMs)
+		}
+		ratio := res.MsPerQuery / res.PredictedMs
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("%v: measured %v ms/query vs predicted %v (ratio %.2f)",
+				s, res.MsPerQuery, res.PredictedMs, ratio)
+		}
+	}
+}
+
+// TestMeasuredStrategyOrdering reproduces the headline shape on the real
+// system: at a low update probability the caching strategies beat Always
+// Recompute, and at a very high update probability Update Cache loses its
+// advantage against Cache and Invalidate.
+func TestMeasuredStrategyOrdering(t *testing.T) {
+	lowP := func(s costmodel.Strategy) float64 {
+		cfg := testConfig(costmodel.Model1, s)
+		cfg.Params.K, cfg.Params.Q = 4, 36 // P = 0.1
+		return Run(cfg).MsPerQuery
+	}
+	rc, ci, uc := lowP(costmodel.AlwaysRecompute), lowP(costmodel.CacheInvalidate), lowP(costmodel.UpdateCacheAVM)
+	if ci >= rc {
+		t.Errorf("P=0.1: C&I %.0f should beat recompute %.0f", ci, rc)
+	}
+	if uc >= rc {
+		t.Errorf("P=0.1: Update Cache %.0f should beat recompute %.0f", uc, rc)
+	}
+
+	highP := func(s costmodel.Strategy) float64 {
+		cfg := testConfig(costmodel.Model1, s)
+		cfg.Params.K, cfg.Params.Q = 90, 10 // P = 0.9
+		return Run(cfg).MsPerQuery
+	}
+	ciHi, ucHi := highP(costmodel.CacheInvalidate), highP(costmodel.UpdateCacheAVM)
+	if ucHi <= ciHi {
+		t.Errorf("P=0.9: Update Cache %.0f should cost more than C&I %.0f", ucHi, ciHi)
+	}
+}
+
+// TestSharingReducesRVMCost: with every P2 procedure sharing a P1
+// subexpression (SF=1), RVM's per-update maintenance must cost less than
+// with no sharing (SF=0) on the same workload.
+func TestSharingReducesRVMCost(t *testing.T) {
+	run := func(sf float64) float64 {
+		cfg := testConfig(costmodel.Model1, costmodel.UpdateCacheRVM)
+		cfg.Params.SF = sf
+		cfg.Params.K, cfg.Params.Q = 30, 10
+		return Run(cfg).TotalMs
+	}
+	if hi, lo := run(0), run(1); lo >= hi {
+		t.Errorf("SF=1 total %.0f should be below SF=0 total %.0f", lo, hi)
+	}
+}
+
+// TestCinvalChargedPerConflict: raising C_inval raises only Cache and
+// Invalidate's measured cost.
+func TestCinvalChargedPerConflict(t *testing.T) {
+	base := testConfig(costmodel.Model1, costmodel.CacheInvalidate)
+	cheap := Run(base)
+	base.Params.CInval = 60
+	costly := Run(base)
+	if costly.TotalMs <= cheap.TotalMs {
+		t.Errorf("C_inval=60 total %.0f should exceed C_inval=0 total %.0f", costly.TotalMs, cheap.TotalMs)
+	}
+	if costly.Counters.Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+	// Invalidations are deduplicated per (procedure, transaction): never
+	// more than procs x updates.
+	maxInv := int64(20 * 15)
+	if costly.Counters.Invalidations > maxInv {
+		t.Errorf("invalidations = %d exceeds procs x updates = %d", costly.Counters.Invalidations, maxInv)
+	}
+}
+
+// TestUpdateCacheAccessIsPureRead: with no updates at all, Update Cache
+// and C&I accesses charge only result-page reads, and all strategies cost
+// the model's C_read.
+func TestUpdateCacheAccessIsPureRead(t *testing.T) {
+	for _, s := range []costmodel.Strategy{costmodel.CacheInvalidate, costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM} {
+		cfg := testConfig(costmodel.Model1, s)
+		cfg.Params.K = 0
+		res := Run(cfg)
+		if res.Counters.PageWrites != 0 || res.Counters.Screens != 0 || res.Counters.DeltaOps != 0 {
+			t.Errorf("%v with no updates charged %v", s, res.Counters)
+		}
+		if res.Counters.PageReads == 0 {
+			t.Errorf("%v read nothing", s)
+		}
+	}
+}
+
+// TestDeterminism: identical configs give identical measurements.
+func TestDeterminism(t *testing.T) {
+	a := Run(testConfig(costmodel.Model2, costmodel.UpdateCacheRVM))
+	b := Run(testConfig(costmodel.Model2, costmodel.UpdateCacheRVM))
+	if a.TotalMs != b.TotalMs || a.Counters != b.Counters {
+		t.Fatalf("nondeterministic: %v vs %v", a.Counters, b.Counters)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"bad params":   func(c *Config) { c.Params.N = 0 },
+		"bad model":    func(c *Config) { c.Model = 9 },
+		"bad strategy": func(c *Config) { c.Strategy = 9 },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			cfg := testConfig(costmodel.Model1, costmodel.AlwaysRecompute)
+			mutate(&cfg)
+			Build(cfg)
+		}()
+	}
+}
+
+// TestResultTupleCounts sanity-checks result sizes: P1 procedures return
+// fN tuples; P2 procedures return about f*N.
+func TestResultTupleCounts(t *testing.T) {
+	w := Build(testConfig(costmodel.Model1, costmodel.AlwaysRecompute))
+	p := testParams()
+	fN := int(p.F * p.N)
+	totalP1, totalP2 := 0, 0
+	for i, id := range w.ProcIDs() {
+		n := len(w.Access(id))
+		if i < 10 {
+			if n != fN {
+				t.Errorf("P1 proc %d returned %d tuples, want %d", id, n, fN)
+			}
+			totalP1 += n
+		} else {
+			totalP2 += n
+		}
+	}
+	// Expected P2 size f*N = 10; allow generous binomial spread on the
+	// per-procedure mean over 10 procedures.
+	mean := float64(totalP2) / 10
+	if mean < 3 || mean > 25 {
+		t.Errorf("mean P2 result size %.1f, expected around %.0f", mean, p.FStar()*p.N)
+	}
+}

@@ -1,0 +1,217 @@
+// Package storage provides the simulated disk substrate: fixed-size pages,
+// an operation-scoped pager that meters page I/O, and two file
+// abstractions — an append-only RecordFile and a key-clustered OrderedFile.
+//
+// Cost fidelity follows the paper's model: every *distinct* page touched by
+// one logical operation costs one C2 read (plus one C2 write if dirtied);
+// repeated touches within the operation are free, and nothing is retained
+// across operations (the model assumes no buffer-pool hits between
+// operations). Call Pager.BeginOp at each operation boundary.
+package storage
+
+import (
+	"fmt"
+
+	"dbproc/internal/metric"
+)
+
+// PageID names one page on the simulated disk.
+type PageID int32
+
+// NilPage is the invalid page id.
+const NilPage PageID = -1
+
+// Disk is a volume of fixed-size pages held in memory. All metered access
+// goes through a Pager; the Disk's own read/write methods are raw
+// (uncharged) and intended for bulk loading and for the pager itself.
+type Disk struct {
+	pageSize int
+	pages    [][]byte
+	free     []PageID
+}
+
+// NewDisk creates an empty disk with the given page size in bytes.
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		panic("storage: page size must be positive")
+	}
+	return &Disk{pageSize: pageSize}
+}
+
+// PageSize returns the size of every page in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages (including freed ones,
+// which remain reserved until reused).
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Alloc reserves a zeroed page and returns its id. Allocation itself is
+// not a charged I/O; the first write to the page is.
+func (d *Disk) Alloc() PageID {
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		clear(d.pages[id])
+		return id
+	}
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// Free returns a page to the allocator. Accessing a freed page is a bug
+// and panics on the next checked access.
+func (d *Disk) Free(id PageID) {
+	d.check(id)
+	d.free = append(d.free, id)
+}
+
+// ReadRaw copies the page's contents into a fresh slice without charging
+// any cost. Use only for bulk setup and debugging.
+func (d *Disk) ReadRaw(id PageID) []byte {
+	d.check(id)
+	out := make([]byte, d.pageSize)
+	copy(out, d.pages[id])
+	return out
+}
+
+// WriteRaw replaces the page's contents without charging any cost. Use
+// only for bulk setup. The data must be at most one page.
+func (d *Disk) WriteRaw(id PageID, data []byte) {
+	d.check(id)
+	if len(data) > d.pageSize {
+		panic(fmt.Sprintf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize))
+	}
+	clear(d.pages[id])
+	copy(d.pages[id], data)
+}
+
+func (d *Disk) check(id PageID) {
+	if id < 0 || int(id) >= len(d.pages) {
+		panic(fmt.Sprintf("storage: page %d out of range [0,%d)", id, len(d.pages)))
+	}
+}
+
+// page returns the live backing slice; internal use by Pager only.
+func (d *Disk) page(id PageID) []byte {
+	d.check(id)
+	return d.pages[id]
+}
+
+// Pager provides metered, operation-scoped access to a Disk. Within one
+// operation (delimited by BeginOp calls) the first read of each page
+// charges one C2 page read; dirtying a page charges one C2 page write when
+// the operation's frames are flushed. Nothing survives an operation
+// boundary, matching the model's assumption of no cross-operation
+// buffering.
+type Pager struct {
+	disk     *Disk
+	meter    *metric.Meter
+	charging bool
+	frames   map[PageID]*frame
+}
+
+type frame struct {
+	data  []byte
+	dirty bool
+}
+
+// NewPager creates a pager over disk charging I/O to meter. Charging
+// starts enabled.
+func NewPager(disk *Disk, meter *metric.Meter) *Pager {
+	return &Pager{disk: disk, meter: meter, charging: true, frames: make(map[PageID]*frame)}
+}
+
+// Disk returns the underlying disk.
+func (p *Pager) Disk() *Disk { return p.disk }
+
+// Meter returns the meter I/O is charged to.
+func (p *Pager) Meter() *metric.Meter { return p.meter }
+
+// SetCharging enables or disables cost accounting. Bulk loading and base
+// relation updates (whose cost is common to every strategy and excluded by
+// the paper's model) run with charging disabled. It returns the previous
+// setting.
+func (p *Pager) SetCharging(on bool) bool {
+	prev := p.charging
+	p.charging = on
+	return prev
+}
+
+// Charging reports whether cost accounting is enabled.
+func (p *Pager) Charging() bool { return p.charging }
+
+// BeginOp flushes all dirty frames (charging their writes) and forgets
+// every cached frame, starting a fresh operation scope.
+func (p *Pager) BeginOp() {
+	p.Flush()
+	clear(p.frames)
+}
+
+// Flush writes every dirty frame back to disk, charging one page write
+// each, and marks them clean. Clean frames stay cached for the rest of the
+// operation.
+func (p *Pager) Flush() {
+	for id, f := range p.frames {
+		if f.dirty {
+			p.disk.WriteRaw(id, f.data)
+			if p.charging {
+				p.meter.PageWrite(1)
+			}
+			f.dirty = false
+		}
+	}
+}
+
+// Read returns the page contents for reading. The first access in this
+// operation charges one page read. The returned slice aliases the frame
+// buffer: do not retain it across BeginOp, and do not modify it (use
+// Update for that).
+func (p *Pager) Read(id PageID) []byte {
+	return p.fetch(id, true).data
+}
+
+// Update returns the page contents for read-modify-write. It charges like
+// Read on first access and additionally marks the frame dirty, so the
+// operation's flush charges one page write.
+func (p *Pager) Update(id PageID) []byte {
+	f := p.fetch(id, true)
+	f.dirty = true
+	return f.data
+}
+
+// Overwrite returns a zeroed buffer for the page, marking it dirty without
+// charging a read: use it when the previous contents are irrelevant (a
+// freshly allocated or fully rewritten page).
+func (p *Pager) Overwrite(id PageID) []byte {
+	f, ok := p.frames[id]
+	if !ok {
+		f = &frame{data: make([]byte, p.disk.pageSize)}
+		p.disk.check(id)
+		p.frames[id] = f
+	} else {
+		clear(f.data)
+	}
+	f.dirty = true
+	return f.data
+}
+
+// Drop discards the page's frame without flushing it, even if dirty. Call
+// it before freeing a page so a stale dirty frame is not written back (and
+// charged) later.
+func (p *Pager) Drop(id PageID) {
+	delete(p.frames, id)
+}
+
+func (p *Pager) fetch(id PageID, charge bool) *frame {
+	if f, ok := p.frames[id]; ok {
+		return f
+	}
+	data := make([]byte, p.disk.pageSize)
+	copy(data, p.disk.page(id))
+	f := &frame{data: data}
+	p.frames[id] = f
+	if charge && p.charging {
+		p.meter.PageRead(1)
+	}
+	return f
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OrderedFile is a key-clustered file of fixed-size records: records live
+// on pages in ascending key order, and an in-memory directory (one key per
+// record) locates the page holding any key without charged I/O. This is
+// the layout the paper's model implies for materialized procedure results
+// and Rete memory nodes: changing the 2fl affected tuples touches only the
+// y(fN, fb, 2fl) pages they live on, never a scan, and the locating
+// directory (a B-tree's internal levels, assumed memory-resident for these
+// small objects) is not charged.
+//
+// Keys are unique uint64s; callers that cluster by a non-unique attribute
+// pack a tiebreaker into the low bits (see tuple.ClusterKey).
+type OrderedFile struct {
+	pager   *Pager
+	recSize int
+	perPage int
+	pages   []*ofPage
+	n       int
+}
+
+type ofPage struct {
+	id   PageID
+	keys []uint64 // sorted; len(keys) = records on this page
+}
+
+// NewOrderedFile creates an empty ordered file with recSize-byte records.
+func NewOrderedFile(pager *Pager, recSize int) *OrderedFile {
+	perPage := pager.Disk().PageSize() / recSize
+	if recSize <= 0 || perPage < 1 {
+		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, pager.Disk().PageSize()))
+	}
+	return &OrderedFile{pager: pager, recSize: recSize, perPage: perPage}
+}
+
+// Len returns the number of records.
+func (f *OrderedFile) Len() int { return f.n }
+
+// Pages returns the number of data pages.
+func (f *OrderedFile) Pages() int { return len(f.pages) }
+
+// RecordSize returns the fixed record width in bytes.
+func (f *OrderedFile) RecordSize() int { return f.recSize }
+
+// pageFor returns the index of the page that does or should contain key.
+func (f *OrderedFile) pageFor(key uint64) int {
+	// First page whose max key >= key; otherwise the last page.
+	i := sort.Search(len(f.pages), func(i int) bool {
+		ks := f.pages[i].keys
+		return ks[len(ks)-1] >= key
+	})
+	if i == len(f.pages) {
+		i--
+	}
+	return i
+}
+
+// Insert stores rec under key, keeping key order. Inserting into an
+// existing page is a read-modify-write of that page; a page split
+// additionally writes the new page. Inserting a key that is already
+// present panics: result and memory files hold sets, and a duplicate
+// insertion indicates a maintenance bug upstream.
+func (f *OrderedFile) Insert(key uint64, rec []byte) {
+	if len(rec) != f.recSize {
+		panic(fmt.Sprintf("storage: record of %d bytes, want %d", len(rec), f.recSize))
+	}
+	if len(f.pages) == 0 {
+		id := f.pager.Disk().Alloc()
+		buf := f.pager.Overwrite(id)
+		copy(buf, rec)
+		f.pages = append(f.pages, &ofPage{id: id, keys: []uint64{key}})
+		f.n = 1
+		return
+	}
+	pi := f.pageFor(key)
+	pg := f.pages[pi]
+	slot := sort.Search(len(pg.keys), func(i int) bool { return pg.keys[i] >= key })
+	if slot < len(pg.keys) && pg.keys[slot] == key {
+		panic(fmt.Sprintf("storage: duplicate key %d", key))
+	}
+	if len(pg.keys) == f.perPage {
+		f.split(pi)
+		// Re-locate after the split.
+		pi = f.pageFor(key)
+		pg = f.pages[pi]
+		slot = sort.Search(len(pg.keys), func(i int) bool { return pg.keys[i] >= key })
+	}
+	buf := f.pager.Update(pg.id)
+	// Shift records [slot, len) up one slot within the page.
+	copy(buf[(slot+1)*f.recSize:(len(pg.keys)+1)*f.recSize], buf[slot*f.recSize:len(pg.keys)*f.recSize])
+	copy(buf[slot*f.recSize:], rec)
+	pg.keys = append(pg.keys, 0)
+	copy(pg.keys[slot+1:], pg.keys[slot:])
+	pg.keys[slot] = key
+	f.n++
+}
+
+// split divides page pi in half, moving the upper half to a fresh page
+// inserted after it.
+func (f *OrderedFile) split(pi int) {
+	pg := f.pages[pi]
+	half := len(pg.keys) / 2
+	newID := f.pager.Disk().Alloc()
+	oldBuf := f.pager.Update(pg.id)
+	newBuf := f.pager.Overwrite(newID)
+	copy(newBuf, oldBuf[half*f.recSize:len(pg.keys)*f.recSize])
+	clear(oldBuf[half*f.recSize : len(pg.keys)*f.recSize])
+	newPage := &ofPage{id: newID, keys: append([]uint64(nil), pg.keys[half:]...)}
+	pg.keys = pg.keys[:half]
+	f.pages = append(f.pages, nil)
+	copy(f.pages[pi+2:], f.pages[pi+1:])
+	f.pages[pi+1] = newPage
+}
+
+// Delete removes the record stored under key, reporting whether it was
+// present. A hit is a read-modify-write of the record's page; an emptied
+// page is freed.
+func (f *OrderedFile) Delete(key uint64) bool {
+	pi, slot, ok := f.find(key)
+	if !ok {
+		return false
+	}
+	pg := f.pages[pi]
+	buf := f.pager.Update(pg.id)
+	copy(buf[slot*f.recSize:], buf[(slot+1)*f.recSize:len(pg.keys)*f.recSize])
+	clear(buf[(len(pg.keys)-1)*f.recSize : len(pg.keys)*f.recSize])
+	pg.keys = append(pg.keys[:slot], pg.keys[slot+1:]...)
+	f.n--
+	if len(pg.keys) == 0 {
+		f.pager.Drop(pg.id)
+		f.pager.Disk().Free(pg.id)
+		f.pages = append(f.pages[:pi], f.pages[pi+1:]...)
+	}
+	return true
+}
+
+// Contains reports whether key is present, using only the in-memory
+// directory (no charged I/O).
+func (f *OrderedFile) Contains(key uint64) bool {
+	_, _, ok := f.find(key)
+	return ok
+}
+
+// Get returns a copy of the record stored under key.
+func (f *OrderedFile) Get(key uint64) ([]byte, bool) {
+	pi, slot, ok := f.find(key)
+	if !ok {
+		return nil, false
+	}
+	buf := f.pager.Read(f.pages[pi].id)
+	out := make([]byte, f.recSize)
+	copy(out, buf[slot*f.recSize:])
+	return out, true
+}
+
+func (f *OrderedFile) find(key uint64) (pi, slot int, ok bool) {
+	if len(f.pages) == 0 {
+		return 0, 0, false
+	}
+	pi = f.pageFor(key)
+	ks := f.pages[pi].keys
+	slot = sort.Search(len(ks), func(i int) bool { return ks[i] >= key })
+	if slot == len(ks) || ks[slot] != key {
+		return 0, 0, false
+	}
+	return pi, slot, true
+}
+
+// Scan calls fn for every record in ascending key order until fn returns
+// false, charging one read per page touched. The rec slice aliases the
+// page frame and is valid only during the call.
+func (f *OrderedFile) Scan(fn func(key uint64, rec []byte) bool) {
+	for _, pg := range f.pages {
+		buf := f.pager.Read(pg.id)
+		for s, k := range pg.keys {
+			if !fn(k, buf[s*f.recSize:(s+1)*f.recSize]) {
+				return
+			}
+		}
+	}
+}
+
+// ScanRange calls fn for every record with lo <= key <= hi in ascending
+// order, reading only the pages that overlap the range.
+func (f *OrderedFile) ScanRange(lo, hi uint64, fn func(key uint64, rec []byte) bool) {
+	if len(f.pages) == 0 || lo > hi {
+		return
+	}
+	for pi := f.pageFor(lo); pi < len(f.pages); pi++ {
+		pg := f.pages[pi]
+		if pg.keys[0] > hi {
+			return
+		}
+		if pg.keys[len(pg.keys)-1] < lo {
+			continue
+		}
+		buf := f.pager.Read(pg.id)
+		for s, k := range pg.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, buf[s*f.recSize:(s+1)*f.recSize]) {
+				return
+			}
+		}
+	}
+}
+
+// Clear frees every page, leaving an empty file, without charged I/O.
+func (f *OrderedFile) Clear() {
+	for _, pg := range f.pages {
+		f.pager.Drop(pg.id)
+		f.pager.Disk().Free(pg.id)
+	}
+	f.pages = f.pages[:0]
+	f.n = 0
+}
+
+// Replace rebuilds the file from the given sorted records, modeling the
+// cache refresh of the paper's C_WriteCache: each resulting page is a
+// read-modify-write (2 charged I/Os). Keys must be strictly ascending and
+// recs the same length as keys.
+func (f *OrderedFile) Replace(keys []uint64, recs [][]byte) {
+	if len(keys) != len(recs) {
+		panic("storage: Replace keys/recs length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			panic("storage: Replace keys must be strictly ascending")
+		}
+	}
+	f.Clear()
+	for i := 0; i < len(keys); i += f.perPage {
+		end := i + f.perPage
+		if end > len(keys) {
+			end = len(keys)
+		}
+		id := f.pager.Disk().Alloc()
+		// Update (not Overwrite) so the rebuild charges read+write per
+		// page, matching C_WriteCache = 2·C2·ProcSize.
+		buf := f.pager.Update(id)
+		pg := &ofPage{id: id, keys: append([]uint64(nil), keys[i:end]...)}
+		for s := i; s < end; s++ {
+			if len(recs[s]) != f.recSize {
+				panic(fmt.Sprintf("storage: record of %d bytes, want %d", len(recs[s]), f.recSize))
+			}
+			copy(buf[(s-i)*f.recSize:], recs[s])
+		}
+		f.pages = append(f.pages, pg)
+	}
+	f.n = len(keys)
+}

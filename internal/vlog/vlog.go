@@ -1,0 +1,228 @@
+// Package vlog implements the recoverable validity table the paper
+// sketches for Cache and Invalidate (section 3): instead of flagging
+// invalidation on the cached object's first page (two I/Os, the expensive
+// C_inval = 2·C2 regime of Figure 4), the system keeps the validity table
+// in memory and makes it recoverable with conventional write-ahead logging
+// [Gra78] — append the identifier of each procedure whose validity flips,
+// checkpoint the whole table periodically, and after a crash replay the
+// log tail against the last checkpoint.
+//
+// The log writes to a Device, an append-only byte store with optional
+// write-failure injection so tests can crash the system mid-record and
+// verify that recovery returns exactly the state as of the last fully
+// written record. Every record carries a CRC32; recovery stops at the
+// first torn or corrupt record.
+package vlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Record kinds.
+const (
+	kindInvalidate = byte(1)
+	kindValidate   = byte(2)
+	kindCheckpoint = byte(3)
+)
+
+// ErrDeviceFull is returned when the device's injected failure point is
+// reached; the write may be torn.
+var ErrDeviceFull = errors.New("vlog: device write failed")
+
+// Device is an append-only byte store. FailAfter simulates a crash: once
+// the total bytes written would exceed it, the write is truncated at the
+// boundary and ErrDeviceFull returned — a torn write, exactly what
+// recovery must tolerate.
+type Device struct {
+	buf       []byte
+	failAfter int // -1 = never
+}
+
+// NewDevice returns an empty device with no failure point.
+func NewDevice() *Device { return &Device{failAfter: -1} }
+
+// FailAfter arms the crash point at the given total size in bytes.
+func (d *Device) FailAfter(n int) { d.failAfter = n }
+
+// Len returns the bytes stored.
+func (d *Device) Len() int { return len(d.buf) }
+
+// Contents returns the raw bytes (for handing to Recover).
+func (d *Device) Contents() []byte { return d.buf }
+
+// append writes p, honoring the failure point.
+func (d *Device) append(p []byte) error {
+	if d.failAfter >= 0 && len(d.buf)+len(p) > d.failAfter {
+		room := d.failAfter - len(d.buf)
+		if room > 0 {
+			d.buf = append(d.buf, p[:room]...)
+		}
+		return ErrDeviceFull
+	}
+	d.buf = append(d.buf, p...)
+	return nil
+}
+
+// Log is a write-ahead validity log.
+type Log struct {
+	dev *Device
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// appended flip records (0 disables automatic checkpoints).
+	CheckpointEvery int
+
+	sinceCheckpoint int
+	state           map[int32]bool // procedure id -> valid
+}
+
+// New creates a log on dev whose initial state marks every given
+// procedure id valid, and writes that state as the first checkpoint.
+func New(dev *Device, ids []int32) (*Log, error) {
+	l := &Log{dev: dev, state: make(map[int32]bool, len(ids))}
+	for _, id := range ids {
+		l.state[id] = true
+	}
+	if err := l.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// record encodes one flip record: kind, id, crc of the payload.
+func record(kind byte, id int32) []byte {
+	var b [9]byte
+	b[0] = kind
+	binary.LittleEndian.PutUint32(b[1:], uint32(id))
+	binary.LittleEndian.PutUint32(b[5:], crc32.ChecksumIEEE(b[:5]))
+	return b[:]
+}
+
+func (l *Log) flip(kind byte, id int32, valid bool) error {
+	if _, known := l.state[id]; !known {
+		return fmt.Errorf("vlog: unknown procedure %d", id)
+	}
+	if err := l.dev.append(record(kind, id)); err != nil {
+		return err
+	}
+	l.state[id] = valid
+	l.sinceCheckpoint++
+	if l.CheckpointEvery > 0 && l.sinceCheckpoint >= l.CheckpointEvery {
+		return l.Checkpoint()
+	}
+	return nil
+}
+
+// Invalidate durably records that procedure id's cached value is invalid.
+func (l *Log) Invalidate(id int) error { return l.flip(kindInvalidate, int32(id), false) }
+
+// Validate durably records that procedure id's cached value was refreshed.
+func (l *Log) Validate(id int) error { return l.flip(kindValidate, int32(id), true) }
+
+// Valid reports the in-memory state for id.
+func (l *Log) Valid(id int) bool { return l.state[int32(id)] }
+
+// State returns a copy of the full validity table.
+func (l *Log) State() map[int32]bool {
+	out := make(map[int32]bool, len(l.state))
+	for id, v := range l.state {
+		out[id] = v
+	}
+	return out
+}
+
+// Checkpoint writes the complete validity table. Recovery needs only the
+// log suffix from the last complete checkpoint, so in a real system the
+// prefix could be truncated; the simulated device keeps it for test
+// introspection.
+//
+// Layout: kind, count, count x (id, validByte), crc of everything prior.
+func (l *Log) Checkpoint() error {
+	ids := make([]int32, 0, len(l.state))
+	for id := range l.state {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, 5+5*len(ids)+4)
+	buf = append(buf, kindCheckpoint)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(ids)))
+	buf = append(buf, n[:]...)
+	for _, id := range ids {
+		var e [5]byte
+		binary.LittleEndian.PutUint32(e[:], uint32(id))
+		if l.state[id] {
+			e[4] = 1
+		}
+		buf = append(buf, e[:]...)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, crc[:]...)
+	if err := l.dev.append(buf); err != nil {
+		return err
+	}
+	l.sinceCheckpoint = 0
+	return nil
+}
+
+// Recover scans a device's contents and rebuilds the validity table as of
+// the last fully written record: the most recent complete checkpoint plus
+// every complete flip record after it. A torn or corrupt record ends the
+// scan (everything before it is intact — the write-ahead property).
+func Recover(contents []byte) (map[int32]bool, error) {
+	var state map[int32]bool
+	pos := 0
+	sawCheckpoint := false
+	for pos < len(contents) {
+		kind := contents[pos]
+		switch kind {
+		case kindInvalidate, kindValidate:
+			if pos+9 > len(contents) {
+				return finish(state, sawCheckpoint) // torn tail
+			}
+			rec := contents[pos : pos+9]
+			if crc32.ChecksumIEEE(rec[:5]) != binary.LittleEndian.Uint32(rec[5:]) {
+				return finish(state, sawCheckpoint)
+			}
+			if state != nil {
+				id := int32(binary.LittleEndian.Uint32(rec[1:]))
+				state[id] = kind == kindValidate
+			}
+			pos += 9
+		case kindCheckpoint:
+			if pos+5 > len(contents) {
+				return finish(state, sawCheckpoint)
+			}
+			count := int(binary.LittleEndian.Uint32(contents[pos+1:]))
+			end := pos + 5 + 5*count
+			if end+4 > len(contents) {
+				return finish(state, sawCheckpoint)
+			}
+			body := contents[pos:end]
+			if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(contents[end:]) {
+				return finish(state, sawCheckpoint)
+			}
+			cp := make(map[int32]bool, count)
+			for i := 0; i < count; i++ {
+				e := contents[pos+5+5*i:]
+				cp[int32(binary.LittleEndian.Uint32(e))] = e[4] == 1
+			}
+			state = cp
+			sawCheckpoint = true
+			pos = end + 4
+		default:
+			return finish(state, sawCheckpoint) // corrupt kind byte
+		}
+	}
+	return finish(state, sawCheckpoint)
+}
+
+func finish(state map[int32]bool, sawCheckpoint bool) (map[int32]bool, error) {
+	if !sawCheckpoint {
+		return nil, errors.New("vlog: no complete checkpoint found")
+	}
+	return state, nil
+}

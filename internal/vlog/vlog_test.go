@@ -1,0 +1,230 @@
+package vlog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ids(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestBasicFlipAndRecover(t *testing.T) {
+	dev := NewDevice()
+	l, err := New(dev, ids(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		if !l.Valid(id) {
+			t.Fatalf("procedure %d should start valid", id)
+		}
+	}
+	if err := l.Invalidate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Valid(0) || !l.Valid(1) || !l.Valid(2) {
+		t.Fatalf("in-memory state wrong: %v", l.State())
+	}
+
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.State()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for id, v := range want {
+		if got[id] != v {
+			t.Fatalf("id %d recovered %v, want %v", id, got[id], v)
+		}
+	}
+}
+
+func TestUnknownProcedureRejected(t *testing.T) {
+	l, _ := New(NewDevice(), ids(2))
+	if err := l.Invalidate(7); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRecoverEmptyDeviceFails(t *testing.T) {
+	if _, err := Recover(nil); err == nil {
+		t.Fatal("recovery without a checkpoint should fail")
+	}
+}
+
+func TestRecoverCorruptKind(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(2))
+	l.Invalidate(1)
+	snapshot := l.State()
+	// Append garbage: recovery must stop at it and keep the good prefix.
+	dev.buf = append(dev.buf, 0xFF, 0x00, 0x01)
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range snapshot {
+		if got[id] != v {
+			t.Fatalf("id %d = %v after corrupt tail, want %v", id, got[id], v)
+		}
+	}
+}
+
+func TestRecoverCorruptCRC(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(2))
+	l.Invalidate(0)
+	l.Invalidate(1) // this record will be corrupted
+	dev.buf[len(dev.buf)-1] ^= 0x55
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id 0's flip is intact; id 1's is corrupt, so it stays valid.
+	if got[0] || !got[1] {
+		t.Fatalf("recovered %v, want 0 invalid and 1 valid", got)
+	}
+}
+
+func TestCheckpointEvery(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(3))
+	l.CheckpointEvery = 2
+	before := dev.Len()
+	l.Invalidate(0)
+	l.Invalidate(1) // triggers an automatic checkpoint
+	afterTwo := dev.Len()
+	// 2 flips (9 bytes each) + one checkpoint (5 + 15 + 4 = 24 bytes).
+	if afterTwo-before != 2*9+24 {
+		t.Fatalf("log grew by %d, want %d", afterTwo-before, 2*9+24)
+	}
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] || got[1] || !got[2] {
+		t.Fatalf("recovered %v", got)
+	}
+}
+
+func TestTornWriteMidRecord(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(2))
+	l.Invalidate(0)
+	stateBefore := l.State()
+	dev.FailAfter(dev.Len() + 4) // the next record tears after 4 bytes
+	if err := l.Invalidate(1); err != ErrDeviceFull {
+		t.Fatalf("expected ErrDeviceFull, got %v", err)
+	}
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range stateBefore {
+		if got[id] != v {
+			t.Fatalf("id %d = %v after torn write, want %v", id, got[id], v)
+		}
+	}
+}
+
+func TestTornCheckpointFallsBackToPrevious(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(3))
+	l.Invalidate(0)
+	expect := l.State()
+	dev.FailAfter(dev.Len() + 7) // the checkpoint tears partway
+	if err := l.Checkpoint(); err != ErrDeviceFull {
+		t.Fatalf("expected ErrDeviceFull, got %v", err)
+	}
+	got, err := Recover(dev.Contents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range expect {
+		if got[id] != v {
+			t.Fatalf("id %d = %v, want %v (first checkpoint + flip)", id, got[id], v)
+		}
+	}
+}
+
+// Property: crash at ANY byte boundary recovers the state as of the last
+// record fully written before the crash point.
+func TestCrashAtAnyPointRecoversPrefixState(t *testing.T) {
+	f := func(seed int64, opsRaw uint8, cutSeed uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		dev := NewDevice()
+		l, err := New(dev, ids(n))
+		if err != nil {
+			return false
+		}
+		l.CheckpointEvery = 4
+		// Track state-after-each-complete-append (including checkpoints'
+		// implicit boundaries) by device length.
+		type snap struct {
+			size  int
+			state map[int32]bool
+		}
+		snaps := []snap{{dev.Len(), l.State()}}
+		ops := int(opsRaw)%40 + 5
+		for i := 0; i < ops; i++ {
+			id := rng.Intn(n)
+			prevLen := dev.Len()
+			if rng.Intn(2) == 0 {
+				_ = l.Invalidate(id)
+			} else {
+				_ = l.Validate(id)
+			}
+			if dev.Len()-prevLen > 9 {
+				// The flip also wrote an automatic checkpoint: the flip
+				// record alone is already a complete recovery boundary
+				// with the same state.
+				snaps = append(snaps, snap{prevLen + 9, l.State()})
+			}
+			snaps = append(snaps, snap{dev.Len(), l.State()})
+		}
+		// Crash: truncate at an arbitrary point.
+		cut := int(cutSeed) % (dev.Len() + 1)
+		got, err := Recover(dev.Contents()[:cut])
+		if cut < snaps[0].size {
+			// Before the first complete checkpoint: recovery must refuse.
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		// Find the last snapshot fully contained in the cut.
+		var want map[int32]bool
+		for _, s := range snaps {
+			if s.size <= cut {
+				want = s.state
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for id, v := range want {
+			if got[id] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package workload generates the paper's operation stream: k update
+// transactions (each modifying l tuples of R1 in place) interleaved at
+// random with q procedure accesses, where accesses exhibit the paper's
+// locality-of-reference skew — a fraction Z of the procedures receives a
+// fraction 1−Z of all references.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind distinguishes the two operation types.
+type Kind int
+
+// Operation kinds.
+const (
+	Query Kind = iota
+	Update
+)
+
+// Op is one workload operation. Updates carry no payload here; the
+// simulator picks the l tuples to modify when the operation executes.
+type Op struct {
+	Kind Kind
+	// ProcID is the procedure accessed; meaningful for Query ops.
+	ProcID int
+}
+
+// Generator produces a deterministic operation stream for a seed.
+type Generator struct {
+	rng  *rand.Rand
+	z    float64
+	hot  []int
+	cold []int
+}
+
+// New builds a generator over the given procedure ids with locality skew
+// z in (0, 1): ⌈z·n⌉ randomly chosen "hot" procedures receive a fraction
+// 1−z of accesses.
+func New(seed int64, z float64, procIDs []int) *Generator {
+	if len(procIDs) == 0 {
+		panic("workload: no procedures")
+	}
+	if z <= 0 || z >= 1 {
+		panic(fmt.Sprintf("workload: Z = %v out of (0, 1)", z))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := append([]int(nil), procIDs...)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	nHot := int(z*float64(len(ids)) + 0.5)
+	if nHot < 1 {
+		nHot = 1
+	}
+	if nHot > len(ids) {
+		nHot = len(ids)
+	}
+	return &Generator{
+		rng:  rng,
+		z:    z,
+		hot:  ids[:nHot],
+		cold: ids[nHot:],
+	}
+}
+
+// PickProc draws a procedure id with the generator's locality skew.
+func (g *Generator) PickProc() int {
+	if len(g.cold) == 0 || g.rng.Float64() < 1-g.z {
+		return g.hot[g.rng.Intn(len(g.hot))]
+	}
+	return g.cold[g.rng.Intn(len(g.cold))]
+}
+
+// Sequence returns a random interleaving of exactly q Query ops (each with
+// a skewed procedure pick) and k Update ops.
+func (g *Generator) Sequence(k, q int) []Op {
+	if k < 0 || q < 0 {
+		panic("workload: negative operation counts")
+	}
+	ops := make([]Op, 0, k+q)
+	for i := 0; i < k; i++ {
+		ops = append(ops, Op{Kind: Update})
+	}
+	for i := 0; i < q; i++ {
+		ops = append(ops, Op{Kind: Query, ProcID: g.PickProc()})
+	}
+	g.rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// PickDistinct draws n distinct values from [0, limit). It panics if
+// n > limit.
+func (g *Generator) PickDistinct(n, limit int) []int {
+	if n > limit {
+		panic(fmt.Sprintf("workload: cannot pick %d distinct from %d", n, limit))
+	}
+	// For small n relative to limit, rejection sampling is cheap.
+	out := make([]int, 0, n)
+	seen := make(map[int]struct{}, n)
+	for len(out) < n {
+		v := g.rng.Intn(limit)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Intn exposes the generator's random stream for auxiliary draws (new
+// attribute values for updated tuples).
+func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }
+
+// Float64 draws from [0, 1), for probabilistic branches such as choosing
+// the relation an update transaction targets.
+func (g *Generator) Float64() float64 { return g.rng.Float64() }
+
+// HotSet returns the hot procedure ids (for tests).
+func (g *Generator) HotSet() []int { return append([]int(nil), g.hot...) }

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func ids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestSequenceCounts(t *testing.T) {
+	g := New(1, 0.2, ids(10))
+	ops := g.Sequence(30, 70)
+	if len(ops) != 100 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	var k, q int
+	for _, op := range ops {
+		if op.Kind == Update {
+			k++
+		} else {
+			q++
+			if op.ProcID < 0 || op.ProcID >= 10 {
+				t.Fatalf("bad proc id %d", op.ProcID)
+			}
+		}
+	}
+	if k != 30 || q != 70 {
+		t.Fatalf("k=%d q=%d", k, q)
+	}
+}
+
+func TestSequenceDeterministic(t *testing.T) {
+	a := New(7, 0.2, ids(10)).Sequence(20, 20)
+	b := New(7, 0.2, ids(10)).Sequence(20, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d", i)
+		}
+	}
+	c := New(8, 0.2, ids(10)).Sequence(20, 20)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sequences")
+	}
+}
+
+// TestLocalitySkew: with Z = 0.2, the 20% hot procedures should receive
+// about 80% of accesses.
+func TestLocalitySkew(t *testing.T) {
+	g := New(3, 0.2, ids(100))
+	hot := map[int]bool{}
+	for _, id := range g.HotSet() {
+		hot[id] = true
+	}
+	if len(hot) != 20 {
+		t.Fatalf("hot set size %d, want 20", len(hot))
+	}
+	const draws = 20000
+	hotHits := 0
+	for i := 0; i < draws; i++ {
+		if hot[g.PickProc()] {
+			hotHits++
+		}
+	}
+	frac := float64(hotHits) / draws
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("hot fraction = %.3f, want ~0.80", frac)
+	}
+}
+
+func TestUniformWhenZHalf(t *testing.T) {
+	g := New(3, 0.5, ids(10))
+	counts := map[int]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.PickProc()]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("proc %d got fraction %.3f, want ~0.1", id, frac)
+		}
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	g := New(5, 0.2, ids(4))
+	got := g.PickDistinct(50, 60)
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 60 {
+			t.Fatalf("out of range %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(got) != 50 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Full coverage draw.
+	all := g.PickDistinct(10, 10)
+	if len(all) != 10 {
+		t.Fatal("full draw failed")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no procs":       func() { New(1, 0.2, nil) },
+		"bad Z low":      func() { New(1, 0, ids(5)) },
+		"bad Z high":     func() { New(1, 1, ids(5)) },
+		"negative k":     func() { New(1, 0.2, ids(5)).Sequence(-1, 2) },
+		"too many picks": func() { New(1, 0.2, ids(5)).PickDistinct(5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingleHotProc(t *testing.T) {
+	// Tiny populations still work: one procedure is always the hot one.
+	g := New(1, 0.2, []int{42})
+	for i := 0; i < 10; i++ {
+		if g.PickProc() != 42 {
+			t.Fatal("single proc not picked")
+		}
+	}
+}
