@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 	simPoints := flag.Int("sim-points", 0, "max simulated points per curve (0 = all)")
 	scale := flag.Float64("scale", 1, "divide populations and op counts by this for simulation")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	obsJSON := flag.String("obs-json", "", "write the per-strategy observability benchmark (BENCH_obs.json) to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +41,28 @@ func main() {
 		SimPoints: *simPoints,
 		SimSeed:   *seed,
 		Scale:     *scale,
+	}
+
+	if *obsJSON != "" {
+		rep := experiments.ObsBench(opt)
+		f, err := os.Create(*obsJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability benchmark written to %s (%d rows)\n", *obsJSON, len(rep.Rows))
+		return
 	}
 
 	show := func(tb *experiments.Table) {

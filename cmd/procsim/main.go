@@ -1,20 +1,26 @@
 // Command procsim runs one simulated workload against the executable
-// system and prints the measured cost next to the analytic prediction.
+// system and prints the measured cost next to the analytic prediction,
+// followed by a model-drift summary.
 //
 // Usage:
 //
 //	procsim                               # paper defaults, all strategies
 //	procsim -strategy uc-avm -P 0.3       # one strategy at P = 0.3
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
+//	procsim -breakdown                    # per-component cost tables
+//	procsim -trace out.jsonl              # per-operation trace (see procstat)
+//	procsim -json                         # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/obs"
 	"dbproc/internal/sim"
 )
 
@@ -23,6 +29,37 @@ var strategyNames = map[string]costmodel.Strategy{
 	"ci":        costmodel.CacheInvalidate,
 	"uc-avm":    costmodel.UpdateCacheAVM,
 	"uc-rvm":    costmodel.UpdateCacheRVM,
+}
+
+// shortName inverts strategyNames for run labels in trace files.
+func shortName(s costmodel.Strategy) string {
+	for k, v := range strategyNames {
+		if v == s {
+			return k
+		}
+	}
+	return s.String()
+}
+
+// runJSON is one strategy's result in -json output.
+type runJSON struct {
+	obs.RunRecord
+	Ratio          float64                     `json:"ratio"`
+	TotalMs        float64                     `json:"total_ms"`
+	TuplesReturned int                         `json:"tuples_returned"`
+	Counters       obs.CountersJSON            `json:"counters"`
+	Breakdown      map[string]obs.CountersJSON `json:"breakdown,omitempty"`
+}
+
+// driftJSON is one drift-monitor entry in -json output.
+type driftJSON struct {
+	Strategy      string  `json:"strategy"`
+	Model         string  `json:"model"`
+	Runs          int     `json:"runs"`
+	MeasuredMs    float64 `json:"measured_ms_per_query"`
+	PredictedMs   float64 `json:"predicted_ms_per_query"`
+	RelativeError float64 `json:"relative_error"`
+	Drifting      bool    `json:"drifting"`
 }
 
 func main() {
@@ -42,6 +79,11 @@ func main() {
 	modelFlag := flag.Int("model", 1, "procedure model: 1 (2-way joins) or 2 (3-way)")
 	strategyFlag := flag.String("strategy", "", "recompute | ci | uc-avm | uc-rvm (default: all)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
+	breakdown := flag.Bool("breakdown", false, "print the per-component cost breakdown of each run")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
+		"relative error above which measured cost is flagged as drifting from the model")
 	flag.Parse()
 
 	if *upd >= 0 {
@@ -61,12 +103,120 @@ func main() {
 		strategies = []costmodel.Strategy{s}
 	}
 
-	fmt.Printf("%s, P = %.2f (k=%.0f q=%.0f), f = %g, N1+N2 = %.0f, SF = %g, Z = %g, C_inval = %g ms\n\n",
-		model, p.UpdateProbability(), p.K, p.Q, p.F, p.NumProcs(), p.SF, p.Z, p.CInval)
-	fmt.Printf("%-22s %12s %12s %7s   %s\n", "strategy", "measured", "predicted", "ratio", "events")
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		defer f.Close()
+	}
+
+	drift := obs.NewDrift(*driftThreshold)
+	var jsonRuns []runJSON
+
+	if !*jsonOut {
+		fmt.Printf("%s, P = %.2f (k=%.0f q=%.0f), f = %g, N1+N2 = %.0f, SF = %g, Z = %g, C_inval = %g ms\n\n",
+			model, p.UpdateProbability(), p.K, p.Q, p.F, p.NumProcs(), p.SF, p.Z, p.CInval)
+		fmt.Printf("%-22s %12s %12s %7s %6s   %s\n",
+			"strategy", "measured", "predicted", "ratio", "cold", "events")
+	}
 	for _, s := range strategies {
-		res := sim.Run(sim.Config{Params: p, Model: model, Strategy: s, Seed: *seed})
-		fmt.Printf("%-22s %9.1f ms %9.1f ms %7.2f   %v\n",
-			s, res.MsPerQuery, res.PredictedMs, res.MsPerQuery/res.PredictedMs, res.Counters)
+		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: *seed}
+		if traceFile != nil {
+			cfg.Tracer = obs.NewTracer()
+		}
+		w := sim.Build(cfg)
+		res := w.Run()
+		run := shortName(s)
+		bd := w.Meter().Breakdown()
+		costs := w.Meter().Costs()
+		drift.Record(s.String(), model.String(), res.MsPerQuery, res.PredictedMs)
+
+		rec := obs.RunRecord{
+			Type:                obs.RecordRun,
+			Run:                 run,
+			Strategy:            s.String(),
+			Model:               model.String(),
+			Seed:                *seed,
+			Queries:             res.Queries,
+			Updates:             res.Updates,
+			MeasuredMsPerQuery:  res.MsPerQuery,
+			PredictedMsPerQuery: res.PredictedMs,
+		}
+		if res.HasColdFraction() {
+			cf := res.ColdFraction
+			rec.ColdFraction = &cf
+		}
+
+		if traceFile != nil {
+			records := []any{rec, obs.BreakdownToRecord(run, bd, costs)}
+			for _, sp := range cfg.Tracer.Records(run) {
+				records = append(records, sp)
+			}
+			if err := obs.WriteJSONL(traceFile, records...); err != nil {
+				fmt.Fprintf(os.Stderr, "procsim: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+
+		if *jsonOut {
+			jr := runJSON{
+				RunRecord:      rec,
+				Ratio:          res.MsPerQuery / res.PredictedMs,
+				TotalMs:        res.TotalMs,
+				TuplesReturned: res.TuplesReturned,
+				Counters:       obs.ToCountersJSON(res.Counters),
+			}
+			if *breakdown {
+				jr.Breakdown = obs.BreakdownToRecord(run, bd, costs).Components
+			}
+			jsonRuns = append(jsonRuns, jr)
+			continue
+		}
+
+		fmt.Printf("%-22s %9.1f ms %9.1f ms %7.2f %6s   %v\n",
+			s, res.MsPerQuery, res.PredictedMs, res.MsPerQuery/res.PredictedMs,
+			res.ColdFractionString(), res.Counters)
+		if *breakdown {
+			fmt.Println()
+			obs.RenderBreakdown(os.Stdout, bd, costs)
+			fmt.Println()
+		}
+	}
+
+	if *jsonOut {
+		var drifts []driftJSON
+		for _, e := range drift.Entries() {
+			drifts = append(drifts, driftJSON{
+				Strategy:      e.Strategy,
+				Model:         e.Model,
+				Runs:          e.Runs,
+				MeasuredMs:    e.MeanMeasured(),
+				PredictedMs:   e.MeanPredicted(),
+				RelativeError: e.RelErr(),
+				Drifting:      drift.Flagged(e),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"model":           model.String(),
+			"seed":            *seed,
+			"drift_threshold": *driftThreshold,
+			"runs":            jsonRuns,
+			"drift":           drifts,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println()
+		drift.Render(os.Stdout)
+	}
+	if traceFile != nil && !*jsonOut {
+		fmt.Printf("\ntrace written to %s (render with procstat)\n", *tracePath)
 	}
 }

@@ -1,0 +1,148 @@
+// Command procstat renders the traces procsim writes: per-operation
+// latency histograms, per-component cost breakdowns, and a model-drift
+// summary, all in simulated milliseconds.
+//
+// Usage:
+//
+//	procsim -trace out.jsonl            # record a trace
+//	procstat out.jsonl                  # summarize it
+//	procstat -run ci out.jsonl          # one strategy run only
+//	procstat -span op.query out.jsonl   # one span name only
+//	procstat -chrome t.json out.jsonl   # export for chrome://tracing
+//
+// Multiple trace files aggregate: histograms and drift entries accumulate
+// across all of them, so a directory of per-seed traces summarizes as one
+// distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbproc/internal/obs"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "procstat: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// splitName mirrors the tracer's span-name convention: the component is
+// the part before the first dot.
+func splitName(name string) (comp, event string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
+}
+
+func main() {
+	runFilter := flag.String("run", "", "restrict to one run label (e.g. ci, uc-rvm)")
+	spanFilter := flag.String("span", "", "restrict histograms to one span name (e.g. op.query)")
+	chromePath := flag.String("chrome", "", "also write a Chrome trace-event file (chrome://tracing, perfetto)")
+	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
+		"relative error above which measured cost is flagged as drifting from the model")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fail("no trace files (usage: procstat [flags] trace.jsonl...)")
+	}
+
+	merged := &obs.Trace{}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		tr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		merged.Spans = append(merged.Spans, tr.Spans...)
+		merged.Runs = append(merged.Runs, tr.Runs...)
+		merged.Breakdowns = append(merged.Breakdowns, tr.Breakdowns...)
+	}
+
+	keepRun := func(run string) bool { return *runFilter == "" || run == *runFilter }
+
+	// Run summaries and the drift monitor.
+	drift := obs.NewDrift(*driftThreshold)
+	nRuns := 0
+	fmt.Printf("%-12s %-22s %-8s %8s %8s %12s %12s %6s\n",
+		"run", "strategy", "model", "queries", "updates", "measured", "predicted", "cold")
+	for _, r := range merged.Runs {
+		if !keepRun(r.Run) {
+			continue
+		}
+		nRuns++
+		drift.Record(r.Strategy, r.Model, r.MeasuredMsPerQuery, r.PredictedMsPerQuery)
+		cold := "n/a"
+		if r.ColdFraction != nil {
+			cold = fmt.Sprintf("%.2f", *r.ColdFraction)
+		}
+		fmt.Printf("%-12s %-22s %-8s %8d %8d %9.1f ms %9.1f ms %6s\n",
+			r.Run, r.Strategy, r.Model, r.Queries, r.Updates,
+			r.MeasuredMsPerQuery, r.PredictedMsPerQuery, cold)
+	}
+	if nRuns == 0 {
+		fmt.Println("(no run records)")
+	}
+
+	// Per-span latency histograms, keyed component.event like the live
+	// registry.
+	reg := obs.NewRegistry()
+	nSpans := 0
+	for _, sp := range merged.Spans {
+		if !keepRun(sp.Run) {
+			continue
+		}
+		if *spanFilter != "" && sp.Name != *spanFilter {
+			continue
+		}
+		nSpans++
+		comp, event := splitName(sp.Name)
+		reg.Observe(comp, event, sp.DurMs)
+	}
+	if nSpans > 0 {
+		fmt.Printf("\nper-operation latency, %d spans (simulated ms):\n\n", nSpans)
+		reg.Render(os.Stdout)
+	}
+
+	// Per-component breakdowns.
+	for _, bd := range merged.Breakdowns {
+		if !keepRun(bd.Run) {
+			continue
+		}
+		fmt.Printf("\nbreakdown [%s]:\n", bd.Run)
+		obs.RenderBreakdownRecord(os.Stdout, bd)
+	}
+
+	if nRuns > 0 {
+		fmt.Println()
+		drift.Render(os.Stdout)
+	}
+
+	if *chromePath != "" {
+		var spans []obs.SpanRecord
+		for _, sp := range merged.Spans {
+			if keepRun(sp.Run) {
+				spans = append(spans, sp)
+			}
+		}
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			fail("writing chrome trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("\nchrome trace written to %s\n", *chromePath)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/query"
 	"dbproc/internal/relation"
 )
@@ -86,7 +87,13 @@ type Engine struct {
 	// D_net tuple sets for the current transaction.
 	anet map[int][][]byte
 	dnet map[int][][]byte
+
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a tracer; each Apply then records avm.route and
+// avm.merge child spans covering the two maintenance phases.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
 // NewEngine creates an empty engine charging work to meter, storing view
 // contents in store, and using router for rule-indexed change screening.
@@ -167,6 +174,11 @@ func (e *Engine) Prepare() {
 // deleted the old tuple values in deleted and inserted the new values in
 // inserted on rel (an in-place modification contributes to both).
 func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+	// Maintenance work runs attributed to the avm component; the delta
+	// plans' scan and probe nodes re-scope their own page I/O underneath.
+	prevComp := e.meter.SetComponent(metric.CompAVM)
+	defer e.meter.SetComponent(prevComp)
+
 	// Phase 1 — rule-indexed screening: route each changed tuple value to
 	// the views whose band on the routed attribute it falls in, charging
 	// one screen per (value, view) pair, and accumulate the A_net/D_net
@@ -177,6 +189,7 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 	if len(attrs) == 0 {
 		return
 	}
+	routed := 0
 	route := func(tup []byte, into map[int][][]byte) {
 		for _, attr := range attrs {
 			v := sch.GetByName(tup, attr)
@@ -188,18 +201,28 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 				e.meter.Screen(1)
 				into[id] = append(into[id], tup)
 				e.meter.DeltaOp(1)
+				routed++
 			})
 		}
 	}
+	rsp := e.tracer.Begin("avm.route")
+	rsp.Set("rel", relName)
 	for _, tup := range deleted {
 		route(tup, e.dnet)
 	}
 	for _, tup := range inserted {
 		route(tup, e.anet)
 	}
+	rsp.Set("tokens", len(inserted)+len(deleted))
+	rsp.Set("routed", routed)
+	e.tracer.End(rsp)
 
 	// Phase 2 — evaluate delta plans and patch stored views:
 	// V_new = V ∪ V(a, B) − V(d, B).
+	msp := e.tracer.Begin("avm.merge")
+	defer e.tracer.End(msp)
+	patched := 0
+	defer func() { msp.Set("views", patched) }()
 	ctx := &query.Ctx{Meter: e.meter}
 	for _, id := range e.order {
 		a, da := e.anet[id]
@@ -207,6 +230,7 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 		if !da && !dd {
 			continue
 		}
+		patched++
 		v := e.views[id]
 		src := v.sourceFor(relName)
 		file := e.store.MustEntry(cache.ID(id)).File()

@@ -103,9 +103,17 @@ func (e *Entry) Len() int { return e.file.Len() }
 // (the model's C_inval). The paper's T3 term charges every conflicting
 // update, so callers invoke this once per update transaction that breaks
 // one of the entry's i-locks, whether or not the entry is already invalid.
+// The charge is attributed to the validity log when a journal is attached
+// (the record is then a durable log append), to proc/ci otherwise.
 func (e *Entry) Invalidate() {
 	e.valid = false
+	comp := metric.CompProc
+	if e.store.journal != nil {
+		comp = metric.CompVLog
+	}
+	prev := e.meter.SetComponent(comp)
 	e.meter.Invalidation(1)
+	e.meter.SetComponent(prev)
 	if j := e.store.journal; j != nil {
 		if err := j.Invalidate(int(e.id)); err != nil {
 			panic("cache: journal write failed (simulated crash): " + err.Error())
@@ -115,9 +123,12 @@ func (e *Entry) Invalidate() {
 
 // Replace refreshes the whole result from sorted (key, tuple) pairs and
 // marks it valid: the Cache and Invalidate refresh, costing two I/Os per
-// result page (read-modify-write, the model's C_WriteCache).
+// result page (read-modify-write, the model's C_WriteCache), attributed to
+// the cache component.
 func (e *Entry) Replace(keys []uint64, recs [][]byte) {
+	prev := e.meter.SetComponent(metric.CompCache)
 	e.file.Replace(keys, recs)
+	e.meter.SetComponent(prev)
 	e.markValid()
 }
 
@@ -136,8 +147,11 @@ func (e *Entry) markValid() {
 }
 
 // ReadAll scans the cached result in key order (one charged read per
-// page), regardless of validity — callers check Valid first. The rec slice
-// is only valid during the callback.
+// page, attributed to the cache component), regardless of validity —
+// callers check Valid first. The rec slice is only valid during the
+// callback.
 func (e *Entry) ReadAll(fn func(key uint64, rec []byte) bool) {
+	prev := e.meter.SetComponent(metric.CompCache)
+	defer e.meter.SetComponent(prev)
 	e.file.Scan(fn)
 }

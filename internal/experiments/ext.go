@@ -134,11 +134,18 @@ func init() {
 				pp := sp.WithUpdateProbability(up)
 				modelIP := costmodel.CacheInvalidateCosts(costmodel.Model1, pp).IP
 				res := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Strategy: costmodel.CacheInvalidate, Seed: seed})
+				measured, bias := "n/a", "n/a"
+				if res.HasColdFraction() {
+					measured = fmt.Sprintf("%.3f", res.ColdFraction)
+					if res.ColdFraction != 0 {
+						bias = fmt.Sprintf("%+.0f%%", 100*(modelIP-res.ColdFraction)/res.ColdFraction)
+					}
+				}
 				t.Rows = append(t.Rows, []string{
 					fmt.Sprintf("%.1f", up),
 					fmt.Sprintf("%.3f", modelIP),
-					fmt.Sprintf("%.3f", res.ColdFraction),
-					fmt.Sprintf("%+.0f%%", 100*(modelIP-res.ColdFraction)/res.ColdFraction),
+					measured,
+					bias,
 				})
 			}
 			return []*Table{t}

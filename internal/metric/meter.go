@@ -79,9 +79,17 @@ func (c Counters) String() string {
 
 // Meter accumulates cost events. It is not safe for concurrent use; the
 // simulated workload is a serial stream of operations, as in the paper.
+//
+// Events are attributed to the meter's current Component (see
+// SetComponent); the aggregate counters are the sum over components, so
+// per-component breakdowns always reconcile exactly with the totals.
 type Meter struct {
 	costs Costs
-	c     Counters
+	by    [NumComponents]Counters
+	// cur caches &by[comp] so charging is a single pointer-indirect add —
+	// the same hot-path shape as an unattributed meter.
+	cur   *Counters
+	comp  Component
 	muted bool
 }
 
@@ -97,18 +105,39 @@ func (m *Meter) SetMuted(muted bool) bool {
 
 // NewMeter returns a meter pricing events with the given constants.
 func NewMeter(costs Costs) *Meter {
-	return &Meter{costs: costs}
+	m := &Meter{costs: costs}
+	m.cur = &m.by[CompPager]
+	return m
 }
 
 // Costs returns the meter's cost constants.
 func (m *Meter) Costs() Costs { return m.costs }
+
+// SetComponent makes c the component subsequent events are attributed to
+// and returns the previous one, so callers can scope attribution:
+//
+//	prev := m.SetComponent(metric.CompBTree)
+//	... do B-tree work ...
+//	m.SetComponent(prev)
+//
+// Scopes nest: an inner layer's scope overrides the outer one for its
+// duration. The zero component (CompPager) is current initially.
+func (m *Meter) SetComponent(c Component) Component {
+	prev := m.comp
+	m.comp = c
+	m.cur = &m.by[c]
+	return prev
+}
+
+// Component returns the component events are currently attributed to.
+func (m *Meter) Component() Component { return m.comp }
 
 // PageRead records n disk page reads.
 func (m *Meter) PageRead(n int) {
 	if m.muted {
 		return
 	}
-	m.c.PageReads += int64(n)
+	m.cur.PageReads += int64(n)
 }
 
 // PageWrite records n disk page writes.
@@ -116,7 +145,7 @@ func (m *Meter) PageWrite(n int) {
 	if m.muted {
 		return
 	}
-	m.c.PageWrites += int64(n)
+	m.cur.PageWrites += int64(n)
 }
 
 // Screen records n predicate screenings.
@@ -124,7 +153,7 @@ func (m *Meter) Screen(n int) {
 	if m.muted {
 		return
 	}
-	m.c.Screens += int64(n)
+	m.cur.Screens += int64(n)
 }
 
 // DeltaOp records n delta-set tuple operations.
@@ -132,7 +161,7 @@ func (m *Meter) DeltaOp(n int) {
 	if m.muted {
 		return
 	}
-	m.c.DeltaOps += int64(n)
+	m.cur.DeltaOps += int64(n)
 }
 
 // Invalidation records n cache-invalidation writes.
@@ -140,17 +169,23 @@ func (m *Meter) Invalidation(n int) {
 	if m.muted {
 		return
 	}
-	m.c.Invalidations += int64(n)
+	m.cur.Invalidations += int64(n)
 }
 
-// Snapshot returns the current counter values.
-func (m *Meter) Snapshot() Counters { return m.c }
+// Snapshot returns the current aggregate counter values (the sum over
+// components).
+func (m *Meter) Snapshot() Counters { return Breakdown(m.by).Total() }
+
+// Breakdown returns the per-component counter values. Its Total equals
+// Snapshot exactly.
+func (m *Meter) Breakdown() Breakdown { return m.by }
 
 // Since returns the counters accumulated after the given snapshot.
-func (m *Meter) Since(s Counters) Counters { return m.c.Sub(s) }
+func (m *Meter) Since(s Counters) Counters { return m.Snapshot().Sub(s) }
 
 // Milliseconds returns the total simulated cost so far.
-func (m *Meter) Milliseconds() float64 { return m.c.Milliseconds(m.costs) }
+func (m *Meter) Milliseconds() float64 { return m.Snapshot().Milliseconds(m.costs) }
 
-// Reset zeroes the counters, keeping the cost constants.
-func (m *Meter) Reset() { m.c = Counters{} }
+// Reset zeroes the counters (all components), keeping the cost constants
+// and the current component.
+func (m *Meter) Reset() { m.by = [NumComponents]Counters{} }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dbproc/internal/metric"
+)
+
+// RenderBreakdown writes the per-component cost table for one run: raw
+// event counts and the C1/C2/C3/C_inval milliseconds they price to, one
+// row per component that charged anything, plus a total row. Because the
+// meter stores only per-component counters and derives the aggregate by
+// summation, every column of the total row equals the run's aggregate
+// Counters exactly.
+func RenderBreakdown(w io.Writer, bd metric.Breakdown, costs metric.Costs) {
+	fmt.Fprintf(w, "  %-8s %8s %8s %9s %9s %7s %10s %12s %10s %10s %12s\n",
+		"component", "reads", "writes", "screens", "deltaOps", "invals",
+		"C1 ms", "C2 ms", "C3 ms", "Cinv ms", "total ms")
+	row := func(name string, c metric.Counters) {
+		c1 := costs.C1 * float64(c.Screens)
+		c2 := costs.C2 * float64(c.PageReads+c.PageWrites)
+		c3 := costs.C3 * float64(c.DeltaOps)
+		ci := costs.CInval * float64(c.Invalidations)
+		fmt.Fprintf(w, "  %-8s %8d %8d %9d %9d %7d %10.1f %12.1f %10.1f %10.1f %12.1f\n",
+			name, c.PageReads, c.PageWrites, c.Screens, c.DeltaOps, c.Invalidations,
+			c1, c2, c3, ci, c.Milliseconds(costs))
+	}
+	for _, comp := range metric.Components() {
+		if bd[comp] == (metric.Counters{}) {
+			continue
+		}
+		row(comp.String(), bd[comp])
+	}
+	row("TOTAL", bd.Total())
+}
+
+// RenderBreakdownRecord renders a breakdown parsed from a trace file in
+// the same format, ordering components as metric.Components does and
+// appending any unknown labels.
+func RenderBreakdownRecord(w io.Writer, rec BreakdownRecord) {
+	var bd metric.Breakdown
+	extra := map[string]CountersJSON{}
+	for name, c := range rec.Components {
+		placed := false
+		for _, comp := range metric.Components() {
+			if comp.String() == name {
+				bd[comp] = c.Counters()
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			extra[name] = c
+		}
+	}
+	if len(extra) == 0 {
+		RenderBreakdown(w, bd, rec.Costs.Costs())
+		return
+	}
+	// Unknown labels (from a newer producer): fold them into the table by
+	// rendering known components first, then extras, then the grand total.
+	costs := rec.Costs.Costs()
+	total := bd.Total()
+	fmt.Fprintf(w, "  %-8s %8s %8s %9s %9s %7s %10s %12s %10s %10s %12s\n",
+		"component", "reads", "writes", "screens", "deltaOps", "invals",
+		"C1 ms", "C2 ms", "C3 ms", "Cinv ms", "total ms")
+	row := func(name string, c metric.Counters) {
+		fmt.Fprintf(w, "  %-8s %8d %8d %9d %9d %7d %10.1f %12.1f %10.1f %10.1f %12.1f\n",
+			name, c.PageReads, c.PageWrites, c.Screens, c.DeltaOps, c.Invalidations,
+			costs.C1*float64(c.Screens), costs.C2*float64(c.PageReads+c.PageWrites),
+			costs.C3*float64(c.DeltaOps), costs.CInval*float64(c.Invalidations),
+			c.Milliseconds(costs))
+	}
+	for _, comp := range metric.Components() {
+		if bd[comp] != (metric.Counters{}) {
+			row(comp.String(), bd[comp])
+		}
+	}
+	names := make([]string, 0, len(extra))
+	for name := range extra {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row(name, extra[name].Counters())
+		total = total.Add(extra[name].Counters())
+	}
+	row("TOTAL", total)
+}

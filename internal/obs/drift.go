@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DefaultDriftThreshold is the relative-error bound above which a
+// strategy's measured cost is flagged as drifting from the analytic
+// prediction. The repository's standing validation claim is that measured
+// cost lands within ±15% of the closed forms at paper scale (see
+// EXPERIMENTS.md), so 0.15 turns that claim into a checked invariant.
+const DefaultDriftThreshold = 0.15
+
+// DriftEntry accumulates measured-vs-predicted cost for one (strategy,
+// model) pair across runs.
+type DriftEntry struct {
+	Strategy string
+	Model    string
+	Runs     int
+	// SumMeasured and SumPredicted total the per-run ms/query values;
+	// dividing by Runs gives the mean the relative error is computed on.
+	SumMeasured  float64
+	SumPredicted float64
+}
+
+// MeanMeasured returns the mean measured ms/query.
+func (e DriftEntry) MeanMeasured() float64 {
+	if e.Runs == 0 {
+		return 0
+	}
+	return e.SumMeasured / float64(e.Runs)
+}
+
+// MeanPredicted returns the mean predicted ms/query.
+func (e DriftEntry) MeanPredicted() float64 {
+	if e.Runs == 0 {
+		return 0
+	}
+	return e.SumPredicted / float64(e.Runs)
+}
+
+// RelErr returns |measured − predicted| / predicted on the means. It is
+// +Inf when the prediction is zero but the measurement is not.
+func (e DriftEntry) RelErr() float64 {
+	p := e.MeanPredicted()
+	m := e.MeanMeasured()
+	if p == 0 {
+		if m == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(m-p) / p
+}
+
+// Drift accumulates measured-vs-predicted cost per (strategy, model) and
+// flags entries whose relative error exceeds Threshold — the paper's
+// model-validation exercise turned into a continuously checked invariant.
+type Drift struct {
+	// Threshold is the flagging bound; zero means DefaultDriftThreshold.
+	Threshold float64
+
+	entries map[[2]string]*DriftEntry
+}
+
+// NewDrift returns a monitor with the given threshold (0 = default).
+func NewDrift(threshold float64) *Drift {
+	return &Drift{Threshold: threshold, entries: make(map[[2]string]*DriftEntry)}
+}
+
+func (d *Drift) threshold() float64 {
+	if d.Threshold > 0 {
+		return d.Threshold
+	}
+	return DefaultDriftThreshold
+}
+
+// Record adds one run's measured and predicted ms/query.
+func (d *Drift) Record(strategy, model string, measured, predicted float64) {
+	k := [2]string{strategy, model}
+	e := d.entries[k]
+	if e == nil {
+		e = &DriftEntry{Strategy: strategy, Model: model}
+		d.entries[k] = e
+	}
+	e.Runs++
+	e.SumMeasured += measured
+	e.SumPredicted += predicted
+}
+
+// Flagged reports whether the entry's relative error exceeds the monitor's
+// threshold.
+func (d *Drift) Flagged(e DriftEntry) bool { return e.RelErr() > d.threshold() }
+
+// Entries returns the accumulated entries sorted by model then strategy.
+func (d *Drift) Entries() []DriftEntry {
+	out := make([]DriftEntry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Strategy < out[j].Strategy
+	})
+	return out
+}
+
+// AnyFlagged reports whether any entry exceeds the threshold.
+func (d *Drift) AnyFlagged() bool {
+	for _, e := range d.entries {
+		if d.Flagged(*e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the drift summary table: one row per (strategy, model)
+// with measured and predicted means, the relative error, and a DRIFT flag
+// when it exceeds the threshold.
+func (d *Drift) Render(w io.Writer) {
+	fmt.Fprintf(w, "model drift (threshold %.0f%%):\n", 100*d.threshold())
+	fmt.Fprintf(w, "  %-22s %-8s %5s %12s %12s %8s\n",
+		"strategy", "model", "runs", "measured", "predicted", "relerr")
+	for _, e := range d.Entries() {
+		flag := ""
+		if d.Flagged(e) {
+			flag = "  DRIFT"
+		}
+		fmt.Fprintf(w, "  %-22s %-8s %5d %9.1f ms %9.1f ms %7.1f%%%s\n",
+			e.Strategy, e.Model, e.Runs, e.MeanMeasured(), e.MeanPredicted(), 100*e.RelErr(), flag)
+	}
+}

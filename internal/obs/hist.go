@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// defaultBounds are the upper edges of the default histogram buckets, in
+// simulated milliseconds: a 1-2-5 decade ladder wide enough for anything
+// from a single predicate screen (1 ms) to a full recompute at paper scale
+// (minutes). Values above the last bound land in an overflow bucket.
+var defaultBounds = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6,
+}
+
+// Histogram is a bounded-bucket histogram of simulated milliseconds.
+// Memory is fixed at construction: one counter per bucket plus running
+// count/sum/min/max, so per-op observation is O(log buckets) with no
+// allocation.
+type Histogram struct {
+	bounds []float64 // upper edges, ascending; len(counts) = len(bounds)+1
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bucket
+// edges, or the default 1-2-5 ladder when bounds is nil.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = defaultBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper edge of the bucket holding the q-th observation, clamped to the
+// observed max. Exact-enough for latency reporting with 1-2-5 buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			var edge float64
+			if i < len(h.bounds) {
+				edge = h.bounds[i]
+			} else {
+				edge = h.max
+			}
+			return math.Min(edge, h.max)
+		}
+	}
+	return h.max
+}
+
+// Render writes a fixed-width ASCII view of the non-empty buckets, one row
+// per bucket with a proportional bar.
+func (h *Histogram) Render(w io.Writer) {
+	if h.count == 0 {
+		fmt.Fprintln(w, "  (no observations)")
+		return
+	}
+	var peak int64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	lo := 0.0
+	for i, c := range h.counts {
+		hi := math.Inf(1)
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		if c > 0 {
+			bar := strings.Repeat("#", int(math.Ceil(40*float64(c)/float64(peak))))
+			if math.IsInf(hi, 1) {
+				fmt.Fprintf(w, "  %10.6g+ ms %8d %s\n", lo, c, bar)
+			} else {
+				fmt.Fprintf(w, "  %10.6g-%-6.6g ms %8d %s\n", lo, hi, c, bar)
+			}
+		}
+		lo = hi
+	}
+	fmt.Fprintf(w, "  n=%d mean=%.1f ms min=%.6g max=%.6g p50<=%.6g p95<=%.6g p99<=%.6g\n",
+		h.count, h.Mean(), h.Min(), h.Max(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// Key identifies one metric in a Registry: a (component, event) pair, e.g.
+// ("op", "query") for workload-operation latency or ("avm", "merge") for
+// the AVM delta-merge step.
+type Key struct {
+	Component string
+	Event     string
+}
+
+// String renders "component.event".
+func (k Key) String() string {
+	if k.Event == "" {
+		return k.Component
+	}
+	return k.Component + "." + k.Event
+}
+
+// Registry holds counters and bounded-bucket histograms keyed by
+// (component, event), in first-use order. The tracer feeds it one latency
+// histogram per span name; other code may add counters freely.
+type Registry struct {
+	counts map[Key]int64
+	hists  map[Key]*Histogram
+	order  []Key
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[Key]int64), hists: make(map[Key]*Histogram)}
+}
+
+func (r *Registry) key(component, event string) Key {
+	k := Key{component, event}
+	if _, seen := r.counts[k]; !seen {
+		if _, seen := r.hists[k]; !seen {
+			r.order = append(r.order, k)
+		}
+	}
+	return k
+}
+
+// Add increments the counter for (component, event) by n.
+func (r *Registry) Add(component, event string, n int64) {
+	if r == nil {
+		return
+	}
+	r.counts[r.key(component, event)] += n
+}
+
+// Observe records a value into the histogram for (component, event),
+// creating it with default bounds on first use, and bumps its counter.
+func (r *Registry) Observe(component, event string, v float64) {
+	if r == nil {
+		return
+	}
+	k := r.key(component, event)
+	h := r.hists[k]
+	if h == nil {
+		h = NewHistogram(nil)
+		r.hists[k] = h
+	}
+	h.Observe(v)
+	r.counts[k]++
+}
+
+// Count returns the counter for (component, event).
+func (r *Registry) Count(component, event string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counts[Key{component, event}]
+}
+
+// Hist returns the histogram for (component, event), or nil.
+func (r *Registry) Hist(component, event string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[Key{component, event}]
+}
+
+// Keys returns every registered key in first-use order.
+func (r *Registry) Keys() []Key {
+	if r == nil {
+		return nil
+	}
+	return append([]Key(nil), r.order...)
+}
+
+// Render writes every histogram in first-use order.
+func (r *Registry) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, k := range r.order {
+		if h := r.hists[k]; h != nil {
+			fmt.Fprintf(w, "%s:\n", k)
+			h.Render(w)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/query"
 )
 
@@ -25,10 +26,11 @@ import (
 // even that residual degradation (the wasted write-backs and, with
 // expensive invalidation, the whole T3 term).
 type Adaptive struct {
-	mgr   *Manager
-	meter *metric.Meter
-	store *cache.Store
-	locks *ilock.Manager
+	mgr    *Manager
+	meter  *metric.Meter
+	store  *cache.Store
+	locks  *ilock.Manager
+	tracer *obs.Tracer
 
 	// Window is the number of accesses per mode evaluation (default 4).
 	Window int
@@ -84,6 +86,10 @@ func NewAdaptive(mgr *Manager, meter *metric.Meter, store *cache.Store) *Adaptiv
 // Name implements Strategy.
 func (s *Adaptive) Name() string { return "Adaptive Caching" }
 
+// SetTracer attaches a tracer; accesses then tag the enclosing op span
+// with the mode taken (hit, cold, or bypass).
+func (s *Adaptive) SetTracer(t *obs.Tracer) { s.tracer = t }
+
 // Prepare implements Strategy: start every procedure in caching mode with
 // a warm cache, like Cache and Invalidate.
 func (s *Adaptive) Prepare() {
@@ -111,12 +117,14 @@ func (s *Adaptive) Access(id int) [][]byte {
 		st.sinceBypass++
 		if st.sinceBypass < st.backoff {
 			// Plain recomputation; no cache write, no locks.
+			s.tracer.Current().Set("cache", "bypass")
 			return query.Run(d.Plan, &query.Ctx{Meter: s.meter})
 		}
 		// Retry caching.
 		st.bypass = false
 		st.retried = true
 		st.accesses, st.cold, st.sinceBypass, st.stint = 0, 0, 0, 0
+		s.tracer.Current().Set("cache", "retry")
 		s.refresh(d)
 		return s.readCache(id)
 	}
@@ -127,7 +135,10 @@ func (s *Adaptive) Access(id int) [][]byte {
 	st.invalSinceAccess = 0
 	if !e.Valid() {
 		st.cold++
+		s.tracer.Current().Set("cache", "cold")
 		s.refresh(d)
+	} else {
+		s.tracer.Current().Set("cache", "hit")
 	}
 	out := s.readCache(id)
 	if st.accesses >= s.Window {

@@ -4,6 +4,7 @@ import (
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/query"
 )
 
@@ -20,10 +21,15 @@ type CacheInvalidate struct {
 	store  *cache.Store
 	locks  *ilock.Manager
 	coarse bool
+	tracer *obs.Tracer
 
 	accesses     int
 	coldAccesses int
 }
+
+// SetTracer attaches a tracer; accesses then tag the enclosing op span
+// with the cache state and record a ci.refresh child span on cold paths.
+func (s *CacheInvalidate) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // AccessStats reports how many procedure accesses the strategy served and
 // how many found the cache invalid — the measured counterpart of the
@@ -120,7 +126,13 @@ func (s *CacheInvalidate) Access(id int) [][]byte {
 	s.accesses++
 	if !e.Valid() {
 		s.coldAccesses++
+		s.tracer.Current().Set("cache", "cold")
+		sp := s.tracer.Begin("ci.refresh")
+		sp.Set("proc", id)
 		s.refresh(d)
+		s.tracer.End(sp)
+	} else {
+		s.tracer.Current().Set("cache", "hit")
 	}
 	var out [][]byte
 	e.ReadAll(func(_ uint64, rec []byte) bool {

@@ -2,6 +2,7 @@ package proc
 
 import (
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/query"
 )
 
@@ -9,8 +10,9 @@ import (
 // access: the conventional algorithm (TOT_Recompute in the model). It
 // keeps no cached state, so updates cost it nothing.
 type AlwaysRecompute struct {
-	mgr   *Manager
-	meter *metric.Meter
+	mgr    *Manager
+	meter  *metric.Meter
+	tracer *obs.Tracer
 }
 
 // NewAlwaysRecompute builds the strategy over the given definitions.
@@ -21,13 +23,22 @@ func NewAlwaysRecompute(mgr *Manager, meter *metric.Meter) *AlwaysRecompute {
 // Name implements Strategy.
 func (s *AlwaysRecompute) Name() string { return "Always Recompute" }
 
+// SetTracer attaches a tracer; each access then records a recompute.scan
+// child span covering the plan execution.
+func (s *AlwaysRecompute) SetTracer(t *obs.Tracer) { s.tracer = t }
+
 // Prepare implements Strategy; there is nothing to set up.
 func (s *AlwaysRecompute) Prepare() {}
 
 // Access implements Strategy: run the plan, return its output.
 func (s *AlwaysRecompute) Access(id int) [][]byte {
 	d := s.mgr.MustGet(id)
-	return query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+	sp := s.tracer.Begin("recompute.scan")
+	sp.Set("proc", id)
+	out := query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+	sp.Set("tuples", len(out))
+	s.tracer.End(sp)
+	return out
 }
 
 // OnUpdate implements Strategy; recomputation needs no update hook.

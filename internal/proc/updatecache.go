@@ -2,6 +2,7 @@ package proc
 
 import (
 	"dbproc/internal/cache"
+	"dbproc/internal/obs"
 	"dbproc/internal/relation"
 )
 
@@ -35,6 +36,15 @@ func NewUpdateCache(mgr *Manager, store *cache.Store, maint Maintainer) *UpdateC
 
 // Name implements Strategy.
 func (s *UpdateCache) Name() string { return "Update Cache (" + s.maint.Name() + ")" }
+
+// SetTracer forwards the tracer to the maintenance engine if it accepts
+// one; the strategy's own work (a cache read per access) needs no child
+// spans of its own.
+func (s *UpdateCache) SetTracer(t *obs.Tracer) {
+	if st, ok := s.maint.(interface{ SetTracer(*obs.Tracer) }); ok {
+		st.SetTracer(t)
+	}
+}
 
 // Prepare implements Strategy.
 func (s *UpdateCache) Prepare() { s.maint.Prepare() }

@@ -64,7 +64,10 @@ func (s *BTreeRangeScan) Schema() *tuple.Schema { return s.Rel.Schema() }
 // Children implements Plan.
 func (s *BTreeRangeScan) Children() []Plan { return nil }
 
-// Execute implements Plan.
+// Execute implements Plan. The scan's index descent, leaf reads and
+// per-tuple screens are attributed to the btree component; work done by
+// the emit chain runs under the caller's own scope only if the consuming
+// node sets one (see HashJoinProbe).
 func (s *BTreeRangeScan) Execute(ctx *Ctx, emit func([]byte) bool) {
 	if s.Lo > s.Hi {
 		return
@@ -72,6 +75,8 @@ func (s *BTreeRangeScan) Execute(ctx *Ctx, emit func([]byte) bool) {
 	if ctx.Locks != nil {
 		ctx.Locks.ReadRange(s.Rel.Schema().Name(), s.Lo, s.Hi)
 	}
+	prev := ctx.Meter.SetComponent(metric.CompBTree)
+	defer ctx.Meter.SetComponent(prev)
 	lo := tuple.MinKeyFor(s.Lo)
 	hi := tuple.MaxKeyFor(s.Hi)
 	s.Rel.Tree().ScanRange(lo, hi, func(rec []byte) bool {
@@ -131,11 +136,15 @@ func (f *Filter) Schema() *tuple.Schema { return f.Child.Schema() }
 // Children implements Plan.
 func (f *Filter) Children() []Plan { return []Plan{f.Child} }
 
-// Execute implements Plan.
+// Execute implements Plan. Filter screens are attributed to the query
+// component (plan-level predicate evaluation, distinct from the screens an
+// index scan performs itself).
 func (f *Filter) Execute(ctx *Ctx, emit func([]byte) bool) {
 	s := f.Child.Schema()
 	f.Child.Execute(ctx, func(tup []byte) bool {
+		prev := ctx.Meter.SetComponent(metric.CompQuery)
 		ctx.Meter.Screen(1)
+		ctx.Meter.SetComponent(prev)
 		if !f.Pred.Eval(s, tup) {
 			return true
 		}
@@ -218,7 +227,9 @@ func (j *HashJoinProbe) Schema() *tuple.Schema { return j.out }
 // Children implements Plan.
 func (j *HashJoinProbe) Children() []Plan { return []Plan{j.Child} }
 
-// Execute implements Plan.
+// Execute implements Plan. Each probe's bucket I/O is attributed to the
+// hashidx component, scoped inside the emit callback so the child scan
+// keeps its own attribution.
 func (j *HashJoinProbe) Execute(ctx *Ctx, emit func([]byte) bool) {
 	ls := j.Child.Schema()
 	rs := j.Table.Schema()
@@ -227,6 +238,8 @@ func (j *HashJoinProbe) Execute(ctx *Ctx, emit func([]byte) bool) {
 		if ctx.Locks != nil {
 			ctx.Locks.ReadKey(j.Table.Schema().Name(), int64(key))
 		}
+		prev := ctx.Meter.SetComponent(metric.CompHashIdx)
+		defer ctx.Meter.SetComponent(prev)
 		cont := true
 		j.Table.Hash().LookupEach(key, func(rtup []byte) bool {
 			out := j.out.New()

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 
+	"dbproc/internal/metric"
 	"dbproc/internal/relation"
 	"dbproc/internal/tuple"
 )
@@ -93,8 +94,11 @@ func (s *HashScan) Schema() *tuple.Schema { return s.Rel.Schema() }
 // Children implements Plan.
 func (s *HashScan) Children() []Plan { return nil }
 
-// Execute implements Plan.
+// Execute implements Plan. The scan's bucket reads and per-tuple screens
+// are attributed to the hashidx component.
 func (s *HashScan) Execute(ctx *Ctx, emit func([]byte) bool) {
+	prev := ctx.Meter.SetComponent(metric.CompHashIdx)
+	defer ctx.Meter.SetComponent(prev)
 	s.Rel.Hash().ScanAll(func(rec []byte) bool {
 		ctx.Meter.Screen(1)
 		out := make([]byte, len(rec))

@@ -1,6 +1,9 @@
 package rete
 
-import "dbproc/internal/relation"
+import (
+	"dbproc/internal/obs"
+	"dbproc/internal/relation"
+)
 
 // Engine adapts a Network to the procedure layer's Maintainer interface:
 // each update transaction is turned into − tokens for the old tuple values
@@ -8,6 +11,7 @@ import "dbproc/internal/relation"
 type Engine struct {
 	net     *Network
 	prepare func()
+	tracer  *obs.Tracer
 }
 
 // NewEngine wraps net; prepare (may be nil) runs the one-time network fill
@@ -22,6 +26,10 @@ func (e *Engine) Name() string { return "RVM" }
 // Network returns the wrapped network.
 func (e *Engine) Network() *Network { return e.net }
 
+// SetTracer attaches a tracer; each Apply then records a rete.propagate
+// span covering the transaction's token propagation.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
 // Prepare runs the one-time fill; run it with charging disabled.
 func (e *Engine) Prepare() {
 	if e.prepare != nil {
@@ -33,6 +41,9 @@ func (e *Engine) Prepare() {
 // insertions, so an in-place modification is the paper's "delete followed
 // by insert".
 func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+	sp := e.tracer.Begin("rete.propagate")
+	sp.Set("rel", rel.Schema().Name())
+	sp.Set("tokens", len(inserted)+len(deleted))
 	name := rel.Schema().Name()
 	for _, tup := range deleted {
 		e.net.Submit(name, Token{Tag: Minus, Tuple: tup})
@@ -40,4 +51,5 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 	for _, tup := range inserted {
 		e.net.Submit(name, Token{Tag: Plus, Tuple: tup})
 	}
+	e.tracer.End(sp)
 }

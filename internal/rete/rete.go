@@ -170,8 +170,11 @@ func (n *Network) NumTConsts() int { return len(n.tconsts) }
 
 // Submit deposits a token for the named relation at the root. The root
 // dispatches it to every t-const on that relation whose band contains the
-// token's attribute value.
+// token's attribute value. Everything downstream — t-const screens,
+// memory-node I/O, and-node probes — is attributed to the rete component.
 func (n *Network) Submit(rel string, tok Token) {
+	prev := n.meter.SetComponent(metric.CompRete)
+	defer n.meter.SetComponent(prev)
 	for key, d := range n.dispatchers {
 		if key.rel != rel {
 			continue

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
+	"dbproc/internal/obs"
+)
+
+// TestBreakdownReconcilesWithCounters is the observability invariant: the
+// per-component breakdown must sum to the aggregate counters exactly, for
+// every strategy, because the aggregate is defined as that sum.
+func TestBreakdownReconcilesWithCounters(t *testing.T) {
+	for _, s := range []costmodel.Strategy{
+		costmodel.AlwaysRecompute, costmodel.CacheInvalidate,
+		costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM,
+	} {
+		for _, m := range []costmodel.Model{costmodel.Model1, costmodel.Model2} {
+			w := Build(testConfig(m, s))
+			res := w.Run()
+			if got := w.Meter().Breakdown().Total(); got != res.Counters {
+				t.Errorf("%v/%v: breakdown total %+v != counters %+v", s, m, got, res.Counters)
+			}
+			if res.Counters.PageReads == 0 {
+				t.Errorf("%v/%v: no page reads charged", s, m)
+			}
+		}
+	}
+}
+
+// TestTracedRunRecordsSpans runs each strategy with tracing on and checks
+// the span stream: one op span per workload operation, strategy-internal
+// child spans, and span counter deltas that sum back to the totals for
+// top-level spans.
+func TestTracedRunRecordsSpans(t *testing.T) {
+	for _, s := range []costmodel.Strategy{
+		costmodel.AlwaysRecompute, costmodel.CacheInvalidate,
+		costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM,
+	} {
+		tr := obs.NewTracer()
+		cfg := testConfig(costmodel.Model2, s)
+		cfg.Tracer = tr
+		w := Build(cfg)
+		res := w.Run()
+
+		spans := tr.Spans()
+		nOps := 0
+		var opCounters metric.Counters
+		for _, sp := range spans {
+			if sp.Name == "op.update" || sp.Name == "op.query" {
+				nOps++
+				opCounters = opCounters.Add(sp.Counters)
+			}
+		}
+		if want := res.Queries + res.Updates; nOps != want {
+			t.Errorf("%v: %d op spans, want %d", s, nOps, want)
+		}
+		// Every charge lands inside some workload op (flush included), so
+		// the op spans partition the totals.
+		if opCounters != res.Counters {
+			t.Errorf("%v: op span counters %+v != run counters %+v", s, opCounters, res.Counters)
+		}
+
+		child := map[string]int{}
+		for _, sp := range spans {
+			child[sp.Name]++
+		}
+		var want string
+		switch s {
+		case costmodel.AlwaysRecompute:
+			want = "recompute.scan"
+		case costmodel.CacheInvalidate:
+			want = "ci.refresh"
+		case costmodel.UpdateCacheAVM:
+			want = "avm.route"
+		case costmodel.UpdateCacheRVM:
+			want = "rete.propagate"
+		}
+		if child[want] == 0 {
+			t.Errorf("%v: no %q child spans recorded (have %v)", s, want, child)
+		}
+
+		// Parent links resolve within the stream.
+		ids := map[int64]bool{}
+		for _, sp := range spans {
+			ids[sp.ID] = true
+		}
+		for _, sp := range spans {
+			if sp.Parent != 0 && !ids[sp.Parent] {
+				t.Errorf("%v: span %d has dangling parent %d", s, sp.ID, sp.Parent)
+			}
+		}
+	}
+}
+
+// TestCacheStateAttrs checks that Cache-and-Invalidate op spans carry the
+// hit/cold cache attribute and that cold spans agree with AccessStats.
+func TestCacheStateAttrs(t *testing.T) {
+	tr := obs.NewTracer()
+	cfg := testConfig(costmodel.Model1, costmodel.CacheInvalidate)
+	cfg.Tracer = tr
+	w := Build(cfg)
+	res := w.Run()
+
+	hit, cold := 0, 0
+	for _, sp := range tr.Spans() {
+		if sp.Name != "op.query" {
+			continue
+		}
+		switch sp.Attrs["cache"] {
+		case "hit":
+			hit++
+		case "cold":
+			cold++
+		default:
+			t.Fatalf("op.query span %d missing cache attr: %v", sp.ID, sp.Attrs)
+		}
+	}
+	if hit+cold != res.Queries {
+		t.Errorf("cache attrs on %d spans, want %d", hit+cold, res.Queries)
+	}
+	if res.ColdFraction != float64(cold)/float64(res.Queries) {
+		t.Errorf("cold spans %d/%d disagree with ColdFraction %v", cold, res.Queries, res.ColdFraction)
+	}
+}
+
+// TestUntracedRunIdentical verifies tracing is observation only: the same
+// config with and without a tracer yields identical measurements.
+func TestUntracedRunIdentical(t *testing.T) {
+	for _, s := range []costmodel.Strategy{costmodel.CacheInvalidate, costmodel.UpdateCacheRVM} {
+		plain := Run(testConfig(costmodel.Model2, s))
+		cfg := testConfig(costmodel.Model2, s)
+		cfg.Tracer = obs.NewTracer()
+		traced := Build(cfg).Run()
+		if plain.Counters != traced.Counters || plain.TotalMs != traced.TotalMs {
+			t.Errorf("%v: traced run diverges: %+v vs %+v", s, plain.Counters, traced.Counters)
+		}
+	}
+}

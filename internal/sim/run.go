@@ -1,13 +1,30 @@
 package sim
 
 import (
+	"fmt"
+	"math"
+
 	"dbproc/internal/costmodel"
 	"dbproc/internal/metric"
 	"dbproc/internal/proc"
 	"dbproc/internal/tuple"
 	"dbproc/internal/workload"
-	"math"
 )
+
+// HasColdFraction reports whether ColdFraction carries a measurement;
+// only Cache and Invalidate keeps the statistic, so it is NaN — and this
+// returns false — for every other strategy.
+func (r Result) HasColdFraction() bool { return !math.IsNaN(r.ColdFraction) }
+
+// ColdFractionString renders the cold fraction for human-readable output:
+// "n/a" when the strategy records none, so the NaN sentinel never leaks
+// into reports.
+func (r Result) ColdFractionString() string {
+	if !r.HasColdFraction() {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", r.ColdFraction)
+}
 
 // Run builds the world for cfg and executes the workload, returning the
 // measured and predicted cost per query.
@@ -27,15 +44,26 @@ func (w *World) Run() Result {
 		w.pager.BeginOp()
 		switch op.Kind {
 		case workload.Update:
+			sp := w.tracer.Begin("op.update")
 			delta := w.baseUpdate()
+			sp.Set("rel", delta.Rel.Schema().Name())
+			sp.Set("tuples", len(delta.Inserted)+len(delta.Deleted))
 			w.strat.OnUpdate(delta)
 			res.Updates++
+			// Flush inside the span so deferred page writes are priced into
+			// the operation that dirtied them.
+			w.pager.Flush()
+			w.tracer.End(sp)
 		case workload.Query:
+			sp := w.tracer.Begin("op.query")
+			sp.Set("proc", op.ProcID)
 			out := w.strat.Access(op.ProcID)
+			sp.Set("tuples", len(out))
 			res.TuplesReturned += len(out)
 			res.Queries++
+			w.pager.Flush()
+			w.tracer.End(sp)
 		}
-		w.pager.Flush()
 	}
 	res.Counters = w.meter.Snapshot()
 	res.TotalMs = w.meter.Milliseconds()

@@ -20,6 +20,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/ilock"
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/proc"
 	"dbproc/internal/query"
 	"dbproc/internal/relation"
@@ -56,6 +57,11 @@ type Config struct {
 	// min of the Cache-and-Invalidate and Always-Recompute predictions —
 	// the envelope the adaptive strategy targets.
 	Adaptive bool
+	// Tracer, when non-nil, records a span per workload operation plus
+	// strategy-internal child spans (recompute scans, CI refreshes, AVM
+	// route/merge phases, Rete propagation). Nil disables tracing at the
+	// cost of one nil check per instrumentation point.
+	Tracer *obs.Tracer
 	// Ablations disable individual design choices for the ablation
 	// experiments.
 	Ablations Ablations
@@ -110,10 +116,11 @@ type World struct {
 	skey []int64
 	p2   []int64
 
-	mgr   *proc.Manager
-	specs []*procSpec
-	gen   *workload.Generator
-	strat proc.Strategy
+	mgr    *proc.Manager
+	specs  []*procSpec
+	gen    *workload.Generator
+	strat  proc.Strategy
+	tracer *obs.Tracer
 }
 
 // procSpec records how one procedure was generated.
@@ -147,6 +154,17 @@ func Build(cfg Config) *World {
 	w.buildStrategy()
 
 	w.strat.Prepare()
+
+	// Attach tracing after Prepare so setup work records no spans. The
+	// tracer is bound late because the meter it prices span deltas against
+	// is created here.
+	if w.tracer = cfg.Tracer; w.tracer != nil {
+		w.tracer.Bind(meter)
+		if st, ok := w.strat.(interface{ SetTracer(*obs.Tracer) }); ok {
+			st.SetTracer(w.tracer)
+		}
+	}
+
 	pager.BeginOp()
 	pager.SetCharging(true)
 	meter.Reset()

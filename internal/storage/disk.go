@@ -113,6 +113,10 @@ type Pager struct {
 type frame struct {
 	data  []byte
 	dirty bool
+	// comp is the meter component that dirtied the frame; the write is
+	// charged at flush time, after the dirtier's attribution scope has
+	// ended, so it must be remembered here.
+	comp metric.Component
 }
 
 // NewPager creates a pager over disk charging I/O to meter. Charging
@@ -148,14 +152,16 @@ func (p *Pager) BeginOp() {
 }
 
 // Flush writes every dirty frame back to disk, charging one page write
-// each, and marks them clean. Clean frames stay cached for the rest of the
-// operation.
+// each — attributed to the component that dirtied the frame — and marks
+// them clean. Clean frames stay cached for the rest of the operation.
 func (p *Pager) Flush() {
 	for id, f := range p.frames {
 		if f.dirty {
 			p.disk.WriteRaw(id, f.data)
 			if p.charging {
+				prev := p.meter.SetComponent(f.comp)
 				p.meter.PageWrite(1)
+				p.meter.SetComponent(prev)
 			}
 			f.dirty = false
 		}
@@ -172,10 +178,14 @@ func (p *Pager) Read(id PageID) []byte {
 
 // Update returns the page contents for read-modify-write. It charges like
 // Read on first access and additionally marks the frame dirty, so the
-// operation's flush charges one page write.
+// operation's flush charges one page write, attributed to the component
+// that first dirtied the frame.
 func (p *Pager) Update(id PageID) []byte {
 	f := p.fetch(id, true)
-	f.dirty = true
+	if !f.dirty {
+		f.dirty = true
+		f.comp = p.meter.Component()
+	}
 	return f.data
 }
 
@@ -191,7 +201,10 @@ func (p *Pager) Overwrite(id PageID) []byte {
 	} else {
 		clear(f.data)
 	}
-	f.dirty = true
+	if !f.dirty {
+		f.dirty = true
+		f.comp = p.meter.Component()
+	}
 	return f.data
 }
 

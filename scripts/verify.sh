@@ -1,0 +1,40 @@
+#!/bin/sh
+# verify.sh — the repository's check tiers.
+#
+#   tier 1: go build ./... && go test ./...        (the seed contract)
+#   tier 2: go vet ./... && go test -race ./...    (static + race checks)
+#   tier 3: meter-attribution overhead guard        (<= 5% vs seed meter)
+#
+# Run from the repository root: sh scripts/verify.sh
+
+set -e
+
+echo "== tier 1: build + test =="
+go build ./...
+go test ./...
+
+echo "== tier 2: vet + race =="
+go vet ./...
+go test -race ./...
+
+echo "== tier 3: meter attribution overhead guard =="
+# BenchmarkMeterAttributed replays the seed meter's hot path through the
+# component-attributed meter; it must stay within 5% of the baseline that
+# replicates the pre-attribution implementation. Benchmarks are noisy, so
+# take the best of a few runs for both sides.
+go test -run '^$' -bench 'BenchmarkMeterSeedBaseline|BenchmarkMeterAttributed$' \
+    -benchtime=2s -count=3 ./internal/metric/ | tee /tmp/meter_bench.txt
+
+awk '
+    /^BenchmarkMeterSeedBaseline/ { if (base == 0 || $3 < base) base = $3 }
+    /^BenchmarkMeterAttributed-|^BenchmarkMeterAttributed / { if (attr == 0 || $3 < attr) attr = $3 }
+    END {
+        if (base == 0 || attr == 0) { print "verify: benchmark output missing"; exit 1 }
+        ratio = attr / base
+        printf "meter overhead: attributed %.3f ns/op vs baseline %.3f ns/op (ratio %.3f)\n", attr, base, ratio
+        if (ratio > 1.05) { print "verify: FAIL - attributed meter exceeds 5% overhead"; exit 1 }
+        print "meter overhead guard: OK"
+    }
+' /tmp/meter_bench.txt
+
+echo "== all tiers passed =="
