@@ -9,6 +9,7 @@
 package dbproc
 
 import (
+	"context"
 	"io"
 	"os"
 	"sync"
@@ -28,14 +29,15 @@ func benchFigure(b *testing.B, id string, opt experiments.Options) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	onceI, _ := printOnce.LoadOrStore(id, &sync.Once{})
+	ctx := context.Background()
 	onceI.(*sync.Once).Do(func() {
-		for _, tb := range e.Run(opt) {
+		for _, tb := range e.Run(ctx, opt) {
 			tb.Render(os.Stdout)
 		}
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, tb := range e.Run(opt) {
+		for _, tb := range e.Run(ctx, opt) {
 			tb.Render(io.Discard)
 		}
 	}

@@ -6,14 +6,21 @@
 //	procbench -figure fig05    # one figure
 //	procbench -sim             # add measured points from the simulator
 //	procbench -sim -scale 10   # simulate at 1/10 population scale
+//	procbench -sim -workers 4  # fan simulation cells over 4 workers
 //	procbench -list            # list experiment ids
+//
+// Simulated sweeps fan their (figure point × seed × strategy) cells out
+// across -workers workers; the reduction is deterministic, so any worker
+// count prints byte-identical tables (see docs/PARALLEL.md).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dbproc/internal/experiments"
 )
@@ -26,8 +33,15 @@ func main() {
 	simPoints := flag.Int("sim-points", 0, "max simulated points per curve (0 = all)")
 	scale := flag.Float64("scale", 1, "divide populations and op counts by this for simulation")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = one per CPU); output is identical for any value")
 	obsJSON := flag.String("obs-json", "", "write the per-strategy observability benchmark (BENCH_obs.json) to this file and exit")
+	parallelJSON := flag.String("parallel-json", "", "write the parallel sweep-engine benchmark (BENCH_parallel.json) to this file and exit")
 	flag.Parse()
+
+	// Ctrl-C stops claiming new simulation cells; in-flight cells finish
+	// and the run exits after the current experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -41,18 +55,18 @@ func main() {
 		SimPoints: *simPoints,
 		SimSeed:   *seed,
 		Scale:     *scale,
+		Workers:   *workers,
 	}
 
-	if *obsJSON != "" {
-		rep := experiments.ObsBench(opt)
-		f, err := os.Create(*obsJSON)
+	writeJSON := func(path string, v any, desc string) {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
 			os.Exit(1)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(v); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
 			os.Exit(1)
@@ -61,7 +75,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("observability benchmark written to %s (%d rows)\n", *obsJSON, len(rep.Rows))
+		fmt.Printf("%s written to %s\n", desc, path)
+	}
+
+	if *obsJSON != "" {
+		rep := experiments.ObsBench(ctx, opt)
+		writeJSON(*obsJSON, rep, fmt.Sprintf("observability benchmark (%d rows)", len(rep.Rows)))
+		return
+	}
+
+	if *parallelJSON != "" {
+		rep := experiments.ParallelBench(ctx, opt)
+		writeJSON(*parallelJSON, rep,
+			fmt.Sprintf("parallel benchmark (%d cells, %.1fx measured / %.1fx projected@4, identical=%v)",
+				rep.Cells, rep.MeasuredSpeedup, rep.ProjectedSpeedup["4"], rep.OutputIdentical))
 		return
 	}
 
@@ -77,13 +104,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "procbench: unknown experiment %q; try -list\n", *figure)
 			os.Exit(1)
 		}
-		for _, tb := range e.Run(opt) {
+		for _, tb := range e.Run(ctx, opt) {
 			show(tb)
 		}
 		return
 	}
 	for _, e := range experiments.All() {
-		for _, tb := range e.Run(opt) {
+		for _, tb := range e.Run(ctx, opt) {
 			show(tb)
 		}
 	}

@@ -7,20 +7,31 @@
 //	procsim                               # paper defaults, all strategies
 //	procsim -strategy uc-avm -P 0.3       # one strategy at P = 0.3
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
+//	procsim -seeds 5 -workers 4           # average 5 seeds, 4 cells at a time
 //	procsim -breakdown                    # per-component cost tables
 //	procsim -trace out.jsonl              # per-operation trace (see procstat)
 //	procsim -json                         # machine-readable results
+//
+// With -seeds N every strategy runs N consecutive workload seeds; the
+// (strategy × seed) cells fan out across -workers workers, and results —
+// tables, JSON, and trace files alike — are reduced in canonical
+// (strategy, seed) order, so output is byte-identical for any worker
+// count (see docs/PARALLEL.md).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
 	"dbproc/internal/obs"
+	"dbproc/internal/parallel"
 	"dbproc/internal/sim"
 )
 
@@ -62,6 +73,18 @@ type driftJSON struct {
 	Drifting      bool    `json:"drifting"`
 }
 
+// cellOut is one (strategy, seed) run's complete output, produced by a
+// pool worker and consumed by the in-order reduction: the run result,
+// the meter state, and the run's trace records pre-encoded into a
+// private buffer so the trace file stays byte-stable under -workers N.
+type cellOut struct {
+	res    sim.Result
+	bd     metric.Breakdown
+	costs  metric.Costs
+	trace  []byte
+	record obs.RunRecord
+}
+
 func main() {
 	p := costmodel.Default()
 	flag.Float64Var(&p.N, "N", p.N, "tuples in R1")
@@ -79,6 +102,8 @@ func main() {
 	modelFlag := flag.Int("model", 1, "procedure model: 1 (2-way joins) or 2 (3-way)")
 	strategyFlag := flag.String("strategy", "", "recompute | ci | uc-avm | uc-rvm (default: all)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	seeds := flag.Int("seeds", 1, "consecutive workload seeds per strategy (averaged in the drift table)")
+	workers := flag.Int("workers", 0, "concurrent (strategy x seed) cells (0 = one per CPU); output is identical for any value")
 	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
 	breakdown := flag.Bool("breakdown", false, "print the per-component cost breakdown of each run")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
@@ -90,6 +115,10 @@ func main() {
 		p = p.WithUpdateProbability(*upd)
 	}
 	model := costmodel.Model(*modelFlag)
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "procsim: -seeds must be >= 1\n")
+		os.Exit(1)
+	}
 
 	var strategies []costmodel.Strategy
 	if *strategyFlag == "" {
@@ -114,6 +143,72 @@ func main() {
 		defer f.Close()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// One cell per (strategy, seed), in canonical order: strategy first,
+	// then seed — the order every reduction below iterates in.
+	type cellCfg struct {
+		strategy costmodel.Strategy
+		seed     int64
+	}
+	var cellCfgs []cellCfg
+	for _, s := range strategies {
+		for i := 0; i < *seeds; i++ {
+			cellCfgs = append(cellCfgs, cellCfg{strategy: s, seed: *seed + int64(i)})
+		}
+	}
+
+	runLabel := func(c cellCfg) string {
+		if *seeds == 1 {
+			return shortName(c.strategy)
+		}
+		return fmt.Sprintf("%s#%d", shortName(c.strategy), c.seed)
+	}
+
+	cells, err := parallel.Map(ctx, parallel.Workers(*workers), len(cellCfgs),
+		func(ctx context.Context, i int) (cellOut, error) {
+			c := cellCfgs[i]
+			cfg := sim.Config{Params: p, Model: model, Strategy: c.strategy, Seed: c.seed}
+			if traceFile != nil {
+				cfg.Tracer = obs.NewTracer()
+			}
+			w := sim.Build(cfg)
+			res := w.Run()
+			out := cellOut{res: res, bd: w.Meter().Breakdown(), costs: w.Meter().Costs()}
+			run := runLabel(c)
+			out.record = obs.RunRecord{
+				Type:                obs.RecordRun,
+				Run:                 run,
+				Strategy:            c.strategy.String(),
+				Model:               model.String(),
+				Seed:                c.seed,
+				Queries:             res.Queries,
+				Updates:             res.Updates,
+				MeasuredMsPerQuery:  res.MsPerQuery,
+				PredictedMsPerQuery: res.PredictedMs,
+			}
+			if res.HasColdFraction() {
+				cf := res.ColdFraction
+				out.record.ColdFraction = &cf
+			}
+			if traceFile != nil {
+				records := []any{out.record, obs.BreakdownToRecord(run, out.bd, out.costs)}
+				for _, sp := range cfg.Tracer.Records(run) {
+					records = append(records, sp)
+				}
+				enc, err := obs.EncodeJSONL(records...)
+				if err != nil {
+					return cellOut{}, fmt.Errorf("encoding trace: %w", err)
+				}
+				out.trace = enc
+			}
+			return out, nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+		os.Exit(1)
+	}
 	drift := obs.NewDrift(*driftThreshold)
 	var jsonRuns []runJSON
 
@@ -123,40 +218,17 @@ func main() {
 		fmt.Printf("%-22s %12s %12s %7s %6s   %s\n",
 			"strategy", "measured", "predicted", "ratio", "cold", "events")
 	}
-	for _, s := range strategies {
-		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: *seed}
-		if traceFile != nil {
-			cfg.Tracer = obs.NewTracer()
-		}
-		w := sim.Build(cfg)
-		res := w.Run()
-		run := shortName(s)
-		bd := w.Meter().Breakdown()
-		costs := w.Meter().Costs()
-		drift.Record(s.String(), model.String(), res.MsPerQuery, res.PredictedMs)
 
-		rec := obs.RunRecord{
-			Type:                obs.RecordRun,
-			Run:                 run,
-			Strategy:            s.String(),
-			Model:               model.String(),
-			Seed:                *seed,
-			Queries:             res.Queries,
-			Updates:             res.Updates,
-			MeasuredMsPerQuery:  res.MsPerQuery,
-			PredictedMsPerQuery: res.PredictedMs,
-		}
-		if res.HasColdFraction() {
-			cf := res.ColdFraction
-			rec.ColdFraction = &cf
-		}
+	// The reduction: consume cells in canonical order. Everything below —
+	// drift entries, trace bytes, table rows, JSON — depends only on this
+	// order, never on which worker finished first.
+	for i, c := range cellCfgs {
+		out := cells[i]
+		res := out.res
+		drift.Record(c.strategy.String(), model.String(), res.MsPerQuery, res.PredictedMs)
 
 		if traceFile != nil {
-			records := []any{rec, obs.BreakdownToRecord(run, bd, costs)}
-			for _, sp := range cfg.Tracer.Records(run) {
-				records = append(records, sp)
-			}
-			if err := obs.WriteJSONL(traceFile, records...); err != nil {
+			if _, err := traceFile.Write(out.trace); err != nil {
 				fmt.Fprintf(os.Stderr, "procsim: writing trace: %v\n", err)
 				os.Exit(1)
 			}
@@ -164,25 +236,29 @@ func main() {
 
 		if *jsonOut {
 			jr := runJSON{
-				RunRecord:      rec,
+				RunRecord:      out.record,
 				Ratio:          res.MsPerQuery / res.PredictedMs,
 				TotalMs:        res.TotalMs,
 				TuplesReturned: res.TuplesReturned,
 				Counters:       obs.ToCountersJSON(res.Counters),
 			}
 			if *breakdown {
-				jr.Breakdown = obs.BreakdownToRecord(run, bd, costs).Components
+				jr.Breakdown = obs.BreakdownToRecord(out.record.Run, out.bd, out.costs).Components
 			}
 			jsonRuns = append(jsonRuns, jr)
 			continue
 		}
 
+		label := c.strategy.String()
+		if *seeds > 1 {
+			label = fmt.Sprintf("%s s=%d", c.strategy, c.seed)
+		}
 		fmt.Printf("%-22s %9.1f ms %9.1f ms %7.2f %6s   %v\n",
-			s, res.MsPerQuery, res.PredictedMs, res.MsPerQuery/res.PredictedMs,
+			label, res.MsPerQuery, res.PredictedMs, res.MsPerQuery/res.PredictedMs,
 			res.ColdFractionString(), res.Counters)
 		if *breakdown {
 			fmt.Println()
-			obs.RenderBreakdown(os.Stdout, bd, costs)
+			obs.RenderBreakdown(os.Stdout, out.bd, out.costs)
 			fmt.Println()
 		}
 	}
@@ -205,6 +281,7 @@ func main() {
 		if err := enc.Encode(map[string]any{
 			"model":           model.String(),
 			"seed":            *seed,
+			"seeds":           *seeds,
 			"drift_threshold": *driftThreshold,
 			"runs":            jsonRuns,
 			"drift":           drifts,

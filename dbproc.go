@@ -28,6 +28,7 @@
 package dbproc
 
 import (
+	"context"
 	"io"
 
 	"dbproc/internal/costmodel"
@@ -98,13 +99,14 @@ type ExperimentOptions = experiments.Options
 func Experiments() []Experiment { return experiments.All() }
 
 // RunExperiment executes the experiment with the given id and renders its
-// tables to w, reporting whether the id exists.
-func RunExperiment(id string, opt ExperimentOptions, w io.Writer) bool {
+// tables to w, reporting whether the id exists. ctx cancels the
+// experiment's simulation fan-out; opt.Workers bounds its parallelism.
+func RunExperiment(ctx context.Context, id string, opt ExperimentOptions, w io.Writer) bool {
 	e, ok := experiments.Get(id)
 	if !ok {
 		return false
 	}
-	for _, tb := range e.Run(opt) {
+	for _, tb := range e.Run(ctx, opt) {
 		tb.Render(w)
 	}
 	return true

@@ -2,6 +2,7 @@ package dbproc
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -49,13 +50,13 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatalf("only %d experiments registered", len(all))
 	}
 	var buf bytes.Buffer
-	if !RunExperiment("fig02", ExperimentOptions{}, &buf) {
+	if !RunExperiment(context.Background(), "fig02", ExperimentOptions{}, &buf) {
 		t.Fatal("fig02 missing")
 	}
 	if !strings.Contains(buf.String(), "tuples in R1") {
 		t.Fatalf("fig02 output wrong: %q", buf.String())
 	}
-	if RunExperiment("not-an-experiment", ExperimentOptions{}, &buf) {
+	if RunExperiment(context.Background(), "not-an-experiment", ExperimentOptions{}, &buf) {
 		t.Fatal("unknown experiment reported success")
 	}
 }

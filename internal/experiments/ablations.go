@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dbproc/internal/costmodel"
@@ -15,8 +16,8 @@ func init() {
 		ID: "abl-dispatch",
 		Title: "ABLATION: rule-indexed Rete dispatch vs naive root broadcast " +
 			"(screening cost N·C1·2fl vs N·C1·2l)",
-		Run: func(opt Options) []*Table {
-			return ablate(opt, "abl-dispatch",
+		Run: func(ctx context.Context, opt Options) []*Table {
+			return ablate(ctx, opt, "abl-dispatch",
 				"With indexed dispatch only t-consts whose band contains the token's value\n"+
 					"activate; the naive root broadcasts every token to every t-const, as the\n"+
 					"paper describes the data structure literally.",
@@ -29,8 +30,8 @@ func init() {
 		ID: "abl-rootpin",
 		Title: "ABLATION: pinned B-tree root vs charging the root read " +
 			"(the model's H1 vs full-height descents)",
-		Run: func(opt Options) []*Table {
-			return ablate(opt, "abl-rootpin",
+		Run: func(ctx context.Context, opt Options) []*Table {
+			return ablate(ctx, opt, "abl-rootpin",
 				"Every index descent pays one extra C2 when the root is not memory-resident;\n"+
 					"recomputation-heavy strategies feel it most.",
 				costmodel.AlwaysRecompute,
@@ -42,8 +43,8 @@ func init() {
 		ID: "abl-locks",
 		Title: "ABLATION: i-lock intervals/keys vs relation-granularity invalidation " +
 			"(what rule indexing is worth to Cache and Invalidate)",
-		Run: func(opt Options) []*Table {
-			return ablate(opt, "abl-locks",
+		Run: func(ctx context.Context, opt Options) []*Table {
+			return ablate(ctx, opt, "abl-locks",
 				"With relation-level locks every update invalidates every procedure, so C&I\n"+
 					"degenerates to Always Recompute plus write-backs even at low P.",
 				costmodel.CacheInvalidate,
@@ -54,7 +55,7 @@ func init() {
 }
 
 // ablate measures one strategy across P with and without an ablation.
-func ablate(opt Options, id, note string, strat costmodel.Strategy, base, ablated sim.Ablations, baseName, ablName string) []*Table {
+func ablate(ctx context.Context, opt Options, id, note string, strat costmodel.Strategy, base, ablated sim.Ablations, baseName, ablName string) []*Table {
 	scale := opt.Scale
 	if scale <= 1 {
 		scale = 5
@@ -70,10 +71,21 @@ func ablate(opt Options, id, note string, strat costmodel.Strategy, base, ablate
 		Note:   note,
 		Header: []string{"P", baseName, ablName, "penalty"},
 	}
-	for _, up := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+	ups := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	var cfgs []sim.Config
+	for _, up := range ups {
 		pp := p.WithUpdateProbability(up)
-		a := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Strategy: strat, Seed: seed, Ablations: base}).MsPerQuery
-		b := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Strategy: strat, Seed: seed, Ablations: ablated}).MsPerQuery
+		cfgs = append(cfgs,
+			sim.Config{Params: pp, Model: costmodel.Model1, Strategy: strat, Seed: seed, Ablations: base},
+			sim.Config{Params: pp, Model: costmodel.Model1, Strategy: strat, Seed: seed, Ablations: ablated})
+	}
+	results, err := simCells(ctx, opt, cfgs)
+	if err != nil {
+		return []*Table{t}
+	}
+	for i, up := range ups {
+		a := results[2*i].MsPerQuery
+		b := results[2*i+1].MsPerQuery
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.1f", up), fmtMs(a), fmtMs(b), fmt.Sprintf("%.2fx", b/a),
 		})

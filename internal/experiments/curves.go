@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/sim"
 )
 
 // sweepPs are the update-probability points for cost-vs-P curves. P = 1 is
@@ -18,7 +20,7 @@ func curveExperiment(id, title, note string, model costmodel.Model, mutate func(
 	return Experiment{
 		ID:    id,
 		Title: title,
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			base := costmodel.Default()
 			if mutate != nil {
 				mutate(&base)
@@ -36,6 +38,23 @@ func curveExperiment(id, title, note string, model costmodel.Model, mutate func(
 			if opt.Sim && opt.SimPoints > 0 && opt.SimPoints < len(sweepPs) {
 				simEvery = (len(sweepPs) + opt.SimPoints - 1) / opt.SimPoints
 			}
+			// Fan the measured cells out in canonical row-major order
+			// (P point, then strategy); the reduction consumes them in
+			// the same order below.
+			var cfgs []sim.Config
+			if opt.Sim {
+				for i, up := range sweepPs {
+					if i%simEvery != 0 {
+						continue
+					}
+					sp := scaled(base, opt).WithUpdateProbability(up)
+					for _, s := range costmodel.Strategies {
+						cfgs = append(cfgs, sim.Config{Params: sp, Model: model, Strategy: s, Seed: opt.SimSeed})
+					}
+				}
+			}
+			results, err := simCells(ctx, opt, cfgs)
+			next := 0
 			for i, up := range sweepPs {
 				p := base.WithUpdateProbability(up)
 				row := []string{fmt.Sprintf("%.2f", up)}
@@ -43,10 +62,10 @@ func curveExperiment(id, title, note string, model costmodel.Model, mutate func(
 					row = append(row, fmtMs(costmodel.Cost(model, s, p)))
 				}
 				if opt.Sim {
-					if i%simEvery == 0 {
-						sp := scaled(base, opt).WithUpdateProbability(up)
-						for _, s := range costmodel.Strategies {
-							row = append(row, fmtMs(simPoint(model, s, sp, opt)))
+					if i%simEvery == 0 && err == nil {
+						for range costmodel.Strategies {
+							row = append(row, fmtMs(results[next].MsPerQuery))
+							next++
 						}
 					} else {
 						row = append(row, "-", "-", "-", "-")
@@ -65,7 +84,7 @@ func sharingExperiment(id, title, note string, model costmodel.Model) Experiment
 	return Experiment{
 		ID:    id,
 		Title: title,
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			base := costmodel.Default()
 			t := &Table{
 				ID: id, Title: title, Note: note,
@@ -79,6 +98,22 @@ func sharingExperiment(id, title, note string, model costmodel.Model) Experiment
 			if opt.Sim && opt.SimPoints > 0 && opt.SimPoints < len(sfs) {
 				simEvery = (len(sfs) + opt.SimPoints - 1) / opt.SimPoints
 			}
+			var cfgs []sim.Config
+			if opt.Sim {
+				for i, sf := range sfs {
+					if i%simEvery != 0 {
+						continue
+					}
+					p := base
+					p.SF = sf
+					sp := scaled(p, opt)
+					for _, s := range []costmodel.Strategy{costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM} {
+						cfgs = append(cfgs, sim.Config{Params: sp, Model: model, Strategy: s, Seed: opt.SimSeed})
+					}
+				}
+			}
+			results, simErr := simCells(ctx, opt, cfgs)
+			next := 0
 			var cross float64 = math.NaN()
 			prevDiff := math.NaN()
 			for i, sf := range sfs {
@@ -88,11 +123,11 @@ func sharingExperiment(id, title, note string, model costmodel.Model) Experiment
 				rvmC := costmodel.RVMCost(model, p)
 				row := []string{fmt.Sprintf("%.1f", sf), fmtMs(avmC), fmtMs(rvmC)}
 				if opt.Sim {
-					if i%simEvery == 0 {
-						sp := scaled(p, opt)
+					if i%simEvery == 0 && simErr == nil {
 						row = append(row,
-							fmtMs(simPoint(model, costmodel.UpdateCacheAVM, sp, opt)),
-							fmtMs(simPoint(model, costmodel.UpdateCacheRVM, sp, opt)))
+							fmtMs(results[next].MsPerQuery),
+							fmtMs(results[next+1].MsPerQuery))
+						next += 2
 					} else {
 						row = append(row, "-", "-")
 					}
@@ -118,7 +153,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig02",
 		Title: "Default parameter values (paper Figure 2)",
-		Run: func(Options) []*Table {
+		Run: func(context.Context, Options) []*Table {
 			p := costmodel.Default()
 			t := &Table{
 				ID: "fig02", Title: "Default parameter values (paper Figure 2)",

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// renderFig05 regenerates fig05 with simulated points into a buffer.
+func renderFig05(t *testing.T, opt Options) []byte {
+	t.Helper()
+	e, ok := Get("fig05")
+	if !ok {
+		t.Fatal("fig05 missing")
+	}
+	var buf bytes.Buffer
+	for _, tb := range e.Run(context.Background(), opt) {
+		tb.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestFig05WorkerCountInvariance is the sweep engine's determinism
+// contract at the experiment level: fig05 with simulated points renders
+// byte-identically whether its cells run sequentially or fan out over a
+// worker pool — the `-workers 1` == `-workers 4` guarantee behind
+// `procbench -workers`.
+func TestFig05WorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := Options{Sim: true, SimPoints: 3, SimSeed: 5, Scale: 10}
+	opt.Workers = 1
+	seq := renderFig05(t, opt)
+	opt.Workers = 4
+	par := renderFig05(t, opt)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("fig05 output depends on worker count:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", seq, par)
+	}
+	// And run-to-run: a second parallel pass must reproduce the first.
+	again := renderFig05(t, opt)
+	if !bytes.Equal(par, again) {
+		t.Fatal("fig05 output differs between two workers=4 runs")
+	}
+}

@@ -7,13 +7,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/parallel"
 	"dbproc/internal/sim"
 )
 
@@ -29,6 +32,10 @@ type Options struct {
 	// Scale divides N, N1, N2, K and Q for faster simulated sweeps while
 	// preserving shape (0 or 1 means full scale).
 	Scale float64
+	// Workers bounds the simulation cells run concurrently; zero or
+	// negative means one worker per CPU. Results are reduced in canonical
+	// cell order, so any worker count renders byte-identical tables.
+	Workers int
 }
 
 // Table is one rendered result: a titled grid of cells.
@@ -77,8 +84,10 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper's figure shows.
 	Title string
-	// Run produces the tables.
-	Run func(opt Options) []*Table
+	// Run produces the tables. ctx cancels the simulation fan-out between
+	// cells; a cancelled run renders its remaining simulated columns as
+	// "-" placeholders.
+	Run func(ctx context.Context, opt Options) []*Table
 }
 
 // All returns every experiment, figures in paper order followed by the
@@ -160,8 +169,18 @@ func scaled(p costmodel.Params, opt Options) costmodel.Params {
 	return q
 }
 
-// simPoint measures one strategy at one parameter point.
-func simPoint(m costmodel.Model, s costmodel.Strategy, p costmodel.Params, opt Options) float64 {
-	res := sim.Run(sim.Config{Params: p, Model: m, Strategy: s, Seed: opt.SimSeed})
-	return res.MsPerQuery
+// simCells is the parallel sweep engine's entry point: it measures every
+// config across opt.Workers workers — each cell building and running its
+// own self-contained sim.World — and returns the results in input order.
+// That input-order reduction is the determinism contract: tables are
+// filled from the returned slice, never from completion order, so
+// Workers=1 and Workers=N render byte-identical output.
+func simCells(ctx context.Context, opt Options, cfgs []sim.Config) ([]sim.Result, error) {
+	tm := parallel.TimingsFrom(ctx)
+	return parallel.Map(ctx, parallel.Workers(opt.Workers), len(cfgs), func(ctx context.Context, i int) (sim.Result, error) {
+		start := time.Now()
+		res := sim.Run(cfgs[i])
+		tm.Observe(time.Since(start))
+		return res, nil
+	})
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -41,7 +42,7 @@ func runOne(t *testing.T, id string, opt Options) []*Table {
 	if !ok {
 		t.Fatalf("experiment %q missing", id)
 	}
-	tables := e.Run(opt)
+	tables := e.Run(context.Background(), opt)
 	if len(tables) == 0 {
 		t.Fatalf("%s produced no tables", id)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,7 +18,7 @@ func init() {
 		ID: "ext-adaptive",
 		Title: "EXTENSION: adaptive per-procedure caching vs the pure strategies " +
 			"(section 8: the 'whether to cache' decision problem)",
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			base := costmodel.Default()
 			base.CInval = 60 // the regime where caching mistakes are costly
 			scale := opt.Scale
@@ -40,15 +41,24 @@ func init() {
 					"without knowing P in advance.",
 				Header: []string{"P", "Recompute", "C&I", "Adaptive"},
 			}
-			for _, up := range []float64{0.05, 0.2, 0.5, 0.8, 0.95} {
+			ups := []float64{0.05, 0.2, 0.5, 0.8, 0.95}
+			var cfgs []sim.Config
+			for _, up := range ups {
 				pp := sp.WithUpdateProbability(up)
-				row := []string{fmt.Sprintf("%.2f", up)}
 				for _, s := range []costmodel.Strategy{costmodel.AlwaysRecompute, costmodel.CacheInvalidate} {
-					res := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Strategy: s, Seed: seed})
-					row = append(row, fmtMs(res.MsPerQuery))
+					cfgs = append(cfgs, sim.Config{Params: pp, Model: costmodel.Model1, Strategy: s, Seed: seed})
 				}
-				res := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Adaptive: true, Seed: seed})
-				row = append(row, fmtMs(res.MsPerQuery))
+				cfgs = append(cfgs, sim.Config{Params: pp, Model: costmodel.Model1, Adaptive: true, Seed: seed})
+			}
+			results, err := simCells(ctx, opt, cfgs)
+			if err != nil {
+				return []*Table{t}
+			}
+			for i, up := range ups {
+				row := []string{fmt.Sprintf("%.2f", up)}
+				for c := 0; c < 3; c++ {
+					row = append(row, fmtMs(results[i*3+c].MsPerQuery))
+				}
 				t.Rows = append(t.Rows, row)
 			}
 			return []*Table{t}
@@ -59,7 +69,7 @@ func init() {
 		ID: "ext-sensitivity",
 		Title: "EXTENSION: cost sensitivity to each model parameter " +
 			"(±50% around the defaults, P = 0.3)",
-		Run: func(Options) []*Table {
+		Run: func(context.Context, Options) []*Table {
 			base := costmodel.Default().WithUpdateProbability(0.3)
 			t := &Table{
 				ID:    "ext-sensitivity",
@@ -107,7 +117,7 @@ func init() {
 		ID: "ext-ip",
 		Title: "EXTENSION: invalidation probability, model vs measured " +
 			"(the IP formula's Jensen bias quantified)",
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			base := costmodel.Default()
 			scale := opt.Scale
 			if scale <= 1 {
@@ -130,10 +140,19 @@ func init() {
 					"fraction of a real Cache-and-Invalidate run.",
 				Header: []string{"P", "model IP", "measured IP", "bias"},
 			}
-			for _, up := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			ups := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+			cfgs := make([]sim.Config, len(ups))
+			for i, up := range ups {
+				cfgs[i] = sim.Config{Params: sp.WithUpdateProbability(up), Model: costmodel.Model1, Strategy: costmodel.CacheInvalidate, Seed: seed}
+			}
+			results, err := simCells(ctx, opt, cfgs)
+			if err != nil {
+				return []*Table{t}
+			}
+			for i, up := range ups {
 				pp := sp.WithUpdateProbability(up)
 				modelIP := costmodel.CacheInvalidateCosts(costmodel.Model1, pp).IP
-				res := sim.Run(sim.Config{Params: pp, Model: costmodel.Model1, Strategy: costmodel.CacheInvalidate, Seed: seed})
+				res := results[i]
 				measured, bias := "n/a", "n/a"
 				if res.HasColdFraction() {
 					measured = fmt.Sprintf("%.3f", res.ColdFraction)
@@ -156,7 +175,7 @@ func init() {
 		ID: "ext-r2updates",
 		Title: "EXTENSION: cost vs fraction of updates hitting R2 " +
 			"(section 8: relative update frequency across relations)",
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			base := costmodel.Default()
 			scale := opt.Scale
 			if scale <= 1 {
@@ -176,17 +195,27 @@ func init() {
 					"no index for, so both variants degrade while C&I's key i-locks absorb it.",
 				Header: []string{"R2 frac", "Recompute", "C&I", "UC-AVM", "UC-RVM"},
 			}
-			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
-				row := []string{fmt.Sprintf("%.2f", frac)}
+			fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+			var cfgs []sim.Config
+			for _, frac := range fracs {
 				for _, s := range costmodel.Strategies {
-					res := sim.Run(sim.Config{
+					cfgs = append(cfgs, sim.Config{
 						Params:           p,
 						Model:            costmodel.Model1,
 						Strategy:         s,
 						Seed:             seed,
 						R2UpdateFraction: frac,
 					})
-					row = append(row, fmtMs(res.MsPerQuery))
+				}
+			}
+			results, err := simCells(ctx, opt, cfgs)
+			if err != nil {
+				return []*Table{t}
+			}
+			for i, frac := range fracs {
+				row := []string{fmt.Sprintf("%.2f", frac)}
+				for c := range costmodel.Strategies {
+					row = append(row, fmtMs(results[i*len(costmodel.Strategies)+c].MsPerQuery))
 				}
 				t.Rows = append(t.Rows, row)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dbproc/internal/costmodel"
@@ -42,7 +43,7 @@ func regionExperiment(id, title, note string, model costmodel.Model, mutate func
 	return Experiment{
 		ID:    id,
 		Title: title,
-		Run: func(Options) []*Table {
+		Run: func(context.Context, Options) []*Table {
 			base := costmodel.Default()
 			if mutate != nil {
 				mutate(&base)
@@ -71,7 +72,7 @@ func closenessExperiment(id, title, note string, factor float64, mutate func(*co
 	return Experiment{
 		ID:    id,
 		Title: title,
-		Run: func(Options) []*Table {
+		Run: func(context.Context, Options) []*Table {
 			base := costmodel.Default()
 			if mutate != nil {
 				mutate(&base)

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/sim"
 )
 
 // componentTable renders an Update Cache cost-component breakdown (the
@@ -12,7 +14,7 @@ func componentTable(id, title string, comps func(costmodel.Model, costmodel.Para
 	return Experiment{
 		ID:    id,
 		Title: title,
-		Run: func(Options) []*Table {
+		Run: func(context.Context, Options) []*Table {
 			p := costmodel.Default()
 			t := &Table{
 				ID: id, Title: title,
@@ -47,7 +49,7 @@ func init() {
 	register(Experiment{
 		ID:    "claims",
 		Title: "Section 8 quantitative claims",
-		Run: func(opt Options) []*Table {
+		Run: func(ctx context.Context, opt Options) []*Table {
 			t := &Table{
 				ID: "claims", Title: "Section 8 quantitative claims",
 				Header: []string{"claim", "paper", "model", "simulated"},
@@ -63,9 +65,15 @@ func init() {
 				sp := scaled(p, opt)
 				sp.K *= 4
 				sp.Q *= 4 // reach the steady state the closed forms describe
-				simRC := simPoint(costmodel.Model1, costmodel.AlwaysRecompute, sp, opt)
-				simCI = fmt.Sprintf("%.1fx", simRC/simPoint(costmodel.Model1, costmodel.CacheInvalidate, sp, opt))
-				simUC = fmt.Sprintf("%.1fx", simRC/simPoint(costmodel.Model1, costmodel.UpdateCacheAVM, sp, opt))
+				var cfgs []sim.Config
+				for _, s := range []costmodel.Strategy{costmodel.AlwaysRecompute, costmodel.CacheInvalidate, costmodel.UpdateCacheAVM} {
+					cfgs = append(cfgs, sim.Config{Params: sp, Model: costmodel.Model1, Strategy: s, Seed: opt.SimSeed})
+				}
+				if results, err := simCells(ctx, opt, cfgs); err == nil {
+					simRC := results[0].MsPerQuery
+					simCI = fmt.Sprintf("%.1fx", simRC/results[1].MsPerQuery)
+					simUC = fmt.Sprintf("%.1fx", simRC/results[2].MsPerQuery)
+				}
 			}
 			t.Rows = append(t.Rows, []string{
 				"C&I speedup over Recompute (f=1e-4, P=0.1)", "~5x",

@@ -16,6 +16,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -314,6 +315,19 @@ func WriteJSONL(w io.Writer, records ...any) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// EncodeJSONL renders records as JSON Lines in memory. Parallel sweep
+// workers encode their own run's records into a private buffer and the
+// reducer concatenates the buffers in canonical cell order, so a trace
+// file written under `-workers N` is byte-identical to the sequential
+// one.
+func EncodeJSONL(records ...any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records...); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Trace is the parsed contents of one or more trace files.

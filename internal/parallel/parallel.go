@@ -1,0 +1,115 @@
+// Package parallel runs embarrassingly parallel sweep cells — one
+// (figure point × seed × strategy) simulation per cell — across a
+// bounded worker pool with a deterministic reduction: results are
+// delivered in input-index order, never completion order, so every
+// consumer produces byte-identical output whether the pool has one
+// worker or many.
+//
+// The determinism contract has two halves. This package guarantees the
+// ordering half: Map's result slice is indexed by input position, and
+// any error reported is the one from the lowest-indexed failing cell.
+// The caller guarantees the independence half: each cell must own its
+// world — its RNG, pager, meter, and tracer — and share nothing mutable
+// with other cells. Package sim's Build/Run satisfies this (each World
+// is self-contained), which is what makes the sweep engines in package
+// experiments safe to fan out.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count flag: n >= 1 is used as given; zero or
+// negative means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most workers
+// goroutines. Cells are claimed in index order from a shared counter; a
+// failed or cancelled cell stops new cells from starting (in-flight
+// cells finish). ForEach returns the error of the lowest-indexed cell
+// that failed, or ctx's error if the context was cancelled first — the
+// same error regardless of worker count or scheduling.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// The sequential path is the reference the pool must match.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		errAt = -1
+		first error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errAt < 0 || i < errAt {
+			errAt, first = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index across the pool and returns the results in
+// input order. On error the returned slice still holds every cell that
+// completed (incomplete cells keep T's zero value), so callers can
+// render partial sweeps after cancellation.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

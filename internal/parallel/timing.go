@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Timings collects per-cell wall-clock durations so a sweep run on one
+// box can project its speedup on another worker count: the projection
+// replays the recorded cells through a simulated pool (greedy list
+// scheduling, the same discipline ForEach uses) and compares total work
+// to the resulting makespan. This keeps BENCH_parallel.json honest on
+// core-starved machines — the measured wall-clock columns show what this
+// box did, the projected columns show what the recorded cells imply for
+// a wider pool.
+type Timings struct {
+	mu    sync.Mutex
+	cells []time.Duration
+}
+
+// Observe records one cell's wall-clock duration. Safe for concurrent
+// use by pool workers.
+func (t *Timings) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cells = append(t.cells, d)
+	t.mu.Unlock()
+}
+
+// Cells returns a copy of the recorded durations.
+func (t *Timings) Cells() []time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]time.Duration(nil), t.cells...)
+}
+
+// Total returns the summed duration of every recorded cell — the serial
+// wall-clock floor of the sweep.
+func (t *Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.Cells() {
+		sum += d
+	}
+	return sum
+}
+
+// Makespan replays the recorded cells through a simulated pool of the
+// given width using greedy list scheduling in recorded order (each cell
+// goes to the earliest-free worker) and returns the finish time of the
+// last worker.
+func (t *Timings) Makespan(workers int) time.Duration {
+	cells := t.Cells()
+	if len(cells) == 0 || workers < 1 {
+		return 0
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	busy := make([]time.Duration, workers)
+	for _, d := range cells {
+		min := 0
+		for w := 1; w < workers; w++ {
+			if busy[w] < busy[min] {
+				min = w
+			}
+		}
+		busy[min] += d
+	}
+	var end time.Duration
+	for _, b := range busy {
+		if b > end {
+			end = b
+		}
+	}
+	return end
+}
+
+// ProjectedSpeedup returns Total/Makespan for the given pool width — the
+// wall-clock factor a pool of that many truly concurrent workers would
+// gain over the serial run of the same cells.
+func (t *Timings) ProjectedSpeedup(workers int) float64 {
+	ms := t.Makespan(workers)
+	if ms == 0 {
+		return 0
+	}
+	return float64(t.Total()) / float64(ms)
+}
+
+// timingsKey carries a *Timings through a context without widening any
+// sweep-engine signatures; only benchmark harnesses attach one.
+type timingsKey struct{}
+
+// WithTimings returns a context that instructs instrumented sweeps
+// (experiments.simCells) to record per-cell durations into t.
+func WithTimings(ctx context.Context, t *Timings) context.Context {
+	return context.WithValue(ctx, timingsKey{}, t)
+}
+
+// TimingsFrom extracts the collector attached by WithTimings, or nil.
+func TimingsFrom(ctx context.Context) *Timings {
+	t, _ := ctx.Value(timingsKey{}).(*Timings)
+	return t
+}

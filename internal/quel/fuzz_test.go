@@ -1,0 +1,69 @@
+package quel
+
+import (
+	"testing"
+
+	"dbproc/internal/metric"
+)
+
+// fuzzDB builds the fixture catalog the planner is fuzzed against: the
+// clustered and hashed relations the package tests use. Plan compilation
+// is read-only against the catalog, so one session serves every input.
+func fuzzDB(f *testing.F) *DB {
+	db := Open(0, 0, metric.Costs{C1: 1, C2: 30, C3: 1})
+	for _, stmt := range []string{
+		"create emp (tid, age, dept, salary) cluster on age",
+		"create dept (dname, floor) hash on dname buckets 4",
+	} {
+		if _, err := db.Run(stmt); err != nil {
+			f.Fatalf("fixture %q: %v", stmt, err)
+		}
+	}
+	return db
+}
+
+// FuzzParse asserts the no-panic contract of the QUEL front end: Parse
+// must return a Statement or an error for arbitrary input, and the
+// planner must compile any parsed retrieve against a real catalog without
+// panicking (unknown relations and attributes are errors, not crashes).
+// Execution is deliberately out of scope — creates and appends can
+// allocate proportionally to their literals, which is the session layer's
+// recover()'s job, not the parser's.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"create emp (tid, age, dept, salary) cluster on age",
+		"create dept (dname, floor) hash on dname buckets 4",
+		"create z (a, b, c, d, e, f, g, h, i) hash on a width 16",
+		"create y (a) sorted on a",
+		"append to emp (tid = 1, age = 35, dept = 10, salary = 50000)",
+		"append to dept (dname = 10, floor = 1)",
+		"retrieve (emp.all) where emp.age >= 31 and emp.age <= 41",
+		"retrieve (emp.tid, emp.salary) where emp.age = 35",
+		"retrieve (emp.tid, dept.floor) where emp.dept = dept.dname and dept.floor = 1",
+		"retrieve (emp.tid) where 31 <= emp.age and emp.dept = dept.dname and 1 = dept.floor",
+		"retrieve (emp.tid) where emp.tid < emp.dept",
+		"define procedure seniors as retrieve (emp.all) where emp.age >= 41",
+		"execute seniors",
+		"delete emp where emp.age = 35",
+		"replace emp (salary = 1) where emp.tid = 1",
+		"explain retrieve (emp.all) where emp.age = 35",
+		"",
+		"retrieve (",
+		"retrieve (emp.all) where",
+		"append to emp (tid = 99999999999999999999)",
+	} {
+		f.Add(seed)
+	}
+	db := fuzzDB(f)
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if r, ok := stmt.(*RetrieveStmt); ok {
+			if _, err := db.compile(r); err != nil {
+				return
+			}
+		}
+	})
+}

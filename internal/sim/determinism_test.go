@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/obs"
+)
+
+// TestRunDeterminismFullResult is the byte-level half of the parallel
+// sweep engine's determinism contract (docs/PARALLEL.md): two sim.Run
+// invocations of the same Config must agree on the complete Result —
+// every counter, cost, and tuple count — not just the headline numbers.
+func TestRunDeterminismFullResult(t *testing.T) {
+	for _, s := range costmodel.Strategies {
+		cfg := testConfig(costmodel.Model2, s)
+		a, b := Run(cfg), Run(cfg)
+		// ColdFraction is NaN for non-C&I strategies and NaN != NaN; compare
+		// its presence separately, then the rest of the struct exactly.
+		if a.HasColdFraction() != b.HasColdFraction() {
+			t.Errorf("%v: cold-fraction presence differs", s)
+		}
+		if !a.HasColdFraction() {
+			a.ColdFraction, b.ColdFraction = 0, 0
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: identical configs produced different results:\n%+v\n%+v", s, a, b)
+		}
+	}
+}
+
+// TestRunDeterminismTraces extends the contract to traces: two runs of
+// the same Config must emit byte-identical JSONL span streams, which is
+// what lets parallel workers encode traces into private buffers and the
+// reducer concatenate them without re-ordering risk.
+func TestRunDeterminismTraces(t *testing.T) {
+	trace := func() []byte {
+		cfg := testConfig(costmodel.Model1, costmodel.UpdateCacheAVM)
+		cfg.Tracer = obs.NewTracer()
+		Build(cfg).Run()
+		var records []any
+		for _, sp := range cfg.Tracer.Records("run") {
+			records = append(records, sp)
+		}
+		enc, err := obs.EncodeJSONL(records...)
+		if err != nil {
+			t.Fatalf("encoding trace: %v", err)
+		}
+		return enc
+	}
+	a, b := trace(), trace()
+	if len(a) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical configs produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -8,6 +8,12 @@
 //
 // The analytic model (package costmodel) predicts these measurements; the
 // experiments package compares the two.
+//
+// Each World is self-contained — it owns its pager, meter, tracer, and
+// seeded RNGs, and touches no package-level mutable state — so distinct
+// worlds may Build and Run concurrently (the parallel sweep engine's
+// determinism contract, docs/PARALLEL.md). A single World is not safe
+// for concurrent use.
 package sim
 
 import (

@@ -3,7 +3,9 @@
 #
 #   tier 1: go build ./... && go test ./...        (the seed contract)
 #   tier 2: go vet ./... && go test -race ./...    (static + race checks)
-#   tier 3: meter-attribution overhead guard        (<= 5% vs seed meter)
+#   tier 3: parallel sweep engine guards            (docs/PARALLEL.md)
+#   tier 4: meter-attribution overhead guard        (<= 5% vs seed meter;
+#           timing-sensitive — expect noise on loaded single-core boxes)
 #
 # Run from the repository root: sh scripts/verify.sh
 
@@ -17,7 +19,30 @@ echo "== tier 2: vet + race =="
 go vet ./...
 go test -race ./...
 
-echo "== tier 3: meter attribution overhead guard =="
+echo "== tier 3: parallel sweep engine guards =="
+# Injected-RNG audit: simulation worlds must be self-contained, so no
+# non-test code under internal/ may draw from the package-level
+# math/rand generator (rand.New(rand.NewSource(...)) instances are the
+# sanctioned pattern; "rand." method calls go through those).
+if grep -rn --include='*.go' --exclude='*_test.go' \
+        -E 'rand\.(Int|Intn|Int31|Int63|Float32|Float64|Perm|Shuffle|Seed|ExpFloat64|NormFloat64)\(' \
+        internal/ cmd/; then
+    echo "verify: FAIL - package-level math/rand call in non-test code (inject rand.New(rand.NewSource(seed)))"
+    exit 1
+fi
+echo "rand audit: OK"
+
+# The determinism contract and the strategy-equivalence oracle, under the
+# race detector with a multi-worker pool (GOMAXPROCS raised so the pool
+# genuinely interleaves even on single-core CI boxes).
+GOMAXPROCS=4 go test -race \
+    -run 'TestDifferentialOracle|TestRunDeterminism|TestFig05WorkerCountInvariance|TestMapOrderIsDeterministic' \
+    ./internal/sim/ ./internal/experiments/ ./internal/parallel/
+
+# Parser/planner no-panic fuzz smoke.
+go test -fuzz='^FuzzParse$' -fuzztime=10s -run '^FuzzParse$' ./internal/quel/
+
+echo "== tier 4: meter attribution overhead guard =="
 # BenchmarkMeterAttributed replays the seed meter's hot path through the
 # component-attributed meter; it must stay within 5% of the baseline that
 # replicates the pre-attribution implementation. Benchmarks are noisy, so
