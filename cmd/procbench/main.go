@@ -36,6 +36,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = one per CPU); output is identical for any value")
 	obsJSON := flag.String("obs-json", "", "write the per-strategy observability benchmark (BENCH_obs.json) to this file and exit")
 	parallelJSON := flag.String("parallel-json", "", "write the parallel sweep-engine benchmark (BENCH_parallel.json) to this file and exit")
+	concurrentJSON := flag.String("concurrent-json", "", "write the multi-session engine benchmark (BENCH_concurrent.json) to this file and exit")
+	clients := flag.Int("clients", 0, "cap the concurrent benchmark's session ladder (0 = full 1/2/4/8)")
+	think := flag.Float64("think", 0, "mean per-session think time in ms for the concurrent benchmark (0 = none)")
 	flag.Parse()
 
 	// Ctrl-C stops claiming new simulation cells; in-flight cells finish
@@ -51,11 +54,13 @@ func main() {
 	}
 
 	opt := experiments.Options{
-		Sim:       *simFlag,
-		SimPoints: *simPoints,
-		SimSeed:   *seed,
-		Scale:     *scale,
-		Workers:   *workers,
+		Sim:         *simFlag,
+		SimPoints:   *simPoints,
+		SimSeed:     *seed,
+		Scale:       *scale,
+		Workers:     *workers,
+		Clients:     *clients,
+		ThinkMeanMs: *think,
 	}
 
 	writeJSON := func(path string, v any, desc string) {
@@ -89,6 +94,19 @@ func main() {
 		writeJSON(*parallelJSON, rep,
 			fmt.Sprintf("parallel benchmark (%d cells, %.1fx measured / %.1fx projected@4, identical=%v)",
 				rep.Cells, rep.MeasuredSpeedup, rep.ProjectedSpeedup["4"], rep.OutputIdentical))
+		return
+	}
+
+	if *concurrentJSON != "" {
+		rep := experiments.ConcurrentBench(ctx, opt)
+		matches := true
+		for _, row := range rep.Rows {
+			if row.Clients == 1 && !row.MatchesSequential {
+				matches = false
+			}
+		}
+		writeJSON(*concurrentJSON, rep,
+			fmt.Sprintf("concurrent benchmark (%d rows, matches_sequential=%v)", len(rep.Rows), matches))
 		return
 	}
 

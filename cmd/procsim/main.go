@@ -8,6 +8,7 @@
 //	procsim -strategy uc-avm -P 0.3       # one strategy at P = 0.3
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
 //	procsim -seeds 5 -workers 4           # average 5 seeds, 4 cells at a time
+//	procsim -clients 8 -think 1           # 8 concurrent sessions (docs/CONCURRENCY.md)
 //	procsim -breakdown                    # per-component cost tables
 //	procsim -trace out.jsonl              # per-operation trace (see procstat)
 //	procsim -json                         # machine-readable results
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"dbproc/internal/costmodel"
+	"dbproc/internal/engine"
 	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/parallel"
@@ -104,6 +106,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "consecutive workload seeds per strategy (averaged in the drift table)")
 	workers := flag.Int("workers", 0, "concurrent (strategy x seed) cells (0 = one per CPU); output is identical for any value")
+	clients := flag.Int("clients", 1, "concurrent client sessions (>1 switches to the multi-session engine)")
+	think := flag.Float64("think", 0, "mean per-session think time in ms (exponential; concurrent mode)")
 	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
 	breakdown := flag.Bool("breakdown", false, "print the per-component cost breakdown of each run")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
@@ -145,6 +149,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *clients > 1 {
+		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think, traceFile, *jsonOut)
+		return
+	}
 
 	// One cell per (strategy, seed), in canonical order: strategy first,
 	// then seed — the order every reduction below iterates in.
@@ -295,5 +304,99 @@ func main() {
 	}
 	if traceFile != nil && !*jsonOut {
 		fmt.Printf("\ntrace written to %s (render with procstat)\n", *tracePath)
+	}
+}
+
+// concurrentJSON is one strategy's result in concurrent-mode -json
+// output.
+type concurrentJSON struct {
+	Strategy      string           `json:"strategy"`
+	Model         string           `json:"model"`
+	Clients       int              `json:"clients"`
+	Ops           int              `json:"ops"`
+	WallSec       float64          `json:"wall_sec"`
+	ThroughputOps float64          `json:"throughput_ops_per_sec"`
+	P50LatencyUs  float64          `json:"p50_latency_us"`
+	P95LatencyUs  float64          `json:"p95_latency_us"`
+	SimTotalMs    float64          `json:"sim_total_ms"`
+	Counters      obs.CountersJSON `json:"counters"`
+}
+
+// runConcurrent drives each strategy through the multi-session engine:
+// the workload is dealt across -clients closed-loop sessions with
+// exponential -think pauses, and the run reports wall-clock throughput
+// and latency next to the simulated cost. With -trace, one span per
+// operation is recorded, tagged with its session and commit sequence.
+func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Model,
+	strategies []costmodel.Strategy, seed int64, clients int, think float64,
+	traceFile *os.File, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("%s, concurrent: %d sessions, think = %g ms, k=%.0f q=%.0f, seed = %d\n\n",
+			model, clients, think, p.K, p.Q, seed)
+		fmt.Printf("%-22s %8s %12s %10s %10s %12s\n",
+			"strategy", "wall", "throughput", "p50", "p95", "sim cost")
+	}
+	var jsonRows []concurrentJSON
+	for _, s := range strategies {
+		if ctx.Err() != nil {
+			break
+		}
+		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: seed}
+		opt := engine.Options{Clients: clients, ThinkMeanMs: think}
+		if traceFile != nil {
+			opt.Tracer = obs.NewTracer()
+		}
+		res := engine.New(cfg, opt).Run(ctx)
+		if traceFile != nil {
+			records := make([]any, 0, res.Ops)
+			for _, sp := range opt.Tracer.Records(shortName(s)) {
+				records = append(records, sp)
+			}
+			enc, err := obs.EncodeJSONL(records...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "procsim: encoding trace: %v\n", err)
+				os.Exit(1)
+			}
+			if _, err := traceFile.Write(enc); err != nil {
+				fmt.Fprintf(os.Stderr, "procsim: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if jsonOut {
+			jsonRows = append(jsonRows, concurrentJSON{
+				Strategy:      s.String(),
+				Model:         model.String(),
+				Clients:       res.Clients,
+				Ops:           res.Ops,
+				WallSec:       res.WallSec,
+				ThroughputOps: res.Throughput,
+				P50LatencyUs:  float64(res.Percentile(50)) / 1e3,
+				P95LatencyUs:  float64(res.Percentile(95)) / 1e3,
+				SimTotalMs:    res.SimTotalMs,
+				Counters:      obs.ToCountersJSON(res.Counters),
+			})
+			continue
+		}
+		fmt.Printf("%-22s %7.2fs %8.0f op/s %7.0f us %7.0f us %9.1f ms\n",
+			s, res.WallSec, res.Throughput,
+			float64(res.Percentile(50))/1e3, float64(res.Percentile(95))/1e3,
+			res.SimTotalMs)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"model":   model.String(),
+			"clients": clients,
+			"think":   think,
+			"seed":    seed,
+			"runs":    jsonRows,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if traceFile != nil && !jsonOut {
+		fmt.Println("\ntrace written (render with procstat)")
 	}
 }

@@ -23,6 +23,7 @@ package avm
 
 import (
 	"fmt"
+	"sync"
 
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
@@ -71,8 +72,12 @@ func (v *View) sourceFor(rel string) *Source {
 	return nil
 }
 
-// Engine maintains a set of views differentially.
+// Engine maintains a set of views differentially. Apply serializes
+// itself: the scratch delta sets and the stored view files admit one
+// transaction's maintenance at a time, so concurrent sessions' delta-set
+// applications execute in some serial order.
 type Engine struct {
+	mu     sync.Mutex
 	meter  *metric.Meter
 	store  *cache.Store
 	router *ilock.Manager
@@ -174,6 +179,8 @@ func (e *Engine) Prepare() {
 // deleted the old tuple values in deleted and inserted the new values in
 // inserted on rel (an in-place modification contributes to both).
 func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	// Maintenance work runs attributed to the avm component; the delta
 	// plans' scan and probe nodes re-scope their own page I/O underneath.
 	prevComp := e.meter.SetComponent(metric.CompAVM)

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"dbproc/internal/metric"
 	"dbproc/internal/storage"
@@ -28,8 +29,11 @@ type Journal interface {
 	Validate(id int) error
 }
 
-// Store is the set of cached procedure results.
+// Store is the set of cached procedure results. The entry table itself is
+// safe for concurrent lookup; each entry's validity transitions are
+// individually atomic (see Entry).
 type Store struct {
+	mu      sync.RWMutex
 	pager   *storage.Pager
 	meter   *metric.Meter
 	entries map[ID]*Entry
@@ -41,12 +45,19 @@ type Store struct {
 // panics — recovery is exercised by replaying the journal's contents.
 func (s *Store) SetJournal(j Journal) { s.journal = j }
 
-// Entry is one procedure's cached result.
+// Entry is one procedure's cached result. The mu mutex couples each
+// validity flip with its journal append, so a concurrent reader never
+// observes a validity state whose journal record is not yet written —
+// the write-ahead invariant the recoverable validity table depends on.
+// Contents (the result file) are guarded by the engine's per-entry
+// locks, not here: file I/O runs on the shared simulated pager.
 type Entry struct {
 	id    ID
 	store *Store
 	file  *storage.OrderedFile
 	meter *metric.Meter
+
+	mu    sync.Mutex
 	valid bool
 }
 
@@ -59,6 +70,8 @@ func NewStore(pager *storage.Pager, meter *metric.Meter) *Store {
 // Define creates an (invalid, empty) entry for id with recSize-byte result
 // tuples. Defining an existing id panics.
 func (s *Store) Define(id ID, recSize int) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.entries[id]; dup {
 		panic(fmt.Sprintf("cache: entry %d already defined", id))
 	}
@@ -73,11 +86,15 @@ func (s *Store) Define(id ID, recSize int) *Entry {
 }
 
 // Entry returns the entry for id, or nil.
-func (s *Store) Entry(id ID) *Entry { return s.entries[id] }
+func (s *Store) Entry(id ID) *Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entries[id]
+}
 
 // MustEntry returns the entry for id or panics.
 func (s *Store) MustEntry(id ID) *Entry {
-	e := s.entries[id]
+	e := s.Entry(id)
 	if e == nil {
 		panic(fmt.Sprintf("cache: entry %d not defined", id))
 	}
@@ -85,10 +102,18 @@ func (s *Store) MustEntry(id ID) *Entry {
 }
 
 // Len returns the number of defined entries.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
 
 // Valid reports whether the cached result may be served.
-func (e *Entry) Valid() bool { return e.valid }
+func (e *Entry) Valid() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.valid
+}
 
 // File exposes the underlying result file for differential maintenance.
 func (e *Entry) File() *storage.OrderedFile { return e.file }
@@ -106,6 +131,8 @@ func (e *Entry) Len() int { return e.file.Len() }
 // The charge is attributed to the validity log when a journal is attached
 // (the record is then a durable log append), to proc/ci otherwise.
 func (e *Entry) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.valid = false
 	comp := metric.CompProc
 	if e.store.journal != nil {
@@ -138,6 +165,8 @@ func (e *Entry) Replace(keys []uint64, recs [][]byte) {
 func (e *Entry) MarkValid() { e.markValid() }
 
 func (e *Entry) markValid() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.valid = true
 	if j := e.store.journal; j != nil {
 		if err := j.Validate(int(e.id)); err != nil {

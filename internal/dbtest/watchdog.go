@@ -1,0 +1,35 @@
+package dbtest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Watchdog fails the test with a full goroutine dump if it has not
+// finished within d — the deadlock alarm for concurrency tests, where a
+// lock-ordering bug otherwise surfaces as a silent package-level test
+// timeout with no indication of which locks are held. The returned stop
+// function disarms it; callers typically defer it:
+//
+//	defer dbtest.Watchdog(t, 30*time.Second)()
+func Watchdog(t *testing.T, d time.Duration) (stop func()) {
+	t.Helper()
+	done := make(chan struct{})
+	fired := make(chan struct{})
+	go func() {
+		defer close(fired)
+		select {
+		case <-done:
+		case <-time.After(d):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("dbtest: watchdog fired after %v — likely deadlock; goroutines:\n%s", d, buf[:n])
+			panic("dbtest: watchdog timeout")
+		}
+	}()
+	return func() {
+		close(done)
+		<-fired
+	}
+}

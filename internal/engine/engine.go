@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"sort"
+	"sync"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
+	"dbproc/internal/obs"
+	"dbproc/internal/sim"
+	"dbproc/internal/workload"
+)
+
+// Options configure one concurrent run.
+type Options struct {
+	// Clients is the number of closed-loop sessions; values below 1 mean
+	// one session. With one session the engine executes the world's
+	// workload in its original sequential order, so measured counters and
+	// results are byte-identical to sim.Run on the same Config.
+	Clients int
+	// ThinkMeanMs is the mean of each session's exponentially distributed
+	// wall-clock think time between operations; zero disables thinking.
+	ThinkMeanMs float64
+	// RecordHistory retains a HistoryEntry per operation (the
+	// serializability oracle's input). Off, the engine keeps only
+	// aggregate statistics.
+	RecordHistory bool
+	// Tracer, when non-nil, records one obs span per operation, named
+	// session.query / session.update and tagged with the session id and
+	// commit sequence. Spans are begun and ended under the world latch,
+	// so the tracer's LIFO discipline holds.
+	Tracer *obs.Tracer
+}
+
+// HistoryEntry is one committed operation in the run's history. Seq is
+// the global commit order (the order operations held the world latch);
+// entries in the History slice appear in Seq order.
+type HistoryEntry struct {
+	Session int
+	Seq     int
+	Op      workload.Op
+	// Update carries the transaction's recorded draws (update ops).
+	Update sim.UpdateRecord
+	// Result is the canonical digest of the query result (query ops).
+	Result []byte
+	// Tuples counts the query's result tuples.
+	Tuples int
+}
+
+// SessionStats aggregates one session's activity.
+type SessionStats struct {
+	Session int
+	Ops     int
+	Queries int
+	Updates int
+	// Tuples counts result tuples delivered to this session's queries.
+	Tuples int
+	// Counters is the simulated cost charged while this session held the
+	// world latch — the per-session attribution of the shared meter.
+	Counters metric.Counters
+	// WaitNs, ServiceNs and ThinkNs decompose the session's wall clock:
+	// waiting for locks and the latch, executing under the latch, and
+	// thinking between operations.
+	WaitNs    int64
+	ServiceNs int64
+	ThinkNs   int64
+}
+
+// Result reports one concurrent run.
+type Result struct {
+	Clients        int
+	Ops            int
+	Queries        int
+	Updates        int
+	TuplesReturned int
+	// WallSec is the elapsed wall-clock of the whole run; Throughput is
+	// Ops divided by it.
+	WallSec    float64
+	Throughput float64
+	// SimTotalMs is the simulated cost of the whole workload (the same
+	// quantity sim.Result.TotalMs reports).
+	SimTotalMs float64
+	Counters   metric.Counters
+	Sessions   []SessionStats
+	// LatencyNs holds every operation's wall-clock latency (lock wait +
+	// latched service), unordered. Use Percentile.
+	LatencyNs []int64
+	// History is the committed operation history in commit order; empty
+	// unless Options.RecordHistory.
+	History []HistoryEntry
+}
+
+// Percentile returns the p-th (0..100) latency percentile in
+// nanoseconds, 0 if no operations ran.
+func (r *Result) Percentile(p float64) int64 {
+	if len(r.LatencyNs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), r.LatencyNs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p / 100 * float64(len(s)-1))
+	return s[i]
+}
+
+// Digest canonicalizes a query result for equality comparison: the
+// multiset of tuple byte-images, independent of delivery order, hashed.
+func Digest(tuples [][]byte) []byte {
+	imgs := make([][]byte, len(tuples))
+	copy(imgs, tuples)
+	sort.Slice(imgs, func(i, j int) bool { return bytes.Compare(imgs[i], imgs[j]) < 0 })
+	h := sha256.New()
+	var n [8]byte
+	for _, t := range imgs {
+		l := len(t)
+		for i := 0; i < 8; i++ {
+			n[i] = byte(l >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write(t)
+	}
+	return h.Sum(nil)
+}
+
+// Engine drives N sessions against one world.
+type Engine struct {
+	w     *sim.World
+	opt   Options
+	locks *LockTable
+
+	// world is the substrate latch: the pager, disk, meter and every
+	// strategy structure hang off one simulated machine, so the body of
+	// each operation executes under it. The lock table above it orders
+	// conflicting operations and keeps the logical schedule serializable
+	// even if the latch is later split per subsystem.
+	world sync.Mutex
+	seq   int
+	hist  []HistoryEntry
+}
+
+// New builds the world for cfg and an engine over it. The Config's
+// Tracer must be nil — strategy-internal spans are single-session
+// machinery; use Options.Tracer for per-session operation spans.
+func New(cfg sim.Config, opt Options) *Engine {
+	if cfg.Tracer != nil {
+		panic("engine: Config.Tracer must be nil in concurrent mode (use Options.Tracer)")
+	}
+	if opt.Clients < 1 {
+		opt.Clients = 1
+	}
+	w := sim.Build(cfg)
+	e := &Engine{w: w, opt: opt, locks: NewLockTable()}
+	if opt.Tracer != nil {
+		opt.Tracer.Bind(w.Meter())
+	}
+	return e
+}
+
+// World exposes the engine's world (for post-run verification).
+func (e *Engine) World() *sim.World { return e.w }
+
+// footprint computes the conservative lock set of one operation.
+//
+// Queries lock the procedure's source relations shared plus its cache
+// entry — exclusive for strategies whose access may refresh the entry
+// (Cache and Invalidate, Adaptive), shared for Update Cache reads, and
+// no entry at all for Always Recompute.
+//
+// Updates lock r1 and r2 exclusive (the target relation is drawn at
+// execution time), r3 shared (model-2 maintenance plans probe it), and —
+// for every strategy with cached state — every cache entry exclusive:
+// invalidation and maintenance fan out to a conflict set that is only
+// known once the i-lock table is consulted, and RVM token propagation
+// may touch any shared α/β-memory. docs/CONCURRENCY.md discusses the
+// cost of this conservatism.
+func (e *Engine) footprint(op workload.Op) Footprint {
+	cfg := e.w.Config()
+	var f Footprint
+	switch op.Kind {
+	case workload.Update:
+		f.Exclusive(RelLock("r1"), RelLock("r2"))
+		f.Shared(RelLock("r3"))
+		if cfg.Adaptive || cfg.Strategy != costmodel.AlwaysRecompute {
+			for _, id := range e.w.ProcIDs() {
+				f.Exclusive(EntryLock(id))
+			}
+		}
+	case workload.Query:
+		for _, rel := range e.w.ProcRelations(op.ProcID) {
+			f.Shared(RelLock(rel))
+		}
+		switch {
+		case cfg.Adaptive || cfg.Strategy == costmodel.CacheInvalidate:
+			f.Exclusive(EntryLock(op.ProcID))
+		case cfg.Strategy == costmodel.UpdateCacheAVM || cfg.Strategy == costmodel.UpdateCacheRVM:
+			f.Shared(EntryLock(op.ProcID))
+		}
+	}
+	return f
+}
+
+// Run executes the world's workload across Options.Clients sessions: the
+// canonical operation stream is dealt round-robin to the sessions, each
+// session submits its operations in order (closed loop, thinking between
+// them), and every operation executes atomically under its lock
+// footprint. The run ends when every session drains or ctx is cancelled.
+func (e *Engine) Run(ctx context.Context) Result {
+	ops := e.w.WorkloadOps()
+	n := e.opt.Clients
+	perSession := make([][]workload.Op, n)
+	for i, op := range ops {
+		perSession[i%n] = append(perSession[i%n], op)
+	}
+
+	res := Result{Clients: n, Sessions: make([]SessionStats, n)}
+	if e.opt.RecordHistory {
+		e.hist = make([]HistoryEntry, 0, len(ops))
+	}
+	latencies := make([][]int64, n)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < n; s++ {
+		st := &res.Sessions[s]
+		st.Session = s
+		think := workload.NewThinker(e.w.Config().Seed+7001+int64(s), e.opt.ThinkMeanMs)
+		wg.Add(1)
+		go func(s int, myOps []workload.Op) {
+			defer wg.Done()
+			for _, op := range myOps {
+				if ctx.Err() != nil {
+					return
+				}
+				opStart := time.Now()
+				held := e.locks.Acquire(e.footprint(op))
+				e.world.Lock()
+				waited := time.Since(opStart)
+
+				before := e.w.Meter().Snapshot()
+				var sp *obs.Span
+				if t := e.opt.Tracer; t != nil {
+					if op.Kind == workload.Query {
+						sp = t.Begin("session.query")
+						sp.Set("proc", op.ProcID)
+					} else {
+						sp = t.Begin("session.update")
+					}
+					sp.Set("session", s)
+					sp.Set("seq", e.seq)
+				}
+				r := e.w.ExecOp(op)
+				e.opt.Tracer.End(sp)
+				delta := e.w.Meter().Since(before)
+
+				seq := e.seq
+				e.seq++
+				if e.opt.RecordHistory {
+					he := HistoryEntry{Session: s, Seq: seq, Op: op}
+					if op.Kind == workload.Update {
+						he.Update = r.Update
+					} else {
+						he.Result = Digest(r.Tuples)
+						he.Tuples = len(r.Tuples)
+					}
+					e.hist = append(e.hist, he)
+				}
+				e.world.Unlock()
+				held.Release()
+				service := time.Since(opStart) - waited
+
+				st.Ops++
+				if op.Kind == workload.Query {
+					st.Queries++
+					st.Tuples += len(r.Tuples)
+				} else {
+					st.Updates++
+				}
+				st.Counters = st.Counters.Add(delta)
+				st.WaitNs += int64(waited)
+				st.ServiceNs += int64(service)
+				latencies[s] = append(latencies[s], int64(waited+service))
+
+				if d := think.Next(); d > 0 {
+					st.ThinkNs += int64(d)
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(s, perSession[s])
+	}
+	wg.Wait()
+	res.WallSec = time.Since(start).Seconds()
+
+	for s := range res.Sessions {
+		st := &res.Sessions[s]
+		res.Ops += st.Ops
+		res.Queries += st.Queries
+		res.Updates += st.Updates
+		res.TuplesReturned += st.Tuples
+		res.Counters = res.Counters.Add(st.Counters)
+		res.LatencyNs = append(res.LatencyNs, latencies[s]...)
+	}
+	if res.WallSec > 0 {
+		res.Throughput = float64(res.Ops) / res.WallSec
+	}
+	res.SimTotalMs = res.Counters.Milliseconds(e.w.Meter().Costs())
+	res.History = e.hist
+	return res
+}

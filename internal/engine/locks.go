@@ -1,0 +1,159 @@
+// Package engine is the concurrent multi-session access layer over the
+// simulator's strategies: N client sessions submit update transactions and
+// procedure accesses against one shared world, and the engine guarantees
+// that the result is equivalent to some serial order of the submitted
+// operations (the contract docs/CONCURRENCY.md states per strategy, and
+// the serializability oracle in this package checks).
+//
+// Synchronization is layered:
+//
+//  1. a sharded lock table of named reader/writer locks — one per base
+//     relation, one per cache entry — acquired per operation in canonical
+//     name order (conservative two-phase locking, deadlock-free by
+//     ordering);
+//  2. subsystem mutexes inside ilock, cache, avm, rete and vlog that make
+//     each shared structure individually safe;
+//  3. a world latch serializing access to the physical substrate (the one
+//     simulated disk arm, its pager, and the cost meter), held for the
+//     body of each operation.
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+)
+
+// RelLock names the lock-table resource for a base relation.
+func RelLock(rel string) string { return "rel:" + rel }
+
+// EntryLock names the lock-table resource for a cache entry. The id is
+// zero-padded so lexicographic acquisition order equals numeric order.
+func EntryLock(id int) string { return fmt.Sprintf("ent:%08d", id) }
+
+// Footprint is the set of named resources one operation locks, each in
+// shared or exclusive mode. Build it with Shared/Exclusive, then hand it
+// to LockTable.Acquire.
+type Footprint struct {
+	names []string
+	excl  []bool
+}
+
+// Shared adds resources locked in shared (reader) mode.
+func (f *Footprint) Shared(names ...string) {
+	for _, n := range names {
+		f.names = append(f.names, n)
+		f.excl = append(f.excl, false)
+	}
+}
+
+// Exclusive adds resources locked in exclusive (writer) mode.
+func (f *Footprint) Exclusive(names ...string) {
+	for _, n := range names {
+		f.names = append(f.names, n)
+		f.excl = append(f.excl, true)
+	}
+}
+
+// normalize sorts the footprint into canonical acquisition order and
+// dedupes it; a resource named both shared and exclusive is exclusive.
+func (f *Footprint) normalize() {
+	type req struct {
+		name string
+		excl bool
+	}
+	reqs := make([]req, len(f.names))
+	for i := range f.names {
+		reqs[i] = req{f.names[i], f.excl[i]}
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].name < reqs[j].name })
+	f.names = f.names[:0]
+	f.excl = f.excl[:0]
+	for _, r := range reqs {
+		if n := len(f.names); n > 0 && f.names[n-1] == r.name {
+			f.excl[n-1] = f.excl[n-1] || r.excl
+			continue
+		}
+		f.names = append(f.names, r.name)
+		f.excl = append(f.excl, r.excl)
+	}
+}
+
+// lockShards stripes the name→lock map so sessions creating or looking up
+// locks for disjoint resources rarely contend on map access.
+const lockShards = 16
+
+// LockTable is a table of named reader/writer locks, sharded by name
+// hash. Locks are created on first use and live for the table's lifetime
+// (the name space — relations plus cache entries — is small and fixed).
+type LockTable struct {
+	seed   maphash.Seed
+	shards [lockShards]lockShard
+}
+
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[string]*sync.RWMutex
+}
+
+// NewLockTable returns an empty table.
+func NewLockTable() *LockTable {
+	t := &LockTable{seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].locks = make(map[string]*sync.RWMutex)
+	}
+	return t
+}
+
+// lock returns the lock for name, creating it if needed.
+func (t *LockTable) lock(name string) *sync.RWMutex {
+	s := &t.shards[maphash.String(t.seed, name)%lockShards]
+	s.mu.Lock()
+	l := s.locks[name]
+	if l == nil {
+		l = &sync.RWMutex{}
+		s.locks[name] = l
+	}
+	s.mu.Unlock()
+	return l
+}
+
+// Held is a set of acquired locks; Release drops them all.
+type Held struct {
+	locks []*sync.RWMutex
+	excl  []bool
+}
+
+// Acquire takes every lock in the footprint — shared or exclusive as
+// requested — in canonical name order. Because every caller acquires in
+// the same global order, no cycle of waiters can form and the table is
+// deadlock-free. The footprint must name the operation's entire read and
+// write set up front (conservative two-phase locking).
+func (t *LockTable) Acquire(f Footprint) *Held {
+	f.normalize()
+	h := &Held{locks: make([]*sync.RWMutex, len(f.names)), excl: f.excl}
+	for i, name := range f.names {
+		l := t.lock(name)
+		if f.excl[i] {
+			l.Lock()
+		} else {
+			l.RLock()
+		}
+		h.locks[i] = l
+	}
+	return h
+}
+
+// Release drops the held locks in reverse acquisition order.
+func (h *Held) Release() {
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.excl[i] {
+			h.locks[i].Unlock()
+		} else {
+			h.locks[i].RUnlock()
+		}
+	}
+	h.locks = nil
+	h.excl = nil
+}

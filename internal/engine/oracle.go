@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/sim"
+	"dbproc/internal/workload"
+)
+
+// SerializabilityReport is the outcome of checking one run's history
+// against the brute-force recomputer.
+type SerializabilityReport struct {
+	// Serializable is true when some serial order consistent with every
+	// session's program order reproduces every observed query result.
+	Serializable bool
+	// Exhausted is true when the search hit its state budget before
+	// deciding; Serializable is then false but the history was not proven
+	// non-serializable.
+	Exhausted bool
+	// StatesExplored counts search states visited.
+	StatesExplored int
+	// Order is a witnessing serial order as indices into the history
+	// slice (only when Serializable).
+	Order []int
+	// Window describes the minimal non-serializable window on failure:
+	// the deepest serial prefix the search extended and the first
+	// operation of each session that no extension could accommodate.
+	Window string
+}
+
+// CheckSerializable replays the history of a concurrent run against a
+// fresh brute-force recomputer (an Always Recompute world built from the
+// same Config, the oracle of internal/sim's differential test) and
+// searches for a serial order, consistent with per-session program
+// order, under which every recorded query digest matches a fresh
+// recompute on the bases as of that point.
+//
+// The search is bounded depth-first over session-progress vectors:
+// update operations are applied via ReplayUpdate and undone on
+// backtrack with the inverse record; visited (progress, base-state)
+// pairs are memoized, which is sound because the oracle strategy holds
+// no cached state — a query's answer depends only on the base tables.
+// budget caps the states explored (<= 0 means a default of 200000).
+func CheckSerializable(cfg sim.Config, hist []HistoryEntry, budget int) SerializabilityReport {
+	if budget <= 0 {
+		budget = 200000
+	}
+	oracleCfg := cfg
+	oracleCfg.Strategy = costmodel.AlwaysRecompute
+	oracleCfg.Adaptive = false
+	oracleCfg.Tracer = nil
+
+	c := &checker{
+		w:       sim.Build(oracleCfg),
+		budget:  budget,
+		visited: make(map[string]struct{}),
+	}
+	// Deal history into per-session program-order streams. History is in
+	// commit order, which respects each session's program order.
+	for _, he := range hist {
+		for len(c.sessions) <= he.Session {
+			c.sessions = append(c.sessions, nil)
+		}
+		c.sessions[he.Session] = append(c.sessions[he.Session], he)
+	}
+
+	progress := make([]int, len(c.sessions))
+	ok := c.dfs(progress, 0, len(hist))
+	rep := SerializabilityReport{
+		Serializable:   ok,
+		Exhausted:      c.exhausted,
+		StatesExplored: c.states,
+	}
+	if ok {
+		rep.Order = append([]int(nil), c.order...)
+		return rep
+	}
+	rep.Window = c.window()
+	return rep
+}
+
+type checker struct {
+	w        *sim.World
+	sessions [][]HistoryEntry
+	budget   int
+	states   int
+	visited  map[string]struct{}
+	order    []int
+	// Failure diagnostics: the deepest depth any path reached, the
+	// progress vector there, and the per-session blocked ops.
+	bestDepth    int
+	bestProgress []int
+	bestBlocked  []string
+	exhausted    bool
+}
+
+// stateKey fingerprints a search state: progress vector + base tables.
+func (c *checker) stateKey(progress []int) string {
+	var b strings.Builder
+	for _, p := range progress {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	fmt.Fprintf(&b, "#%x", c.w.BaseStateHash())
+	return b.String()
+}
+
+func (c *checker) dfs(progress []int, depth, total int) bool {
+	if depth == total {
+		return true
+	}
+	if c.states >= c.budget {
+		c.exhausted = true
+		return false
+	}
+	key := c.stateKey(progress)
+	if _, seen := c.visited[key]; seen {
+		return false
+	}
+	c.visited[key] = struct{}{}
+	c.states++
+
+	var blocked []string
+	for s := range c.sessions {
+		if progress[s] >= len(c.sessions[s]) {
+			continue
+		}
+		he := c.sessions[s][progress[s]]
+		switch he.Op.Kind {
+		case workload.Update:
+			undo := c.w.ReplayUpdate(he.Update)
+			progress[s]++
+			c.order = append(c.order, he.Seq)
+			if c.dfs(progress, depth+1, total) {
+				return true
+			}
+			c.order = c.order[:len(c.order)-1]
+			progress[s]--
+			c.w.ReplayUpdate(undo)
+		case workload.Query:
+			got := Digest(c.w.Access(he.Op.ProcID))
+			if !bytes.Equal(got, he.Result) {
+				blocked = append(blocked,
+					fmt.Sprintf("session %d op %d (seq %d): access(%d) matches no reachable base state",
+						s, progress[s], he.Seq, he.Op.ProcID))
+				continue
+			}
+			progress[s]++
+			c.order = append(c.order, he.Seq)
+			if c.dfs(progress, depth+1, total) {
+				return true
+			}
+			c.order = c.order[:len(c.order)-1]
+			progress[s]--
+		}
+	}
+	if depth >= c.bestDepth {
+		c.bestDepth = depth
+		c.bestProgress = append(c.bestProgress[:0], progress...)
+		c.bestBlocked = blocked
+	}
+	return false
+}
+
+// window renders the failure diagnostics: how far serialization got and
+// which operations could not be accommodated at the frontier — the
+// minimal window in which no serial order exists.
+func (c *checker) window() string {
+	total := 0
+	for _, ops := range c.sessions {
+		total += len(ops)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "deepest serial prefix: %d of %d ops; frontier", c.bestDepth, total)
+	for s, p := range c.bestProgress {
+		fmt.Fprintf(&b, " s%d@%d/%d", s, p, len(c.sessions[s]))
+	}
+	if len(c.bestBlocked) > 0 {
+		fmt.Fprintf(&b, "\nblocked at frontier:\n  %s", strings.Join(c.bestBlocked, "\n  "))
+	}
+	return b.String()
+}

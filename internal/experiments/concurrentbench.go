@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/engine"
+	"dbproc/internal/sim"
+)
+
+// ConcurrentBenchReport is the shape of BENCH_concurrent.json: for each
+// strategy × model, the closed-loop multi-session engine's throughput
+// and latency across the session ladder, with the one-session row's
+// equality against the sequential simulator as the correctness anchor.
+type ConcurrentBenchReport struct {
+	// Cores bounds the wall-clock concurrency the measured rows could use.
+	Cores int `json:"cores"`
+	// Scale and Seed are the simulation settings every row shared.
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	// ThinkMeanMs is the per-session mean think time (exponential); think
+	// time is what concurrent sessions overlap, so zero means rows measure
+	// pure lock/latch contention.
+	ThinkMeanMs float64 `json:"think_mean_ms"`
+	// Ops is the workload length each row executed (K + Q).
+	Ops int `json:"ops"`
+
+	Rows []ConcurrentBenchRow `json:"rows"`
+}
+
+// ConcurrentBenchRow is one (strategy, model, clients) measurement.
+type ConcurrentBenchRow struct {
+	Strategy string `json:"strategy"`
+	Model    string `json:"model"`
+	Clients  int    `json:"clients"`
+	// ThroughputOps is operations per wall-clock second.
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	// Speedup is this row's throughput over the same strategy/model's
+	// one-client throughput.
+	Speedup float64 `json:"speedup_vs_1"`
+	// P50LatencyUs / P95LatencyUs are wall-clock operation latencies
+	// (lock wait + latched service) in microseconds.
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P95LatencyUs float64 `json:"p95_latency_us"`
+	// SimTotalMs is the simulated cost of the whole workload — identical
+	// across the ladder for a serializable engine executing the same
+	// committed schedule amount of work.
+	SimTotalMs float64 `json:"sim_total_ms"`
+	// MatchesSequential is set on one-client rows: counters, tuple counts
+	// and simulated cost equal the sequential simulator's byte for byte.
+	MatchesSequential bool `json:"matches_sequential,omitempty"`
+}
+
+// concurrentBenchParams is the measured workload: the paper's default
+// parameter point, scaled like every other simulated sweep.
+func concurrentBenchParams(opt Options) costmodel.Params {
+	return scaled(costmodel.Default(), opt)
+}
+
+// ConcurrentBench measures the multi-session engine across the client
+// ladder for every strategy and model. It is the harness behind
+// `procbench -concurrent-json BENCH_concurrent.json`.
+func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
+	p := concurrentBenchParams(opt)
+	ladder := []int{1, 2, 4, 8}
+	if opt.Clients > 0 {
+		trimmed := ladder[:0]
+		for _, c := range ladder {
+			if c <= opt.Clients {
+				trimmed = append(trimmed, c)
+			}
+		}
+		ladder = trimmed
+		if len(ladder) == 0 || ladder[len(ladder)-1] != opt.Clients {
+			ladder = append(ladder, opt.Clients)
+		}
+	}
+	think := opt.ThinkMeanMs
+
+	rep := ConcurrentBenchReport{
+		Cores:       runtime.NumCPU(),
+		Scale:       opt.Scale,
+		Seed:        opt.SimSeed,
+		ThinkMeanMs: think,
+		Ops:         int(p.K+0.5) + int(p.Q+0.5),
+	}
+
+	strategies := []costmodel.Strategy{
+		costmodel.AlwaysRecompute,
+		costmodel.CacheInvalidate,
+		costmodel.UpdateCacheAVM,
+		costmodel.UpdateCacheRVM,
+	}
+	for _, strat := range strategies {
+		for _, model := range []costmodel.Model{costmodel.Model1, costmodel.Model2} {
+			cfg := sim.Config{
+				Params:   p,
+				Model:    model,
+				Strategy: strat,
+				Seed:     opt.SimSeed,
+			}
+			var base float64
+			var seq sim.Result
+			for i, clients := range ladder {
+				if ctx.Err() != nil {
+					return rep
+				}
+				e := engine.New(cfg, engine.Options{Clients: clients, ThinkMeanMs: think})
+				res := e.Run(ctx)
+				row := ConcurrentBenchRow{
+					Strategy:      strat.String(),
+					Model:         model.String(),
+					Clients:       clients,
+					ThroughputOps: res.Throughput,
+					P50LatencyUs:  float64(res.Percentile(50)) / float64(time.Microsecond),
+					P95LatencyUs:  float64(res.Percentile(95)) / float64(time.Microsecond),
+					SimTotalMs:    res.SimTotalMs,
+				}
+				if i == 0 {
+					base = res.Throughput
+					if clients == 1 {
+						seq = sim.Run(cfg)
+						row.MatchesSequential = res.Counters == seq.Counters &&
+							res.TuplesReturned == seq.TuplesReturned &&
+							res.SimTotalMs == seq.TotalMs
+					}
+				}
+				if base > 0 {
+					row.Speedup = res.Throughput / base
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep
+}

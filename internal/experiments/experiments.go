@@ -36,6 +36,14 @@ type Options struct {
 	// negative means one worker per CPU. Results are reduced in canonical
 	// cell order, so any worker count renders byte-identical tables.
 	Workers int
+	// Clients caps the session ladder of the concurrent engine benchmark
+	// (ConcurrentBench): ladder points above it are dropped. Zero keeps
+	// the full 1/2/4/8 ladder.
+	Clients int
+	// ThinkMeanMs is the concurrent benchmark's mean per-session think
+	// time between operations (exponential); zero disables thinking and
+	// measures pure contention.
+	ThinkMeanMs float64
 }
 
 // Table is one rendered result: a titled grid of cells.

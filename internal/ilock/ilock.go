@@ -12,14 +12,23 @@
 // and screening but not the lock check.
 package ilock
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Owner identifies the holder of an i-lock: a cached procedure value or a
 // maintained view.
 type Owner int
 
-// Manager is the i-lock table for one database.
+// Manager is the i-lock table for one database. It is safe for concurrent
+// use: the table is shared by every session of the concurrent engine, and
+// one session setting locks while another scans for conflicts must each
+// see a consistent table. Atomicity across calls (e.g. conflict detection
+// coupled with a validity flip) is the caller's concern — the engine's
+// lock footprints provide it.
 type Manager struct {
+	mu     sync.RWMutex
 	rels   map[string]*relLocks
 	owners map[Owner][]lockRef
 }
@@ -68,6 +77,8 @@ func (m *Manager) LockRange(rel string, lo, hi int64, owner Owner) {
 	if lo > hi {
 		panic("ilock: inverted interval")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	r := m.rel(rel)
 	iv := interval{lo: lo, hi: hi, owner: owner}
 	pos := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].lo >= lo })
@@ -80,6 +91,8 @@ func (m *Manager) LockRange(rel string, lo, hi int64, owner Owner) {
 // LockKey sets a key i-lock on relation rel's indexed attribute value key
 // for owner (the lock form of a hash-index probe).
 func (m *Manager) LockKey(rel string, key int64, owner Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	r := m.rel(rel)
 	r.keys[key] = append(r.keys[key], owner)
 	m.owners[owner] = append(m.owners[owner], lockRef{rel: rel, lo: key, hi: key, isKey: true})
@@ -87,6 +100,8 @@ func (m *Manager) LockKey(rel string, key int64, owner Owner) {
 
 // Release removes every lock held by owner.
 func (m *Manager) Release(owner Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	refs := m.owners[owner]
 	if refs == nil {
 		return
@@ -121,13 +136,19 @@ func (m *Manager) Release(owner Owner) {
 }
 
 // HoldCount returns the number of locks held by owner.
-func (m *Manager) HoldCount(owner Owner) int { return len(m.owners[owner]) }
+func (m *Manager) HoldCount(owner Owner) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.owners[owner])
+}
 
 // Conflicts calls fn once per lock that conflicts with a write of the
 // indexed attribute value v on relation rel. An owner holding several
 // conflicting locks is reported once per lock; use ConflictSet for the
 // deduplicated owner set.
 func (m *Manager) Conflicts(rel string, v int64, fn func(Owner)) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	r := m.rels[rel]
 	if r == nil {
 		return

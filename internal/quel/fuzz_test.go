@@ -1,9 +1,12 @@
 package quel
 
 import (
+	"strings"
+	"sync"
 	"testing"
 
 	"dbproc/internal/metric"
+	"dbproc/internal/query"
 )
 
 // fuzzDB builds the fixture catalog the planner is fuzzed against: the
@@ -63,6 +66,69 @@ func FuzzParse(f *testing.F) {
 		if r, ok := stmt.(*RetrieveStmt); ok {
 			if _, err := db.compile(r); err != nil {
 				return
+			}
+		}
+	})
+}
+
+// FuzzPlan asserts the planner contracts the concurrent engine leans on,
+// over whole shell transcripts (newline-separated statements, the shape
+// of a multi-session shell session):
+//
+//   - compilation is deterministic: planning the same retrieve twice
+//     renders the identical plan, so two sessions compiling one
+//     procedure access cannot disagree;
+//   - compilation is read-only and race-safe against a shared catalog:
+//     two goroutines planning the same statement concurrently produce
+//     that same rendering (run under -race, this is also a data-race
+//     probe of the catalog and planner).
+//
+// The seed corpus in testdata/fuzz/FuzzPlan holds transcripts recorded
+// from interleaved shell sessions.
+func FuzzPlan(f *testing.F) {
+	for _, seed := range []string{
+		"retrieve (emp.all) where emp.age >= 31 and emp.age <= 41",
+		"retrieve (emp.tid, dept.floor) where emp.dept = dept.dname and dept.floor = 1\nretrieve (emp.tid, emp.salary) where emp.age = 35",
+		"explain retrieve (emp.all) where emp.age = 35\nretrieve (emp.all) where emp.age >= 41\nretrieve (dept.all) where dept.floor = 2",
+		"retrieve (emp.tid) where emp.tid < emp.dept\nnot a statement\nretrieve (emp.all)",
+	} {
+		f.Add(seed)
+	}
+	db := fuzzDB(f)
+	f.Fuzz(func(t *testing.T, transcript string) {
+		for _, line := range strings.Split(transcript, "\n") {
+			stmt, err := Parse(line)
+			if err != nil {
+				continue
+			}
+			r, ok := stmt.(*RetrieveStmt)
+			if !ok {
+				continue
+			}
+			plan1, err := db.compile(r)
+			if err != nil {
+				continue
+			}
+			want := query.Explain(plan1)
+			var wg sync.WaitGroup
+			renders := make([]string, 2)
+			for i := range renders {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					p, err := db.compile(r)
+					if err != nil {
+						return
+					}
+					renders[i] = query.Explain(p)
+				}(i)
+			}
+			wg.Wait()
+			for i, got := range renders {
+				if got != want {
+					t.Fatalf("compile %d of %q diverged:\n--- first\n%s\n--- concurrent\n%s",
+						i, line, want, got)
+				}
 			}
 		}
 	})

@@ -25,6 +25,7 @@ package rete
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dbproc/internal/metric"
 	"dbproc/internal/storage"
@@ -60,8 +61,12 @@ type Node interface {
 	Activate(tok Token)
 }
 
-// Network is the Rete net plus its root dispatch structures.
+// Network is the Rete net plus its root dispatch structures. Token
+// submission is serialized by the network's mutex: α- and β-memories are
+// shared state, and admitting one token (or one modify pair) at a time
+// makes concurrent propagation equivalent to some serial token order.
 type Network struct {
+	mu    sync.Mutex
 	meter *metric.Meter
 	pager *storage.Pager
 
@@ -173,6 +178,12 @@ func (n *Network) NumTConsts() int { return len(n.tconsts) }
 // token's attribute value. Everything downstream — t-const screens,
 // memory-node I/O, and-node probes — is attributed to the rete component.
 func (n *Network) Submit(rel string, tok Token) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.submit(rel, tok)
+}
+
+func (n *Network) submit(rel string, tok Token) {
 	prev := n.meter.SetComponent(metric.CompRete)
 	defer n.meter.SetComponent(prev)
 	for key, d := range n.dispatchers {
@@ -198,10 +209,13 @@ func (n *Network) Submit(rel string, tok Token) {
 }
 
 // SubmitModify is the convenience for an in-place modification: a − token
-// for the old value then a + token for the new one.
+// for the old value then a + token for the new one, admitted as one
+// atomic pair — no other session's token lands between them.
 func (n *Network) SubmitModify(rel string, oldTuple, newTuple []byte) {
-	n.Submit(rel, Token{Tag: Minus, Tuple: oldTuple})
-	n.Submit(rel, Token{Tag: Plus, Tuple: newTuple})
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.submit(rel, Token{Tag: Minus, Tuple: oldTuple})
+	n.submit(rel, Token{Tag: Plus, Tuple: newTuple})
 }
 
 // TConst tests a single "attribute in band" condition. Each activation is

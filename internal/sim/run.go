@@ -7,6 +7,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/metric"
 	"dbproc/internal/proc"
+	"dbproc/internal/query"
 	"dbproc/internal/tuple"
 	"dbproc/internal/workload"
 )
@@ -36,33 +37,17 @@ func Run(cfg Config) Result {
 // fresh Build for another measurement.
 func (w *World) Run() Result {
 	p := w.cfg.Params
-	k, q := int(p.K+0.5), int(p.Q+0.5)
-	ops := w.gen.Sequence(k, q)
+	ops := w.WorkloadOps()
 
 	res := Result{Config: w.cfg}
 	for _, op := range ops {
-		w.pager.BeginOp()
+		r := w.ExecOp(op)
 		switch op.Kind {
 		case workload.Update:
-			sp := w.tracer.Begin("op.update")
-			delta := w.baseUpdate()
-			sp.Set("rel", delta.Rel.Schema().Name())
-			sp.Set("tuples", len(delta.Inserted)+len(delta.Deleted))
-			w.strat.OnUpdate(delta)
 			res.Updates++
-			// Flush inside the span so deferred page writes are priced into
-			// the operation that dirtied them.
-			w.pager.Flush()
-			w.tracer.End(sp)
 		case workload.Query:
-			sp := w.tracer.Begin("op.query")
-			sp.Set("proc", op.ProcID)
-			out := w.strat.Access(op.ProcID)
-			sp.Set("tuples", len(out))
-			res.TuplesReturned += len(out)
+			res.TuplesReturned += len(r.Tuples)
 			res.Queries++
-			w.pager.Flush()
-			w.tracer.End(sp)
 		}
 	}
 	res.Counters = w.meter.Snapshot()
@@ -90,77 +75,159 @@ func (w *World) Run() Result {
 	return res
 }
 
-// baseUpdate performs one update transaction — l distinct tuples modified
-// in place — without charging I/O (the base-table update cost is common to
-// every strategy and excluded by the model), and returns the delta for the
-// strategy hooks. By default the transaction modifies R1 (re-drawing the
-// clustering attribute); with probability R2UpdateFraction it modifies R2
-// instead (re-drawing the C_f2 filter attribute).
-func (w *World) baseUpdate() proc.Delta {
-	if f := w.cfg.R2UpdateFraction; f > 0 && w.gen.Float64() < f {
-		return w.updateR2()
-	}
-	return w.updateR1()
+// WorkloadOps draws the world's full operation stream: k update
+// transactions interleaved at random with q skewed procedure accesses,
+// consuming the workload generator exactly as the sequential Run loop
+// always has. Callers (Run, the concurrent engine) execute the returned
+// ops through ExecOp.
+func (w *World) WorkloadOps() []workload.Op {
+	p := w.cfg.Params
+	return w.gen.Sequence(int(p.K+0.5), int(p.Q+0.5))
 }
 
-func (w *World) updateR1() proc.Delta {
+// OpResult reports one executed workload operation.
+type OpResult struct {
+	Op workload.Op
+	// Update records the transaction's random draws (update ops only), so
+	// the op can be replayed — and undone — on another world with the same
+	// base state.
+	Update UpdateRecord
+	// Tuples is the query result (query ops only).
+	Tuples [][]byte
+}
+
+// ExecOp executes one workload operation: one pager operation scope, the
+// op's tracing span, the base-table change plus strategy maintenance for
+// updates, the strategy access for queries. Run loops over it; the
+// concurrent engine calls it once per session op under its locks.
+func (w *World) ExecOp(op workload.Op) OpResult {
+	w.pager.BeginOp()
+	switch op.Kind {
+	case workload.Update:
+		sp := w.tracer.Begin("op.update")
+		rec := w.drawUpdate()
+		delta, _ := w.applyUpdate(rec)
+		sp.Set("rel", delta.Rel.Schema().Name())
+		sp.Set("tuples", len(delta.Inserted)+len(delta.Deleted))
+		w.strat.OnUpdate(delta)
+		// Flush inside the span so deferred page writes are priced into
+		// the operation that dirtied them.
+		w.pager.Flush()
+		w.tracer.End(sp)
+		return OpResult{Op: op, Update: rec}
+	case workload.Query:
+		sp := w.tracer.Begin("op.query")
+		sp.Set("proc", op.ProcID)
+		out := w.strat.Access(op.ProcID)
+		sp.Set("tuples", len(out))
+		w.pager.Flush()
+		w.tracer.End(sp)
+		return OpResult{Op: op, Tuples: out}
+	}
+	panic("sim: unknown op kind")
+}
+
+// UpdateRecord captures the random draws of one update transaction: the
+// modified tuple ids and, parallel to them, the new attribute values —
+// skey for an R1 transaction, the C_f2 filter attribute p2 for an R2 one.
+// Replaying a record against a world whose base tables are in the same
+// state reproduces the transaction exactly; the inverse record returned
+// by the replay restores the prior state (the serializability checker's
+// backtracking step).
+type UpdateRecord struct {
+	R2   bool
+	Tids []int
+	Vals []int64
+}
+
+// drawUpdate consumes the workload generator's randomness for one update
+// transaction — relation choice, tuple picks, new values — in the exact
+// order the sequential simulator always has, and returns the record. By
+// default the transaction modifies R1 (re-drawing the clustering
+// attribute); with probability R2UpdateFraction it modifies R2 instead.
+func (w *World) drawUpdate() UpdateRecord {
 	p := w.cfg.Params
 	l := int(p.L + 0.5)
-	n := int(p.N)
-	prev := w.pager.SetCharging(false)
-
-	tids := w.gen.PickDistinct(l, n)
-	delta := proc.Delta{Rel: w.r1}
-	for _, tid := range tids {
-		oldKey := tuple.ClusterKey(w.skey[tid], int64(tid))
-		old, ok := w.r1.Tree().Get(oldKey)
-		if !ok {
-			panic("sim: base tuple lost")
+	if f := w.cfg.R2UpdateFraction; f > 0 && w.gen.Float64() < f {
+		n2 := len(w.p2)
+		if l > n2 {
+			l = n2
 		}
-		newSkey := int64(w.gen.Intn(n))
-		newTup := append([]byte(nil), old...)
-		w.r1.Schema().SetByName(newTup, "skey", newSkey)
-		w.r1.DeleteKeyed(oldKey)
-		w.r1.Insert(newTup)
-		w.skey[tid] = newSkey
-		delta.Deleted = append(delta.Deleted, old)
-		delta.Inserted = append(delta.Inserted, newTup)
+		rec := UpdateRecord{R2: true, Tids: w.gen.PickDistinct(l, n2)}
+		for range rec.Tids {
+			rec.Vals = append(rec.Vals, int64(w.gen.Intn(p2Max)))
+		}
+		return rec
+	}
+	n := int(p.N)
+	rec := UpdateRecord{Tids: w.gen.PickDistinct(l, n)}
+	for range rec.Tids {
+		rec.Vals = append(rec.Vals, int64(w.gen.Intn(n)))
+	}
+	return rec
+}
+
+// applyUpdate performs the recorded transaction on the base tables
+// without charging I/O (the base-table update cost is common to every
+// strategy and excluded by the model). It returns the delta for the
+// strategy hooks and the inverse record.
+func (w *World) applyUpdate(rec UpdateRecord) (proc.Delta, UpdateRecord) {
+	prev := w.pager.SetCharging(false)
+	undo := UpdateRecord{R2: rec.R2, Tids: rec.Tids, Vals: make([]int64, 0, len(rec.Tids))}
+	var delta proc.Delta
+	if rec.R2 {
+		s2 := w.r2.Schema()
+		delta.Rel = w.r2
+		for i, tid := range rec.Tids {
+			// R2's hash key b equals the tuple id by construction.
+			old, ok := w.r2.Hash().Lookup(uint64(tid))
+			if !ok {
+				panic("sim: R2 tuple lost")
+			}
+			undo.Vals = append(undo.Vals, w.p2[tid])
+			newTup := append([]byte(nil), old...)
+			s2.SetByName(newTup, "p2", rec.Vals[i])
+			w.r2.Hash().Delete(uint64(tid))
+			w.r2.Insert(newTup)
+			w.p2[tid] = rec.Vals[i]
+			delta.Deleted = append(delta.Deleted, old)
+			delta.Inserted = append(delta.Inserted, newTup)
+		}
+	} else {
+		delta.Rel = w.r1
+		for i, tid := range rec.Tids {
+			oldKey := tuple.ClusterKey(w.skey[tid], int64(tid))
+			old, ok := w.r1.Tree().Get(oldKey)
+			if !ok {
+				panic("sim: base tuple lost")
+			}
+			undo.Vals = append(undo.Vals, w.skey[tid])
+			newTup := append([]byte(nil), old...)
+			w.r1.Schema().SetByName(newTup, "skey", rec.Vals[i])
+			w.r1.DeleteKeyed(oldKey)
+			w.r1.Insert(newTup)
+			w.skey[tid] = rec.Vals[i]
+			delta.Deleted = append(delta.Deleted, old)
+			delta.Inserted = append(delta.Inserted, newTup)
+		}
 	}
 	w.pager.BeginOp() // flush the uncharged base-table writes
 	w.pager.SetCharging(prev)
-	return delta
+	return delta, undo
 }
 
-func (w *World) updateR2() proc.Delta {
-	p := w.cfg.Params
-	l := int(p.L + 0.5)
-	n2 := len(w.p2)
-	if l > n2 {
-		l = n2
-	}
-	prev := w.pager.SetCharging(false)
-
-	tids := w.gen.PickDistinct(l, n2)
-	s2 := w.r2.Schema()
-	delta := proc.Delta{Rel: w.r2}
-	for _, tid := range tids {
-		// R2's hash key b equals the tuple id by construction.
-		old, ok := w.r2.Hash().Lookup(uint64(tid))
-		if !ok {
-			panic("sim: R2 tuple lost")
-		}
-		newP2 := int64(w.gen.Intn(p2Max))
-		newTup := append([]byte(nil), old...)
-		s2.SetByName(newTup, "p2", newP2)
-		w.r2.Hash().Delete(uint64(tid))
-		w.r2.Insert(newTup)
-		w.p2[tid] = newP2
-		delta.Deleted = append(delta.Deleted, old)
-		delta.Inserted = append(delta.Inserted, newTup)
-	}
+// ReplayUpdate re-executes a recorded update transaction — the base-table
+// change and the strategy maintenance hook — inside one pager operation
+// scope, and returns the inverse record. Replaying the inverse restores
+// the base tables only, not strategy-private cache state, so undo-based
+// search (the serializability oracle) must run on a recompute-style world
+// whose accesses carry no cached state.
+func (w *World) ReplayUpdate(rec UpdateRecord) UpdateRecord {
 	w.pager.BeginOp()
-	w.pager.SetCharging(prev)
-	return delta
+	delta, undo := w.applyUpdate(rec)
+	w.strat.OnUpdate(delta)
+	w.pager.Flush()
+	return undo
 }
 
 // Access runs one procedure query outside the workload loop (used by
@@ -172,10 +239,48 @@ func (w *World) Access(id int) [][]byte {
 	return out
 }
 
+// RecomputeOracle evaluates procedure id's definition plan directly
+// against the current base tables, uncharged and without touching any
+// cache — the brute-force recomputer the differential and
+// serializability oracles compare strategies against.
+func (w *World) RecomputeOracle(id int) [][]byte {
+	prevCharge := w.pager.SetCharging(false)
+	prevMute := w.meter.SetMuted(true)
+	w.pager.BeginOp()
+	var out [][]byte
+	w.mgr.MustGet(id).Plan.Execute(&query.Ctx{Meter: w.meter}, func(tup []byte) bool {
+		out = append(out, append([]byte(nil), tup...))
+		return true
+	})
+	w.pager.BeginOp()
+	w.meter.SetMuted(prevMute)
+	w.pager.SetCharging(prevCharge)
+	return out
+}
+
+// BaseStateHash fingerprints the mutable base-table state (every R1
+// clustering value and R2 filter value), letting the serializability
+// oracle memoize search states.
+func (w *World) BaseStateHash() uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	for _, v := range w.skey {
+		mix(v)
+	}
+	for _, v := range w.p2 {
+		mix(v)
+	}
+	return h
+}
+
 // Update applies one update transaction outside the workload loop.
 func (w *World) Update() {
 	w.pager.BeginOp()
-	d := w.baseUpdate()
+	rec := w.drawUpdate()
+	d, _ := w.applyUpdate(rec)
 	w.strat.OnUpdate(d)
 	w.pager.Flush()
 }
@@ -185,6 +290,26 @@ func (w *World) Strategy() proc.Strategy { return w.strat }
 
 // ProcIDs returns the defined procedure ids.
 func (w *World) ProcIDs() []int { return w.mgr.IDs() }
+
+// Config returns the configuration the world was built from.
+func (w *World) Config() Config { return w.cfg }
+
+// ProcRelations names the base relations procedure id's plan reads: r1
+// for every procedure, plus r2 (and, in model 2, r3) for P2 procedures.
+// The concurrent engine derives query lock footprints from it.
+func (w *World) ProcRelations(id int) []string {
+	spec := w.specs[id] // ids are assigned densely in definition order
+	if spec.id != id {
+		panic(fmt.Sprintf("sim: spec table out of order at %d", id))
+	}
+	if !spec.isP2 {
+		return []string{"r1"}
+	}
+	if w.cfg.Model == costmodel.Model2 {
+		return []string{"r1", "r2", "r3"}
+	}
+	return []string{"r1", "r2"}
+}
 
 // Meter returns the world's cost meter.
 func (w *World) Meter() *metric.Meter { return w.meter }

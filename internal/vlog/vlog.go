@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync"
 )
 
 // Record kinds.
@@ -33,13 +34,31 @@ const (
 // reached; the write may be torn.
 var ErrDeviceFull = errors.New("vlog: device write failed")
 
-// Device is an append-only byte store. FailAfter simulates a crash: once
-// the total bytes written would exceed it, the write is truncated at the
-// boundary and ErrDeviceFull returned — a torn write, exactly what
-// recovery must tolerate.
+// ErrDeviceDead is returned for every write after a failure has fired:
+// the crashed device accepts nothing further, so a test cannot
+// accidentally keep logging past its own simulated crash.
+var ErrDeviceDead = errors.New("vlog: device is dead after injected failure")
+
+// Device is an append-only byte store with two fault-injection modes.
+//
+// FailAfter arms a size-based crash: once the total bytes written would
+// exceed the threshold, the write is truncated at the boundary and
+// ErrDeviceFull returned — a torn write, exactly what recovery must
+// tolerate. FailOnWrite arms a count-based crash: the nth append call
+// (1-based) tears after a given byte offset within that write, which can
+// target a specific logical record — e.g. the checkpoint that a flip
+// triggers automatically — independent of how many bytes preceded it.
+//
+// After either failure fires the device is dead: every later append
+// returns ErrDeviceDead without storing anything, as a crashed disk
+// would.
 type Device struct {
 	buf       []byte
-	failAfter int // -1 = never
+	failAfter int // total-size threshold; -1 = never
+	failOnNth int // 1-based write index; 0 = never
+	failAtOff int // tear offset within the failing write
+	writes    int // appends attempted so far
+	dead      bool
 }
 
 // NewDevice returns an empty device with no failure point.
@@ -48,15 +67,46 @@ func NewDevice() *Device { return &Device{failAfter: -1} }
 // FailAfter arms the crash point at the given total size in bytes.
 func (d *Device) FailAfter(n int) { d.failAfter = n }
 
+// FailOnWrite arms a crash on the nth append call (1-based), tearing it
+// after off bytes (off = 0 loses the write entirely; off >= the write's
+// length still fails but tears nothing).
+func (d *Device) FailOnWrite(nth, off int) {
+	if nth < 1 || off < 0 {
+		panic("vlog: invalid FailOnWrite arming")
+	}
+	d.failOnNth = nth
+	d.failAtOff = off
+}
+
+// Writes returns the number of append calls attempted.
+func (d *Device) Writes() int { return d.writes }
+
+// Dead reports whether an injected failure has fired.
+func (d *Device) Dead() bool { return d.dead }
+
 // Len returns the bytes stored.
 func (d *Device) Len() int { return len(d.buf) }
 
 // Contents returns the raw bytes (for handing to Recover).
 func (d *Device) Contents() []byte { return d.buf }
 
-// append writes p, honoring the failure point.
+// append writes p, honoring the failure points.
 func (d *Device) append(p []byte) error {
+	if d.dead {
+		return ErrDeviceDead
+	}
+	d.writes++
+	if d.failOnNth > 0 && d.writes == d.failOnNth {
+		d.dead = true
+		room := d.failAtOff
+		if room > len(p) {
+			room = len(p)
+		}
+		d.buf = append(d.buf, p[:room]...)
+		return ErrDeviceFull
+	}
 	if d.failAfter >= 0 && len(d.buf)+len(p) > d.failAfter {
+		d.dead = true
 		room := d.failAfter - len(d.buf)
 		if room > 0 {
 			d.buf = append(d.buf, p[:room]...)
@@ -67,13 +117,17 @@ func (d *Device) append(p []byte) error {
 	return nil
 }
 
-// Log is a write-ahead validity log.
+// Log is a write-ahead validity log. It is safe for concurrent use: each
+// flip (and the checkpoint it may trigger) appends and updates the
+// in-memory table atomically with respect to other flips and reads.
 type Log struct {
-	dev *Device
 	// CheckpointEvery triggers an automatic checkpoint after this many
-	// appended flip records (0 disables automatic checkpoints).
+	// appended flip records (0 disables automatic checkpoints). Set it
+	// before the log is shared between sessions.
 	CheckpointEvery int
 
+	mu              sync.Mutex
+	dev             *Device
 	sinceCheckpoint int
 	state           map[int32]bool // procedure id -> valid
 }
@@ -101,6 +155,8 @@ func record(kind byte, id int32) []byte {
 }
 
 func (l *Log) flip(kind byte, id int32, valid bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if _, known := l.state[id]; !known {
 		return fmt.Errorf("vlog: unknown procedure %d", id)
 	}
@@ -110,7 +166,7 @@ func (l *Log) flip(kind byte, id int32, valid bool) error {
 	l.state[id] = valid
 	l.sinceCheckpoint++
 	if l.CheckpointEvery > 0 && l.sinceCheckpoint >= l.CheckpointEvery {
-		return l.Checkpoint()
+		return l.checkpoint()
 	}
 	return nil
 }
@@ -122,10 +178,16 @@ func (l *Log) Invalidate(id int) error { return l.flip(kindInvalidate, int32(id)
 func (l *Log) Validate(id int) error { return l.flip(kindValidate, int32(id), true) }
 
 // Valid reports the in-memory state for id.
-func (l *Log) Valid(id int) bool { return l.state[int32(id)] }
+func (l *Log) Valid(id int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state[int32(id)]
+}
 
 // State returns a copy of the full validity table.
 func (l *Log) State() map[int32]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make(map[int32]bool, len(l.state))
 	for id, v := range l.state {
 		out[id] = v
@@ -140,6 +202,12 @@ func (l *Log) State() map[int32]bool {
 //
 // Layout: kind, count, count x (id, validByte), crc of everything prior.
 func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpoint()
+}
+
+func (l *Log) checkpoint() error {
 	ids := make([]int32, 0, len(l.state))
 	for id := range l.state {
 		ids = append(ids, id)

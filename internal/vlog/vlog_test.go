@@ -228,3 +228,99 @@ func TestCrashAtAnyPointRecoversPrefixState(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCrashDuringAutoCheckpoint targets the checkpoint a flip triggers
+// internally (CheckpointEvery): size-based arming cannot easily isolate
+// it, but count-based injection can — the write sequence here is the
+// initial checkpoint (1), two flips (2, 3), then the automatic
+// checkpoint (4). The flip record itself lands intact, so recovery
+// returns the state including that flip, served from the previous
+// complete checkpoint plus the log tail.
+func TestCrashDuringAutoCheckpoint(t *testing.T) {
+	for _, off := range []int{0, 1, 7, 23} {
+		dev := NewDevice()
+		l, _ := New(dev, ids(3))
+		l.CheckpointEvery = 2
+		dev.FailOnWrite(4, off)
+		if err := l.Invalidate(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Invalidate(1); err != ErrDeviceFull {
+			t.Fatalf("off %d: auto-checkpoint should tear, got %v", off, err)
+		}
+		if !dev.Dead() {
+			t.Fatal("device should be dead after the injected failure")
+		}
+		got, err := Recover(dev.Contents())
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		// Both flips' records were fully written before the checkpoint
+		// tore, so recovery sees them.
+		if got[0] || got[1] || !got[2] {
+			t.Fatalf("off %d: recovered %v, want 0,1 invalid and 2 valid", off, got)
+		}
+	}
+}
+
+// TestFailOnWriteEveryOffset tears a flip record at every possible byte
+// offset; recovery must always return the state as of the previous
+// record.
+func TestFailOnWriteEveryOffset(t *testing.T) {
+	for off := 0; off <= 9; off++ {
+		dev := NewDevice()
+		l, _ := New(dev, ids(2))
+		if err := l.Invalidate(0); err != nil {
+			t.Fatal(err)
+		}
+		want := l.State()
+		dev.FailOnWrite(3, off) // writes: checkpoint, flip(0), flip(1)
+		err := l.Invalidate(1)
+		if off >= 9 {
+			// The tear offset covers the whole record: the write still
+			// fails, but the record is complete on disk and recovery may
+			// legitimately include it.
+			if err != ErrDeviceFull {
+				t.Fatalf("off %d: got %v", off, err)
+			}
+			continue
+		}
+		if err != ErrDeviceFull {
+			t.Fatalf("off %d: expected ErrDeviceFull, got %v", off, err)
+		}
+		got, rerr := Recover(dev.Contents())
+		if rerr != nil {
+			t.Fatalf("off %d: %v", off, rerr)
+		}
+		for id, v := range want {
+			if got[id] != v {
+				t.Fatalf("off %d: id %d = %v, want %v", off, id, got[id], v)
+			}
+		}
+	}
+}
+
+// TestDeviceDeadAfterFailure verifies the crashed device accepts nothing
+// further — the log cannot silently keep appending past its own crash.
+func TestDeviceDeadAfterFailure(t *testing.T) {
+	dev := NewDevice()
+	l, _ := New(dev, ids(2))
+	dev.FailOnWrite(2, 0)
+	if err := l.Invalidate(0); err != ErrDeviceFull {
+		t.Fatalf("expected ErrDeviceFull, got %v", err)
+	}
+	size := dev.Len()
+	if err := l.Invalidate(1); err != ErrDeviceDead {
+		t.Fatalf("expected ErrDeviceDead, got %v", err)
+	}
+	if err := l.Checkpoint(); err != ErrDeviceDead {
+		t.Fatalf("checkpoint on dead device: got %v", err)
+	}
+	if dev.Len() != size {
+		t.Fatal("dead device stored bytes")
+	}
+	// The in-memory table must not have applied the failed flips.
+	if !l.Valid(0) || !l.Valid(1) {
+		t.Fatalf("failed flips leaked into memory: %v", l.State())
+	}
+}

@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Kind distinguishes the two operation types.
@@ -118,3 +119,27 @@ func (g *Generator) Float64() float64 { return g.rng.Float64() }
 
 // HotSet returns the hot procedure ids (for tests).
 func (g *Generator) HotSet() []int { return append([]int(nil), g.hot...) }
+
+// Thinker draws deterministic exponentially distributed think times for
+// one closed-loop client session: the wall-clock pause between an
+// operation completing and the session submitting its next one. Each
+// session owns its own Thinker (and RNG), so the draws of one session do
+// not depend on how its neighbours are scheduled.
+type Thinker struct {
+	rng  *rand.Rand
+	mean float64 // milliseconds; <= 0 disables thinking
+}
+
+// NewThinker builds a thinker with the given mean think time in
+// milliseconds. A mean of zero (or less) yields zero think time.
+func NewThinker(seed int64, meanMs float64) *Thinker {
+	return &Thinker{rng: rand.New(rand.NewSource(seed)), mean: meanMs}
+}
+
+// Next draws the next think time.
+func (t *Thinker) Next() time.Duration {
+	if t.mean <= 0 {
+		return 0
+	}
+	return time.Duration(t.rng.ExpFloat64() * t.mean * float64(time.Millisecond))
+}

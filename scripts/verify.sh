@@ -3,7 +3,9 @@
 #
 #   tier 1: go build ./... && go test ./...        (the seed contract)
 #   tier 2: go vet ./... && go test -race ./...    (static + race checks)
-#   tier 3: parallel sweep engine guards            (docs/PARALLEL.md)
+#   tier 3: concurrency + parallel sweep guards     (docs/CONCURRENCY.md,
+#           docs/PARALLEL.md: serializability oracle, race-stress soak,
+#           determinism oracles, fuzz smokes)
 #   tier 4: meter-attribution overhead guard        (<= 5% vs seed meter;
 #           timing-sensitive — expect noise on loaded single-core boxes)
 #
@@ -17,9 +19,19 @@ go test ./...
 
 echo "== tier 2: vet + race =="
 go vet ./...
+# Vet again with the race build tag set, so any //go:build race test
+# helpers (deadlock watchdogs, soak gates) are vetted too.
+go vet -tags=race ./...
 go test -race ./...
 
-echo "== tier 3: parallel sweep engine guards =="
+echo "== tier 3: concurrency + parallel sweep engine guards =="
+# Serializability oracle and multi-session race-stress soak: 8 sessions
+# per caching strategy under the race detector, with the deadlock
+# watchdog armed (-short caps the soak matrix; GOMAXPROCS raised so
+# sessions genuinely interleave on single-core CI boxes).
+GOMAXPROCS=4 go test -race -short \
+    -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable' \
+    ./internal/engine/
 # Injected-RNG audit: simulation worlds must be self-contained, so no
 # non-test code under internal/ may draw from the package-level
 # math/rand generator (rand.New(rand.NewSource(...)) instances are the
@@ -41,6 +53,10 @@ GOMAXPROCS=4 go test -race \
 
 # Parser/planner no-panic fuzz smoke.
 go test -fuzz='^FuzzParse$' -fuzztime=10s -run '^FuzzParse$' ./internal/quel/
+
+# Planner determinism fuzz smoke: concurrent compilation of transcript
+# corpora must render identical plans (docs/CONCURRENCY.md).
+go test -fuzz='^FuzzPlan$' -fuzztime=10s -run '^FuzzPlan$' ./internal/quel/
 
 echo "== tier 4: meter attribution overhead guard =="
 # BenchmarkMeterAttributed replays the seed meter's hot path through the
