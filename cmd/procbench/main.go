@@ -23,6 +23,7 @@ import (
 	"os/signal"
 
 	"dbproc/internal/experiments"
+	"dbproc/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	concurrentJSON := flag.String("concurrent-json", "", "write the multi-session engine benchmark (BENCH_concurrent.json) to this file and exit")
 	clients := flag.Int("clients", 0, "cap the concurrent benchmark's session ladder (0 = full 1/2/4/8)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms for the concurrent benchmark (0 = none)")
+	listen := flag.String("listen", "", "serve live /metrics, /debug/pprof and /events on this address while benchmarks run")
 	flag.Parse()
 
 	// Ctrl-C stops claiming new simulation cells; in-flight cells finish
@@ -61,6 +63,16 @@ func main() {
 		Workers:     *workers,
 		Clients:     *clients,
 		ThinkMeanMs: *think,
+	}
+	if *listen != "" {
+		hub := telemetry.NewHub()
+		hub.SetRecorder(telemetry.NewRecorder(1 << 14))
+		if _, err := hub.ListenAndServe(*listen); err != nil {
+			fmt.Fprintf(os.Stderr, "procbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer hub.Close()
+		opt.Hub = hub
 	}
 
 	writeJSON := func(path string, v any, desc string) {

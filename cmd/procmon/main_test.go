@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dbproc/internal/telemetry"
+)
+
+// TestParseMetricsRoundTrip feeds the parser exactly what the hub's
+// exposition writer produces, including escaped label values.
+func TestParseMetricsRoundTrip(t *testing.T) {
+	var b strings.Builder
+	telemetry.WriteMetrics(&b, []telemetry.Metric{
+		telemetry.Gauge("dbproc_up", "Up.", 1, nil),
+		telemetry.Counter("dbproc_lock_wait_seconds_total", "Wait.", 0.25,
+			map[string]string{"lock": "rel:r1"}),
+		telemetry.Counter("dbproc_lock_wait_seconds_total", "Wait.", 1.5,
+			map[string]string{"lock": `we"ird\`}),
+	})
+	m := metricSet{parseMetrics(b.String())}
+	if v, ok := m.value("dbproc_up"); !ok || v != 1 {
+		t.Fatalf("dbproc_up = %v, %v", v, ok)
+	}
+	waits := m.byLabel("dbproc_lock_wait_seconds_total", "lock")
+	if waits["rel:r1"] != 0.25 {
+		t.Fatalf("rel:r1 wait = %v (set: %v)", waits["rel:r1"], waits)
+	}
+	if waits[`we"ird\`] != 1.5 {
+		t.Fatalf("escaped label lost: %v", waits)
+	}
+}
+
+func TestParseMetricsSkipsGarbage(t *testing.T) {
+	got := parseMetrics("# HELP x y\nnot a metric line\nx nan-ish\nok 2\n")
+	if len(got) != 1 || got[0].name != "ok" || got[0].value != 2 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// TestRenderFrame exercises one dashboard frame end to end: parsed
+// metrics plus an event tail must render the headline counters, the lock
+// table and the timeline without panicking.
+func TestRenderFrame(t *testing.T) {
+	var b strings.Builder
+	telemetry.WriteMetrics(&b, []telemetry.Metric{
+		telemetry.Gauge("dbproc_sessions", "", 8, nil),
+		telemetry.Counter("dbproc_ops_committed_total", "", 40, nil),
+		telemetry.Counter("dbproc_lock_wait_seconds_total", "", 0.002,
+			map[string]string{"lock": "rel:r1"}),
+		telemetry.Counter("dbproc_lock_acquires_total", "", 40,
+			map[string]string{"lock": "rel:r1"}),
+		telemetry.Gauge("dbproc_op_latency_wall_ns", "", 1500,
+			map[string]string{"quantile": "0.5"}),
+	})
+	dump := &telemetry.Dump{Events: []telemetry.Event{
+		{Kind: telemetry.EvOpCommit, Session: 1, Seq: 3, Name: "update"},
+	}}
+	var out strings.Builder
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, dump, false)
+	for _, want := range []string{"committed ops", "rel:r1", "op.commit", "p50=1.5us"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("frame missing %q:\n%s", want, out.String())
+		}
+	}
+}

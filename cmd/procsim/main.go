@@ -9,6 +9,8 @@
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
 //	procsim -seeds 5 -workers 4           # average 5 seeds, 4 cells at a time
 //	procsim -clients 8 -think 1           # 8 concurrent sessions (docs/CONCURRENCY.md)
+//	procsim -clients 8 -listen :9090      # live /metrics, /debug/pprof, /events (docs/TELEMETRY.md)
+//	procsim -clients 8 -flight dump.jsonl # flight dump on watchdog/violation/fault
 //	procsim -breakdown                    # per-component cost tables
 //	procsim -trace out.jsonl              # per-operation trace (see procstat)
 //	procsim -json                         # machine-readable results
@@ -35,6 +37,7 @@ import (
 	"dbproc/internal/obs"
 	"dbproc/internal/parallel"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 )
 
 var strategyNames = map[string]costmodel.Strategy{
@@ -109,6 +112,8 @@ func main() {
 	clients := flag.Int("clients", 1, "concurrent client sessions (>1 switches to the multi-session engine)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms (exponential; concurrent mode)")
 	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /events on this address (e.g. :9090) until interrupted")
+	flightPath := flag.String("flight", "", "write a flight-recorder dump to this file if the run trips a telemetry trigger")
 	breakdown := flag.Bool("breakdown", false, "print the per-component cost breakdown of each run")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
@@ -150,8 +155,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The live ops surface: a flight recorder feeding /events plus the
+	// /metrics, /debug/vars and /debug/pprof endpoints (docs/TELEMETRY.md).
+	var hub *telemetry.Hub
+	var rec *telemetry.Recorder
+	if *listen != "" || *flightPath != "" {
+		rec = telemetry.NewRecorder(1 << 14)
+		if *flightPath != "" {
+			rec.SetAutoDumpFile(*flightPath)
+		}
+	}
+	if *listen != "" {
+		hub = telemetry.NewHub()
+		hub.SetRecorder(rec)
+		if _, err := hub.ListenAndServe(*listen); err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer hub.Close()
+	}
+
 	if *clients > 1 {
-		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think, traceFile, *jsonOut)
+		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think, traceFile, *jsonOut, hub, rec)
+		waitServe(ctx, hub)
 		return
 	}
 
@@ -305,31 +331,49 @@ func main() {
 	if traceFile != nil && !*jsonOut {
 		fmt.Printf("\ntrace written to %s (render with procstat)\n", *tracePath)
 	}
+	waitServe(ctx, hub)
+}
+
+// waitServe keeps the telemetry endpoints up after the run finishes so a
+// live scrape (procmon, curl, Prometheus) can read the final state; the
+// interrupt that cancels ctx ends it. No-op without -listen.
+func waitServe(ctx context.Context, hub *telemetry.Hub) {
+	if hub == nil || ctx.Err() != nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "telemetry: run complete; serving until interrupt")
+	<-ctx.Done()
 }
 
 // concurrentJSON is one strategy's result in concurrent-mode -json
 // output.
 type concurrentJSON struct {
-	Strategy      string           `json:"strategy"`
-	Model         string           `json:"model"`
-	Clients       int              `json:"clients"`
-	Ops           int              `json:"ops"`
-	WallSec       float64          `json:"wall_sec"`
-	ThroughputOps float64          `json:"throughput_ops_per_sec"`
-	P50LatencyUs  float64          `json:"p50_latency_us"`
-	P95LatencyUs  float64          `json:"p95_latency_us"`
-	SimTotalMs    float64          `json:"sim_total_ms"`
-	Counters      obs.CountersJSON `json:"counters"`
+	Strategy      string                         `json:"strategy"`
+	Model         string                         `json:"model"`
+	Clients       int                            `json:"clients"`
+	Ops           int                            `json:"ops"`
+	WallSec       float64                        `json:"wall_sec"`
+	ThroughputOps float64                        `json:"throughput_ops_per_sec"`
+	P50LatencyUs  float64                        `json:"p50_latency_us"`
+	P95LatencyUs  float64                        `json:"p95_latency_us"`
+	SimTotalMs    float64                        `json:"sim_total_ms"`
+	Counters      obs.CountersJSON               `json:"counters"`
+	WallLatency   telemetry.SketchSummary        `json:"wall_latency"`
+	SimLatency    telemetry.SketchSummary        `json:"sim_latency"`
+	Contention    []telemetry.LockContentionJSON `json:"contention,omitempty"`
 }
 
 // runConcurrent drives each strategy through the multi-session engine:
 // the workload is dealt across -clients closed-loop sessions with
 // exponential -think pauses, and the run reports wall-clock throughput
-// and latency next to the simulated cost. With -trace, one span per
-// operation is recorded, tagged with its session and commit sequence.
+// and latency next to the simulated cost, then each run's lock-contention
+// profile. With -trace, one span per operation is recorded, tagged with
+// its session and commit sequence, plus one contention record per run.
+// With -listen, each engine becomes the hub's metrics source and its
+// events stream into the flight recorder.
 func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Model,
 	strategies []costmodel.Strategy, seed int64, clients int, think float64,
-	traceFile *os.File, jsonOut bool) {
+	traceFile *os.File, jsonOut bool, hub *telemetry.Hub, rec *telemetry.Recorder) {
 	if !jsonOut {
 		fmt.Printf("%s, concurrent: %d sessions, think = %g ms, k=%.0f q=%.0f, seed = %d\n\n",
 			model, clients, think, p.K, p.Q, seed)
@@ -337,21 +381,40 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 			"strategy", "wall", "throughput", "p50", "p95", "sim cost")
 	}
 	var jsonRows []concurrentJSON
+	var contRecs []telemetry.ContentionRecord
 	for _, s := range strategies {
 		if ctx.Err() != nil {
 			break
 		}
 		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: seed}
-		opt := engine.Options{Clients: clients, ThinkMeanMs: think}
+		opt := engine.Options{
+			Clients:      clients,
+			ThinkMeanMs:  think,
+			Recorder:     rec,
+			ProfileLocks: true,
+			Sketches:     true,
+		}
 		if traceFile != nil {
 			opt.Tracer = obs.NewTracer()
 		}
-		res := engine.New(cfg, opt).Run(ctx)
+		e := engine.New(cfg, opt)
+		if hub != nil {
+			hub.SetSource(e)
+		}
+		res := e.Run(ctx)
+		contention := engine.ContentionJSON(res.Contention)
+		contRec := telemetry.ContentionRecord{
+			Type:  telemetry.RecordContention,
+			Run:   shortName(s),
+			Locks: contention,
+		}
+		contRecs = append(contRecs, contRec)
 		if traceFile != nil {
-			records := make([]any, 0, res.Ops)
+			records := make([]any, 0, res.Ops+1)
 			for _, sp := range opt.Tracer.Records(shortName(s)) {
 				records = append(records, sp)
 			}
+			records = append(records, contRec)
 			enc, err := obs.EncodeJSONL(records...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "procsim: encoding trace: %v\n", err)
@@ -374,6 +437,9 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 				P95LatencyUs:  float64(res.Percentile(95)) / 1e3,
 				SimTotalMs:    res.SimTotalMs,
 				Counters:      obs.ToCountersJSON(res.Counters),
+				WallLatency:   res.WallLatency,
+				SimLatency:    res.SimLatency,
+				Contention:    contention,
 			})
 			continue
 		}
@@ -381,6 +447,12 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 			s, res.WallSec, res.Throughput,
 			float64(res.Percentile(50))/1e3, float64(res.Percentile(95))/1e3,
 			res.SimTotalMs)
+	}
+	if !jsonOut {
+		for _, cr := range contRecs {
+			fmt.Println()
+			telemetry.RenderContention(os.Stdout, cr, 5)
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)

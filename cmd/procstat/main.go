@@ -9,10 +9,17 @@
 //	procstat -run ci out.jsonl          # one strategy run only
 //	procstat -span op.query out.jsonl   # one span name only
 //	procstat -chrome t.json out.jsonl   # export for chrome://tracing
+//	procstat -flight dump.jsonl         # render a flight-recorder dump
 //
 // Multiple trace files aggregate: histograms and drift entries accumulate
 // across all of them, so a directory of per-seed traces summarizes as one
 // distribution.
+//
+// With -flight the inputs are flight-recorder dumps instead (written by
+// procsim -flight on a watchdog/violation/fault trigger, or fetched from
+// a live /events endpoint): procstat renders the event timeline — marking
+// the serializability oracle's minimal non-serializable window when the
+// dump carries a violation — plus any lock-contention records.
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dbproc/internal/obs"
+	"dbproc/internal/telemetry"
 )
 
 func fail(format string, args ...any) {
@@ -42,12 +51,19 @@ func main() {
 	runFilter := flag.String("run", "", "restrict to one run label (e.g. ci, uc-rvm)")
 	spanFilter := flag.String("span", "", "restrict histograms to one span name (e.g. op.query)")
 	chromePath := flag.String("chrome", "", "also write a Chrome trace-event file (chrome://tracing, perfetto)")
+	flight := flag.Bool("flight", false, "treat inputs as flight-recorder dumps and render event timelines")
+	topK := flag.Int("topk", 10, "locks shown per contention report in -flight mode (0 = all)")
 	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
 		"relative error above which measured cost is flagged as drifting from the model")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fail("no trace files (usage: procstat [flags] trace.jsonl...)")
+	}
+
+	if *flight {
+		renderFlight(flag.Args(), *topK)
+		return
 	}
 
 	merged := &obs.Trace{}
@@ -144,5 +160,59 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Printf("\nchrome trace written to %s\n", *chromePath)
+	}
+}
+
+// renderFlight renders flight-recorder dumps: each dump's header, its
+// event timeline — rows whose commit sequence the serializability oracle
+// reported blocked are flagged with "*", aligning the minimal
+// non-serializable window against the schedule that produced it — and
+// any lock-contention records riding in the dump.
+func renderFlight(paths []string, topK int) {
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		d, err := telemetry.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s:\n", path)
+		var dropped int64
+		for _, h := range d.Headers {
+			dropped = h.Dropped
+			when := ""
+			if h.StartUnixNs > 0 {
+				when = ", recorder started " + time.Unix(0, h.StartUnixNs).UTC().Format(time.RFC3339)
+			}
+			fmt.Printf("dump reason %q: %d events, %d dropped%s\n", h.Reason, h.Events, h.Dropped, when)
+		}
+
+		violations := d.Violations()
+		blocked := map[int]bool{}
+		for _, v := range violations {
+			for _, s := range v.Seqs {
+				blocked[s] = true
+			}
+		}
+		var mark func(telemetry.Event) bool
+		if len(blocked) > 0 {
+			mark = func(ev telemetry.Event) bool { return ev.Seq >= 0 && blocked[ev.Seq] }
+			fmt.Println("rows marked * belong to the minimal non-serializable window")
+		}
+		telemetry.WriteTimeline(os.Stdout, d.Events, dropped, mark)
+
+		for _, v := range violations {
+			fmt.Printf("\nserializability violation (blocked seqs %v):\n%s\n", v.Seqs, v.Detail)
+		}
+		for _, cr := range d.Contention {
+			fmt.Println()
+			telemetry.RenderContention(os.Stdout, cr, topK)
+		}
 	}
 }

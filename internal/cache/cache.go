@@ -33,17 +33,26 @@ type Journal interface {
 // safe for concurrent lookup; each entry's validity transitions are
 // individually atomic (see Entry).
 type Store struct {
-	mu      sync.RWMutex
-	pager   *storage.Pager
-	meter   *metric.Meter
-	entries map[ID]*Entry
-	journal Journal
+	mu       sync.RWMutex
+	pager    *storage.Pager
+	meter    *metric.Meter
+	entries  map[ID]*Entry
+	journal  Journal
+	observer func(event string, id int)
 }
 
 // SetJournal attaches a durability journal; every subsequent validity
 // transition is logged. A journal write failure is a simulated crash and
 // panics — recovery is exercised by replaying the journal's contents.
 func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// SetObserver registers a callback notified on every validity transition
+// ("cache.invalidate" / "cache.refresh") — the flight recorder's cache
+// feed. Like SetJournal, set it before the store is shared between
+// sessions: the field is read without synchronization on the hot path,
+// and the callback runs with the entry's mutex held, so it must not call
+// back into the entry.
+func (s *Store) SetObserver(fn func(event string, id int)) { s.observer = fn }
 
 // Entry is one procedure's cached result. The mu mutex couples each
 // validity flip with its journal append, so a concurrent reader never
@@ -146,6 +155,9 @@ func (e *Entry) Invalidate() {
 			panic("cache: journal write failed (simulated crash): " + err.Error())
 		}
 	}
+	if fn := e.store.observer; fn != nil {
+		fn("cache.invalidate", int(e.id))
+	}
 }
 
 // Replace refreshes the whole result from sorted (key, tuple) pairs and
@@ -172,6 +184,9 @@ func (e *Entry) markValid() {
 		if err := j.Validate(int(e.id)); err != nil {
 			panic("cache: journal write failed (simulated crash): " + err.Error())
 		}
+	}
+	if fn := e.store.observer; fn != nil {
+		fn("cache.refresh", int(e.id))
 	}
 }
 

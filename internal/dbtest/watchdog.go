@@ -6,6 +6,28 @@ import (
 	"time"
 )
 
+// Arm starts a timer that invokes fire once if the returned stop function
+// is not called within d. It is the watchdog's mechanism without the
+// test-failure policy, exported so the firing path itself is testable.
+// stop disarms the timer and waits for the timer goroutine to exit; it is
+// safe to call after the timer has fired.
+func Arm(d time.Duration, fire func()) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-done:
+		case <-time.After(d):
+			fire()
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
 // Watchdog fails the test with a full goroutine dump if it has not
 // finished within d — the deadlock alarm for concurrency tests, where a
 // lock-ordering bug otherwise surfaces as a silent package-level test
@@ -13,23 +35,21 @@ import (
 // function disarms it; callers typically defer it:
 //
 //	defer dbtest.Watchdog(t, 30*time.Second)()
-func Watchdog(t *testing.T, d time.Duration) (stop func()) {
+//
+// Optional hooks run, in order, after the watchdog fires but before the
+// goroutine dump — the place to snapshot diagnostic state (e.g. dump a
+// telemetry flight recorder) while the stalled goroutines still hold
+// whatever they are stuck on. A panicking hook loses the goroutine dump,
+// so hooks should be best-effort.
+func Watchdog(t *testing.T, d time.Duration, hooks ...func()) (stop func()) {
 	t.Helper()
-	done := make(chan struct{})
-	fired := make(chan struct{})
-	go func() {
-		defer close(fired)
-		select {
-		case <-done:
-		case <-time.After(d):
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Errorf("dbtest: watchdog fired after %v — likely deadlock; goroutines:\n%s", d, buf[:n])
-			panic("dbtest: watchdog timeout")
+	return Arm(d, func() {
+		for _, h := range hooks {
+			h()
 		}
-	}()
-	return func() {
-		close(done)
-		<-fired
-	}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("dbtest: watchdog fired after %v — likely deadlock; goroutines:\n%s", d, buf[:n])
+		panic("dbtest: watchdog timeout")
+	})
 }

@@ -1,0 +1,75 @@
+package dbtest
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestArmFiresOnStalledGoroutine stalls a goroutine on purpose and checks
+// the armed timer fires its hook — the dump path a deadlocked concurrency
+// test relies on.
+func TestArmFiresOnStalledGoroutine(t *testing.T) {
+	stall := make(chan struct{})
+	stalled := make(chan struct{})
+	go func() {
+		close(stalled)
+		<-stall // deliberately stuck until the test releases it
+	}()
+	<-stalled
+
+	fired := make(chan struct{})
+	stop := Arm(10*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed timer did not fire against a stalled goroutine")
+	}
+	stop() // disarming after the fact must not hang or panic
+	close(stall)
+}
+
+// TestArmDisarmedDoesNotFire checks stop beats the timer and waits for
+// the watchdog goroutine to exit.
+func TestArmDisarmedDoesNotFire(t *testing.T) {
+	var fired atomic.Bool
+	stop := Arm(time.Hour, func() { fired.Store(true) })
+	stop()
+	if fired.Load() {
+		t.Fatal("disarmed timer fired")
+	}
+}
+
+// TestWatchdogHooksNotRunWhenDisarmed checks the happy path: a test that
+// finishes in time never runs its dump hooks.
+func TestWatchdogHooksNotRunWhenDisarmed(t *testing.T) {
+	var hooked atomic.Bool
+	stop := Watchdog(t, time.Hour, func() { hooked.Store(true) })
+	stop()
+	if hooked.Load() {
+		t.Fatal("hook ran although the watchdog was disarmed in time")
+	}
+}
+
+// TestWatchdogHookOrder fires a watchdog-style hook chain via Arm and
+// checks hooks run in registration order before the firing completes.
+func TestWatchdogHookOrder(t *testing.T) {
+	hooks := []func(){}
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		hooks = append(hooks, func() { order = append(order, i) })
+	}
+	done := make(chan struct{})
+	stop := Arm(time.Millisecond, func() {
+		for _, h := range hooks {
+			h()
+		}
+		close(done)
+	})
+	<-done
+	stop()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("hooks ran out of order: %v", order)
+	}
+}

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbproc/internal/costmodel"
 	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 	"dbproc/internal/workload"
 )
 
@@ -32,8 +35,24 @@ type Options struct {
 	// Tracer, when non-nil, records one obs span per operation, named
 	// session.query / session.update and tagged with the session id and
 	// commit sequence. Spans are begun and ended under the world latch,
-	// so the tracer's LIFO discipline holds.
+	// so the tracer's LIFO discipline holds. When a Recorder is also
+	// installed, each span additionally carries a wall_wait_ns attribute
+	// (lock + latch wait, a wall-clock quantity absent from pure
+	// simulation traces).
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, streams flight events: op begin/commit,
+	// per-lock waits, lock release, and — via the observers the engine
+	// installs on the cache store — validity transitions. Nil keeps the
+	// hot path at one pointer check per site.
+	Recorder *telemetry.Recorder
+	// ProfileLocks enables the lock table's wall-clock contention
+	// profiler; Result.Contention then reports per-lock wait/hold stats.
+	ProfileLocks bool
+	// Sketches enables O(1)-memory P² latency sketches per session and
+	// run-wide, in both domains: wall-clock nanoseconds (lock wait +
+	// latched service) and simulated milliseconds (the op's metered
+	// cost). Summaries land in Result and SessionStats.
+	Sketches bool
 }
 
 // HistoryEntry is one committed operation in the run's history. Seq is
@@ -68,6 +87,11 @@ type SessionStats struct {
 	WaitNs    int64
 	ServiceNs int64
 	ThinkNs   int64
+	// WallLatency and SimLatency summarize this session's per-op latency
+	// sketches (wall-clock ns, simulated ms); zero unless
+	// Options.Sketches.
+	WallLatency telemetry.SketchSummary
+	SimLatency  telemetry.SketchSummary
 }
 
 // Result reports one concurrent run.
@@ -92,6 +116,13 @@ type Result struct {
 	// History is the committed operation history in commit order; empty
 	// unless Options.RecordHistory.
 	History []HistoryEntry
+	// Contention is the lock table's wall-clock contention profile,
+	// sorted by total wait time; empty unless Options.ProfileLocks.
+	Contention []LockContention
+	// WallLatency and SimLatency summarize the run-wide per-op latency
+	// sketches; zero unless Options.Sketches.
+	WallLatency telemetry.SketchSummary
+	SimLatency  telemetry.SketchSummary
 }
 
 // Percentile returns the p-th (0..100) latency percentile in
@@ -130,6 +161,7 @@ type Engine struct {
 	w     *sim.World
 	opt   Options
 	locks *LockTable
+	costs metric.Costs
 
 	// world is the substrate latch: the pager, disk, meter and every
 	// strategy structure hang off one simulated machine, so the body of
@@ -139,6 +171,18 @@ type Engine struct {
 	world sync.Mutex
 	seq   int
 	hist  []HistoryEntry
+	// curSession is the session currently holding the world latch; the
+	// cache observer reads it to attribute validity events (only ever
+	// accessed under the latch).
+	curSession int
+
+	// Live counters for the /metrics scrape (atomics: read off-thread).
+	inflight  atomic.Int64
+	committed atomic.Int64
+
+	// Run-wide latency sketches; nil unless Options.Sketches.
+	wallSk *telemetry.Sketch
+	simSk  *telemetry.Sketch
 }
 
 // New builds the world for cfg and an engine over it. The Config's
@@ -152,9 +196,25 @@ func New(cfg sim.Config, opt Options) *Engine {
 		opt.Clients = 1
 	}
 	w := sim.Build(cfg)
-	e := &Engine{w: w, opt: opt, locks: NewLockTable()}
+	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs(), curSession: -1}
 	if opt.Tracer != nil {
 		opt.Tracer.Bind(w.Meter())
+	}
+	if opt.ProfileLocks {
+		e.locks.EnableProfiling()
+	}
+	if opt.Sketches {
+		e.wallSk = telemetry.NewSketch()
+		e.simSk = telemetry.NewSketch()
+	}
+	if rec := opt.Recorder; rec != nil {
+		if store := w.CacheStore(); store != nil {
+			store.SetObserver(func(event string, id int) {
+				// Runs under the world latch (validity transitions happen
+				// inside ExecOp), so curSession is the responsible session.
+				rec.Op(event, e.curSession, -1, fmt.Sprintf("proc:%d", id), 0, 0)
+			})
+		}
 	}
 	return e
 }
@@ -230,15 +290,41 @@ func (e *Engine) Run(ctx context.Context) Result {
 		wg.Add(1)
 		go func(s int, myOps []workload.Op) {
 			defer wg.Done()
+			rec := e.opt.Recorder
+			var sessWall, sessSim *telemetry.Sketch
+			if e.opt.Sketches {
+				sessWall = telemetry.NewSketch()
+				sessSim = telemetry.NewSketch()
+				defer func() {
+					st.WallLatency = sessWall.Summary()
+					st.SimLatency = sessSim.Summary()
+				}()
+			}
 			for _, op := range myOps {
 				if ctx.Err() != nil {
 					return
 				}
+				var opName string
+				if rec != nil {
+					if op.Kind == workload.Query {
+						opName = fmt.Sprintf("query proc:%d", op.ProcID)
+					} else {
+						opName = "update"
+					}
+					rec.Op(telemetry.EvOpBegin, s, -1, opName, 0, 0)
+				}
+				e.inflight.Add(1)
 				opStart := time.Now()
 				held := e.locks.Acquire(e.footprint(op))
 				e.world.Lock()
 				waited := time.Since(opStart)
+				if rec != nil {
+					for _, lw := range held.Waits() {
+						rec.Op(telemetry.EvLockAcquire, s, -1, lw.Name, lw.WaitNs, 0)
+					}
+				}
 
+				e.curSession = s
 				before := e.w.Meter().Snapshot()
 				var sp *obs.Span
 				if t := e.opt.Tracer; t != nil {
@@ -250,6 +336,9 @@ func (e *Engine) Run(ctx context.Context) Result {
 					}
 					sp.Set("session", s)
 					sp.Set("seq", e.seq)
+					if rec != nil {
+						sp.Set("wall_wait_ns", int64(waited))
+					}
 				}
 				r := e.w.ExecOp(op)
 				e.opt.Tracer.End(sp)
@@ -267,9 +356,24 @@ func (e *Engine) Run(ctx context.Context) Result {
 					}
 					e.hist = append(e.hist, he)
 				}
+				e.curSession = -1
 				e.world.Unlock()
 				held.Release()
 				service := time.Since(opStart) - waited
+				e.inflight.Add(-1)
+				e.committed.Add(1)
+				if rec != nil {
+					rec.Op(telemetry.EvOpCommit, s, seq, opName, int64(waited), int64(service))
+					rec.Op(telemetry.EvLockRelease, s, seq, opName, 0, int64(waited+service))
+				}
+				if e.opt.Sketches {
+					wallNs := float64(waited + service)
+					simMs := delta.Milliseconds(e.costs)
+					e.wallSk.Observe(wallNs)
+					e.simSk.Observe(simMs)
+					sessWall.Observe(wallNs)
+					sessSim.Observe(simMs)
+				}
 
 				st.Ops++
 				if op.Kind == workload.Query {
@@ -311,5 +415,73 @@ func (e *Engine) Run(ctx context.Context) Result {
 	}
 	res.SimTotalMs = res.Counters.Milliseconds(e.w.Meter().Costs())
 	res.History = e.hist
+	if e.opt.ProfileLocks {
+		res.Contention = e.locks.Contention()
+	}
+	if e.opt.Sketches {
+		res.WallLatency = e.wallSk.Summary()
+		res.SimLatency = e.simSk.Summary()
+	}
 	return res
+}
+
+// Locks exposes the engine's lock table (for contention snapshots while
+// a run is live).
+func (e *Engine) Locks() *LockTable { return e.locks }
+
+// TelemetryMetrics implements telemetry.Source: the engine's live
+// /metrics samples. Safe to call from a scrape goroutine during Run —
+// the counters are atomics, the lock profile is an atomic snapshot, and
+// the simulated-cost counters are read only if the world latch is free
+// at scrape time (a busy latch skips them rather than stalling a
+// session).
+func (e *Engine) TelemetryMetrics() []telemetry.Metric {
+	ms := []telemetry.Metric{
+		telemetry.Gauge("dbproc_sessions", "Configured client sessions.", float64(e.opt.Clients), nil),
+		telemetry.Gauge("dbproc_sessions_inflight", "Sessions currently acquiring locks or executing.",
+			float64(e.inflight.Load()), nil),
+		telemetry.Counter("dbproc_ops_committed_total", "Operations committed.",
+			float64(e.committed.Load()), nil),
+	}
+	for _, c := range e.locks.Contention() {
+		lbl := map[string]string{"lock": c.Name}
+		ms = append(ms,
+			telemetry.Counter("dbproc_lock_acquires_total", "Lock acquisitions.", float64(c.Acquires), lbl),
+			telemetry.Counter("dbproc_lock_contended_total", "Lock acquisitions that waited.", float64(c.Contended), lbl),
+			telemetry.Counter("dbproc_lock_wait_seconds_total", "Wall-clock lock wait.", float64(c.WaitNs)/1e9, lbl),
+			telemetry.Counter("dbproc_lock_hold_seconds_total", "Wall-clock lock hold.", float64(c.HoldNs)/1e9, lbl),
+		)
+	}
+	if e.opt.Sketches {
+		for _, q := range e.wallSk.Quantiles() {
+			lbl := map[string]string{"quantile": fmt.Sprintf("%g", q)}
+			ms = append(ms,
+				telemetry.Gauge("dbproc_op_latency_wall_ns", "Per-op wall-clock latency (P² estimate).",
+					e.wallSk.Quantile(q), lbl),
+				telemetry.Gauge("dbproc_op_latency_sim_ms", "Per-op simulated cost (P² estimate).",
+					e.simSk.Quantile(q), lbl),
+			)
+		}
+	}
+	// Simulated-cost counters live behind the world latch; TryLock so a
+	// scrape never blocks a session mid-operation.
+	if e.world.TryLock() {
+		c := e.w.Meter().Snapshot()
+		e.world.Unlock()
+		for _, s := range []struct {
+			event string
+			n     int64
+		}{
+			{"page_read", c.PageReads},
+			{"page_write", c.PageWrites},
+			{"screen", c.Screens},
+			{"delta_op", c.DeltaOps},
+			{"invalidation", c.Invalidations},
+		} {
+			ms = append(ms, telemetry.Counter("dbproc_sim_events_total",
+				"Simulated cost events by kind.", float64(s.n),
+				map[string]string{"event": s.event}))
+		}
+	}
+	return ms
 }

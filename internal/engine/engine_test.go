@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"dbproc/internal/costmodel"
 	"dbproc/internal/dbtest"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 )
 
 // testConfig is a scaled-down parameter point: populations small enough
@@ -209,8 +212,23 @@ func TestOracleRejectsCorruptedHistory(t *testing.T) {
 // TestRaceStress is the soak: 8 sessions per caching strategy and model
 // with think time enabled, meant to run under -race (scripts/verify.sh
 // tier 3 does). Short mode trims the matrix.
+//
+// The soak runs with the flight recorder attached and a watchdog hook
+// that records a watchdog.fire event on a stall: because watchdog.fire is
+// an auto-dump trigger, a deadlocked soak leaves a flight dump on disk
+// (render with procstat -flight) before the goroutine dump panics.
 func TestRaceStress(t *testing.T) {
-	defer dbtest.Watchdog(t, 4*time.Minute)()
+	rec := telemetry.NewRecorder(1 << 14)
+	dumpPath := filepath.Join(os.TempDir(), fmt.Sprintf("dbproc-race-stress-flight-%d.jsonl", os.Getpid()))
+	rec.SetAutoDumpFile(dumpPath)
+	defer dbtest.Watchdog(t, 4*time.Minute, func() {
+		rec.Record(telemetry.Event{
+			Kind:    telemetry.EvWatchdog,
+			Session: -1,
+			Seq:     -1,
+			Detail:  "race-stress soak stalled; flight dump at " + dumpPath,
+		})
+	})()
 	models := []costmodel.Model{costmodel.Model1, costmodel.Model2}
 	if testing.Short() {
 		models = models[:1]
@@ -219,7 +237,7 @@ func TestRaceStress(t *testing.T) {
 		for _, model := range models {
 			t.Run(fmt.Sprintf("%v/%v", strat, model), func(t *testing.T) {
 				cfg := testConfig(strat, model, 31337, 24, 40)
-				e := New(cfg, Options{Clients: 8, ThinkMeanMs: 0.2})
+				e := New(cfg, Options{Clients: 8, ThinkMeanMs: 0.2, Recorder: rec, ProfileLocks: true})
 				res := e.Run(context.Background())
 				if res.Ops != 64 {
 					t.Fatalf("ran %d ops, want 64", res.Ops)

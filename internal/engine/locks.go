@@ -23,6 +23,10 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbproc/internal/telemetry"
 )
 
 // RelLock names the lock-table resource for a base relation.
@@ -87,42 +91,111 @@ const lockShards = 16
 // LockTable is a table of named reader/writer locks, sharded by name
 // hash. Locks are created on first use and live for the table's lifetime
 // (the name space — relations plus cache entries — is small and fixed).
+//
+// With EnableProfiling the table additionally streams per-lock wall-clock
+// wait/hold statistics (the contention profiler); disabled, Acquire and
+// Release take the exact pre-profiler path — no clock reads, no atomics —
+// so the zero-telemetry cost stays at seed level (tier-4 guard).
 type LockTable struct {
-	seed   maphash.Seed
-	shards [lockShards]lockShard
+	seed    maphash.Seed
+	shards  [lockShards]lockShard
+	profile bool
+}
+
+// namedLock is one named RWMutex plus its streaming contention profile.
+// The counters are atomics: waiters on other locks update them while the
+// mutex itself is held or contended.
+type namedLock struct {
+	mu   sync.RWMutex
+	name string
+
+	acquires  atomic.Int64
+	exclusive atomic.Int64
+	contended atomic.Int64
+	waitNs    atomic.Int64
+	holdNs    atomic.Int64
+	maxWaitNs atomic.Int64
+	maxHoldNs atomic.Int64
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 type lockShard struct {
 	mu    sync.Mutex
-	locks map[string]*sync.RWMutex
+	locks map[string]*namedLock
 }
 
 // NewLockTable returns an empty table.
 func NewLockTable() *LockTable {
 	t := &LockTable{seed: maphash.MakeSeed()}
 	for i := range t.shards {
-		t.shards[i].locks = make(map[string]*sync.RWMutex)
+		t.shards[i].locks = make(map[string]*namedLock)
 	}
 	return t
 }
 
+// EnableProfiling turns the contention profiler on. Call before any
+// Acquire races it (the engine sets it at construction time): the flag
+// is read without synchronization on the hot path.
+func (t *LockTable) EnableProfiling() { t.profile = true }
+
+// Profiling reports whether the contention profiler is on.
+func (t *LockTable) Profiling() bool { return t.profile }
+
 // lock returns the lock for name, creating it if needed.
-func (t *LockTable) lock(name string) *sync.RWMutex {
+func (t *LockTable) lock(name string) *namedLock {
 	s := &t.shards[maphash.String(t.seed, name)%lockShards]
 	s.mu.Lock()
 	l := s.locks[name]
 	if l == nil {
-		l = &sync.RWMutex{}
+		l = &namedLock{name: name}
 		s.locks[name] = l
 	}
 	s.mu.Unlock()
 	return l
 }
 
-// Held is a set of acquired locks; Release drops them all.
+// LockWait reports one lock's wall-clock acquisition wait within a Held
+// set (profiling runs only; zero waits are omitted).
+type LockWait struct {
+	Name   string
+	WaitNs int64
+}
+
+// Held is a set of acquired locks; Release drops them all. Profiling
+// state lives behind one pointer, and inline backs locks for typical
+// footprints, so a profiling-off Acquire costs one allocation — the same
+// count as the pre-profiler path (tier-4 overhead guard).
 type Held struct {
-	locks []*sync.RWMutex
-	excl  []bool
+	locks  []*namedLock
+	excl   []bool
+	prof   *heldProf
+	inline [4]*namedLock
+}
+
+// lockSlots returns storage for n acquired locks, using the inline array
+// when the footprint is small.
+func (h *Held) lockSlots(n int) []*namedLock {
+	if n <= len(h.inline) {
+		return h.inline[:n]
+	}
+	return make([]*namedLock, n)
+}
+
+// heldProf is a Held's profiling state: when each lock was acquired (for
+// hold measurement) and the nonzero waits observed during acquisition.
+type heldProf struct {
+	epoch    time.Time
+	acquired []int64 // ns offsets from epoch
+	waits    []LockWait
 }
 
 // Acquire takes every lock in the footprint — shared or exclusive as
@@ -132,28 +205,159 @@ type Held struct {
 // write set up front (conservative two-phase locking).
 func (t *LockTable) Acquire(f Footprint) *Held {
 	f.normalize()
-	h := &Held{locks: make([]*sync.RWMutex, len(f.names)), excl: f.excl}
+	h := &Held{excl: f.excl}
+	h.locks = h.lockSlots(len(f.names))
+	if !t.profile {
+		for i, name := range f.names {
+			l := t.lock(name)
+			if f.excl[i] {
+				l.mu.Lock()
+			} else {
+				l.mu.RLock()
+			}
+			h.locks[i] = l
+		}
+		return h
+	}
+
+	// Profiling path: TryLock first so uncontended acquisitions cost two
+	// clock reads and no blocking; only actual waits are timed.
+	p := &heldProf{epoch: time.Now(), acquired: make([]int64, len(f.names))}
+	h.prof = p
 	for i, name := range f.names {
 		l := t.lock(name)
+		var wait int64
 		if f.excl[i] {
-			l.Lock()
+			if !l.mu.TryLock() {
+				t0 := time.Now()
+				l.mu.Lock()
+				wait = time.Since(t0).Nanoseconds()
+			}
+			l.exclusive.Add(1)
 		} else {
-			l.RLock()
+			if !l.mu.TryRLock() {
+				t0 := time.Now()
+				l.mu.RLock()
+				wait = time.Since(t0).Nanoseconds()
+			}
 		}
+		l.acquires.Add(1)
+		if wait > 0 {
+			l.contended.Add(1)
+			l.waitNs.Add(wait)
+			atomicMax(&l.maxWaitNs, wait)
+			p.waits = append(p.waits, LockWait{Name: name, WaitNs: wait})
+		}
+		p.acquired[i] = time.Since(p.epoch).Nanoseconds()
 		h.locks[i] = l
 	}
 	return h
 }
 
+// Waits returns the nonzero wall-clock waits incurred acquiring this
+// set, in acquisition order (profiling runs only).
+func (h *Held) Waits() []LockWait {
+	if h.prof == nil {
+		return nil
+	}
+	return h.prof.waits
+}
+
 // Release drops the held locks in reverse acquisition order.
 func (h *Held) Release() {
+	var heldNs []int64
+	if p := h.prof; p != nil {
+		now := time.Since(p.epoch).Nanoseconds()
+		heldNs = make([]int64, len(h.locks))
+		for i := range h.locks {
+			heldNs[i] = now - p.acquired[i]
+		}
+	}
 	for i := len(h.locks) - 1; i >= 0; i-- {
 		if h.excl[i] {
-			h.locks[i].Unlock()
+			h.locks[i].mu.Unlock()
 		} else {
-			h.locks[i].RUnlock()
+			h.locks[i].mu.RUnlock()
+		}
+		if heldNs != nil {
+			h.locks[i].holdNs.Add(heldNs[i])
+			atomicMax(&h.locks[i].maxHoldNs, heldNs[i])
 		}
 	}
 	h.locks = nil
 	h.excl = nil
+	h.prof = nil
+}
+
+// LockContention is one lock's accumulated contention profile.
+type LockContention struct {
+	Name      string
+	Acquires  int64
+	Exclusive int64
+	Contended int64
+	WaitNs    int64
+	HoldNs    int64
+	MaxWaitNs int64
+	MaxHoldNs int64
+}
+
+// Contention snapshots every lock's profile, sorted by total wait time
+// (descending) then name. Empty when profiling is off or nothing was
+// acquired. Safe to call while a run is live — the counters are atomics,
+// so a mid-run snapshot is approximate but internally consistent per
+// counter.
+func (t *LockTable) Contention() []LockContention {
+	var out []LockContention
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, l := range s.locks {
+			if n := l.acquires.Load(); n > 0 {
+				out = append(out, LockContention{
+					Name:      l.name,
+					Acquires:  n,
+					Exclusive: l.exclusive.Load(),
+					Contended: l.contended.Load(),
+					WaitNs:    l.waitNs.Load(),
+					HoldNs:    l.holdNs.Load(),
+					MaxWaitNs: l.maxWaitNs.Load(),
+					MaxHoldNs: l.maxHoldNs.Load(),
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitNs != out[j].WaitNs {
+			return out[i].WaitNs > out[j].WaitNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ContentionJSON converts a contention profile to its export form,
+// computing each lock's share of the total wait time.
+func ContentionJSON(cs []LockContention) []telemetry.LockContentionJSON {
+	var totalWait int64
+	for _, c := range cs {
+		totalWait += c.WaitNs
+	}
+	out := make([]telemetry.LockContentionJSON, len(cs))
+	for i, c := range cs {
+		out[i] = telemetry.LockContentionJSON{
+			Name:      c.Name,
+			Acquires:  c.Acquires,
+			Exclusive: c.Exclusive,
+			Contended: c.Contended,
+			WaitMs:    float64(c.WaitNs) / 1e6,
+			HoldMs:    float64(c.HoldNs) / 1e6,
+			MaxWaitUs: float64(c.MaxWaitNs) / 1e3,
+			MaxHoldUs: float64(c.MaxHoldNs) / 1e3,
+		}
+		if totalWait > 0 {
+			out[i].WaitShare = float64(c.WaitNs) / float64(totalWait)
+		}
+	}
+	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"dbproc/internal/costmodel"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 	"dbproc/internal/workload"
 )
 
@@ -29,6 +30,28 @@ type SerializabilityReport struct {
 	// the deepest serial prefix the search extended and the first
 	// operation of each session that no extension could accommodate.
 	Window string
+	// BlockedSeqs holds the commit sequence of each operation blocked at
+	// the deepest frontier — the machine-readable form of Window, which
+	// procstat aligns against a flight-recorder timeline.
+	BlockedSeqs []int
+}
+
+// RecordViolation records a failed serializability report as a flight
+// event (kind oracle.violation), carrying the window description and the
+// blocked frontier's commit sequences; recording it triggers the
+// recorder's automatic dump. No-op for serializable reports or a nil
+// recorder.
+func RecordViolation(rec *telemetry.Recorder, rep SerializabilityReport) {
+	if rec == nil || rep.Serializable {
+		return
+	}
+	rec.Record(telemetry.Event{
+		Kind:    telemetry.EvViolation,
+		Session: -1,
+		Seq:     -1,
+		Detail:  rep.Window,
+		Seqs:    append([]int(nil), rep.BlockedSeqs...),
+	})
 }
 
 // CheckSerializable replays the history of a concurrent run against a
@@ -79,6 +102,7 @@ func CheckSerializable(cfg sim.Config, hist []HistoryEntry, budget int) Serializ
 		return rep
 	}
 	rep.Window = c.window()
+	rep.BlockedSeqs = append([]int(nil), c.bestBlockedSeqs...)
 	return rep
 }
 
@@ -91,10 +115,11 @@ type checker struct {
 	order    []int
 	// Failure diagnostics: the deepest depth any path reached, the
 	// progress vector there, and the per-session blocked ops.
-	bestDepth    int
-	bestProgress []int
-	bestBlocked  []string
-	exhausted    bool
+	bestDepth       int
+	bestProgress    []int
+	bestBlocked     []string
+	bestBlockedSeqs []int
+	exhausted       bool
 }
 
 // stateKey fingerprints a search state: progress vector + base tables.
@@ -123,6 +148,7 @@ func (c *checker) dfs(progress []int, depth, total int) bool {
 	c.states++
 
 	var blocked []string
+	var blockedSeqs []int
 	for s := range c.sessions {
 		if progress[s] >= len(c.sessions[s]) {
 			continue
@@ -145,6 +171,7 @@ func (c *checker) dfs(progress []int, depth, total int) bool {
 				blocked = append(blocked,
 					fmt.Sprintf("session %d op %d (seq %d): access(%d) matches no reachable base state",
 						s, progress[s], he.Seq, he.Op.ProcID))
+				blockedSeqs = append(blockedSeqs, he.Seq)
 				continue
 			}
 			progress[s]++
@@ -160,6 +187,7 @@ func (c *checker) dfs(progress []int, depth, total int) bool {
 		c.bestDepth = depth
 		c.bestProgress = append(c.bestProgress[:0], progress...)
 		c.bestBlocked = blocked
+		c.bestBlockedSeqs = blockedSeqs
 	}
 	return false
 }

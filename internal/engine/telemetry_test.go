@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/dbtest"
+	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
+)
+
+// fullTelemetry is the everything-on option set used by these tests.
+func fullTelemetry(clients int, rec *telemetry.Recorder) Options {
+	return Options{
+		Clients:       clients,
+		RecordHistory: true,
+		Recorder:      rec,
+		ProfileLocks:  true,
+		Sketches:      true,
+	}
+}
+
+// TestTelemetryPreservesSequentialIdentity is the safety gate for this
+// PR: with every telemetry feature enabled, a 1-client run must still be
+// byte-identical to the sequential simulator — observation must not
+// perturb the simulated machine.
+func TestTelemetryPreservesSequentialIdentity(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	cfg := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 41, 15, 25)
+	seq := sim.Run(cfg)
+	e := New(cfg, fullTelemetry(1, telemetry.NewRecorder(4096)))
+	got := e.Run(context.Background())
+	if got.Counters != seq.Counters {
+		t.Fatalf("telemetry perturbed counters:\n got %v\nwant %v", got.Counters, seq.Counters)
+	}
+	if got.SimTotalMs != seq.TotalMs {
+		t.Fatalf("telemetry perturbed cost: got %v want %v", got.SimTotalMs, seq.TotalMs)
+	}
+}
+
+func TestFlightRecorderCapturesRun(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	rec := telemetry.NewRecorder(1 << 14)
+	cfg := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 19, 12, 20)
+	e := New(cfg, fullTelemetry(4, rec))
+	res := e.Run(context.Background())
+
+	var buf bytes.Buffer
+	if err := rec.DumpJSONL(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := telemetry.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	commits := map[int]bool{}
+	for _, ev := range d.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == telemetry.EvOpCommit {
+			if ev.Seq < 0 || ev.Session < 0 || ev.Session >= 4 {
+				t.Fatalf("commit event missing attribution: %+v", ev)
+			}
+			commits[ev.Seq] = true
+		}
+	}
+	if kinds[telemetry.EvOpBegin] != res.Ops || kinds[telemetry.EvOpCommit] != res.Ops {
+		t.Fatalf("begin/commit counts %d/%d, want %d each (kinds: %v)",
+			kinds[telemetry.EvOpBegin], kinds[telemetry.EvOpCommit], res.Ops, kinds)
+	}
+	for seq := 0; seq < res.Ops; seq++ {
+		if !commits[seq] {
+			t.Fatalf("no commit event for seq %d", seq)
+		}
+	}
+	// Cache and Invalidate flips validity: the observer feed must appear.
+	if kinds["cache.invalidate"] == 0 || kinds["cache.refresh"] == 0 {
+		t.Fatalf("no cache observer events (kinds: %v)", kinds)
+	}
+
+	// The timeline renders without error and mentions a commit.
+	buf.Reset()
+	rec.Timeline(&buf)
+	if !strings.Contains(buf.String(), telemetry.EvOpCommit) {
+		t.Fatalf("timeline missing commits:\n%.400s", buf.String())
+	}
+}
+
+func TestContentionProfile(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	cfg := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 23, 16, 24)
+	e := New(cfg, fullTelemetry(8, nil))
+	res := e.Run(context.Background())
+
+	if len(res.Contention) == 0 {
+		t.Fatal("profiling run reported no lock activity")
+	}
+	var totalAcquires, totalWait int64
+	seen := map[string]bool{}
+	for _, c := range res.Contention {
+		if seen[c.Name] {
+			t.Fatalf("lock %q appears twice", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Contended > c.Acquires || c.Exclusive > c.Acquires {
+			t.Fatalf("inconsistent profile: %+v", c)
+		}
+		if c.WaitNs > 0 && c.Contended == 0 {
+			t.Fatalf("wait without contention: %+v", c)
+		}
+		if c.MaxWaitNs > 0 && c.WaitNs < c.MaxWaitNs {
+			t.Fatalf("max wait exceeds total: %+v", c)
+		}
+		totalAcquires += c.Acquires
+		totalWait += c.WaitNs
+	}
+	if !seen[RelLock("r1")] {
+		t.Fatalf("r1 lock missing from profile: %v", res.Contention)
+	}
+	// Sorted by wait descending.
+	for i := 1; i < len(res.Contention); i++ {
+		if res.Contention[i].WaitNs > res.Contention[i-1].WaitNs {
+			t.Fatal("contention not sorted by wait")
+		}
+	}
+	// Export form: shares sum to 1 when any wait occurred.
+	rows := ContentionJSON(res.Contention)
+	var share float64
+	for _, r := range rows {
+		share += r.WaitShare
+	}
+	if totalWait > 0 && (share < 0.999 || share > 1.001) {
+		t.Fatalf("wait shares sum to %v", share)
+	}
+	if totalWait == 0 && share != 0 {
+		t.Fatalf("no wait but share %v", share)
+	}
+
+	// Latency sketches cover every op in both domains.
+	if res.WallLatency.Count != int64(res.Ops) || res.SimLatency.Count != int64(res.Ops) {
+		t.Fatalf("sketch counts %d/%d, want %d", res.WallLatency.Count, res.SimLatency.Count, res.Ops)
+	}
+	if res.SimLatency.Max <= 0 || res.WallLatency.P50 <= 0 {
+		t.Fatalf("degenerate sketches: wall=%+v sim=%+v", res.WallLatency, res.SimLatency)
+	}
+	var sessOps int64
+	for _, st := range res.Sessions {
+		sessOps += st.WallLatency.Count
+		if st.WallLatency.Count != int64(st.Ops) {
+			t.Fatalf("session %d sketch count %d, ops %d", st.Session, st.WallLatency.Count, st.Ops)
+		}
+	}
+	if sessOps != int64(res.Ops) {
+		t.Fatalf("session sketch counts sum to %d, want %d", sessOps, res.Ops)
+	}
+}
+
+func TestTelemetryMetricsSource(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	cfg := testConfig(costmodel.UpdateCacheAVM, costmodel.Model1, 29, 10, 16)
+	e := New(cfg, fullTelemetry(4, nil))
+	res := e.Run(context.Background())
+
+	ms := e.TelemetryMetrics()
+	byName := map[string][]telemetry.Metric{}
+	for _, m := range ms {
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	if got := byName["dbproc_ops_committed_total"][0].Value; got != float64(res.Ops) {
+		t.Fatalf("committed = %v, want %d", got, res.Ops)
+	}
+	if got := byName["dbproc_sessions_inflight"][0].Value; got != 0 {
+		t.Fatalf("inflight after run = %v", got)
+	}
+	// Per-lock samples must agree with the contention profile.
+	waits := map[string]float64{}
+	for _, m := range byName["dbproc_lock_wait_seconds_total"] {
+		waits[m.Labels["lock"]] = m.Value
+	}
+	for _, c := range res.Contention {
+		if got := waits[c.Name]; got != float64(c.WaitNs)/1e9 {
+			t.Fatalf("lock %s wait %v, profile %v", c.Name, got, float64(c.WaitNs)/1e9)
+		}
+	}
+	// Sketch quantile gauges exist for both domains.
+	if len(byName["dbproc_op_latency_wall_ns"]) != 4 || len(byName["dbproc_op_latency_sim_ms"]) != 4 {
+		t.Fatalf("quantile gauges: %d wall, %d sim",
+			len(byName["dbproc_op_latency_wall_ns"]), len(byName["dbproc_op_latency_sim_ms"]))
+	}
+	// Simulated counters (latch is free post-run) match the result.
+	evs := map[string]float64{}
+	for _, m := range byName["dbproc_sim_events_total"] {
+		evs[m.Labels["event"]] = m.Value
+	}
+	if evs["page_read"] != float64(res.Counters.PageReads) || evs["screen"] != float64(res.Counters.Screens) {
+		t.Fatalf("sim events %v vs counters %v", evs, res.Counters)
+	}
+
+	// And the whole set renders as Prometheus text.
+	var buf bytes.Buffer
+	telemetry.WriteMetrics(&buf, ms)
+	if !strings.Contains(buf.String(), "dbproc_ops_committed_total") {
+		t.Fatalf("render:\n%.300s", buf.String())
+	}
+}
+
+// TestViolationTriggersFlightDump wires the oracle to the recorder the
+// way verify.sh's soak does: a non-serializable verdict must auto-dump a
+// flight file whose violation event procstat can align (Seqs present in
+// the dumped timeline).
+func TestViolationTriggersFlightDump(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	rec := telemetry.NewRecorder(1 << 12)
+	var dump bytes.Buffer
+	rec.SetAutoDumpWriter(&dump)
+
+	cfg := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 7, 6, 10)
+	e := New(cfg, fullTelemetry(2, rec))
+	res := e.Run(context.Background())
+
+	for i := range res.History {
+		if res.History[i].Result != nil {
+			res.History[i].Result = append([]byte(nil), res.History[i].Result...)
+			res.History[i].Result[0] ^= 0xFF
+			break
+		}
+	}
+	rep := CheckSerializable(cfg, res.History, 0)
+	if rep.Serializable {
+		t.Fatal("oracle accepted a corrupted history")
+	}
+	if len(rep.BlockedSeqs) == 0 {
+		t.Fatal("report carries no blocked seqs")
+	}
+	RecordViolation(rec, rep)
+	if dump.Len() == 0 {
+		t.Fatal("violation did not auto-dump")
+	}
+	d, err := telemetry.ReadDump(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := d.Violations()
+	if len(vs) != 1 || vs[0].Detail == "" {
+		t.Fatalf("violations in dump: %+v", vs)
+	}
+	if len(vs[0].Seqs) != len(rep.BlockedSeqs) {
+		t.Fatalf("dumped seqs %v, report %v", vs[0].Seqs, rep.BlockedSeqs)
+	}
+	// The blocked seqs must reference ops whose commit events are in the
+	// same dump — the alignment procstat renders.
+	blocked := map[int]bool{}
+	for _, s := range vs[0].Seqs {
+		blocked[s] = true
+	}
+	matched := 0
+	for _, ev := range d.Events {
+		if ev.Kind == telemetry.EvOpCommit && blocked[ev.Seq] {
+			matched++
+		}
+	}
+	if matched != len(blocked) {
+		t.Fatalf("only %d of %d blocked seqs have commit events in the dump", matched, len(blocked))
+	}
+	// RecordViolation is a no-op on serializable reports and nil recorders.
+	dump.Reset()
+	RecordViolation(rec, SerializabilityReport{Serializable: true})
+	RecordViolation(nil, rep)
+	if dump.Len() != 0 {
+		t.Fatal("no-op cases dumped")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/engine"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 )
 
 // ConcurrentBenchReport is the shape of BENCH_concurrent.json: for each
@@ -51,6 +52,14 @@ type ConcurrentBenchRow struct {
 	// MatchesSequential is set on one-client rows: counters, tuple counts
 	// and simulated cost equal the sequential simulator's byte for byte.
 	MatchesSequential bool `json:"matches_sequential,omitempty"`
+	// WallLatency / SimLatency summarize per-operation latency from the
+	// engine's streaming P² sketches: wall-clock nanoseconds (lock wait +
+	// latched service) and simulated milliseconds.
+	WallLatency telemetry.SketchSummary `json:"wall_latency"`
+	SimLatency  telemetry.SketchSummary `json:"sim_latency"`
+	// Contention is the run's per-lock wall-clock contention profile,
+	// sorted by total wait time descending.
+	Contention []telemetry.LockContentionJSON `json:"contention,omitempty"`
 }
 
 // concurrentBenchParams is the measured workload: the paper's default
@@ -107,7 +116,19 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 				if ctx.Err() != nil {
 					return rep
 				}
-				e := engine.New(cfg, engine.Options{Clients: clients, ThinkMeanMs: think})
+				eopt := engine.Options{
+					Clients:      clients,
+					ThinkMeanMs:  think,
+					ProfileLocks: true,
+					Sketches:     true,
+				}
+				if opt.Hub != nil {
+					eopt.Recorder = opt.Hub.Recorder()
+				}
+				e := engine.New(cfg, eopt)
+				if opt.Hub != nil {
+					opt.Hub.SetSource(e)
+				}
 				res := e.Run(ctx)
 				row := ConcurrentBenchRow{
 					Strategy:      strat.String(),
@@ -117,6 +138,9 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 					P50LatencyUs:  float64(res.Percentile(50)) / float64(time.Microsecond),
 					P95LatencyUs:  float64(res.Percentile(95)) / float64(time.Microsecond),
 					SimTotalMs:    res.SimTotalMs,
+					WallLatency:   res.WallLatency,
+					SimLatency:    res.SimLatency,
+					Contention:    engine.ContentionJSON(res.Contention),
 				}
 				if i == 0 {
 					base = res.Throughput

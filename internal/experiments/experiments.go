@@ -18,6 +18,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/parallel"
 	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
 )
 
 // Options control experiment execution.
@@ -44,6 +45,10 @@ type Options struct {
 	// time between operations (exponential); zero disables thinking and
 	// measures pure contention.
 	ThinkMeanMs float64
+	// Hub, when non-nil, exposes each concurrent-benchmark engine live:
+	// the engine becomes the hub's /metrics source and its events stream
+	// into the hub's flight recorder (procbench -listen).
+	Hub *telemetry.Hub
 }
 
 // Table is one rendered result: a titled grid of cells.

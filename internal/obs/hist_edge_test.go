@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantileEmpty: an empty histogram answers 0 for every
+// quantile instead of panicking or reporting a bucket edge.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var b strings.Builder
+	h.Render(&b)
+	if !strings.Contains(b.String(), "no observations") {
+		t.Fatalf("empty render: %q", b.String())
+	}
+}
+
+// TestHistogramQuantileSingleSample: with one observation every quantile
+// collapses to it (clamped to max, never a wider bucket edge).
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(7)
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7 (the only sample)", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileFull: q = 1.0 is the max, and tiny q still ranks
+// at least the first observation.
+func TestHistogramQuantileFull(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 4.9} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(1); got != 4.9 {
+		t.Fatalf("Quantile(1) = %v, want observed max 4.9", got)
+	}
+	// Rank clamps to >= 1: an absurdly small q reports the first bucket.
+	if got := h.Quantile(1e-9); got != 1 {
+		t.Fatalf("Quantile(1e-9) = %v, want first bucket edge 1", got)
+	}
+}
+
+// TestHistogramQuantileAllOverflow: every observation above the last
+// bound lands in the overflow bucket, whose reported edge is the observed
+// max — quantiles must stay finite and ordered.
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for _, v := range []float64{10, 20, 30} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 30 {
+			t.Fatalf("overflow Quantile(%v) = %v, want max 30", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone: quantiles are non-decreasing in q and
+// each is an upper bound for the exact value of its rank — the guarantee
+// the telemetry package's P² sketch is cross-checked against.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(nil)
+	vals := []float64{0.3, 0.9, 1.4, 3, 7, 7, 18, 44, 130, 820}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+		exact := vals[int(q*float64(len(vals))+0.999)-1]
+		if got < exact {
+			t.Fatalf("Quantile(%v) = %v below exact rank value %v", q, got, exact)
+		}
+	}
+}

@@ -86,6 +86,10 @@ func NewAdaptive(mgr *Manager, meter *metric.Meter, store *cache.Store) *Adaptiv
 // Name implements Strategy.
 func (s *Adaptive) Name() string { return "Adaptive Caching" }
 
+// CacheStore exposes the strategy's cache store (telemetry observers
+// attach here).
+func (s *Adaptive) CacheStore() *cache.Store { return s.store }
+
 // SetTracer attaches a tracer; accesses then tag the enclosing op span
 // with the mode taken (hit, cold, or bypass).
 func (s *Adaptive) SetTracer(t *obs.Tracer) { s.tracer = t }

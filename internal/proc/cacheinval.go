@@ -59,6 +59,10 @@ func NewCacheInvalidate(mgr *Manager, meter *metric.Meter, store *cache.Store) *
 // Name implements Strategy.
 func (s *CacheInvalidate) Name() string { return "Cache and Invalidate" }
 
+// CacheStore exposes the strategy's cache store (telemetry observers
+// attach here).
+func (s *CacheInvalidate) CacheStore() *cache.Store { return s.store }
+
 // Prepare implements Strategy: define and warm every cache entry, setting
 // its i-locks. Run with charging disabled.
 func (s *CacheInvalidate) Prepare() {

@@ -37,6 +37,10 @@ func NewUpdateCache(mgr *Manager, store *cache.Store, maint Maintainer) *UpdateC
 // Name implements Strategy.
 func (s *UpdateCache) Name() string { return "Update Cache (" + s.maint.Name() + ")" }
 
+// CacheStore exposes the strategy's cache store (telemetry observers
+// attach here).
+func (s *UpdateCache) CacheStore() *cache.Store { return s.store }
+
 // SetTracer forwards the tracer to the maintenance engine if it accepts
 // one; the strategy's own work (a cache read per access) needs no child
 // spans of its own.

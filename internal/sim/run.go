@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dbproc/internal/cache"
 	"dbproc/internal/costmodel"
 	"dbproc/internal/metric"
 	"dbproc/internal/proc"
@@ -313,3 +314,13 @@ func (w *World) ProcRelations(id int) []string {
 
 // Meter returns the world's cost meter.
 func (w *World) Meter() *metric.Meter { return w.meter }
+
+// CacheStore returns the strategy's cache store, or nil for strategies
+// holding no cached state (Always Recompute). The concurrent engine
+// attaches telemetry observers here.
+func (w *World) CacheStore() *cache.Store {
+	if s, ok := w.strat.(interface{ CacheStore() *cache.Store }); ok {
+		return s.CacheStore()
+	}
+	return nil
+}

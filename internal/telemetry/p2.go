@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// P2 is the Jain & Chlamtac P² streaming estimator for one quantile:
+// five markers track the running min, max, the target quantile and its
+// half-way neighbors, adjusted per observation with a piecewise-parabolic
+// height update. Memory is O(1) and each Observe is O(1), so a sketch
+// can ride inside every session of a soak without growing.
+type P2 struct {
+	q     float64
+	count int64
+	// pos are the markers' current positions (1-based observation ranks),
+	// want their desired positions, h their heights (value estimates).
+	pos  [5]float64
+	want [5]float64
+	inc  [5]float64
+	h    [5]float64
+}
+
+// NewP2 returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("telemetry: P2 quantile %v out of (0, 1)", q))
+	}
+	p := &P2{q: q}
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Observe feeds one value.
+func (p *P2) Observe(v float64) {
+	p.count++
+	if p.count <= 5 {
+		p.h[p.count-1] = v
+		if p.count == 5 {
+			sort.Float64s(p.h[:])
+		}
+		return
+	}
+
+	// Find the cell k holding v, stretching the extremes if needed.
+	var k int
+	switch {
+	case v < p.h[0]:
+		p.h[0] = v
+		k = 0
+	case v >= p.h[4]:
+		p.h[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < p.h[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			hp := p.parabolic(i, s)
+			if p.h[i-1] < hp && hp < p.h[i+1] {
+				p.h[i] = hp
+			} else {
+				p.h[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by d (±1).
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.h[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots
+// a neighbor.
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.h[i] + d*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Count returns the observations fed so far.
+func (p *P2) Count() int64 { return p.count }
+
+// Value returns the current quantile estimate (exact while count <= 5).
+func (p *P2) Value() float64 {
+	if p.count == 0 {
+		return 0
+	}
+	if p.count <= 5 {
+		s := append([]float64(nil), p.h[:p.count]...)
+		sort.Float64s(s)
+		rank := int(math.Ceil(p.q*float64(p.count))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return s[rank]
+	}
+	return p.h[2]
+}
+
+// defaultQuantiles are the sketch's tracked quantiles when none are
+// given.
+var defaultQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// Sketch tracks several quantiles of one stream with independent P²
+// estimators plus running count/sum/min/max, behind a mutex so a live
+// /metrics scrape can read while a session observes. Memory is O(1):
+// five markers per quantile, nothing proportional to the stream.
+type Sketch struct {
+	mu    sync.Mutex
+	qs    []float64
+	est   []*P2
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// NewSketch builds a sketch for the given quantiles (each in (0, 1)), or
+// p50/p90/p95/p99 when none are given.
+func NewSketch(qs ...float64) *Sketch {
+	if len(qs) == 0 {
+		qs = defaultQuantiles
+	}
+	s := &Sketch{qs: append([]float64(nil), qs...), min: math.Inf(1), max: math.Inf(-1)}
+	for _, q := range s.qs {
+		s.est = append(s.est, NewP2(q))
+	}
+	return s
+}
+
+// Observe feeds one value. Nil-safe.
+func (s *Sketch) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	for _, e := range s.est {
+		e.Observe(v)
+	}
+	s.mu.Unlock()
+}
+
+// Quantile returns the estimate for q, which must be one of the tracked
+// quantiles; untracked q (or a nil or empty sketch) returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, tq := range s.qs {
+		if tq == q {
+			return s.est[i].Value()
+		}
+	}
+	return 0
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// SketchSummary is a point-in-time view of a sketch, embedded in engine
+// results and benchmark artifacts.
+type SketchSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary snapshots the sketch. Quantiles not tracked read 0. Nil-safe:
+// a nil sketch summarizes to the zero value.
+func (s *Sketch) Summary() SketchSummary {
+	if s == nil {
+		return SketchSummary{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := SketchSummary{Count: s.count}
+	if s.count > 0 {
+		sum.Mean = s.sum / float64(s.count)
+		sum.Min = s.min
+		sum.Max = s.max
+	}
+	for i, q := range s.qs {
+		v := s.est[i].Value()
+		switch q {
+		case 0.5:
+			sum.P50 = v
+		case 0.9:
+			sum.P90 = v
+		case 0.95:
+			sum.P95 = v
+		case 0.99:
+			sum.P99 = v
+		}
+	}
+	return sum
+}
+
+// Quantiles returns the tracked quantiles in construction order.
+func (s *Sketch) Quantiles() []float64 {
+	if s == nil {
+		return nil
+	}
+	return append([]float64(nil), s.qs...)
+}
+
+// Render writes a one-line human-readable summary.
+func (s *Sketch) Render(w io.Writer, label string) {
+	sum := s.Summary()
+	fmt.Fprintf(w, "%s: n=%d mean=%.3g p50=%.3g p90=%.3g p95=%.3g p99=%.3g max=%.3g\n",
+		label, sum.Count, sum.Mean, sum.P50, sum.P90, sum.P95, sum.P99, sum.Max)
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dbproc/internal/obs"
+)
+
+// exactQuantile returns the ceil-rank empirical quantile of sorted s.
+func exactQuantile(s []float64, q float64) float64 {
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	dists := map[string]struct {
+		gen func(r *rand.Rand) float64
+		qs  []float64
+	}{
+		"uniform":     {func(r *rand.Rand) float64 { return r.Float64() * 1000 }, []float64{0.5, 0.9, 0.95, 0.99}},
+		"exponential": {func(r *rand.Rand) float64 { return r.ExpFloat64() * 50 }, []float64{0.5, 0.9, 0.95, 0.99}},
+		// P² is known to misestimate a quantile sitting exactly on a bimodal
+		// mode boundary (here p90 = the 10% split), so probe inside the modes.
+		"bimodal": {func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 500 + r.Float64()*100
+			}
+			return 10 + r.Float64()*5
+		}, []float64{0.5, 0.99}},
+	}
+	for name, dist := range dists {
+		gen := dist.gen
+		for _, q := range dist.qs {
+			r := rand.New(rand.NewSource(7))
+			p := NewP2(q)
+			samples := make([]float64, 0, 100000)
+			for i := 0; i < 100000; i++ {
+				v := gen(r)
+				p.Observe(v)
+				samples = append(samples, v)
+			}
+			sort.Float64s(samples)
+			exact := exactQuantile(samples, q)
+			got := p.Value()
+			// P² is an estimator: allow 5% relative error (plus an absolute
+			// floor for near-zero exponential medians).
+			tol := 0.05*math.Abs(exact) + 0.5
+			if math.Abs(got-exact) > tol {
+				t.Errorf("%s p%g: P2=%v exact=%v (tol %v)", name, 100*q, got, exact, tol)
+			}
+		}
+	}
+}
+
+func TestP2SmallCounts(t *testing.T) {
+	p := NewP2(0.5)
+	if got := p.Value(); got != 0 {
+		t.Fatalf("empty P2.Value() = %v, want 0", got)
+	}
+	p.Observe(42)
+	if got := p.Value(); got != 42 {
+		t.Fatalf("single-sample P2.Value() = %v, want 42", got)
+	}
+	p.Observe(10)
+	p.Observe(99)
+	// 3 samples, median is the rank-2 value.
+	if got := p.Value(); got != 42 {
+		t.Fatalf("3-sample median = %v, want 42", got)
+	}
+	if p.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", p.Count())
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}
+
+// TestSketchWithinHistogramBound is the cross-check required by ISSUE 4:
+// on 1e5 seeded samples, each P² estimate must respect the bounded-bucket
+// histogram's guarantee — obs.Histogram.Quantile returns an *upper bound*
+// (bucket upper edge clamped to max), so the sketch estimate must not
+// exceed it by more than estimator noise, and must sit above the bucket's
+// lower edge.
+func TestSketchWithinHistogramBound(t *testing.T) {
+	r := rand.New(rand.NewSource(1988))
+	s := NewSketch()
+	h := obs.NewHistogram(nil)
+	samples := make([]float64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		// Latency-shaped: lognormal-ish spread across several 1-2-5 decades.
+		v := math.Exp(r.NormFloat64()*1.2 + 3.5)
+		s.Observe(v)
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		sk := s.Quantile(q)
+		hb := h.Quantile(q)
+		exact := exactQuantile(samples, q)
+		if sk > hb*1.02 {
+			t.Errorf("p%g: sketch %v exceeds histogram upper bound %v", 100*q, sk, hb)
+		}
+		if rel := math.Abs(sk-exact) / exact; rel > 0.05 {
+			t.Errorf("p%g: sketch %v vs exact %v (rel err %.3f > 0.05)", 100*q, sk, exact, rel)
+		}
+	}
+}
+
+func TestSketchSummaryAndNil(t *testing.T) {
+	var nilSketch *Sketch
+	nilSketch.Observe(1) // must not panic
+	if got := nilSketch.Quantile(0.5); got != 0 {
+		t.Fatalf("nil sketch Quantile = %v", got)
+	}
+	if got := nilSketch.Summary(); got != (SketchSummary{}) {
+		t.Fatalf("nil sketch Summary = %+v", got)
+	}
+	if nilSketch.Count() != 0 || nilSketch.Quantiles() != nil {
+		t.Fatalf("nil sketch Count/Quantiles not zero")
+	}
+
+	s := NewSketch()
+	if got := s.Summary(); got != (SketchSummary{}) {
+		t.Fatalf("empty sketch Summary = %+v", got)
+	}
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	sum := s.Summary()
+	if sum.Count != 100 || sum.Min != 1 || sum.Max != 100 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+	if math.Abs(sum.Mean-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 50.5", sum.Mean)
+	}
+	if sum.P50 < 40 || sum.P50 > 60 {
+		t.Fatalf("P50 = %v, want ~50", sum.P50)
+	}
+	if sum.P99 < 90 || sum.P99 > 100 {
+		t.Fatalf("P99 = %v, want ~99", sum.P99)
+	}
+	if got := s.Quantile(0.123); got != 0 {
+		t.Fatalf("untracked quantile = %v, want 0", got)
+	}
+
+	var b strings.Builder
+	s.Render(&b, "wall ns")
+	if !strings.Contains(b.String(), "wall ns: n=100") {
+		t.Fatalf("Render output %q", b.String())
+	}
+}
+
+func TestSketchCustomQuantiles(t *testing.T) {
+	s := NewSketch(0.25, 0.75)
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0.25); math.Abs(got-250) > 25 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := s.Quantile(0.75); math.Abs(got-750) > 25 {
+		t.Fatalf("p75 = %v", got)
+	}
+	qs := s.Quantiles()
+	if len(qs) != 2 || qs[0] != 0.25 || qs[1] != 0.75 {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+	// Summary only fills the default fields; custom quantiles read zero.
+	if sum := s.Summary(); sum.P50 != 0 || sum.Count != 1000 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+}

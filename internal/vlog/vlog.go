@@ -130,6 +130,26 @@ type Log struct {
 	dev             *Device
 	sinceCheckpoint int
 	state           map[int32]bool // procedure id -> valid
+	observer        func(event string, id int, detail string)
+}
+
+// SetObserver registers a callback notified after each log transition:
+// "vlog.flip" on a successful flip, "vlog.checkpoint" on a checkpoint
+// (id -1), and "vlog.fault" when the device rejects a write (detail
+// carries the error) — the flight recorder's validity-log feed, where a
+// fault triggers an automatic dump. The callback runs with the log's
+// mutex held; it must not call back into the Log.
+func (l *Log) SetObserver(fn func(event string, id int, detail string)) {
+	l.mu.Lock()
+	l.observer = fn
+	l.mu.Unlock()
+}
+
+// notify invokes the observer; callers hold l.mu.
+func (l *Log) notify(event string, id int, detail string) {
+	if l.observer != nil {
+		l.observer(event, id, detail)
+	}
 }
 
 // New creates a log on dev whose initial state marks every given
@@ -161,9 +181,11 @@ func (l *Log) flip(kind byte, id int32, valid bool) error {
 		return fmt.Errorf("vlog: unknown procedure %d", id)
 	}
 	if err := l.dev.append(record(kind, id)); err != nil {
+		l.notify("vlog.fault", int(id), err.Error())
 		return err
 	}
 	l.state[id] = valid
+	l.notify("vlog.flip", int(id), "")
 	l.sinceCheckpoint++
 	if l.CheckpointEvery > 0 && l.sinceCheckpoint >= l.CheckpointEvery {
 		return l.checkpoint()
@@ -230,9 +252,11 @@ func (l *Log) checkpoint() error {
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
 	buf = append(buf, crc[:]...)
 	if err := l.dev.append(buf); err != nil {
+		l.notify("vlog.fault", -1, err.Error())
 		return err
 	}
 	l.sinceCheckpoint = 0
+	l.notify("vlog.checkpoint", -1, "")
 	return nil
 }
 
