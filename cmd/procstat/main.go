@@ -10,6 +10,7 @@
 //	procstat -span op.query out.jsonl   # one span name only
 //	procstat -chrome t.json out.jsonl   # export for chrome://tracing
 //	procstat -flight dump.jsonl         # render a flight-recorder dump
+//	procstat -concurrent BENCH_concurrent.json  # session-ladder table
 //
 // Multiple trace files aggregate: histograms and drift entries accumulate
 // across all of them, so a directory of per-seed traces summarizes as one
@@ -20,15 +21,24 @@
 // a live /events endpoint): procstat renders the event timeline — marking
 // the serializability oracle's minimal non-serializable window when the
 // dump carries a violation — plus any lock-contention records.
+//
+// With -concurrent the inputs are BENCH_concurrent.json reports (written
+// by procbench -concurrent-json): procstat renders the session ladder per
+// strategy and model, contrasting the measured wall speedup — which
+// includes overlapped think time — against the latch-free schedule bound
+// (wall_parallel_speedup), and flags projected rows measured on fewer
+// cores than sessions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"dbproc/internal/experiments"
 	"dbproc/internal/obs"
 	"dbproc/internal/telemetry"
 )
@@ -52,6 +62,7 @@ func main() {
 	spanFilter := flag.String("span", "", "restrict histograms to one span name (e.g. op.query)")
 	chromePath := flag.String("chrome", "", "also write a Chrome trace-event file (chrome://tracing, perfetto)")
 	flight := flag.Bool("flight", false, "treat inputs as flight-recorder dumps and render event timelines")
+	concurrent := flag.Bool("concurrent", false, "treat inputs as BENCH_concurrent.json reports and render session-ladder tables")
 	topK := flag.Int("topk", 10, "locks shown per contention report in -flight mode (0 = all)")
 	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
 		"relative error above which measured cost is flagged as drifting from the model")
@@ -63,6 +74,10 @@ func main() {
 
 	if *flight {
 		renderFlight(flag.Args(), *topK)
+		return
+	}
+	if *concurrent {
+		renderConcurrent(flag.Args())
 		return
 	}
 
@@ -160,6 +175,46 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Printf("\nchrome trace written to %s\n", *chromePath)
+	}
+}
+
+// renderConcurrent renders multi-session engine benchmark reports: one
+// ladder table per file, with the measured speedup (think overlap
+// included) next to the latch-free schedule bound. Rows whose bound is
+// projected — more sessions than host cores — carry a "~" so the reader
+// knows measured throughput could not corroborate it there.
+func renderConcurrent(paths []string) {
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		var rep experiments.ConcurrentBenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fail("%s: %v", path, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s: cores=%d scale=%g seed=%d think=%gms ops=%d\n",
+			path, rep.Cores, rep.Scale, rep.Seed, rep.ThinkMeanMs, rep.Ops)
+		fmt.Printf("%-22s %-8s %8s %12s %9s %11s %10s %10s %5s\n",
+			"strategy", "model", "clients", "ops/sec", "speedup", "latch-free", "p50 us", "p95 us", "seq")
+		for _, row := range rep.Rows {
+			bound := fmt.Sprintf("%.2fx", row.WallParallelSpeedup)
+			if row.Projected {
+				bound = "~" + bound
+			}
+			seq := ""
+			if row.MatchesSequential {
+				seq = "=sim"
+			}
+			fmt.Printf("%-22s %-8s %8d %12.1f %8.2fx %11s %10.1f %10.1f %5s\n",
+				row.Strategy, row.Model, row.Clients, row.ThroughputOps,
+				row.Speedup, bound, row.P50LatencyUs, row.P95LatencyUs, seq)
+		}
+		fmt.Println(`speedup counts overlapped think time; latch-free is the schedule bound over
+the committed history's 2PL conflicts ("~" = projected: sessions exceed cores).`)
 	}
 }
 

@@ -50,7 +50,7 @@ func buildDB() *formsDB {
 	ws := tuple.NewSchema("widgets", 64,
 		tuple.Field{Name: "tid"}, tuple.Field{Name: "form"},
 		tuple.Field{Name: "style"}, tuple.Field{Name: "kind"})
-	widgets := relation.NewBTree(pager, ws, "form", "tid", 16)
+	widgets := relation.NewBTree(pager.Disk(), ws, "form", "tid", 16)
 	tid := int64(0)
 	for form := int64(1); form <= 5; form++ {
 		for i := int64(0); i < 4; i++ {
@@ -59,20 +59,20 @@ func buildDB() *formsDB {
 			ws.SetByName(t, "form", form)
 			ws.SetByName(t, "style", (form+i)%3)
 			ws.SetByName(t, "kind", 1+(i%3))
-			widgets.Insert(t)
+			widgets.Insert(pager, t)
 			tid++
 		}
 	}
 
 	ss := tuple.NewSchema("styles", 64,
 		tuple.Field{Name: "sid"}, tuple.Field{Name: "color"}, tuple.Field{Name: "fontpx"})
-	styles := relation.NewHash(pager, ss, "sid", 2)
+	styles := relation.NewHash(pager.Disk(), ss, "sid", 2)
 	for sid := int64(0); sid < 3; sid++ {
 		t := ss.New()
 		ss.SetByName(t, "sid", sid)
 		ss.SetByName(t, "color", 0xC0FFEE+sid)
 		ss.SetByName(t, "fontpx", 12+2*sid)
-		styles.Insert(t)
+		styles.Insert(pager, t)
 	}
 
 	pager.BeginOp()
@@ -102,31 +102,31 @@ func cacheInvalidateDemo() {
 		mgr.Define(proc.NewDefinition(int(form), fmt.Sprintf("form%d", form),
 			db.formPlan(form), "form", "tid"))
 	}
-	store := cache.NewStore(db.pager, db.meter)
-	strat := proc.NewCacheInvalidate(mgr, db.meter, store)
+	store := cache.NewStore(db.pager.Disk())
+	strat := proc.NewCacheInvalidate(mgr, store)
 	db.pager.SetCharging(false)
-	strat.Prepare()
+	strat.Prepare(db.pager)
 	db.pager.BeginOp()
 	db.pager.SetCharging(true)
 	db.meter.Reset()
 
 	db.pager.BeginOp()
-	out := strat.Access(2)
+	out := strat.Access(db.pager, 2)
 	db.pager.Flush()
 	fmt.Printf("  render form 2 (warm cache, %d widgets): %.0f ms\n",
 		len(out), db.meter.Milliseconds())
 
 	// Edit one widget of form 2: move widget tid=5 to style 0.
 	ws := db.widgets.Schema()
-	old, _ := db.widgets.Tree().Get(tuple.ClusterKey(2, 5))
+	old, _ := db.widgets.Tree().Get(db.pager, tuple.ClusterKey(2, 5))
 	edited := append([]byte(nil), old...)
 	ws.SetByName(edited, "style", 0)
 	db.pager.SetCharging(false)
-	db.widgets.DeleteKeyed(tuple.ClusterKey(2, 5))
-	db.widgets.Insert(edited)
+	db.widgets.DeleteKeyed(db.pager, tuple.ClusterKey(2, 5))
+	db.widgets.Insert(db.pager, edited)
 	db.pager.BeginOp()
 	db.pager.SetCharging(true)
-	strat.OnUpdate(proc.Delta{Rel: db.widgets, Inserted: [][]byte{edited}, Deleted: [][]byte{old}})
+	strat.OnUpdate(db.pager, proc.Delta{Rel: db.widgets, Inserted: [][]byte{edited}, Deleted: [][]byte{old}})
 
 	for _, form := range []int{1, 2} {
 		valid := store.MustEntry(cache.ID(form)).Valid()
@@ -135,7 +135,7 @@ func cacheInvalidateDemo() {
 
 	db.meter.Reset()
 	db.pager.BeginOp()
-	out = strat.Access(2)
+	out = strat.Access(db.pager, 2)
 	db.pager.Flush()
 	fmt.Printf("  re-render form 2 (recompute + refresh): %.0f ms\n", db.meter.Milliseconds())
 	fmt.Println("  form 2 now:")
@@ -146,7 +146,7 @@ func cacheInvalidateDemo() {
 func sharedReteDemo() {
 	fmt.Println("--- Update Cache (Rete): one shared style memory feeds every form ---")
 	db := buildDB()
-	net := rete.NewNetwork(db.meter, db.pager)
+	net := rete.NewNetwork(db.pager.Disk())
 	ws, ss := db.widgets.Schema(), db.styles.Schema()
 
 	db.pager.SetCharging(false)
@@ -155,8 +155,8 @@ func sharedReteDemo() {
 	styleMem := net.NewMemory(ss, nil, func(t []byte) uint64 {
 		return tuple.ClusterKey(ss.GetByName(t, "sid"), 0)
 	})
-	db.styles.Hash().ScanAll(func(rec []byte) bool {
-		styleMem.Activate(rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
+	db.styles.Hash().ScanAll(db.pager, func(rec []byte) bool {
+		styleMem.Activate(db.pager, rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 
@@ -180,8 +180,8 @@ func sharedReteDemo() {
 		and.Attach(beta)
 		views[form] = formView{beta, and.Schema()}
 	}
-	db.widgets.Tree().ScanAll(func(rec []byte) bool {
-		net.Submit("widgets", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
+	db.widgets.Tree().ScanAll(db.pager, func(rec []byte) bool {
+		net.Submit(db.pager, "widgets", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 	db.pager.BeginOp()
@@ -190,7 +190,7 @@ func sharedReteDemo() {
 
 	read := func(form int64) [][]byte {
 		var out [][]byte
-		views[form].beta.File().Scan(func(_ uint64, rec []byte) bool {
+		views[form].beta.File().Scan(db.pager, func(_ uint64, rec []byte) bool {
 			out = append(out, append([]byte(nil), rec...))
 			return true
 		})
@@ -201,13 +201,13 @@ func sharedReteDemo() {
 
 	// Restyle the library: style 1 gets a new color. One - token and one
 	// + token at the SHARED memory update every form that uses style 1.
-	oldStyle, _ := db.styles.Hash().Lookup(1)
+	oldStyle, _ := db.styles.Hash().Lookup(db.pager, 1)
 	newStyle := append([]byte(nil), oldStyle...)
 	ss.SetByName(newStyle, "color", 0x00AA55)
 	db.meter.Reset()
 	db.pager.BeginOp()
-	styleMem.Activate(rete.Token{Tag: rete.Minus, Tuple: oldStyle})
-	styleMem.Activate(rete.Token{Tag: rete.Plus, Tuple: newStyle})
+	styleMem.Activate(db.pager, rete.Token{Tag: rete.Minus, Tuple: oldStyle})
+	styleMem.Activate(db.pager, rete.Token{Tag: rete.Plus, Tuple: newStyle})
 	db.pager.Flush()
 	fmt.Printf("  restyled the shared library (every form maintained): %.0f ms\n", db.meter.Milliseconds())
 

@@ -40,7 +40,7 @@ var empNames = map[int64]string{1: "Mike", 2: "Ann", 3: "Bill", 4: "Carol", 5: "
 func main() {
 	meter := metric.NewMeter(metric.DefaultCosts())
 	pager := storage.NewPager(storage.NewDisk(4000), meter)
-	net := rete.NewNetwork(meter, pager)
+	net := rete.NewNetwork(pager.Disk())
 
 	emp := tuple.NewSchema("emp", 100,
 		tuple.Field{Name: "id"}, tuple.Field{Name: "age"}, tuple.Field{Name: "dept"},
@@ -95,7 +95,7 @@ func main() {
 		t := dept.New()
 		dept.SetByName(t, "dname", dname)
 		dept.SetByName(t, "floor", floor)
-		net.Submit("dept", rete.Token{Tag: rete.Plus, Tuple: t})
+		net.Submit(pager, "dept", rete.Token{Tag: rete.Plus, Tuple: t})
 	}
 	empTuple := func(id, age, deptID, salary, job int64) []byte {
 		t := emp.New()
@@ -106,7 +106,7 @@ func main() {
 		emp.SetByName(t, "job", job)
 		return t
 	}
-	addEmp := func(t []byte) { net.Submit("emp", rete.Token{Tag: rete.Plus, Tuple: t}) }
+	addEmp := func(t []byte) { net.Submit(pager, "emp", rete.Token{Tag: rete.Plus, Tuple: t}) }
 
 	addDept(10, 1)                                    // Accounting, first floor
 	addDept(20, 2)                                    // Shipping, second floor
@@ -117,7 +117,7 @@ func main() {
 
 	show := func() {
 		fmt.Println("  PROGS1 (programmers on floor 1):")
-		progs1.File().Scan(func(_ uint64, rec []byte) bool {
+		progs1.File().Scan(pager, func(_ uint64, rec []byte) bool {
 			sch := progsAnd.Schema()
 			fmt.Printf("    %-6s dept=%s salary=%d\n",
 				empNames[sch.GetByName(rec, "id")], deptNames[sch.GetByName(rec, "dept")],
@@ -125,7 +125,7 @@ func main() {
 			return true
 		})
 		fmt.Println("  CLERKS1 (clerks on floor 1):")
-		clerks1.File().Scan(func(_ uint64, rec []byte) bool {
+		clerks1.File().Scan(pager, func(_ uint64, rec []byte) bool {
 			sch := clerksAnd.Schema()
 			fmt.Printf("    %-6s dept=%s\n",
 				empNames[sch.GetByName(rec, "id")], deptNames[sch.GetByName(rec, "dept")])
@@ -151,12 +151,12 @@ func main() {
 	newShipping := dept.New()
 	dept.SetByName(newShipping, "dname", 20)
 	dept.SetByName(newShipping, "floor", 1)
-	net.SubmitModify("dept", oldShipping, newShipping)
+	net.SubmitModify(pager, "dept", oldShipping, newShipping)
 	show()
 
 	// And a deletion: Susan leaves.
 	fmt.Println("Susan leaves the company (a - token):")
-	net.Submit("emp", rete.Token{Tag: rete.Minus, Tuple: susan})
+	net.Submit(pager, "emp", rete.Token{Tag: rete.Minus, Tuple: susan})
 	show()
 
 	fmt.Printf("Simulated maintenance cost so far: %.0f ms (%v)\n",

@@ -31,6 +31,7 @@ import (
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 )
 
 // Source describes how updates to one base relation reach a view.
@@ -75,10 +76,10 @@ func (v *View) sourceFor(rel string) *Source {
 // Engine maintains a set of views differentially. Apply serializes
 // itself: the scratch delta sets and the stored view files admit one
 // transaction's maintenance at a time, so concurrent sessions' delta-set
-// applications execute in some serial order.
+// applications execute in some serial order. All metered work is charged
+// to the applying session's pager and meter, passed per call.
 type Engine struct {
 	mu     sync.Mutex
-	meter  *metric.Meter
 	store  *cache.Store
 	router *ilock.Manager
 	views  map[int]*View
@@ -100,11 +101,10 @@ type Engine struct {
 // avm.merge child spans covering the two maintenance phases.
 func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
-// NewEngine creates an empty engine charging work to meter, storing view
-// contents in store, and using router for rule-indexed change screening.
-func NewEngine(meter *metric.Meter, store *cache.Store, router *ilock.Manager) *Engine {
+// NewEngine creates an empty engine storing view contents in store and
+// using router for rule-indexed change screening.
+func NewEngine(store *cache.Store, router *ilock.Manager) *Engine {
 	return &Engine{
-		meter:      meter,
 		store:      store,
 		router:     router,
 		views:      make(map[int]*View),
@@ -164,27 +164,28 @@ func (e *Engine) NumViews() int { return len(e.views) }
 
 // Prepare computes every view from scratch and marks its cache entry
 // valid. Run it with charging disabled: it is setup, not workload.
-func (e *Engine) Prepare() {
-	ctx := &query.Ctx{Meter: e.meter}
+func (e *Engine) Prepare(pg *storage.Pager) {
+	ctx := &query.Ctx{Meter: pg.Meter(), Pager: pg}
 	for _, id := range e.order {
 		v := e.views[id]
 		entry := e.store.MustEntry(cache.ID(id))
 		keys, recs := query.Materialize(v.FullPlan, v.Key, ctx)
-		entry.Replace(keys, recs)
-		entry.MarkValid()
+		entry.Replace(pg, keys, recs)
+		entry.MarkValid(pg)
 	}
 }
 
 // Apply maintains every registered view after an update transaction that
 // deleted the old tuple values in deleted and inserted the new values in
 // inserted on rel (an in-place modification contributes to both).
-func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, deleted [][]byte) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Maintenance work runs attributed to the avm component; the delta
 	// plans' scan and probe nodes re-scope their own page I/O underneath.
-	prevComp := e.meter.SetComponent(metric.CompAVM)
-	defer e.meter.SetComponent(prevComp)
+	meter := pg.Meter()
+	prevComp := meter.SetComponent(metric.CompAVM)
+	defer meter.SetComponent(prevComp)
 
 	// Phase 1 — rule-indexed screening: route each changed tuple value to
 	// the views whose band on the routed attribute it falls in, charging
@@ -205,9 +206,9 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 				if _, ours := e.views[id]; !ours {
 					return // lock owned by another subsystem sharing the router
 				}
-				e.meter.Screen(1)
+				meter.Screen(1)
 				into[id] = append(into[id], tup)
-				e.meter.DeltaOp(1)
+				meter.DeltaOp(1)
 				routed++
 			})
 		}
@@ -230,7 +231,7 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 	defer e.tracer.End(msp)
 	patched := 0
 	defer func() { msp.Set("views", patched) }()
-	ctx := &query.Ctx{Meter: e.meter}
+	ctx := &query.Ctx{Meter: meter, Pager: pg}
 	for _, id := range e.order {
 		a, da := e.anet[id]
 		dl, dd := e.dnet[id]
@@ -244,7 +245,7 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 		if dd {
 			plan := src.DeltaPlan(&query.ValuesScan{Sch: sch, Tuples: dl})
 			plan.Execute(ctx, func(tup []byte) bool {
-				file.Delete(v.Key(tup))
+				file.Delete(pg, v.Key(tup))
 				return true
 			})
 			delete(e.dnet, id)
@@ -256,7 +257,7 @@ func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
 				// An update that moves a tuple within the band deletes and
 				// reinserts the same key; Delete above already removed it.
 				if !file.Contains(key) {
-					file.Insert(key, tup)
+					file.Insert(pg, key, tup)
 				}
 				return true
 			})

@@ -23,9 +23,9 @@ type fixture struct {
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
 	w := dbtest.NewWorld(dbtest.Config{})
-	store := cache.NewStore(w.Pager, w.Meter)
+	store := cache.NewStore(w.Pager.Disk())
 	router := ilock.NewManager()
-	eng := NewEngine(w.Meter, store, router)
+	eng := NewEngine(store, router)
 
 	s1 := w.R1.Schema()
 	key1 := func(tup []byte) uint64 {
@@ -93,7 +93,7 @@ func newFixture(t *testing.T) *fixture {
 	eng.Register(p2)
 
 	w.Pager.SetCharging(false)
-	eng.Prepare()
+	eng.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
 	w.Meter.Reset()
@@ -105,7 +105,7 @@ func (f *fixture) recompute(v *View) map[uint64][]byte {
 	prev := f.w.Pager.SetCharging(false)
 	defer f.w.Pager.SetCharging(prev)
 	out := map[uint64][]byte{}
-	v.FullPlan.Execute(&query.Ctx{Meter: f.w.Meter}, func(tup []byte) bool {
+	v.FullPlan.Execute(&query.Ctx{Meter: f.w.Meter, Pager: f.w.Pager}, func(tup []byte) bool {
 		out[v.Key(tup)] = tup
 		return true
 	})
@@ -119,7 +119,7 @@ func (f *fixture) assertConsistent(t *testing.T, v *View) {
 	prev := f.w.Pager.SetCharging(false)
 	defer f.w.Pager.SetCharging(prev)
 	got := 0
-	f.store.MustEntry(cache.ID(v.ID)).ReadAll(func(k uint64, rec []byte) bool {
+	f.store.MustEntry(cache.ID(v.ID)).ReadAll(f.w.Pager, func(k uint64, rec []byte) bool {
 		wantRec, ok := want[k]
 		if !ok {
 			t.Errorf("view %d holds unexpected key %d", v.ID, k)
@@ -149,20 +149,20 @@ func (f *fixture) applyUpdate(t *testing.T, moves [][3]int64) {
 	prev := w.Pager.SetCharging(false)
 	for _, mv := range moves {
 		tid, oldSkey, newSkey := mv[0], mv[1], mv[2]
-		old, ok := w.R1.Tree().Get(tuple.ClusterKey(oldSkey, tid))
+		old, ok := w.R1.Tree().Get(w.Pager, tuple.ClusterKey(oldSkey, tid))
 		if !ok {
 			t.Fatalf("tuple %d at skey %d missing", tid, oldSkey)
 		}
 		newTup := append([]byte(nil), old...)
 		s1.SetByName(newTup, "skey", newSkey)
-		w.R1.DeleteKeyed(tuple.ClusterKey(oldSkey, tid))
-		w.R1.Insert(newTup)
+		w.R1.DeleteKeyed(w.Pager, tuple.ClusterKey(oldSkey, tid))
+		w.R1.Insert(w.Pager, newTup)
 		del = append(del, old)
 		ins = append(ins, newTup)
 	}
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(prev)
-	f.eng.Apply(w.R1, ins, del)
+	f.eng.Apply(w.Pager, w.R1, ins, del)
 	w.Pager.BeginOp()
 }
 
@@ -306,17 +306,17 @@ func (f *fixture) applyR2Update(t *testing.T, b, newP2 int64) {
 	w := f.w
 	s2 := w.R2.Schema()
 	prev := w.Pager.SetCharging(false)
-	old, ok := w.R2.Hash().Lookup(uint64(b))
+	old, ok := w.R2.Hash().Lookup(w.Pager, uint64(b))
 	if !ok {
 		t.Fatalf("R2 tuple b=%d missing", b)
 	}
 	newTup := append([]byte(nil), old...)
 	s2.SetByName(newTup, "p2", newP2)
-	w.R2.Hash().Delete(uint64(b))
-	w.R2.Insert(newTup)
+	w.R2.Hash().Delete(w.Pager, uint64(b))
+	w.R2.Insert(w.Pager, newTup)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(prev)
-	f.eng.Apply(w.R2, [][]byte{newTup}, [][]byte{old})
+	f.eng.Apply(w.Pager, w.R2, [][]byte{newTup}, [][]byte{old})
 	w.Pager.BeginOp()
 }
 

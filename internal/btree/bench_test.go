@@ -26,7 +26,7 @@ func paperTree(b *testing.B, n int) (*Tree, *storage.Pager) {
 }
 
 func BenchmarkInsertDeleteChurn(b *testing.B) {
-	tr, _ := paperTree(b, 100_000)
+	tr, p := paperTree(b, 100_000)
 	rng := rand.New(rand.NewSource(1))
 	rec := make([]byte, 100)
 	b.ReportAllocs()
@@ -34,17 +34,17 @@ func BenchmarkInsertDeleteChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := uint64(rng.Intn(100_000))*2 + 1 // odd keys: absent
 		binary.LittleEndian.PutUint64(rec, k)
-		tr.Insert(append([]byte(nil), rec...))
-		tr.Delete(k)
+		tr.Insert(p, append([]byte(nil), rec...))
+		tr.Delete(p, k)
 	}
 }
 
 func BenchmarkGet(b *testing.B) {
-	tr, _ := paperTree(b, 100_000)
+	tr, p := paperTree(b, 100_000)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := tr.Get(uint64(rng.Intn(100_000)) * 2); !ok {
+		if _, ok := tr.Get(p, uint64(rng.Intn(100_000))*2); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -58,7 +58,7 @@ func BenchmarkRangeScan100(b *testing.B) {
 		p.BeginOp()
 		lo := uint64(rng.Intn(99_000)) * 2
 		count := 0
-		tr.ScanRange(lo, lo+198, func([]byte) bool { count++; return true })
+		tr.ScanRange(p, lo, lo+198, func([]byte) bool { count++; return true })
 		if count == 0 {
 			b.Fatal("empty scan")
 		}

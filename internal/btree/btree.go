@@ -8,6 +8,12 @@
 // the pages themselves hold the real records. The root page is treated as
 // pinned in memory: descending through it is not a charged read, so a
 // default-parameter index lookup charges H1 = 1 page read as in the model.
+//
+// A Tree is bound to a Disk; every access method takes the calling
+// session's Pager, so concurrent sessions can read one shared tree while
+// each charges its own meter. The tree's directory state (meta table,
+// root, height) is not internally synchronized — callers serialize
+// mutations against reads (the engine's 2PL relation locks do).
 package btree
 
 import (
@@ -23,7 +29,7 @@ type KeyFunc func(rec []byte) uint64
 
 // Tree is a clustered B+-tree of fixed-size records.
 type Tree struct {
-	pager   *storage.Pager
+	disk    *storage.Disk
 	recSize int
 	leafCap int // records per leaf page
 	fanout  int // index entries (children) per internal page
@@ -54,8 +60,8 @@ type nodeMeta struct {
 // New creates an empty tree. recSize is the record width; indexEntrySize
 // is the paper's d, the bytes reserved per internal index entry (at least
 // 12 are needed for the stored key and child id).
-func New(pager *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc) *Tree {
-	pageSize := pager.Disk().PageSize()
+func New(disk *storage.Disk, recSize, indexEntrySize int, keyOf KeyFunc) *Tree {
+	pageSize := disk.PageSize()
 	leafCap := pageSize / recSize
 	fanout := pageSize / indexEntrySize
 	if recSize <= 0 || leafCap < 2 {
@@ -68,7 +74,7 @@ func New(pager *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc) *Tree
 		panic("btree: nil KeyFunc")
 	}
 	t := &Tree{
-		pager:   pager,
+		disk:    disk,
 		recSize: recSize,
 		leafCap: leafCap,
 		fanout:  fanout,
@@ -98,31 +104,31 @@ func (t *Tree) LeafCapacity() int { return t.leafCap }
 func (t *Tree) Fanout() int { return t.fanout }
 
 func (t *Tree) newNode(leaf bool) storage.PageID {
-	id := t.pager.Disk().Alloc()
+	id := t.disk.Alloc()
 	t.meta[id] = &nodeMeta{leaf: leaf, next: storage.NilPage, prev: storage.NilPage}
 	return id
 }
 
 // readNode fetches a node page for reading. The root of a multi-level
 // tree is pinned: no charge.
-func (t *Tree) readNode(id storage.PageID) []byte {
+func (t *Tree) readNode(pg *storage.Pager, id storage.PageID) []byte {
 	if id == t.root && t.height > 1 && !t.noRootPin {
-		prev := t.pager.SetCharging(false)
-		buf := t.pager.Read(id)
-		t.pager.SetCharging(prev)
+		prev := pg.SetCharging(false)
+		buf := pg.Read(id)
+		pg.SetCharging(prev)
 		return buf
 	}
-	return t.pager.Read(id)
+	return pg.Read(id)
 }
 
-func (t *Tree) writeNode(id storage.PageID) []byte {
+func (t *Tree) writeNode(pg *storage.Pager, id storage.PageID) []byte {
 	if id == t.root && t.height > 1 && !t.noRootPin {
-		prev := t.pager.SetCharging(false)
-		buf := t.pager.Update(id)
-		t.pager.SetCharging(prev)
+		prev := pg.SetCharging(false)
+		buf := pg.Update(id)
+		pg.SetCharging(prev)
 		return buf
 	}
-	return t.pager.Update(id)
+	return pg.Update(id)
 }
 
 // Leaf record accessors.
@@ -196,12 +202,12 @@ func (t *Tree) leafSlot(buf []byte, count int, key uint64) (int, bool) {
 }
 
 // Insert adds a record; its key must not already be present.
-func (t *Tree) Insert(rec []byte) {
+func (t *Tree) Insert(pg *storage.Pager, rec []byte) {
 	if len(rec) != t.recSize {
 		panic(fmt.Sprintf("btree: record of %d bytes, want %d", len(rec), t.recSize))
 	}
 	key := t.keyOf(rec)
-	newID, sep, split := t.insertAt(t.root, key, rec)
+	newID, sep, split := t.insertAt(pg, t.root, key, rec)
 	if split {
 		oldRoot := t.root
 		newRoot := t.newNode(false)
@@ -209,7 +215,7 @@ func (t *Tree) Insert(rec []byte) {
 		// applies consistently; height grows by one level.
 		t.root = newRoot
 		t.height++
-		buf := t.writeNode(newRoot)
+		buf := t.writeNode(pg, newRoot)
 		t.setEntry(buf, 0, 0, oldRoot) // leftmost separator is an open bound
 		t.setEntry(buf, 1, sep, newID)
 		t.meta[newRoot].count = 2
@@ -219,23 +225,23 @@ func (t *Tree) Insert(rec []byte) {
 
 // insertAt inserts into the subtree rooted at id, returning a new right
 // sibling and its separator key if the node split.
-func (t *Tree) insertAt(id storage.PageID, key uint64, rec []byte) (storage.PageID, uint64, bool) {
+func (t *Tree) insertAt(pg *storage.Pager, id storage.PageID, key uint64, rec []byte) (storage.PageID, uint64, bool) {
 	m := t.meta[id]
 	if m.leaf {
-		return t.insertLeaf(id, m, key, rec)
+		return t.insertLeaf(pg, id, m, key, rec)
 	}
-	buf := t.readNode(id)
+	buf := t.readNode(pg, id)
 	ci := t.childIndex(buf, m.count, key)
 	child := t.entryChild(buf, ci)
-	newChild, sep, split := t.insertAt(child, key, rec)
+	newChild, sep, split := t.insertAt(pg, child, key, rec)
 	if !split {
 		return storage.NilPage, 0, false
 	}
-	return t.insertEntry(id, m, ci+1, sep, newChild)
+	return t.insertEntry(pg, id, m, ci+1, sep, newChild)
 }
 
-func (t *Tree) insertLeaf(id storage.PageID, m *nodeMeta, key uint64, rec []byte) (storage.PageID, uint64, bool) {
-	buf := t.writeNode(id)
+func (t *Tree) insertLeaf(pg *storage.Pager, id storage.PageID, m *nodeMeta, key uint64, rec []byte) (storage.PageID, uint64, bool) {
+	buf := t.writeNode(pg, id)
 	slot, found := t.leafSlot(buf, m.count, key)
 	if found {
 		panic(fmt.Sprintf("btree: duplicate key %d", key))
@@ -251,7 +257,7 @@ func (t *Tree) insertLeaf(id storage.PageID, m *nodeMeta, key uint64, rec []byte
 	t.numLeaves++
 	rm := t.meta[rightID]
 	half := m.count / 2
-	rbuf := t.pager.Overwrite(rightID)
+	rbuf := pg.Overwrite(rightID)
 	copy(rbuf, buf[half*t.recSize:m.count*t.recSize])
 	clear(buf[half*t.recSize : m.count*t.recSize])
 	rm.count = m.count - half
@@ -279,8 +285,8 @@ func (t *Tree) insertLeaf(id storage.PageID, m *nodeMeta, key uint64, rec []byte
 
 // insertEntry inserts (sep, child) at position pos of internal node id,
 // splitting it if full.
-func (t *Tree) insertEntry(id storage.PageID, m *nodeMeta, pos int, sep uint64, child storage.PageID) (storage.PageID, uint64, bool) {
-	buf := t.writeNode(id)
+func (t *Tree) insertEntry(pg *storage.Pager, id storage.PageID, m *nodeMeta, pos int, sep uint64, child storage.PageID) (storage.PageID, uint64, bool) {
+	buf := t.writeNode(pg, id)
 	if m.count < t.fanout {
 		copy(buf[(pos+1)*t.stride:(m.count+1)*t.stride], buf[pos*t.stride:m.count*t.stride])
 		t.setEntry(buf, pos, sep, child)
@@ -290,7 +296,7 @@ func (t *Tree) insertEntry(id storage.PageID, m *nodeMeta, pos int, sep uint64, 
 	rightID := t.newNode(false)
 	rm := t.meta[rightID]
 	half := m.count / 2
-	rbuf := t.pager.Overwrite(rightID)
+	rbuf := pg.Overwrite(rightID)
 	copy(rbuf, buf[half*t.stride:m.count*t.stride])
 	clear(buf[half*t.stride : m.count*t.stride])
 	rm.count = m.count - half
@@ -310,14 +316,14 @@ func (t *Tree) insertEntry(id storage.PageID, m *nodeMeta, pos int, sep uint64, 
 }
 
 // Get returns a copy of the record with the given key.
-func (t *Tree) Get(key uint64) ([]byte, bool) {
+func (t *Tree) Get(pg *storage.Pager, key uint64) ([]byte, bool) {
 	id := t.root
 	for !t.meta[id].leaf {
-		buf := t.readNode(id)
+		buf := t.readNode(pg, id)
 		id = t.entryChild(buf, t.childIndex(buf, t.meta[id].count, key))
 	}
 	m := t.meta[id]
-	buf := t.readNode(id)
+	buf := t.readNode(pg, id)
 	slot, found := t.leafSlot(buf, m.count, key)
 	if !found {
 		return nil, false
@@ -330,7 +336,7 @@ func (t *Tree) Get(key uint64) ([]byte, bool) {
 // Delete removes the record with the given key, reporting whether it was
 // present. Emptied nodes are freed and unlinked; no other rebalancing is
 // performed (the workload's delete+insert churn keeps pages near full).
-func (t *Tree) Delete(key uint64) bool {
+func (t *Tree) Delete(pg *storage.Pager, key uint64) bool {
 	// Record the descent path for cascade cleanup.
 	type step struct {
 		id storage.PageID
@@ -339,13 +345,13 @@ func (t *Tree) Delete(key uint64) bool {
 	var path []step
 	id := t.root
 	for !t.meta[id].leaf {
-		buf := t.readNode(id)
+		buf := t.readNode(pg, id)
 		ci := t.childIndex(buf, t.meta[id].count, key)
 		path = append(path, step{id, ci})
 		id = t.entryChild(buf, ci)
 	}
 	m := t.meta[id]
-	buf := t.writeNode(id)
+	buf := t.writeNode(pg, id)
 	slot, found := t.leafSlot(buf, m.count, key)
 	if !found {
 		return false
@@ -366,11 +372,11 @@ func (t *Tree) Delete(key uint64) bool {
 			}
 			t.numLeaves--
 		}
-		t.freeNode(id)
+		t.freeNode(pg, id)
 		parent := path[len(path)-1]
 		path = path[:len(path)-1]
 		pm := t.meta[parent.id]
-		pbuf := t.writeNode(parent.id)
+		pbuf := t.writeNode(pg, parent.id)
 		copy(pbuf[parent.ci*t.stride:], pbuf[(parent.ci+1)*t.stride:pm.count*t.stride])
 		clear(pbuf[(pm.count-1)*t.stride : pm.count*t.stride])
 		pm.count--
@@ -379,9 +385,9 @@ func (t *Tree) Delete(key uint64) bool {
 
 	// Collapse a single-child root to reduce height.
 	for id == t.root && m.count == 1 && !m.leaf {
-		buf := t.readNode(id)
+		buf := t.readNode(pg, id)
 		child := t.entryChild(buf, 0)
-		t.freeNode(id)
+		t.freeNode(pg, id)
 		t.root = child
 		t.height--
 		id, m = child, t.meta[child]
@@ -393,28 +399,28 @@ func (t *Tree) Delete(key uint64) bool {
 	return true
 }
 
-func (t *Tree) freeNode(id storage.PageID) {
+func (t *Tree) freeNode(pg *storage.Pager, id storage.PageID) {
 	delete(t.meta, id)
-	t.pager.Drop(id)
-	t.pager.Disk().Free(id)
+	pg.Drop(id)
+	t.disk.Free(id)
 }
 
 // ScanRange calls fn for each record with lo <= key <= hi in ascending key
 // order until fn returns false. It descends once (charging internal page
 // reads below the pinned root) and then follows the leaf chain, charging
 // one read per leaf touched. The rec slice is only valid during the call.
-func (t *Tree) ScanRange(lo, hi uint64, fn func(rec []byte) bool) {
+func (t *Tree) ScanRange(pg *storage.Pager, lo, hi uint64, fn func(rec []byte) bool) {
 	if lo > hi || t.n == 0 {
 		return
 	}
 	id := t.root
 	for !t.meta[id].leaf {
-		buf := t.readNode(id)
+		buf := t.readNode(pg, id)
 		id = t.entryChild(buf, t.childIndex(buf, t.meta[id].count, lo))
 	}
 	for id != storage.NilPage {
 		m := t.meta[id]
-		buf := t.readNode(id)
+		buf := t.readNode(pg, id)
 		start, _ := t.leafSlot(buf, m.count, lo)
 		for i := start; i < m.count; i++ {
 			rec := t.leafRec(buf, i)
@@ -430,6 +436,6 @@ func (t *Tree) ScanRange(lo, hi uint64, fn func(rec []byte) bool) {
 }
 
 // ScanAll visits every record in ascending key order.
-func (t *Tree) ScanAll(fn func(rec []byte) bool) {
-	t.ScanRange(0, ^uint64(0), fn)
+func (t *Tree) ScanAll(pg *storage.Pager, fn func(rec []byte) bool) {
+	t.ScanRange(pg, 0, ^uint64(0), fn)
 }

@@ -27,28 +27,28 @@ func newTestTree(pageSize int) (*Tree, *storage.Pager, *metric.Meter) {
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(pageSize), m)
 	// 4 records per leaf, 5 entries per internal node.
-	return New(p, 16, pageSize/5, keyOf), p, m
+	return New(p.Disk(), 16, pageSize/5, keyOf), p, m
 }
 
 func TestEmptyTree(t *testing.T) {
-	tr, _, _ := newTestTree(64)
+	tr, p, _ := newTestTree(64)
 	if tr.Len() != 0 || tr.Height() != 1 || tr.LeafPages() != 1 {
 		t.Fatalf("empty tree: Len=%d Height=%d Leaves=%d", tr.Len(), tr.Height(), tr.LeafPages())
 	}
-	if _, ok := tr.Get(5); ok {
+	if _, ok := tr.Get(p, 5); ok {
 		t.Fatal("Get on empty tree hit")
 	}
-	if tr.Delete(5) {
+	if tr.Delete(p, 5) {
 		t.Fatal("Delete on empty tree hit")
 	}
-	tr.ScanAll(func([]byte) bool { t.Fatal("scan on empty tree visited"); return true })
+	tr.ScanAll(p, func([]byte) bool { t.Fatal("scan on empty tree visited"); return true })
 }
 
 func TestInsertGetSequential(t *testing.T) {
-	tr, _, _ := newTestTree(64)
+	tr, p, _ := newTestTree(64)
 	const n = 500
 	for i := uint64(0); i < n; i++ {
-		tr.Insert(recFor(i, i*10))
+		tr.Insert(p, recFor(i, i*10))
 	}
 	if tr.Len() != n {
 		t.Fatalf("Len = %d, want %d", tr.Len(), n)
@@ -57,25 +57,25 @@ func TestInsertGetSequential(t *testing.T) {
 		t.Fatalf("Height = %d, want >= 3 for %d records at 4/leaf", tr.Height(), n)
 	}
 	for i := uint64(0); i < n; i++ {
-		rec, ok := tr.Get(i)
+		rec, ok := tr.Get(p, i)
 		if !ok || binary.LittleEndian.Uint64(rec[8:]) != i*10 {
 			t.Fatalf("Get(%d) = %v, %v", i, rec, ok)
 		}
 	}
-	if _, ok := tr.Get(n); ok {
+	if _, ok := tr.Get(p, n); ok {
 		t.Fatal("Get past end hit")
 	}
 }
 
 func TestInsertRandomScanSorted(t *testing.T) {
-	tr, _, _ := newTestTree(64)
+	tr, p, _ := newTestTree(64)
 	rng := rand.New(rand.NewSource(42))
 	perm := rng.Perm(1000)
 	for _, k := range perm {
-		tr.Insert(recFor(uint64(k), uint64(k)))
+		tr.Insert(p, recFor(uint64(k), uint64(k)))
 	}
 	var got []uint64
-	tr.ScanAll(func(rec []byte) bool {
+	tr.ScanAll(p, func(rec []byte) bool {
 		got = append(got, keyOf(rec))
 		return true
 	})
@@ -88,23 +88,23 @@ func TestInsertRandomScanSorted(t *testing.T) {
 }
 
 func TestDuplicateInsertPanics(t *testing.T) {
-	tr, _, _ := newTestTree(64)
-	tr.Insert(recFor(7, 1))
+	tr, p, _ := newTestTree(64)
+	tr.Insert(p, recFor(7, 1))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate insert should panic")
 		}
 	}()
-	tr.Insert(recFor(7, 2))
+	tr.Insert(p, recFor(7, 2))
 }
 
 func TestScanRange(t *testing.T) {
-	tr, _, _ := newTestTree(64)
+	tr, p, _ := newTestTree(64)
 	for i := uint64(0); i < 200; i += 2 {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	var got []uint64
-	tr.ScanRange(50, 61, func(rec []byte) bool {
+	tr.ScanRange(p, 50, 61, func(rec []byte) bool {
 		got = append(got, keyOf(rec))
 		return true
 	})
@@ -119,28 +119,28 @@ func TestScanRange(t *testing.T) {
 	}
 	// Early stop.
 	count := 0
-	tr.ScanRange(0, 1000, func([]byte) bool { count++; return count < 3 })
+	tr.ScanRange(p, 0, 1000, func([]byte) bool { count++; return count < 3 })
 	if count != 3 {
 		t.Fatalf("early stop visited %d", count)
 	}
 	// Inverted and out-of-range scans visit nothing.
-	tr.ScanRange(61, 50, func([]byte) bool { t.Fatal("inverted range visited"); return true })
+	tr.ScanRange(p, 61, 50, func([]byte) bool { t.Fatal("inverted range visited"); return true })
 	hits := 0
-	tr.ScanRange(500, 1000, func([]byte) bool { hits++; return true })
+	tr.ScanRange(p, 500, 1000, func([]byte) bool { hits++; return true })
 	if hits != 0 {
 		t.Fatalf("out-of-range scan visited %d", hits)
 	}
 }
 
 func TestDeleteAndReinsert(t *testing.T) {
-	tr, _, _ := newTestTree(64)
+	tr, p, _ := newTestTree(64)
 	const n = 300
 	for i := uint64(0); i < n; i++ {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	// Delete the evens.
 	for i := uint64(0); i < n; i += 2 {
-		if !tr.Delete(i) {
+		if !tr.Delete(p, i) {
 			t.Fatalf("Delete(%d) missed", i)
 		}
 	}
@@ -148,18 +148,18 @@ func TestDeleteAndReinsert(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
 	}
 	for i := uint64(0); i < n; i++ {
-		_, ok := tr.Get(i)
+		_, ok := tr.Get(p, i)
 		if want := i%2 == 1; ok != want {
 			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
 		}
 	}
 	// Reinsert the evens; everything should be back.
 	for i := uint64(0); i < n; i += 2 {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	var count int
 	prev := int64(-1)
-	tr.ScanAll(func(rec []byte) bool {
+	tr.ScanAll(p, func(rec []byte) bool {
 		k := int64(keyOf(rec))
 		if k <= prev {
 			t.Fatalf("order violated at %d after churn", k)
@@ -177,10 +177,10 @@ func TestDeleteAllCollapsesTree(t *testing.T) {
 	tr, p, _ := newTestTree(64)
 	const n = 200
 	for i := uint64(0); i < n; i++ {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	for i := uint64(0); i < n; i++ {
-		if !tr.Delete(i) {
+		if !tr.Delete(p, i) {
 			t.Fatalf("Delete(%d) missed", i)
 		}
 	}
@@ -191,17 +191,17 @@ func TestDeleteAllCollapsesTree(t *testing.T) {
 		t.Fatalf("tree did not collapse: Height=%d Leaves=%d", tr.Height(), tr.LeafPages())
 	}
 	// The tree is usable again.
-	tr.Insert(recFor(5, 5))
-	if _, ok := tr.Get(5); !ok {
+	tr.Insert(p, recFor(5, 5))
+	if _, ok := tr.Get(p, 5); !ok {
 		t.Fatal("insert after drain failed")
 	}
 	_ = p
 }
 
 func TestLeafPagesTracksBlockingFactor(t *testing.T) {
-	tr, _, _ := newTestTree(64) // 4 records per leaf
+	tr, p, _ := newTestTree(64) // 4 records per leaf
 	for i := uint64(0); i < 400; i++ {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	// Splits leave leaves at least half full: 400 records needs >= 100 and
 	// <= 200 leaves.
@@ -237,7 +237,7 @@ func TestRangeScanIOCharges(t *testing.T) {
 	p.BeginOp()
 	m.Reset()
 	count := 0
-	tr.ScanRange(4000, 4099, func([]byte) bool { count++; return true })
+	tr.ScanRange(p, 4000, 4099, func([]byte) bool { count++; return true })
 	if count != 100 {
 		t.Fatalf("scanned %d records, want 100", count)
 	}
@@ -254,12 +254,12 @@ func TestGetChargesDescent(t *testing.T) {
 	tr, p, m := newTestTree(64)
 	p.SetCharging(false)
 	for i := uint64(0); i < 100; i++ {
-		tr.Insert(recFor(i, i))
+		tr.Insert(p, recFor(i, i))
 	}
 	p.SetCharging(true)
 	p.BeginOp()
 	m.Reset()
-	if _, ok := tr.Get(50); !ok {
+	if _, ok := tr.Get(p, 50); !ok {
 		t.Fatal("Get missed")
 	}
 	// Height levels minus the pinned root, including the leaf.
@@ -273,11 +273,11 @@ func TestConstructorPanics(t *testing.T) {
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(64), m)
 	for name, fn := range map[string]func(){
-		"record too large": func() { New(p, 40, 16, keyOf) },
-		"entry too small":  func() { New(p, 16, 8, keyOf) },
-		"fanout too small": func() { New(p, 16, 32, keyOf) },
-		"nil key func":     func() { New(p, 16, 13, nil) },
-		"bad record size":  func() { tr, _, _ := newTestTree(64); tr.Insert(make([]byte, 8)) },
+		"record too large": func() { New(p.Disk(), 40, 16, keyOf) },
+		"entry too small":  func() { New(p.Disk(), 16, 8, keyOf) },
+		"fanout too small": func() { New(p.Disk(), 16, 32, keyOf) },
+		"nil key func":     func() { New(p.Disk(), 16, 13, nil) },
+		"bad record size":  func() { tr, p, _ := newTestTree(64); tr.Insert(p, make([]byte, 8)) },
 	} {
 		func() {
 			defer func() {
@@ -294,7 +294,7 @@ func TestConstructorPanics(t *testing.T) {
 // insert/delete interleavings.
 func TestTreeMatchesReferenceModel(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
-		tr, _, _ := newTestTree(64)
+		tr, p, _ := newTestTree(64)
 		ref := map[uint64]uint64{}
 		rng := rand.New(rand.NewSource(seed))
 		ops := int(n) + 50
@@ -303,11 +303,11 @@ func TestTreeMatchesReferenceModel(t *testing.T) {
 			if rng.Intn(3) > 0 { // insert-biased
 				if _, dup := ref[k]; !dup {
 					v := rng.Uint64()
-					tr.Insert(recFor(k, v))
+					tr.Insert(p, recFor(k, v))
 					ref[k] = v
 				}
 			} else {
-				had := tr.Delete(k)
+				had := tr.Delete(p, k)
 				if _, want := ref[k]; had != want {
 					return false
 				}
@@ -320,7 +320,7 @@ func TestTreeMatchesReferenceModel(t *testing.T) {
 		ok := true
 		prev := int64(-1)
 		count := 0
-		tr.ScanAll(func(rec []byte) bool {
+		tr.ScanAll(p, func(rec []byte) bool {
 			k := keyOf(rec)
 			if int64(k) <= prev {
 				ok = false
@@ -351,12 +351,12 @@ func TestPaperGeometry(t *testing.T) {
 	}
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(4000), m)
-	tr := New(p, 100, 20, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
+	tr := New(p.Disk(), 100, 20, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
 	p.SetCharging(false)
 	rec := make([]byte, 100)
 	for i := uint64(0); i < 100_000; i++ {
 		binary.LittleEndian.PutUint64(rec, i)
-		tr.Insert(append([]byte(nil), rec...))
+		tr.Insert(p, append([]byte(nil), rec...))
 	}
 	if tr.Len() != 100_000 {
 		t.Fatalf("Len = %d", tr.Len())

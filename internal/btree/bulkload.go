@@ -12,9 +12,11 @@ import (
 // the cost model; incremental Insert would leave splits half full.
 //
 // Bulk loading performs no charged I/O bookkeeping beyond the pager's
-// normal rules; load with charging disabled as usual for setup.
-func BulkLoad(pager *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, records [][]byte) *Tree {
-	t := New(pager, recSize, indexEntrySize, keyOf)
+// normal rules; load with charging disabled as usual for setup. The pager
+// is only the loading session's handle — the returned tree is bound to
+// its disk and serves any session's pager afterwards.
+func BulkLoad(pg *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, records [][]byte) *Tree {
+	t := New(pg.Disk(), recSize, indexEntrySize, keyOf)
 	if len(records) == 0 {
 		return t
 	}
@@ -49,7 +51,7 @@ func BulkLoad(pager *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, 
 			t.numLeaves++
 		}
 		m := t.meta[id]
-		buf := pager.Overwrite(id)
+		buf := pg.Overwrite(id)
 		for i := start; i < end; i++ {
 			copy(buf[(i-start)*t.recSize:], records[i])
 		}
@@ -73,7 +75,7 @@ func BulkLoad(pager *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, 
 			}
 			id := t.newNode(false)
 			m := t.meta[id]
-			buf := pager.Overwrite(id)
+			buf := pg.Overwrite(id)
 			for i := start; i < end; i++ {
 				t.setEntry(buf, i-start, level[i].min, level[i].id)
 			}

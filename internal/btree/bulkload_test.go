@@ -23,19 +23,19 @@ func TestBulkLoadPacksLeaves(t *testing.T) {
 		t.Fatalf("LeafPages = %d, want 100", lp)
 	}
 	for i := uint64(0); i < 400; i++ {
-		rec, ok := tr.Get(i)
+		rec, ok := tr.Get(p, i)
 		if !ok || binary.LittleEndian.Uint64(rec[8:]) != i*3 {
 			t.Fatalf("Get(%d) failed", i)
 		}
 	}
 	// The loaded tree accepts further inserts and deletes.
-	tr.Insert(recFor(1000, 1))
-	if !tr.Delete(0) || !tr.Delete(399) {
+	tr.Insert(p, recFor(1000, 1))
+	if !tr.Delete(p, 0) || !tr.Delete(p, 399) {
 		t.Fatal("delete after bulk load failed")
 	}
 	var count int
 	prev := int64(-1)
-	tr.ScanAll(func(rec []byte) bool {
+	tr.ScanAll(p, func(rec []byte) bool {
 		if k := int64(keyOf(rec)); k <= prev {
 			t.Fatalf("order violated at %d", k)
 		} else {
@@ -56,11 +56,12 @@ func TestBulkLoadEmptyAndSingle(t *testing.T) {
 	if tr.Len() != 0 || tr.Height() != 1 {
 		t.Fatal("empty bulk load wrong")
 	}
-	tr2 := BulkLoad(storage.NewPager(storage.NewDisk(64), m), 16, 64/5, keyOf, [][]byte{recFor(9, 9)})
+	p2 := storage.NewPager(storage.NewDisk(64), m)
+	tr2 := BulkLoad(p2, 16, 64/5, keyOf, [][]byte{recFor(9, 9)})
 	if tr2.Len() != 1 || tr2.Height() != 1 {
 		t.Fatal("single-record bulk load wrong")
 	}
-	if _, ok := tr2.Get(9); !ok {
+	if _, ok := tr2.Get(p2, 9); !ok {
 		t.Fatal("single record missing")
 	}
 }

@@ -7,6 +7,10 @@
 // tuples, as the cost model's y(fN, fb, 2fl) refresh term assumes. Reading
 // an entry charges one page read per result page (the model's C_read);
 // recording an invalidation charges C_inval through the meter.
+//
+// Metered I/O and cost events go through the calling session's pager,
+// passed per call: one shared store serves concurrent sessions, each
+// charging its own meter.
 package cache
 
 import (
@@ -34,11 +38,10 @@ type Journal interface {
 // individually atomic (see Entry).
 type Store struct {
 	mu       sync.RWMutex
-	pager    *storage.Pager
-	meter    *metric.Meter
+	disk     *storage.Disk
 	entries  map[ID]*Entry
 	journal  Journal
-	observer func(event string, id int)
+	observer func(event string, id, session int)
 }
 
 // SetJournal attaches a durability journal; every subsequent validity
@@ -48,32 +51,32 @@ func (s *Store) SetJournal(j Journal) { s.journal = j }
 
 // SetObserver registers a callback notified on every validity transition
 // ("cache.invalidate" / "cache.refresh") — the flight recorder's cache
-// feed. Like SetJournal, set it before the store is shared between
+// feed; session is the acting pager's session tag (-1 outside the
+// engine). Like SetJournal, set it before the store is shared between
 // sessions: the field is read without synchronization on the hot path,
 // and the callback runs with the entry's mutex held, so it must not call
 // back into the entry.
-func (s *Store) SetObserver(fn func(event string, id int)) { s.observer = fn }
+func (s *Store) SetObserver(fn func(event string, id, session int)) { s.observer = fn }
 
 // Entry is one procedure's cached result. The mu mutex couples each
 // validity flip with its journal append, so a concurrent reader never
 // observes a validity state whose journal record is not yet written —
 // the write-ahead invariant the recoverable validity table depends on.
 // Contents (the result file) are guarded by the engine's per-entry
-// locks, not here: file I/O runs on the shared simulated pager.
+// locks, not here: file I/O runs on the calling session's pager over the
+// shared disk.
 type Entry struct {
 	id    ID
 	store *Store
 	file  *storage.OrderedFile
-	meter *metric.Meter
 
 	mu    sync.Mutex
 	valid bool
 }
 
-// NewStore creates an empty cache on the given pager, charging costs to
-// meter.
-func NewStore(pager *storage.Pager, meter *metric.Meter) *Store {
-	return &Store{pager: pager, meter: meter, entries: make(map[ID]*Entry)}
+// NewStore creates an empty cache over the given disk.
+func NewStore(disk *storage.Disk) *Store {
+	return &Store{disk: disk, entries: make(map[ID]*Entry)}
 }
 
 // Define creates an (invalid, empty) entry for id with recSize-byte result
@@ -87,8 +90,7 @@ func (s *Store) Define(id ID, recSize int) *Entry {
 	e := &Entry{
 		id:    id,
 		store: s,
-		file:  storage.NewOrderedFile(s.pager, recSize),
-		meter: s.meter,
+		file:  storage.NewOrderedFile(s.disk, recSize),
 	}
 	s.entries[id] = e
 	return e
@@ -134,12 +136,13 @@ func (e *Entry) Pages() int { return e.file.Pages() }
 func (e *Entry) Len() int { return e.file.Len() }
 
 // Invalidate marks the entry invalid and charges one invalidation record
-// (the model's C_inval). The paper's T3 term charges every conflicting
-// update, so callers invoke this once per update transaction that breaks
-// one of the entry's i-locks, whether or not the entry is already invalid.
-// The charge is attributed to the validity log when a journal is attached
-// (the record is then a durable log append), to proc/ci otherwise.
-func (e *Entry) Invalidate() {
+// (the model's C_inval) to the acting session's meter. The paper's T3
+// term charges every conflicting update, so callers invoke this once per
+// update transaction that breaks one of the entry's i-locks, whether or
+// not the entry is already invalid. The charge is attributed to the
+// validity log when a journal is attached (the record is then a durable
+// log append), to proc/ci otherwise.
+func (e *Entry) Invalidate(pg *storage.Pager) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.valid = false
@@ -147,16 +150,17 @@ func (e *Entry) Invalidate() {
 	if e.store.journal != nil {
 		comp = metric.CompVLog
 	}
-	prev := e.meter.SetComponent(comp)
-	e.meter.Invalidation(1)
-	e.meter.SetComponent(prev)
+	m := pg.Meter()
+	prev := m.SetComponent(comp)
+	m.Invalidation(1)
+	m.SetComponent(prev)
 	if j := e.store.journal; j != nil {
 		if err := j.Invalidate(int(e.id)); err != nil {
 			panic("cache: journal write failed (simulated crash): " + err.Error())
 		}
 	}
 	if fn := e.store.observer; fn != nil {
-		fn("cache.invalidate", int(e.id))
+		fn("cache.invalidate", int(e.id), pg.Session())
 	}
 }
 
@@ -164,19 +168,20 @@ func (e *Entry) Invalidate() {
 // marks it valid: the Cache and Invalidate refresh, costing two I/Os per
 // result page (read-modify-write, the model's C_WriteCache), attributed to
 // the cache component.
-func (e *Entry) Replace(keys []uint64, recs [][]byte) {
-	prev := e.meter.SetComponent(metric.CompCache)
-	e.file.Replace(keys, recs)
-	e.meter.SetComponent(prev)
-	e.markValid()
+func (e *Entry) Replace(pg *storage.Pager, keys []uint64, recs [][]byte) {
+	m := pg.Meter()
+	prev := m.SetComponent(metric.CompCache)
+	e.file.Replace(pg, keys, recs)
+	m.SetComponent(prev)
+	e.markValid(pg)
 }
 
 // MarkValid marks the entry valid without touching its contents; Update
 // Cache uses it once after the initial load, after which maintenance keeps
 // the contents current.
-func (e *Entry) MarkValid() { e.markValid() }
+func (e *Entry) MarkValid(pg *storage.Pager) { e.markValid(pg) }
 
-func (e *Entry) markValid() {
+func (e *Entry) markValid(pg *storage.Pager) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.valid = true
@@ -186,7 +191,7 @@ func (e *Entry) markValid() {
 		}
 	}
 	if fn := e.store.observer; fn != nil {
-		fn("cache.refresh", int(e.id))
+		fn("cache.refresh", int(e.id), pg.Session())
 	}
 }
 
@@ -194,8 +199,9 @@ func (e *Entry) markValid() {
 // page, attributed to the cache component), regardless of validity —
 // callers check Valid first. The rec slice is only valid during the
 // callback.
-func (e *Entry) ReadAll(fn func(key uint64, rec []byte) bool) {
-	prev := e.meter.SetComponent(metric.CompCache)
-	defer e.meter.SetComponent(prev)
-	e.file.Scan(fn)
+func (e *Entry) ReadAll(pg *storage.Pager, fn func(key uint64, rec []byte) bool) {
+	m := pg.Meter()
+	prev := m.SetComponent(metric.CompCache)
+	defer m.SetComponent(prev)
+	e.file.Scan(pg, fn)
 }

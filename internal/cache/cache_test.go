@@ -13,7 +13,7 @@ func newStore(cinval float64) (*Store, *storage.Pager, *metric.Meter) {
 	costs.CInval = cinval
 	m := metric.NewMeter(costs)
 	p := storage.NewPager(storage.NewDisk(32), m)
-	return NewStore(p, m), p, m
+	return NewStore(p.Disk()), p, m
 }
 
 func rec8(v uint64) []byte {
@@ -56,7 +56,7 @@ func TestReplaceValidatesAndStores(t *testing.T) {
 	s, p, m := newStore(0)
 	e := s.Define(1, 8)
 	p.BeginOp()
-	e.Replace([]uint64{1, 2, 3, 4, 5}, [][]byte{rec8(1), rec8(2), rec8(3), rec8(4), rec8(5)})
+	e.Replace(p, []uint64{1, 2, 3, 4, 5}, [][]byte{rec8(1), rec8(2), rec8(3), rec8(4), rec8(5)})
 	p.BeginOp()
 	if !e.Valid() || e.Len() != 5 || e.Pages() != 2 {
 		t.Fatalf("Valid=%v Len=%d Pages=%d", e.Valid(), e.Len(), e.Pages())
@@ -68,7 +68,7 @@ func TestReplaceValidatesAndStores(t *testing.T) {
 	}
 	m.Reset()
 	var got []uint64
-	e.ReadAll(func(k uint64, rec []byte) bool {
+	e.ReadAll(p, func(k uint64, rec []byte) bool {
 		got = append(got, k)
 		return true
 	})
@@ -81,16 +81,16 @@ func TestReplaceValidatesAndStores(t *testing.T) {
 }
 
 func TestInvalidateChargesCinval(t *testing.T) {
-	s, _, m := newStore(60)
+	s, p, m := newStore(60)
 	e := s.Define(1, 8)
-	e.MarkValid()
-	e.Invalidate()
+	e.MarkValid(p)
+	e.Invalidate(p)
 	if e.Valid() {
 		t.Fatal("still valid after Invalidate")
 	}
 	// T3 semantics: every invalidation event is recorded, even when the
 	// entry is already invalid.
-	e.Invalidate()
+	e.Invalidate(p)
 	c := m.Snapshot()
 	if c.Invalidations != 2 {
 		t.Fatalf("Invalidations = %d, want 2", c.Invalidations)
@@ -101,9 +101,9 @@ func TestInvalidateChargesCinval(t *testing.T) {
 }
 
 func TestMarkValid(t *testing.T) {
-	s, _, m := newStore(60)
+	s, p, m := newStore(60)
 	e := s.Define(1, 8)
-	e.MarkValid()
+	e.MarkValid(p)
 	if !e.Valid() {
 		t.Fatal("MarkValid did not validate")
 	}
@@ -124,13 +124,13 @@ func TestDifferentialMaintenanceTouchesOnePage(t *testing.T) {
 		keys[i] = uint64(i * 10)
 		recs[i] = rec8(uint64(i))
 	}
-	e.Replace(keys, recs) // 3 pages
-	e.MarkValid()
+	e.Replace(p, keys, recs) // 3 pages
+	e.MarkValid(p)
 	p.BeginOp()
 	m.Reset()
 	// One differential delete + insert lands on specific pages only.
-	e.File().Delete(50)
-	e.File().Insert(55, rec8(99))
+	e.File().Delete(p, 50)
+	e.File().Insert(p, 55, rec8(99))
 	p.BeginOp()
 	c := m.Snapshot()
 	if c.PageReads > 2 || c.PageWrites > 2 {

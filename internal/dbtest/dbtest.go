@@ -99,24 +99,24 @@ func NewWorld(cfg Config) *World {
 	s2 := R2Schema(cfg.TupleWidth)
 	perPage := cfg.PageSize / cfg.TupleWidth
 	buckets := (cfg.N2 + perPage - 1) / perPage
-	r2 := relation.NewHash(pager, s2, "b", buckets)
+	r2 := relation.NewHash(pager.Disk(), s2, "b", buckets)
 	for j := 0; j < cfg.N2; j++ {
 		t := s2.New()
 		s2.SetByName(t, "tid", int64(j))
 		s2.SetByName(t, "b", int64(j))
 		s2.SetByName(t, "c", int64(j%cfg.N3))
 		s2.SetByName(t, "p2", int64(j%10))
-		r2.Insert(t)
+		r2.Insert(pager, t)
 	}
 
 	s3 := R3Schema(cfg.TupleWidth)
 	buckets3 := (cfg.N3 + perPage - 1) / perPage
-	r3 := relation.NewHash(pager, s3, "d", buckets3)
+	r3 := relation.NewHash(pager.Disk(), s3, "d", buckets3)
 	for j := 0; j < cfg.N3; j++ {
 		t := s3.New()
 		s3.SetByName(t, "tid", int64(j))
 		s3.SetByName(t, "d", int64(j))
-		r3.Insert(t)
+		r3.Insert(pager, t)
 	}
 
 	cat := relation.NewCatalog()

@@ -34,11 +34,12 @@ type Options struct {
 	RecordHistory bool
 	// Tracer, when non-nil, records one obs span per operation, named
 	// session.query / session.update and tagged with the session id and
-	// commit sequence. Spans are begun and ended under the world latch,
-	// so the tracer's LIFO discipline holds. When a Recorder is also
-	// installed, each span additionally carries a wall_wait_ns attribute
-	// (lock + latch wait, a wall-clock quantity absent from pure
-	// simulation traces).
+	// commit sequence. Sessions meter work on private meters, so spans
+	// are adopted fully formed at commit time under the commit mutex: the
+	// trace lists operations in commit order, each placed at the run's
+	// cumulative committed cost. When a Recorder is also installed, each
+	// span additionally carries a wall_wait_ns attribute (lock wait, a
+	// wall-clock quantity absent from pure simulation traces).
 	Tracer *obs.Tracer
 	// Recorder, when non-nil, streams flight events: op begin/commit,
 	// per-lock waits, lock release, and — via the observers the engine
@@ -56,8 +57,9 @@ type Options struct {
 }
 
 // HistoryEntry is one committed operation in the run's history. Seq is
-// the global commit order (the order operations held the world latch);
-// entries in the History slice appear in Seq order.
+// the global commit order, drawn from the engine's commit-sequence
+// counter while the operation's locks are still held; entries in the
+// History slice appear in Seq order.
 type HistoryEntry struct {
 	Session int
 	Seq     int
@@ -68,6 +70,9 @@ type HistoryEntry struct {
 	Result []byte
 	// Tuples counts the query's result tuples.
 	Tuples int
+	// CostMs is the operation's simulated cost: the session meter's delta
+	// across the operation body, priced at the run's cost parameters.
+	CostMs float64
 }
 
 // SessionStats aggregates one session's activity.
@@ -78,12 +83,12 @@ type SessionStats struct {
 	Updates int
 	// Tuples counts result tuples delivered to this session's queries.
 	Tuples int
-	// Counters is the simulated cost charged while this session held the
-	// world latch — the per-session attribution of the shared meter.
+	// Counters is the simulated cost charged to this session's private
+	// meter; per-session counters sum exactly to the run aggregate.
 	Counters metric.Counters
 	// WaitNs, ServiceNs and ThinkNs decompose the session's wall clock:
-	// waiting for locks and the latch, executing under the latch, and
-	// thinking between operations.
+	// waiting for locks, executing the operation body, and thinking
+	// between operations.
 	WaitNs    int64
 	ServiceNs int64
 	ThinkNs   int64
@@ -163,18 +168,21 @@ type Engine struct {
 	locks *LockTable
 	costs metric.Costs
 
-	// world is the substrate latch: the pager, disk, meter and every
-	// strategy structure hang off one simulated machine, so the body of
-	// each operation executes under it. The lock table above it orders
-	// conflicting operations and keeps the logical schedule serializable
-	// even if the latch is later split per subsystem.
-	world sync.Mutex
-	seq   int
-	hist  []HistoryEntry
-	// curSession is the session currently holding the world latch; the
-	// cache observer reads it to attribute validity events (only ever
-	// accessed under the latch).
-	curSession int
+	// commitMu orders commits: the sequence counter, the history append,
+	// the aggregate merge and span adoption form one atomic commit step,
+	// taken while the operation's 2PL footprint is still held. Nothing
+	// else runs under it — operation bodies execute in parallel against
+	// the striped substrate (disk page latches, subsystem mutexes), with
+	// the lock table providing logical isolation.
+	commitMu sync.Mutex
+	seq      int
+	hist     []HistoryEntry
+
+	// agg accumulates every committed operation's per-component cost
+	// delta. Its counters are atomics: a telemetry scrape reads them
+	// mid-run without stalling any session, and each counter is
+	// monotone across scrapes.
+	agg metric.Aggregate
 
 	// Live counters for the /metrics scrape (atomics: read off-thread).
 	inflight  atomic.Int64
@@ -196,10 +204,7 @@ func New(cfg sim.Config, opt Options) *Engine {
 		opt.Clients = 1
 	}
 	w := sim.Build(cfg)
-	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs(), curSession: -1}
-	if opt.Tracer != nil {
-		opt.Tracer.Bind(w.Meter())
-	}
+	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs()}
 	if opt.ProfileLocks {
 		e.locks.EnableProfiling()
 	}
@@ -209,10 +214,10 @@ func New(cfg sim.Config, opt Options) *Engine {
 	}
 	if rec := opt.Recorder; rec != nil {
 		if store := w.CacheStore(); store != nil {
-			store.SetObserver(func(event string, id int) {
-				// Runs under the world latch (validity transitions happen
-				// inside ExecOp), so curSession is the responsible session.
-				rec.Op(event, e.curSession, -1, fmt.Sprintf("proc:%d", id), 0, 0)
+			store.SetObserver(func(event string, id, session int) {
+				// The session tag rides on the pager the transition was
+				// charged to, so attribution survives parallel execution.
+				rec.Op(event, session, -1, fmt.Sprintf("proc:%d", id), 0, 0)
 			})
 		}
 	}
@@ -262,6 +267,10 @@ func (e *Engine) footprint(op workload.Op) Footprint {
 	return f
 }
 
+// OpFootprint exposes the 2PL lock footprint Run would acquire for op,
+// for conflict analysis by benchmark harnesses and scaling projections.
+func (e *Engine) OpFootprint(op workload.Op) Footprint { return e.footprint(op) }
+
 // Run executes the world's workload across Options.Clients sessions: the
 // canonical operation stream is dealt round-robin to the sessions, each
 // session submits its operations in order (closed loop, thinking between
@@ -291,6 +300,12 @@ func (e *Engine) Run(ctx context.Context) Result {
 		go func(s int, myOps []workload.Op) {
 			defer wg.Done()
 			rec := e.opt.Recorder
+			// The session's private pager and meter: shared disk, own
+			// operation scope and cost attribution. A fresh session pager
+			// is in exactly the state Build leaves the world's pager, so
+			// one session reproduces the sequential run byte for byte.
+			pg := e.w.SessionPager(s)
+			meter := pg.Meter()
 			var sessWall, sessSim *telemetry.Sketch
 			if e.opt.Sketches {
 				sessWall = telemetry.NewSketch()
@@ -316,7 +331,6 @@ func (e *Engine) Run(ctx context.Context) Result {
 				e.inflight.Add(1)
 				opStart := time.Now()
 				held := e.locks.Acquire(e.footprint(op))
-				e.world.Lock()
 				waited := time.Since(opStart)
 				if rec != nil {
 					for _, lw := range held.Waits() {
@@ -324,30 +338,37 @@ func (e *Engine) Run(ctx context.Context) Result {
 					}
 				}
 
-				e.curSession = s
-				before := e.w.Meter().Snapshot()
-				var sp *obs.Span
+				before := meter.Breakdown()
+				r := e.w.ExecOpOn(pg, op)
+				deltaBd := meter.Breakdown().Sub(before)
+				delta := deltaBd.Total()
+
+				// Commit: draw the sequence, adopt the operation's span,
+				// merge the session's cost delta into the run aggregate
+				// and append the history entry — one atomic step, taken
+				// while the 2PL footprint is still held so commit order
+				// serializes conflicting operations.
+				e.commitMu.Lock()
+				seq := e.seq
+				e.seq++
 				if t := e.opt.Tracer; t != nil {
+					name := "session.update"
 					if op.Kind == workload.Query {
-						sp = t.Begin("session.query")
+						name = "session.query"
+					}
+					sp := t.Adopt(name, e.agg.Total().Milliseconds(e.costs), delta, e.costs)
+					if op.Kind == workload.Query {
 						sp.Set("proc", op.ProcID)
-					} else {
-						sp = t.Begin("session.update")
 					}
 					sp.Set("session", s)
-					sp.Set("seq", e.seq)
+					sp.Set("seq", seq)
 					if rec != nil {
 						sp.Set("wall_wait_ns", int64(waited))
 					}
 				}
-				r := e.w.ExecOp(op)
-				e.opt.Tracer.End(sp)
-				delta := e.w.Meter().Since(before)
-
-				seq := e.seq
-				e.seq++
+				e.agg.AddBreakdown(deltaBd)
 				if e.opt.RecordHistory {
-					he := HistoryEntry{Session: s, Seq: seq, Op: op}
+					he := HistoryEntry{Session: s, Seq: seq, Op: op, CostMs: delta.Milliseconds(e.costs)}
 					if op.Kind == workload.Update {
 						he.Update = r.Update
 					} else {
@@ -356,8 +377,7 @@ func (e *Engine) Run(ctx context.Context) Result {
 					}
 					e.hist = append(e.hist, he)
 				}
-				e.curSession = -1
-				e.world.Unlock()
+				e.commitMu.Unlock()
 				held.Release()
 				service := time.Since(opStart) - waited
 				e.inflight.Add(-1)
@@ -413,7 +433,7 @@ func (e *Engine) Run(ctx context.Context) Result {
 	if res.WallSec > 0 {
 		res.Throughput = float64(res.Ops) / res.WallSec
 	}
-	res.SimTotalMs = res.Counters.Milliseconds(e.w.Meter().Costs())
+	res.SimTotalMs = res.Counters.Milliseconds(e.costs)
 	res.History = e.hist
 	if e.opt.ProfileLocks {
 		res.Contention = e.locks.Contention()
@@ -432,9 +452,9 @@ func (e *Engine) Locks() *LockTable { return e.locks }
 // TelemetryMetrics implements telemetry.Source: the engine's live
 // /metrics samples. Safe to call from a scrape goroutine during Run —
 // the counters are atomics, the lock profile is an atomic snapshot, and
-// the simulated-cost counters are read only if the world latch is free
-// at scrape time (a busy latch skips them rather than stalling a
-// session).
+// the simulated-cost counters are atomic reads of the commit aggregate,
+// so every scrape sees them (mid-operation included) and each counter
+// is monotone across scrapes.
 func (e *Engine) TelemetryMetrics() []telemetry.Metric {
 	ms := []telemetry.Metric{
 		telemetry.Gauge("dbproc_sessions", "Configured client sessions.", float64(e.opt.Clients), nil),
@@ -463,25 +483,22 @@ func (e *Engine) TelemetryMetrics() []telemetry.Metric {
 			)
 		}
 	}
-	// Simulated-cost counters live behind the world latch; TryLock so a
-	// scrape never blocks a session mid-operation.
-	if e.world.TryLock() {
-		c := e.w.Meter().Snapshot()
-		e.world.Unlock()
-		for _, s := range []struct {
-			event string
-			n     int64
-		}{
-			{"page_read", c.PageReads},
-			{"page_write", c.PageWrites},
-			{"screen", c.Screens},
-			{"delta_op", c.DeltaOps},
-			{"invalidation", c.Invalidations},
-		} {
-			ms = append(ms, telemetry.Counter("dbproc_sim_events_total",
-				"Simulated cost events by kind.", float64(s.n),
-				map[string]string{"event": s.event}))
-		}
+	// Simulated-cost counters come straight from the commit aggregate's
+	// atomics: no latch to try, no scrape ever skipped.
+	c := e.agg.Total()
+	for _, s := range []struct {
+		event string
+		n     int64
+	}{
+		{"page_read", c.PageReads},
+		{"page_write", c.PageWrites},
+		{"screen", c.Screens},
+		{"delta_op", c.DeltaOps},
+		{"invalidation", c.Invalidations},
+	} {
+		ms = append(ms, telemetry.Counter("dbproc_sim_events_total",
+			"Simulated cost events by kind.", float64(s.n),
+			map[string]string{"event": s.event}))
 	}
 	return ms
 }

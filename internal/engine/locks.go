@@ -13,9 +13,11 @@
 //     ordering);
 //  2. subsystem mutexes inside ilock, cache, avm, rete and vlog that make
 //     each shared structure individually safe;
-//  3. a world latch serializing access to the physical substrate (the one
-//     simulated disk arm, its pager, and the cost meter), held for the
-//     body of each operation.
+//  3. striped latches in the storage layer — per-page reader/writer
+//     latches on the shared disk — plus a private pager and cost meter
+//     per session, so operation bodies run physically in parallel; a
+//     small commit mutex orders only the commit step itself (sequence
+//     draw, history append, aggregate merge).
 package engine
 
 import (
@@ -82,6 +84,39 @@ func (f *Footprint) normalize() {
 		f.names = append(f.names, r.name)
 		f.excl = append(f.excl, r.excl)
 	}
+}
+
+// normalized returns a canonical copy, leaving the receiver untouched.
+func (f Footprint) normalized() Footprint {
+	c := Footprint{
+		names: append([]string(nil), f.names...),
+		excl:  append([]bool(nil), f.excl...),
+	}
+	c.normalize()
+	return c
+}
+
+// Conflicts reports whether two footprints cannot be held simultaneously:
+// they name a common resource that at least one side locks exclusively.
+func (f Footprint) Conflicts(g Footprint) bool {
+	f = f.normalized()
+	g = g.normalized()
+	i, j := 0, 0
+	for i < len(f.names) && j < len(g.names) {
+		switch {
+		case f.names[i] < g.names[j]:
+			i++
+		case f.names[i] > g.names[j]:
+			j++
+		default:
+			if f.excl[i] || g.excl[j] {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
 }
 
 // lockShards stripes the name→lock map so sessions creating or looking up

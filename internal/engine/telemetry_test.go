@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -205,6 +206,97 @@ func TestTelemetryMetricsSource(t *testing.T) {
 	telemetry.WriteMetrics(&buf, ms)
 	if !strings.Contains(buf.String(), "dbproc_ops_committed_total") {
 		t.Fatalf("render:\n%.300s", buf.String())
+	}
+}
+
+// TestMidRunScrapeMonotone scrapes TelemetryMetrics continuously while a
+// multi-session run is live. The scrape must never block on a session
+// (the commit aggregate is atomics, not a latch), every scrape must
+// succeed — there is no "try" path that skips a busy sample — and each
+// counter must be monotone from one scrape to the next. The final scrape
+// must agree exactly with the run result.
+func TestMidRunScrapeMonotone(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	cfg := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 37, 14, 22)
+	e := New(cfg, Options{Clients: 4, ThinkMeanMs: 0.2, ProfileLocks: true})
+
+	monotone := []string{
+		"dbproc_sim_events_total",
+		"dbproc_ops_committed_total",
+		"dbproc_lock_acquires_total",
+		"dbproc_lock_contended_total",
+		"dbproc_lock_wait_seconds_total",
+	}
+	isMonotone := map[string]bool{}
+	for _, n := range monotone {
+		isMonotone[n] = true
+	}
+	key := func(m telemetry.Metric) string {
+		return m.Name + "|" + m.Labels["event"] + "|" + m.Labels["lock"]
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var scrapes int
+	go func() {
+		defer close(done)
+		prev := map[string]float64{}
+		for {
+			for _, m := range e.TelemetryMetrics() {
+				if !isMonotone[m.Name] {
+					continue
+				}
+				k := key(m)
+				if m.Value < prev[k] {
+					t.Errorf("scrape %d: %s went backwards: %v -> %v", scrapes, k, prev[k], m.Value)
+					return
+				}
+				prev[k] = m.Value
+			}
+			scrapes++
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	res := e.Run(context.Background())
+	close(stop)
+	<-done
+	if scrapes < 10 {
+		t.Fatalf("only %d scrapes completed alongside the run", scrapes)
+	}
+
+	// The post-run scrape equals the result exactly: nothing was lost to a
+	// skipped sample.
+	evs := map[string]float64{}
+	var committed float64
+	for _, m := range e.TelemetryMetrics() {
+		switch m.Name {
+		case "dbproc_sim_events_total":
+			evs[m.Labels["event"]] = m.Value
+		case "dbproc_ops_committed_total":
+			committed = m.Value
+		}
+	}
+	if committed != float64(res.Ops) {
+		t.Fatalf("committed = %v, want %d", committed, res.Ops)
+	}
+	c := res.Counters
+	want := map[string]float64{
+		"page_read":    float64(c.PageReads),
+		"page_write":   float64(c.PageWrites),
+		"screen":       float64(c.Screens),
+		"delta_op":     float64(c.DeltaOps),
+		"invalidation": float64(c.Invalidations),
+	}
+	for ev, w := range want {
+		if evs[ev] != w {
+			t.Fatalf("final scrape %s = %v, want %v (all: %v)", ev, evs[ev], w, evs)
+		}
 	}
 }
 

@@ -52,6 +52,17 @@ type ConcurrentBenchRow struct {
 	// MatchesSequential is set on one-client rows: counters, tuple counts
 	// and simulated cost equal the sequential simulator's byte for byte.
 	MatchesSequential bool `json:"matches_sequential,omitempty"`
+	// WallParallelSpeedup bounds the wall-clock speedup the latch-free
+	// substrate admits at this session count: total simulated work over
+	// the makespan of a greedy list schedule of the committed history onto
+	// Clients workers, where operations whose 2PL footprints conflict may
+	// not overlap. Unlike Speedup (which also counts overlapped think
+	// time), this isolates genuine parallel execution of operation bodies.
+	WallParallelSpeedup float64 `json:"wall_parallel_speedup,omitempty"`
+	// Projected marks rows measured on a host with fewer cores than
+	// sessions: there the measured throughput cannot corroborate
+	// WallParallelSpeedup, so the figure is the schedule bound only.
+	Projected bool `json:"projected,omitempty"`
 	// WallLatency / SimLatency summarize per-operation latency from the
 	// engine's streaming P² sketches: wall-clock nanoseconds (lock wait +
 	// latched service) and simulated milliseconds.
@@ -60,6 +71,54 @@ type ConcurrentBenchRow struct {
 	// Contention is the run's per-lock wall-clock contention profile,
 	// sorted by total wait time descending.
 	Contention []telemetry.LockContentionJSON `json:"contention,omitempty"`
+}
+
+// wallParallelSpeedup bounds the wall-clock speedup the latch-free
+// substrate could realize for a committed history on `workers` cores: a
+// greedy list schedule in commit order, where an operation may not
+// overlap any earlier operation whose 2PL footprint conflicts with its
+// own, priced in simulated milliseconds. Total work over makespan is the
+// speedup. One worker (or an empty history) trivially yields 1.
+func wallParallelSpeedup(e *engine.Engine, hist []engine.HistoryEntry, workers int) float64 {
+	if len(hist) == 0 || workers <= 1 {
+		return 1
+	}
+	fps := make([]engine.Footprint, len(hist))
+	var total float64
+	for i, he := range hist {
+		fps[i] = e.OpFootprint(he.Op)
+		total += he.CostMs
+	}
+	ends := make([]float64, len(hist))
+	free := make([]float64, workers)
+	var makespan float64
+	for i, he := range hist {
+		var ready float64
+		for j := 0; j < i; j++ {
+			if ends[j] > ready && fps[i].Conflicts(fps[j]) {
+				ready = ends[j]
+			}
+		}
+		w := 0
+		for k := 1; k < workers; k++ {
+			if free[k] < free[w] {
+				w = k
+			}
+		}
+		start := ready
+		if free[w] > start {
+			start = free[w]
+		}
+		ends[i] = start + he.CostMs
+		free[w] = ends[i]
+		if ends[i] > makespan {
+			makespan = ends[i]
+		}
+	}
+	if makespan <= 0 {
+		return 1
+	}
+	return total / makespan
 }
 
 // concurrentBenchParams is the measured workload: the paper's default
@@ -117,10 +176,11 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 					return rep
 				}
 				eopt := engine.Options{
-					Clients:      clients,
-					ThinkMeanMs:  think,
-					ProfileLocks: true,
-					Sketches:     true,
+					Clients:       clients,
+					ThinkMeanMs:   think,
+					RecordHistory: true,
+					ProfileLocks:  true,
+					Sketches:      true,
 				}
 				if opt.Hub != nil {
 					eopt.Recorder = opt.Hub.Recorder()
@@ -142,6 +202,8 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 					SimLatency:    res.SimLatency,
 					Contention:    engine.ContentionJSON(res.Contention),
 				}
+				row.WallParallelSpeedup = wallParallelSpeedup(e, res.History, clients)
+				row.Projected = clients > rep.Cores
 				if i == 0 {
 					base = res.Throughput
 					if clients == 1 {

@@ -32,6 +32,15 @@ func TestConcurrentBenchShape(t *testing.T) {
 		if row.SimTotalMs <= 0 {
 			t.Errorf("%s/%s clients=%d: simulated cost %v", row.Strategy, row.Model, row.Clients, row.SimTotalMs)
 		}
+		// The latch-free schedule bound: a list schedule can never beat
+		// the worker count nor lose to serial execution.
+		if row.WallParallelSpeedup < 1 || row.WallParallelSpeedup > float64(row.Clients)+1e-9 {
+			t.Errorf("%s/%s clients=%d: wall_parallel_speedup %v outside [1, clients]",
+				row.Strategy, row.Model, row.Clients, row.WallParallelSpeedup)
+		}
+		if row.Clients == 1 && row.WallParallelSpeedup != 1 {
+			t.Errorf("%s/%s: one-client schedule bound %v, want 1", row.Strategy, row.Model, row.WallParallelSpeedup)
+		}
 	}
 }
 

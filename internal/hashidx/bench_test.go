@@ -15,36 +15,36 @@ func paperTable(b *testing.B) (*Table, *storage.Pager) {
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(4000), m)
 	p.SetCharging(false)
-	t := New(p, 100, 250, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
+	t := New(p.Disk(), 100, 250, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
 	rec := make([]byte, 100)
 	for i := uint64(0); i < 10_000; i++ {
 		binary.LittleEndian.PutUint64(rec, i)
-		t.Insert(append([]byte(nil), rec...))
+		t.Insert(p, append([]byte(nil), rec...))
 	}
 	return t, p
 }
 
 func BenchmarkLookup(b *testing.B) {
-	t, _ := paperTable(b)
+	t, p := paperTable(b)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := t.Lookup(uint64(rng.Intn(10_000))); !ok {
+		if _, ok := t.Lookup(p, uint64(rng.Intn(10_000))); !ok {
 			b.Fatal("miss")
 		}
 	}
 }
 
 func BenchmarkInsertDelete(b *testing.B) {
-	t, _ := paperTable(b)
+	t, p := paperTable(b)
 	rec := make([]byte, 100)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(10_000 + i)
 		binary.LittleEndian.PutUint64(rec, k)
-		t.Insert(append([]byte(nil), rec...))
-		t.Delete(k)
+		t.Insert(p, append([]byte(nil), rec...))
+		t.Delete(p, k)
 	}
 }
 
@@ -55,7 +55,7 @@ func BenchmarkProbeBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.BeginOp()
 		for j := 0; j < 100; j++ { // a P2 procedure's fN probes
-			t.Lookup(uint64(rng.Intn(10_000)))
+			t.Lookup(p, uint64(rng.Intn(10_000)))
 		}
 	}
 }

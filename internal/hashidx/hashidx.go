@@ -5,6 +5,12 @@
 // touches one page in the well-sized case, so a batch of k random probes
 // touches ~y(n, m, k) distinct pages — the quantity the cost model charges
 // for index-nested-loop joins.
+//
+// A Table is bound to a Disk; every access method takes the calling
+// session's Pager so concurrent sessions can probe one shared table while
+// each charges its own meter. The bucket directory is not internally
+// synchronized — callers serialize mutations against reads (the engine's
+// 2PL relation locks do).
 package hashidx
 
 import (
@@ -18,7 +24,7 @@ type KeyFunc func(rec []byte) uint64
 
 // Table is a static-hash file of fixed-size records.
 type Table struct {
-	pager   *storage.Pager
+	disk    *storage.Disk
 	recSize int
 	perPage int
 	keyOf   KeyFunc
@@ -32,10 +38,10 @@ type bucket struct {
 }
 
 // New creates an empty hash file with the given number of primary buckets.
-func New(pager *storage.Pager, recSize, numBuckets int, keyOf KeyFunc) *Table {
-	perPage := pager.Disk().PageSize() / recSize
+func New(disk *storage.Disk, recSize, numBuckets int, keyOf KeyFunc) *Table {
+	perPage := disk.PageSize() / recSize
 	if recSize <= 0 || perPage < 1 {
-		panic(fmt.Sprintf("hashidx: record size %d does not fit page size %d", recSize, pager.Disk().PageSize()))
+		panic(fmt.Sprintf("hashidx: record size %d does not fit page size %d", recSize, disk.PageSize()))
 	}
 	if numBuckets < 1 {
 		panic("hashidx: need at least one bucket")
@@ -44,7 +50,7 @@ func New(pager *storage.Pager, recSize, numBuckets int, keyOf KeyFunc) *Table {
 		panic("hashidx: nil KeyFunc")
 	}
 	return &Table{
-		pager:   pager,
+		disk:    disk,
 		recSize: recSize,
 		perPage: perPage,
 		keyOf:   keyOf,
@@ -76,7 +82,7 @@ func (t *Table) bucketFor(key uint64) *bucket {
 
 // Insert stores a record in its key's bucket, allocating an overflow page
 // if the chain is full. Duplicate keys are allowed.
-func (t *Table) Insert(rec []byte) {
+func (t *Table) Insert(pg *storage.Pager, rec []byte) {
 	if len(rec) != t.recSize {
 		panic(fmt.Sprintf("hashidx: record of %d bytes, want %d", len(rec), t.recSize))
 	}
@@ -84,11 +90,11 @@ func (t *Table) Insert(rec []byte) {
 	slot := b.count % t.perPage
 	var buf []byte
 	if slot == 0 && b.count == len(b.pages)*t.perPage {
-		id := t.pager.Disk().Alloc()
+		id := t.disk.Alloc()
 		b.pages = append(b.pages, id)
-		buf = t.pager.Overwrite(id)
+		buf = pg.Overwrite(id)
 	} else {
-		buf = t.pager.Update(b.pages[b.count/t.perPage])
+		buf = pg.Update(b.pages[b.count/t.perPage])
 	}
 	copy(buf[slot*t.recSize:], rec)
 	b.count++
@@ -97,9 +103,9 @@ func (t *Table) Insert(rec []byte) {
 
 // Lookup returns a copy of the first record with the given key, reading
 // the bucket chain until found.
-func (t *Table) Lookup(key uint64) ([]byte, bool) {
+func (t *Table) Lookup(pg *storage.Pager, key uint64) ([]byte, bool) {
 	var out []byte
-	t.LookupEach(key, func(rec []byte) bool {
+	t.LookupEach(pg, key, func(rec []byte) bool {
 		out = make([]byte, t.recSize)
 		copy(out, rec)
 		return false
@@ -112,14 +118,14 @@ func (t *Table) Lookup(key uint64) ([]byte, bool) {
 // call. Matching by key is the hash machinery itself and is not a charged
 // predicate screen; callers charge C1 for the predicates they evaluate on
 // the results.
-func (t *Table) LookupEach(key uint64, fn func(rec []byte) bool) {
+func (t *Table) LookupEach(pg *storage.Pager, key uint64, fn func(rec []byte) bool) {
 	b := t.bucketFor(key)
 	remaining := b.count
 	for _, id := range b.pages {
 		if remaining <= 0 {
 			return
 		}
-		buf := t.pager.Read(id)
+		buf := pg.Read(id)
 		limit := t.perPage
 		if remaining < limit {
 			limit = remaining
@@ -137,18 +143,18 @@ func (t *Table) LookupEach(key uint64, fn func(rec []byte) bool) {
 // Delete removes the first record with the given key, reporting whether
 // one was present. The vacated slot is filled by the bucket's last record;
 // an emptied overflow page is freed.
-func (t *Table) Delete(key uint64) bool {
-	return t.deleteWhere(key, func([]byte) bool { return true })
+func (t *Table) Delete(pg *storage.Pager, key uint64) bool {
+	return t.deleteWhere(pg, key, func([]byte) bool { return true })
 }
 
 // DeleteExact removes the first record whose bytes equal rec entirely,
 // reporting whether one was present — the safe delete when several records
 // share a hash key.
-func (t *Table) DeleteExact(rec []byte) bool {
+func (t *Table) DeleteExact(pg *storage.Pager, rec []byte) bool {
 	if len(rec) != t.recSize {
 		panic(fmt.Sprintf("hashidx: record of %d bytes, want %d", len(rec), t.recSize))
 	}
-	return t.deleteWhere(t.keyOf(rec), func(got []byte) bool {
+	return t.deleteWhere(pg, t.keyOf(rec), func(got []byte) bool {
 		for i := range rec {
 			if got[i] != rec[i] {
 				return false
@@ -158,7 +164,7 @@ func (t *Table) DeleteExact(rec []byte) bool {
 	})
 }
 
-func (t *Table) deleteWhere(key uint64, match func([]byte) bool) bool {
+func (t *Table) deleteWhere(pg *storage.Pager, key uint64, match func([]byte) bool) bool {
 	b := t.bucketFor(key)
 	// Find the record's position in the chain.
 	pos := -1
@@ -168,7 +174,7 @@ scan:
 		if remaining <= 0 {
 			break
 		}
-		buf := t.pager.Read(id)
+		buf := pg.Read(id)
 		limit := t.perPage
 		if remaining < limit {
 			limit = remaining
@@ -187,31 +193,31 @@ scan:
 	}
 	last := b.count - 1
 	if pos != last {
-		lastBuf := t.pager.Read(b.pages[last/t.perPage])
+		lastBuf := pg.Read(b.pages[last/t.perPage])
 		rec := make([]byte, t.recSize)
 		copy(rec, lastBuf[(last%t.perPage)*t.recSize:])
-		buf := t.pager.Update(b.pages[pos/t.perPage])
+		buf := pg.Update(b.pages[pos/t.perPage])
 		copy(buf[(pos%t.perPage)*t.recSize:], rec)
 	} else {
 		// Still a write: the slot is cleared below.
-		_ = t.pager.Update(b.pages[pos/t.perPage])
+		_ = pg.Update(b.pages[pos/t.perPage])
 	}
-	lb := t.pager.Update(b.pages[last/t.perPage])
+	lb := pg.Update(b.pages[last/t.perPage])
 	clear(lb[(last%t.perPage)*t.recSize : (last%t.perPage+1)*t.recSize])
 	b.count--
 	t.n--
 	if b.count%t.perPage == 0 && len(b.pages) > 0 && b.count == (len(b.pages)-1)*t.perPage {
 		id := b.pages[len(b.pages)-1]
 		b.pages = b.pages[:len(b.pages)-1]
-		t.pager.Drop(id)
-		t.pager.Disk().Free(id)
+		pg.Drop(id)
+		t.disk.Free(id)
 	}
 	return true
 }
 
 // ScanAll visits every record in bucket order. The rec slice is valid only
 // during the call.
-func (t *Table) ScanAll(fn func(rec []byte) bool) {
+func (t *Table) ScanAll(pg *storage.Pager, fn func(rec []byte) bool) {
 	for i := range t.buckets {
 		b := &t.buckets[i]
 		remaining := b.count
@@ -219,7 +225,7 @@ func (t *Table) ScanAll(fn func(rec []byte) bool) {
 			if remaining <= 0 {
 				break
 			}
-			buf := t.pager.Read(id)
+			buf := pg.Read(id)
 			limit := t.perPage
 			if remaining < limit {
 				limit = remaining

@@ -22,24 +22,24 @@ func recFor(key, val uint64) []byte {
 func newTestTable(pageSize, buckets int) (*Table, *storage.Pager, *metric.Meter) {
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(pageSize), m)
-	return New(p, 16, buckets, keyOf), p, m
+	return New(p.Disk(), 16, buckets, keyOf), p, m
 }
 
 func TestInsertLookup(t *testing.T) {
-	tbl, _, _ := newTestTable(64, 8)
+	tbl, p, _ := newTestTable(64, 8)
 	for i := uint64(0); i < 100; i++ {
-		tbl.Insert(recFor(i, i*2))
+		tbl.Insert(p, recFor(i, i*2))
 	}
 	if tbl.Len() != 100 {
 		t.Fatalf("Len = %d", tbl.Len())
 	}
 	for i := uint64(0); i < 100; i++ {
-		rec, ok := tbl.Lookup(i)
+		rec, ok := tbl.Lookup(p, i)
 		if !ok || binary.LittleEndian.Uint64(rec[8:]) != i*2 {
 			t.Fatalf("Lookup(%d) = %v, %v", i, rec, ok)
 		}
 	}
-	if _, ok := tbl.Lookup(1000); ok {
+	if _, ok := tbl.Lookup(p, 1000); ok {
 		t.Fatal("Lookup(1000) hit")
 	}
 	if tbl.NumBuckets() != 8 || tbl.PerPage() != 4 {
@@ -48,28 +48,28 @@ func TestInsertLookup(t *testing.T) {
 }
 
 func TestOverflowChains(t *testing.T) {
-	tbl, _, _ := newTestTable(64, 2) // everything lands in 2 buckets
+	tbl, p, _ := newTestTable(64, 2) // everything lands in 2 buckets
 	for i := uint64(0); i < 64; i++ {
-		tbl.Insert(recFor(i, i))
+		tbl.Insert(p, recFor(i, i))
 	}
 	// 32 records per bucket at 4 per page: 8 pages per bucket.
 	if got := tbl.Pages(); got != 16 {
 		t.Fatalf("Pages = %d, want 16", got)
 	}
 	for i := uint64(0); i < 64; i++ {
-		if _, ok := tbl.Lookup(i); !ok {
+		if _, ok := tbl.Lookup(p, i); !ok {
 			t.Fatalf("Lookup(%d) missed in overflow chain", i)
 		}
 	}
 }
 
 func TestDuplicateKeys(t *testing.T) {
-	tbl, _, _ := newTestTable(64, 4)
-	tbl.Insert(recFor(5, 1))
-	tbl.Insert(recFor(5, 2))
-	tbl.Insert(recFor(5, 3))
+	tbl, p, _ := newTestTable(64, 4)
+	tbl.Insert(p, recFor(5, 1))
+	tbl.Insert(p, recFor(5, 2))
+	tbl.Insert(p, recFor(5, 3))
 	var vals []uint64
-	tbl.LookupEach(5, func(rec []byte) bool {
+	tbl.LookupEach(p, 5, func(rec []byte) bool {
 		vals = append(vals, binary.LittleEndian.Uint64(rec[8:]))
 		return true
 	})
@@ -78,16 +78,16 @@ func TestDuplicateKeys(t *testing.T) {
 	}
 	// Early stop after the first.
 	count := 0
-	tbl.LookupEach(5, func([]byte) bool { count++; return false })
+	tbl.LookupEach(p, 5, func([]byte) bool { count++; return false })
 	if count != 1 {
 		t.Fatalf("early stop visited %d", count)
 	}
 	// Delete removes exactly one.
-	if !tbl.Delete(5) {
+	if !tbl.Delete(p, 5) {
 		t.Fatal("Delete missed")
 	}
 	count = 0
-	tbl.LookupEach(5, func([]byte) bool { count++; return true })
+	tbl.LookupEach(p, 5, func([]byte) bool { count++; return true })
 	if count != 2 {
 		t.Fatalf("after delete, %d records remain, want 2", count)
 	}
@@ -96,14 +96,14 @@ func TestDuplicateKeys(t *testing.T) {
 func TestDeleteCompactsAndFreesPages(t *testing.T) {
 	tbl, p, _ := newTestTable(64, 1)
 	for i := uint64(0); i < 12; i++ { // 3 pages in the single bucket
-		tbl.Insert(recFor(i, i))
+		tbl.Insert(p, recFor(i, i))
 	}
 	if tbl.Pages() != 3 {
 		t.Fatalf("Pages = %d", tbl.Pages())
 	}
 	allocated := p.Disk().NumPages()
 	for i := uint64(0); i < 8; i++ {
-		if !tbl.Delete(i) {
+		if !tbl.Delete(p, i) {
 			t.Fatalf("Delete(%d) missed", i)
 		}
 	}
@@ -111,31 +111,31 @@ func TestDeleteCompactsAndFreesPages(t *testing.T) {
 		t.Fatalf("Len=%d Pages=%d after deletes, want 4 and 1", tbl.Len(), tbl.Pages())
 	}
 	for i := uint64(8); i < 12; i++ {
-		if _, ok := tbl.Lookup(i); !ok {
+		if _, ok := tbl.Lookup(p, i); !ok {
 			t.Fatalf("Lookup(%d) missed after compaction", i)
 		}
 	}
 	// Freed pages are reused on regrowth.
 	for i := uint64(0); i < 8; i++ {
-		tbl.Insert(recFor(i, i))
+		tbl.Insert(p, recFor(i, i))
 	}
 	if got := p.Disk().NumPages(); got != allocated {
 		t.Fatalf("regrowth allocated new pages: %d vs %d", got, allocated)
 	}
-	if tbl.Delete(999) {
+	if tbl.Delete(p, 999) {
 		t.Fatal("Delete of absent key hit")
 	}
 }
 
 func TestScanAll(t *testing.T) {
-	tbl, _, _ := newTestTable(64, 4)
+	tbl, p, _ := newTestTable(64, 4)
 	want := map[uint64]bool{}
 	for i := uint64(0); i < 50; i++ {
-		tbl.Insert(recFor(i, i))
+		tbl.Insert(p, recFor(i, i))
 		want[i] = true
 	}
 	seen := map[uint64]bool{}
-	tbl.ScanAll(func(rec []byte) bool {
+	tbl.ScanAll(p, func(rec []byte) bool {
 		seen[keyOf(rec)] = true
 		return true
 	})
@@ -143,7 +143,7 @@ func TestScanAll(t *testing.T) {
 		t.Fatalf("ScanAll saw %d distinct keys, want %d", len(seen), len(want))
 	}
 	count := 0
-	tbl.ScanAll(func([]byte) bool { count++; return count < 5 })
+	tbl.ScanAll(p, func([]byte) bool { count++; return count < 5 })
 	if count != 5 {
 		t.Fatalf("early stop visited %d", count)
 	}
@@ -153,14 +153,14 @@ func TestProbeIOCharges(t *testing.T) {
 	tbl, p, m := newTestTable(64, 16)
 	p.SetCharging(false)
 	for i := uint64(0); i < 64; i++ { // exactly 4 per bucket: one page each
-		tbl.Insert(recFor(i, i))
+		tbl.Insert(p, recFor(i, i))
 	}
 	p.SetCharging(true)
 
 	// A single probe reads exactly one bucket page.
 	p.BeginOp()
 	m.Reset()
-	tbl.Lookup(7)
+	tbl.Lookup(p, 7)
 	if got := m.Snapshot().PageReads; got != 1 {
 		t.Fatalf("single probe charged %d reads, want 1", got)
 	}
@@ -170,7 +170,7 @@ func TestProbeIOCharges(t *testing.T) {
 	p.BeginOp()
 	m.Reset()
 	for i := 0; i < 32; i++ {
-		tbl.Lookup(uint64(i % 8)) // 8 distinct buckets
+		tbl.Lookup(p, uint64(i%8)) // 8 distinct buckets
 	}
 	if got := m.Snapshot().PageReads; got != 8 {
 		t.Fatalf("32 probes over 8 buckets charged %d reads, want 8", got)
@@ -181,10 +181,10 @@ func TestConstructorPanics(t *testing.T) {
 	m := metric.NewMeter(metric.DefaultCosts())
 	p := storage.NewPager(storage.NewDisk(64), m)
 	for name, fn := range map[string]func(){
-		"record too large": func() { New(p, 128, 4, keyOf) },
-		"zero buckets":     func() { New(p, 16, 0, keyOf) },
-		"nil key":          func() { New(p, 16, 4, nil) },
-		"bad record":       func() { tbl, _, _ := newTestTable(64, 4); tbl.Insert(make([]byte, 3)) },
+		"record too large": func() { New(p.Disk(), 128, 4, keyOf) },
+		"zero buckets":     func() { New(p.Disk(), 16, 0, keyOf) },
+		"nil key":          func() { New(p.Disk(), 16, 4, nil) },
+		"bad record":       func() { tbl, p, _ := newTestTable(64, 4); tbl.Insert(p, make([]byte, 3)) },
 	} {
 		func() {
 			defer func() {
@@ -201,18 +201,18 @@ func TestConstructorPanics(t *testing.T) {
 // operations.
 func TestTableMatchesReferenceModel(t *testing.T) {
 	f := func(seed int64, opsRaw []uint8) bool {
-		tbl, _, _ := newTestTable(64, 4)
+		tbl, p, _ := newTestTable(64, 4)
 		ref := map[uint64]int{} // key -> multiplicity
 		total := 0
 		rng := rand.New(rand.NewSource(seed))
 		for _, op := range opsRaw {
 			k := uint64(rng.Intn(20))
 			if op%3 > 0 {
-				tbl.Insert(recFor(k, uint64(op)))
+				tbl.Insert(p, recFor(k, uint64(op)))
 				ref[k]++
 				total++
 			} else {
-				had := tbl.Delete(k)
+				had := tbl.Delete(p, k)
 				if had != (ref[k] > 0) {
 					return false
 				}
@@ -227,7 +227,7 @@ func TestTableMatchesReferenceModel(t *testing.T) {
 		}
 		for k, want := range ref {
 			got := 0
-			tbl.LookupEach(k, func([]byte) bool { got++; return true })
+			tbl.LookupEach(p, k, func([]byte) bool { got++; return true })
 			if got != want {
 				return false
 			}

@@ -22,18 +22,23 @@ import (
 type Owner int
 
 // Manager is the i-lock table for one database. It is safe for concurrent
-// use: the table is shared by every session of the concurrent engine, and
-// one session setting locks while another scans for conflicts must each
-// see a consistent table. Atomicity across calls (e.g. conflict detection
-// coupled with a validity flip) is the caller's concern — the engine's
-// lock footprints provide it.
+// use and striped per relation: the relation directory and the owner
+// index each have their own lock, and every relation's interval/key
+// buckets have theirs, so sessions setting locks on one relation do not
+// serialize against sessions probing another. No path holds two stripe
+// locks at once, so the striping cannot deadlock. Atomicity across calls
+// (e.g. conflict detection coupled with a validity flip) is the caller's
+// concern — the engine's lock footprints provide it.
 type Manager struct {
-	mu     sync.RWMutex
-	rels   map[string]*relLocks
-	owners map[Owner][]lockRef
+	relMu sync.RWMutex
+	rels  map[string]*relLocks
+
+	ownerMu sync.Mutex
+	owners  map[Owner][]lockRef
 }
 
 type relLocks struct {
+	mu sync.RWMutex
 	// intervals, kept sorted by lo for deterministic iteration and an
 	// early-out on scan. Overlapping intervals from different owners are
 	// expected (procedures share attribute ranges).
@@ -62,13 +67,35 @@ func NewManager() *Manager {
 	}
 }
 
+// rel returns the bucket for name, creating it if needed.
 func (m *Manager) rel(name string) *relLocks {
+	m.relMu.RLock()
 	r := m.rels[name]
-	if r == nil {
+	m.relMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	m.relMu.Lock()
+	defer m.relMu.Unlock()
+	if r = m.rels[name]; r == nil {
 		r = &relLocks{keys: make(map[int64][]Owner)}
 		m.rels[name] = r
 	}
 	return r
+}
+
+// lookup returns the bucket for name, or nil.
+func (m *Manager) lookup(name string) *relLocks {
+	m.relMu.RLock()
+	defer m.relMu.RUnlock()
+	return m.rels[name]
+}
+
+// addRef records that owner holds ref.
+func (m *Manager) addRef(owner Owner, ref lockRef) {
+	m.ownerMu.Lock()
+	m.owners[owner] = append(m.owners[owner], ref)
+	m.ownerMu.Unlock()
 }
 
 // LockRange sets an interval i-lock on relation rel's indexed attribute
@@ -77,41 +104,39 @@ func (m *Manager) LockRange(rel string, lo, hi int64, owner Owner) {
 	if lo > hi {
 		panic("ilock: inverted interval")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	r := m.rel(rel)
+	r.mu.Lock()
 	iv := interval{lo: lo, hi: hi, owner: owner}
 	pos := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].lo >= lo })
 	r.intervals = append(r.intervals, interval{})
 	copy(r.intervals[pos+1:], r.intervals[pos:])
 	r.intervals[pos] = iv
-	m.owners[owner] = append(m.owners[owner], lockRef{rel: rel, lo: lo, hi: hi})
+	r.mu.Unlock()
+	m.addRef(owner, lockRef{rel: rel, lo: lo, hi: hi})
 }
 
 // LockKey sets a key i-lock on relation rel's indexed attribute value key
 // for owner (the lock form of a hash-index probe).
 func (m *Manager) LockKey(rel string, key int64, owner Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	r := m.rel(rel)
+	r.mu.Lock()
 	r.keys[key] = append(r.keys[key], owner)
-	m.owners[owner] = append(m.owners[owner], lockRef{rel: rel, lo: key, hi: key, isKey: true})
+	r.mu.Unlock()
+	m.addRef(owner, lockRef{rel: rel, lo: key, hi: key, isKey: true})
 }
 
 // Release removes every lock held by owner.
 func (m *Manager) Release(owner Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownerMu.Lock()
 	refs := m.owners[owner]
-	if refs == nil {
-		return
-	}
 	delete(m.owners, owner)
+	m.ownerMu.Unlock()
 	for _, ref := range refs {
-		r := m.rels[ref.rel]
+		r := m.lookup(ref.rel)
 		if r == nil {
 			continue
 		}
+		r.mu.Lock()
 		if ref.isKey {
 			owners := r.keys[ref.lo]
 			for i, o := range owners {
@@ -123,22 +148,23 @@ func (m *Manager) Release(owner Owner) {
 			if len(r.keys[ref.lo]) == 0 {
 				delete(r.keys, ref.lo)
 			}
-			continue
-		}
-		for i := range r.intervals {
-			iv := r.intervals[i]
-			if iv.owner == owner && iv.lo == ref.lo && iv.hi == ref.hi {
-				r.intervals = append(r.intervals[:i], r.intervals[i+1:]...)
-				break
+		} else {
+			for i := range r.intervals {
+				iv := r.intervals[i]
+				if iv.owner == owner && iv.lo == ref.lo && iv.hi == ref.hi {
+					r.intervals = append(r.intervals[:i], r.intervals[i+1:]...)
+					break
+				}
 			}
 		}
+		r.mu.Unlock()
 	}
 }
 
 // HoldCount returns the number of locks held by owner.
 func (m *Manager) HoldCount(owner Owner) int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.ownerMu.Lock()
+	defer m.ownerMu.Unlock()
 	return len(m.owners[owner])
 }
 
@@ -147,12 +173,12 @@ func (m *Manager) HoldCount(owner Owner) int {
 // conflicting locks is reported once per lock; use ConflictSet for the
 // deduplicated owner set.
 func (m *Manager) Conflicts(rel string, v int64, fn func(Owner)) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	r := m.rels[rel]
+	r := m.lookup(rel)
 	if r == nil {
 		return
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, iv := range r.intervals {
 		if iv.lo > v {
 			break // sorted by lo: nothing further can cover v

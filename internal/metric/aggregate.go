@@ -1,0 +1,72 @@
+package metric
+
+import "sync/atomic"
+
+// atomicCounters mirrors Counters with independently-atomic fields. Each
+// field is monotone under concurrent merges, so a reader that loads them
+// one by one sees a value no smaller than any previously observed one —
+// the monotonicity a live scrape needs.
+type atomicCounters struct {
+	pageReads     atomic.Int64
+	pageWrites    atomic.Int64
+	screens       atomic.Int64
+	deltaOps      atomic.Int64
+	invalidations atomic.Int64
+}
+
+func (a *atomicCounters) add(c Counters) {
+	a.pageReads.Add(c.PageReads)
+	a.pageWrites.Add(c.PageWrites)
+	a.screens.Add(c.Screens)
+	a.deltaOps.Add(c.DeltaOps)
+	a.invalidations.Add(c.Invalidations)
+}
+
+func (a *atomicCounters) load() Counters {
+	return Counters{
+		PageReads:     a.pageReads.Load(),
+		PageWrites:    a.pageWrites.Load(),
+		Screens:       a.screens.Load(),
+		DeltaOps:      a.deltaOps.Load(),
+		Invalidations: a.invalidations.Load(),
+	}
+}
+
+// Aggregate is a concurrency-safe, component-attributed counter
+// accumulator. Sessions charge their own goroutine-local Meters and merge
+// each committed operation's Breakdown delta here; readers (telemetry
+// scrapes, end-of-run reporting) may snapshot at any time without
+// stalling a writer.
+//
+// Merging whole-operation deltas preserves the package invariant that
+// per-component counters sum exactly to the aggregates: every merged
+// Breakdown carries that property, and addition preserves it. A
+// concurrent snapshot is not guaranteed to be a point-in-time cut across
+// components, but each individual counter is monotone and, once writers
+// quiesce, Breakdown().Total() equals the sum of all merged deltas
+// exactly.
+type Aggregate struct {
+	by [NumComponents]atomicCounters
+}
+
+// NewAggregate returns a zeroed aggregate.
+func NewAggregate() *Aggregate { return &Aggregate{} }
+
+// AddBreakdown merges one per-component delta into the aggregate.
+func (a *Aggregate) AddBreakdown(b Breakdown) {
+	for c := range b {
+		a.by[c].add(b[c])
+	}
+}
+
+// Breakdown snapshots the per-component counters.
+func (a *Aggregate) Breakdown() Breakdown {
+	var b Breakdown
+	for c := range a.by {
+		b[c] = a.by[c].load()
+	}
+	return b
+}
+
+// Total snapshots the aggregate counters (the sum over components).
+func (a *Aggregate) Total() Counters { return a.Breakdown().Total() }

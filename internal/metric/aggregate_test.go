@@ -1,0 +1,115 @@
+package metric
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// chargeRandom records one random event on m under a random component and
+// returns nothing; the caller measures via Breakdown deltas.
+func chargeRandom(m *Meter, r *rand.Rand) {
+	prev := m.SetComponent(Component(r.Intn(int(NumComponents))))
+	switch r.Intn(5) {
+	case 0:
+		m.PageRead(1 + r.Intn(3))
+	case 1:
+		m.PageWrite(1 + r.Intn(3))
+	case 2:
+		m.Screen(1 + r.Intn(10))
+	case 3:
+		m.DeltaOp(1 + r.Intn(5))
+	case 4:
+		m.Invalidation(1)
+	}
+	m.SetComponent(prev)
+}
+
+// TestAggregateConcurrentMergeExact is the concurrent extension of the
+// sums-exactly invariant: N sessions charge goroutine-local meters and
+// merge per-operation Breakdown deltas into one shared Aggregate; when
+// they quiesce, the aggregate must equal the sum of the session meters
+// exactly, per component.
+func TestAggregateConcurrentMergeExact(t *testing.T) {
+	const sessions = 8
+	const opsPerSession = 200
+
+	agg := NewAggregate()
+	meters := make([]*Meter, sessions)
+	for s := range meters {
+		meters[s] = NewMeter(DefaultCosts())
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m := meters[s]
+			r := rand.New(rand.NewSource(int64(1000 + s)))
+			for op := 0; op < opsPerSession; op++ {
+				before := m.Breakdown()
+				for i, n := 0, 1+r.Intn(6); i < n; i++ {
+					chargeRandom(m, r)
+				}
+				agg.AddBreakdown(m.Breakdown().Sub(before))
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var want Breakdown
+	for _, m := range meters {
+		mb := m.Breakdown()
+		for c := range want {
+			want[c] = want[c].Add(mb[c])
+		}
+	}
+	got := agg.Breakdown()
+	if got != want {
+		t.Fatalf("aggregate diverges from session-meter sum:\n got  %v\n want %v", got, want)
+	}
+	if got.Total() != agg.Total() {
+		t.Fatalf("Total() %v inconsistent with Breakdown().Total() %v", agg.Total(), got.Total())
+	}
+}
+
+// TestAggregateScrapeMonotone reads the aggregate while writers merge and
+// checks every individual counter only ever grows — the property the
+// telemetry scrape path depends on now that it reads the aggregate
+// unconditionally instead of TryLock-ing a world latch.
+func TestAggregateScrapeMonotone(t *testing.T) {
+	agg := NewAggregate()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m := NewMeter(DefaultCosts())
+			r := rand.New(rand.NewSource(int64(s)))
+			for op := 0; op < 500; op++ {
+				before := m.Breakdown()
+				chargeRandom(m, r)
+				agg.AddBreakdown(m.Breakdown().Sub(before))
+			}
+		}(s)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var prev Counters
+	for {
+		c := agg.Total()
+		if c.PageReads < prev.PageReads || c.PageWrites < prev.PageWrites ||
+			c.Screens < prev.Screens || c.DeltaOps < prev.DeltaOps ||
+			c.Invalidations < prev.Invalidations {
+			t.Fatalf("scrape went backwards: %v after %v", c, prev)
+		}
+		prev = c
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}

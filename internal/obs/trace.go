@@ -133,6 +133,32 @@ func (t *Tracer) End(sp *Span) {
 	t.reg.Observe(comp, event, sp.DurMs)
 }
 
+// Adopt appends a completed root span assembled by the caller and feeds
+// the latency histogram, exactly as End would. It exists for the
+// concurrent engine's commit path: sessions meter their operations on
+// private meters, so there is no shared meter for Begin/End to snapshot;
+// instead each commit hands the tracer the span's placement (startMs, the
+// run's priced cost committed before it) and its measured delta. Callers
+// serialize Adopt calls (the engine holds its commit mutex); the returned
+// span is open for Set until the trace is rendered.
+func (t *Tracer) Adopt(name string, startMs float64, counters metric.Counters, costs metric.Costs) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		ID:       t.nextID,
+		Name:     name,
+		StartMs:  startMs,
+		Counters: counters,
+		DurMs:    counters.Milliseconds(costs),
+	}
+	t.nextID++
+	t.spans = append(t.spans, sp)
+	comp, event := splitName(name)
+	t.reg.Observe(comp, event, sp.DurMs)
+	return sp
+}
+
 // Current returns the innermost open span (nil if none), letting deep
 // layers attach attributes — e.g. Cache and Invalidate marks the enclosing
 // operation span hit or cold — without threading the span through every

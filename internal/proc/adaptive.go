@@ -3,9 +3,9 @@ package proc
 import (
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
-	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
+	"dbproc/internal/storage"
 )
 
 // Adaptive decides per procedure whether caching its result pays — the
@@ -25,9 +25,13 @@ import (
 // degrade significantly if the system makes a mistake" — Adaptive removes
 // even that residual degradation (the wasted write-backs and, with
 // expensive invalidation, the whole T3 term).
+//
+// The states map is frozen after Prepare; each procedure's state is
+// mutated only while the caller holds that procedure's entry lock
+// exclusively (queries under this strategy take the entry lock exclusive),
+// so no further synchronization is needed.
 type Adaptive struct {
 	mgr    *Manager
-	meter  *metric.Meter
 	store  *cache.Store
 	locks  *ilock.Manager
 	tracer *obs.Tracer
@@ -69,10 +73,9 @@ type adaptiveState struct {
 }
 
 // NewAdaptive builds the strategy with its own cache store and lock table.
-func NewAdaptive(mgr *Manager, meter *metric.Meter, store *cache.Store) *Adaptive {
+func NewAdaptive(mgr *Manager, store *cache.Store) *Adaptive {
 	return &Adaptive{
 		mgr:                      mgr,
-		meter:                    meter,
 		store:                    store,
 		locks:                    ilock.NewManager(),
 		Window:                   4,
@@ -96,25 +99,25 @@ func (s *Adaptive) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // Prepare implements Strategy: start every procedure in caching mode with
 // a warm cache, like Cache and Invalidate.
-func (s *Adaptive) Prepare() {
+func (s *Adaptive) Prepare(pg *storage.Pager) {
 	for _, id := range s.mgr.IDs() {
 		d := s.mgr.MustGet(id)
 		s.store.Define(cache.ID(id), d.ResultWidth())
-		s.refresh(d)
+		s.refresh(pg, d)
 		s.states[id] = &adaptiveState{backoff: s.ProbeEvery}
 	}
 }
 
-func (s *Adaptive) refresh(d *Definition) {
+func (s *Adaptive) refresh(pg *storage.Pager, d *Definition) {
 	owner := ilock.Owner(d.ID)
 	s.locks.Release(owner)
 	sink := &lockSink{locks: s.locks, owner: owner}
-	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: s.meter, Locks: sink})
-	s.store.MustEntry(cache.ID(d.ID)).Replace(keys, recs)
+	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
+	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
 }
 
 // Access implements Strategy.
-func (s *Adaptive) Access(id int) [][]byte {
+func (s *Adaptive) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	st := s.states[id]
 	if st.bypass {
@@ -122,15 +125,15 @@ func (s *Adaptive) Access(id int) [][]byte {
 		if st.sinceBypass < st.backoff {
 			// Plain recomputation; no cache write, no locks.
 			s.tracer.Current().Set("cache", "bypass")
-			return query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+			return query.Run(d.Plan, &query.Ctx{Meter: pg.Meter(), Pager: pg})
 		}
 		// Retry caching.
 		st.bypass = false
 		st.retried = true
 		st.accesses, st.cold, st.sinceBypass, st.stint = 0, 0, 0, 0
 		s.tracer.Current().Set("cache", "retry")
-		s.refresh(d)
-		return s.readCache(id)
+		s.refresh(pg, d)
+		return s.readCache(pg, id)
 	}
 
 	e := s.store.MustEntry(cache.ID(id))
@@ -140,11 +143,11 @@ func (s *Adaptive) Access(id int) [][]byte {
 	if !e.Valid() {
 		st.cold++
 		s.tracer.Current().Set("cache", "cold")
-		s.refresh(d)
+		s.refresh(pg, d)
 	} else {
 		s.tracer.Current().Set("cache", "hit")
 	}
-	out := s.readCache(id)
+	out := s.readCache(pg, id)
 	if st.accesses >= s.Window {
 		if float64(st.cold) > s.ColdThreshold*float64(st.accesses) {
 			// Caching is not paying: drop the cached value and its locks.
@@ -169,9 +172,9 @@ func (s *Adaptive) Access(id int) [][]byte {
 	return out
 }
 
-func (s *Adaptive) readCache(id int) [][]byte {
+func (s *Adaptive) readCache(pg *storage.Pager, id int) [][]byte {
 	var out [][]byte
-	s.store.MustEntry(cache.ID(id)).ReadAll(func(_ uint64, rec []byte) bool {
+	s.store.MustEntry(cache.ID(id)).ReadAll(pg, func(_ uint64, rec []byte) bool {
 		out = append(out, append([]byte(nil), rec...))
 		return true
 	})
@@ -180,8 +183,9 @@ func (s *Adaptive) readCache(id int) [][]byte {
 
 // OnUpdate implements Strategy: invalidate conflicting cached procedures,
 // exactly as Cache and Invalidate does. Bypassed procedures hold no locks,
-// so they cost nothing here.
-func (s *Adaptive) OnUpdate(dl Delta) {
+// so they cost nothing here. Updates run under exclusive locks on every
+// entry, so the state mutations here cannot race with accesses.
+func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 	rel := dl.Rel.Schema().Name()
 	field := dl.Rel.KeyField()
 	sch := dl.Rel.Schema()
@@ -193,7 +197,7 @@ func (s *Adaptive) OnUpdate(dl Delta) {
 		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
 	}
 	for owner := range hit {
-		s.store.MustEntry(cache.ID(owner)).Invalidate()
+		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 		st := s.states[int(owner)]
 		st.invalSinceAccess++
 		if st.invalSinceAccess >= s.BypassAfterInvalidations {

@@ -13,11 +13,11 @@ func newAdaptiveFixture(t *testing.T) (*dbtest.World, *Adaptive, *Manager) {
 	m := NewManager()
 	m.Define(p1Def(w, 1, 10, 19))
 	m.Define(p1Def(w, 2, 100, 109))
-	s := NewAdaptive(m, w.Meter, cache.NewStore(w.Pager, w.Meter))
+	s := NewAdaptive(m, cache.NewStore(w.Pager.Disk()))
 	s.Window = 4
 	s.ProbeEvery = 20
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
 	w.Meter.Reset()
@@ -31,7 +31,7 @@ func TestAdaptiveStaysCachingWhenUpdatesRare(t *testing.T) {
 	}
 	for i := 0; i < 20; i++ {
 		w.Pager.BeginOp()
-		if got := len(s.Access(1)); got != 10 {
+		if got := len(s.Access(w.Pager, 1)); got != 10 {
 			t.Fatalf("Access returned %d", got)
 		}
 		w.Pager.Flush()
@@ -60,13 +60,13 @@ func churn(t *testing.T, w *dbtest.World, s *Adaptive, rounds int) {
 		next := int64(500 + i)
 		d := moveTuple(t, w, tid, cur, next)
 		skey[tid] = next
-		s.OnUpdate(d)
+		s.OnUpdate(w.Pager, d)
 		// Move it back so the band keeps changing.
 		d = moveTuple(t, w, tid, next, 15)
 		skey[tid] = 15
-		s.OnUpdate(d)
+		s.OnUpdate(w.Pager, d)
 		w.Pager.BeginOp()
-		s.Access(1)
+		s.Access(w.Pager, 1)
 		w.Pager.Flush()
 	}
 }
@@ -81,7 +81,7 @@ func TestAdaptiveBypassesUnderChurnAndRecovers(t *testing.T) {
 	// Bypassed accesses recompute without write-backs.
 	w.Meter.Reset()
 	w.Pager.BeginOp()
-	out := s.Access(1)
+	out := s.Access(w.Pager, 1)
 	w.Pager.Flush()
 	if len(out) != 10 {
 		t.Fatalf("bypassed access returned %d", len(out))
@@ -93,7 +93,7 @@ func TestAdaptiveBypassesUnderChurnAndRecovers(t *testing.T) {
 	// With the churn gone, the probe access re-enables caching...
 	for i := 0; i < s.ProbeEvery; i++ {
 		w.Pager.BeginOp()
-		s.Access(1)
+		s.Access(w.Pager, 1)
 		w.Pager.Flush()
 	}
 	if s.BypassedCount() != 0 {
@@ -102,7 +102,7 @@ func TestAdaptiveBypassesUnderChurnAndRecovers(t *testing.T) {
 	// ...and subsequent accesses are warm reads again.
 	w.Meter.Reset()
 	w.Pager.BeginOp()
-	s.Access(1)
+	s.Access(w.Pager, 1)
 	w.Pager.Flush()
 	if c := w.Meter.Snapshot(); c.Screens != 0 {
 		t.Fatalf("recovered access should be a cached read: %v", c)
@@ -119,13 +119,13 @@ func TestAdaptiveBypassAvoidsInvalidationCost(t *testing.T) {
 	// record no invalidations.
 	w.Meter.Reset()
 	d := moveTuple(t, w, 12, 12, 600)
-	s.OnUpdate(d)
+	s.OnUpdate(w.Pager, d)
 	if c := w.Meter.Snapshot(); c.Invalidations != 0 {
 		t.Fatalf("bypassed procedure still charged %d invalidations", c.Invalidations)
 	}
 	// Procedure 2 still caches: its band being hit does charge.
 	d = moveTuple(t, w, 105, 105, 601)
-	s.OnUpdate(d)
+	s.OnUpdate(w.Pager, d)
 	if c := w.Meter.Snapshot(); c.Invalidations != 1 {
 		t.Fatalf("caching procedure charged %d invalidations, want 1", c.Invalidations)
 	}
@@ -140,9 +140,9 @@ func TestAdaptiveBypassesOnInvalidationBurst(t *testing.T) {
 	cur := int64(15)
 	for i := 0; i < 5; i++ {
 		next := int64(700 + i)
-		s.OnUpdate(moveTuple(t, w, 15, cur, next))
+		s.OnUpdate(w.Pager, moveTuple(t, w, 15, cur, next))
 		cur = next
-		s.OnUpdate(moveTuple(t, w, 15, cur, 15))
+		s.OnUpdate(w.Pager, moveTuple(t, w, 15, cur, 15))
 		cur = 15
 		if i < 2 && s.BypassedCount() != 0 {
 			t.Fatalf("bypassed after only %d update rounds", i+1)
@@ -153,7 +153,7 @@ func TestAdaptiveBypassesOnInvalidationBurst(t *testing.T) {
 	}
 	// Further updates in the band cost nothing (no locks held).
 	w.Meter.Reset()
-	s.OnUpdate(moveTuple(t, w, 12, 12, 800))
+	s.OnUpdate(w.Pager, moveTuple(t, w, 12, 12, 800))
 	if c := w.Meter.Snapshot(); c.Invalidations != 0 {
 		t.Fatalf("burst-bypassed procedure still charged %d invalidations", c.Invalidations)
 	}
@@ -163,9 +163,9 @@ func TestRecomputeInterfaceCompleteness(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	m := NewManager()
 	m.Define(p1Def(w, 1, 0, 9))
-	var s Strategy = NewAlwaysRecompute(m, w.Meter)
-	s.Prepare() // no-op must not panic
-	s.OnUpdate(Delta{Rel: w.R1})
+	var s Strategy = NewAlwaysRecompute(m)
+	s.Prepare(w.Pager) // no-op must not panic
+	s.OnUpdate(w.Pager, Delta{Rel: w.R1})
 	if s.Name() == "" {
 		t.Fatal("empty name")
 	}
@@ -175,7 +175,7 @@ func TestCacheInvalidateName(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	m := NewManager()
 	m.Define(p1Def(w, 1, 0, 9))
-	s := NewCacheInvalidate(m, w.Meter, cache.NewStore(w.Pager, w.Meter))
+	s := NewCacheInvalidate(m, cache.NewStore(w.Pager.Disk()))
 	if s.Name() != "Cache and Invalidate" {
 		t.Fatalf("Name = %q", s.Name())
 	}
@@ -186,15 +186,15 @@ func TestCacheInvalidateCoarseLocks(t *testing.T) {
 	m := NewManager()
 	m.Define(p1Def(w, 1, 10, 19))
 	m.Define(p1Def(w, 2, 100, 109))
-	store := cache.NewStore(w.Pager, w.Meter)
-	s := NewCacheInvalidate(m, w.Meter, store)
+	store := cache.NewStore(w.Pager.Disk())
+	s := NewCacheInvalidate(m, store)
 	s.SetCoarseLocks(true)
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
 	// An update touching NEITHER band still invalidates both procedures.
-	s.OnUpdate(moveTuple(t, w, 150, 150, 160))
+	s.OnUpdate(w.Pager, moveTuple(t, w, 150, 150, 160))
 	if store.MustEntry(1).Valid() || store.MustEntry(2).Valid() {
 		t.Fatal("coarse locks should invalidate every procedure")
 	}
@@ -205,14 +205,14 @@ func TestCacheInvalidateCoarseLocks(t *testing.T) {
 
 func TestAdaptiveResultsStayCorrect(t *testing.T) {
 	w, s, m := newAdaptiveFixture(t)
-	rc := NewAlwaysRecompute(m, w.Meter)
+	rc := NewAlwaysRecompute(m)
 	check := func() {
 		t.Helper()
 		for _, id := range []int{1, 2} {
 			w.Pager.BeginOp()
-			got := s.Access(id)
+			got := s.Access(w.Pager, id)
 			w.Pager.BeginOp()
-			want := rc.Access(id)
+			want := rc.Access(w.Pager, id)
 			w.Pager.Flush()
 			if len(got) != len(want) {
 				t.Fatalf("proc %d: adaptive %d tuples vs recompute %d", id, len(got), len(want))
@@ -224,7 +224,7 @@ func TestAdaptiveResultsStayCorrect(t *testing.T) {
 	check()
 	for i := 0; i < s.ProbeEvery+1; i++ {
 		w.Pager.BeginOp()
-		s.Access(1)
+		s.Access(w.Pager, 1)
 		w.Pager.Flush()
 	}
 	check() // after recovery

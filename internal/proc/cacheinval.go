@@ -1,11 +1,13 @@
 package proc
 
 import (
+	"sync/atomic"
+
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
-	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
+	"dbproc/internal/storage"
 )
 
 // CacheInvalidate serves cached procedure results while they are valid
@@ -17,14 +19,13 @@ import (
 // at C_inval per (procedure, update transaction), the model's T3.
 type CacheInvalidate struct {
 	mgr    *Manager
-	meter  *metric.Meter
 	store  *cache.Store
 	locks  *ilock.Manager
 	coarse bool
 	tracer *obs.Tracer
 
-	accesses     int
-	coldAccesses int
+	accesses     atomic.Int64
+	coldAccesses atomic.Int64
 }
 
 // SetTracer attaches a tracer; accesses then tag the enclosing op span
@@ -35,7 +36,7 @@ func (s *CacheInvalidate) SetTracer(t *obs.Tracer) { s.tracer = t }
 // how many found the cache invalid — the measured counterpart of the
 // model's IP.
 func (s *CacheInvalidate) AccessStats() (accesses, cold int) {
-	return s.accesses, s.coldAccesses
+	return int(s.accesses.Load()), int(s.coldAccesses.Load())
 }
 
 // SetCoarseLocks switches invalidation to relation granularity: any update
@@ -47,10 +48,9 @@ func (s *CacheInvalidate) SetCoarseLocks(on bool) { s.coarse = on }
 
 // NewCacheInvalidate builds the strategy with its own cache store and lock
 // table.
-func NewCacheInvalidate(mgr *Manager, meter *metric.Meter, store *cache.Store) *CacheInvalidate {
+func NewCacheInvalidate(mgr *Manager, store *cache.Store) *CacheInvalidate {
 	return &CacheInvalidate{
 		mgr:   mgr,
-		meter: meter,
 		store: store,
 		locks: ilock.NewManager(),
 	}
@@ -65,22 +65,22 @@ func (s *CacheInvalidate) CacheStore() *cache.Store { return s.store }
 
 // Prepare implements Strategy: define and warm every cache entry, setting
 // its i-locks. Run with charging disabled.
-func (s *CacheInvalidate) Prepare() {
+func (s *CacheInvalidate) Prepare(pg *storage.Pager) {
 	for _, id := range s.mgr.IDs() {
-		s.Adopt(id)
+		s.Adopt(pg, id)
 	}
 }
 
 // Adopt brings one procedure (defined after Prepare, e.g. interactively)
 // under the strategy: its cache entry is created, warmed and i-locked.
 // Adopting an already-adopted procedure is a no-op.
-func (s *CacheInvalidate) Adopt(id int) {
+func (s *CacheInvalidate) Adopt(pg *storage.Pager, id int) {
 	if s.store.Entry(cache.ID(id)) != nil {
 		return
 	}
 	d := s.mgr.MustGet(id)
 	s.store.Define(cache.ID(id), d.ResultWidth())
-	s.refresh(d)
+	s.refresh(pg, d)
 }
 
 // lockSink records what a plan execution reads as i-locks for one owner.
@@ -113,33 +113,34 @@ func (ls *lockSink) ReadKey(rel string, key int64) {
 }
 
 // refresh recomputes d's value, refreshes the cache entry, and re-installs
-// i-locks on everything read.
-func (s *CacheInvalidate) refresh(d *Definition) {
+// i-locks on everything read. Callers hold the procedure's exclusive entry
+// lock, so the release/recompute/replace sequence is single-flight.
+func (s *CacheInvalidate) refresh(pg *storage.Pager, d *Definition) {
 	owner := ilock.Owner(d.ID)
 	s.locks.Release(owner)
 	sink := &lockSink{locks: s.locks, owner: owner}
-	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: s.meter, Locks: sink})
-	s.store.MustEntry(cache.ID(d.ID)).Replace(keys, recs)
+	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
+	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
 }
 
 // Access implements Strategy: serve the cache when valid, otherwise
 // recompute and refresh.
-func (s *CacheInvalidate) Access(id int) [][]byte {
+func (s *CacheInvalidate) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	e := s.store.MustEntry(cache.ID(id))
-	s.accesses++
+	s.accesses.Add(1)
 	if !e.Valid() {
-		s.coldAccesses++
+		s.coldAccesses.Add(1)
 		s.tracer.Current().Set("cache", "cold")
 		sp := s.tracer.Begin("ci.refresh")
 		sp.Set("proc", id)
-		s.refresh(d)
+		s.refresh(pg, d)
 		s.tracer.End(sp)
 	} else {
 		s.tracer.Current().Set("cache", "hit")
 	}
 	var out [][]byte
-	e.ReadAll(func(_ uint64, rec []byte) bool {
+	e.ReadAll(pg, func(_ uint64, rec []byte) bool {
 		out = append(out, append([]byte(nil), rec...))
 		return true
 	})
@@ -149,13 +150,13 @@ func (s *CacheInvalidate) Access(id int) [][]byte {
 // OnUpdate implements Strategy: find every procedure whose i-locks the
 // transaction's old or new tuple values conflict with and record one
 // invalidation per procedure per transaction.
-func (s *CacheInvalidate) OnUpdate(dl Delta) {
+func (s *CacheInvalidate) OnUpdate(pg *storage.Pager, dl Delta) {
 	if s.coarse {
 		// Relation-granularity invalidation: every procedure read some
 		// relation this update touched (in this system all procedures
 		// read R1, and P2 procedures read R2/R3), so all are invalidated.
 		for _, id := range s.mgr.IDs() {
-			s.store.MustEntry(cache.ID(id)).Invalidate()
+			s.store.MustEntry(cache.ID(id)).Invalidate(pg)
 		}
 		return
 	}
@@ -170,7 +171,7 @@ func (s *CacheInvalidate) OnUpdate(dl Delta) {
 		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
 	}
 	for owner := range hit {
-		s.store.MustEntry(cache.ID(owner)).Invalidate()
+		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 	}
 }
 

@@ -18,7 +18,7 @@ func TestValidityTableSurvivesCrash(t *testing.T) {
 	m.Define(p1Def(w, 0, 10, 19))
 	m.Define(p1Def(w, 1, 40, 49))
 	m.Define(p2Def(w, 2, 50, 69))
-	store := cache.NewStore(w.Pager, w.Meter)
+	store := cache.NewStore(w.Pager.Disk())
 
 	dev := vlog.NewDevice()
 	journal, err := vlog.New(dev, []int32{0, 1, 2})
@@ -28,9 +28,9 @@ func TestValidityTableSurvivesCrash(t *testing.T) {
 	journal.CheckpointEvery = 5
 	store.SetJournal(journal)
 
-	s := NewCacheInvalidate(m, w.Meter, store)
+	s := NewCacheInvalidate(m, store)
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
 
@@ -53,12 +53,12 @@ func TestValidityTableSurvivesCrash(t *testing.T) {
 	moves := [][2]int64{{12, 99}, {44, 12}, {55, 44}, {12, 55}, {44, 200}, {55, 12}}
 	for i, mv := range moves {
 		tid := mv[0]
-		s.OnUpdate(moveTuple(t, w, tid, skey[tid], mv[1]))
+		s.OnUpdate(w.Pager, moveTuple(t, w, tid, skey[tid], mv[1]))
 		skey[tid] = mv[1]
 		checkRecovery("after update")
 		// Access one procedure (revalidates it if cold).
 		w.Pager.BeginOp()
-		s.Access(i % 3)
+		s.Access(w.Pager, i%3)
 		w.Pager.Flush()
 		checkRecovery("after access")
 	}
@@ -73,7 +73,7 @@ func TestValidityTableSurvivesCrash(t *testing.T) {
 				t.Fatal("journal failure should crash")
 			}
 		}()
-		s.OnUpdate(moveTuple(t, w, 15, 15, 300))
+		s.OnUpdate(w.Pager, moveTuple(t, w, 15, 15, 300))
 	}()
 	recovered, err := vlog.Recover(dev.Contents())
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"dbproc/internal/query"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 )
 
@@ -133,17 +134,21 @@ type Delta struct {
 }
 
 // Strategy processes queries against procedures under one of the paper's
-// algorithms.
+// algorithms. Every method takes the calling session's pager: strategies
+// keep shared state (caches, lock tables, maintenance networks) but charge
+// all metered I/O and cost events to the session doing the work. The
+// engine's 2PL footprints serialize conflicting calls; strategies only
+// need internal synchronization for state read outside those footprints.
 type Strategy interface {
 	// Name returns the paper's name for the strategy.
 	Name() string
 	// Prepare performs one-time setup (cache fills, lock installation,
 	// network builds). The caller runs it with cost charging disabled, as
 	// setup cost is excluded from the model.
-	Prepare()
+	Prepare(pg *storage.Pager)
 	// Access processes a query that retrieves the value of procedure id,
 	// returning its result tuples.
-	Access(id int) [][]byte
+	Access(pg *storage.Pager, id int) [][]byte
 	// OnUpdate is invoked after each update transaction commits.
-	OnUpdate(d Delta)
+	OnUpdate(pg *storage.Pager, d Delta)
 }

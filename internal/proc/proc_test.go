@@ -7,6 +7,7 @@ import (
 	"dbproc/internal/dbtest"
 	"dbproc/internal/query"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 )
 
@@ -24,14 +25,14 @@ func p2Def(w *dbtest.World, id int, lo, hi int64) *Definition {
 func moveTuple(t *testing.T, w *dbtest.World, tid, oldSkey, newSkey int64) Delta {
 	t.Helper()
 	prev := w.Pager.SetCharging(false)
-	old, ok := w.R1.Tree().Get(tuple.ClusterKey(oldSkey, tid))
+	old, ok := w.R1.Tree().Get(w.Pager, tuple.ClusterKey(oldSkey, tid))
 	if !ok {
 		t.Fatalf("tuple %d at skey %d missing", tid, oldSkey)
 	}
 	newTup := append([]byte(nil), old...)
 	w.R1.Schema().SetByName(newTup, "skey", newSkey)
-	w.R1.DeleteKeyed(tuple.ClusterKey(oldSkey, tid))
-	w.R1.Insert(newTup)
+	w.R1.DeleteKeyed(w.Pager, tuple.ClusterKey(oldSkey, tid))
+	w.R1.Insert(w.Pager, newTup)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(prev)
 	return Delta{Rel: w.R1, Inserted: [][]byte{newTup}, Deleted: [][]byte{old}}
@@ -81,14 +82,14 @@ func TestAlwaysRecompute(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	m := NewManager()
 	m.Define(p1Def(w, 1, 10, 19))
-	s := NewAlwaysRecompute(m, w.Meter)
-	s.Prepare()
+	s := NewAlwaysRecompute(m)
+	s.Prepare(w.Pager)
 	if s.Name() != "Always Recompute" {
 		t.Fatal("name wrong")
 	}
 	w.Pager.BeginOp()
 	w.Meter.Reset()
-	out := s.Access(1)
+	out := s.Access(w.Pager, 1)
 	if len(out) != 10 {
 		t.Fatalf("Access returned %d tuples, want 10", len(out))
 	}
@@ -97,10 +98,10 @@ func TestAlwaysRecompute(t *testing.T) {
 		t.Fatal("recompute charged nothing")
 	}
 	// Updates are free, and every access costs the same.
-	s.OnUpdate(moveTuple(t, w, 15, 15, 99))
+	s.OnUpdate(w.Pager, moveTuple(t, w, 15, 15, 99))
 	w.Pager.BeginOp()
 	w.Meter.Reset()
-	out = s.Access(1)
+	out = s.Access(w.Pager, 1)
 	if len(out) != 9 {
 		t.Fatalf("after move-out, Access returned %d, want 9", len(out))
 	}
@@ -111,16 +112,16 @@ func TestCacheInvalidateLifecycle(t *testing.T) {
 	m := NewManager()
 	m.Define(p1Def(w, 1, 10, 19))
 	m.Define(p2Def(w, 2, 50, 69))
-	store := cache.NewStore(w.Pager, w.Meter)
-	s := NewCacheInvalidate(m, w.Meter, store)
+	store := cache.NewStore(w.Pager.Disk())
+	s := NewCacheInvalidate(m, store)
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
 
 	// Warm access: exactly the result pages are read (T2), nothing else.
 	w.Meter.Reset()
-	out := s.Access(1)
+	out := s.Access(w.Pager, 1)
 	if len(out) != 10 {
 		t.Fatalf("Access returned %d, want 10", len(out))
 	}
@@ -133,7 +134,7 @@ func TestCacheInvalidateLifecycle(t *testing.T) {
 
 	// An in-band update invalidates procedure 1 only.
 	w.Meter.Reset()
-	s.OnUpdate(moveTuple(t, w, 12, 12, 99))
+	s.OnUpdate(w.Pager, moveTuple(t, w, 12, 12, 99))
 	if got := w.Meter.Snapshot().Invalidations; got != 1 {
 		t.Fatalf("invalidations = %d, want 1", got)
 	}
@@ -146,7 +147,7 @@ func TestCacheInvalidateLifecycle(t *testing.T) {
 
 	// Cold access: recompute (plan screens + scan I/O) plus write-back.
 	w.Meter.Reset()
-	out = s.Access(1)
+	out = s.Access(w.Pager, 1)
 	w.Pager.BeginOp()
 	if len(out) != 9 {
 		t.Fatalf("cold access returned %d, want 9", len(out))
@@ -164,22 +165,22 @@ func TestCacheInvalidateFalseInvalidation(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	m := NewManager()
 	m.Define(p2Def(w, 2, 50, 69))
-	store := cache.NewStore(w.Pager, w.Meter)
-	s := NewCacheInvalidate(m, w.Meter, store)
+	store := cache.NewStore(w.Pager.Disk())
+	s := NewCacheInvalidate(m, store)
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(true)
-	before := s.Access(2)
+	before := s.Access(w.Pager, 2)
 
 	// tid 115 -> skey 56: enters the C_f band but fails C_f2 (p2 = 5), so
 	// the result does not change — yet the i-lock on the band breaks: a
 	// false invalidation.
-	s.OnUpdate(moveTuple(t, w, 115, 115, 56))
+	s.OnUpdate(w.Pager, moveTuple(t, w, 115, 115, 56))
 	if store.MustEntry(2).Valid() {
 		t.Fatal("false invalidation did not mark the entry invalid")
 	}
-	after := s.Access(2)
+	after := s.Access(w.Pager, 2)
 	if len(after) != len(before) {
 		t.Fatalf("result changed from %d to %d tuples; should be identical", len(before), len(after))
 	}
@@ -189,10 +190,10 @@ func TestCacheInvalidateKeyLocksCoverJoinReads(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	m := NewManager()
 	m.Define(p2Def(w, 2, 50, 69))
-	store := cache.NewStore(w.Pager, w.Meter)
-	s := NewCacheInvalidate(m, w.Meter, store)
+	store := cache.NewStore(w.Pager.Disk())
+	s := NewCacheInvalidate(m, store)
 	w.Pager.SetCharging(false)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	w.Pager.SetCharging(true)
 	// The plan probed R2 keys a = 10..29 (20 distinct) and scanned one R1
 	// band: 21 locks.
@@ -207,9 +208,9 @@ type stubMaint struct {
 	applied  int
 }
 
-func (s *stubMaint) Name() string { return "stub" }
-func (s *stubMaint) Prepare()     { s.prepared++ }
-func (s *stubMaint) Apply(_ *relation.Relation, ins, del [][]byte) {
+func (s *stubMaint) Name() string           { return "stub" }
+func (s *stubMaint) Prepare(*storage.Pager) { s.prepared++ }
+func (s *stubMaint) Apply(_ *storage.Pager, _ *relation.Relation, ins, del [][]byte) {
 	s.applied += len(ins) + len(del)
 }
 
@@ -218,15 +219,15 @@ func TestUpdateCacheDelegates(t *testing.T) {
 	m := NewManager()
 	d := p1Def(w, 1, 10, 19)
 	m.Define(d)
-	store := cache.NewStore(w.Pager, w.Meter)
+	store := cache.NewStore(w.Pager.Disk())
 	entry := store.Define(1, d.ResultWidth())
-	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: w.Meter})
-	entry.Replace(keys, recs)
-	entry.MarkValid()
+	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: w.Meter, Pager: w.Pager})
+	entry.Replace(w.Pager, keys, recs)
+	entry.MarkValid(w.Pager)
 
 	stub := &stubMaint{}
 	s := NewUpdateCache(m, store, stub)
-	s.Prepare()
+	s.Prepare(w.Pager)
 	if stub.prepared != 1 {
 		t.Fatal("Prepare not delegated")
 	}
@@ -235,7 +236,7 @@ func TestUpdateCacheDelegates(t *testing.T) {
 	}
 	w.Pager.BeginOp()
 	w.Meter.Reset()
-	out := s.Access(1)
+	out := s.Access(w.Pager, 1)
 	if len(out) != 10 {
 		t.Fatalf("Access returned %d", len(out))
 	}
@@ -244,7 +245,7 @@ func TestUpdateCacheDelegates(t *testing.T) {
 	if c.Screens != 0 || c.PageWrites != 0 {
 		t.Fatalf("cached access charged %v", c)
 	}
-	s.OnUpdate(Delta{Rel: w.R1, Inserted: [][]byte{w.R1Tuple(1, 2, 3)}, Deleted: [][]byte{w.R1Tuple(1, 5, 3)}})
+	s.OnUpdate(w.Pager, Delta{Rel: w.R1, Inserted: [][]byte{w.R1Tuple(1, 2, 3)}, Deleted: [][]byte{w.R1Tuple(1, 5, 3)}})
 	if stub.applied != 2 {
 		t.Fatalf("Apply saw %d tuples, want 2", stub.applied)
 	}

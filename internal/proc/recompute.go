@@ -1,9 +1,9 @@
 package proc
 
 import (
-	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
+	"dbproc/internal/storage"
 )
 
 // AlwaysRecompute executes the procedure's precompiled plan on every
@@ -11,13 +11,12 @@ import (
 // keeps no cached state, so updates cost it nothing.
 type AlwaysRecompute struct {
 	mgr    *Manager
-	meter  *metric.Meter
 	tracer *obs.Tracer
 }
 
 // NewAlwaysRecompute builds the strategy over the given definitions.
-func NewAlwaysRecompute(mgr *Manager, meter *metric.Meter) *AlwaysRecompute {
-	return &AlwaysRecompute{mgr: mgr, meter: meter}
+func NewAlwaysRecompute(mgr *Manager) *AlwaysRecompute {
+	return &AlwaysRecompute{mgr: mgr}
 }
 
 // Name implements Strategy.
@@ -28,18 +27,18 @@ func (s *AlwaysRecompute) Name() string { return "Always Recompute" }
 func (s *AlwaysRecompute) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // Prepare implements Strategy; there is nothing to set up.
-func (s *AlwaysRecompute) Prepare() {}
+func (s *AlwaysRecompute) Prepare(*storage.Pager) {}
 
 // Access implements Strategy: run the plan, return its output.
-func (s *AlwaysRecompute) Access(id int) [][]byte {
+func (s *AlwaysRecompute) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	sp := s.tracer.Begin("recompute.scan")
 	sp.Set("proc", id)
-	out := query.Run(d.Plan, &query.Ctx{Meter: s.meter})
+	out := query.Run(d.Plan, &query.Ctx{Meter: pg.Meter(), Pager: pg})
 	sp.Set("tuples", len(out))
 	s.tracer.End(sp)
 	return out
 }
 
 // OnUpdate implements Strategy; recomputation needs no update hook.
-func (s *AlwaysRecompute) OnUpdate(Delta) {}
+func (s *AlwaysRecompute) OnUpdate(*storage.Pager, Delta) {}

@@ -4,18 +4,20 @@ import (
 	"dbproc/internal/cache"
 	"dbproc/internal/obs"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 )
 
 // Maintainer is a differential view-maintenance engine that keeps every
 // procedure's cached result current; avm.Engine satisfies it directly and
-// rete networks through rete-side adapters built by the simulator.
+// rete networks through rete-side adapters built by the simulator. Both
+// methods take the acting session's pager and charge its meter.
 type Maintainer interface {
 	// Name identifies the algorithm ("AVM" or "RVM").
 	Name() string
 	// Prepare performs the engine's one-time fill; run uncharged.
-	Prepare()
+	Prepare(pg *storage.Pager)
 	// Apply maintains all results after an update transaction on rel.
-	Apply(rel *relation.Relation, inserted, deleted [][]byte)
+	Apply(pg *storage.Pager, rel *relation.Relation, inserted, deleted [][]byte)
 }
 
 // UpdateCache answers procedure queries straight from the always-current
@@ -51,14 +53,14 @@ func (s *UpdateCache) SetTracer(t *obs.Tracer) {
 }
 
 // Prepare implements Strategy.
-func (s *UpdateCache) Prepare() { s.maint.Prepare() }
+func (s *UpdateCache) Prepare(pg *storage.Pager) { s.maint.Prepare(pg) }
 
 // Access implements Strategy: one read of the (always valid) cached
 // result.
-func (s *UpdateCache) Access(id int) [][]byte {
+func (s *UpdateCache) Access(pg *storage.Pager, id int) [][]byte {
 	e := s.store.MustEntry(cache.ID(id))
 	var out [][]byte
-	e.ReadAll(func(_ uint64, rec []byte) bool {
+	e.ReadAll(pg, func(_ uint64, rec []byte) bool {
 		out = append(out, append([]byte(nil), rec...))
 		return true
 	})
@@ -66,6 +68,6 @@ func (s *UpdateCache) Access(id int) [][]byte {
 }
 
 // OnUpdate implements Strategy.
-func (s *UpdateCache) OnUpdate(d Delta) {
-	s.maint.Apply(d.Rel, d.Inserted, d.Deleted)
+func (s *UpdateCache) OnUpdate(pg *storage.Pager, d Delta) {
+	s.maint.Apply(pg, d.Rel, d.Inserted, d.Deleted)
 }

@@ -48,10 +48,10 @@ func Open(pageSize, width int, costs metric.Costs) *DB {
 		meter:   meter,
 		width:   width,
 		procs:   proc.NewManager(),
-		store:   cache.NewStore(pager, meter),
+		store:   cache.NewStore(pager.Disk()),
 		procIDs: make(map[string][]int),
 	}
-	db.strategy = proc.NewCacheInvalidate(db.procs, meter, db.store)
+	db.strategy = proc.NewCacheInvalidate(db.procs, db.store)
 	return db
 }
 
@@ -147,13 +147,13 @@ func (db *DB) create(s *CreateStmt) (*Result, error) {
 		if sch.FieldIndex("tid") < 0 {
 			return nil, fmt.Errorf("quel: clustered relations need a unique 'tid' field (the clustering tiebreaker)")
 		}
-		rel = relation.NewBTree(db.pager, sch, s.Key, "tid", 20)
+		rel = relation.NewBTree(db.pager.Disk(), sch, s.Key, "tid", 20)
 	case "hash":
 		buckets := s.Buckets
 		if buckets == 0 {
 			buckets = 16
 		}
-		rel = relation.NewHash(db.pager, sch, s.Key, buckets)
+		rel = relation.NewHash(db.pager.Disk(), sch, s.Key, buckets)
 	default:
 		return nil, fmt.Errorf("quel: unknown organization %q", s.Org)
 	}
@@ -174,10 +174,10 @@ func (db *DB) append_(s *AppendStmt) (*Result, error) {
 		}
 		sch.SetByName(tup, a.Field, a.Value)
 	}
-	rel.Insert(tup)
+	rel.Insert(db.pager, tup)
 	// Tell the stored-procedure layer, so conflicting cached results are
 	// invalidated.
-	db.strategy.OnUpdate(proc.Delta{Rel: rel, Inserted: [][]byte{tup}})
+	db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Inserted: [][]byte{tup}})
 	return &Result{Message: "appended 1 tuple to " + s.Rel}, nil
 }
 
@@ -192,7 +192,7 @@ func (db *DB) collect(plan query.Plan) *Result {
 	for i := 0; i < sch.NumFields(); i++ {
 		res.Columns = append(res.Columns, sch.FieldName(i))
 	}
-	plan.Execute(&query.Ctx{Meter: db.meter}, func(tup []byte) bool {
+	plan.Execute(&query.Ctx{Meter: db.meter, Pager: db.pager}, func(tup []byte) bool {
 		row := make([]int64, sch.NumFields())
 		for i := range row {
 			row[i] = sch.Get(tup, i)
@@ -233,7 +233,7 @@ func (db *DB) matchTuples(relName string, quals []Qual) (*relation.Relation, [][
 	}
 	sch := rel.Schema()
 	var tuples [][]byte
-	plan.Execute(&query.Ctx{Meter: db.meter}, func(row []byte) bool {
+	plan.Execute(&query.Ctx{Meter: db.meter, Pager: db.pager}, func(row []byte) bool {
 		// The rel.all projection preserves field order, so rebuild the
 		// base tuple field by field.
 		tup := sch.New()
@@ -249,10 +249,10 @@ func (db *DB) matchTuples(relName string, quals []Qual) (*relation.Relation, [][
 
 func (db *DB) removeBase(rel *relation.Relation, tup []byte) {
 	if rel.Tree() != nil {
-		rel.DeleteKeyed(rel.Key(tup))
+		rel.DeleteKeyed(db.pager, rel.Key(tup))
 		return
 	}
-	rel.Hash().DeleteExact(tup)
+	rel.Hash().DeleteExact(db.pager, tup)
 }
 
 func (db *DB) delete_(s *DeleteStmt) (*Result, error) {
@@ -264,7 +264,7 @@ func (db *DB) delete_(s *DeleteStmt) (*Result, error) {
 		db.removeBase(rel, tup)
 	}
 	if len(tuples) > 0 {
-		db.strategy.OnUpdate(proc.Delta{Rel: rel, Deleted: tuples})
+		db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: tuples})
 	}
 	return &Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", len(tuples), s.Rel)}, nil
 }
@@ -287,11 +287,11 @@ func (db *DB) replace(s *ReplaceStmt) (*Result, error) {
 			sch.SetByName(newTup, a.Field, a.Value)
 		}
 		db.removeBase(rel, old)
-		rel.Insert(newTup)
+		rel.Insert(db.pager, newTup)
 		inserted = append(inserted, newTup)
 	}
 	if len(tuples) > 0 {
-		db.strategy.OnUpdate(proc.Delta{Rel: rel, Deleted: tuples, Inserted: inserted})
+		db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: tuples, Inserted: inserted})
 	}
 	return &Result{Message: fmt.Sprintf("replaced %d tuple(s) in %s", len(tuples), s.Rel)}, nil
 }
@@ -329,7 +329,7 @@ func (db *DB) defineProc(s *DefineProcStmt) (*Result, error) {
 	prevCharge := db.pager.SetCharging(false)
 	prevMute := db.meter.SetMuted(true)
 	for _, id := range ids {
-		db.strategy.Adopt(id)
+		db.strategy.Adopt(db.pager, id)
 	}
 	db.pager.BeginOp()
 	db.meter.SetMuted(prevMute)
@@ -351,7 +351,7 @@ func (db *DB) accessPart(id int) (Section, bool) {
 		sec.Columns = append(sec.Columns, sch.FieldName(i))
 	}
 	valid := db.store.MustEntry(cache.ID(id)).Valid()
-	for _, tup := range db.strategy.Access(id) {
+	for _, tup := range db.strategy.Access(db.pager, id) {
 		row := make([]int64, sch.NumFields())
 		for i := range row {
 			row[i] = sch.Get(tup, i)

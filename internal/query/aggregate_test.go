@@ -8,7 +8,7 @@ import (
 
 func TestAggregateScalarAndGrouped(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	scan := NewBTreeRangeScan(w.R1, 0, 79) // skey 0..79, a = tid % 40
 
 	// Scalar.
@@ -53,7 +53,7 @@ func TestAggregateScalarAndGrouped(t *testing.T) {
 
 func TestAggregateEmptyInput(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	empty := &ValuesScan{Sch: w.R1.Schema()}
 	// Scalar over empty: one zero row.
 	agg := NewAggregate(empty, nil, []AggSpec{{Fn: AggCount, Name: "n"}, {Fn: AggAvg, Field: "a", Name: "avg"}})
@@ -70,7 +70,7 @@ func TestAggregateEmptyInput(t *testing.T) {
 
 func TestAggregateNegativeValues(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	s1 := w.R1.Schema()
 	vs := &ValuesScan{Sch: s1, Tuples: [][]byte{
 		w.R1Tuple(1, 0, 0), w.R1Tuple(2, 0, 0),
@@ -92,7 +92,7 @@ func TestAggregateNegativeValues(t *testing.T) {
 
 func TestAggregateEarlyStopAndString(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	scan := NewBTreeRangeScan(w.R1, 0, 79)
 	g := NewAggregate(scan, []string{"a"}, []AggSpec{{Fn: AggCount, Name: "n"}})
 	count := 0
@@ -131,7 +131,7 @@ func TestAggregatePanics(t *testing.T) {
 
 func TestSortNode(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	s1 := w.R1.Schema()
 	vs := &ValuesScan{Sch: s1, Tuples: [][]byte{
 		w.R1Tuple(3, 9, 2), w.R1Tuple(1, 9, 1), w.R1Tuple(2, 4, 9),

@@ -9,7 +9,7 @@ import (
 
 func TestMaterializeSortsByKey(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	s1 := w.R1.Schema()
 	// Feed values out of key order; Materialize must sort them.
 	vs := &ValuesScan{Sch: s1, Tuples: [][]byte{
@@ -40,7 +40,7 @@ func TestMaterializeSortsByKey(t *testing.T) {
 
 func TestRefineFiltersWithoutScreens(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	vs := &ValuesScan{Sch: w.R1.Schema(), Tuples: [][]byte{
 		w.R1Tuple(1, 5, 0), w.R1Tuple(2, 15, 0), w.R1Tuple(3, 25, 0),
 	}}

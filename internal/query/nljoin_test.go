@@ -13,14 +13,14 @@ import (
 // side drives.
 func TestNestedLoopJoinMatchesHashJoin(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 
 	hash := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 20, 59), w.R2, "a", 80)
 	want := Run(hash, ctx)
 
 	// Nested loop with the full R2 contents as the in-memory side.
 	var r2Tuples [][]byte
-	w.R2.Hash().ScanAll(func(rec []byte) bool {
+	w.R2.Hash().ScanAll(w.Pager, func(rec []byte) bool {
 		r2Tuples = append(r2Tuples, append([]byte(nil), rec...))
 		return true
 	})
@@ -54,7 +54,7 @@ func TestNestedLoopJoinMatchesHashJoin(t *testing.T) {
 
 func TestNestedLoopJoinEmptyInner(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	nl := NewNestedLoopJoin(
 		NewBTreeRangeScan(w.R1, 0, 50),
 		&ValuesScan{Sch: w.R2.Schema()},
@@ -72,9 +72,9 @@ func TestNestedLoopJoinEmptyInner(t *testing.T) {
 
 func TestNestedLoopJoinEarlyStop(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	var r2Tuples [][]byte
-	w.R2.Hash().ScanAll(func(rec []byte) bool {
+	w.R2.Hash().ScanAll(w.Pager, func(rec []byte) bool {
 		r2Tuples = append(r2Tuples, append([]byte(nil), rec...))
 		return true
 	})
@@ -91,7 +91,7 @@ func TestNestedLoopJoinEarlyStop(t *testing.T) {
 
 func TestNestedLoopJoinDuplicateInnerKeys(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	s2 := w.R2.Schema()
 	dup := func(b, tid int64) []byte {
 		tup := s2.New()
@@ -126,7 +126,7 @@ func TestNestedLoopJoinExplain(t *testing.T) {
 func TestLockSinkObservesReads(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
 	sink := &recordingSink{keys: map[string][]int64{}}
-	ctx := &Ctx{Meter: w.Meter, Locks: sink}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager, Locks: sink}
 	plan := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 10, 14), w.R2, "a", 80)
 	Run(plan, ctx)
 	if len(sink.ranges) != 1 || sink.ranges[0] != [3]interface{}{"r1", int64(10), int64(14)} {

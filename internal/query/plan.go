@@ -7,6 +7,7 @@ import (
 
 	"dbproc/internal/metric"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 )
 
@@ -19,10 +20,12 @@ type LockSink interface {
 }
 
 // Ctx carries per-execution state: the meter that predicate screens are
-// charged to (page I/O is charged by the storage layer) and an optional
-// lock sink for rule indexing.
+// charged to, the executing session's pager that storage-layer page I/O
+// goes through (required by plans that touch relations; Pager.Meter()
+// must be the same meter), and an optional lock sink for rule indexing.
 type Ctx struct {
 	Meter *metric.Meter
+	Pager *storage.Pager
 	Locks LockSink
 }
 
@@ -79,7 +82,7 @@ func (s *BTreeRangeScan) Execute(ctx *Ctx, emit func([]byte) bool) {
 	defer ctx.Meter.SetComponent(prev)
 	lo := tuple.MinKeyFor(s.Lo)
 	hi := tuple.MaxKeyFor(s.Hi)
-	s.Rel.Tree().ScanRange(lo, hi, func(rec []byte) bool {
+	s.Rel.Tree().ScanRange(ctx.Pager, lo, hi, func(rec []byte) bool {
 		ctx.Meter.Screen(1)
 		out := make([]byte, len(rec))
 		copy(out, rec)
@@ -241,7 +244,7 @@ func (j *HashJoinProbe) Execute(ctx *Ctx, emit func([]byte) bool) {
 		prev := ctx.Meter.SetComponent(metric.CompHashIdx)
 		defer ctx.Meter.SetComponent(prev)
 		cont := true
-		j.Table.Hash().LookupEach(key, func(rtup []byte) bool {
+		j.Table.Hash().LookupEach(ctx.Pager, key, func(rtup []byte) bool {
 			out := j.out.New()
 			for i := 0; i < j.leftFields; i++ {
 				j.out.Set(out, i, ls.Get(ltup, i))

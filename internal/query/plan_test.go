@@ -9,7 +9,7 @@ import (
 
 func TestBTreeRangeScanSelectsBand(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	scan := NewBTreeRangeScan(w.R1, 50, 59)
 	w.Pager.BeginOp()
 	out := Run(scan, ctx)
@@ -34,7 +34,7 @@ func TestBTreeRangeScanSelectsBand(t *testing.T) {
 
 func TestFilterScreensAndFilters(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	plan := &Filter{
 		Child: NewBTreeRangeScan(w.R1, 0, 99),
 		Pred:  Compare{Field: "a", Op: Lt, Value: 5},
@@ -54,7 +54,7 @@ func TestFilterScreensAndFilters(t *testing.T) {
 
 func TestHashJoinProbeModel1Shape(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	// The model-1 P2 plan: scan R1 band, probe R2 on a=b, filter C_f2(p2).
 	join := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 0, 39), w.R2, "a", 64)
 	plan := &Filter{Child: join, Pred: Compare{Field: "r2_p2", Op: Lt, Value: 3}}
@@ -78,7 +78,7 @@ func TestHashJoinProbeModel1Shape(t *testing.T) {
 
 func TestThreeWayJoinModel2Shape(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	// 9 output attributes need 72 bytes; use a wider result tuple.
 	j1 := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 10, 19), w.R2, "a", 80)
 	j2 := NewHashJoinProbe(j1, w.R3, "r2_c", 80)
@@ -97,7 +97,7 @@ func TestThreeWayJoinModel2Shape(t *testing.T) {
 
 func TestValuesScan(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	vs := &ValuesScan{Sch: w.R1.Schema(), Tuples: [][]byte{
 		w.R1Tuple(1000, 5, 3), w.R1Tuple(1001, 6, 4),
 	}}
@@ -124,7 +124,7 @@ func TestValuesScan(t *testing.T) {
 
 func TestJoinIOCharges(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	ctx := &Ctx{Meter: w.Meter}
+	ctx := &Ctx{Meter: w.Meter, Pager: w.Pager}
 	// 10 probes into R2 (40 tuples on 10 pages at 4/page, b unique):
 	// distinct buckets touched <= 10 pages, >= 1.
 	join := NewHashJoinProbe(NewBTreeRangeScan(w.R1, 0, 9), w.R2, "a", 64)

@@ -99,7 +99,7 @@ func (s *HashScan) Children() []Plan { return nil }
 func (s *HashScan) Execute(ctx *Ctx, emit func([]byte) bool) {
 	prev := ctx.Meter.SetComponent(metric.CompHashIdx)
 	defer ctx.Meter.SetComponent(prev)
-	s.Rel.Hash().ScanAll(func(rec []byte) bool {
+	s.Rel.Hash().ScanAll(ctx.Pager, func(rec []byte) bool {
 		ctx.Meter.Screen(1)
 		out := make([]byte, len(rec))
 		copy(out, rec)

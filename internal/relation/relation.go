@@ -32,36 +32,36 @@ type Relation struct {
 // NewBTree creates an empty B-tree-organized relation clustered on
 // clusterField, with idField (a unique tuple id) as the key tiebreaker.
 // indexEntrySize is the paper's d.
-func NewBTree(pager *storage.Pager, schema *tuple.Schema, clusterField, idField string, indexEntrySize int) *Relation {
+func NewBTree(disk *storage.Disk, schema *tuple.Schema, clusterField, idField string, indexEntrySize int) *Relation {
 	r := &Relation{
 		schema:       schema,
 		clusterField: schema.MustFieldIndex(clusterField),
 		idField:      schema.MustFieldIndex(idField),
 	}
-	r.tree = btree.New(pager, schema.Width(), indexEntrySize, r.Key)
+	r.tree = btree.New(disk, schema.Width(), indexEntrySize, r.Key)
 	return r
 }
 
 // BulkLoadBTree creates a B-tree relation from tuples already sorted by
 // (clusterField, idField), packing pages completely full.
-func BulkLoadBTree(pager *storage.Pager, schema *tuple.Schema, clusterField, idField string, indexEntrySize int, tuples [][]byte) *Relation {
+func BulkLoadBTree(pg *storage.Pager, schema *tuple.Schema, clusterField, idField string, indexEntrySize int, tuples [][]byte) *Relation {
 	r := &Relation{
 		schema:       schema,
 		clusterField: schema.MustFieldIndex(clusterField),
 		idField:      schema.MustFieldIndex(idField),
 	}
-	r.tree = btree.BulkLoad(pager, schema.Width(), indexEntrySize, r.Key, tuples)
+	r.tree = btree.BulkLoad(pg, schema.Width(), indexEntrySize, r.Key, tuples)
 	return r
 }
 
 // NewHash creates an empty hash-organized relation on hashField with the
 // given number of primary buckets.
-func NewHash(pager *storage.Pager, schema *tuple.Schema, hashField string, buckets int) *Relation {
+func NewHash(disk *storage.Disk, schema *tuple.Schema, hashField string, buckets int) *Relation {
 	r := &Relation{
 		schema:    schema,
 		hashField: schema.MustFieldIndex(hashField),
 	}
-	r.hash = hashidx.New(pager, schema.Width(), buckets, func(rec []byte) uint64 {
+	r.hash = hashidx.New(disk, schema.Width(), buckets, func(rec []byte) uint64 {
 		return uint64(schema.Get(rec, r.hashField))
 	})
 	return r
@@ -116,21 +116,22 @@ func (r *Relation) KeyField() int {
 	return r.clusterField
 }
 
-// Insert adds a tuple to the relation's primary organization.
-func (r *Relation) Insert(tup []byte) {
+// Insert adds a tuple to the relation's primary organization, charging
+// I/O to the calling session's pager.
+func (r *Relation) Insert(pg *storage.Pager, tup []byte) {
 	if r.tree != nil {
-		r.tree.Insert(tup)
+		r.tree.Insert(pg, tup)
 		return
 	}
-	r.hash.Insert(tup)
+	r.hash.Insert(pg, tup)
 }
 
 // DeleteKeyed removes the B-tree tuple with the given cluster key.
-func (r *Relation) DeleteKeyed(key uint64) bool {
+func (r *Relation) DeleteKeyed(pg *storage.Pager, key uint64) bool {
 	if r.tree == nil {
 		panic("relation: DeleteKeyed on a hash relation")
 	}
-	return r.tree.Delete(key)
+	return r.tree.Delete(pg, key)
 }
 
 // Catalog maps relation names to relations.

@@ -20,7 +20,7 @@ func empSchema() *tuple.Schema {
 func TestBTreeRelation(t *testing.T) {
 	p := newPager(256)
 	s := empSchema()
-	r := NewBTree(p, s, "age", "tid", 16)
+	r := NewBTree(p.Disk(), s, "age", "tid", 16)
 	if r.Tree() == nil || r.Hash() != nil {
 		t.Fatal("organization wrong")
 	}
@@ -28,13 +28,13 @@ func TestBTreeRelation(t *testing.T) {
 		tup := s.New()
 		s.SetByName(tup, "tid", i)
 		s.SetByName(tup, "age", 30+i%5)
-		r.Insert(tup)
+		r.Insert(p, tup)
 	}
 	if r.Len() != 20 {
 		t.Fatalf("Len = %d", r.Len())
 	}
 	// Keys order by (age, tid); delete one specific tuple.
-	if !r.DeleteKeyed(tuple.ClusterKey(30, 0)) {
+	if !r.DeleteKeyed(p, tuple.ClusterKey(30, 0)) {
 		t.Fatal("DeleteKeyed missed")
 	}
 	if r.Len() != 19 {
@@ -67,7 +67,7 @@ func TestBulkLoadBTreeRelation(t *testing.T) {
 func TestHashRelation(t *testing.T) {
 	p := newPager(256)
 	s := empSchema()
-	r := NewHash(p, s, "dept", 4)
+	r := NewHash(p.Disk(), s, "dept", 4)
 	if r.Hash() == nil || r.Tree() != nil {
 		t.Fatal("organization wrong")
 	}
@@ -75,13 +75,13 @@ func TestHashRelation(t *testing.T) {
 		tup := s.New()
 		s.SetByName(tup, "tid", i)
 		s.SetByName(tup, "dept", i%3)
-		r.Insert(tup)
+		r.Insert(p, tup)
 	}
 	if r.Len() != 12 {
 		t.Fatalf("Len = %d", r.Len())
 	}
 	count := 0
-	r.Hash().LookupEach(1, func([]byte) bool { count++; return true })
+	r.Hash().LookupEach(p, 1, func([]byte) bool { count++; return true })
 	if count != 4 {
 		t.Fatalf("dept=1 has %d tuples, want 4", count)
 	}
@@ -91,7 +91,7 @@ func TestHashRelation(t *testing.T) {
 	// Misusing the B-tree-only API panics.
 	for name, fn := range map[string]func(){
 		"Key on hash": func() { r.Key(s.New()) },
-		"DeleteKeyed": func() { r.DeleteKeyed(0) },
+		"DeleteKeyed": func() { r.DeleteKeyed(p, 0) },
 	} {
 		func() {
 			defer func() {
@@ -107,7 +107,7 @@ func TestHashRelation(t *testing.T) {
 func TestCatalog(t *testing.T) {
 	p := newPager(256)
 	c := NewCatalog()
-	r := NewBTree(p, empSchema(), "age", "tid", 16)
+	r := NewBTree(p.Disk(), empSchema(), "age", "tid", 16)
 	c.Define(r)
 	if c.Lookup("emp") != r || c.MustLookup("emp") != r {
 		t.Fatal("lookup failed")

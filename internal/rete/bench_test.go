@@ -12,7 +12,7 @@ import (
 func benchNet(b *testing.B, nProcs int) (*Network, *dbtest.World, []byte) {
 	b.Helper()
 	w := dbtest.NewWorld(dbtest.Config{N1: 2000})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1 := w.R1.Schema()
 	key := func(tup []byte) uint64 {
 		return tuple.ClusterKey(s1.GetByName(tup, "skey"), s1.GetByName(tup, "tid"))
@@ -26,27 +26,27 @@ func benchNet(b *testing.B, nProcs int) (*Network, *dbtest.World, []byte) {
 }
 
 func BenchmarkDispatch200TConsts(b *testing.B) {
-	net, _, tup := benchNet(b, 200)
+	net, w, tup := benchNet(b, 200)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.SubmitModify("r1", tup, tup)
+		net.SubmitModify(w.Pager, "r1", tup, tup)
 	}
 }
 
 func BenchmarkDispatchNaive200TConsts(b *testing.B) {
-	net, _, tup := benchNet(b, 200)
+	net, w, tup := benchNet(b, 200)
 	net.SetNaiveDispatch(true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.SubmitModify("r1", tup, tup)
+		net.SubmitModify(w.Pager, "r1", tup, tup)
 	}
 }
 
 func BenchmarkJoinTokenThroughAndNode(b *testing.B) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1, s2 := w.R1.Schema(), w.R2.Schema()
 	tc := net.TConst(s1, "skey", 0, 199)
 	left := net.NewMemory(s1, nil, func(t []byte) uint64 {
@@ -56,8 +56,8 @@ func BenchmarkJoinTokenThroughAndNode(b *testing.B) {
 	right := net.NewMemory(s2, nil, func(t []byte) uint64 {
 		return tuple.ClusterKey(s2.GetByName(t, "b"), s2.GetByName(t, "tid"))
 	})
-	w.R2.Hash().ScanAll(func(rec []byte) bool {
-		right.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+	w.R2.Hash().ScanAll(w.Pager, func(rec []byte) bool {
+		right.Activate(w.Pager, Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 	and := net.NewAndNode(left, right, "a", "b", "r2_", 80)
@@ -70,7 +70,7 @@ func BenchmarkJoinTokenThroughAndNode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Submit("r1", Token{Tag: Plus, Tuple: tup})
-		net.Submit("r1", Token{Tag: Minus, Tuple: tup})
+		net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: tup})
+		net.Submit(w.Pager, "r1", Token{Tag: Minus, Tuple: tup})
 	}
 }

@@ -3,6 +3,7 @@ package rete
 import (
 	"dbproc/internal/obs"
 	"dbproc/internal/relation"
+	"dbproc/internal/storage"
 )
 
 // Engine adapts a Network to the procedure layer's Maintainer interface:
@@ -10,13 +11,13 @@ import (
 // and + tokens for the new ones, submitted at the network root.
 type Engine struct {
 	net     *Network
-	prepare func()
+	prepare func(pg *storage.Pager)
 	tracer  *obs.Tracer
 }
 
 // NewEngine wraps net; prepare (may be nil) runs the one-time network fill
 // when the strategy is prepared.
-func NewEngine(net *Network, prepare func()) *Engine {
+func NewEngine(net *Network, prepare func(pg *storage.Pager)) *Engine {
 	return &Engine{net: net, prepare: prepare}
 }
 
@@ -31,25 +32,25 @@ func (e *Engine) Network() *Network { return e.net }
 func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
 // Prepare runs the one-time fill; run it with charging disabled.
-func (e *Engine) Prepare() {
+func (e *Engine) Prepare(pg *storage.Pager) {
 	if e.prepare != nil {
-		e.prepare()
+		e.prepare(pg)
 	}
 }
 
 // Apply submits the transaction's deltas as tokens: deletions first, then
 // insertions, so an in-place modification is the paper's "delete followed
 // by insert".
-func (e *Engine) Apply(rel *relation.Relation, inserted, deleted [][]byte) {
+func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, deleted [][]byte) {
 	sp := e.tracer.Begin("rete.propagate")
 	sp.Set("rel", rel.Schema().Name())
 	sp.Set("tokens", len(inserted)+len(deleted))
 	name := rel.Schema().Name()
 	for _, tup := range deleted {
-		e.net.Submit(name, Token{Tag: Minus, Tuple: tup})
+		e.net.Submit(pg, name, Token{Tag: Minus, Tuple: tup})
 	}
 	for _, tup := range inserted {
-		e.net.Submit(name, Token{Tag: Plus, Tuple: tup})
+		e.net.Submit(pg, name, Token{Tag: Plus, Tuple: tup})
 	}
 	e.tracer.End(sp)
 }

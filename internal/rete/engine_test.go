@@ -4,38 +4,39 @@ import (
 	"testing"
 
 	"dbproc/internal/dbtest"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 )
 
 func TestEngineAdaptsNetworkToMaintainer(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1 := w.R1.Schema()
 	tc := net.TConst(s1, "skey", 20, 39)
 	alpha := net.NewMemory(s1, nil, r1Key(s1))
 	tc.Attach(alpha)
 
 	prepared := false
-	eng := NewEngine(net, func() {
+	eng := NewEngine(net, func(pg *storage.Pager) {
 		prepared = true
-		w.R1.Tree().ScanAll(func(rec []byte) bool {
-			net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		w.R1.Tree().ScanAll(w.Pager, func(rec []byte) bool {
+			net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 			return true
 		})
 	})
 	if eng.Name() != "RVM" || eng.Network() != net {
 		t.Fatal("engine accessors wrong")
 	}
-	eng.Prepare()
+	eng.Prepare(w.Pager)
 	if !prepared || alpha.Len() != 20 {
 		t.Fatalf("prepare did not fill (len=%d)", alpha.Len())
 	}
 
 	// Apply turns a delta into -/+ tokens in order.
-	old, _ := w.R1.Tree().Get(tuple.ClusterKey(25, 25))
+	old, _ := w.R1.Tree().Get(w.Pager, tuple.ClusterKey(25, 25))
 	newTup := append([]byte(nil), old...)
 	s1.SetByName(newTup, "skey", 99)
-	eng.Apply(w.R1, [][]byte{newTup}, [][]byte{old})
+	eng.Apply(w.Pager, w.R1, [][]byte{newTup}, [][]byte{old})
 	if alpha.File().Contains(tuple.ClusterKey(25, 25)) {
 		t.Fatal("deleted token not applied")
 	}
@@ -46,14 +47,14 @@ func TestEngineAdaptsNetworkToMaintainer(t *testing.T) {
 
 func TestEngineNilPrepare(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	eng := NewEngine(NewNetwork(w.Meter, w.Pager), nil)
-	eng.Prepare() // must not panic
+	eng := NewEngine(NewNetwork(w.Pager.Disk()), nil)
+	eng.Prepare(w.Pager) // must not panic
 }
 
 func TestNaiveDispatchSameContentsMoreScreens(t *testing.T) {
 	build := func(naive bool) (*Network, *Memory, *Memory, *dbtest.World) {
 		w := dbtest.NewWorld(dbtest.Config{})
-		net := NewNetwork(w.Meter, w.Pager)
+		net := NewNetwork(w.Pager.Disk())
 		net.SetNaiveDispatch(naive)
 		s1 := w.R1.Schema()
 		tcA := net.TConst(s1, "skey", 20, 39)
@@ -62,8 +63,8 @@ func TestNaiveDispatchSameContentsMoreScreens(t *testing.T) {
 		tcB := net.TConst(s1, "skey", 100, 119)
 		b := net.NewMemory(s1, nil, r1Key(s1))
 		tcB.Attach(b)
-		w.R1.Tree().ScanAll(func(rec []byte) bool {
-			net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+		w.R1.Tree().ScanAll(w.Pager, func(rec []byte) bool {
+			net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 			return true
 		})
 		return net, a, b, w
@@ -87,7 +88,7 @@ func TestNaiveDispatchSameContentsMoreScreens(t *testing.T) {
 
 func TestNodeStringsAndAccessors(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1 := w.R1.Schema()
 	band := net.TConst(s1, "skey", 5, 9)
 	if got := band.String(); got != "t-const(5 <= r1.skey <= 9)" {
@@ -115,12 +116,12 @@ func TestNodeStringsAndAccessors(t *testing.T) {
 
 func TestMemoryLoad(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1 := w.R1.Schema()
 	mem := net.NewMemory(s1, nil, r1Key(s1))
 	keys := []uint64{tuple.ClusterKey(1, 1), tuple.ClusterKey(2, 2)}
 	recs := [][]byte{w.R1Tuple(1, 1, 0), w.R1Tuple(2, 2, 0)}
-	mem.Load(keys, recs)
+	mem.Load(w.Pager, keys, recs)
 	if mem.Len() != 2 || !mem.File().Contains(keys[0]) {
 		t.Fatal("Load failed")
 	}

@@ -20,6 +20,10 @@
 // contains the token's attribute value. Each activation is one charged C1
 // screen, so screening cost matches the model's N·C1·2fl terms rather than
 // a naive broadcast's N·C1·2l.
+//
+// Tokens are submitted on a session's pager: memory files live on the
+// shared disk, while screening and I/O charges land on the submitting
+// session's meter. The network mutex serializes propagation.
 package rete
 
 import (
@@ -56,9 +60,10 @@ type Token struct {
 	Tuple []byte
 }
 
-// Node is anything that can receive a token.
+// Node is anything that can receive a token; pg is the submitting
+// session's pager, charged for all work the activation causes.
 type Node interface {
-	Activate(tok Token)
+	Activate(pg *storage.Pager, tok Token)
 }
 
 // Network is the Rete net plus its root dispatch structures. Token
@@ -66,9 +71,8 @@ type Node interface {
 // shared state, and admitting one token (or one modify pair) at a time
 // makes concurrent propagation equivalent to some serial token order.
 type Network struct {
-	mu    sync.Mutex
-	meter *metric.Meter
-	pager *storage.Pager
+	mu   sync.Mutex
+	disk *storage.Disk
 
 	// dispatchers index t-const nodes by (relation, attribute) band.
 	dispatchers map[dispatchKey]*dispatcher
@@ -109,12 +113,11 @@ type dispatchInterval struct {
 	node   *TConst
 }
 
-// NewNetwork creates an empty network; memory-node files are allocated on
-// pager, and screening is charged to meter.
-func NewNetwork(meter *metric.Meter, pager *storage.Pager) *Network {
+// NewNetwork creates an empty network; private memory-node files are
+// allocated on disk.
+func NewNetwork(disk *storage.Disk) *Network {
 	return &Network{
-		meter:       meter,
-		pager:       pager,
+		disk:        disk,
 		dispatchers: make(map[dispatchKey]*dispatcher),
 		tconsts:     make(map[tcKey]*TConst),
 	}
@@ -173,26 +176,28 @@ func (n *Network) TConstChained(sch *tuple.Schema, fieldName string, lo, hi int6
 // after sharing.
 func (n *Network) NumTConsts() int { return len(n.tconsts) }
 
-// Submit deposits a token for the named relation at the root. The root
-// dispatches it to every t-const on that relation whose band contains the
-// token's attribute value. Everything downstream — t-const screens,
-// memory-node I/O, and-node probes — is attributed to the rete component.
-func (n *Network) Submit(rel string, tok Token) {
+// Submit deposits a token for the named relation at the root, on behalf of
+// the session owning pg. The root dispatches it to every t-const on that
+// relation whose band contains the token's attribute value. Everything
+// downstream — t-const screens, memory-node I/O, and-node probes — is
+// attributed to the rete component of pg's meter.
+func (n *Network) Submit(pg *storage.Pager, rel string, tok Token) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.submit(rel, tok)
+	n.submit(pg, rel, tok)
 }
 
-func (n *Network) submit(rel string, tok Token) {
-	prev := n.meter.SetComponent(metric.CompRete)
-	defer n.meter.SetComponent(prev)
+func (n *Network) submit(pg *storage.Pager, rel string, tok Token) {
+	meter := pg.Meter()
+	prev := meter.SetComponent(metric.CompRete)
+	defer meter.SetComponent(prev)
 	for key, d := range n.dispatchers {
 		if key.rel != rel {
 			continue
 		}
 		if n.naive {
 			for _, iv := range d.intervals {
-				iv.node.Activate(tok)
+				iv.node.Activate(pg, tok)
 			}
 			continue
 		}
@@ -202,7 +207,7 @@ func (n *Network) submit(rel string, tok Token) {
 				break
 			}
 			if v <= iv.hi {
-				iv.node.Activate(tok)
+				iv.node.Activate(pg, tok)
 			}
 		}
 	}
@@ -211,11 +216,11 @@ func (n *Network) submit(rel string, tok Token) {
 // SubmitModify is the convenience for an in-place modification: a − token
 // for the old value then a + token for the new one, admitted as one
 // atomic pair — no other session's token lands between them.
-func (n *Network) SubmitModify(rel string, oldTuple, newTuple []byte) {
+func (n *Network) SubmitModify(pg *storage.Pager, rel string, oldTuple, newTuple []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.submit(rel, Token{Tag: Minus, Tuple: oldTuple})
-	n.submit(rel, Token{Tag: Plus, Tuple: newTuple})
+	n.submit(pg, rel, Token{Tag: Minus, Tuple: oldTuple})
+	n.submit(pg, rel, Token{Tag: Plus, Tuple: newTuple})
 }
 
 // TConst tests a single "attribute in band" condition. Each activation is
@@ -232,14 +237,14 @@ type TConst struct {
 func (t *TConst) Attach(n Node) { t.succs = append(t.succs, n) }
 
 // Activate implements Node.
-func (t *TConst) Activate(tok Token) {
-	t.net.meter.Screen(1)
+func (t *TConst) Activate(pg *storage.Pager, tok Token) {
+	pg.Meter().Screen(1)
 	v := t.sch.Get(tok.Tuple, t.field)
 	if v < t.lo || v > t.hi {
 		return
 	}
 	for _, s := range t.succs {
-		s.Activate(tok)
+		s.Activate(pg, tok)
 	}
 }
 
@@ -270,7 +275,7 @@ func (n *Network) NewMemory(sch *tuple.Schema, file *storage.OrderedFile, key fu
 		panic("rete: nil memory key")
 	}
 	if file == nil {
-		file = storage.NewOrderedFile(n.pager, sch.Width())
+		file = storage.NewOrderedFile(n.disk, sch.Width())
 	}
 	return &Memory{net: n, sch: sch, file: file, key: key}
 }
@@ -289,30 +294,30 @@ func (m *Memory) Schema() *tuple.Schema { return m.sch }
 func (m *Memory) Len() int { return m.file.Len() }
 
 // Activate implements Node.
-func (m *Memory) Activate(tok Token) {
+func (m *Memory) Activate(pg *storage.Pager, tok Token) {
 	k := m.key(tok.Tuple)
 	if tok.Tag == Plus {
 		if !m.file.Contains(k) {
-			m.file.Insert(k, tok.Tuple)
+			m.file.Insert(pg, k, tok.Tuple)
 		}
 	} else {
-		m.file.Delete(k)
+		m.file.Delete(pg, k)
 	}
 	for _, s := range m.succs {
-		s.Activate(tok)
+		s.Activate(pg, tok)
 	}
 }
 
 // Load bulk-fills the memory from sorted rows (setup only; run with
 // charging disabled for uncharged initialization).
-func (m *Memory) Load(keys []uint64, recs [][]byte) {
-	m.file.Replace(keys, recs)
+func (m *Memory) Load(pg *storage.Pager, keys []uint64, recs [][]byte) {
+	m.file.Replace(pg, keys, recs)
 }
 
 // probe finds the tuples whose join attribute equals v, scanning only the
 // pages covering the (v, *) cluster-key band.
-func (m *Memory) probe(v int64, fn func(rec []byte) bool) {
-	m.file.ScanRange(tuple.MinKeyFor(v), tuple.MaxKeyFor(v), func(_ uint64, rec []byte) bool {
+func (m *Memory) probe(pg *storage.Pager, v int64, fn func(rec []byte) bool) {
+	m.file.ScanRange(pg, tuple.MinKeyFor(v), tuple.MaxKeyFor(v), func(_ uint64, rec []byte) bool {
 		return fn(rec)
 	})
 }
@@ -320,8 +325,8 @@ func (m *Memory) probe(v int64, fn func(rec []byte) bool) {
 // scanMatching finds tuples whose arbitrary attribute equals v with a full
 // scan; used for right activations, where the opposite (left) memory is
 // clustered by its own result key, not the join attribute.
-func (m *Memory) scanMatching(field int, v int64, fn func(rec []byte) bool) {
-	m.file.Scan(func(_ uint64, rec []byte) bool {
+func (m *Memory) scanMatching(pg *storage.Pager, field int, v int64, fn func(rec []byte) bool) {
+	m.file.Scan(pg, func(_ uint64, rec []byte) bool {
 		if m.sch.Get(rec, field) == v {
 			return fn(rec)
 		}
@@ -372,11 +377,11 @@ func (a *AndNode) Schema() *tuple.Schema { return a.out }
 
 type leftInput struct{ a *AndNode }
 
-func (l leftInput) Activate(tok Token) { l.a.activateLeft(tok) }
+func (l leftInput) Activate(pg *storage.Pager, tok Token) { l.a.activateLeft(pg, tok) }
 
 type rightInput struct{ a *AndNode }
 
-func (r rightInput) Activate(tok Token) { r.a.activateRight(tok) }
+func (r rightInput) Activate(pg *storage.Pager, tok Token) { r.a.activateRight(pg, tok) }
 
 func (a *AndNode) combine(ltup, rtup []byte) []byte {
 	out := a.out.New()
@@ -389,24 +394,24 @@ func (a *AndNode) combine(ltup, rtup []byte) []byte {
 	return out
 }
 
-func (a *AndNode) emit(tok Token) {
+func (a *AndNode) emit(pg *storage.Pager, tok Token) {
 	for _, s := range a.succs {
-		s.Activate(tok)
+		s.Activate(pg, tok)
 	}
 }
 
-func (a *AndNode) activateLeft(tok Token) {
+func (a *AndNode) activateLeft(pg *storage.Pager, tok Token) {
 	v := a.left.sch.Get(tok.Tuple, a.leftField)
-	a.right.probe(v, func(rtup []byte) bool {
-		a.emit(Token{Tag: tok.Tag, Tuple: a.combine(tok.Tuple, rtup)})
+	a.right.probe(pg, v, func(rtup []byte) bool {
+		a.emit(pg, Token{Tag: tok.Tag, Tuple: a.combine(tok.Tuple, rtup)})
 		return true
 	})
 }
 
-func (a *AndNode) activateRight(tok Token) {
+func (a *AndNode) activateRight(pg *storage.Pager, tok Token) {
 	v := a.right.sch.Get(tok.Tuple, a.rightField)
-	a.left.scanMatching(a.leftField, v, func(ltup []byte) bool {
-		a.emit(Token{Tag: tok.Tag, Tuple: a.combine(ltup, tok.Tuple)})
+	a.left.scanMatching(pg, a.leftField, v, func(ltup []byte) bool {
+		a.emit(pg, Token{Tag: tok.Tag, Tuple: a.combine(ltup, tok.Tuple)})
 		return true
 	})
 }

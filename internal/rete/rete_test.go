@@ -32,7 +32,7 @@ func r1Key(s *tuple.Schema) func([]byte) uint64 {
 func newM1Fixture(t *testing.T) *m1Fixture {
 	t.Helper()
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1, s2 := w.R1.Schema(), w.R2.Schema()
 
 	w.Pager.SetCharging(false)
@@ -42,9 +42,9 @@ func newM1Fixture(t *testing.T) *m1Fixture {
 		return tuple.ClusterKey(s2.GetByName(tup, "b"), s2.GetByName(tup, "tid"))
 	}
 	fill := func(m *Memory) {
-		w.R2.Hash().ScanAll(func(rec []byte) bool {
+		w.R2.Hash().ScanAll(w.Pager, func(rec []byte) bool {
 			if s2.GetByName(rec, "p2") < 5 {
-				m.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+				m.Activate(w.Pager, Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 			}
 			return true
 		})
@@ -75,8 +75,8 @@ func newM1Fixture(t *testing.T) *m1Fixture {
 	andOwn.Attach(betaOwn)
 
 	// Initial fill: submit every R1 tuple as a + token.
-	w.R1.Tree().ScanAll(func(rec []byte) bool {
-		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+	w.R1.Tree().ScanAll(w.Pager, func(rec []byte) bool {
+		net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 
@@ -97,17 +97,17 @@ func (f *m1Fixture) moveTuple(t *testing.T, tid, oldSkey, newSkey int64) {
 	t.Helper()
 	w := f.w
 	prev := w.Pager.SetCharging(false)
-	old, ok := w.R1.Tree().Get(tuple.ClusterKey(oldSkey, tid))
+	old, ok := w.R1.Tree().Get(w.Pager, tuple.ClusterKey(oldSkey, tid))
 	if !ok {
 		t.Fatalf("tuple %d at skey %d missing", tid, oldSkey)
 	}
 	newTup := append([]byte(nil), old...)
 	w.R1.Schema().SetByName(newTup, "skey", newSkey)
-	w.R1.DeleteKeyed(tuple.ClusterKey(oldSkey, tid))
-	w.R1.Insert(newTup)
+	w.R1.DeleteKeyed(w.Pager, tuple.ClusterKey(oldSkey, tid))
+	w.R1.Insert(w.Pager, newTup)
 	w.Pager.BeginOp()
 	w.Pager.SetCharging(prev)
-	f.net.SubmitModify("r1", old, newTup)
+	f.net.SubmitModify(w.Pager, "r1", old, newTup)
 	w.Pager.BeginOp()
 }
 
@@ -122,12 +122,12 @@ func (f *m1Fixture) expectBeta(t *testing.T, beta *Memory, lo, hi int64) {
 		Pred:  query.Compare{Field: "r2_p2", Op: query.Lt, Value: 5},
 	}
 	sch := plan.Schema()
-	plan.Execute(&query.Ctx{Meter: f.w.Meter}, func(tup []byte) bool {
+	plan.Execute(&query.Ctx{Meter: f.w.Meter, Pager: f.w.Pager}, func(tup []byte) bool {
 		want[tuple.ClusterKey(sch.GetByName(tup, "skey"), sch.GetByName(tup, "tid"))] = true
 		return true
 	})
 	got := 0
-	beta.File().Scan(func(k uint64, _ []byte) bool {
+	beta.File().Scan(f.w.Pager, func(k uint64, _ []byte) bool {
 		if !want[k] {
 			t.Errorf("β holds unexpected key %d", k)
 		}
@@ -248,14 +248,14 @@ func TestRightActivation(t *testing.T) {
 	s2.SetByName(nt, "c", 0)
 	s2.SetByName(nt, "p2", 1)
 	before := f.betaSh.Len()
-	f.rightSh.Activate(Token{Tag: Plus, Tuple: nt})
+	f.rightSh.Activate(f.w.Pager, Token{Tag: Plus, Tuple: nt})
 	// R1 has skey 25 (tid 25) in band with a=25: one... every R1 tuple in
 	// band with a=25: skey in [20,39] and a=skey%40=25 -> skey=25 only.
 	if got := f.betaSh.Len(); got != before+1 {
 		t.Fatalf("right activation produced %d new β tuples, want 1", got-before)
 	}
 	// And the reverse - token removes it again.
-	f.rightSh.Activate(Token{Tag: Minus, Tuple: nt})
+	f.rightSh.Activate(f.w.Pager, Token{Tag: Minus, Tuple: nt})
 	if got := f.betaSh.Len(); got != before {
 		t.Fatalf("right - token left β at %d, want %d", got, before)
 	}
@@ -263,7 +263,7 @@ func TestRightActivation(t *testing.T) {
 
 func TestChainedTConsts(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1 := w.R1.Schema()
 	// Chain: skey in [0, 99] then a <= 4 (as a one-sided band).
 	tc1 := net.TConst(s1, "skey", 0, 99)
@@ -271,8 +271,8 @@ func TestChainedTConsts(t *testing.T) {
 	alpha := net.NewMemory(s1, nil, r1Key(s1))
 	tc1.Attach(tc2)
 	tc2.Attach(alpha)
-	w.R1.Tree().ScanAll(func(rec []byte) bool {
-		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+	w.R1.Tree().ScanAll(w.Pager, func(rec []byte) bool {
+		net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 	// skey 0..99 with a=skey%40 in 0..4: 0-4, 40-44, 80-84 = 15 tuples.
@@ -284,7 +284,7 @@ func TestChainedTConsts(t *testing.T) {
 func TestSubmitUnknownRelationIsNoop(t *testing.T) {
 	f := newM1Fixture(t)
 	f.w.Meter.Reset()
-	f.net.Submit("nonexistent", Token{Tag: Plus, Tuple: f.w.R1Tuple(1, 2, 3)})
+	f.net.Submit(f.w.Pager, "nonexistent", Token{Tag: Plus, Tuple: f.w.R1Tuple(1, 2, 3)})
 	if f.w.Meter.Milliseconds() != 0 {
 		t.Fatal("unknown relation charged cost")
 	}
@@ -318,7 +318,7 @@ func TestTagString(t *testing.T) {
 // that is itself the join σ_p2<5(R2) ⋈ R3, and checks three-way results.
 func TestModel2Chain(t *testing.T) {
 	w := dbtest.NewWorld(dbtest.Config{})
-	net := NewNetwork(w.Meter, w.Pager)
+	net := NewNetwork(w.Pager.Disk())
 	s1, s2, s3 := w.R1.Schema(), w.R2.Schema(), w.R3.Schema()
 	w.Pager.SetCharging(false)
 
@@ -338,13 +338,13 @@ func TestModel2Chain(t *testing.T) {
 	andR23.Attach(betaRight)
 
 	// Load R3 first, then σ R2, through the network itself.
-	w.R3.Hash().ScanAll(func(rec []byte) bool {
-		alphaR3.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+	w.R3.Hash().ScanAll(w.Pager, func(rec []byte) bool {
+		alphaR3.Activate(w.Pager, Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
-	w.R2.Hash().ScanAll(func(rec []byte) bool {
+	w.R2.Hash().ScanAll(w.Pager, func(rec []byte) bool {
 		if s2.GetByName(rec, "p2") < 5 {
-			alphaR2.Activate(Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+			alphaR2.Activate(w.Pager, Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		}
 		return true
 	})
@@ -362,8 +362,8 @@ func TestModel2Chain(t *testing.T) {
 		return tuple.ClusterKey(sch.GetByName(tup, "skey"), sch.GetByName(tup, "tid"))
 	})
 	and2.Attach(result)
-	w.R1.Tree().ScanAll(func(rec []byte) bool {
-		net.Submit("r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
+	w.R1.Tree().ScanAll(w.Pager, func(rec []byte) bool {
+		net.Submit(w.Pager, "r1", Token{Tag: Plus, Tuple: append([]byte(nil), rec...)})
 		return true
 	})
 	if result.Len() != 10 {
@@ -371,7 +371,7 @@ func TestModel2Chain(t *testing.T) {
 	}
 	// Verify the three-way join attributes line up.
 	sch := and2.Schema()
-	result.File().Scan(func(_ uint64, rec []byte) bool {
+	result.File().Scan(w.Pager, func(_ uint64, rec []byte) bool {
 		if sch.GetByName(rec, "a") != sch.GetByName(rec, "rb_b") {
 			t.Errorf("R1-R2 join mismatch")
 		}
@@ -384,10 +384,10 @@ func TestModel2Chain(t *testing.T) {
 	// Dynamic check: move a tuple into the band and confirm the three-way
 	// result tracks it.
 	w.Pager.SetCharging(true)
-	old, _ := w.R1.Tree().Get(tuple.ClusterKey(110, 110)) // a=30, p2=0: qualifies
+	old, _ := w.R1.Tree().Get(w.Pager, tuple.ClusterKey(110, 110)) // a=30, p2=0: qualifies
 	newTup := append([]byte(nil), old...)
 	s1.SetByName(newTup, "skey", 25)
-	net.SubmitModify("r1", old, newTup)
+	net.SubmitModify(w.Pager, "r1", old, newTup)
 	if result.Len() != 11 {
 		t.Fatalf("after move-in, result holds %d, want 11", result.Len())
 	}

@@ -9,6 +9,7 @@ import (
 	"dbproc/internal/metric"
 	"dbproc/internal/proc"
 	"dbproc/internal/query"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 	"dbproc/internal/workload"
 )
@@ -97,31 +98,40 @@ type OpResult struct {
 	Tuples [][]byte
 }
 
-// ExecOp executes one workload operation: one pager operation scope, the
-// op's tracing span, the base-table change plus strategy maintenance for
-// updates, the strategy access for queries. Run loops over it; the
-// concurrent engine calls it once per session op under its locks.
+// ExecOp executes one workload operation on the world's own sequential
+// pager. Run loops over it; see ExecOpOn for the concurrent form.
 func (w *World) ExecOp(op workload.Op) OpResult {
-	w.pager.BeginOp()
+	return w.ExecOpOn(w.pager, op)
+}
+
+// ExecOpOn executes one workload operation on the given session pager: one
+// pager operation scope, the op's tracing span, the base-table change plus
+// strategy maintenance for updates, the strategy access for queries. The
+// concurrent engine calls it once per session op under its 2PL locks;
+// update ops consume the shared workload generator and mutate base
+// structures, which is safe because every update footprint is exclusive on
+// r1 and serializes against all other ops.
+func (w *World) ExecOpOn(pg *storage.Pager, op workload.Op) OpResult {
+	pg.BeginOp()
 	switch op.Kind {
 	case workload.Update:
 		sp := w.tracer.Begin("op.update")
 		rec := w.drawUpdate()
-		delta, _ := w.applyUpdate(rec)
+		delta, _ := w.applyUpdate(pg, rec)
 		sp.Set("rel", delta.Rel.Schema().Name())
 		sp.Set("tuples", len(delta.Inserted)+len(delta.Deleted))
-		w.strat.OnUpdate(delta)
+		w.strat.OnUpdate(pg, delta)
 		// Flush inside the span so deferred page writes are priced into
 		// the operation that dirtied them.
-		w.pager.Flush()
+		pg.Flush()
 		w.tracer.End(sp)
 		return OpResult{Op: op, Update: rec}
 	case workload.Query:
 		sp := w.tracer.Begin("op.query")
 		sp.Set("proc", op.ProcID)
-		out := w.strat.Access(op.ProcID)
+		out := w.strat.Access(pg, op.ProcID)
 		sp.Set("tuples", len(out))
-		w.pager.Flush()
+		pg.Flush()
 		w.tracer.End(sp)
 		return OpResult{Op: op, Tuples: out}
 	}
@@ -172,8 +182,8 @@ func (w *World) drawUpdate() UpdateRecord {
 // without charging I/O (the base-table update cost is common to every
 // strategy and excluded by the model). It returns the delta for the
 // strategy hooks and the inverse record.
-func (w *World) applyUpdate(rec UpdateRecord) (proc.Delta, UpdateRecord) {
-	prev := w.pager.SetCharging(false)
+func (w *World) applyUpdate(pg *storage.Pager, rec UpdateRecord) (proc.Delta, UpdateRecord) {
+	prev := pg.SetCharging(false)
 	undo := UpdateRecord{R2: rec.R2, Tids: rec.Tids, Vals: make([]int64, 0, len(rec.Tids))}
 	var delta proc.Delta
 	if rec.R2 {
@@ -181,15 +191,15 @@ func (w *World) applyUpdate(rec UpdateRecord) (proc.Delta, UpdateRecord) {
 		delta.Rel = w.r2
 		for i, tid := range rec.Tids {
 			// R2's hash key b equals the tuple id by construction.
-			old, ok := w.r2.Hash().Lookup(uint64(tid))
+			old, ok := w.r2.Hash().Lookup(pg, uint64(tid))
 			if !ok {
 				panic("sim: R2 tuple lost")
 			}
 			undo.Vals = append(undo.Vals, w.p2[tid])
 			newTup := append([]byte(nil), old...)
 			s2.SetByName(newTup, "p2", rec.Vals[i])
-			w.r2.Hash().Delete(uint64(tid))
-			w.r2.Insert(newTup)
+			w.r2.Hash().Delete(pg, uint64(tid))
+			w.r2.Insert(pg, newTup)
 			w.p2[tid] = rec.Vals[i]
 			delta.Deleted = append(delta.Deleted, old)
 			delta.Inserted = append(delta.Inserted, newTup)
@@ -198,22 +208,22 @@ func (w *World) applyUpdate(rec UpdateRecord) (proc.Delta, UpdateRecord) {
 		delta.Rel = w.r1
 		for i, tid := range rec.Tids {
 			oldKey := tuple.ClusterKey(w.skey[tid], int64(tid))
-			old, ok := w.r1.Tree().Get(oldKey)
+			old, ok := w.r1.Tree().Get(pg, oldKey)
 			if !ok {
 				panic("sim: base tuple lost")
 			}
 			undo.Vals = append(undo.Vals, w.skey[tid])
 			newTup := append([]byte(nil), old...)
 			w.r1.Schema().SetByName(newTup, "skey", rec.Vals[i])
-			w.r1.DeleteKeyed(oldKey)
-			w.r1.Insert(newTup)
+			w.r1.DeleteKeyed(pg, oldKey)
+			w.r1.Insert(pg, newTup)
 			w.skey[tid] = rec.Vals[i]
 			delta.Deleted = append(delta.Deleted, old)
 			delta.Inserted = append(delta.Inserted, newTup)
 		}
 	}
-	w.pager.BeginOp() // flush the uncharged base-table writes
-	w.pager.SetCharging(prev)
+	pg.BeginOp() // flush the uncharged base-table writes
+	pg.SetCharging(prev)
 	return delta, undo
 }
 
@@ -225,8 +235,8 @@ func (w *World) applyUpdate(rec UpdateRecord) (proc.Delta, UpdateRecord) {
 // whose accesses carry no cached state.
 func (w *World) ReplayUpdate(rec UpdateRecord) UpdateRecord {
 	w.pager.BeginOp()
-	delta, undo := w.applyUpdate(rec)
-	w.strat.OnUpdate(delta)
+	delta, undo := w.applyUpdate(w.pager, rec)
+	w.strat.OnUpdate(w.pager, delta)
 	w.pager.Flush()
 	return undo
 }
@@ -235,7 +245,7 @@ func (w *World) ReplayUpdate(rec UpdateRecord) UpdateRecord {
 // examples and equivalence tests).
 func (w *World) Access(id int) [][]byte {
 	w.pager.BeginOp()
-	out := w.strat.Access(id)
+	out := w.strat.Access(w.pager, id)
 	w.pager.Flush()
 	return out
 }
@@ -249,7 +259,7 @@ func (w *World) RecomputeOracle(id int) [][]byte {
 	prevMute := w.meter.SetMuted(true)
 	w.pager.BeginOp()
 	var out [][]byte
-	w.mgr.MustGet(id).Plan.Execute(&query.Ctx{Meter: w.meter}, func(tup []byte) bool {
+	w.mgr.MustGet(id).Plan.Execute(&query.Ctx{Meter: w.meter, Pager: w.pager}, func(tup []byte) bool {
 		out = append(out, append([]byte(nil), tup...))
 		return true
 	})
@@ -281,8 +291,8 @@ func (w *World) BaseStateHash() uint64 {
 func (w *World) Update() {
 	w.pager.BeginOp()
 	rec := w.drawUpdate()
-	d, _ := w.applyUpdate(rec)
-	w.strat.OnUpdate(d)
+	d, _ := w.applyUpdate(w.pager, rec)
+	w.strat.OnUpdate(w.pager, d)
 	w.pager.Flush()
 }
 

@@ -7,6 +7,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/proc"
 	"dbproc/internal/rete"
+	"dbproc/internal/storage"
 	"dbproc/internal/tuple"
 )
 
@@ -32,8 +33,8 @@ import (
 func (w *World) buildRVM() proc.Strategy {
 	p := w.cfg.Params
 	width := int(p.S)
-	store := cache.NewStore(w.pager, w.meter)
-	net := rete.NewNetwork(w.meter, w.pager)
+	store := cache.NewStore(w.pager.Disk())
+	net := rete.NewNetwork(w.pager.Disk())
 	net.SetNaiveDispatch(w.cfg.Ablations.NaiveReteDispatch)
 	s1, s2, s3 := w.r1.Schema(), w.r2.Schema(), w.r3.Schema()
 
@@ -110,21 +111,21 @@ func (w *World) buildRVM() proc.Strategy {
 	// Prepare loads the entire database through the network root, bottom
 	// relation first so joins find their partners; then marks every
 	// procedure's cache entry valid. The caller runs it uncharged.
-	prepare := func() {
-		w.r3.Hash().ScanAll(func(rec []byte) bool {
-			net.Submit("r3", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
+	prepare := func(pg *storage.Pager) {
+		w.r3.Hash().ScanAll(pg, func(rec []byte) bool {
+			net.Submit(pg, "r3", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
 			return true
 		})
-		w.r2.Hash().ScanAll(func(rec []byte) bool {
-			net.Submit("r2", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
+		w.r2.Hash().ScanAll(pg, func(rec []byte) bool {
+			net.Submit(pg, "r2", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
 			return true
 		})
-		w.r1.Tree().ScanAll(func(rec []byte) bool {
-			net.Submit("r1", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
+		w.r1.Tree().ScanAll(pg, func(rec []byte) bool {
+			net.Submit(pg, "r1", rete.Token{Tag: rete.Plus, Tuple: append([]byte(nil), rec...)})
 			return true
 		})
 		for _, e := range entries {
-			e.MarkValid()
+			e.MarkValid(pg)
 		}
 	}
 	return proc.NewUpdateCache(w.mgr, store, rete.NewEngine(net, prepare))

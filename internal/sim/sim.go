@@ -109,9 +109,13 @@ type Result struct {
 	ColdFraction float64
 }
 
-// World is one fully built simulation instance.
+// World is one fully built simulation instance. The meter and pager are
+// the world's own sequential session (Build and the sequential Run use
+// them); the concurrent engine instead gives each session a private
+// meter/pager pair over the shared disk via SessionPager.
 type World struct {
 	cfg   Config
+	costs metric.Costs
 	meter *metric.Meter
 	pager *storage.Pager
 
@@ -154,12 +158,12 @@ func Build(cfg Config) *World {
 	pager := storage.NewPager(storage.NewDisk(int(p.B)), meter)
 	pager.SetCharging(false)
 
-	w := &World{cfg: cfg, meter: meter, pager: pager}
+	w := &World{cfg: cfg, costs: costs, meter: meter, pager: pager}
 	w.loadRelations()
 	w.generateProcs()
 	w.buildStrategy()
 
-	w.strat.Prepare()
+	w.strat.Prepare(w.pager)
 
 	// Attach tracing after Prepare so setup work records no spans. The
 	// tracer is bound late because the meter it prices span deltas against
@@ -176,6 +180,23 @@ func Build(cfg Config) *World {
 	meter.Reset()
 	return w
 }
+
+// SessionPager creates a fresh per-session pager over the world's shared
+// disk, with its own zeroed meter (same cost constants) and the session
+// tag set. A new session pager is in exactly the state Build leaves the
+// world's own pager in — operation scope begun, charging on, meter zero —
+// so a single session executing through it reproduces the sequential run
+// byte for byte.
+func (w *World) SessionPager(session int) *storage.Pager {
+	m := metric.NewMeter(w.costs)
+	pg := storage.NewPager(w.pager.Disk(), m)
+	pg.SetSession(session)
+	pg.BeginOp()
+	return pg
+}
+
+// Disk exposes the world's shared disk.
+func (w *World) Disk() *storage.Disk { return w.pager.Disk() }
 
 func (w *World) loadRelations() {
 	p := w.cfg.Params
@@ -206,7 +227,7 @@ func (w *World) loadRelations() {
 	s2 := tuple.NewSchema("r2", width,
 		tuple.Field{Name: "tid"}, tuple.Field{Name: "b"},
 		tuple.Field{Name: "c"}, tuple.Field{Name: "p2"})
-	w.r2 = relation.NewHash(w.pager, s2, "b", (n2+perPage-1)/perPage)
+	w.r2 = relation.NewHash(w.pager.Disk(), s2, "b", (n2+perPage-1)/perPage)
 	w.p2 = make([]int64, n2)
 	for j := 0; j < n2; j++ {
 		t := s2.New()
@@ -215,17 +236,17 @@ func (w *World) loadRelations() {
 		s2.SetByName(t, "c", int64(rng.Intn(n3)))
 		w.p2[j] = int64(rng.Intn(p2Max))
 		s2.SetByName(t, "p2", w.p2[j])
-		w.r2.Insert(t)
+		w.r2.Insert(w.pager, t)
 	}
 
 	s3 := tuple.NewSchema("r3", width,
 		tuple.Field{Name: "tid"}, tuple.Field{Name: "d"})
-	w.r3 = relation.NewHash(w.pager, s3, "d", (n3+perPage-1)/perPage)
+	w.r3 = relation.NewHash(w.pager.Disk(), s3, "d", (n3+perPage-1)/perPage)
 	for j := 0; j < n3; j++ {
 		t := s3.New()
 		s3.SetByName(t, "tid", int64(j))
 		s3.SetByName(t, "d", int64(j))
-		w.r3.Insert(t)
+		w.r3.Insert(w.pager, t)
 	}
 }
 
@@ -321,14 +342,14 @@ func (w *World) p2DeltaPlan(spec *procSpec, vs *query.ValuesScan) query.Plan {
 
 func (w *World) buildStrategy() {
 	if w.cfg.Adaptive {
-		w.strat = proc.NewAdaptive(w.mgr, w.meter, cache.NewStore(w.pager, w.meter))
+		w.strat = proc.NewAdaptive(w.mgr, cache.NewStore(w.pager.Disk()))
 		return
 	}
 	switch w.cfg.Strategy {
 	case costmodel.AlwaysRecompute:
-		w.strat = proc.NewAlwaysRecompute(w.mgr, w.meter)
+		w.strat = proc.NewAlwaysRecompute(w.mgr)
 	case costmodel.CacheInvalidate:
-		ci := proc.NewCacheInvalidate(w.mgr, w.meter, cache.NewStore(w.pager, w.meter))
+		ci := proc.NewCacheInvalidate(w.mgr, cache.NewStore(w.pager.Disk()))
 		ci.SetCoarseLocks(w.cfg.Ablations.CoarseInvalidation)
 		w.strat = ci
 	case costmodel.UpdateCacheAVM:
@@ -341,8 +362,8 @@ func (w *World) buildStrategy() {
 }
 
 func (w *World) buildAVM() proc.Strategy {
-	store := cache.NewStore(w.pager, w.meter)
-	eng := avm.NewEngine(w.meter, store, ilock.NewManager())
+	store := cache.NewStore(w.pager.Disk())
+	eng := avm.NewEngine(store, ilock.NewManager())
 	for _, spec := range w.specs {
 		spec := spec
 		store.Define(cache.ID(spec.id), spec.def.ResultWidth())

@@ -35,34 +35,34 @@ func BenchmarkPagerReadCold(b *testing.B) {
 
 func BenchmarkOrderedFileChurn(b *testing.B) {
 	p := benchPager(4000)
-	f := NewOrderedFile(p, 100)
+	f := NewOrderedFile(p.Disk(), 100)
 	rec := make([]byte, 100)
 	for i := uint64(0); i < 1000; i++ {
 		binary.LittleEndian.PutUint64(rec, i)
-		f.Insert(i*2, append([]byte(nil), rec...))
+		f.Insert(p, i*2, append([]byte(nil), rec...))
 	}
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(rng.Intn(1000))*2 + 1
-		f.Insert(k, rec)
-		f.Delete(k)
+		f.Insert(p, k, rec)
+		f.Delete(p, k)
 	}
 }
 
 func BenchmarkOrderedFileScan(b *testing.B) {
 	p := benchPager(4000)
-	f := NewOrderedFile(p, 100)
+	f := NewOrderedFile(p.Disk(), 100)
 	rec := make([]byte, 100)
 	for i := uint64(0); i < 1000; i++ {
-		f.Insert(i, rec)
+		f.Insert(p, i, rec)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.BeginOp()
 		n := 0
-		f.Scan(func(uint64, []byte) bool { n++; return true })
+		f.Scan(p, func(uint64, []byte) bool { n++; return true })
 		if n != 1000 {
 			b.Fatal("short scan")
 		}
@@ -71,11 +71,11 @@ func BenchmarkOrderedFileScan(b *testing.B) {
 
 func BenchmarkRecordFileAppend(b *testing.B) {
 	p := benchPager(4000)
-	f := NewRecordFile(p, 100)
+	f := NewRecordFile(p.Disk(), 100)
 	rec := make([]byte, 100)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.Append(rec)
+		f.Append(p, rec)
 	}
 }

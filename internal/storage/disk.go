@@ -7,10 +7,18 @@
 // repeated touches within the operation are free, and nothing is retained
 // across operations (the model assumes no buffer-pool hits between
 // operations). Call Pager.BeginOp at each operation boundary.
+//
+// Concurrency: a Disk is safe for concurrent use by many Pagers — the
+// page directory (allocation state) is guarded by one RWMutex and page
+// contents by striped page latches, so readers of distinct pages do not
+// serialize. A Pager is single-session state (its frame table is the
+// per-operation distinct-page accounting) and must be confined to one
+// goroutine; concurrent sessions each own a Pager over the shared Disk.
 package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"dbproc/internal/metric"
 )
@@ -21,13 +29,25 @@ type PageID int32
 // NilPage is the invalid page id.
 const NilPage PageID = -1
 
+// latchStripes is the number of page-latch stripes. Pages hash to
+// stripes by id, so two sessions touching different pages rarely share a
+// latch, while the latch array stays small and allocation-free.
+const latchStripes = 64
+
 // Disk is a volume of fixed-size pages held in memory. All metered access
 // goes through a Pager; the Disk's own read/write methods are raw
 // (uncharged) and intended for bulk loading and for the pager itself.
 type Disk struct {
 	pageSize int
-	pages    [][]byte
-	free     []PageID
+
+	// mu guards the page directory: the pages slice header and the free
+	// list. Page *contents* are guarded by the striped latches below; the
+	// lock order is directory before latch, and no path holds two latches.
+	mu    sync.RWMutex
+	pages [][]byte
+	free  []PageID
+
+	latches [latchStripes]sync.RWMutex
 }
 
 // NewDisk creates an empty disk with the given page size in bytes.
@@ -43,15 +63,29 @@ func (d *Disk) PageSize() int { return d.pageSize }
 
 // NumPages returns the number of allocated pages (including freed ones,
 // which remain reserved until reused).
-func (d *Disk) NumPages() int { return len(d.pages) }
+func (d *Disk) NumPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}
+
+// latch returns the stripe latch guarding the page's contents.
+func (d *Disk) latch(id PageID) *sync.RWMutex {
+	return &d.latches[uint32(id)%latchStripes]
+}
 
 // Alloc reserves a zeroed page and returns its id. Allocation itself is
 // not a charged I/O; the first write to the page is.
 func (d *Disk) Alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
+		l := d.latch(id)
+		l.Lock()
 		clear(d.pages[id])
+		l.Unlock()
 		return id
 	}
 	d.pages = append(d.pages, make([]byte, d.pageSize))
@@ -61,40 +95,60 @@ func (d *Disk) Alloc() PageID {
 // Free returns a page to the allocator. Accessing a freed page is a bug
 // and panics on the next checked access.
 func (d *Disk) Free(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.check(id)
 	d.free = append(d.free, id)
+}
+
+// lookup returns the page's backing slice under the directory read lock.
+// The slice itself must only be touched under the page's latch.
+func (d *Disk) lookup(id PageID) []byte {
+	d.mu.RLock()
+	d.check(id)
+	p := d.pages[id]
+	d.mu.RUnlock()
+	return p
+}
+
+// readInto copies the page's contents into dst (which must be one page
+// long) without charging any cost.
+func (d *Disk) readInto(id PageID, dst []byte) {
+	p := d.lookup(id)
+	l := d.latch(id)
+	l.RLock()
+	copy(dst, p)
+	l.RUnlock()
 }
 
 // ReadRaw copies the page's contents into a fresh slice without charging
 // any cost. Use only for bulk setup and debugging.
 func (d *Disk) ReadRaw(id PageID) []byte {
-	d.check(id)
 	out := make([]byte, d.pageSize)
-	copy(out, d.pages[id])
+	d.readInto(id, out)
 	return out
 }
 
 // WriteRaw replaces the page's contents without charging any cost. Use
-// only for bulk setup. The data must be at most one page.
+// only for bulk setup and by the pager's flush. The data must be at most
+// one page.
 func (d *Disk) WriteRaw(id PageID, data []byte) {
-	d.check(id)
 	if len(data) > d.pageSize {
 		panic(fmt.Sprintf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize))
 	}
-	clear(d.pages[id])
-	copy(d.pages[id], data)
+	p := d.lookup(id)
+	l := d.latch(id)
+	l.Lock()
+	clear(p)
+	copy(p, data)
+	l.Unlock()
 }
 
+// check validates id against the directory; callers hold d.mu.
 func (d *Disk) check(id PageID) {
 	if id < 0 || int(id) >= len(d.pages) {
 		panic(fmt.Sprintf("storage: page %d out of range [0,%d)", id, len(d.pages)))
 	}
-}
-
-// page returns the live backing slice; internal use by Pager only.
-func (d *Disk) page(id PageID) []byte {
-	d.check(id)
-	return d.pages[id]
 }
 
 // Pager provides metered, operation-scoped access to a Disk. Within one
@@ -103,10 +157,16 @@ func (d *Disk) page(id PageID) []byte {
 // the operation's frames are flushed. Nothing survives an operation
 // boundary, matching the model's assumption of no cross-operation
 // buffering.
+//
+// A Pager is not safe for concurrent use: it is one session's execution
+// handle, coupling the shared Disk to that session's private Meter and
+// per-operation frame table. The concurrent engine creates one per
+// session; the sequential simulator owns exactly one.
 type Pager struct {
 	disk     *Disk
 	meter    *metric.Meter
 	charging bool
+	session  int
 	frames   map[PageID]*frame
 }
 
@@ -120,9 +180,9 @@ type frame struct {
 }
 
 // NewPager creates a pager over disk charging I/O to meter. Charging
-// starts enabled.
+// starts enabled; the session tag starts at -1 (no session).
 func NewPager(disk *Disk, meter *metric.Meter) *Pager {
-	return &Pager{disk: disk, meter: meter, charging: true, frames: make(map[PageID]*frame)}
+	return &Pager{disk: disk, meter: meter, charging: true, session: -1, frames: make(map[PageID]*frame)}
 }
 
 // Disk returns the underlying disk.
@@ -130,6 +190,13 @@ func (p *Pager) Disk() *Disk { return p.disk }
 
 // Meter returns the meter I/O is charged to.
 func (p *Pager) Meter() *metric.Meter { return p.meter }
+
+// SetSession tags the pager with the owning session id (observers use it
+// to attribute events); -1 means no session.
+func (p *Pager) SetSession(s int) { p.session = s }
+
+// Session returns the owning session id, -1 if untagged.
+func (p *Pager) Session() int { return p.session }
 
 // SetCharging enables or disables cost accounting. Bulk loading and base
 // relation updates (whose cost is common to every strategy and excluded by
@@ -196,7 +263,9 @@ func (p *Pager) Overwrite(id PageID) []byte {
 	f, ok := p.frames[id]
 	if !ok {
 		f = &frame{data: make([]byte, p.disk.pageSize)}
+		p.disk.mu.RLock()
 		p.disk.check(id)
+		p.disk.mu.RUnlock()
 		p.frames[id] = f
 	} else {
 		clear(f.data)
@@ -220,7 +289,7 @@ func (p *Pager) fetch(id PageID, charge bool) *frame {
 		return f
 	}
 	data := make([]byte, p.disk.pageSize)
-	copy(data, p.disk.page(id))
+	p.disk.readInto(id, data)
 	f := &frame{data: data}
 	p.frames[id] = f
 	if charge && p.charging {

@@ -16,8 +16,14 @@ import (
 //
 // Keys are unique uint64s; callers that cluster by a non-unique attribute
 // pack a tiebreaker into the low bits (see tuple.ClusterKey).
+//
+// The file is bound to a Disk; every metered access takes the calling
+// session's Pager, so one shared file (a cache entry, a Rete memory) can
+// be read by concurrent sessions each charging its own meter. The file's
+// own directory state is not internally synchronized — callers serialize
+// mutations against reads (the engine's 2PL entry locks do).
 type OrderedFile struct {
-	pager   *Pager
+	disk    *Disk
 	recSize int
 	perPage int
 	pages   []*ofPage
@@ -30,12 +36,12 @@ type ofPage struct {
 }
 
 // NewOrderedFile creates an empty ordered file with recSize-byte records.
-func NewOrderedFile(pager *Pager, recSize int) *OrderedFile {
-	perPage := pager.Disk().PageSize() / recSize
+func NewOrderedFile(disk *Disk, recSize int) *OrderedFile {
+	perPage := disk.PageSize() / recSize
 	if recSize <= 0 || perPage < 1 {
-		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, pager.Disk().PageSize()))
+		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, disk.PageSize()))
 	}
-	return &OrderedFile{pager: pager, recSize: recSize, perPage: perPage}
+	return &OrderedFile{disk: disk, recSize: recSize, perPage: perPage}
 }
 
 // Len returns the number of records.
@@ -65,53 +71,53 @@ func (f *OrderedFile) pageFor(key uint64) int {
 // additionally writes the new page. Inserting a key that is already
 // present panics: result and memory files hold sets, and a duplicate
 // insertion indicates a maintenance bug upstream.
-func (f *OrderedFile) Insert(key uint64, rec []byte) {
+func (f *OrderedFile) Insert(pg *Pager, key uint64, rec []byte) {
 	if len(rec) != f.recSize {
 		panic(fmt.Sprintf("storage: record of %d bytes, want %d", len(rec), f.recSize))
 	}
 	if len(f.pages) == 0 {
-		id := f.pager.Disk().Alloc()
-		buf := f.pager.Overwrite(id)
+		id := f.disk.Alloc()
+		buf := pg.Overwrite(id)
 		copy(buf, rec)
 		f.pages = append(f.pages, &ofPage{id: id, keys: []uint64{key}})
 		f.n = 1
 		return
 	}
 	pi := f.pageFor(key)
-	pg := f.pages[pi]
-	slot := sort.Search(len(pg.keys), func(i int) bool { return pg.keys[i] >= key })
-	if slot < len(pg.keys) && pg.keys[slot] == key {
+	p := f.pages[pi]
+	slot := sort.Search(len(p.keys), func(i int) bool { return p.keys[i] >= key })
+	if slot < len(p.keys) && p.keys[slot] == key {
 		panic(fmt.Sprintf("storage: duplicate key %d", key))
 	}
-	if len(pg.keys) == f.perPage {
-		f.split(pi)
+	if len(p.keys) == f.perPage {
+		f.split(pg, pi)
 		// Re-locate after the split.
 		pi = f.pageFor(key)
-		pg = f.pages[pi]
-		slot = sort.Search(len(pg.keys), func(i int) bool { return pg.keys[i] >= key })
+		p = f.pages[pi]
+		slot = sort.Search(len(p.keys), func(i int) bool { return p.keys[i] >= key })
 	}
-	buf := f.pager.Update(pg.id)
+	buf := pg.Update(p.id)
 	// Shift records [slot, len) up one slot within the page.
-	copy(buf[(slot+1)*f.recSize:(len(pg.keys)+1)*f.recSize], buf[slot*f.recSize:len(pg.keys)*f.recSize])
+	copy(buf[(slot+1)*f.recSize:(len(p.keys)+1)*f.recSize], buf[slot*f.recSize:len(p.keys)*f.recSize])
 	copy(buf[slot*f.recSize:], rec)
-	pg.keys = append(pg.keys, 0)
-	copy(pg.keys[slot+1:], pg.keys[slot:])
-	pg.keys[slot] = key
+	p.keys = append(p.keys, 0)
+	copy(p.keys[slot+1:], p.keys[slot:])
+	p.keys[slot] = key
 	f.n++
 }
 
 // split divides page pi in half, moving the upper half to a fresh page
 // inserted after it.
-func (f *OrderedFile) split(pi int) {
-	pg := f.pages[pi]
-	half := len(pg.keys) / 2
-	newID := f.pager.Disk().Alloc()
-	oldBuf := f.pager.Update(pg.id)
-	newBuf := f.pager.Overwrite(newID)
-	copy(newBuf, oldBuf[half*f.recSize:len(pg.keys)*f.recSize])
-	clear(oldBuf[half*f.recSize : len(pg.keys)*f.recSize])
-	newPage := &ofPage{id: newID, keys: append([]uint64(nil), pg.keys[half:]...)}
-	pg.keys = pg.keys[:half]
+func (f *OrderedFile) split(pg *Pager, pi int) {
+	p := f.pages[pi]
+	half := len(p.keys) / 2
+	newID := f.disk.Alloc()
+	oldBuf := pg.Update(p.id)
+	newBuf := pg.Overwrite(newID)
+	copy(newBuf, oldBuf[half*f.recSize:len(p.keys)*f.recSize])
+	clear(oldBuf[half*f.recSize : len(p.keys)*f.recSize])
+	newPage := &ofPage{id: newID, keys: append([]uint64(nil), p.keys[half:]...)}
+	p.keys = p.keys[:half]
 	f.pages = append(f.pages, nil)
 	copy(f.pages[pi+2:], f.pages[pi+1:])
 	f.pages[pi+1] = newPage
@@ -120,20 +126,20 @@ func (f *OrderedFile) split(pi int) {
 // Delete removes the record stored under key, reporting whether it was
 // present. A hit is a read-modify-write of the record's page; an emptied
 // page is freed.
-func (f *OrderedFile) Delete(key uint64) bool {
+func (f *OrderedFile) Delete(pg *Pager, key uint64) bool {
 	pi, slot, ok := f.find(key)
 	if !ok {
 		return false
 	}
-	pg := f.pages[pi]
-	buf := f.pager.Update(pg.id)
-	copy(buf[slot*f.recSize:], buf[(slot+1)*f.recSize:len(pg.keys)*f.recSize])
-	clear(buf[(len(pg.keys)-1)*f.recSize : len(pg.keys)*f.recSize])
-	pg.keys = append(pg.keys[:slot], pg.keys[slot+1:]...)
+	p := f.pages[pi]
+	buf := pg.Update(p.id)
+	copy(buf[slot*f.recSize:], buf[(slot+1)*f.recSize:len(p.keys)*f.recSize])
+	clear(buf[(len(p.keys)-1)*f.recSize : len(p.keys)*f.recSize])
+	p.keys = append(p.keys[:slot], p.keys[slot+1:]...)
 	f.n--
-	if len(pg.keys) == 0 {
-		f.pager.Drop(pg.id)
-		f.pager.Disk().Free(pg.id)
+	if len(p.keys) == 0 {
+		pg.Drop(p.id)
+		f.disk.Free(p.id)
 		f.pages = append(f.pages[:pi], f.pages[pi+1:]...)
 	}
 	return true
@@ -147,12 +153,12 @@ func (f *OrderedFile) Contains(key uint64) bool {
 }
 
 // Get returns a copy of the record stored under key.
-func (f *OrderedFile) Get(key uint64) ([]byte, bool) {
+func (f *OrderedFile) Get(pg *Pager, key uint64) ([]byte, bool) {
 	pi, slot, ok := f.find(key)
 	if !ok {
 		return nil, false
 	}
-	buf := f.pager.Read(f.pages[pi].id)
+	buf := pg.Read(f.pages[pi].id)
 	out := make([]byte, f.recSize)
 	copy(out, buf[slot*f.recSize:])
 	return out, true
@@ -174,10 +180,10 @@ func (f *OrderedFile) find(key uint64) (pi, slot int, ok bool) {
 // Scan calls fn for every record in ascending key order until fn returns
 // false, charging one read per page touched. The rec slice aliases the
 // page frame and is valid only during the call.
-func (f *OrderedFile) Scan(fn func(key uint64, rec []byte) bool) {
-	for _, pg := range f.pages {
-		buf := f.pager.Read(pg.id)
-		for s, k := range pg.keys {
+func (f *OrderedFile) Scan(pg *Pager, fn func(key uint64, rec []byte) bool) {
+	for _, p := range f.pages {
+		buf := pg.Read(p.id)
+		for s, k := range p.keys {
 			if !fn(k, buf[s*f.recSize:(s+1)*f.recSize]) {
 				return
 			}
@@ -187,20 +193,20 @@ func (f *OrderedFile) Scan(fn func(key uint64, rec []byte) bool) {
 
 // ScanRange calls fn for every record with lo <= key <= hi in ascending
 // order, reading only the pages that overlap the range.
-func (f *OrderedFile) ScanRange(lo, hi uint64, fn func(key uint64, rec []byte) bool) {
+func (f *OrderedFile) ScanRange(pg *Pager, lo, hi uint64, fn func(key uint64, rec []byte) bool) {
 	if len(f.pages) == 0 || lo > hi {
 		return
 	}
 	for pi := f.pageFor(lo); pi < len(f.pages); pi++ {
-		pg := f.pages[pi]
-		if pg.keys[0] > hi {
+		p := f.pages[pi]
+		if p.keys[0] > hi {
 			return
 		}
-		if pg.keys[len(pg.keys)-1] < lo {
+		if p.keys[len(p.keys)-1] < lo {
 			continue
 		}
-		buf := f.pager.Read(pg.id)
-		for s, k := range pg.keys {
+		buf := pg.Read(p.id)
+		for s, k := range p.keys {
 			if k < lo {
 				continue
 			}
@@ -215,10 +221,10 @@ func (f *OrderedFile) ScanRange(lo, hi uint64, fn func(key uint64, rec []byte) b
 }
 
 // Clear frees every page, leaving an empty file, without charged I/O.
-func (f *OrderedFile) Clear() {
-	for _, pg := range f.pages {
-		f.pager.Drop(pg.id)
-		f.pager.Disk().Free(pg.id)
+func (f *OrderedFile) Clear(pg *Pager) {
+	for _, p := range f.pages {
+		pg.Drop(p.id)
+		f.disk.Free(p.id)
 	}
 	f.pages = f.pages[:0]
 	f.n = 0
@@ -228,7 +234,7 @@ func (f *OrderedFile) Clear() {
 // cache refresh of the paper's C_WriteCache: each resulting page is a
 // read-modify-write (2 charged I/Os). Keys must be strictly ascending and
 // recs the same length as keys.
-func (f *OrderedFile) Replace(keys []uint64, recs [][]byte) {
+func (f *OrderedFile) Replace(pg *Pager, keys []uint64, recs [][]byte) {
 	if len(keys) != len(recs) {
 		panic("storage: Replace keys/recs length mismatch")
 	}
@@ -237,24 +243,24 @@ func (f *OrderedFile) Replace(keys []uint64, recs [][]byte) {
 			panic("storage: Replace keys must be strictly ascending")
 		}
 	}
-	f.Clear()
+	f.Clear(pg)
 	for i := 0; i < len(keys); i += f.perPage {
 		end := i + f.perPage
 		if end > len(keys) {
 			end = len(keys)
 		}
-		id := f.pager.Disk().Alloc()
+		id := f.disk.Alloc()
 		// Update (not Overwrite) so the rebuild charges read+write per
 		// page, matching C_WriteCache = 2·C2·ProcSize.
-		buf := f.pager.Update(id)
-		pg := &ofPage{id: id, keys: append([]uint64(nil), keys[i:end]...)}
+		buf := pg.Update(id)
+		p := &ofPage{id: id, keys: append([]uint64(nil), keys[i:end]...)}
 		for s := i; s < end; s++ {
 			if len(recs[s]) != f.recSize {
 				panic(fmt.Sprintf("storage: record of %d bytes, want %d", len(recs[s]), f.recSize))
 			}
 			copy(buf[(s-i)*f.recSize:], recs[s])
 		}
-		f.pages = append(f.pages, pg)
+		f.pages = append(f.pages, p)
 	}
 	f.n = len(keys)
 }

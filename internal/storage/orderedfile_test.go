@@ -12,7 +12,7 @@ import (
 func newOrdered(t *testing.T) (*OrderedFile, *Pager) {
 	t.Helper()
 	p, _ := newTestPager(32) // 4 records of 8 bytes per page
-	return NewOrderedFile(p, 8), p
+	return NewOrderedFile(p.Disk(), 8), p
 }
 
 func rec8(v uint64) []byte {
@@ -22,16 +22,16 @@ func rec8(v uint64) []byte {
 }
 
 func TestOrderedFileInsertGetDelete(t *testing.T) {
-	f, _ := newOrdered(t)
+	f, p := newOrdered(t)
 	keys := []uint64{50, 10, 30, 20, 40, 60, 5, 55}
 	for _, k := range keys {
-		f.Insert(k, rec8(k*100))
+		f.Insert(p, k, rec8(k*100))
 	}
 	if f.Len() != len(keys) {
 		t.Fatalf("Len = %d, want %d", f.Len(), len(keys))
 	}
 	for _, k := range keys {
-		got, ok := f.Get(k)
+		got, ok := f.Get(p, k)
 		if !ok || binary.LittleEndian.Uint64(got) != k*100 {
 			t.Fatalf("Get(%d) = %v, %v", k, got, ok)
 		}
@@ -39,13 +39,13 @@ func TestOrderedFileInsertGetDelete(t *testing.T) {
 			t.Fatalf("Contains(%d) = false", k)
 		}
 	}
-	if _, ok := f.Get(99); ok {
+	if _, ok := f.Get(p, 99); ok {
 		t.Fatal("Get(99) should miss")
 	}
-	if f.Delete(99) {
+	if f.Delete(p, 99) {
 		t.Fatal("Delete(99) should miss")
 	}
-	if !f.Delete(30) || f.Contains(30) {
+	if !f.Delete(p, 30) || f.Contains(30) {
 		t.Fatal("Delete(30) failed")
 	}
 	if f.Len() != len(keys)-1 {
@@ -54,13 +54,13 @@ func TestOrderedFileInsertGetDelete(t *testing.T) {
 }
 
 func TestOrderedFileScanOrder(t *testing.T) {
-	f, _ := newOrdered(t)
+	f, p := newOrdered(t)
 	perm := rand.New(rand.NewSource(7)).Perm(100)
 	for _, k := range perm {
-		f.Insert(uint64(k), rec8(uint64(k)))
+		f.Insert(p, uint64(k), rec8(uint64(k)))
 	}
 	var got []uint64
-	f.Scan(func(k uint64, rec []byte) bool {
+	f.Scan(p, func(k uint64, rec []byte) bool {
 		if binary.LittleEndian.Uint64(rec) != k {
 			t.Fatalf("record for key %d holds %v", k, rec)
 		}
@@ -73,12 +73,12 @@ func TestOrderedFileScanOrder(t *testing.T) {
 }
 
 func TestOrderedFileScanRange(t *testing.T) {
-	f, _ := newOrdered(t)
+	f, p := newOrdered(t)
 	for k := uint64(0); k < 50; k += 2 { // even keys 0..48
-		f.Insert(k, rec8(k))
+		f.Insert(p, k, rec8(k))
 	}
 	var got []uint64
-	f.ScanRange(10, 20, func(k uint64, _ []byte) bool {
+	f.ScanRange(p, 10, 20, func(k uint64, _ []byte) bool {
 		got = append(got, k)
 		return true
 	})
@@ -92,33 +92,33 @@ func TestOrderedFileScanRange(t *testing.T) {
 		}
 	}
 	// Degenerate ranges.
-	f.ScanRange(20, 10, func(uint64, []byte) bool { t.Fatal("lo>hi visited"); return true })
+	f.ScanRange(p, 20, 10, func(uint64, []byte) bool { t.Fatal("lo>hi visited"); return true })
 	var hits int
-	f.ScanRange(49, 1000, func(uint64, []byte) bool { hits++; return true })
+	f.ScanRange(p, 49, 1000, func(uint64, []byte) bool { hits++; return true })
 	if hits != 0 {
 		t.Fatalf("range past top visited %d", hits)
 	}
 }
 
 func TestOrderedFileDuplicatePanics(t *testing.T) {
-	f, _ := newOrdered(t)
-	f.Insert(5, rec8(5))
+	f, p := newOrdered(t)
+	f.Insert(p, 5, rec8(5))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate insert should panic")
 		}
 	}()
-	f.Insert(5, rec8(6))
+	f.Insert(p, 5, rec8(6))
 }
 
 func TestOrderedFileEmptyPageFreed(t *testing.T) {
 	f, p := newOrdered(t)
 	for k := uint64(0); k < 8; k++ {
-		f.Insert(k, rec8(k))
+		f.Insert(p, k, rec8(k))
 	}
 	pagesBefore := f.Pages()
 	for k := uint64(0); k < 8; k++ {
-		f.Delete(k)
+		f.Delete(p, k)
 	}
 	if f.Len() != 0 || f.Pages() != 0 {
 		t.Fatalf("Len=%d Pages=%d after deleting all", f.Len(), f.Pages())
@@ -127,7 +127,7 @@ func TestOrderedFileEmptyPageFreed(t *testing.T) {
 	// All pages returned to the allocator: inserting again reuses them.
 	n := p.Disk().NumPages()
 	for k := uint64(0); k < 8; k++ {
-		f.Insert(k, rec8(k))
+		f.Insert(p, k, rec8(k))
 	}
 	if got := p.Disk().NumPages(); got != n {
 		t.Fatalf("reinsert allocated pages: %d vs %d", got, n)
@@ -136,11 +136,11 @@ func TestOrderedFileEmptyPageFreed(t *testing.T) {
 
 func TestOrderedFileIOCharges(t *testing.T) {
 	p, m := newTestPager(32)
-	f := NewOrderedFile(p, 8)
+	f := NewOrderedFile(p.Disk(), 8)
 	// Load 16 records (4 full pages) without charging.
 	p.SetCharging(false)
 	for k := uint64(0); k < 32; k += 2 {
-		f.Insert(k, rec8(k))
+		f.Insert(p, k, rec8(k))
 	}
 	p.SetCharging(true)
 	p.BeginOp()
@@ -148,7 +148,7 @@ func TestOrderedFileIOCharges(t *testing.T) {
 	// One insert into an existing page: read + (on flush) write of 1 page,
 	// possibly plus a split write.
 	m.Reset()
-	f.Insert(1, rec8(1))
+	f.Insert(p, 1, rec8(1))
 	p.BeginOp()
 	c := m.Snapshot()
 	if c.PageReads != 1 {
@@ -160,7 +160,7 @@ func TestOrderedFileIOCharges(t *testing.T) {
 
 	// A delete is a read-modify-write of exactly one page.
 	m.Reset()
-	f.Delete(1)
+	f.Delete(p, 1)
 	p.BeginOp()
 	c = m.Snapshot()
 	if c.PageReads != 1 || c.PageWrites != 1 {
@@ -169,7 +169,7 @@ func TestOrderedFileIOCharges(t *testing.T) {
 
 	// Scanning reads each page once.
 	m.Reset()
-	f.Scan(func(uint64, []byte) bool { return true })
+	f.Scan(p, func(uint64, []byte) bool { return true })
 	if got := m.Snapshot().PageReads; got != int64(f.Pages()) {
 		t.Fatalf("scan charged %d reads over %d pages", got, f.Pages())
 	}
@@ -177,7 +177,7 @@ func TestOrderedFileIOCharges(t *testing.T) {
 
 func TestOrderedFileReplaceCharges2IOsPerPage(t *testing.T) {
 	p, m := newTestPager(32)
-	f := NewOrderedFile(p, 8)
+	f := NewOrderedFile(p.Disk(), 8)
 	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9} // 3 pages at 4/page
 	recs := make([][]byte, len(keys))
 	for i, k := range keys {
@@ -185,7 +185,7 @@ func TestOrderedFileReplaceCharges2IOsPerPage(t *testing.T) {
 	}
 	p.BeginOp()
 	m.Reset()
-	f.Replace(keys, recs)
+	f.Replace(p, keys, recs)
 	p.BeginOp()
 	c := m.Snapshot()
 	if c.PageReads != 3 || c.PageWrites != 3 {
@@ -194,18 +194,18 @@ func TestOrderedFileReplaceCharges2IOsPerPage(t *testing.T) {
 	if f.Len() != 9 || f.Pages() != 3 {
 		t.Fatalf("Replace left Len=%d Pages=%d", f.Len(), f.Pages())
 	}
-	got, ok := f.Get(5)
+	got, ok := f.Get(p, 5)
 	if !ok || !bytes.Equal(got, rec8(5)) {
 		t.Fatal("Replace contents wrong")
 	}
 }
 
 func TestOrderedFileReplaceValidation(t *testing.T) {
-	f, _ := newOrdered(t)
+	f, p := newOrdered(t)
 	for name, fn := range map[string]func(){
-		"length mismatch": func() { f.Replace([]uint64{1}, nil) },
-		"unsorted keys":   func() { f.Replace([]uint64{2, 1}, [][]byte{rec8(2), rec8(1)}) },
-		"bad record size": func() { f.Replace([]uint64{1}, [][]byte{{1}}) },
+		"length mismatch": func() { f.Replace(p, []uint64{1}, nil) },
+		"unsorted keys":   func() { f.Replace(p, []uint64{2, 1}, [][]byte{rec8(2), rec8(1)}) },
+		"bad record size": func() { f.Replace(p, []uint64{1}, [][]byte{{1}}) },
 	} {
 		func() {
 			defer func() {
@@ -223,7 +223,7 @@ func TestOrderedFileReplaceValidation(t *testing.T) {
 func TestOrderedFileMatchesReferenceModel(t *testing.T) {
 	f := func(seed int64, opsRaw []uint8) bool {
 		p, _ := newTestPager(32)
-		of := NewOrderedFile(p, 8)
+		of := NewOrderedFile(p.Disk(), 8)
 		ref := map[uint64]uint64{}
 		rng := rand.New(rand.NewSource(seed))
 		for _, op := range opsRaw {
@@ -231,11 +231,11 @@ func TestOrderedFileMatchesReferenceModel(t *testing.T) {
 			if op%2 == 0 {
 				if _, dup := ref[k]; !dup {
 					v := rng.Uint64()
-					of.Insert(k, rec8(v))
+					of.Insert(p, k, rec8(v))
 					ref[k] = v
 				}
 			} else {
-				had := of.Delete(k)
+				had := of.Delete(p, k)
 				_, want := ref[k]
 				if had != want {
 					return false
@@ -248,7 +248,7 @@ func TestOrderedFileMatchesReferenceModel(t *testing.T) {
 		}
 		prev := int64(-1)
 		ok := true
-		of.Scan(func(k uint64, rec []byte) bool {
+		of.Scan(p, func(k uint64, rec []byte) bool {
 			if int64(k) <= prev {
 				ok = false
 				return false

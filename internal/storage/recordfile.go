@@ -3,10 +3,12 @@ package storage
 import "fmt"
 
 // RecordFile is an append-ordered file of fixed-size records packed into
-// pages, the storage layout used for heap relations and scratch sets. All
-// page access is metered through the file's pager.
+// pages, the storage layout used for heap relations and scratch sets. The
+// file is bound to a Disk; every metered access takes the calling
+// session's Pager (the same convention as OrderedFile). Directory state
+// is not internally synchronized — callers serialize mutations.
 type RecordFile struct {
-	pager   *Pager
+	disk    *Disk
 	recSize int
 	perPage int
 	pages   []PageID
@@ -15,12 +17,12 @@ type RecordFile struct {
 
 // NewRecordFile creates an empty record file whose records are recSize
 // bytes. At least one record must fit per page.
-func NewRecordFile(pager *Pager, recSize int) *RecordFile {
-	perPage := pager.Disk().PageSize() / recSize
+func NewRecordFile(disk *Disk, recSize int) *RecordFile {
+	perPage := disk.PageSize() / recSize
 	if recSize <= 0 || perPage < 1 {
-		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, pager.Disk().PageSize()))
+		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, disk.PageSize()))
 	}
-	return &RecordFile{pager: pager, recSize: recSize, perPage: perPage}
+	return &RecordFile{disk: disk, recSize: recSize, perPage: perPage}
 }
 
 // Len returns the number of records.
@@ -38,16 +40,16 @@ func (f *RecordFile) Pages() int { return len(f.pages) }
 // Append stores a record at the end of the file and returns its index.
 // Appending to a fresh page charges only the page write (at flush);
 // appending into a partially filled page is a read-modify-write.
-func (f *RecordFile) Append(rec []byte) int {
+func (f *RecordFile) Append(pg *Pager, rec []byte) int {
 	f.checkRec(rec)
 	slot := f.n % f.perPage
 	var buf []byte
 	if slot == 0 {
-		id := f.pager.Disk().Alloc()
+		id := f.disk.Alloc()
 		f.pages = append(f.pages, id)
-		buf = f.pager.Overwrite(id)
+		buf = pg.Overwrite(id)
 	} else {
-		buf = f.pager.Update(f.pages[len(f.pages)-1])
+		buf = pg.Update(f.pages[len(f.pages)-1])
 	}
 	copy(buf[slot*f.recSize:], rec)
 	f.n++
@@ -55,27 +57,27 @@ func (f *RecordFile) Append(rec []byte) int {
 }
 
 // Get returns a copy of record i.
-func (f *RecordFile) Get(i int) []byte {
+func (f *RecordFile) Get(pg *Pager, i int) []byte {
 	f.checkIndex(i)
-	buf := f.pager.Read(f.pages[i/f.perPage])
+	buf := pg.Read(f.pages[i/f.perPage])
 	out := make([]byte, f.recSize)
 	copy(out, buf[(i%f.perPage)*f.recSize:])
 	return out
 }
 
 // Set overwrites record i in place (read-modify-write of its page).
-func (f *RecordFile) Set(i int, rec []byte) {
+func (f *RecordFile) Set(pg *Pager, i int, rec []byte) {
 	f.checkIndex(i)
 	f.checkRec(rec)
-	buf := f.pager.Update(f.pages[i/f.perPage])
+	buf := pg.Update(f.pages[i/f.perPage])
 	copy(buf[(i%f.perPage)*f.recSize:], rec)
 }
 
 // Scan calls fn for every record in index order until fn returns false.
 // The rec slice aliases the page frame and is valid only during the call.
-func (f *RecordFile) Scan(fn func(i int, rec []byte) bool) {
+func (f *RecordFile) Scan(pg *Pager, fn func(i int, rec []byte) bool) {
 	for pi, id := range f.pages {
-		buf := f.pager.Read(id)
+		buf := pg.Read(id)
 		base := pi * f.perPage
 		limit := f.perPage
 		if rem := f.n - base; rem < limit {
@@ -92,28 +94,28 @@ func (f *RecordFile) Scan(fn func(i int, rec []byte) bool) {
 // SwapDelete removes record i by moving the last record into its slot,
 // shrinking the file by one. Indices of other records are stable except
 // for the moved last record.
-func (f *RecordFile) SwapDelete(i int) {
+func (f *RecordFile) SwapDelete(pg *Pager, i int) {
 	f.checkIndex(i)
 	last := f.n - 1
 	if i != last {
-		f.Set(i, f.Get(last))
+		f.Set(pg, i, f.Get(pg, last))
 	}
 	f.n--
 	if f.n%f.perPage == 0 && len(f.pages) > 0 {
 		// Last page became empty; release it.
 		lastPage := f.pages[len(f.pages)-1]
 		f.pages = f.pages[:len(f.pages)-1]
-		f.pager.Drop(lastPage)
-		f.pager.Disk().Free(lastPage)
+		pg.Drop(lastPage)
+		f.disk.Free(lastPage)
 	}
 }
 
 // Clear frees every page, leaving an empty file. No I/O is charged;
 // deallocation is a catalog operation.
-func (f *RecordFile) Clear() {
+func (f *RecordFile) Clear(pg *Pager) {
 	for _, id := range f.pages {
-		f.pager.Drop(id)
-		f.pager.Disk().Free(id)
+		pg.Drop(id)
+		f.disk.Free(id)
 	}
 	f.pages = f.pages[:0]
 	f.n = 0

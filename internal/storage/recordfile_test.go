@@ -14,12 +14,12 @@ func rec4(v uint32) []byte {
 
 func TestRecordFileAppendGet(t *testing.T) {
 	p, _ := newTestPager(16) // 4 records of 4 bytes per page
-	f := NewRecordFile(p, 4)
+	f := NewRecordFile(p.Disk(), 4)
 	if f.PerPage() != 4 || f.RecordSize() != 4 {
 		t.Fatalf("PerPage=%d RecordSize=%d", f.PerPage(), f.RecordSize())
 	}
 	for i := uint32(0); i < 10; i++ {
-		if got := f.Append(rec4(i)); got != int(i) {
+		if got := f.Append(p, rec4(i)); got != int(i) {
 			t.Fatalf("Append returned %d, want %d", got, i)
 		}
 	}
@@ -27,7 +27,7 @@ func TestRecordFileAppendGet(t *testing.T) {
 		t.Fatalf("Len=%d Pages=%d, want 10 and 3", f.Len(), f.Pages())
 	}
 	for i := uint32(0); i < 10; i++ {
-		if got := f.Get(int(i)); !bytes.Equal(got, rec4(i)) {
+		if got := f.Get(p, int(i)); !bytes.Equal(got, rec4(i)) {
 			t.Fatalf("Get(%d) = %v", i, got)
 		}
 	}
@@ -35,13 +35,13 @@ func TestRecordFileAppendGet(t *testing.T) {
 
 func TestRecordFileSetAndScan(t *testing.T) {
 	p, _ := newTestPager(16)
-	f := NewRecordFile(p, 4)
+	f := NewRecordFile(p.Disk(), 4)
 	for i := uint32(0); i < 6; i++ {
-		f.Append(rec4(i))
+		f.Append(p, rec4(i))
 	}
-	f.Set(3, rec4(99))
+	f.Set(p, 3, rec4(99))
 	var seen []uint32
-	f.Scan(func(i int, rec []byte) bool {
+	f.Scan(p, func(i int, rec []byte) bool {
 		seen = append(seen, binary.LittleEndian.Uint32(rec))
 		return true
 	})
@@ -53,7 +53,7 @@ func TestRecordFileSetAndScan(t *testing.T) {
 	}
 	// Early termination.
 	count := 0
-	f.Scan(func(i int, rec []byte) bool { count++; return count < 2 })
+	f.Scan(p, func(i int, rec []byte) bool { count++; return count < 2 })
 	if count != 2 {
 		t.Fatalf("Scan visited %d records after early stop, want 2", count)
 	}
@@ -61,22 +61,22 @@ func TestRecordFileSetAndScan(t *testing.T) {
 
 func TestRecordFileSwapDelete(t *testing.T) {
 	p, _ := newTestPager(16)
-	f := NewRecordFile(p, 4)
+	f := NewRecordFile(p.Disk(), 4)
 	for i := uint32(0); i < 5; i++ {
-		f.Append(rec4(i))
+		f.Append(p, rec4(i))
 	}
-	f.SwapDelete(1) // record 4 moves into slot 1
+	f.SwapDelete(p, 1) // record 4 moves into slot 1
 	if f.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", f.Len())
 	}
-	if got := binary.LittleEndian.Uint32(f.Get(1)); got != 4 {
+	if got := binary.LittleEndian.Uint32(f.Get(p, 1)); got != 4 {
 		t.Fatalf("slot 1 = %d, want 4", got)
 	}
 	if f.Pages() != 1 {
 		t.Fatalf("Pages = %d, want 1 after shrink past boundary", f.Pages())
 	}
 	// Deleting the last record needs no move.
-	f.SwapDelete(f.Len() - 1)
+	f.SwapDelete(p, f.Len()-1)
 	if f.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", f.Len())
 	}
@@ -84,18 +84,18 @@ func TestRecordFileSwapDelete(t *testing.T) {
 
 func TestRecordFileClearFreesPages(t *testing.T) {
 	p, _ := newTestPager(16)
-	f := NewRecordFile(p, 4)
+	f := NewRecordFile(p.Disk(), 4)
 	for i := uint32(0); i < 8; i++ {
-		f.Append(rec4(i))
+		f.Append(p, rec4(i))
 	}
 	before := p.Disk().NumPages()
-	f.Clear()
+	f.Clear(p)
 	if f.Len() != 0 || f.Pages() != 0 {
 		t.Fatal("Clear left records behind")
 	}
 	// Freed pages are reused, not newly allocated.
 	for i := uint32(0); i < 8; i++ {
-		f.Append(rec4(i))
+		f.Append(p, rec4(i))
 	}
 	if got := p.Disk().NumPages(); got != before {
 		t.Fatalf("refill allocated new pages: %d vs %d", got, before)
@@ -104,10 +104,10 @@ func TestRecordFileClearFreesPages(t *testing.T) {
 
 func TestRecordFileIOCharges(t *testing.T) {
 	p, m := newTestPager(16)
-	f := NewRecordFile(p, 4)
+	f := NewRecordFile(p.Disk(), 4)
 	p.BeginOp()
 	for i := uint32(0); i < 8; i++ { // exactly 2 pages, appended fresh
-		f.Append(rec4(i))
+		f.Append(p, rec4(i))
 	}
 	p.BeginOp() // flush
 	c := m.Snapshot()
@@ -117,14 +117,14 @@ func TestRecordFileIOCharges(t *testing.T) {
 
 	m.Reset()
 	p.BeginOp()
-	f.Scan(func(int, []byte) bool { return true })
+	f.Scan(p, func(int, []byte) bool { return true })
 	if got := m.Snapshot().PageReads; got != 2 {
 		t.Fatalf("scan charged %d reads, want 2", got)
 	}
 
 	m.Reset()
 	p.BeginOp()
-	f.Set(0, rec4(42))
+	f.Set(p, 0, rec4(42))
 	p.BeginOp()
 	c = m.Snapshot()
 	if c.PageReads != 1 || c.PageWrites != 1 {
@@ -134,14 +134,14 @@ func TestRecordFileIOCharges(t *testing.T) {
 
 func TestRecordFilePanics(t *testing.T) {
 	p, _ := newTestPager(16)
-	f := NewRecordFile(p, 4)
-	f.Append(rec4(1))
+	f := NewRecordFile(p.Disk(), 4)
+	f.Append(p, rec4(1))
 	for name, fn := range map[string]func(){
-		"get out of range": func() { f.Get(1) },
-		"get negative":     func() { f.Get(-1) },
-		"set wrong size":   func() { f.Set(0, []byte{1}) },
-		"append wrong":     func() { f.Append([]byte{1, 2}) },
-		"record too big":   func() { NewRecordFile(p, 17) },
+		"get out of range": func() { f.Get(p, 1) },
+		"get negative":     func() { f.Get(p, -1) },
+		"set wrong size":   func() { f.Set(p, 0, []byte{1}) },
+		"append wrong":     func() { f.Append(p, []byte{1, 2}) },
+		"record too big":   func() { NewRecordFile(p.Disk(), 17) },
 	} {
 		func() {
 			defer func() {
