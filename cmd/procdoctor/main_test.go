@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/costmodel"
+	"dbproc/internal/engine"
+	"dbproc/internal/experiments"
+	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
+)
+
+// TestVerdictReproducesConcurrentBench is the acceptance gate for the
+// ledger verdict: regenerate the ledger evidence for the
+// BENCH_concurrent.json 8-client contention rows (same parameter point,
+// same seed, same client count) and require that the winner procdoctor
+// derives from ledger evidence alone (a) matches the winner by the
+// regenerated runs' simulated totals for both procedure models, and
+// (b) agrees with the checked-in artifact on at least one 8-client row.
+// (Only "at least one": Cache and Invalidate's simulated total is
+// schedule-dependent — which accesses run cold depends on the commit
+// interleaving — so the artifact's model-1 row, where CI and AVM are
+// within a schedule's variance of each other, need not reproduce on a
+// different scheduler. Model 2's margin is far wider than the variance.)
+func TestVerdictReproducesConcurrentBench(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_concurrent.json")
+	if err != nil {
+		t.Skipf("benchmark artifact not present: %v", err)
+	}
+	var rep experiments.ConcurrentBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_concurrent.json: %v", err)
+	}
+
+	const clients = 8
+	p := experiments.BenchParams(experiments.Options{Scale: rep.Scale, SimSeed: rep.Seed})
+	var buf bytes.Buffer
+	simWinner := map[string]string{} // model name -> cheapest strategy by regenerated SimTotalMs
+	simBest := map[string]float64{}
+	for _, model := range []costmodel.Model{costmodel.Model1, costmodel.Model2} {
+		for _, strat := range []costmodel.Strategy{
+			costmodel.CacheInvalidate, costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM,
+		} {
+			cfg := sim.Config{Params: p, Model: model, Strategy: strat, Seed: rep.Seed}
+			cfg.Ledger = cache.NewLedger()
+			e := engine.New(cfg, engine.Options{Clients: clients, ThinkMeanMs: rep.ThinkMeanMs})
+			res := e.Run(context.Background())
+			meta := cache.LedgerMeta{
+				Strategy: strat.String(), Model: int(model), Clients: clients,
+				Seed: rep.Seed, Queries: res.Queries, Updates: res.Updates,
+				TotalMs: res.SimTotalMs,
+			}
+			if err := cache.WriteLedger(&buf, meta, cfg.Ledger); err != nil {
+				t.Fatal(err)
+			}
+			mn := model.String()
+			if best, ok := simBest[mn]; !ok || res.SimTotalMs < best {
+				simBest[mn], simWinner[mn] = res.SimTotalMs, strat.String()
+			}
+		}
+	}
+
+	runs, err := cache.ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := ledgerVerdicts(runs)
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdict groups, want 2 (one per model)", len(verdicts))
+	}
+	agreed := 0
+	for _, v := range verdicts {
+		model := costmodel.Model(v.Model).String()
+		if len(v.Ranked) != 3 {
+			t.Fatalf("%s: ranked %d strategies, want 3", model, len(v.Ranked))
+		}
+		// Ledger evidence alone must reproduce the simulated verdict of
+		// the runs it ledgered.
+		if got := v.Winner(); got != simWinner[model] {
+			t.Errorf("%s: ledger verdict %q, simulated-total winner %q\nranking: %+v",
+				model, got, simWinner[model], v.Ranked)
+		}
+		want, ok := benchWinner(rep, model, clients)
+		if !ok {
+			t.Fatalf("no %s %d-client caching rows in BENCH_concurrent.json", model, clients)
+		}
+		if v.Winner() == want {
+			agreed++
+		}
+	}
+	if agreed == 0 {
+		t.Errorf("ledger verdicts agree with no BENCH_concurrent.json 8-client row")
+	}
+
+	// The rendered report must carry the verdict and the cross-check.
+	var out bytes.Buffer
+	verdictReport(&out, verdicts)
+	benchCrossCheck(&out, verdicts, rep)
+	txt := out.String()
+	if !strings.Contains(txt, "winner by ledger evidence") {
+		t.Errorf("verdict report missing winner marker:\n%s", txt)
+	}
+	if !strings.Contains(txt, "agrees with BENCH_concurrent.json") {
+		t.Errorf("bench cross-check reported no agreement:\n%s", txt)
+	}
+}
+
+// TestTopBlockers checks the flight-dump blocker aggregation: grouping
+// by (lock, holder), wait totals, and the wait-descending sort.
+func TestTopBlockers(t *testing.T) {
+	d := &telemetry.Dump{Events: []telemetry.Event{
+		{Kind: telemetry.EvLockAcquire, Name: "rel:r1", WaitNs: 100, Detail: "held by session 2 (update)"},
+		{Kind: telemetry.EvLockAcquire, Name: "rel:r1", WaitNs: 300, Detail: "held by session 2 (update)"},
+		{Kind: telemetry.EvLockAcquire, Name: "rel:r2", WaitNs: 900, Detail: "held by session 0 (query proc:7)"},
+		{Kind: telemetry.EvLockAcquire, Name: "rel:r3", WaitNs: 0}, // uncontended: excluded
+		{Kind: telemetry.EvOpCommit, Name: "update", WaitNs: 500},  // wrong kind: excluded
+	}}
+	got := topBlockers(d)
+	if len(got) != 2 {
+		t.Fatalf("got %d blockers, want 2: %+v", len(got), got)
+	}
+	if got[0].Lock != "rel:r2" || got[0].WaitNs != 900 || got[0].Waits != 1 {
+		t.Errorf("top blocker = %+v", got[0])
+	}
+	if got[1].Lock != "rel:r1" || got[1].WaitNs != 400 || got[1].Waits != 2 || got[1].MaxWaitNs != 300 {
+		t.Errorf("second blocker = %+v", got[1])
+	}
+}
+
+// TestBottleneck pins the dominant-bottleneck selection.
+func TestBottleneck(t *testing.T) {
+	name, ms := bottleneck(cache.LedgerStats{ComputeMs: 5, HitMs: 2, MaintainMs: 9, InvalMs: 1})
+	if name != "maintenance" || ms != 9 {
+		t.Errorf("bottleneck = %q %.1f, want maintenance 9.0", name, ms)
+	}
+	name, _ = bottleneck(cache.LedgerStats{ComputeMs: 5})
+	if name != "recompute" {
+		t.Errorf("bottleneck = %q, want recompute", name)
+	}
+}

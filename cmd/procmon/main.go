@@ -10,6 +10,7 @@
 //	procmon -addr ... -interval 2s -n 10  # 10 polls, 2s apart
 //	procmon -addr ... -raw                # one poll, raw /metrics text
 //	procmon -addr ... -tail 64            # last 64 flight events as JSONL
+//	procmon -addr ... -blame              # + critical-path split and top blockers
 //
 // -raw prints a single scrape verbatim and exits; -tail fetches the
 // flight recorder's newest events as JSONL, ready to pipe into
@@ -126,6 +127,19 @@ func (m metricSet) byLabel(name, label string) map[string]float64 {
 	return out
 }
 
+// samplesOf returns every sample of a multi-label series, for panels
+// that key on more than one label (the blame table keys on lock +
+// holder_session + holder_op).
+func (m metricSet) samplesOf(name string) []sample {
+	var out []sample
+	for _, s := range m.samples {
+		if s.name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func fetch(ctx context.Context, client *http.Client, url string) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -147,7 +161,9 @@ func fetch(ctx context.Context, client *http.Client, url string) (string, error)
 }
 
 // render draws one dashboard frame from a scrape and an event tail.
-func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear bool) {
+// blame adds the causal-diagnosis panel (critical-path split plus top
+// blockers) fed by the dbproc_critpath_* / dbproc_blame_* series.
+func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear, blame bool) {
 	if clear {
 		fmt.Fprint(w, "\x1b[H\x1b[2J")
 	}
@@ -218,9 +234,68 @@ func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear b
 		}
 	}
 
+	if blame {
+		renderBlame(w, m)
+	}
+
 	if dump != nil && len(dump.Events) > 0 {
 		fmt.Fprintln(w)
 		telemetry.WriteTimeline(w, dump.Events, 0, nil)
+	}
+}
+
+// renderBlame draws the causal diagnosis panel: the critical-path
+// segment split and the top blockers by attributed wall-clock wait.
+// Both series exist only when the observed process runs with critical
+// path profiling on (procsim -critpath; docs/DIAGNOSIS.md).
+func renderBlame(w io.Writer, m metricSet) {
+	segs := m.byLabel("dbproc_critpath_seconds_total", "segment")
+	if len(segs) > 0 {
+		var total float64
+		for _, v := range segs {
+			total += v
+		}
+		fmt.Fprintf(w, "\n  critical path:")
+		for _, name := range []string{"lock_wait", "io", "recompute", "compute"} {
+			v, ok := segs[name]
+			if !ok {
+				continue
+			}
+			share := 0.0
+			if total > 0 {
+				share = 100 * v / total
+			}
+			fmt.Fprintf(w, "  %s=%.2fms (%.0f%%)", name, v*1e3, share)
+		}
+		fmt.Fprintln(w)
+	}
+
+	waits := m.samplesOf("dbproc_blame_wait_seconds_total")
+	if len(waits) == 0 {
+		if len(segs) == 0 {
+			fmt.Fprintf(w, "\n  blame: no critical-path series (run the observed process with -critpath)\n")
+		}
+		return
+	}
+	counts := map[string]float64{}
+	for _, s := range m.samplesOf("dbproc_blame_waits_total") {
+		counts[s.labels["lock"]+"\x00"+s.labels["holder_session"]+"\x00"+s.labels["holder_op"]] = s.value
+	}
+	sort.Slice(waits, func(i, j int) bool {
+		if waits[i].value != waits[j].value {
+			return waits[i].value > waits[j].value
+		}
+		return waits[i].labels["lock"] < waits[j].labels["lock"]
+	})
+	if len(waits) > 8 {
+		waits = waits[:8]
+	}
+	fmt.Fprintf(w, "\n  %-16s %-24s %7s %10s\n", "blamed lock", "holder", "waits", "wait")
+	for _, s := range waits {
+		lock := s.labels["lock"]
+		holder := fmt.Sprintf("session %s (%s)", s.labels["holder_session"], s.labels["holder_op"])
+		n := counts[lock+"\x00"+s.labels["holder_session"]+"\x00"+s.labels["holder_op"]]
+		fmt.Fprintf(w, "  %-16s %-24s %7.0f %8.2fms\n", lock, holder, n, s.value*1e3)
 	}
 }
 
@@ -231,6 +306,7 @@ func main() {
 	events := flag.Int("events", 8, "flight-recorder events to tail per frame (0 = none)")
 	raw := flag.Bool("raw", false, "poll /metrics once, print the raw scrape, and exit")
 	tail := flag.Int("tail", 0, "fetch the last K flight events as raw JSONL and exit (pipe into procstat -flight)")
+	blame := flag.Bool("blame", false, "add the causal-diagnosis panel: critical-path split and top blockers (needs -critpath on the observed process)")
 	flag.Parse()
 
 	base := strings.TrimSuffix(*addr, "/")
@@ -277,6 +353,6 @@ func main() {
 				dump, _ = telemetry.ReadDump(strings.NewReader(tail))
 			}
 		}
-		render(os.Stdout, base, metricSet{parseMetrics(body)}, dump, n > 0 || *polls != 1)
+		render(os.Stdout, base, metricSet{parseMetrics(body)}, dump, n > 0 || *polls != 1, *blame)
 	}
 }

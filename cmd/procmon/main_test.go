@@ -57,10 +57,49 @@ func TestRenderFrame(t *testing.T) {
 		{Kind: telemetry.EvOpCommit, Session: 1, Seq: 3, Name: "update"},
 	}}
 	var out strings.Builder
-	render(&out, "http://x", metricSet{parseMetrics(b.String())}, dump, false)
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, dump, false, false)
 	for _, want := range []string{"committed ops", "rel:r1", "op.commit", "p50=1.5us"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("frame missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRenderBlamePanel feeds the -blame panel the critpath and blame
+// series the engine exports under -critpath and checks the segment split
+// and the (lock, holder session, holder op) table come out.
+func TestRenderBlamePanel(t *testing.T) {
+	var b strings.Builder
+	telemetry.WriteMetrics(&b, []telemetry.Metric{
+		telemetry.Counter("dbproc_critpath_seconds_total", "", 0.003, map[string]string{"segment": "lock_wait"}),
+		telemetry.Counter("dbproc_critpath_seconds_total", "", 0.007, map[string]string{"segment": "compute"}),
+		telemetry.Counter("dbproc_blame_wait_seconds_total", "", 0.002,
+			map[string]string{"lock": "rel:r1", "holder_session": "3", "holder_op": "update"}),
+		telemetry.Counter("dbproc_blame_waits_total", "", 5,
+			map[string]string{"lock": "rel:r1", "holder_session": "3", "holder_op": "update"}),
+		telemetry.Counter("dbproc_blame_wait_seconds_total", "", 0.001,
+			map[string]string{"lock": "proc:9", "holder_session": "0", "holder_op": "query proc:9"}),
+	})
+	var out strings.Builder
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, nil, false, true)
+	for _, want := range []string{
+		"critical path:", "lock_wait=3.00ms (30%)", "compute=7.00ms (70%)",
+		"blamed lock", "session 3 (update)", "rel:r1", "proc:9",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("blame panel missing %q:\n%s", want, out.String())
+		}
+	}
+	// The top blocker row must carry its wait count.
+	if !strings.Contains(out.String(), "5") {
+		t.Fatalf("wait count missing:\n%s", out.String())
+	}
+
+	// Without the series, the panel says what to enable instead of
+	// rendering an empty table.
+	out.Reset()
+	render(&out, "http://x", metricSet{}, nil, false, true)
+	if !strings.Contains(out.String(), "-critpath") {
+		t.Fatalf("missing-series hint absent:\n%s", out.String())
 	}
 }

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -31,6 +32,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"dbproc/internal/cache"
 	"dbproc/internal/costmodel"
 	"dbproc/internal/engine"
 	"dbproc/internal/metric"
@@ -87,6 +89,7 @@ type cellOut struct {
 	bd     metric.Breakdown
 	costs  metric.Costs
 	trace  []byte
+	ledger []byte
 	record obs.RunRecord
 }
 
@@ -112,6 +115,8 @@ func main() {
 	clients := flag.Int("clients", 1, "concurrent client sessions (>1 switches to the multi-session engine)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms (exponential; concurrent mode)")
 	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
+	ledgerPath := flag.String("ledger", "", "write a cache-efficacy ledger (JSONL) to this file (analyze with procdoctor; docs/DIAGNOSIS.md)")
+	critpath := flag.Bool("critpath", false, "decompose each op's wall time into lock-wait/IO/recompute/compute with lock-wait blame (concurrent mode)")
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /events on this address (e.g. :9090) until interrupted")
 	flightPath := flag.String("flight", "", "write a flight-recorder dump to this file if the run trips a telemetry trigger")
 	breakdown := flag.Bool("breakdown", false, "print the per-component cost breakdown of each run")
@@ -151,6 +156,16 @@ func main() {
 		traceFile = f
 		defer f.Close()
 	}
+	var ledgerFile *os.File
+	if *ledgerPath != "" {
+		f, err := os.Create(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+		ledgerFile = f
+		defer f.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -176,7 +191,8 @@ func main() {
 	}
 
 	if *clients > 1 {
-		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think, traceFile, *jsonOut, hub, rec)
+		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think,
+			traceFile, ledgerFile, *critpath, *jsonOut, hub, rec)
 		waitServe(ctx, hub)
 		return
 	}
@@ -208,6 +224,9 @@ func main() {
 			if traceFile != nil {
 				cfg.Tracer = obs.NewTracer()
 			}
+			if ledgerFile != nil {
+				cfg.Ledger = cache.NewLedger()
+			}
 			w := sim.Build(cfg)
 			res := w.Run()
 			out := cellOut{res: res, bd: w.Meter().Breakdown(), costs: w.Meter().Costs()}
@@ -238,6 +257,18 @@ func main() {
 				}
 				out.trace = enc
 			}
+			if ledgerFile != nil {
+				var buf bytes.Buffer
+				meta := cache.LedgerMeta{
+					Strategy: c.strategy.String(), Model: int(model), Clients: 1,
+					Seed: c.seed, Queries: res.Queries, Updates: res.Updates,
+					TotalMs: res.TotalMs,
+				}
+				if err := cache.WriteLedger(&buf, meta, cfg.Ledger); err != nil {
+					return cellOut{}, fmt.Errorf("encoding ledger: %w", err)
+				}
+				out.ledger = buf.Bytes()
+			}
 			return out, nil
 		})
 	if err != nil {
@@ -265,6 +296,12 @@ func main() {
 		if traceFile != nil {
 			if _, err := traceFile.Write(out.trace); err != nil {
 				fmt.Fprintf(os.Stderr, "procsim: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if ledgerFile != nil {
+			if _, err := ledgerFile.Write(out.ledger); err != nil {
+				fmt.Fprintf(os.Stderr, "procsim: writing ledger: %v\n", err)
 				os.Exit(1)
 			}
 		}
@@ -331,6 +368,9 @@ func main() {
 	if traceFile != nil && !*jsonOut {
 		fmt.Printf("\ntrace written to %s (render with procstat)\n", *tracePath)
 	}
+	if ledgerFile != nil && !*jsonOut {
+		fmt.Printf("ledger written to %s (analyze with procdoctor)\n", *ledgerPath)
+	}
 	waitServe(ctx, hub)
 }
 
@@ -361,6 +401,17 @@ type concurrentJSON struct {
 	WallLatency   telemetry.SketchSummary        `json:"wall_latency"`
 	SimLatency    telemetry.SketchSummary        `json:"sim_latency"`
 	Contention    []telemetry.LockContentionJSON `json:"contention,omitempty"`
+	CritPathNs    map[string]int64               `json:"crit_path_ns,omitempty"`
+	TopBlockers   []blockerJSON                  `json:"top_blockers,omitempty"`
+}
+
+// blockerJSON is one aggregated blame edge in -json output.
+type blockerJSON struct {
+	Lock          string `json:"lock"`
+	HolderSession int    `json:"holder_session"`
+	HolderOp      string `json:"holder_op"`
+	Waits         int    `json:"waits"`
+	WaitNs        int64  `json:"wait_ns"`
 }
 
 // runConcurrent drives each strategy through the multi-session engine:
@@ -370,10 +421,14 @@ type concurrentJSON struct {
 // profile. With -trace, one span per operation is recorded, tagged with
 // its session and commit sequence, plus one contention record per run.
 // With -listen, each engine becomes the hub's metrics source and its
-// events stream into the flight recorder.
+// events stream into the flight recorder. With -critpath, each op's wall
+// time is decomposed and the top lock-wait blockers are reported; with
+// -ledger, each strategy's cache-efficacy ledger is appended to the
+// ledger file as one section.
 func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Model,
 	strategies []costmodel.Strategy, seed int64, clients int, think float64,
-	traceFile *os.File, jsonOut bool, hub *telemetry.Hub, rec *telemetry.Recorder) {
+	traceFile, ledgerFile *os.File, critpath, jsonOut bool,
+	hub *telemetry.Hub, rec *telemetry.Recorder) {
 	if !jsonOut {
 		fmt.Printf("%s, concurrent: %d sessions, think = %g ms, k=%.0f q=%.0f, seed = %d\n\n",
 			model, clients, think, p.K, p.Q, seed)
@@ -387,12 +442,23 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 			break
 		}
 		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: seed}
+		if ledgerFile != nil {
+			cfg.Ledger = cache.NewLedger()
+		}
 		opt := engine.Options{
 			Clients:      clients,
 			ThinkMeanMs:  think,
 			Recorder:     rec,
 			ProfileLocks: true,
 			Sketches:     true,
+			CritPath:     critpath,
+		}
+		if rec != nil {
+			// Always-on detectors: a p99-latency, contention-share or
+			// wasted-work breach fires an EvDetector event, which
+			// auto-dumps the flight ring (docs/DIAGNOSIS.md).
+			th := telemetry.DefaultThresholds()
+			opt.Detect = &th
 		}
 		if traceFile != nil {
 			opt.Tracer = obs.NewTracer()
@@ -425,6 +491,37 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 				os.Exit(1)
 			}
 		}
+		if ledgerFile != nil {
+			meta := cache.LedgerMeta{
+				Strategy: s.String(), Model: int(model), Clients: clients,
+				Seed: seed, Queries: res.Queries, Updates: res.Updates,
+				TotalMs: res.SimTotalMs,
+			}
+			if err := cache.WriteLedger(ledgerFile, meta, cfg.Ledger); err != nil {
+				fmt.Fprintf(os.Stderr, "procsim: writing ledger: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var critNs map[string]int64
+		var blockers []blockerJSON
+		if critpath {
+			critNs = map[string]int64{"lock_wait": 0, "io": 0, "recompute": 0, "compute": 0}
+			for _, cp := range res.CritPaths {
+				critNs["lock_wait"] += cp.WaitNs
+				critNs["io"] += cp.IONs
+				critNs["recompute"] += cp.RecomputeNs
+				critNs["compute"] += cp.ComputeNs
+			}
+			for _, b := range res.TopBlockers {
+				blockers = append(blockers, blockerJSON{
+					Lock: b.Lock, HolderSession: b.HolderSession, HolderOp: b.HolderOp,
+					Waits: b.Waits, WaitNs: b.WaitNs,
+				})
+			}
+			if len(blockers) > 8 {
+				blockers = blockers[:8]
+			}
+		}
 		if jsonOut {
 			jsonRows = append(jsonRows, concurrentJSON{
 				Strategy:      s.String(),
@@ -440,6 +537,8 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 				WallLatency:   res.WallLatency,
 				SimLatency:    res.SimLatency,
 				Contention:    contention,
+				CritPathNs:    critNs,
+				TopBlockers:   blockers,
 			})
 			continue
 		}
@@ -447,6 +546,23 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 			s, res.WallSec, res.Throughput,
 			float64(res.Percentile(50))/1e3, float64(res.Percentile(95))/1e3,
 			res.SimTotalMs)
+		if critpath {
+			total := critNs["lock_wait"] + critNs["io"] + critNs["recompute"] + critNs["compute"]
+			if total > 0 {
+				fmt.Printf("  critical path: lock-wait %4.1f%%  io %4.1f%%  recompute %4.1f%%  compute %4.1f%%\n",
+					100*float64(critNs["lock_wait"])/float64(total),
+					100*float64(critNs["io"])/float64(total),
+					100*float64(critNs["recompute"])/float64(total),
+					100*float64(critNs["compute"])/float64(total))
+			}
+			for i, b := range blockers {
+				if i >= 3 {
+					break
+				}
+				fmt.Printf("  blocker: %-14s held by session %d (%s): %d waits, %.2f ms\n",
+					b.Lock, b.HolderSession, b.HolderOp, b.Waits, float64(b.WaitNs)/1e6)
+			}
+		}
 	}
 	if !jsonOut {
 		for _, cr := range contRecs {

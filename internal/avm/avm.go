@@ -95,11 +95,18 @@ type Engine struct {
 	dnet map[int][][]byte
 
 	tracer *obs.Tracer
+	ledger *cache.Ledger
 }
 
 // SetTracer attaches a tracer; each Apply then records avm.route and
 // avm.merge child spans covering the two maintenance phases.
 func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// SetLedger attaches a cache-efficacy ledger; each Apply then records one
+// KindMaintained event per patched view, carrying the view's routing
+// share (screens and delta ops are charged per routed pair, so the share
+// is exact) plus its measured delta-plan and patch cost.
+func (e *Engine) SetLedger(l *cache.Ledger) { e.ledger = l }
 
 // NewEngine creates an empty engine storing view contents in store and
 // using router for rule-indexed change screening.
@@ -198,6 +205,10 @@ func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, dele
 		return
 	}
 	routed := 0
+	var routedBy map[int]int
+	if e.ledger != nil {
+		routedBy = make(map[int]int)
+	}
 	route := func(tup []byte, into map[int][][]byte) {
 		for _, attr := range attrs {
 			v := sch.GetByName(tup, attr)
@@ -210,6 +221,9 @@ func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, dele
 				into[id] = append(into[id], tup)
 				meter.DeltaOp(1)
 				routed++
+				if routedBy != nil {
+					routedBy[id]++
+				}
 			})
 		}
 	}
@@ -232,6 +246,7 @@ func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, dele
 	patched := 0
 	defer func() { msp.Set("views", patched) }()
 	ctx := &query.Ctx{Meter: meter, Pager: pg}
+	costs := meter.Costs()
 	for _, id := range e.order {
 		a, da := e.anet[id]
 		dl, dd := e.dnet[id]
@@ -239,6 +254,10 @@ func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, dele
 			continue
 		}
 		patched++
+		var before metric.Counters
+		if e.ledger != nil {
+			before = meter.Snapshot()
+		}
 		v := e.views[id]
 		src := v.sourceFor(relName)
 		file := e.store.MustEntry(cache.ID(id)).File()
@@ -262,6 +281,21 @@ func (e *Engine) Apply(pg *storage.Pager, rel *relation.Relation, inserted, dele
 				return true
 			})
 			delete(e.anet, id)
+		}
+		if e.ledger != nil {
+			// Flush so the view's deferred page writes price into its own
+			// event. Views own disjoint files, so per-view flushing never
+			// re-dirties another view's frames; totals are unchanged.
+			pg.Flush()
+			cost := meter.Since(before).Milliseconds(costs) +
+				float64(routedBy[id])*(costs.C1+costs.C3)
+			e.ledger.Record(cache.LedgerEvent{
+				Entry:   id,
+				Kind:    cache.KindMaintained,
+				Op:      pg.OpToken(),
+				Session: pg.Session(),
+				CostMs:  cost,
+			})
 		}
 	}
 }

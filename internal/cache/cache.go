@@ -42,6 +42,7 @@ type Store struct {
 	entries  map[ID]*Entry
 	journal  Journal
 	observer func(event string, id, session int)
+	ledger   *Ledger
 }
 
 // SetJournal attaches a durability journal; every subsequent validity
@@ -57,6 +58,15 @@ func (s *Store) SetJournal(j Journal) { s.journal = j }
 // and the callback runs with the entry's mutex held, so it must not call
 // back into the entry.
 func (s *Store) SetObserver(fn func(event string, id, session int)) { s.observer = fn }
+
+// SetLedger attaches a cache-efficacy ledger; every subsequent
+// invalidation records a KindInvalidated event naming the invalidating
+// op. Like SetObserver, set it before the store is shared between
+// sessions — the field is read without synchronization on the hot path.
+func (s *Store) SetLedger(l *Ledger) { s.ledger = l }
+
+// LedgerRef returns the attached ledger (nil when none).
+func (s *Store) LedgerRef() *Ledger { return s.ledger }
 
 // Entry is one procedure's cached result. The mu mutex couples each
 // validity flip with its journal append, so a concurrent reader never
@@ -151,6 +161,10 @@ func (e *Entry) Invalidate(pg *storage.Pager) {
 		comp = metric.CompVLog
 	}
 	m := pg.Meter()
+	var before metric.Counters
+	if e.store.ledger != nil {
+		before = m.Snapshot()
+	}
 	prev := m.SetComponent(comp)
 	m.Invalidation(1)
 	m.SetComponent(prev)
@@ -158,6 +172,15 @@ func (e *Entry) Invalidate(pg *storage.Pager) {
 		if err := j.Invalidate(int(e.id)); err != nil {
 			panic("cache: journal write failed (simulated crash): " + err.Error())
 		}
+	}
+	if l := e.store.ledger; l != nil {
+		l.Record(LedgerEvent{
+			Entry:   int(e.id),
+			Kind:    KindInvalidated,
+			Op:      pg.OpToken(),
+			Session: pg.Session(),
+			CostMs:  m.Since(before).Milliseconds(m.Costs()),
+		})
 	}
 	if fn := e.store.observer; fn != nil {
 		fn("cache.invalidate", int(e.id), pg.Session())

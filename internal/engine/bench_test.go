@@ -94,6 +94,22 @@ func BenchmarkAcquireProfilingOff(b *testing.B) {
 	}
 }
 
+// BenchmarkAcquireBlameOff measures AcquireAs with a session id but no
+// blame tag on the profiling-off table: the path every non-diagnosis
+// run takes after the blame plumbing landed. The guard in
+// scripts/verify.sh tier 4 asserts it stays within ~5% of
+// BenchmarkAcquireSeedBaseline — blame attribution must cost nothing
+// when off.
+func BenchmarkAcquireBlameOff(b *testing.B) {
+	t := NewLockTable()
+	for i := 0; i < b.N; i++ {
+		t.AcquireAs(benchFootprint(), 3, "").Release()
+	}
+	if t.Profiling() {
+		b.Fatal("profiling unexpectedly on")
+	}
+}
+
 // BenchmarkAcquireProfilingOn prices the profiler itself (uncontended
 // case: one TryLock and two clock reads per lock). Informational — not
 // guarded, since enabling telemetry is an explicit opt-in.

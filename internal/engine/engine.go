@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/sim"
+	"dbproc/internal/storage"
 	"dbproc/internal/telemetry"
 	"dbproc/internal/workload"
 )
@@ -54,6 +57,22 @@ type Options struct {
 	// latched service) and simulated milliseconds (the op's metered
 	// cost). Summaries land in Result and SessionStats.
 	Sketches bool
+	// CritPath enables per-operation critical-path decomposition
+	// (docs/DIAGNOSIS.md): every committed op's wall time is split
+	// exactly — the four segments sum bit-exactly to the op's recorded
+	// wall time — into lock-wait, I/O, cache-miss recompute, and compute,
+	// and each lock wait carries a blame edge naming the session/op that
+	// held the lock. Results land in Result.CritPaths/TopBlockers, on
+	// /metrics (dbproc_critpath_seconds_total, dbproc_blame_*), in flight
+	// EvLockAcquire details, and as blame attributes on operation spans.
+	// Implies ProfileLocks.
+	CritPath bool
+	// Detect, when non-nil, arms the always-on regression detectors
+	// (p99 wall latency, lock-contention share, ledger wasted-work
+	// ratio); a firing detector records an EvDetector flight event, which
+	// triggers the recorder's auto-dump. Requires Recorder to be useful;
+	// the latency detector additionally needs Sketches.
+	Detect *telemetry.Thresholds
 }
 
 // HistoryEntry is one committed operation in the run's history. Seq is
@@ -128,6 +147,60 @@ type Result struct {
 	// sketches; zero unless Options.Sketches.
 	WallLatency telemetry.SketchSummary
 	SimLatency  telemetry.SketchSummary
+	// CritPaths is every committed op's wall-time decomposition in commit
+	// order; empty unless Options.CritPath.
+	CritPaths []OpCritPath
+	// TopBlockers aggregates blame edges by (lock, holder), sorted by
+	// total wait descending; empty unless Options.CritPath.
+	TopBlockers []BlockerStat
+}
+
+// BlameEdge names the holder a lock wait is attributed to.
+type BlameEdge struct {
+	Lock          string
+	WaitNs        int64
+	HolderSession int
+	HolderOp      string
+}
+
+// OpCritPath is one committed operation's critical-path decomposition.
+// WaitNs + IONs + RecomputeNs + ComputeNs == WallNs exactly: ComputeNs
+// is defined as the remainder, and the measured segments are durations
+// of disjoint sub-intervals of the op's wall interval, so the remainder
+// is never negative (the property test asserts both).
+type OpCritPath struct {
+	Session int
+	Seq     int
+	Op      string
+	WallNs  int64
+	// WaitNs is the lock-acquisition wait (the 2PL queue).
+	WaitNs int64
+	// IONs is wall time inside simulated-disk reads and writes.
+	IONs int64
+	// RecomputeNs is wall time inside cache-miss recompute scopes,
+	// excluding the I/O accrued within them.
+	RecomputeNs int64
+	// ComputeNs is the remainder: plan evaluation, cache reads, commit
+	// bookkeeping.
+	ComputeNs int64
+	// Blame carries one edge per waited-for lock.
+	Blame []BlameEdge
+}
+
+// BlockerStat aggregates the blame edges pointing at one (lock, holder)
+// pair: how often and how long that holder made others wait on the lock.
+type BlockerStat struct {
+	Lock          string
+	HolderSession int
+	HolderOp      string
+	Waits         int
+	WaitNs        int64
+}
+
+type blockerKey struct {
+	lock    string
+	session int
+	op      string
 }
 
 // Percentile returns the p-th (0..100) latency percentile in
@@ -191,6 +264,25 @@ type Engine struct {
 	// Run-wide latency sketches; nil unless Options.Sketches.
 	wallSk *telemetry.Sketch
 	simSk  *telemetry.Sketch
+
+	// Critical-path state (Options.CritPath): per-op decompositions and
+	// the blame aggregation behind critMu; per-segment wall totals as
+	// atomics so a live scrape reads them without the mutex.
+	critMu   sync.Mutex
+	crits    []OpCritPath
+	blockers map[blockerKey]*BlockerStat
+
+	segWait      atomic.Int64
+	segIO        atomic.Int64
+	segRecompute atomic.Int64
+	segCompute   atomic.Int64
+
+	// Wall totals for the contention-share detector (always accumulated;
+	// two atomic adds per op).
+	waitNsTot atomic.Int64
+	wallNsTot atomic.Int64
+
+	det *telemetry.Detectors
 }
 
 // New builds the world for cfg and an engine over it. The Config's
@@ -203,10 +295,19 @@ func New(cfg sim.Config, opt Options) *Engine {
 	if opt.Clients < 1 {
 		opt.Clients = 1
 	}
+	if opt.CritPath {
+		opt.ProfileLocks = true
+	}
 	w := sim.Build(cfg)
 	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs()}
 	if opt.ProfileLocks {
 		e.locks.EnableProfiling()
+	}
+	if opt.CritPath {
+		e.blockers = make(map[blockerKey]*BlockerStat)
+	}
+	if opt.Detect != nil {
+		e.det = telemetry.NewDetectors(*opt.Detect, opt.Recorder)
 	}
 	if opt.Sketches {
 		e.wallSk = telemetry.NewSketch()
@@ -306,6 +407,11 @@ func (e *Engine) Run(ctx context.Context) Result {
 			// one session reproduces the sequential run byte for byte.
 			pg := e.w.SessionPager(s)
 			meter := pg.Meter()
+			critOn := e.opt.CritPath
+			var ws *storage.WallStats
+			if critOn {
+				ws = pg.EnableWallStats()
+			}
 			var sessWall, sessSim *telemetry.Sketch
 			if e.opt.Sketches {
 				sessWall = telemetry.NewSketch()
@@ -320,28 +426,50 @@ func (e *Engine) Run(ctx context.Context) Result {
 					return
 				}
 				var opName string
-				if rec != nil {
+				if rec != nil || critOn {
 					if op.Kind == workload.Query {
 						opName = fmt.Sprintf("query proc:%d", op.ProcID)
 					} else {
 						opName = "update"
 					}
+				}
+				if rec != nil {
 					rec.Op(telemetry.EvOpBegin, s, -1, opName, 0, 0)
 				}
 				e.inflight.Add(1)
+				blameTag := ""
+				if critOn {
+					blameTag = opName
+				}
 				opStart := time.Now()
-				held := e.locks.Acquire(e.footprint(op))
+				held := e.locks.AcquireAs(e.footprint(op), s, blameTag)
 				waited := time.Since(opStart)
+				waits := held.Waits()
 				if rec != nil {
-					for _, lw := range held.Waits() {
-						rec.Op(telemetry.EvLockAcquire, s, -1, lw.Name, lw.WaitNs, 0)
+					for _, lw := range waits {
+						if critOn {
+							rec.Record(telemetry.Event{
+								Kind: telemetry.EvLockAcquire, Session: s, Seq: -1,
+								Name: lw.Name, WaitNs: lw.WaitNs,
+								Detail: fmt.Sprintf("held by session %d (%s)", lw.HolderSession, lw.HolderOp),
+							})
+						} else {
+							rec.Op(telemetry.EvLockAcquire, s, -1, lw.Name, lw.WaitNs, 0)
+						}
 					}
 				}
 
+				if critOn {
+					ws.Reset()
+				}
 				before := meter.Breakdown()
 				r := e.w.ExecOpOn(pg, op)
 				deltaBd := meter.Breakdown().Sub(before)
 				delta := deltaBd.Total()
+				var ioNs, recomputeNs int64
+				if critOn {
+					ioNs, recomputeNs = ws.IONs, ws.RecomputeNs
+				}
 
 				// Commit: draw the sequence, adopt the operation's span,
 				// merge the session's cost delta into the run aggregate
@@ -365,6 +493,22 @@ func (e *Engine) Run(ctx context.Context) Result {
 					if rec != nil {
 						sp.Set("wall_wait_ns", int64(waited))
 					}
+					if critOn && len(waits) > 0 {
+						// Blame attributes feed the Chrome-trace flow events
+						// (obs.WriteChromeTrace draws an arrow from the
+						// blamed session's latest span to this one).
+						var bss, bls strings.Builder
+						for i, lw := range waits {
+							if i > 0 {
+								bss.WriteByte(',')
+								bls.WriteByte(',')
+							}
+							bss.WriteString(strconv.Itoa(lw.HolderSession))
+							bls.WriteString(lw.Name)
+						}
+						sp.Set("blame_sessions", bss.String())
+						sp.Set("blame_locks", bls.String())
+					}
 				}
 				e.agg.AddBreakdown(deltaBd)
 				if e.opt.RecordHistory {
@@ -382,9 +526,54 @@ func (e *Engine) Run(ctx context.Context) Result {
 				service := time.Since(opStart) - waited
 				e.inflight.Add(-1)
 				e.committed.Add(1)
+				e.waitNsTot.Add(int64(waited))
+				e.wallNsTot.Add(int64(waited + service))
 				if rec != nil {
 					rec.Op(telemetry.EvOpCommit, s, seq, opName, int64(waited), int64(service))
 					rec.Op(telemetry.EvLockRelease, s, seq, opName, 0, int64(waited+service))
+				}
+				if critOn {
+					// The wait segment is the sum of measured per-lock
+					// blocking times, so the blame edges partition it
+					// exactly; the (tiny) non-blocking acquisition
+					// overhead inside `waited` lands in the compute
+					// remainder instead.
+					cp := OpCritPath{
+						Session: s, Seq: seq, Op: opName,
+						WallNs: int64(waited + service),
+						IONs:   ioNs, RecomputeNs: recomputeNs,
+					}
+					for _, lw := range waits {
+						cp.WaitNs += lw.WaitNs
+						cp.Blame = append(cp.Blame, BlameEdge{
+							Lock: lw.Name, WaitNs: lw.WaitNs,
+							HolderSession: lw.HolderSession, HolderOp: lw.HolderOp,
+						})
+					}
+					cp.ComputeNs = cp.WallNs - cp.WaitNs - cp.IONs - cp.RecomputeNs
+					e.segWait.Add(cp.WaitNs)
+					e.segIO.Add(cp.IONs)
+					e.segRecompute.Add(cp.RecomputeNs)
+					e.segCompute.Add(cp.ComputeNs)
+					e.critMu.Lock()
+					e.crits = append(e.crits, cp)
+					for _, b := range cp.Blame {
+						k := blockerKey{b.Lock, b.HolderSession, b.HolderOp}
+						bs := e.blockers[k]
+						if bs == nil {
+							bs = &BlockerStat{Lock: b.Lock, HolderSession: b.HolderSession, HolderOp: b.HolderOp}
+							e.blockers[k] = bs
+						}
+						bs.Waits++
+						bs.WaitNs += b.WaitNs
+					}
+					e.critMu.Unlock()
+				}
+				if e.det != nil && e.committed.Load()%16 == 0 {
+					if e.opt.Sketches {
+						e.det.CheckLatency(e.wallSk.Quantile(0.99))
+					}
+					e.det.CheckContention(e.waitNsTot.Load(), e.wallNsTot.Load())
 				}
 				if e.opt.Sketches {
 					wallNs := float64(waited + service)
@@ -442,7 +631,48 @@ func (e *Engine) Run(ctx context.Context) Result {
 		res.WallLatency = e.wallSk.Summary()
 		res.SimLatency = e.simSk.Summary()
 	}
+	if e.opt.CritPath {
+		e.critMu.Lock()
+		res.CritPaths = append([]OpCritPath(nil), e.crits...)
+		e.critMu.Unlock()
+		sort.Slice(res.CritPaths, func(i, j int) bool { return res.CritPaths[i].Seq < res.CritPaths[j].Seq })
+		res.TopBlockers = e.TopBlockers(0)
+	}
+	if e.det != nil {
+		if l := e.w.Config().Ledger; l != nil {
+			st := l.Stats()
+			e.det.CheckWastedWork(st.WastedMs, st.ComputeMs)
+		}
+	}
 	return res
+}
+
+// TopBlockers snapshots the blame aggregation, sorted by total wait
+// descending then (lock, holder) for determinism; k > 0 caps the list.
+// Safe to call while a run is live.
+func (e *Engine) TopBlockers(k int) []BlockerStat {
+	e.critMu.Lock()
+	out := make([]BlockerStat, 0, len(e.blockers))
+	for _, b := range e.blockers {
+		out = append(out, *b)
+	}
+	e.critMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitNs != out[j].WaitNs {
+			return out[i].WaitNs > out[j].WaitNs
+		}
+		if out[i].Lock != out[j].Lock {
+			return out[i].Lock < out[j].Lock
+		}
+		if out[i].HolderSession != out[j].HolderSession {
+			return out[i].HolderSession < out[j].HolderSession
+		}
+		return out[i].HolderOp < out[j].HolderOp
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // Locks exposes the engine's lock table (for contention snapshots while
@@ -480,6 +710,36 @@ func (e *Engine) TelemetryMetrics() []telemetry.Metric {
 					e.wallSk.Quantile(q), lbl),
 				telemetry.Gauge("dbproc_op_latency_sim_ms", "Per-op simulated cost (P² estimate).",
 					e.simSk.Quantile(q), lbl),
+			)
+		}
+	}
+	if e.opt.CritPath {
+		for _, seg := range []struct {
+			name string
+			ns   int64
+		}{
+			{"lock_wait", e.segWait.Load()},
+			{"io", e.segIO.Load()},
+			{"recompute", e.segRecompute.Load()},
+			{"compute", e.segCompute.Load()},
+		} {
+			ms = append(ms, telemetry.Counter("dbproc_critpath_seconds_total",
+				"Wall-clock critical-path time by segment.", float64(seg.ns)/1e9,
+				map[string]string{"segment": seg.name}))
+		}
+		for _, b := range e.TopBlockers(8) {
+			lbl := map[string]string{
+				"lock":           b.Lock,
+				"holder_op":      b.HolderOp,
+				"holder_session": strconv.Itoa(b.HolderSession),
+			}
+			ms = append(ms,
+				telemetry.Counter("dbproc_blame_wait_seconds_total",
+					"Wall-clock lock wait attributed to the holding session/op.",
+					float64(b.WaitNs)/1e9, lbl),
+				telemetry.Counter("dbproc_blame_waits_total",
+					"Lock waits attributed to the holding session/op.",
+					float64(b.Waits), lbl),
 			)
 		}
 	}

@@ -151,6 +151,19 @@ type namedLock struct {
 	holdNs    atomic.Int64
 	maxWaitNs atomic.Int64
 	maxHoldNs atomic.Int64
+	// holder names the session/op that most recently acquired the lock
+	// with a blame tag (AcquireAs). Readers store here too: a writer
+	// blocked behind a read-held lock blames the latest reader. The tag
+	// is never cleared on release — the waiter that sampled it may
+	// publish the blame edge after the holder has moved on, which is
+	// exactly the "who made me wait" question the edge answers.
+	holder atomic.Pointer[holderTag]
+}
+
+// holderTag identifies a blame-tagged acquirer.
+type holderTag struct {
+	session int
+	op      string
 }
 
 // atomicMax raises a to at least v.
@@ -199,10 +212,19 @@ func (t *LockTable) lock(name string) *namedLock {
 }
 
 // LockWait reports one lock's wall-clock acquisition wait within a Held
-// set (profiling runs only; zero waits are omitted).
+// set (profiling runs only; zero waits are omitted). When the waited-for
+// lock's holder carried a blame tag (AcquireAs), HolderSession/HolderOp
+// name it: the session/op that held (or, for read-held locks, last
+// acquired) the lock when the wait began.
 type LockWait struct {
 	Name   string
 	WaitNs int64
+	// HolderSession is -1 and HolderOp "unknown" when no tagged
+	// acquisition preceded the wait (possible only on a spurious TryRLock
+	// failure); on a real block the holder's tag store happens-before our
+	// acquisition, so the edge resolves.
+	HolderSession int
+	HolderOp      string
 }
 
 // Held is a set of acquired locks; Release drops them all. Profiling
@@ -239,6 +261,15 @@ type heldProf struct {
 // deadlock-free. The footprint must name the operation's entire read and
 // write set up front (conservative two-phase locking).
 func (t *LockTable) Acquire(f Footprint) *Held {
+	return t.AcquireAs(f, -1, "")
+}
+
+// AcquireAs is Acquire with a blame tag: each lock taken records
+// (session, op) as its latest holder, and each wait resolves the tag the
+// conflicting holder left, yielding the LockWait's blame edge. An empty
+// op disables tagging, making AcquireAs byte-for-byte Acquire — the
+// profiling-off path is untouched either way (tier-4 blame-off guard).
+func (t *LockTable) AcquireAs(f Footprint, session int, op string) *Held {
 	f.normalize()
 	h := &Held{excl: f.excl}
 	h.locks = h.lockSlots(len(f.names))
@@ -255,6 +286,10 @@ func (t *LockTable) Acquire(f Footprint) *Held {
 		return h
 	}
 
+	var tag *holderTag
+	if op != "" {
+		tag = &holderTag{session: session, op: op}
+	}
 	// Profiling path: TryLock first so uncontended acquisitions cost two
 	// clock reads and no blocking; only actual waits are timed.
 	p := &heldProf{epoch: time.Now(), acquired: make([]int64, len(f.names))}
@@ -262,8 +297,12 @@ func (t *LockTable) Acquire(f Footprint) *Held {
 	for i, name := range f.names {
 		l := t.lock(name)
 		var wait int64
+		var blame *holderTag
 		if f.excl[i] {
 			if !l.mu.TryLock() {
+				// Sample the holder before blocking: blame names who held
+				// the lock when the wait began, not whoever released last.
+				blame = l.holder.Load()
 				t0 := time.Now()
 				l.mu.Lock()
 				wait = time.Since(t0).Nanoseconds()
@@ -271,17 +310,31 @@ func (t *LockTable) Acquire(f Footprint) *Held {
 			l.exclusive.Add(1)
 		} else {
 			if !l.mu.TryRLock() {
+				blame = l.holder.Load()
 				t0 := time.Now()
 				l.mu.RLock()
 				wait = time.Since(t0).Nanoseconds()
 			}
+		}
+		if wait > 0 && blame == nil {
+			// The pre-block sample raced the holder's tag store; re-sample
+			// before publishing our own tag — the conflicting acquisition
+			// stored its tag before releasing, which happens-before us.
+			blame = l.holder.Load()
+		}
+		if tag != nil {
+			l.holder.Store(tag)
 		}
 		l.acquires.Add(1)
 		if wait > 0 {
 			l.contended.Add(1)
 			l.waitNs.Add(wait)
 			atomicMax(&l.maxWaitNs, wait)
-			p.waits = append(p.waits, LockWait{Name: name, WaitNs: wait})
+			lw := LockWait{Name: name, WaitNs: wait, HolderSession: -1, HolderOp: "unknown"}
+			if blame != nil {
+				lw.HolderSession, lw.HolderOp = blame.session, blame.op
+			}
+			p.waits = append(p.waits, lw)
 		}
 		p.acquired[i] = time.Since(p.epoch).Nanoseconds()
 		h.locks[i] = l

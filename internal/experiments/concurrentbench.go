@@ -127,6 +127,14 @@ func concurrentBenchParams(opt Options) costmodel.Params {
 	return scaled(costmodel.Default(), opt)
 }
 
+// BenchParams exposes the concurrent benchmark's exact parameter point
+// (the paper's defaults under opt.Scale), so external harnesses can
+// replay a BENCH_concurrent.json row — procdoctor's verdict test
+// regenerates a row's ledger evidence from it.
+func BenchParams(opt Options) costmodel.Params {
+	return concurrentBenchParams(opt)
+}
+
 // ConcurrentBench measures the multi-session engine across the client
 // ladder for every strategy and model. It is the harness behind
 // `procbench -concurrent-json BENCH_concurrent.json`.

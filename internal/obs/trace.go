@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"dbproc/internal/metric"
 )
@@ -413,6 +415,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 // (load the file at chrome://tracing or https://ui.perfetto.dev). Each run
 // becomes one named thread; timestamps are simulated microseconds (1 ms of
 // simulated cost = 1000 µs on the timeline).
+//
+// Spans carrying a "blame_sessions" attribute (the concurrent engine's
+// lock-wait blame edges) additionally produce flow events: an arrow from
+// the blamed session's most recent span in the same run to the blocked
+// span, so causal wait chains are visible on the timeline.
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 	type event struct {
 		Name string         `json:"name"`
@@ -430,7 +437,25 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 		Tid  int            `json:"tid"`
 		Args map[string]any `json:"args"`
 	}
+	type flowEvent struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		ID   int     `json:"id"`
+		BP   string  `json:"bp,omitempty"`
+	}
+	// anchor is where a flow arrow can originate: the end of a session's
+	// latest span on the run's timeline.
+	type anchor struct {
+		ts  float64
+		tid int
+	}
 	tids := map[string]int{}
+	last := map[string]map[int]anchor{} // run -> session -> latest span end
+	flowID := 0
 	var events []any
 	for _, sp := range spans {
 		tid, ok := tids[sp.Run]
@@ -457,7 +482,51 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 			Ts: sp.StartMs * 1000, Dur: sp.DurMs * 1000,
 			Pid: 1, Tid: tid, Args: args,
 		})
+		// Flow arrows from each blamed session's latest span to this one.
+		// Consulting `last` before updating it keeps a span from flowing
+		// to itself when a session blames its own earlier operation.
+		if bs, ok := sp.Attrs["blame_sessions"].(string); ok && bs != "" {
+			seen := map[int]bool{}
+			for _, tok := range strings.Split(bs, ",") {
+				h, err := strconv.Atoi(tok)
+				if err != nil || h < 0 || seen[h] {
+					continue
+				}
+				seen[h] = true
+				src, ok := last[sp.Run][h]
+				if !ok {
+					continue
+				}
+				flowID++
+				events = append(events,
+					flowEvent{Name: "lock-blame", Cat: "blame", Ph: "s",
+						Ts: src.ts, Pid: 1, Tid: src.tid, ID: flowID},
+					flowEvent{Name: "lock-blame", Cat: "blame", Ph: "f", BP: "e",
+						Ts: sp.StartMs * 1000, Pid: 1, Tid: tid, ID: flowID})
+			}
+		}
+		if sess, ok := attrInt(sp.Attrs["session"]); ok {
+			if last[sp.Run] == nil {
+				last[sp.Run] = map[int]anchor{}
+			}
+			last[sp.Run][sess] = anchor{ts: (sp.StartMs + sp.DurMs) * 1000, tid: tid}
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// attrInt reads a numeric span attribute, tolerating the types an attr
+// can arrive as: int when set in-process, float64 after a JSON
+// round-trip through a trace file.
+func attrInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case float64:
+		return int(n), true
+	}
+	return 0, false
 }

@@ -1,8 +1,11 @@
 package proc
 
 import (
+	"sort"
+
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
+	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
 	"dbproc/internal/storage"
@@ -35,6 +38,7 @@ type Adaptive struct {
 	store  *cache.Store
 	locks  *ilock.Manager
 	tracer *obs.Tracer
+	ledger *cache.Ledger
 
 	// Window is the number of accesses per mode evaluation (default 4).
 	Window int
@@ -97,6 +101,10 @@ func (s *Adaptive) CacheStore() *cache.Store { return s.store }
 // with the mode taken (hit, cold, or bypass).
 func (s *Adaptive) SetTracer(t *obs.Tracer) { s.tracer = t }
 
+// SetLedger attaches a cache-efficacy ledger; accesses then record
+// computed/hit/bypass events carrying their meter deltas.
+func (s *Adaptive) SetLedger(l *cache.Ledger) { s.ledger = l }
+
 // Prepare implements Strategy: start every procedure in caching mode with
 // a warm cache, like Cache and Invalidate.
 func (s *Adaptive) Prepare(pg *storage.Pager) {
@@ -108,16 +116,43 @@ func (s *Adaptive) Prepare(pg *storage.Pager) {
 	}
 }
 
-func (s *Adaptive) refresh(pg *storage.Pager, d *Definition) {
+func (s *Adaptive) refresh(pg *storage.Pager, d *Definition) uint64 {
 	owner := ilock.Owner(d.ID)
 	s.locks.Release(owner)
 	sink := &lockSink{locks: s.locks, owner: owner}
 	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
 	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
+	if s.ledger == nil {
+		return 0
+	}
+	return cache.ResultDigest(keys, recs)
 }
 
 // Access implements Strategy.
 func (s *Adaptive) Access(pg *storage.Pager, id int) [][]byte {
+	m := pg.Meter()
+	var before metric.Counters
+	if s.ledger != nil {
+		before = m.Snapshot()
+	}
+	out, kind, digest := s.access(pg, id)
+	if s.ledger != nil {
+		// Flush so deferred page-write charges land in this access's
+		// delta (idempotent; the op-level flush finds the frames clean).
+		pg.Flush()
+		s.ledger.Record(cache.LedgerEvent{
+			Entry:   id,
+			Kind:    kind,
+			Op:      pg.OpToken(),
+			Session: pg.Session(),
+			CostMs:  m.Since(before).Milliseconds(m.Costs()),
+			Digest:  digest,
+		})
+	}
+	return out
+}
+
+func (s *Adaptive) access(pg *storage.Pager, id int) ([][]byte, string, uint64) {
 	d := s.mgr.MustGet(id)
 	st := s.states[id]
 	if st.bypass {
@@ -125,25 +160,35 @@ func (s *Adaptive) Access(pg *storage.Pager, id int) [][]byte {
 		if st.sinceBypass < st.backoff {
 			// Plain recomputation; no cache write, no locks.
 			s.tracer.Current().Set("cache", "bypass")
-			return query.Run(d.Plan, &query.Ctx{Meter: pg.Meter(), Pager: pg})
+			pg.BeginRecompute()
+			out := query.Run(d.Plan, &query.Ctx{Meter: pg.Meter(), Pager: pg})
+			pg.EndRecompute()
+			return out, cache.KindBypass, 0
 		}
 		// Retry caching.
 		st.bypass = false
 		st.retried = true
 		st.accesses, st.cold, st.sinceBypass, st.stint = 0, 0, 0, 0
 		s.tracer.Current().Set("cache", "retry")
-		s.refresh(pg, d)
-		return s.readCache(pg, id)
+		pg.BeginRecompute()
+		digest := s.refresh(pg, d)
+		pg.EndRecompute()
+		return s.readCache(pg, id), cache.KindComputed, digest
 	}
 
 	e := s.store.MustEntry(cache.ID(id))
 	st.accesses++
 	st.stint++
 	st.invalSinceAccess = 0
+	kind := cache.KindHit
+	var digest uint64
 	if !e.Valid() {
 		st.cold++
 		s.tracer.Current().Set("cache", "cold")
-		s.refresh(pg, d)
+		pg.BeginRecompute()
+		digest = s.refresh(pg, d)
+		pg.EndRecompute()
+		kind = cache.KindComputed
 	} else {
 		s.tracer.Current().Set("cache", "hit")
 	}
@@ -169,7 +214,7 @@ func (s *Adaptive) Access(pg *storage.Pager, id int) [][]byte {
 		}
 		st.accesses, st.cold = 0, 0
 	}
-	return out
+	return out, kind, digest
 }
 
 func (s *Adaptive) readCache(pg *storage.Pager, id int) [][]byte {
@@ -196,7 +241,14 @@ func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 	for _, tup := range dl.Inserted {
 		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
 	}
+	// Sorted fan-out: map order must not leak into the ledger's event
+	// sequence (docs/DIAGNOSIS.md byte-identity contract).
+	owners := make([]int, 0, len(hit))
 	for owner := range hit {
+		owners = append(owners, int(owner))
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
 		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 		st := s.states[int(owner)]
 		st.invalSinceAccess++
@@ -215,7 +267,7 @@ func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 			} else {
 				st.backoff = s.ProbeEvery
 			}
-			s.locks.Release(owner)
+			s.locks.Release(ilock.Owner(owner))
 		}
 	}
 }

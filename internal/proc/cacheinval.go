@@ -1,10 +1,12 @@
 package proc
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
+	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/query"
 	"dbproc/internal/storage"
@@ -23,6 +25,7 @@ type CacheInvalidate struct {
 	locks  *ilock.Manager
 	coarse bool
 	tracer *obs.Tracer
+	ledger *cache.Ledger
 
 	accesses     atomic.Int64
 	coldAccesses atomic.Int64
@@ -31,6 +34,11 @@ type CacheInvalidate struct {
 // SetTracer attaches a tracer; accesses then tag the enclosing op span
 // with the cache state and record a ci.refresh child span on cold paths.
 func (s *CacheInvalidate) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// SetLedger attaches a cache-efficacy ledger; every access then records
+// a computed (cold, with result digest) or hit event carrying its meter
+// delta, so the ledger's event costs sum to the strategy's run total.
+func (s *CacheInvalidate) SetLedger(l *cache.Ledger) { s.ledger = l }
 
 // AccessStats reports how many procedure accesses the strategy served and
 // how many found the cache invalid — the measured counterpart of the
@@ -114,13 +122,18 @@ func (ls *lockSink) ReadKey(rel string, key int64) {
 
 // refresh recomputes d's value, refreshes the cache entry, and re-installs
 // i-locks on everything read. Callers hold the procedure's exclusive entry
-// lock, so the release/recompute/replace sequence is single-flight.
-func (s *CacheInvalidate) refresh(pg *storage.Pager, d *Definition) {
+// lock, so the release/recompute/replace sequence is single-flight. It
+// returns the result digest when a ledger is attached (0 otherwise).
+func (s *CacheInvalidate) refresh(pg *storage.Pager, d *Definition) uint64 {
 	owner := ilock.Owner(d.ID)
 	s.locks.Release(owner)
 	sink := &lockSink{locks: s.locks, owner: owner}
 	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
 	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
+	if s.ledger == nil {
+		return 0
+	}
+	return cache.ResultDigest(keys, recs)
 }
 
 // Access implements Strategy: serve the cache when valid, otherwise
@@ -129,12 +142,21 @@ func (s *CacheInvalidate) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	e := s.store.MustEntry(cache.ID(id))
 	s.accesses.Add(1)
-	if !e.Valid() {
+	m := pg.Meter()
+	var before metric.Counters
+	if s.ledger != nil {
+		before = m.Snapshot()
+	}
+	var digest uint64
+	cold := !e.Valid()
+	if cold {
 		s.coldAccesses.Add(1)
 		s.tracer.Current().Set("cache", "cold")
 		sp := s.tracer.Begin("ci.refresh")
 		sp.Set("proc", id)
-		s.refresh(pg, d)
+		pg.BeginRecompute()
+		digest = s.refresh(pg, d)
+		pg.EndRecompute()
 		s.tracer.End(sp)
 	} else {
 		s.tracer.Current().Set("cache", "hit")
@@ -144,6 +166,24 @@ func (s *CacheInvalidate) Access(pg *storage.Pager, id int) [][]byte {
 		out = append(out, append([]byte(nil), rec...))
 		return true
 	})
+	if s.ledger != nil {
+		// Page writes are charged at flush time; flush now (idempotent —
+		// the op-level flush then finds the frames clean) so the deferred
+		// write charges land inside this access's delta.
+		pg.Flush()
+		ev := cache.LedgerEvent{
+			Entry:   id,
+			Op:      pg.OpToken(),
+			Session: pg.Session(),
+			CostMs:  m.Since(before).Milliseconds(m.Costs()),
+		}
+		if cold {
+			ev.Kind, ev.Digest = cache.KindComputed, digest
+		} else {
+			ev.Kind = cache.KindHit
+		}
+		s.ledger.Record(ev)
+	}
 	return out
 }
 
@@ -170,7 +210,15 @@ func (s *CacheInvalidate) OnUpdate(pg *storage.Pager, dl Delta) {
 	for _, tup := range dl.Inserted {
 		s.locks.ConflictSet(rel, sch.Get(tup, field), hit)
 	}
+	// Invalidate in sorted order: the set's map order would otherwise
+	// leak into the ledger's event sequence and break its byte-identity
+	// contract (docs/DIAGNOSIS.md).
+	owners := make([]int, 0, len(hit))
 	for owner := range hit {
+		owners = append(owners, int(owner))
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
 		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 	}
 }

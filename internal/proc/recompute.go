@@ -34,7 +34,9 @@ func (s *AlwaysRecompute) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	sp := s.tracer.Begin("recompute.scan")
 	sp.Set("proc", id)
+	pg.BeginRecompute()
 	out := query.Run(d.Plan, &query.Ctx{Meter: pg.Meter(), Pager: pg})
+	pg.EndRecompute()
 	sp.Set("tuples", len(out))
 	s.tracer.End(sp)
 	return out

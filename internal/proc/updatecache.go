@@ -2,6 +2,7 @@ package proc
 
 import (
 	"dbproc/internal/cache"
+	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/relation"
 	"dbproc/internal/storage"
@@ -28,6 +29,13 @@ type UpdateCache struct {
 	mgr   *Manager
 	store *cache.Store
 	maint Maintainer
+	// ledger, when set, receives hit events per access. Maintenance
+	// events come from the maintainer itself when it accepts a ledger
+	// (AVM records per view); otherwise maintSelf is false and OnUpdate
+	// records the aggregate maintenance delta under entry −1 (RVM's
+	// shared Rete propagation has no per-view attribution).
+	ledger    *cache.Ledger
+	maintSelf bool
 }
 
 // NewUpdateCache builds the strategy over a cache store whose entries the
@@ -52,22 +60,62 @@ func (s *UpdateCache) SetTracer(t *obs.Tracer) {
 	}
 }
 
+// SetLedger attaches a cache-efficacy ledger, forwarding it to the
+// maintenance engine when it records its own per-view events.
+func (s *UpdateCache) SetLedger(l *cache.Ledger) {
+	s.ledger = l
+	if sl, ok := s.maint.(interface{ SetLedger(*cache.Ledger) }); ok {
+		sl.SetLedger(l)
+		s.maintSelf = true
+	}
+}
+
 // Prepare implements Strategy.
 func (s *UpdateCache) Prepare(pg *storage.Pager) { s.maint.Prepare(pg) }
 
 // Access implements Strategy: one read of the (always valid) cached
 // result.
 func (s *UpdateCache) Access(pg *storage.Pager, id int) [][]byte {
+	m := pg.Meter()
+	var before metric.Counters
+	if s.ledger != nil {
+		before = m.Snapshot()
+	}
 	e := s.store.MustEntry(cache.ID(id))
 	var out [][]byte
 	e.ReadAll(pg, func(_ uint64, rec []byte) bool {
 		out = append(out, append([]byte(nil), rec...))
 		return true
 	})
+	if s.ledger != nil {
+		s.ledger.Record(cache.LedgerEvent{
+			Entry:   id,
+			Kind:    cache.KindHit,
+			Op:      pg.OpToken(),
+			Session: pg.Session(),
+			CostMs:  m.Since(before).Milliseconds(m.Costs()),
+		})
+	}
 	return out
 }
 
 // OnUpdate implements Strategy.
 func (s *UpdateCache) OnUpdate(pg *storage.Pager, d Delta) {
+	if s.ledger == nil || s.maintSelf {
+		s.maint.Apply(pg, d.Rel, d.Inserted, d.Deleted)
+		return
+	}
+	m := pg.Meter()
+	before := m.Snapshot()
 	s.maint.Apply(pg, d.Rel, d.Inserted, d.Deleted)
+	// Flush so deferred page writes price into this event (idempotent;
+	// the op-level flush then finds the frames clean).
+	pg.Flush()
+	s.ledger.Record(cache.LedgerEvent{
+		Entry:   -1,
+		Kind:    cache.KindMaintained,
+		Op:      pg.OpToken(),
+		Session: pg.Session(),
+		CostMs:  m.Since(before).Milliseconds(m.Costs()),
+	})
 }

@@ -113,6 +113,7 @@ func (w *World) ExecOp(op workload.Op) OpResult {
 // r1 and serializes against all other ops.
 func (w *World) ExecOpOn(pg *storage.Pager, op workload.Op) OpResult {
 	pg.BeginOp()
+	pg.SetOpToken(op.Index)
 	switch op.Kind {
 	case workload.Update:
 		sp := w.tracer.Begin("op.update")

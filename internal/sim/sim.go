@@ -68,6 +68,14 @@ type Config struct {
 	// route/merge phases, Rete propagation). Nil disables tracing at the
 	// cost of one nil check per instrumentation point.
 	Tracer *obs.Tracer
+	// Ledger, when non-nil, receives the cache-efficacy event stream
+	// (docs/DIAGNOSIS.md): per-entry computed/hit/invalidated/maintained
+	// transitions with their meter deltas, plus per-entry baseline
+	// recompute costs measured against the initial base state. Ledger
+	// events live entirely in the simulated-cost domain, so attaching
+	// one never perturbs the run's counters. No-op for strategies
+	// without cached state (Always Recompute).
+	Ledger *cache.Ledger
 	// Ablations disable individual design choices for the ablation
 	// experiments.
 	Ablations Ablations
@@ -172,6 +180,25 @@ func Build(cfg Config) *World {
 		w.tracer.Bind(meter)
 		if st, ok := w.strat.(interface{ SetTracer(*obs.Tracer) }); ok {
 			st.SetTracer(w.tracer)
+		}
+	}
+
+	// Attach the efficacy ledger after Prepare so setup work records no
+	// events, and measure each entry's from-scratch recompute baseline on
+	// a throwaway meter (the world's counters stay untouched).
+	if l := cfg.Ledger; l != nil {
+		for _, id := range w.ProcIDs() {
+			bm := metric.NewMeter(costs)
+			bpg := storage.NewPager(pager.Disk(), bm)
+			d := w.mgr.MustGet(id)
+			query.Run(d.Plan, &query.Ctx{Meter: bm, Pager: bpg})
+			l.SetBaseline(id, bm.Milliseconds())
+		}
+		if sl, ok := w.strat.(interface{ SetLedger(*cache.Ledger) }); ok {
+			sl.SetLedger(l)
+		}
+		if cs := w.CacheStore(); cs != nil {
+			cs.SetLedger(l)
 		}
 	}
 

@@ -19,6 +19,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dbproc/internal/metric"
 )
@@ -167,7 +168,32 @@ type Pager struct {
 	meter    *metric.Meter
 	charging bool
 	session  int
+	opToken  int
 	frames   map[PageID]*frame
+	// wall, when non-nil, accumulates wall-clock I/O and recompute time
+	// for the critical-path decomposition (docs/DIAGNOSIS.md). It lives
+	// entirely in the wall-clock domain: enabling it never touches the
+	// meter, so simulated costs stay byte-identical.
+	wall *WallStats
+}
+
+// WallStats accumulates wall-clock execution segments for one pager's
+// current operation. IONs counts time spent in Disk reads and writes;
+// RecomputeNs counts time inside cache-miss recompute scopes (see
+// BeginRecompute) excluding the I/O accrued within them, so the two
+// segments are disjoint and sum to at most the operation's service time.
+type WallStats struct {
+	IONs        int64
+	RecomputeNs int64
+
+	recomputeDepth int
+	recomputeStart time.Time
+	ioAtStart      int64
+}
+
+// Reset zeroes the accumulated segments at an operation boundary.
+func (w *WallStats) Reset() {
+	w.IONs, w.RecomputeNs, w.recomputeDepth = 0, 0, 0
 }
 
 type frame struct {
@@ -182,7 +208,61 @@ type frame struct {
 // NewPager creates a pager over disk charging I/O to meter. Charging
 // starts enabled; the session tag starts at -1 (no session).
 func NewPager(disk *Disk, meter *metric.Meter) *Pager {
-	return &Pager{disk: disk, meter: meter, charging: true, session: -1, frames: make(map[PageID]*frame)}
+	return &Pager{disk: disk, meter: meter, charging: true, session: -1, opToken: -1, frames: make(map[PageID]*frame)}
+}
+
+// SetOpToken tags the pager with the workload-order index of the
+// operation it is currently executing; -1 means no operation. The
+// cache-efficacy ledger reads it to name the op that computed, hit, or
+// invalidated an entry.
+func (p *Pager) SetOpToken(idx int) { p.opToken = idx }
+
+// OpToken returns the current operation's workload-order index, -1 if
+// untagged.
+func (p *Pager) OpToken() int { return p.opToken }
+
+// EnableWallStats attaches (or returns the existing) wall-clock segment
+// accumulator. Off by default; when off, the pager's hot paths cost one
+// nil check extra.
+func (p *Pager) EnableWallStats() *WallStats {
+	if p.wall == nil {
+		p.wall = &WallStats{}
+	}
+	return p.wall
+}
+
+// Wall returns the attached wall-clock accumulator, nil when disabled.
+func (p *Pager) Wall() *WallStats { return p.wall }
+
+// BeginRecompute opens a cache-miss recompute scope: until the matching
+// EndRecompute, elapsed wall time (minus I/O, which stays in the I/O
+// segment) accrues to RecomputeNs. Scopes nest; only the outermost pair
+// measures. Nil-safe no-op when wall stats are disabled.
+func (p *Pager) BeginRecompute() {
+	w := p.wall
+	if w == nil {
+		return
+	}
+	w.recomputeDepth++
+	if w.recomputeDepth == 1 {
+		w.recomputeStart = time.Now()
+		w.ioAtStart = w.IONs
+	}
+}
+
+// EndRecompute closes the scope opened by BeginRecompute.
+func (p *Pager) EndRecompute() {
+	w := p.wall
+	if w == nil {
+		return
+	}
+	w.recomputeDepth--
+	if w.recomputeDepth == 0 {
+		elapsed := time.Since(w.recomputeStart).Nanoseconds()
+		if d := elapsed - (w.IONs - w.ioAtStart); d > 0 {
+			w.RecomputeNs += d
+		}
+	}
 }
 
 // Disk returns the underlying disk.
@@ -224,7 +304,13 @@ func (p *Pager) BeginOp() {
 func (p *Pager) Flush() {
 	for id, f := range p.frames {
 		if f.dirty {
-			p.disk.WriteRaw(id, f.data)
+			if p.wall != nil {
+				t0 := time.Now()
+				p.disk.WriteRaw(id, f.data)
+				p.wall.IONs += time.Since(t0).Nanoseconds()
+			} else {
+				p.disk.WriteRaw(id, f.data)
+			}
 			if p.charging {
 				prev := p.meter.SetComponent(f.comp)
 				p.meter.PageWrite(1)
@@ -289,7 +375,13 @@ func (p *Pager) fetch(id PageID, charge bool) *frame {
 		return f
 	}
 	data := make([]byte, p.disk.pageSize)
-	p.disk.readInto(id, data)
+	if p.wall != nil {
+		t0 := time.Now()
+		p.disk.readInto(id, data)
+		p.wall.IONs += time.Since(t0).Nanoseconds()
+	} else {
+		p.disk.readInto(id, data)
+	}
 	f := &frame{data: data}
 	p.frames[id] = f
 	if charge && p.charging {

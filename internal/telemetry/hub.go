@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"expvar"
@@ -108,6 +109,7 @@ func (h *Hub) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "dbproc telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/events?n=100\n")
 	})
 	return mux
@@ -239,8 +241,13 @@ func (h *Hub) serveEvents(w http.ResponseWriter, r *http.Request) {
 	rec := h.rec
 	h.mu.Unlock()
 	w.Header().Set("Content-Type", "application/jsonl")
+	// Buffer the tail so a large ring streams in full writes and the
+	// final line is flushed before the handler returns (an unbuffered
+	// encoder on a hijacked/slow connection could truncate the tail).
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
 	if rec == nil {
-		json.NewEncoder(w).Encode(FlightRecord{Type: RecordFlight, Reason: "tail", Events: 0})
+		json.NewEncoder(bw).Encode(FlightRecord{Type: RecordFlight, Reason: "tail", Events: 0})
 		return
 	}
 	events, dropped := rec.Snapshot()
@@ -250,7 +257,7 @@ func (h *Hub) serveEvents(w http.ResponseWriter, r *http.Request) {
 			events = events[len(events)-n:]
 		}
 	}
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(bw)
 	enc.Encode(FlightRecord{
 		Type:        RecordFlight,
 		Reason:      "tail",

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -152,6 +153,63 @@ func TestWriteMetricsGrouping(t *testing.T) {
 	}
 	if strings.Index(out, "a_metric") > strings.Index(out, "b_metric") {
 		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// TestHubContentTypes pins the Content-Type of every hand-written
+// handler: Prometheus text on /metrics, JSONL on /events, plain text on
+// the index. A missing header makes Go sniff the body, which misreports
+// JSONL tails as text/plain and breaks strict scrapers.
+func TestHubContentTypes(t *testing.T) {
+	h := NewHub()
+	h.SetRecorder(NewRecorder(16))
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct{ path, want string }{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/events", "application/jsonl"},
+		{"/", "text/plain; charset=utf-8"},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != tc.want {
+			t.Errorf("GET %s Content-Type = %q, want %q", tc.path, ct, tc.want)
+		}
+	}
+}
+
+// TestHubEventsTailComplete verifies the /events body arrives as
+// complete JSONL: every line (including the last) parses on its own and
+// the body ends with a newline — the buffered writer must flush the
+// final event before the handler returns.
+func TestHubEventsTailComplete(t *testing.T) {
+	h := NewHub()
+	rec := NewRecorder(256)
+	h.SetRecorder(rec)
+	for i := 0; i < 200; i++ {
+		rec.Op(EvOpCommit, i%4, i, "q", int64(i), 0)
+	}
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/events")
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatalf("body does not end in newline: %q", body[len(body)-40:])
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 201 { // header + 200 events
+		t.Fatalf("got %d lines, want 201", len(lines))
+	}
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ const (
 	EvFault          = "fault"
 	EvWatchdog       = "watchdog.fire"
 	EvViolation      = "oracle.violation"
+	EvDetector       = "detector.fire"
 )
 
 // Event is one flight-recorder entry. I is the global record index (total
@@ -104,7 +105,7 @@ func (r *Recorder) Record(ev Event) {
 	ev.TNs = time.Since(r.start).Nanoseconds()
 	r.slots[ev.I%int64(len(r.slots))].Store(&ev)
 	switch ev.Kind {
-	case EvWatchdog, EvViolation, EvVlogFault, EvFault:
+	case EvWatchdog, EvViolation, EvVlogFault, EvFault, EvDetector:
 		r.autoDump(ev.Kind)
 	}
 }

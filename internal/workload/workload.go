@@ -26,6 +26,12 @@ type Op struct {
 	Kind Kind
 	// ProcID is the procedure accessed; meaningful for Query ops.
 	ProcID int
+	// Index is the op's position in the generated sequence, assigned
+	// after the interleaving shuffle. It is the stable workload-order
+	// token that the cache-efficacy ledger uses to name the update that
+	// invalidated an entry ("invalidated by op #17"), independent of
+	// which session executed it.
+	Index int
 }
 
 // Generator produces a deterministic operation stream for a seed.
@@ -86,6 +92,9 @@ func (g *Generator) Sequence(k, q int) []Op {
 		ops = append(ops, Op{Kind: Query, ProcID: g.PickProc()})
 	}
 	g.rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	for i := range ops {
+		ops[i].Index = i
+	}
 	return ops
 }
 

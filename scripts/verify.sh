@@ -5,10 +5,13 @@
 #   tier 2: go vet ./... && go test -race ./...    (static + race checks)
 #   tier 3: concurrency + parallel sweep guards     (docs/CONCURRENCY.md,
 #           docs/PARALLEL.md: serializability oracle, race-stress soak,
-#           determinism oracles, fuzz smokes) and the telemetry smoke
+#           determinism oracles, fuzz smokes), the telemetry smoke
 #           (docs/TELEMETRY.md: -listen endpoints, procmon, procstat)
-#   tier 4: zero-telemetry overhead guards          (vs seed meter and
-#           seed lock table, minima of 8 interleaved runs)
+#           and the diagnosis smoke (docs/DIAGNOSIS.md: -critpath,
+#           -ledger, procdoctor)
+#   tier 4: zero-diagnosis overhead guards          (vs seed meter, seed
+#           lock table, blame-off acquire and ledger-off invalidate;
+#           minima of VERIFY_OVERHEAD_RUNS interleaved runs)
 #
 # Run from the repository root: sh scripts/verify.sh
 #
@@ -16,6 +19,12 @@
 #   VERIFY_MAX_TIER=N        stop after tier N (CI runs tiers 1-2)
 #   VERIFY_SKIP_OVERHEAD=1   skip tier 4's timing-sensitive benchmarks
 #                            (use on loaded or single-core boxes)
+#   VERIFY_OVERHEAD_RUNS=N   interleaved benchmark rounds per tier-4 guard
+#                            (default 8; raise on noisy shared boxes)
+#   VERIFY_ARTIFACTS=DIR     keep the tier-3 smoke artifacts (metrics
+#                            scrape, flight tail, ledger, doctor report)
+#                            in DIR instead of a deleted temp dir — CI
+#                            uploads this directory when the soak fails
 
 set -e
 
@@ -47,7 +56,7 @@ echo "== tier 3: concurrency + parallel sweep engine guards =="
 # watchdog armed (-short caps the soak matrix; GOMAXPROCS raised so
 # sessions genuinely interleave on single-core CI boxes).
 GOMAXPROCS=4 go test -race -short \
-    -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable|TestTelemetryPreservesSequentialIdentity|TestFlightRecorderCapturesRun|TestContentionProfile' \
+    -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable|TestTelemetryPreservesSequentialIdentity|TestFlightRecorderCapturesRun|TestContentionProfile|TestCritPathSumsToWall|TestDiagnosisPreservesSequentialIdentity' \
     ./internal/engine/
 # Injected-RNG audit: simulation worlds must be self-contained, so no
 # non-test code under internal/ may draw from the package-level
@@ -82,16 +91,23 @@ go test -fuzz='^FuzzPlan$' -fuzztime=10s -run '^FuzzPlan$' ./internal/quel/
 echo "telemetry smoke: procsim -listen / procmon / procstat -flight"
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
+# Smoke artifacts (metrics scrape, flight tail, ledger, doctor report) go
+# to VERIFY_ARTIFACTS when set — kept for CI upload — else to the
+# deleted temp dir.
+ART="${VERIFY_ARTIFACTS:-$SMOKE}"
+mkdir -p "$ART"
 go build -o "$SMOKE/procsim" ./cmd/procsim
 go build -o "$SMOKE/procmon" ./cmd/procmon
 go build -o "$SMOKE/procstat" ./cmd/procstat
+go build -o "$SMOKE/procdoctor" ./cmd/procdoctor
 "$SMOKE/procsim" -N 600 -f 0.0133 -N1 3 -N2 3 -k 15 -q 25 \
     -clients 8 -strategy ci -listen 127.0.0.1:0 \
-    >"$SMOKE/out.txt" 2>"$SMOKE/err.txt" &
+    -critpath -ledger "$ART/ledger.jsonl" -flight "$ART/flight.jsonl" \
+    >"$ART/out.txt" 2>"$ART/err.txt" &
 SIM_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's#.*listening on http://##p' "$SMOKE/err.txt" | head -1)
+    ADDR=$(sed -n 's#.*listening on http://##p' "$ART/err.txt" | head -1)
     [ -n "$ADDR" ] && break
     sleep 0.1
 done
@@ -101,23 +117,40 @@ if [ -z "$ADDR" ]; then
     exit 1
 fi
 for _ in $(seq 1 200); do
-    grep -q "run complete" "$SMOKE/err.txt" && break
+    grep -q "run complete" "$ART/err.txt" && break
     sleep 0.1
 done
-"$SMOKE/procmon" -addr "$ADDR" -raw >"$SMOKE/metrics.txt"
-grep -q '^dbproc_up 1$' "$SMOKE/metrics.txt" || {
+"$SMOKE/procmon" -addr "$ADDR" -raw >"$ART/metrics.txt"
+grep -q '^dbproc_up 1$' "$ART/metrics.txt" || {
     echo "verify: FAIL - /metrics missing dbproc_up"; exit 1; }
-grep -q '^dbproc_ops_committed_total 40$' "$SMOKE/metrics.txt" || {
+grep -q '^dbproc_ops_committed_total 40$' "$ART/metrics.txt" || {
     echo "verify: FAIL - /metrics committed ops != workload size 40"; exit 1; }
-grep -q '^dbproc_lock_acquires_total{lock="rel:r1"}' "$SMOKE/metrics.txt" || {
+grep -q '^dbproc_lock_acquires_total{lock="rel:r1"}' "$ART/metrics.txt" || {
     echo "verify: FAIL - /metrics missing per-lock contention counters"; exit 1; }
-"$SMOKE/procmon" -addr "$ADDR" -tail 32 >"$SMOKE/flight.jsonl"
-"$SMOKE/procstat" -flight "$SMOKE/flight.jsonl" >"$SMOKE/flightview.txt"
-grep -q 'op.commit' "$SMOKE/flightview.txt" || {
+# The -critpath run must export the critical-path decomposition series.
+grep -q '^dbproc_critpath_seconds_total{segment="compute"}' "$ART/metrics.txt" || {
+    echo "verify: FAIL - /metrics missing critical-path segment series"; exit 1; }
+"$SMOKE/procmon" -addr "$ADDR" -blame -n 1 >"$ART/blame.txt"
+grep -q 'critical path:' "$ART/blame.txt" || {
+    echo "verify: FAIL - procmon -blame rendered no critical-path panel"; exit 1; }
+"$SMOKE/procmon" -addr "$ADDR" -tail 32 >"$ART/flight-tail.jsonl"
+"$SMOKE/procstat" -flight "$ART/flight-tail.jsonl" >"$ART/flightview.txt"
+grep -q 'op.commit' "$ART/flightview.txt" || {
     echo "verify: FAIL - flight tail did not round-trip through procstat"; exit 1; }
 kill -INT "$SIM_PID"
 wait "$SIM_PID"  # procsim must exit 0 on SIGINT (set -e enforces)
 echo "telemetry smoke: OK"
+
+# Causal diagnosis smoke: the ledger the run just wrote must parse and
+# yield a strategy section with a dominant bottleneck (docs/DIAGNOSIS.md).
+echo "diagnosis smoke: procdoctor -ledger"
+"$SMOKE/procdoctor" -ledger "$ART/ledger.jsonl" >"$ART/doctor.txt"
+grep -q 'dominant bottleneck:' "$ART/doctor.txt" || {
+    echo "verify: FAIL - procdoctor found no dominant bottleneck in the smoke ledger"; exit 1; }
+echo "diagnosis smoke: OK"
+if [ -n "${VERIFY_ARTIFACTS:-}" ]; then
+    echo "smoke artifacts kept in $ART"
+fi
 stop_after 3
 
 echo "== tier 4: zero-telemetry overhead guards =="
@@ -166,13 +199,17 @@ else
         ' "$1"
     }
 
-    # bench_samples OUT BENCH_RE PKG — 8 interleaved base/candidate pairs.
-    # Enough rounds that both sides hit a quiet scheduling window on a
-    # shared box, so their minima are comparable.
+    # bench_samples OUT BENCH_RE PKG — VERIFY_OVERHEAD_RUNS (default 8)
+    # interleaved base/candidate pairs. Enough rounds that both sides hit
+    # a quiet scheduling window on a shared box, so their minima are
+    # comparable.
+    RUNS="${VERIFY_OVERHEAD_RUNS:-8}"
     bench_samples() {
         : > "$1"
-        for _ in 1 2 3 4 5 6 7 8; do
+        i=0
+        while [ "$i" -lt "$RUNS" ]; do
             go test -run '^$' -bench "$2" -benchtime=1s -count=1 "$3" >> "$1"
+            i=$((i + 1))
         done
     }
 
@@ -192,6 +229,21 @@ else
         'BenchmarkAcquireSeedBaseline|BenchmarkAcquireProfilingOff' ./internal/engine/
     overhead_guard /tmp/lock_bench.txt \
         '^BenchmarkAcquireSeedBaseline' '^BenchmarkAcquireProfilingOff' 'lock table' ratio 1.05
+
+    # Blame attribution off: AcquireAs with a session id but no blame tag
+    # — the path every non-diagnosis run takes now that the lock table
+    # carries holder tags — vs the same seed lock table.
+    bench_samples /tmp/blame_bench.txt \
+        'BenchmarkAcquireSeedBaseline|BenchmarkAcquireBlameOff' ./internal/engine/
+    overhead_guard /tmp/blame_bench.txt \
+        '^BenchmarkAcquireSeedBaseline' '^BenchmarkAcquireBlameOff' 'blame-off' ratio 1.05
+
+    # Cache ledger off: the production Invalidate with no ledger attached
+    # vs the pre-ledger invalidation cycle.
+    bench_samples /tmp/ledger_bench.txt \
+        'BenchmarkInvalidateSeedBaseline|BenchmarkInvalidateLedgerOff' ./internal/cache/
+    overhead_guard /tmp/ledger_bench.txt \
+        '^BenchmarkInvalidateSeedBaseline' '^BenchmarkInvalidateLedgerOff' 'ledger-off' ratio 1.05
 fi
 
 echo "== all tiers passed =="
