@@ -1,0 +1,254 @@
+// Package client speaks procserved's framed wire protocol
+// (docs/SERVING.md). It has two layers:
+//
+//   - Conn, the control plane: one framed connection with explicit
+//     statements, transactions, cursors, and bench-world calls. The
+//     served bench harness uses it to open worlds and drive sessions.
+//   - A database/sql driver named "dbproc" (driver.go), so any Go
+//     program can sql.Open("dbproc", "host:port") and run QUEL through
+//     the standard interfaces.
+//
+// One request is in flight per Conn at a time (the protocol is strictly
+// request/response); Conn serializes callers. Context cancellation
+// mid-request sends a TCancel frame and then keeps reading — the server
+// always answers the in-flight request, either with its result or with
+// a CodeCancelled error, so the connection stays usable.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dbproc/internal/wire"
+)
+
+// Conn is one wire-protocol connection.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	// wmu guards frame writes: the cancel watcher writes TCancel while
+	// the request goroutine is blocked reading the response.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// mu serializes requests (one in flight per connection).
+	mu sync.Mutex
+	// broken marks the stream unusable (read error, or a cancelled
+	// request whose response never arrived): framing is lost, so every
+	// later request fails fast instead of misreading.
+	broken bool
+}
+
+// Dial connects and performs the version handshake.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if err := c.send(wire.THello, &wire.Hello{Version: wire.Version, Client: "dbproc/client"}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	msg, err := c.read()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if _, ok := msg.(*wire.HelloOK); !ok {
+		nc.Close()
+		if werr, isErr := msg.(*wire.Error); isErr {
+			return nil, werr
+		}
+		return nil, fmt.Errorf("client: handshake: unexpected %T", msg)
+	}
+	return c, nil
+}
+
+// Close closes the underlying connection; the server rolls back any
+// open transaction and frees the connection's handles.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+func (c *Conn) send(typ byte, msg any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteFrame(c.bw, typ, msg); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) read() (any, error) {
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Decode(typ, payload)
+}
+
+// roundTrip sends one request and reads its response. If ctx is
+// cancelled while waiting, a TCancel frame goes out and the read
+// continues under a deadline: the server's answer (usually
+// CodeCancelled) is consumed so the next request sees a clean stream.
+func (c *Conn) roundTrip(ctx context.Context, typ byte, msg any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, fmt.Errorf("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.send(typ, msg); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	done := make(chan struct{})
+	cancelled := make(chan struct{})
+	go func() {
+		defer close(cancelled)
+		select {
+		case <-ctx.Done():
+			c.send(wire.TCancel, &wire.Cancel{})
+			c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		case <-done:
+		}
+	}()
+	resp, err := c.read()
+	close(done)
+	<-cancelled
+	if ctx.Err() != nil {
+		c.nc.SetReadDeadline(time.Time{})
+		if err != nil {
+			// The backstop deadline fired; the stream is unusable.
+			c.broken = true
+		}
+		// Whether the server answered with CodeCancelled or with the
+		// completed result, the caller cancelled: surface the context
+		// error. The response was consumed, so the stream stays clean.
+		return nil, ctx.Err()
+	}
+	if err != nil {
+		c.broken = true
+		return nil, err
+	}
+	if werr, ok := resp.(*wire.Error); ok {
+		return nil, werr
+	}
+	return resp, nil
+}
+
+// expect runs roundTrip and asserts the response type.
+func roundTripAs[T any](c *Conn, ctx context.Context, typ byte, msg any) (T, error) {
+	var zero T
+	resp, err := c.roundTrip(ctx, typ, msg)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := resp.(T)
+	if !ok {
+		return zero, fmt.Errorf("client: unexpected response %T", resp)
+	}
+	return out, nil
+}
+
+// Ping checks liveness.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, err := roundTripAs[*wire.Pong](c, ctx, wire.TPing, &wire.Ping{})
+	return err
+}
+
+// Exec runs one QUEL statement (no cursor: all rows come back in the
+// result).
+func (c *Conn) Exec(ctx context.Context, text string) (*wire.Result, error) {
+	return roundTripAs[*wire.Result](c, ctx, wire.TStmt, &wire.Stmt{Text: text})
+}
+
+// Query runs one QUEL statement with a cursor: at most fetch rows come
+// back (server default batch when fetch <= 0), the rest stay behind the
+// result's cursor handle for Fetch.
+func (c *Conn) Query(ctx context.Context, text string, fetch int) (*wire.Result, error) {
+	return roundTripAs[*wire.Result](c, ctx, wire.TStmt, &wire.Stmt{Text: text, Cursor: true, Fetch: fetch})
+}
+
+// Prepare parses text server-side and returns its statement handle.
+func (c *Conn) Prepare(ctx context.Context, text string) (int, error) {
+	p, err := roundTripAs[*wire.Prepared](c, ctx, wire.TPrepare, &wire.Prepare{Text: text})
+	if err != nil {
+		return 0, err
+	}
+	return p.Stmt, nil
+}
+
+// ExecPrepared executes a prepared statement.
+func (c *Conn) ExecPrepared(ctx context.Context, stmt, tx int, cursored bool, fetch int) (*wire.Result, error) {
+	return roundTripAs[*wire.Result](c, ctx, wire.TStmtExec, &wire.StmtExec{Stmt: stmt, Tx: tx, Cursor: cursored, Fetch: fetch})
+}
+
+// CloseStmt frees a prepared statement handle.
+func (c *Conn) CloseStmt(ctx context.Context, stmt int) error {
+	_, err := roundTripAs[*wire.OK](c, ctx, wire.TStmtClose, &wire.StmtClose{Stmt: stmt})
+	return err
+}
+
+// Begin opens a transaction; the server holds its statement gate until
+// Commit or Rollback, so no other connection interleaves.
+func (c *Conn) Begin(ctx context.Context) (int, error) {
+	b, err := roundTripAs[*wire.Begun](c, ctx, wire.TBegin, &wire.Begin{})
+	if err != nil {
+		return 0, err
+	}
+	return b.Tx, nil
+}
+
+// Commit commits transaction tx.
+func (c *Conn) Commit(ctx context.Context, tx int) error {
+	_, err := roundTripAs[*wire.OK](c, ctx, wire.TCommit, &wire.Commit{Tx: tx})
+	return err
+}
+
+// Rollback rolls back transaction tx.
+func (c *Conn) Rollback(ctx context.Context, tx int) error {
+	_, err := roundTripAs[*wire.OK](c, ctx, wire.TRollback, &wire.Rollback{Tx: tx})
+	return err
+}
+
+// Fetch pulls the next batch from a cursor. The cursor closes itself
+// (server-side) when the response's More is false.
+func (c *Conn) Fetch(ctx context.Context, cursor, max int) (*wire.Fetched, error) {
+	return roundTripAs[*wire.Fetched](c, ctx, wire.TFetch, &wire.Fetch{Cursor: cursor, Max: max})
+}
+
+// CloseCursor frees a cursor handle early (idempotent).
+func (c *Conn) CloseCursor(ctx context.Context, cursor int) error {
+	_, err := roundTripAs[*wire.OK](c, ctx, wire.TCursorClose, &wire.CursorClose{Cursor: cursor})
+	return err
+}
+
+// WorldOpen builds a bench world server-side: an engine with its
+// sessions opened and the canonical workload dealt across them.
+func (c *Conn) WorldOpen(ctx context.Context, open *wire.WorldOpen) (*wire.WorldOpened, error) {
+	return roundTripAs[*wire.WorldOpened](c, ctx, wire.TWorldOpen, open)
+}
+
+// WorldNext executes session's next dealt operation in the world.
+func (c *Conn) WorldNext(ctx context.Context, world, session int) (*wire.WorldStep, error) {
+	return roundTripAs[*wire.WorldStep](c, ctx, wire.TWorldNext, &wire.WorldNext{World: world, Session: session})
+}
+
+// WorldStats seals the world and returns its aggregate result; the
+// first call finishes the engine, later calls return the same stats.
+func (c *Conn) WorldStats(ctx context.Context, world int) (*wire.WorldStatsResult, error) {
+	return roundTripAs[*wire.WorldStatsResult](c, ctx, wire.TWorldStats, &wire.WorldStats{World: world})
+}
+
+// WorldClose frees the world.
+func (c *Conn) WorldClose(ctx context.Context, world int) error {
+	_, err := roundTripAs[*wire.OK](c, ctx, wire.TWorldClose, &wire.WorldClose{World: world})
+	return err
+}

@@ -1,0 +1,250 @@
+package client
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+
+	"dbproc/internal/wire"
+)
+
+// The "dbproc" database/sql driver. The DSN is the server address
+// ("host:port"). QUEL has no placeholder syntax, so statements take no
+// arguments; results are int64 columns, exactly the engine's tuple
+// representation.
+func init() {
+	sql.Register("dbproc", &Driver{})
+}
+
+// Driver implements driver.Driver and driver.DriverContext.
+type Driver struct{}
+
+// Open dials addr and returns a pooled connection.
+func (d *Driver) Open(addr string) (driver.Conn, error) {
+	cn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlConn{c: cn}, nil
+}
+
+// OpenConnector returns a connector for addr; database/sql uses it to
+// dial pool members lazily.
+func (d *Driver) OpenConnector(addr string) (driver.Connector, error) {
+	return connector{addr: addr, d: d}, nil
+}
+
+type connector struct {
+	addr string
+	d    *Driver
+}
+
+func (c connector) Connect(ctx context.Context) (driver.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.d.Open(c.addr)
+}
+
+func (c connector) Driver() driver.Driver { return c.d }
+
+// sqlConn adapts Conn to driver.Conn. The open transaction's handle
+// rides on the conn — the server scopes transactions per connection.
+type sqlConn struct {
+	c  *Conn
+	tx int
+}
+
+var _ interface {
+	driver.Conn
+	driver.ConnPrepareContext
+	driver.ConnBeginTx
+	driver.ExecerContext
+	driver.QueryerContext
+	driver.Pinger
+	driver.Validator
+} = (*sqlConn)(nil)
+
+func (c *sqlConn) Prepare(text string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), text)
+}
+
+func (c *sqlConn) PrepareContext(ctx context.Context, text string) (driver.Stmt, error) {
+	h, err := c.c.Prepare(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlStmt{c: c, handle: h}, nil
+}
+
+func (c *sqlConn) Close() error { return c.c.Close() }
+
+func (c *sqlConn) Begin() (driver.Tx, error) {
+	return c.BeginTx(context.Background(), driver.TxOptions{})
+}
+
+func (c *sqlConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if opts.ReadOnly {
+		return nil, fmt.Errorf("dbproc: read-only transactions are not supported")
+	}
+	if opts.Isolation != driver.IsolationLevel(sql.LevelDefault) &&
+		opts.Isolation != driver.IsolationLevel(sql.LevelSerializable) {
+		return nil, fmt.Errorf("dbproc: only the default (serializable) isolation level is supported")
+	}
+	h, err := c.c.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.tx = h
+	return &sqlTx{c: c, handle: h}, nil
+}
+
+func (c *sqlConn) Ping(ctx context.Context) error { return c.c.Ping(ctx) }
+
+// IsValid keeps broken connections out of the pool.
+func (c *sqlConn) IsValid() bool {
+	c.c.mu.Lock()
+	defer c.c.mu.Unlock()
+	return !c.c.broken
+}
+
+func (c *sqlConn) ExecContext(ctx context.Context, text string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("dbproc: QUEL statements take no arguments")
+	}
+	res, err := c.c.Exec(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{affected: res.Affected}, nil
+}
+
+func (c *sqlConn) QueryContext(ctx context.Context, text string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("dbproc: QUEL statements take no arguments")
+	}
+	res, err := c.c.Query(ctx, text, 0)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(c, res), nil
+}
+
+type sqlStmt struct {
+	c      *sqlConn
+	handle int
+	closed bool
+}
+
+var _ interface {
+	driver.Stmt
+	driver.StmtExecContext
+	driver.StmtQueryContext
+} = (*sqlStmt)(nil)
+
+func (s *sqlStmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.c.c.CloseStmt(context.Background(), s.handle)
+}
+
+// NumInput is 0: QUEL has no placeholders.
+func (s *sqlStmt) NumInput() int { return 0 }
+
+func (s *sqlStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.ExecContext(context.Background(), nil)
+}
+
+func (s *sqlStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	res, err := s.c.c.ExecPrepared(ctx, s.handle, s.c.tx, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{affected: res.Affected}, nil
+}
+
+func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), nil)
+}
+
+func (s *sqlStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := s.c.c.ExecPrepared(ctx, s.handle, s.c.tx, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(s.c, res), nil
+}
+
+type sqlTx struct {
+	c      *sqlConn
+	handle int
+}
+
+func (t *sqlTx) Commit() error {
+	t.c.tx = 0
+	return t.c.c.Commit(context.Background(), t.handle)
+}
+
+func (t *sqlTx) Rollback() error {
+	t.c.tx = 0
+	return t.c.c.Rollback(context.Background(), t.handle)
+}
+
+type sqlResult struct{ affected int64 }
+
+func (r sqlResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("dbproc: no insert ids")
+}
+func (r sqlResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+// sqlRows iterates a result, fetching further cursor batches on demand.
+type sqlRows struct {
+	c       *sqlConn
+	columns []string
+	buf     [][]int64
+	cursor  int
+	more    bool
+}
+
+func newRows(c *sqlConn, res *wire.Result) *sqlRows {
+	return &sqlRows{c: c, columns: res.Columns, buf: res.Rows, cursor: res.Cursor, more: res.More}
+}
+
+func (r *sqlRows) Columns() []string { return r.columns }
+
+func (r *sqlRows) Close() error {
+	r.buf = nil
+	if r.more && r.cursor != 0 {
+		r.more = false
+		return r.c.c.CloseCursor(context.Background(), r.cursor)
+	}
+	return nil
+}
+
+func (r *sqlRows) Next(dest []driver.Value) error {
+	for len(r.buf) == 0 {
+		if !r.more {
+			return io.EOF
+		}
+		batch, err := r.c.c.Fetch(context.Background(), r.cursor, 0)
+		if err != nil {
+			return err
+		}
+		r.buf = batch.Rows
+		r.more = batch.More
+	}
+	row := r.buf[0]
+	r.buf = r.buf[1:]
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = row[i]
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}

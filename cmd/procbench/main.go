@@ -40,6 +40,8 @@ func main() {
 	concurrentJSON := flag.String("concurrent-json", "", "write the multi-session engine benchmark (BENCH_concurrent.json) to this file and exit")
 	clients := flag.Int("clients", 0, "cap the concurrent benchmark's session ladder (0 = full 1/2/4/8)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms for the concurrent benchmark (0 = none)")
+	serve := flag.Bool("serve", false, "add a measured wall_served pass to each concurrent-benchmark cell via a loopback procserved")
+	connect := flag.String("connect", "", "drive the wall_served pass against this external procserved address (implies -serve)")
 	listen := flag.String("listen", "", "serve live /metrics, /debug/pprof and /events on this address while benchmarks run")
 	flag.Parse()
 
@@ -63,6 +65,8 @@ func main() {
 		Workers:     *workers,
 		Clients:     *clients,
 		ThinkMeanMs: *think,
+		Served:      *serve || *connect != "",
+		ServedAddr:  *connect,
 	}
 	if *listen != "" {
 		hub := telemetry.NewHub()
@@ -111,14 +115,20 @@ func main() {
 
 	if *concurrentJSON != "" {
 		rep := experiments.ConcurrentBench(ctx, opt)
-		matches := true
+		matches, servedMatches := true, true
 		for _, row := range rep.Rows {
 			if row.Clients == 1 && !row.MatchesSequential {
 				matches = false
 			}
+			if rep.Served && row.Clients == 1 && !row.ServedMatchesSequential {
+				servedMatches = false
+			}
 		}
-		writeJSON(*concurrentJSON, rep,
-			fmt.Sprintf("concurrent benchmark (%d rows, matches_sequential=%v)", len(rep.Rows), matches))
+		desc := fmt.Sprintf("concurrent benchmark (%d rows, matches_sequential=%v", len(rep.Rows), matches)
+		if rep.Served {
+			desc += fmt.Sprintf(", served_matches_sequential=%v", servedMatches)
+		}
+		writeJSON(*concurrentJSON, rep, desc+")")
 		return
 	}
 

@@ -10,38 +10,144 @@
 //	quel> define procedure thirties as retrieve (emp.all) where emp.age >= 30 and emp.age < 40
 //	quel> execute thirties
 //
+// With -connect the shell runs every statement against a procserved
+// instance over the wire protocol instead of a private in-process
+// session (docs/SERVING.md):
+//
+//	$ go run ./cmd/procshell -connect 127.0.0.1:7141
+//
 // Meta commands: .help, .cost (cumulative meter), .quit.
 // A statement may span lines; end it with a semicolon or an empty line.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"dbproc/client"
 	"dbproc/internal/metric"
 	"dbproc/internal/quel"
+	"dbproc/internal/wire"
 )
 
+// shellResult is the executor-independent statement outcome: the same
+// fields whether the statement ran in-process or over the wire, so both
+// modes print byte-identical transcripts.
+type shellResult struct {
+	Message  string
+	Columns  []string
+	Rows     [][]int64
+	Sections []shellSection
+	CostMs   float64
+}
+
+type shellSection struct {
+	Columns []string
+	Rows    [][]int64
+}
+
+// executor runs statements for the shell: localExec over a private
+// quel.DB, remoteExec over a procserved connection.
+type executor interface {
+	exec(stmt string) (*shellResult, error)
+	cost() string
+	close()
+}
+
+type localExec struct{ db *quel.DB }
+
+func (l localExec) exec(stmt string) (*shellResult, error) {
+	res, err := l.db.Run(stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := &shellResult{Message: res.Message, Columns: res.Columns, Rows: res.Rows, CostMs: res.CostMs}
+	for _, sec := range res.Sections {
+		out.Sections = append(out.Sections, shellSection{Columns: sec.Columns, Rows: sec.Rows})
+	}
+	return out, nil
+}
+
+func (l localExec) cost() string {
+	return fmt.Sprintf("cumulative simulated cost: %.0f ms (%v)",
+		l.db.Meter().Milliseconds(), l.db.Meter().Snapshot())
+}
+
+func (l localExec) close() {}
+
+type remoteExec struct{ cn *client.Conn }
+
+func (r remoteExec) exec(stmt string) (*shellResult, error) {
+	res, err := r.cn.Exec(context.Background(), stmt)
+	if err != nil {
+		// A server-side error's Msg is the quel error text verbatim;
+		// surface it bare so remote transcripts match local ones byte
+		// for byte.
+		var werr *wire.Error
+		if errors.As(err, &werr) {
+			return nil, errors.New(werr.Msg)
+		}
+		return nil, err
+	}
+	out := &shellResult{Message: res.Message, Columns: res.Columns, Rows: res.Rows, CostMs: res.CostMs}
+	for _, sec := range res.Sections {
+		out.Sections = append(out.Sections, shellSection{Columns: sec.Columns, Rows: sec.Rows})
+	}
+	return out, nil
+}
+
+func (r remoteExec) cost() string {
+	return "remote session: the meter lives server-side (scrape its /metrics endpoint)"
+}
+
+func (r remoteExec) close() { r.cn.Close() }
+
 func main() {
-	db := quel.Open(0, 0, metric.DefaultCosts())
-	in := bufio.NewScanner(os.Stdin)
+	connect := flag.String("connect", "", "procserved address; empty runs a private in-process session")
+	flag.Parse()
+
+	var ex executor
+	if *connect != "" {
+		cn, err := client.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procshell: %v\n", err)
+			os.Exit(1)
+		}
+		ex = remoteExec{cn: cn}
+	} else {
+		ex = localExec{db: quel.Open(0, 0, metric.DefaultCosts())}
+	}
+	defer ex.close()
 	fmt.Println("dbproc QUEL shell — .help for help, .quit to exit")
+	repl(ex, os.Stdin, os.Stdout)
+}
+
+// repl reads statements from in and prints transcripts to out. It
+// returns when in is exhausted or on .quit.
+func repl(ex executor, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
 	var pending strings.Builder
 	prompt := "quel> "
 	for {
-		fmt.Print(prompt)
-		if !in.Scan() {
-			fmt.Println()
+		fmt.Fprint(out, prompt)
+		if !sc.Scan() {
+			fmt.Fprintln(out)
 			return
 		}
-		line := strings.TrimSpace(in.Text())
+		line := strings.TrimSpace(sc.Text())
 		switch {
 		case line == "" && pending.Len() == 0:
 			continue
 		case strings.HasPrefix(line, "."):
-			meta(db, line)
+			if !meta(ex, out, line) {
+				return
+			}
 			continue
 		}
 		pending.WriteString(line)
@@ -56,19 +162,20 @@ func main() {
 		if stmt == "" {
 			continue
 		}
-		run(db, stmt)
+		run(ex, out, stmt)
 	}
 }
 
-func meta(db *quel.DB, line string) {
+// meta handles a dot command; it returns false when the shell should
+// exit.
+func meta(ex executor, out io.Writer, line string) bool {
 	switch strings.Fields(line)[0] {
 	case ".quit", ".exit":
-		os.Exit(0)
+		return false
 	case ".cost":
-		fmt.Printf("cumulative simulated cost: %.0f ms (%v)\n",
-			db.Meter().Milliseconds(), db.Meter().Snapshot())
+		fmt.Fprintln(out, ex.cost())
 	case ".help":
-		fmt.Println(`statements (end with ';' or an empty line):
+		fmt.Fprintln(out, `statements (end with ';' or an empty line):
   create <rel> (f1, f2, ...) cluster on <f> | hash on <f> [buckets N] [width N]
       clustered relations need a unique 'tid' field
   append to <rel> (f1 = v1, f2 = v2, ...)
@@ -82,25 +189,26 @@ func meta(db *quel.DB, line string) {
   explain retrieve ... | explain <name>
 meta: .cost  .help  .quit`)
 	default:
-		fmt.Println("unknown meta command; try .help")
+		fmt.Fprintln(out, "unknown meta command; try .help")
 	}
+	return true
 }
 
-func run(db *quel.DB, stmt string) {
-	res, err := db.Run(stmt)
+func run(ex executor, out io.Writer, stmt string) {
+	res, err := ex.exec(stmt)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	printSection(res.Columns, res.Rows)
+	printSection(out, res.Columns, res.Rows)
 	for _, sec := range res.Sections {
-		fmt.Println()
-		printSection(sec.Columns, sec.Rows)
+		fmt.Fprintln(out)
+		printSection(out, sec.Columns, sec.Rows)
 	}
-	fmt.Printf("%s   [%.0f ms simulated]\n", res.Message, res.CostMs)
+	fmt.Fprintf(out, "%s   [%.0f ms simulated]\n", res.Message, res.CostMs)
 }
 
-func printSection(columns []string, rows [][]int64) {
+func printSection(out io.Writer, columns []string, rows [][]int64) {
 	if len(columns) == 0 {
 		return
 	}
@@ -116,13 +224,13 @@ func printSection(columns []string, rows [][]int64) {
 		}
 	}
 	for i, c := range columns {
-		fmt.Printf("%*s  ", widths[i], c)
+		fmt.Fprintf(out, "%*s  ", widths[i], c)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, row := range rows {
 		for i, v := range row {
-			fmt.Printf("%*d  ", widths[i], v)
+			fmt.Fprintf(out, "%*d  ", widths[i], v)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dbproc/client"
+	"dbproc/internal/metric"
+	"dbproc/internal/quel"
+	"dbproc/internal/server"
+)
+
+// shellScript is the transcript corpus: the quel package's fuzz seeds
+// (schema, DML, joins, aggregates, procedures, explain) plus the
+// multi-line continuation and meta-command shapes only the shell layer
+// exercises, including parse and execution errors.
+const shellScript = `create emp (tid, age, dept, salary) cluster on age;
+create dept (dname, floor) hash on dname buckets 4;
+append to emp (tid = 1, age = 35, dept = 10, salary = 50000);
+append to emp (tid = 2, age = 31, dept = 10, salary = 40000);
+append to emp (tid = 3, age = 41, dept = 20, salary = 60000);
+append to emp (tid = 4, age = 55, dept = 20, salary = 70000);
+append to dept (dname = 10, floor = 1);
+append to dept (dname = 20, floor = 2);
+retrieve (emp.all) where emp.age >= 31 and emp.age <= 41;
+retrieve (emp.tid, emp.salary) where emp.age = 35;
+retrieve (emp.tid, dept.floor)
+  ... where emp.dept = dept.dname and dept.floor = 1;
+retrieve (count(emp.tid), avg(emp.salary));
+define procedure seniors as retrieve (emp.all) where emp.age >= 41;
+execute seniors;
+execute seniors;
+replace emp (salary = 1) where emp.tid = 1;
+execute seniors;
+explain retrieve (emp.all) where emp.age = 35;
+explain seniors;
+delete from emp where emp.age = 31;
+retrieve (emp.tid) sort by emp.tid;
+retrieve (;
+append to emp (tid = 99999999999999999999);
+execute nosuchproc;
+.help
+.quit
+`
+
+// runScript feeds the corpus through the repl. Lines containing the
+// "  ... " continuation marker are split back into their two physical
+// lines so the multi-line statement path is exercised.
+func runScript(t *testing.T, ex executor) string {
+	t.Helper()
+	script := strings.ReplaceAll(shellScript, "\n  ... ", "\n")
+	var out bytes.Buffer
+	repl(ex, strings.NewReader(script), &out)
+	return out.String()
+}
+
+// TestShellTranscript locks the shell's behavior with a golden
+// transcript, and proves -connect is transparent: the same corpus run
+// against a loopback procserved prints the identical bytes. Regenerate
+// the golden with PROCSHELL_REGEN=1 after intentional output changes.
+func TestShellTranscript(t *testing.T) {
+	local := runScript(t, localExec{db: quel.Open(0, 0, metric.DefaultCosts())})
+
+	srv := server.New(server.Options{})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := runScript(t, remoteExec{cn: cn})
+	cn.Close()
+
+	if local != remote {
+		t.Fatalf("served transcript diverges from local:\n--- local\n%s\n--- served\n%s", local, remote)
+	}
+
+	golden := filepath.Join("testdata", "transcript.golden")
+	if os.Getenv("PROCSHELL_REGEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(local), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with PROCSHELL_REGEN=1 to create it)", err)
+	}
+	if local != string(want) {
+		t.Fatalf("transcript diverges from golden (PROCSHELL_REGEN=1 regenerates):\n--- got\n%s\n--- want\n%s", local, want)
+	}
+}

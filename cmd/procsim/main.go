@@ -9,6 +9,8 @@
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
 //	procsim -seeds 5 -workers 4           # average 5 seeds, 4 cells at a time
 //	procsim -clients 8 -think 1           # 8 concurrent sessions (docs/CONCURRENCY.md)
+//	procsim -serve -clients 4             # drive a loopback procserved via database/sql (docs/SERVING.md)
+//	procsim -connect 127.0.0.1:7141       # same, against an external procserved
 //	procsim -clients 8 -listen :9090      # live /metrics, /debug/pprof, /events (docs/TELEMETRY.md)
 //	procsim -clients 8 -flight dump.jsonl # flight dump on watchdog/violation/fault
 //	procsim -breakdown                    # per-component cost tables
@@ -31,15 +33,19 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"dbproc/internal/cache"
 	"dbproc/internal/costmodel"
 	"dbproc/internal/engine"
+	"dbproc/internal/experiments"
 	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/parallel"
+	"dbproc/internal/server"
 	"dbproc/internal/sim"
 	"dbproc/internal/telemetry"
+	"dbproc/internal/wire"
 )
 
 var strategyNames = map[string]costmodel.Strategy{
@@ -114,6 +120,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent (strategy x seed) cells (0 = one per CPU); output is identical for any value")
 	clients := flag.Int("clients", 1, "concurrent client sessions (>1 switches to the multi-session engine)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms (exponential; concurrent mode)")
+	serve := flag.Bool("serve", false, "drive the workload through a loopback procserved over the database/sql driver (docs/SERVING.md)")
+	connect := flag.String("connect", "", "drive the workload against this external procserved address (implies -serve)")
 	tracePath := flag.String("trace", "", "write a per-operation JSONL trace to this file (render with procstat)")
 	ledgerPath := flag.String("ledger", "", "write a cache-efficacy ledger (JSONL) to this file (analyze with procdoctor; docs/DIAGNOSIS.md)")
 	critpath := flag.Bool("critpath", false, "decompose each op's wall time into lock-wait/IO/recompute/compute with lock-wait blame (concurrent mode)")
@@ -188,6 +196,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer hub.Close()
+	}
+
+	if *serve || *connect != "" {
+		runServed(ctx, p, model, strategies, *seed, *clients, *connect, *jsonOut)
+		waitServe(ctx, hub)
+		return
 	}
 
 	if *clients > 1 {
@@ -586,5 +600,112 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 	}
 	if traceFile != nil && !jsonOut {
 		fmt.Println("\ntrace written (render with procstat)")
+	}
+}
+
+// servedJSON is one strategy's result in served-mode -json output.
+type servedJSON struct {
+	Strategy      string           `json:"strategy"`
+	Model         string           `json:"model"`
+	Clients       int              `json:"clients"`
+	Ops           int              `json:"ops"`
+	WallSec       float64          `json:"wall_sec"`
+	ThroughputOps float64          `json:"throughput_ops_per_sec"`
+	SimTotalMs    float64          `json:"sim_total_ms"`
+	Counters      obs.CountersJSON `json:"counters"`
+	// MatchesSequential is reported for 1-client runs: the served
+	// world's counters and simulated cost equal sim.Run's byte for byte.
+	MatchesSequential bool `json:"matches_sequential,omitempty"`
+}
+
+// runServed drives each strategy's workload through procserved: a bench
+// world is opened over the wire and every session steps through its
+// dealt operation stream via the standard database/sql driver, so the
+// printed throughput is a measured wall-clock figure that includes real
+// wire round-trips. With -connect the workload runs against an external
+// server; otherwise a loopback procserved lives for the run's duration.
+// One-client runs additionally check identity against sim.Run.
+func runServed(ctx context.Context, p costmodel.Params, model costmodel.Model,
+	strategies []costmodel.Strategy, seed int64, clients int, addr string, jsonOut bool) {
+	if addr == "" {
+		srv := server.New(server.Options{})
+		a, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: starting loopback procserved: %v\n", err)
+			os.Exit(1)
+		}
+		addr = a
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if !jsonOut {
+		fmt.Printf("%s, served by %s: %d sessions over database/sql, k=%.0f q=%.0f, seed = %d\n\n",
+			model, addr, clients, p.K, p.Q, seed)
+		fmt.Printf("%-22s %8s %14s %12s   %s\n",
+			"strategy", "wall", "throughput", "sim cost", "identity")
+	}
+	var jsonRows []servedJSON
+	for _, s := range strategies {
+		if ctx.Err() != nil {
+			break
+		}
+		res, err := experiments.DriveServed(ctx, addr, &wire.WorldOpen{
+			Params:   p,
+			Model:    experiments.WireModel(model),
+			Strategy: experiments.WireStrategy(s),
+			Seed:     seed,
+			Clients:  clients,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
+		identity := "-"
+		match := false
+		if clients == 1 {
+			sq := sim.Run(sim.Config{Params: p, Model: model, Strategy: s, Seed: seed})
+			match = res.Counters == sq.Counters && res.SimTotalMs == sq.TotalMs
+			if match {
+				identity = "= sim.Run"
+			} else {
+				identity = "DIVERGES from sim.Run"
+			}
+		}
+		if jsonOut {
+			jsonRows = append(jsonRows, servedJSON{
+				Strategy:          s.String(),
+				Model:             model.String(),
+				Clients:           res.Clients,
+				Ops:               res.Ops,
+				WallSec:           res.WallSec,
+				ThroughputOps:     res.ThroughputOps,
+				SimTotalMs:        res.SimTotalMs,
+				Counters:          obs.ToCountersJSON(res.Counters),
+				MatchesSequential: match,
+			})
+			continue
+		}
+		fmt.Printf("%-22s %7.2fs %10.0f op/s %9.1f ms   %s\n",
+			s, res.WallSec, res.ThroughputOps, res.SimTotalMs, identity)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"model":   model.String(),
+			"clients": clients,
+			"seed":    seed,
+			"served":  true,
+			"runs":    jsonRows,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -27,7 +27,9 @@
 // strategy and model, contrasting the measured wall speedup — which
 // includes overlapped think time — against the latch-free schedule bound
 // (wall_parallel_speedup), and flags projected rows measured on fewer
-// cores than sessions.
+// cores than sessions. Reports written with procbench -serve carry an
+// extra served column: the same cell measured through procserved over
+// the database/sql driver, wire round-trips included (docs/SERVING.md).
 package main
 
 import (
@@ -198,8 +200,11 @@ func renderConcurrent(paths []string) {
 		}
 		fmt.Printf("%s: cores=%d scale=%g seed=%d think=%gms ops=%d\n",
 			path, rep.Cores, rep.Scale, rep.Seed, rep.ThinkMeanMs, rep.Ops)
-		fmt.Printf("%-22s %-8s %8s %12s %9s %11s %10s %10s %5s\n",
-			"strategy", "model", "clients", "ops/sec", "speedup", "latch-free", "p50 us", "p95 us", "seq")
+		fmt.Printf("%-22s %-8s %8s %12s %9s %11s", "strategy", "model", "clients", "ops/sec", "speedup", "latch-free")
+		if rep.Served {
+			fmt.Printf(" %12s", "served")
+		}
+		fmt.Printf(" %10s %10s %5s\n", "p50 us", "p95 us", "seq")
 		for _, row := range rep.Rows {
 			bound := fmt.Sprintf("%.2fx", row.WallParallelSpeedup)
 			if row.Projected {
@@ -209,12 +214,25 @@ func renderConcurrent(paths []string) {
 			if row.MatchesSequential {
 				seq = "=sim"
 			}
-			fmt.Printf("%-22s %-8s %8d %12.1f %8.2fx %11s %10.1f %10.1f %5s\n",
+			if row.ServedMatchesSequential {
+				seq += "=srv"
+			}
+			fmt.Printf("%-22s %-8s %8d %12.1f %8.2fx %11s",
 				row.Strategy, row.Model, row.Clients, row.ThroughputOps,
-				row.Speedup, bound, row.P50LatencyUs, row.P95LatencyUs, seq)
+				row.Speedup, bound)
+			if rep.Served {
+				fmt.Printf(" %12.1f", row.WallServedOps)
+			}
+			fmt.Printf(" %10.1f %10.1f %5s\n", row.P50LatencyUs, row.P95LatencyUs, seq)
 		}
-		fmt.Println(`speedup counts overlapped think time; latch-free is the schedule bound over
-the committed history's 2PL conflicts ("~" = projected: sessions exceed cores).`)
+		note := `speedup counts overlapped think time; latch-free is the schedule bound over
+the committed history's 2PL conflicts ("~" = projected: sessions exceed cores).`
+		if rep.Served {
+			note += `
+served is measured ops/sec through procserved over the database/sql driver
+(wire round-trips included); "=srv" marks served 1-client rows byte-equal to sim.Run.`
+		}
+		fmt.Println(note)
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,7 +15,6 @@ import (
 	"dbproc/internal/metric"
 	"dbproc/internal/obs"
 	"dbproc/internal/sim"
-	"dbproc/internal/storage"
 	"dbproc/internal/telemetry"
 	"dbproc/internal/workload"
 )
@@ -283,6 +281,12 @@ type Engine struct {
 	wallNsTot atomic.Int64
 
 	det *telemetry.Detectors
+
+	// sessions holds the opened sessions, indexed by id (one slot per
+	// configured client). Run opens them itself; a server front-end opens
+	// them via OpenSession and drives each with Session.Exec.
+	sessMu   sync.Mutex
+	sessions []*Session
 }
 
 // New builds the world for cfg and an engine over it. The Config's
@@ -300,6 +304,7 @@ func New(cfg sim.Config, opt Options) *Engine {
 	}
 	w := sim.Build(cfg)
 	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs()}
+	e.sessions = make([]*Session, opt.Clients)
 	if opt.ProfileLocks {
 		e.locks.EnableProfiling()
 	}
@@ -380,224 +385,27 @@ func (e *Engine) OpFootprint(op workload.Op) Footprint { return e.footprint(op) 
 func (e *Engine) Run(ctx context.Context) Result {
 	ops := e.w.WorkloadOps()
 	n := e.opt.Clients
-	perSession := make([][]workload.Op, n)
-	for i, op := range ops {
-		perSession[i%n] = append(perSession[i%n], op)
-	}
-
-	res := Result{Clients: n, Sessions: make([]SessionStats, n)}
+	perSession := Deal(ops, n)
 	if e.opt.RecordHistory {
 		e.hist = make([]HistoryEntry, 0, len(ops))
 	}
-	latencies := make([][]int64, n)
 
 	var wg sync.WaitGroup
 	start := time.Now()
 	for s := 0; s < n; s++ {
-		st := &res.Sessions[s]
-		st.Session = s
+		sess := e.OpenSession(s)
 		think := workload.NewThinker(e.w.Config().Seed+7001+int64(s), e.opt.ThinkMeanMs)
 		wg.Add(1)
-		go func(s int, myOps []workload.Op) {
+		go func(sess *Session, myOps []workload.Op) {
 			defer wg.Done()
-			rec := e.opt.Recorder
-			// The session's private pager and meter: shared disk, own
-			// operation scope and cost attribution. A fresh session pager
-			// is in exactly the state Build leaves the world's pager, so
-			// one session reproduces the sequential run byte for byte.
-			pg := e.w.SessionPager(s)
-			meter := pg.Meter()
-			critOn := e.opt.CritPath
-			var ws *storage.WallStats
-			if critOn {
-				ws = pg.EnableWallStats()
-			}
-			var sessWall, sessSim *telemetry.Sketch
-			if e.opt.Sketches {
-				sessWall = telemetry.NewSketch()
-				sessSim = telemetry.NewSketch()
-				defer func() {
-					st.WallLatency = sessWall.Summary()
-					st.SimLatency = sessSim.Summary()
-				}()
-			}
+			defer sess.Close()
 			for _, op := range myOps {
 				if ctx.Err() != nil {
 					return
 				}
-				var opName string
-				if rec != nil || critOn {
-					if op.Kind == workload.Query {
-						opName = fmt.Sprintf("query proc:%d", op.ProcID)
-					} else {
-						opName = "update"
-					}
-				}
-				if rec != nil {
-					rec.Op(telemetry.EvOpBegin, s, -1, opName, 0, 0)
-				}
-				e.inflight.Add(1)
-				blameTag := ""
-				if critOn {
-					blameTag = opName
-				}
-				opStart := time.Now()
-				held := e.locks.AcquireAs(e.footprint(op), s, blameTag)
-				waited := time.Since(opStart)
-				waits := held.Waits()
-				if rec != nil {
-					for _, lw := range waits {
-						if critOn {
-							rec.Record(telemetry.Event{
-								Kind: telemetry.EvLockAcquire, Session: s, Seq: -1,
-								Name: lw.Name, WaitNs: lw.WaitNs,
-								Detail: fmt.Sprintf("held by session %d (%s)", lw.HolderSession, lw.HolderOp),
-							})
-						} else {
-							rec.Op(telemetry.EvLockAcquire, s, -1, lw.Name, lw.WaitNs, 0)
-						}
-					}
-				}
-
-				if critOn {
-					ws.Reset()
-				}
-				before := meter.Breakdown()
-				r := e.w.ExecOpOn(pg, op)
-				deltaBd := meter.Breakdown().Sub(before)
-				delta := deltaBd.Total()
-				var ioNs, recomputeNs int64
-				if critOn {
-					ioNs, recomputeNs = ws.IONs, ws.RecomputeNs
-				}
-
-				// Commit: draw the sequence, adopt the operation's span,
-				// merge the session's cost delta into the run aggregate
-				// and append the history entry — one atomic step, taken
-				// while the 2PL footprint is still held so commit order
-				// serializes conflicting operations.
-				e.commitMu.Lock()
-				seq := e.seq
-				e.seq++
-				if t := e.opt.Tracer; t != nil {
-					name := "session.update"
-					if op.Kind == workload.Query {
-						name = "session.query"
-					}
-					sp := t.Adopt(name, e.agg.Total().Milliseconds(e.costs), delta, e.costs)
-					if op.Kind == workload.Query {
-						sp.Set("proc", op.ProcID)
-					}
-					sp.Set("session", s)
-					sp.Set("seq", seq)
-					if rec != nil {
-						sp.Set("wall_wait_ns", int64(waited))
-					}
-					if critOn && len(waits) > 0 {
-						// Blame attributes feed the Chrome-trace flow events
-						// (obs.WriteChromeTrace draws an arrow from the
-						// blamed session's latest span to this one).
-						var bss, bls strings.Builder
-						for i, lw := range waits {
-							if i > 0 {
-								bss.WriteByte(',')
-								bls.WriteByte(',')
-							}
-							bss.WriteString(strconv.Itoa(lw.HolderSession))
-							bls.WriteString(lw.Name)
-						}
-						sp.Set("blame_sessions", bss.String())
-						sp.Set("blame_locks", bls.String())
-					}
-				}
-				e.agg.AddBreakdown(deltaBd)
-				if e.opt.RecordHistory {
-					he := HistoryEntry{Session: s, Seq: seq, Op: op, CostMs: delta.Milliseconds(e.costs)}
-					if op.Kind == workload.Update {
-						he.Update = r.Update
-					} else {
-						he.Result = Digest(r.Tuples)
-						he.Tuples = len(r.Tuples)
-					}
-					e.hist = append(e.hist, he)
-				}
-				e.commitMu.Unlock()
-				held.Release()
-				service := time.Since(opStart) - waited
-				e.inflight.Add(-1)
-				e.committed.Add(1)
-				e.waitNsTot.Add(int64(waited))
-				e.wallNsTot.Add(int64(waited + service))
-				if rec != nil {
-					rec.Op(telemetry.EvOpCommit, s, seq, opName, int64(waited), int64(service))
-					rec.Op(telemetry.EvLockRelease, s, seq, opName, 0, int64(waited+service))
-				}
-				if critOn {
-					// The wait segment is the sum of measured per-lock
-					// blocking times, so the blame edges partition it
-					// exactly; the (tiny) non-blocking acquisition
-					// overhead inside `waited` lands in the compute
-					// remainder instead.
-					cp := OpCritPath{
-						Session: s, Seq: seq, Op: opName,
-						WallNs: int64(waited + service),
-						IONs:   ioNs, RecomputeNs: recomputeNs,
-					}
-					for _, lw := range waits {
-						cp.WaitNs += lw.WaitNs
-						cp.Blame = append(cp.Blame, BlameEdge{
-							Lock: lw.Name, WaitNs: lw.WaitNs,
-							HolderSession: lw.HolderSession, HolderOp: lw.HolderOp,
-						})
-					}
-					cp.ComputeNs = cp.WallNs - cp.WaitNs - cp.IONs - cp.RecomputeNs
-					e.segWait.Add(cp.WaitNs)
-					e.segIO.Add(cp.IONs)
-					e.segRecompute.Add(cp.RecomputeNs)
-					e.segCompute.Add(cp.ComputeNs)
-					e.critMu.Lock()
-					e.crits = append(e.crits, cp)
-					for _, b := range cp.Blame {
-						k := blockerKey{b.Lock, b.HolderSession, b.HolderOp}
-						bs := e.blockers[k]
-						if bs == nil {
-							bs = &BlockerStat{Lock: b.Lock, HolderSession: b.HolderSession, HolderOp: b.HolderOp}
-							e.blockers[k] = bs
-						}
-						bs.Waits++
-						bs.WaitNs += b.WaitNs
-					}
-					e.critMu.Unlock()
-				}
-				if e.det != nil && e.committed.Load()%16 == 0 {
-					if e.opt.Sketches {
-						e.det.CheckLatency(e.wallSk.Quantile(0.99))
-					}
-					e.det.CheckContention(e.waitNsTot.Load(), e.wallNsTot.Load())
-				}
-				if e.opt.Sketches {
-					wallNs := float64(waited + service)
-					simMs := delta.Milliseconds(e.costs)
-					e.wallSk.Observe(wallNs)
-					e.simSk.Observe(simMs)
-					sessWall.Observe(wallNs)
-					sessSim.Observe(simMs)
-				}
-
-				st.Ops++
-				if op.Kind == workload.Query {
-					st.Queries++
-					st.Tuples += len(r.Tuples)
-				} else {
-					st.Updates++
-				}
-				st.Counters = st.Counters.Add(delta)
-				st.WaitNs += int64(waited)
-				st.ServiceNs += int64(service)
-				latencies[s] = append(latencies[s], int64(waited+service))
-
+				sess.Exec(op)
 				if d := think.Next(); d > 0 {
-					st.ThinkNs += int64(d)
+					sess.Think(d)
 					select {
 					case <-time.After(d):
 					case <-ctx.Done():
@@ -605,46 +413,10 @@ func (e *Engine) Run(ctx context.Context) Result {
 					}
 				}
 			}
-		}(s, perSession[s])
+		}(sess, perSession[s])
 	}
 	wg.Wait()
-	res.WallSec = time.Since(start).Seconds()
-
-	for s := range res.Sessions {
-		st := &res.Sessions[s]
-		res.Ops += st.Ops
-		res.Queries += st.Queries
-		res.Updates += st.Updates
-		res.TuplesReturned += st.Tuples
-		res.Counters = res.Counters.Add(st.Counters)
-		res.LatencyNs = append(res.LatencyNs, latencies[s]...)
-	}
-	if res.WallSec > 0 {
-		res.Throughput = float64(res.Ops) / res.WallSec
-	}
-	res.SimTotalMs = res.Counters.Milliseconds(e.costs)
-	res.History = e.hist
-	if e.opt.ProfileLocks {
-		res.Contention = e.locks.Contention()
-	}
-	if e.opt.Sketches {
-		res.WallLatency = e.wallSk.Summary()
-		res.SimLatency = e.simSk.Summary()
-	}
-	if e.opt.CritPath {
-		e.critMu.Lock()
-		res.CritPaths = append([]OpCritPath(nil), e.crits...)
-		e.critMu.Unlock()
-		sort.Slice(res.CritPaths, func(i, j int) bool { return res.CritPaths[i].Seq < res.CritPaths[j].Seq })
-		res.TopBlockers = e.TopBlockers(0)
-	}
-	if e.det != nil {
-		if l := e.w.Config().Ledger; l != nil {
-			st := l.Stats()
-			e.det.CheckWastedWork(st.WastedMs, st.ComputeMs)
-		}
-	}
-	return res
+	return e.Finish(time.Since(start).Seconds())
 }
 
 // TopBlockers snapshots the blame aggregation, sorted by total wait

@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dbproc/internal/storage"
+	"dbproc/internal/telemetry"
+	"dbproc/internal/workload"
+)
+
+// Session is one open client session of a live engine: a private pager
+// and meter over the shared disk, the session's running statistics, and
+// its latency sketches. Run opens one per configured client; a server
+// front-end (cmd/procserved) instead opens sessions up front and drives
+// each with Exec as operations arrive off the wire. A Session is not
+// safe for concurrent use — the engine's lock table isolates sessions
+// from each other, but each session must submit one operation at a time.
+type Session struct {
+	e  *Engine
+	id int
+	pg *storage.Pager
+	st SessionStats
+	// ws is the pager's wall-clock segment accumulator; nil unless
+	// Options.CritPath.
+	ws *storage.WallStats
+	// wallSk / simSk are the session's private latency sketches; nil
+	// unless Options.Sketches.
+	wallSk *telemetry.Sketch
+	simSk  *telemetry.Sketch
+
+	latencies []int64
+}
+
+// OpOutcome reports one committed operation back to the submitter — the
+// per-op attributes a served client sees (docs/SERVING.md): the commit
+// sequence, the simulated cost, and the wall-clock decomposition. The
+// critical-path segments (IONs/RecomputeNs/ComputeNs) are populated only
+// under Options.CritPath — without it ComputeNs is zero and WaitNs is
+// the raw acquisition wait; WallNs is always measured.
+type OpOutcome struct {
+	Seq    int
+	Tuples int
+	// Digest is the canonical query-result digest; nil for updates and
+	// when Options.RecordHistory is off.
+	Digest []byte
+	// CostMs is the op's simulated cost (the session meter's delta priced
+	// at the run's cost constants).
+	CostMs float64
+	WallNs      int64
+	WaitNs      int64
+	IONs        int64
+	RecomputeNs int64
+	ComputeNs   int64
+}
+
+// Deal splits the canonical operation stream round-robin across n
+// sessions — op i goes to session i mod n, preserving each session's
+// program order. Run deals this way, and a served bench harness must
+// deal identically for a served run to commit the same per-session
+// streams (docs/SERVING.md).
+func Deal(ops []workload.Op, n int) [][]workload.Op {
+	if n < 1 {
+		n = 1
+	}
+	per := make([][]workload.Op, n)
+	for i, op := range ops {
+		per[i%n] = append(per[i%n], op)
+	}
+	return per
+}
+
+// OpenSession opens session id (0 <= id < Options.Clients); each id may
+// be opened once per engine. The session's private pager and meter share
+// the world's disk but carry their own operation scope and cost
+// attribution. A fresh session pager is in exactly the state Build
+// leaves the world's pager, so one session executing the sequential
+// stream reproduces sim.Run byte for byte.
+func (e *Engine) OpenSession(id int) *Session {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if id < 0 || id >= len(e.sessions) {
+		panic(fmt.Sprintf("engine: session %d out of range (%d clients)", id, len(e.sessions)))
+	}
+	if e.sessions[id] != nil {
+		panic(fmt.Sprintf("engine: session %d already open", id))
+	}
+	s := &Session{e: e, id: id, pg: e.w.SessionPager(id)}
+	s.st.Session = id
+	if e.opt.CritPath {
+		s.ws = s.pg.EnableWallStats()
+	}
+	if e.opt.Sketches {
+		s.wallSk = telemetry.NewSketch()
+		s.simSk = telemetry.NewSketch()
+	}
+	e.sessions[id] = s
+	return s
+}
+
+// ID returns the session's id.
+func (s *Session) ID() int { return s.id }
+
+// Stats snapshots the session's statistics so far. The sketch summaries
+// are filled in by Close.
+func (s *Session) Stats() SessionStats { return s.st }
+
+// Think records d of think time against the session's wall-clock
+// decomposition (the closed-loop pause between operations).
+func (s *Session) Think(d time.Duration) { s.st.ThinkNs += int64(d) }
+
+// Close finalizes the session's statistics (latency sketch summaries).
+// Call once the session will submit no more operations; Finish reads
+// what Close sealed.
+func (s *Session) Close() {
+	if s.wallSk != nil {
+		s.st.WallLatency = s.wallSk.Summary()
+		s.st.SimLatency = s.simSk.Summary()
+	}
+}
+
+// Exec executes one workload operation for this session: acquire the
+// op's 2PL footprint, run the operation body on the session's private
+// pager, and commit — sequence draw, span adoption, aggregate merge and
+// history append form one atomic step, taken while the footprint is
+// still held. This is the loop body of Run, exported so a wire
+// front-end can submit a session's operations one at a time.
+func (s *Session) Exec(op workload.Op) OpOutcome {
+	e := s.e
+	rec := e.opt.Recorder
+	critOn := e.opt.CritPath
+	meter := s.pg.Meter()
+
+	var opName string
+	if rec != nil || critOn {
+		if op.Kind == workload.Query {
+			opName = fmt.Sprintf("query proc:%d", op.ProcID)
+		} else {
+			opName = "update"
+		}
+	}
+	if rec != nil {
+		rec.Op(telemetry.EvOpBegin, s.id, -1, opName, 0, 0)
+	}
+	e.inflight.Add(1)
+	blameTag := ""
+	if critOn {
+		blameTag = opName
+	}
+	opStart := time.Now()
+	held := e.locks.AcquireAs(e.footprint(op), s.id, blameTag)
+	waited := time.Since(opStart)
+	waits := held.Waits()
+	if rec != nil {
+		for _, lw := range waits {
+			if critOn {
+				rec.Record(telemetry.Event{
+					Kind: telemetry.EvLockAcquire, Session: s.id, Seq: -1,
+					Name: lw.Name, WaitNs: lw.WaitNs,
+					Detail: fmt.Sprintf("held by session %d (%s)", lw.HolderSession, lw.HolderOp),
+				})
+			} else {
+				rec.Op(telemetry.EvLockAcquire, s.id, -1, lw.Name, lw.WaitNs, 0)
+			}
+		}
+	}
+
+	if critOn {
+		s.ws.Reset()
+	}
+	before := meter.Breakdown()
+	r := e.w.ExecOpOn(s.pg, op)
+	deltaBd := meter.Breakdown().Sub(before)
+	delta := deltaBd.Total()
+	var ioNs, recomputeNs int64
+	if critOn {
+		ioNs, recomputeNs = s.ws.IONs, s.ws.RecomputeNs
+	}
+
+	out := OpOutcome{
+		CostMs:      delta.Milliseconds(e.costs),
+		IONs:        ioNs,
+		RecomputeNs: recomputeNs,
+	}
+
+	// Commit: draw the sequence, adopt the operation's span, merge the
+	// session's cost delta into the run aggregate and append the history
+	// entry — one atomic step, taken while the 2PL footprint is still
+	// held so commit order serializes conflicting operations.
+	e.commitMu.Lock()
+	seq := e.seq
+	e.seq++
+	if t := e.opt.Tracer; t != nil {
+		name := "session.update"
+		if op.Kind == workload.Query {
+			name = "session.query"
+		}
+		sp := t.Adopt(name, e.agg.Total().Milliseconds(e.costs), delta, e.costs)
+		if op.Kind == workload.Query {
+			sp.Set("proc", op.ProcID)
+		}
+		sp.Set("session", s.id)
+		sp.Set("seq", seq)
+		if rec != nil {
+			sp.Set("wall_wait_ns", int64(waited))
+		}
+		if critOn && len(waits) > 0 {
+			// Blame attributes feed the Chrome-trace flow events
+			// (obs.WriteChromeTrace draws an arrow from the blamed
+			// session's latest span to this one).
+			var bss, bls strings.Builder
+			for i, lw := range waits {
+				if i > 0 {
+					bss.WriteByte(',')
+					bls.WriteByte(',')
+				}
+				bss.WriteString(strconv.Itoa(lw.HolderSession))
+				bls.WriteString(lw.Name)
+			}
+			sp.Set("blame_sessions", bss.String())
+			sp.Set("blame_locks", bls.String())
+		}
+	}
+	e.agg.AddBreakdown(deltaBd)
+	if e.opt.RecordHistory {
+		he := HistoryEntry{Session: s.id, Seq: seq, Op: op, CostMs: out.CostMs}
+		if op.Kind == workload.Update {
+			he.Update = r.Update
+		} else {
+			he.Result = Digest(r.Tuples)
+			he.Tuples = len(r.Tuples)
+			out.Digest = he.Result
+		}
+		e.hist = append(e.hist, he)
+	}
+	e.commitMu.Unlock()
+	held.Release()
+	service := time.Since(opStart) - waited
+	e.inflight.Add(-1)
+	e.committed.Add(1)
+	e.waitNsTot.Add(int64(waited))
+	e.wallNsTot.Add(int64(waited + service))
+	out.Seq = seq
+	out.Tuples = len(r.Tuples)
+	out.WallNs = int64(waited + service)
+	out.WaitNs = int64(waited)
+	if rec != nil {
+		rec.Op(telemetry.EvOpCommit, s.id, seq, opName, int64(waited), int64(service))
+		rec.Op(telemetry.EvLockRelease, s.id, seq, opName, 0, int64(waited+service))
+	}
+	if critOn {
+		// The wait segment is the sum of measured per-lock blocking
+		// times, so the blame edges partition it exactly; the (tiny)
+		// non-blocking acquisition overhead inside `waited` lands in the
+		// compute remainder instead.
+		cp := OpCritPath{
+			Session: s.id, Seq: seq, Op: opName,
+			WallNs: int64(waited + service),
+			IONs:   ioNs, RecomputeNs: recomputeNs,
+		}
+		for _, lw := range waits {
+			cp.WaitNs += lw.WaitNs
+			cp.Blame = append(cp.Blame, BlameEdge{
+				Lock: lw.Name, WaitNs: lw.WaitNs,
+				HolderSession: lw.HolderSession, HolderOp: lw.HolderOp,
+			})
+		}
+		cp.ComputeNs = cp.WallNs - cp.WaitNs - cp.IONs - cp.RecomputeNs
+		out.WaitNs = cp.WaitNs
+		out.ComputeNs = cp.ComputeNs
+		e.segWait.Add(cp.WaitNs)
+		e.segIO.Add(cp.IONs)
+		e.segRecompute.Add(cp.RecomputeNs)
+		e.segCompute.Add(cp.ComputeNs)
+		e.critMu.Lock()
+		e.crits = append(e.crits, cp)
+		for _, b := range cp.Blame {
+			k := blockerKey{b.Lock, b.HolderSession, b.HolderOp}
+			bs := e.blockers[k]
+			if bs == nil {
+				bs = &BlockerStat{Lock: b.Lock, HolderSession: b.HolderSession, HolderOp: b.HolderOp}
+				e.blockers[k] = bs
+			}
+			bs.Waits++
+			bs.WaitNs += b.WaitNs
+		}
+		e.critMu.Unlock()
+	}
+	if e.det != nil && e.committed.Load()%16 == 0 {
+		if e.opt.Sketches {
+			e.det.CheckLatency(e.wallSk.Quantile(0.99))
+		}
+		e.det.CheckContention(e.waitNsTot.Load(), e.wallNsTot.Load())
+	}
+	if e.opt.Sketches {
+		wallNs := float64(waited + service)
+		e.wallSk.Observe(wallNs)
+		e.simSk.Observe(out.CostMs)
+		s.wallSk.Observe(wallNs)
+		s.simSk.Observe(out.CostMs)
+	}
+
+	s.st.Ops++
+	if op.Kind == workload.Query {
+		s.st.Queries++
+		s.st.Tuples += len(r.Tuples)
+	} else {
+		s.st.Updates++
+	}
+	s.st.Counters = s.st.Counters.Add(delta)
+	s.st.WaitNs += int64(waited)
+	s.st.ServiceNs += int64(service)
+	s.latencies = append(s.latencies, int64(waited+service))
+	return out
+}
+
+// Finish assembles the run's Result from the opened sessions, in
+// session-id order. Sessions should be Closed first so their sketch
+// summaries are sealed; Run does this, and a server front-end does it
+// when the world is torn down. wall is the run's elapsed wall-clock in
+// seconds, measured by whoever drove the sessions.
+func (e *Engine) Finish(wall float64) Result {
+	e.sessMu.Lock()
+	sessions := append([]*Session(nil), e.sessions...)
+	e.sessMu.Unlock()
+
+	res := Result{Clients: len(sessions), Sessions: make([]SessionStats, len(sessions)), WallSec: wall}
+	for i, sess := range sessions {
+		if sess == nil {
+			res.Sessions[i] = SessionStats{Session: i}
+			continue
+		}
+		res.Sessions[i] = sess.st
+		st := &res.Sessions[i]
+		res.Ops += st.Ops
+		res.Queries += st.Queries
+		res.Updates += st.Updates
+		res.TuplesReturned += st.Tuples
+		res.Counters = res.Counters.Add(st.Counters)
+		res.LatencyNs = append(res.LatencyNs, sess.latencies...)
+	}
+	if res.WallSec > 0 {
+		res.Throughput = float64(res.Ops) / res.WallSec
+	}
+	res.SimTotalMs = res.Counters.Milliseconds(e.costs)
+	res.History = e.hist
+	if e.opt.ProfileLocks {
+		res.Contention = e.locks.Contention()
+	}
+	if e.opt.Sketches {
+		res.WallLatency = e.wallSk.Summary()
+		res.SimLatency = e.simSk.Summary()
+	}
+	if e.opt.CritPath {
+		e.critMu.Lock()
+		res.CritPaths = append([]OpCritPath(nil), e.crits...)
+		e.critMu.Unlock()
+		sort.Slice(res.CritPaths, func(i, j int) bool { return res.CritPaths[i].Seq < res.CritPaths[j].Seq })
+		res.TopBlockers = e.TopBlockers(0)
+	}
+	if e.det != nil {
+		if l := e.w.Config().Ledger; l != nil {
+			st := l.Stats()
+			e.det.CheckWastedWork(st.WastedMs, st.ComputeMs)
+		}
+	}
+	return res
+}

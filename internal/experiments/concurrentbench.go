@@ -7,8 +7,10 @@ import (
 
 	"dbproc/internal/costmodel"
 	"dbproc/internal/engine"
+	"dbproc/internal/server"
 	"dbproc/internal/sim"
 	"dbproc/internal/telemetry"
+	"dbproc/internal/wire"
 )
 
 // ConcurrentBenchReport is the shape of BENCH_concurrent.json: for each
@@ -27,6 +29,9 @@ type ConcurrentBenchReport struct {
 	ThinkMeanMs float64 `json:"think_mean_ms"`
 	// Ops is the workload length each row executed (K + Q).
 	Ops int `json:"ops"`
+	// Served reports whether rows carry a measured wall_served pass
+	// (the same cell driven through procserved over the wire driver).
+	Served bool `json:"served,omitempty"`
 
 	Rows []ConcurrentBenchRow `json:"rows"`
 }
@@ -61,8 +66,21 @@ type ConcurrentBenchRow struct {
 	WallParallelSpeedup float64 `json:"wall_parallel_speedup,omitempty"`
 	// Projected marks rows measured on a host with fewer cores than
 	// sessions: there the measured throughput cannot corroborate
-	// WallParallelSpeedup, so the figure is the schedule bound only.
+	// WallParallelSpeedup, so the figure is the schedule bound only. A
+	// served pass clears the flag — WallServedOps is then a genuine
+	// wall-clock measurement of real concurrent clients over the wire,
+	// not a schedule projection.
 	Projected bool `json:"projected,omitempty"`
+	// WallServedOps is the measured throughput (ops per wall-clock
+	// second, wire round-trips included) of the same cell driven
+	// through procserved by concurrent database/sql clients — one
+	// pooled connection per session. Zero when the served pass is off.
+	WallServedOps float64 `json:"wall_served_ops_per_sec,omitempty"`
+	// ServedMatchesSequential is set on served 1-client rows: the
+	// served world's counters and simulated cost equal the sequential
+	// simulator's byte for byte, extending the MatchesSequential anchor
+	// across the wire.
+	ServedMatchesSequential bool `json:"served_matches_sequential,omitempty"`
 	// WallLatency / SimLatency summarize per-operation latency from the
 	// engine's streaming P² sketches: wall-clock nanoseconds (lock wait +
 	// latched service) and simulated milliseconds.
@@ -163,6 +181,27 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 		Ops:         int(p.K+0.5) + int(p.Q+0.5),
 	}
 
+	// The served pass measures each cell a second time through
+	// procserved over the database/sql driver; with no external address
+	// a loopback server lives for the duration of the bench.
+	var servedAddr string
+	if opt.Served {
+		servedAddr = opt.ServedAddr
+		if servedAddr == "" {
+			srv := server.New(server.Options{})
+			addr, err := srv.ListenAndServe("127.0.0.1:0")
+			if err == nil {
+				servedAddr = addr
+				defer func() {
+					sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					srv.Shutdown(sctx)
+				}()
+			}
+		}
+	}
+	rep.Served = servedAddr != ""
+
 	strategies := []costmodel.Strategy{
 		costmodel.AlwaysRecompute,
 		costmodel.CacheInvalidate,
@@ -223,6 +262,25 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 				}
 				if base > 0 {
 					row.Speedup = res.Throughput / base
+				}
+				if servedAddr != "" {
+					sres, err := DriveServed(ctx, servedAddr, &wire.WorldOpen{
+						Params:   p,
+						Model:    WireModel(model),
+						Strategy: WireStrategy(strat),
+						Seed:     opt.SimSeed,
+						Clients:  clients,
+					})
+					if err == nil {
+						row.WallServedOps = sres.ThroughputOps
+						// A genuine wall measurement of real concurrent
+						// clients replaces the schedule projection.
+						row.Projected = false
+						if clients == 1 {
+							row.ServedMatchesSequential = sres.Counters == seq.Counters &&
+								sres.SimTotalMs == seq.TotalMs
+						}
+					}
 				}
 				rep.Rows = append(rep.Rows, row)
 			}

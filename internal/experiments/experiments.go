@@ -49,6 +49,14 @@ type Options struct {
 	// the engine becomes the hub's /metrics source and its events stream
 	// into the hub's flight recorder (procbench -listen).
 	Hub *telemetry.Hub
+	// Served adds a second, measured pass to each concurrent-benchmark
+	// cell: the same configuration driven through procserved over the
+	// database/sql driver (docs/SERVING.md), recorded as the row's
+	// wall_served throughput. ServedAddr names an external server;
+	// empty starts a loopback server in-process for the bench's
+	// duration.
+	Served     bool
+	ServedAddr string
 }
 
 // Table is one rendered result: a titled grid of cells.

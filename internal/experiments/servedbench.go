@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbproc/client"
+	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
+	"dbproc/internal/wire"
+)
+
+// ServedResult is one workload measured through procserved: the same
+// aggregate quantities an in-process engine run reports, but produced by
+// real wire round-trips — the first multi-client numbers on this
+// codebase that are measured rather than schedule-projected.
+type ServedResult struct {
+	Clients int
+	Ops     int
+	Queries int
+	Updates int
+	// WallSec is client-side elapsed wall-clock over the whole drive;
+	// ThroughputOps is Ops over it. Both include wire round-trip time,
+	// which is the point.
+	WallSec       float64
+	ThroughputOps float64
+	// SimTotalMs and Counters are the server-side world's aggregate
+	// simulated cost and counters; with one client they are byte-equal
+	// to sim.Run on the same Config.
+	SimTotalMs float64
+	Counters   metric.Counters
+	// HistoryDigest canonically hashes the committed history
+	// (server.HistoryDigest), comparable against an in-process run.
+	HistoryDigest string
+}
+
+// WireStrategy and WireModel name costmodel enums in the wire protocol's
+// vocabulary (the same short names cmd/procsim's -strategy flag takes).
+func WireStrategy(s costmodel.Strategy) string {
+	switch s {
+	case costmodel.AlwaysRecompute:
+		return "recompute"
+	case costmodel.CacheInvalidate:
+		return "ci"
+	case costmodel.UpdateCacheAVM:
+		return "uc-avm"
+	case costmodel.UpdateCacheRVM:
+		return "uc-rvm"
+	}
+	return s.String()
+}
+
+func WireModel(m costmodel.Model) string {
+	if m == costmodel.Model2 {
+		return "2"
+	}
+	return "1"
+}
+
+// DriveServed runs one workload through the procserved at addr: it opens
+// a bench world over the control connection, then drives every session
+// concurrently through the standard database/sql driver — one pooled
+// connection per session, each step a "@bench next" statement — and
+// finally collects the world's sealed statistics. The server deals the
+// canonical operation stream exactly like engine.Run, so the committed
+// per-session streams match an in-process run's.
+func DriveServed(ctx context.Context, addr string, open *wire.WorldOpen) (*ServedResult, error) {
+	control, err := client.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("served: dial control: %w", err)
+	}
+	defer control.Close()
+	opened, err := control.WorldOpen(ctx, open)
+	if err != nil {
+		return nil, fmt.Errorf("served: open world: %w", err)
+	}
+	defer control.WorldClose(context.Background(), opened.World)
+
+	db, err := sql.Open("dbproc", addr)
+	if err != nil {
+		return nil, fmt.Errorf("served: open driver: %w", err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(opened.Sessions)
+
+	errCh := make(chan error, opened.Sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < opened.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			step := fmt.Sprintf("@bench next %d %d", opened.World, s)
+			for {
+				if ctx.Err() != nil {
+					errCh <- ctx.Err()
+					return
+				}
+				res, err := db.ExecContext(ctx, step)
+				if err != nil {
+					errCh <- fmt.Errorf("served: session %d: %w", s, err)
+					return
+				}
+				if n, _ := res.RowsAffected(); n == 0 {
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats, err := control.WorldStats(ctx, opened.World)
+	if err != nil {
+		return nil, fmt.Errorf("served: world stats: %w", err)
+	}
+	out := &ServedResult{
+		Clients:       opened.Sessions,
+		Ops:           stats.Ops,
+		Queries:       stats.Queries,
+		Updates:       stats.Updates,
+		WallSec:       wall,
+		SimTotalMs:    stats.SimTotalMs,
+		Counters:      stats.Counters,
+		HistoryDigest: stats.HistoryDigest,
+	}
+	if wall > 0 {
+		out.ThroughputOps = float64(stats.Ops) / wall
+	}
+	return out, nil
+}

@@ -28,6 +28,11 @@ type DB struct {
 	procIDs  map[string][]int // procedure name -> leaf query ids
 	nextID   int
 	nextSeq  uint64
+
+	// tx is the open undo-log transaction, nil outside one. A session
+	// holds at most one open transaction (the server's statement gate
+	// serializes sessions, so this is a per-server invariant too).
+	tx *Tx
 }
 
 // Open creates an empty session. pageSize and width follow the paper's
@@ -77,6 +82,9 @@ type Result struct {
 	// Sections carries the further result sets of a multi-query procedure
 	// (the first set is in Columns/Rows).
 	Sections []Section
+	// Affected counts tuples changed by append/delete/replace (the wire
+	// driver's RowsAffected).
+	Affected int64
 	// CostMs is the simulated cost charged by the statement.
 	CostMs float64
 }
@@ -84,16 +92,22 @@ type Result struct {
 // Run parses and executes one statement. Engine-level panics (bad widths,
 // capacity violations) are converted to errors so an interactive session
 // survives bad input.
-func (db *DB) Run(input string) (res *Result, err error) {
+func (db *DB) Run(input string) (*Result, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunParsed(stmt)
+}
+
+// RunParsed executes an already-parsed statement — the path a server
+// takes for prepared statements, where Parse ran once at Prepare time.
+func (db *DB) RunParsed(stmt Statement) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("quel: %v", r)
 		}
 	}()
-	stmt, err := Parse(input)
-	if err != nil {
-		return nil, err
-	}
 	db.pager.BeginOp()
 	before := db.meter.Snapshot()
 	res, err = db.exec(stmt)
@@ -106,6 +120,14 @@ func (db *DB) Run(input string) (res *Result, err error) {
 }
 
 func (db *DB) exec(stmt Statement) (*Result, error) {
+	if db.tx != nil {
+		// DDL has no undo entries (catalog and procedure definitions are
+		// not logged), so a transaction may not issue it.
+		switch stmt.(type) {
+		case *CreateStmt, *DefineProcStmt:
+			return nil, fmt.Errorf("quel: DDL is not allowed inside a transaction")
+		}
+	}
 	switch s := stmt.(type) {
 	case *CreateStmt:
 		return db.create(s)
@@ -178,7 +200,13 @@ func (db *DB) append_(s *AppendStmt) (*Result, error) {
 	// Tell the stored-procedure layer, so conflicting cached results are
 	// invalidated.
 	db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Inserted: [][]byte{tup}})
-	return &Result{Message: "appended 1 tuple to " + s.Rel}, nil
+	if db.tx != nil {
+		db.tx.log(func() {
+			db.removeBase(rel, tup)
+			db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: [][]byte{tup}})
+		})
+	}
+	return &Result{Message: "appended 1 tuple to " + s.Rel, Affected: 1}, nil
 }
 
 func (db *DB) compile(r *RetrieveStmt) (query.Plan, error) {
@@ -265,8 +293,19 @@ func (db *DB) delete_(s *DeleteStmt) (*Result, error) {
 	}
 	if len(tuples) > 0 {
 		db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: tuples})
+		if db.tx != nil {
+			db.tx.log(func() {
+				for _, tup := range tuples {
+					rel.Insert(db.pager, tup)
+				}
+				db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Inserted: tuples})
+			})
+		}
 	}
-	return &Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", len(tuples), s.Rel)}, nil
+	return &Result{
+		Message:  fmt.Sprintf("deleted %d tuple(s) from %s", len(tuples), s.Rel),
+		Affected: int64(len(tuples)),
+	}, nil
 }
 
 func (db *DB) replace(s *ReplaceStmt) (*Result, error) {
@@ -292,8 +331,22 @@ func (db *DB) replace(s *ReplaceStmt) (*Result, error) {
 	}
 	if len(tuples) > 0 {
 		db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: tuples, Inserted: inserted})
+		if db.tx != nil {
+			db.tx.log(func() {
+				for _, tup := range inserted {
+					db.removeBase(rel, tup)
+				}
+				for _, tup := range tuples {
+					rel.Insert(db.pager, tup)
+				}
+				db.strategy.OnUpdate(db.pager, proc.Delta{Rel: rel, Deleted: inserted, Inserted: tuples})
+			})
+		}
 	}
-	return &Result{Message: fmt.Sprintf("replaced %d tuple(s) in %s", len(tuples), s.Rel)}, nil
+	return &Result{
+		Message:  fmt.Sprintf("replaced %d tuple(s) in %s", len(tuples), s.Rel),
+		Affected: int64(len(tuples)),
+	}, nil
 }
 
 func (db *DB) defineProc(s *DefineProcStmt) (*Result, error) {

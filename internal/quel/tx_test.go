@@ -1,0 +1,175 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// rowsOf retrieves every emp tuple, for before/after comparison.
+func rowsOf(t *testing.T, db *DB) string {
+	t.Helper()
+	res, err := db.Run("retrieve (emp.all) where emp.age >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%v\n", row)
+	}
+	return b.String()
+}
+
+func TestTxCommitKeepsEffects(t *testing.T) {
+	db := newDB(t)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("nested Begin accepted")
+	}
+	res, err := db.Run("append to emp (tid = 9, age = 99, dept = 10, salary = 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("append Affected = %d, want 1", res.Affected)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.InTx() {
+		t.Fatal("tx still open after commit")
+	}
+	res, err = db.Run("retrieve (emp.tid) where emp.age = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("committed append lost: %v", res.Rows)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestTxRollbackRestoresBaseTables(t *testing.T) {
+	db := newDB(t)
+	before := rowsOf(t, db)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := []struct {
+		text     string
+		affected int64
+	}{
+		{"append to emp (tid = 9, age = 99, dept = 10, salary = 1)", 1},
+		{"delete from emp where emp.age = 35", 2},
+		{"replace emp (salary = 0) where emp.dept = 10", 3}, // tids 1, 2 and the new 9
+	}
+	for _, s := range stmts {
+		res, err := db.Run(s.text)
+		if err != nil {
+			t.Fatalf("%s: %v", s.text, err)
+		}
+		if res.Affected != s.affected {
+			t.Fatalf("%s: Affected = %d, want %d", s.text, res.Affected, s.affected)
+		}
+	}
+	// The transaction sees its own writes.
+	mid, err := db.Run("retrieve (emp.tid) where emp.age = 35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Rows) != 0 {
+		t.Fatalf("deleted rows still visible in tx: %v", mid.Rows)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if after := rowsOf(t, db); after != before {
+		t.Fatalf("rollback did not restore emp:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Fatal("double rollback accepted")
+	}
+}
+
+func TestTxRollbackReinvalidatesProcedureCache(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.Run("define procedure seniors as retrieve (emp.all) where emp.age >= 41"); err != nil {
+		t.Fatal(err)
+	}
+	run := func(stmt string) *Result {
+		t.Helper()
+		res, err := db.Run(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		return res
+	}
+	if res := run("execute seniors"); len(res.Rows) != 2 {
+		t.Fatalf("warm execute: %d rows", len(res.Rows))
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("append to emp (tid = 9, age = 80, dept = 10, salary = 1)")
+	// The cache saw the invalidation; executing inside the tx recomputes
+	// over the transactional state.
+	if res := run("execute seniors"); len(res.Rows) != 3 {
+		t.Fatalf("in-tx execute: %d rows, want 3", len(res.Rows))
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The rollback's inverse delta re-invalidated the entry, so the next
+	// execute recomputes against the restored base state.
+	if res := run("execute seniors"); len(res.Rows) != 2 {
+		t.Fatalf("post-rollback execute: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestTxRejectsDDL(t *testing.T) {
+	db := newDB(t)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	for _, ddl := range []string{
+		"create late (tid, a) cluster on a",
+		"define procedure p as retrieve (emp.tid) where emp.age = 35",
+	} {
+		if _, err := db.Run(ddl); err == nil {
+			t.Errorf("%q accepted inside tx", ddl)
+		}
+	}
+	// Reads are fine.
+	if _, err := db.Run("retrieve (emp.tid) where emp.age = 35"); err != nil {
+		t.Errorf("read inside tx: %v", err)
+	}
+}
+
+func TestTxRollbackIsUncharged(t *testing.T) {
+	db := newDB(t)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Run("delete from emp where emp.age >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Meter().Milliseconds()
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.Meter().Milliseconds(); after != before {
+		t.Fatalf("rollback charged %v ms", after-before)
+	}
+}

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"dbproc/internal/quel"
+	"dbproc/internal/wire"
+)
+
+// conn is one client connection. A dedicated reader goroutine pulls
+// frames off the socket so TCancel is seen even while the handler is
+// blocked (on the gate, or mid-request); every other frame is forwarded
+// to the handler goroutine, which owns the handle tables and is the only
+// writer of response frames.
+type conn struct {
+	srv *Server
+	id  int64
+	nc  net.Conn
+	bw  *bufio.Writer
+
+	// Handle tables, owned by the handler goroutine.
+	stmts      map[int]quel.Statement
+	cursors    map[int]*cursor
+	tx         *quel.Tx
+	txHandle   int
+	nextHandle int
+
+	// cancelMu guards the in-flight request's cancel func, shared with
+	// the reader goroutine.
+	cancelMu sync.Mutex
+	cancel   context.CancelFunc
+}
+
+// cursor is the server-side remainder of a cursored statement: the rows
+// not yet fetched.
+type cursor struct {
+	rows [][]int64
+}
+
+type request struct {
+	typ     byte
+	payload []byte
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	if s.draining() || !admit(&s.nConns, s.opt.MaxConns) {
+		s.rejected.Add(1)
+		code := wire.CodeLimit
+		if s.draining() {
+			code = wire.CodeDraining
+		}
+		bw := bufio.NewWriter(nc)
+		wire.WriteFrame(bw, wire.TError, &wire.Error{Code: code, Msg: "connection refused"})
+		bw.Flush()
+		return
+	}
+	defer s.nConns.Add(-1)
+	s.accepted.Add(1)
+
+	c := &conn{
+		srv:     s,
+		id:      s.nextConnID.Add(1),
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		stmts:   make(map[int]quel.Statement),
+		cursors: make(map[int]*cursor),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.teardown()
+	}()
+
+	br := bufio.NewReader(nc)
+
+	// Handshake: the first frame must be THello with a matching version.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	if typ != wire.THello {
+		c.writeError(wire.CodeProtocol, "expected hello")
+		return
+	}
+	msg, err := wire.Decode(typ, payload)
+	if err != nil {
+		c.writeError(wire.CodeProtocol, err.Error())
+		return
+	}
+	hello := msg.(*wire.Hello)
+	if hello.Version != wire.Version {
+		c.writeError(wire.CodeProtocol, fmt.Sprintf("protocol version %d, server speaks %d", hello.Version, wire.Version))
+		return
+	}
+	if err := c.write(wire.THelloOK, &wire.HelloOK{Version: wire.Version, Server: "procserved"}); err != nil {
+		return
+	}
+
+	// Reader goroutine: dispatches TCancel immediately, forwards the rest.
+	// done unblocks a reader stuck handing off a request after the
+	// handler loop has exited.
+	reqCh := make(chan request)
+	readErr := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(readErr)
+		for {
+			typ, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				return
+			}
+			if typ == wire.TCancel {
+				c.cancelInflight()
+				continue
+			}
+			select {
+			case reqCh <- request{typ, payload}:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case r := <-reqCh:
+			if !c.handle(r) {
+				return
+			}
+		case <-readErr:
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// teardown releases everything the connection holds: an open
+// transaction rolls back (and frees the gate), cursors and prepared
+// statements drop their admission slots.
+func (c *conn) teardown() {
+	c.cancelInflight()
+	if c.tx != nil {
+		c.tx.Rollback()
+		c.tx = nil
+		c.srv.nTx.Add(-1)
+		c.srv.releaseGate()
+	}
+	c.srv.nStmts.Add(-int64(len(c.stmts)))
+	c.stmts = nil
+	c.srv.nCursors.Add(-int64(len(c.cursors)))
+	c.cursors = nil
+}
+
+func (c *conn) cancelInflight() {
+	c.cancelMu.Lock()
+	if c.cancel != nil {
+		c.cancel()
+	}
+	c.cancelMu.Unlock()
+}
+
+func (c *conn) write(typ byte, msg any) error {
+	if err := wire.WriteFrame(c.bw, typ, msg); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) writeError(code, msg string) error {
+	c.srv.errorsTotal.Add(1)
+	return c.write(wire.TError, &wire.Error{Code: code, Msg: msg})
+}
+
+// handle services one request frame and writes exactly one response.
+// It returns false when the connection should close (write failure or
+// protocol violation).
+func (c *conn) handle(r request) bool {
+	c.srv.requests.Add(1)
+	start := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancelMu.Lock()
+	c.cancel = cancel
+	c.cancelMu.Unlock()
+	defer func() {
+		c.cancelMu.Lock()
+		c.cancel = nil
+		c.cancelMu.Unlock()
+		cancel()
+		c.srv.record(c.id, c.srv.requests.Load(), wireName(r.typ), time.Since(start).Nanoseconds())
+	}()
+
+	msg, err := wire.Decode(r.typ, r.payload)
+	if err != nil {
+		c.writeError(wire.CodeProtocol, err.Error())
+		return false
+	}
+	switch m := msg.(type) {
+	case *wire.Ping:
+		return c.write(wire.TPong, &wire.Pong{}) == nil
+	case *wire.Stmt:
+		return c.handleStmt(ctx, m) == nil
+	case *wire.Prepare:
+		return c.handlePrepare(m) == nil
+	case *wire.StmtExec:
+		return c.handleStmtExec(ctx, m) == nil
+	case *wire.StmtClose:
+		if _, ok := c.stmts[m.Stmt]; ok {
+			delete(c.stmts, m.Stmt)
+			c.srv.nStmts.Add(-1)
+		}
+		return c.write(wire.TOK, &wire.OK{}) == nil
+	case *wire.Begin:
+		return c.handleBegin(ctx) == nil
+	case *wire.Commit:
+		return c.handleTxEnd(m.Tx, true) == nil
+	case *wire.Rollback:
+		return c.handleTxEnd(m.Tx, false) == nil
+	case *wire.Fetch:
+		return c.handleFetch(m) == nil
+	case *wire.CursorClose:
+		if _, ok := c.cursors[m.Cursor]; ok {
+			delete(c.cursors, m.Cursor)
+			c.srv.nCursors.Add(-1)
+		}
+		return c.write(wire.TOK, &wire.OK{}) == nil
+	case *wire.WorldOpen:
+		return c.handleWorldOpen(m) == nil
+	case *wire.WorldNext:
+		return c.handleWorldNext(m) == nil
+	case *wire.WorldStats:
+		return c.handleWorldStats(m) == nil
+	case *wire.WorldClose:
+		return c.handleWorldClose(m) == nil
+	default:
+		c.writeError(wire.CodeProtocol, fmt.Sprintf("unexpected frame type %d", r.typ))
+		return false
+	}
+}
+
+// enterGate acquires the statement gate unless this connection already
+// holds it through an open transaction. The returned release is a no-op
+// in that case — the transaction keeps the gate until Commit/Rollback.
+func (c *conn) enterGate(ctx context.Context) (func(), error) {
+	if c.tx != nil {
+		return func() {}, nil
+	}
+	if err := c.srv.acquireGate(ctx); err != nil {
+		return nil, err
+	}
+	return c.srv.releaseGate, nil
+}
+
+func (c *conn) handleStmt(ctx context.Context, m *wire.Stmt) error {
+	if strings.HasPrefix(m.Text, "@bench ") {
+		return c.handleBench(m.Text)
+	}
+	stmt, err := quel.Parse(m.Text)
+	if err != nil {
+		return c.writeError(wire.CodeParse, err.Error())
+	}
+	return c.execParsed(ctx, stmt, m.Tx, m.Cursor, m.Fetch)
+}
+
+func (c *conn) handlePrepare(m *wire.Prepare) error {
+	stmt, err := quel.Parse(m.Text)
+	if err != nil {
+		return c.writeError(wire.CodeParse, err.Error())
+	}
+	if !admit(&c.srv.nStmts, c.srv.opt.MaxStmts) {
+		return c.writeError(wire.CodeLimit, "too many prepared statements")
+	}
+	c.nextHandle++
+	c.stmts[c.nextHandle] = stmt
+	return c.write(wire.TPrepared, &wire.Prepared{Stmt: c.nextHandle})
+}
+
+func (c *conn) handleStmtExec(ctx context.Context, m *wire.StmtExec) error {
+	stmt, ok := c.stmts[m.Stmt]
+	if !ok {
+		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no prepared statement %d", m.Stmt))
+	}
+	return c.execParsed(ctx, stmt, m.Tx, m.Cursor, m.Fetch)
+}
+
+// execParsed runs one parsed statement under the gate and answers with
+// TResult, slicing off a cursor when asked and more rows remain.
+func (c *conn) execParsed(ctx context.Context, stmt quel.Statement, tx int, wantCursor bool, fetch int) error {
+	if tx != 0 && (c.tx == nil || tx != c.txHandle) {
+		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no transaction %d", tx))
+	}
+	release, err := c.enterGate(ctx)
+	if err != nil {
+		return c.writeError(wire.CodeCancelled, "cancelled waiting for the statement gate")
+	}
+	start := time.Now()
+	res, err := c.srv.db.RunParsed(stmt)
+	release()
+	if err != nil {
+		return c.writeError(wire.CodeExec, err.Error())
+	}
+	out := toWireResult(res)
+	out.WallNs = time.Since(start).Nanoseconds()
+	if wantCursor {
+		if fetch <= 0 {
+			fetch = c.srv.opt.FetchBatch
+		}
+		if len(out.Rows) > fetch {
+			if !admit(&c.srv.nCursors, c.srv.opt.MaxCursors) {
+				return c.writeError(wire.CodeLimit, "too many open cursors")
+			}
+			c.nextHandle++
+			c.cursors[c.nextHandle] = &cursor{rows: out.Rows[fetch:]}
+			out.Cursor = c.nextHandle
+			out.More = true
+			out.Rows = out.Rows[:fetch]
+		}
+	}
+	return c.write(wire.TResult, out)
+}
+
+func (c *conn) handleBegin(ctx context.Context) error {
+	if c.tx != nil {
+		return c.writeError(wire.CodeExec, "transaction already open on this connection")
+	}
+	if err := c.srv.acquireGate(ctx); err != nil {
+		return c.writeError(wire.CodeCancelled, "cancelled waiting for the statement gate")
+	}
+	tx, err := c.srv.db.Begin()
+	if err != nil {
+		c.srv.releaseGate()
+		return c.writeError(wire.CodeExec, err.Error())
+	}
+	c.srv.nTx.Add(1)
+	c.tx = tx
+	c.nextHandle++
+	c.txHandle = c.nextHandle
+	return c.write(wire.TBegun, &wire.Begun{Tx: c.txHandle})
+}
+
+func (c *conn) handleTxEnd(handle int, commit bool) error {
+	if c.tx == nil || handle != c.txHandle {
+		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no transaction %d", handle))
+	}
+	var err error
+	if commit {
+		err = c.tx.Commit()
+	} else {
+		err = c.tx.Rollback()
+	}
+	c.tx = nil
+	c.txHandle = 0
+	c.srv.nTx.Add(-1)
+	c.srv.releaseGate()
+	if err != nil {
+		return c.writeError(wire.CodeExec, err.Error())
+	}
+	return c.write(wire.TOK, &wire.OK{})
+}
+
+func (c *conn) handleFetch(m *wire.Fetch) error {
+	cur, ok := c.cursors[m.Cursor]
+	if !ok {
+		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no cursor %d", m.Cursor))
+	}
+	max := m.Max
+	if max <= 0 {
+		max = c.srv.opt.FetchBatch
+	}
+	out := &wire.Fetched{}
+	if len(cur.rows) > max {
+		out.Rows = cur.rows[:max]
+		cur.rows = cur.rows[max:]
+		out.More = true
+	} else {
+		out.Rows = cur.rows
+		cur.rows = nil
+		delete(c.cursors, m.Cursor)
+		c.srv.nCursors.Add(-1)
+	}
+	return c.write(wire.TFetched, out)
+}
+
+// handleBench intercepts the "@bench ..." statement dialect that lets a
+// plain database/sql client drive an open bench world:
+//
+//	@bench next <world> <session>
+//
+// executes that session's next dealt operation (RowsAffected 1) or
+// reports exhaustion (RowsAffected 0). World steps bypass the statement
+// gate — the world's engine does its own locking.
+func (c *conn) handleBench(text string) error {
+	var worldID, session int
+	if _, err := fmt.Sscanf(text, "@bench next %d %d", &worldID, &session); err != nil {
+		return c.writeError(wire.CodeParse, fmt.Sprintf("bad @bench statement %q", text))
+	}
+	step, werr := c.srv.worldNext(worldID, session)
+	if werr != nil {
+		return c.writeError(werr.Code, werr.Msg)
+	}
+	out := &wire.Result{CostMs: step.CostMs, WallNs: step.WallNs}
+	if step.Done {
+		out.Message = "world session drained"
+	} else {
+		out.Message = fmt.Sprintf("committed seq %d", step.Seq)
+		out.Affected = 1
+	}
+	return c.write(wire.TResult, out)
+}
+
+// toWireResult converts a quel result for the wire.
+func toWireResult(res *quel.Result) *wire.Result {
+	out := &wire.Result{
+		Message:  res.Message,
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		Affected: res.Affected,
+		CostMs:   res.CostMs,
+	}
+	for _, s := range res.Sections {
+		out.Sections = append(out.Sections, wire.Section{Columns: s.Columns, Rows: s.Rows})
+	}
+	return out
+}
+
+func wireName(typ byte) string {
+	switch typ {
+	case wire.TStmt:
+		return "stmt"
+	case wire.TPrepare:
+		return "prepare"
+	case wire.TStmtExec:
+		return "stmt.exec"
+	case wire.TBegin:
+		return "begin"
+	case wire.TCommit:
+		return "commit"
+	case wire.TRollback:
+		return "rollback"
+	case wire.TFetch:
+		return "fetch"
+	case wire.TWorldOpen:
+		return "world.open"
+	case wire.TWorldNext:
+		return "world.next"
+	case wire.TWorldStats:
+		return "world.stats"
+	default:
+		return fmt.Sprintf("frame.%d", typ)
+	}
+}

@@ -1,0 +1,303 @@
+// Package server implements procserved's TCP front-end: it multiplexes
+// wire-protocol connections onto one shared quel session and onto
+// engine-backed bench worlds.
+//
+// Concurrency model. The quel.DB is a single-threaded interpreter, so
+// the server serializes statement execution through a capacity-1 gate
+// channel. A connection acquires the gate per statement — except inside
+// an explicit transaction, where Begin holds the gate until
+// Commit/Rollback so no other connection can observe (or interleave
+// with) uncommitted state. Gate waits are context-cancellable: a TCancel
+// frame for the in-flight request aborts the wait and the request fails
+// with CodeCancelled. Bench worlds bypass the gate entirely — each world
+// owns an engine whose lock table isolates its sessions.
+//
+// Admission. Connections, prepared statements, cursors, transactions and
+// worlds are all bounded (Options); admission is a single atomic
+// increment-then-check, so an over-limit request is rejected with
+// CodeLimit before it allocates anything.
+//
+// Drain. Shutdown stops the listener, lets every connection finish its
+// in-flight request, then closes them; stragglers are force-closed when
+// the context expires.
+package server
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dbproc/internal/metric"
+	"dbproc/internal/quel"
+	"dbproc/internal/telemetry"
+)
+
+// Options bounds and configures a Server. Zero values take defaults.
+type Options struct {
+	// MaxConns bounds concurrently open connections (default 64).
+	MaxConns int
+	// MaxStmts bounds prepared statements per connection (default 256).
+	MaxStmts int
+	// MaxCursors bounds open cursors per connection (default 256).
+	MaxCursors int
+	// MaxWorlds bounds concurrently open bench worlds (default 8).
+	MaxWorlds int
+	// FetchBatch is the default cursor batch when a Stmt/Fetch frame
+	// does not name one (default 256 rows).
+	FetchBatch int
+	// PageSize and Width configure the shared quel session's pager;
+	// zero takes the paper defaults (4000-byte pages, 100-byte tuples),
+	// matching a local procshell session.
+	PageSize int
+	Width    int
+	// Costs prices the shared session's simulated work.
+	Costs metric.Costs
+	// Recorder, when non-nil, receives one flight event per request
+	// (kind "server.request"), so a stalled served run can be diagnosed
+	// from the same flight tail as an in-process one.
+	Recorder *telemetry.Recorder
+}
+
+func (o *Options) fill() {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 64
+	}
+	if o.MaxStmts <= 0 {
+		o.MaxStmts = 256
+	}
+	if o.MaxCursors <= 0 {
+		o.MaxCursors = 256
+	}
+	if o.MaxWorlds <= 0 {
+		o.MaxWorlds = 8
+	}
+	if o.FetchBatch <= 0 {
+		o.FetchBatch = 256
+	}
+	if o.Costs == (metric.Costs{}) {
+		o.Costs = metric.DefaultCosts()
+	}
+}
+
+// Server is one procserved instance.
+type Server struct {
+	opt Options
+
+	db   *quel.DB
+	gate chan struct{} // capacity 1: serializes quel statement execution
+
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	wg      sync.WaitGroup
+	drainCh chan struct{}
+	drained atomic.Bool
+
+	worldMu   sync.Mutex
+	worlds    map[int]*world
+	nextWorld int
+
+	// Gauges and counters (atomic; scraped by TelemetryMetrics).
+	nConns      atomic.Int64
+	nStmts      atomic.Int64
+	nCursors    atomic.Int64
+	nTx         atomic.Int64
+	nWorlds     atomic.Int64
+	accepted    atomic.Int64
+	rejected    atomic.Int64
+	requests    atomic.Int64
+	errorsTotal atomic.Int64
+	nextConnID  atomic.Int64
+}
+
+// New builds an unstarted server with one fresh quel session.
+func New(opt Options) *Server {
+	opt.fill()
+	return &Server{
+		opt:     opt,
+		db:      quel.Open(opt.PageSize, opt.Width, opt.Costs),
+		gate:    make(chan struct{}, 1),
+		conns:   make(map[*conn]struct{}),
+		drainCh: make(chan struct{}),
+		worlds:  make(map[int]*world),
+	}
+}
+
+// DB exposes the shared quel session (tests inspect meter state through
+// it; the server itself only touches it under the gate).
+func (s *Server) DB() *quel.DB { return s.db }
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.drained.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// ListenAndServe binds addr (use "127.0.0.1:0" in tests), serves in the
+// background, and returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server: the listener closes, every connection
+// finishes its in-flight request and is then closed. Connections still
+// busy when ctx expires are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.drained.Swap(true) {
+		return nil
+	}
+	close(s.drainCh)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool { return s.drained.Load() }
+
+// admit is the bounded-handle idiom: increment, check, roll back on
+// overflow. It keeps admission to one atomic op on the accept path.
+func admit(n *atomic.Int64, max int) bool {
+	if n.Add(1) > int64(max) {
+		n.Add(-1)
+		return false
+	}
+	return true
+}
+
+// acquireGate takes the statement gate, waiting until the holder (a
+// statement, or a whole transaction) releases it. The wait aborts when
+// ctx is cancelled — the caller maps that to CodeCancelled.
+func (s *Server) acquireGate(ctx context.Context) error {
+	select {
+	case s.gate <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseGate() { <-s.gate }
+
+// Stats is a point-in-time snapshot of the server's handle tables; the
+// conformance suite asserts these drain to zero after each scenario.
+type Stats struct {
+	Conns    int64
+	Stmts    int64
+	Cursors  int64
+	Tx       int64
+	Worlds   int64
+	Accepted int64
+	Rejected int64
+	Requests int64
+	Errors   int64
+}
+
+// Stat snapshots the gauges.
+func (s *Server) Stat() Stats {
+	return Stats{
+		Conns:    s.nConns.Load(),
+		Stmts:    s.nStmts.Load(),
+		Cursors:  s.nCursors.Load(),
+		Tx:       s.nTx.Load(),
+		Worlds:   s.nWorlds.Load(),
+		Accepted: s.accepted.Load(),
+		Rejected: s.rejected.Load(),
+		Requests: s.requests.Load(),
+		Errors:   s.errorsTotal.Load(),
+	}
+}
+
+// TelemetryMetrics implements telemetry.Source: the server's own
+// connection-pool and handle gauges, plus every open world's engine
+// metrics labelled with the world id.
+func (s *Server) TelemetryMetrics() []telemetry.Metric {
+	st := s.Stat()
+	ms := []telemetry.Metric{
+		telemetry.Gauge("dbproc_server_connections", "Open client connections.", float64(st.Conns), nil),
+		telemetry.Gauge("dbproc_server_stmts_open", "Open prepared statements.", float64(st.Stmts), nil),
+		telemetry.Gauge("dbproc_server_cursors_open", "Open cursors.", float64(st.Cursors), nil),
+		telemetry.Gauge("dbproc_server_tx_open", "Open transactions.", float64(st.Tx), nil),
+		telemetry.Gauge("dbproc_server_worlds_open", "Open bench worlds.", float64(st.Worlds), nil),
+		telemetry.Counter("dbproc_server_connections_accepted_total", "Connections admitted.", float64(st.Accepted), nil),
+		telemetry.Counter("dbproc_server_connections_rejected_total", "Connections refused at admission.", float64(st.Rejected), nil),
+		telemetry.Counter("dbproc_server_requests_total", "Request frames handled.", float64(st.Requests), nil),
+		telemetry.Counter("dbproc_server_errors_total", "Requests answered with an error frame.", float64(st.Errors), nil),
+	}
+	s.worldMu.Lock()
+	worlds := make(map[int]*world, len(s.worlds))
+	for id, w := range s.worlds {
+		worlds[id] = w
+	}
+	s.worldMu.Unlock()
+	for id, w := range worlds {
+		label := map[string]string{"world": strconv.Itoa(id)}
+		for _, m := range w.eng.TelemetryMetrics() {
+			if len(m.Labels) > 0 {
+				merged := make(map[string]string, len(m.Labels)+1)
+				for k, v := range m.Labels {
+					merged[k] = v
+				}
+				merged["world"] = label["world"]
+				m.Labels = merged
+			} else {
+				m.Labels = label
+			}
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// record emits one flight event for a handled request. Nil-safe.
+func (s *Server) record(connID int64, seq int64, name string, serviceNs int64) {
+	if rec := s.opt.Recorder; rec != nil {
+		rec.Op("server.request", int(connID), int(seq), name, 0, serviceNs)
+	}
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/costmodel"
+	"dbproc/internal/engine"
+	"dbproc/internal/sim"
+	"dbproc/internal/wire"
+	"dbproc/internal/workload"
+)
+
+// world is one served bench world: an engine with its sessions opened up
+// front and the canonical workload dealt round-robin across them, so a
+// served run commits the same per-session operation streams as
+// engine.Run with the same client count — and, with one session, the
+// same byte stream as sim.Run.
+type world struct {
+	id  int
+	cfg sim.Config
+	eng *engine.Engine
+
+	sessions []*engine.Session
+	ops      [][]workload.Op
+	// pos[i] is session i's next operation; semu[i] serializes the
+	// session (a session is single-submitter by contract, but wire
+	// clients may race — TryLock maps the race to CodeBusy).
+	pos  []int
+	semu []sync.Mutex
+
+	started time.Time
+
+	// statsOnce seals the world: the first WorldStats closes every
+	// session, finishes the engine, and caches the result.
+	statsOnce sync.Once
+	stats     *wire.WorldStatsResult
+	statsErr  *wire.Error
+}
+
+// strategies and models name the costmodel enums on the wire, matching
+// cmd/procsim's flag vocabulary.
+var strategies = map[string]costmodel.Strategy{
+	"recompute": costmodel.AlwaysRecompute,
+	"ci":        costmodel.CacheInvalidate,
+	"uc-avm":    costmodel.UpdateCacheAVM,
+	"uc-rvm":    costmodel.UpdateCacheRVM,
+}
+
+var models = map[string]costmodel.Model{
+	"1": costmodel.Model1, "model1": costmodel.Model1,
+	"2": costmodel.Model2, "model2": costmodel.Model2,
+}
+
+func (c *conn) handleWorldOpen(m *wire.WorldOpen) error {
+	strat, ok := strategies[m.Strategy]
+	if !ok && !m.Adaptive {
+		return c.writeError(wire.CodeParse, fmt.Sprintf("unknown strategy %q", m.Strategy))
+	}
+	model, ok := models[m.Model]
+	if !ok {
+		return c.writeError(wire.CodeParse, fmt.Sprintf("unknown model %q", m.Model))
+	}
+	params := m.Params
+	if params == (costmodel.Params{}) {
+		params = costmodel.Default()
+	}
+	clients := m.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	cfg := sim.Config{
+		Params:           params,
+		Model:            model,
+		Strategy:         strat,
+		Seed:             m.Seed,
+		R2UpdateFraction: m.R2UpdateFraction,
+		Adaptive:         m.Adaptive,
+	}
+	if m.Ledger {
+		cfg.Ledger = cache.NewLedger()
+	}
+	if !admit(&c.srv.nWorlds, c.srv.opt.MaxWorlds) {
+		return c.writeError(wire.CodeLimit, "too many open worlds")
+	}
+
+	eng := engine.New(cfg, engine.Options{
+		Clients:       clients,
+		RecordHistory: true,
+		CritPath:      m.CritPath,
+		Recorder:      c.srv.opt.Recorder,
+	})
+	w := &world{
+		cfg:      cfg,
+		eng:      eng,
+		sessions: make([]*engine.Session, clients),
+		ops:      engine.Deal(eng.World().WorkloadOps(), clients),
+		pos:      make([]int, clients),
+		semu:     make([]sync.Mutex, clients),
+		started:  time.Now(),
+	}
+	for i := 0; i < clients; i++ {
+		w.sessions[i] = eng.OpenSession(i)
+	}
+
+	c.srv.worldMu.Lock()
+	c.srv.nextWorld++
+	w.id = c.srv.nextWorld
+	c.srv.worlds[w.id] = w
+	c.srv.worldMu.Unlock()
+
+	counts := make([]int, clients)
+	for i, per := range w.ops {
+		counts[i] = len(per)
+	}
+	return c.write(wire.TWorldOpened, &wire.WorldOpened{World: w.id, Sessions: clients, Ops: counts})
+}
+
+func (s *Server) lookupWorld(id int) *world {
+	s.worldMu.Lock()
+	defer s.worldMu.Unlock()
+	return s.worlds[id]
+}
+
+// worldNext executes session's next dealt operation in world id. It is
+// shared by the TWorldNext frame handler and the "@bench next" statement
+// dialect.
+func (s *Server) worldNext(id, session int) (*wire.WorldStep, *wire.Error) {
+	w := s.lookupWorld(id)
+	if w == nil {
+		return nil, &wire.Error{Code: wire.CodeBadHandle, Msg: fmt.Sprintf("no world %d", id)}
+	}
+	if session < 0 || session >= len(w.sessions) {
+		return nil, &wire.Error{Code: wire.CodeBadHandle, Msg: fmt.Sprintf("world %d has no session %d", id, session)}
+	}
+	if !w.semu[session].TryLock() {
+		return nil, &wire.Error{Code: wire.CodeBusy, Msg: fmt.Sprintf("world %d session %d has a request in flight", id, session)}
+	}
+	defer w.semu[session].Unlock()
+	if w.stats != nil {
+		return nil, &wire.Error{Code: wire.CodeExec, Msg: fmt.Sprintf("world %d already finished", id)}
+	}
+	if w.pos[session] >= len(w.ops[session]) {
+		return &wire.WorldStep{Done: true}, nil
+	}
+	op := w.ops[session][w.pos[session]]
+	w.pos[session]++
+	out := w.sessions[session].Exec(op)
+	return &wire.WorldStep{
+		Seq:         out.Seq,
+		Update:      op.Kind == workload.Update,
+		Tuples:      out.Tuples,
+		CostMs:      out.CostMs,
+		WallNs:      out.WallNs,
+		WaitNs:      out.WaitNs,
+		IONs:        out.IONs,
+		RecomputeNs: out.RecomputeNs,
+		ComputeNs:   out.ComputeNs,
+	}, nil
+}
+
+func (c *conn) handleWorldNext(m *wire.WorldNext) error {
+	step, werr := c.srv.worldNext(m.World, m.Session)
+	if werr != nil {
+		return c.writeError(werr.Code, werr.Msg)
+	}
+	return c.write(wire.TWorldStep, step)
+}
+
+func (c *conn) handleWorldStats(m *wire.WorldStats) error {
+	w := c.srv.lookupWorld(m.World)
+	if w == nil {
+		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no world %d", m.World))
+	}
+	w.statsOnce.Do(func() {
+		// Take every session mutex so a racing worldNext either commits
+		// before the seal or observes the finished world.
+		for i := range w.semu {
+			w.semu[i].Lock()
+		}
+		defer func() {
+			for i := range w.semu {
+				w.semu[i].Unlock()
+			}
+		}()
+		for _, sess := range w.sessions {
+			sess.Close()
+		}
+		res := w.eng.Finish(time.Since(w.started).Seconds())
+		stats := &wire.WorldStatsResult{
+			Ops:           res.Ops,
+			Queries:       res.Queries,
+			Updates:       res.Updates,
+			Tuples:        res.TuplesReturned,
+			SimTotalMs:    res.SimTotalMs,
+			Counters:      res.Counters,
+			HistoryDigest: HistoryDigest(res.History),
+		}
+		if w.cfg.Ledger != nil {
+			var buf bytes.Buffer
+			meta := cache.LedgerMeta{
+				Strategy: w.cfg.Strategy.String(), Model: int(w.cfg.Model),
+				Clients: len(w.sessions), Seed: w.cfg.Seed,
+				Queries: res.Queries, Updates: res.Updates,
+				TotalMs: res.SimTotalMs,
+			}
+			if err := cache.WriteLedger(&buf, meta, w.cfg.Ledger); err != nil {
+				w.statsErr = &wire.Error{Code: wire.CodeExec, Msg: err.Error()}
+				return
+			}
+			stats.Ledger = buf.Bytes()
+		}
+		w.stats = stats
+	})
+	if w.statsErr != nil {
+		return c.writeError(w.statsErr.Code, w.statsErr.Msg)
+	}
+	return c.write(wire.TWorldStatsResult, w.stats)
+}
+
+func (c *conn) handleWorldClose(m *wire.WorldClose) error {
+	c.srv.worldMu.Lock()
+	_, ok := c.srv.worlds[m.World]
+	if ok {
+		delete(c.srv.worlds, m.World)
+	}
+	c.srv.worldMu.Unlock()
+	if ok {
+		c.srv.nWorlds.Add(-1)
+	}
+	return c.write(wire.TOK, &wire.OK{})
+}
+
+// HistoryDigest canonically hashes a committed history: one line per
+// entry in commit order covering session, sequence, op identity, tuple
+// count, simulated cost, and the query-result digest. A served run and
+// an in-process run that committed identical histories produce identical
+// digests, which is how the end-to-end identity test compares them
+// without shipping the whole history over the wire.
+func HistoryDigest(h []engine.HistoryEntry) string {
+	sum := sha256.New()
+	for _, e := range h {
+		fmt.Fprintf(sum, "%d %d %d %d %d %d %.6f %x\n",
+			e.Seq, e.Session, int(e.Op.Kind), e.Op.ProcID, e.Op.Index, e.Tuples, e.CostMs, e.Result)
+	}
+	return hex.EncodeToString(sum.Sum(nil))
+}

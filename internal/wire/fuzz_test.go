@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedFrames are the canonical corpus: one well-formed frame per major
+// message type plus adversarial shapes (truncations, wild lengths,
+// unknown types). TestRegenCorpus writes them to testdata; the checked
+// in corpus is what CI's fuzz smoke mutates from.
+func seedFrames(t testing.TB) [][]byte {
+	frame := func(typ byte, msg any) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, msg); err != nil {
+			t.Fatalf("seed frame type %d: %v", typ, err)
+		}
+		return buf.Bytes()
+	}
+	seeds := [][]byte{
+		frame(THello, &Hello{Version: Version, Client: "fuzz"}),
+		frame(TStmt, &Stmt{Text: "retrieve (emp.name) where emp.dept = 4", Cursor: true, Fetch: 32}),
+		frame(TPrepare, &Prepare{Text: "execute all_employees"}),
+		frame(TStmtExec, &StmtExec{Stmt: 1, Tx: 2}),
+		frame(TBegin, &Begin{}),
+		frame(TFetch, &Fetch{Cursor: 7, Max: 128}),
+		frame(TResult, &Result{Columns: []string{"name", "floor"}, Rows: [][]int64{{1, 2}, {3, 4}}, CostMs: 62, Cursor: 7, More: true}),
+		frame(TError, &Error{Code: CodeBadHandle, Msg: "no cursor 9"}),
+		frame(TWorldOpen, &WorldOpen{Model: "model1", Strategy: "ci", Seed: 1, Clients: 2, Ledger: true, CritPath: true}),
+		frame(TWorldStep, &WorldStep{Seq: 14, Tuples: 100, CostMs: 431, WallNs: 812345, WaitNs: 1000}),
+		frame(TWorldStats, &WorldStats{World: 1}),
+		frame(TCancel, &Cancel{}),
+	}
+	// Adversarial shapes.
+	var wild [4]byte
+	binary.BigEndian.PutUint32(wild[:], 0xFFFFFFFF)
+	seeds = append(seeds,
+		wild[:],                     // 4 GiB length claim
+		[]byte{0, 0, 0, 0},          // zero length
+		[]byte{0, 0, 0, 2, 99, '{'}, // unknown type, truncated JSON
+		seeds[1][:len(seeds[1])/2],  // half a legitimate frame
+		[]byte{0, 0},                // half a header
+	)
+	return seeds
+}
+
+// FuzzFrameDecode holds ReadFrame + Decode to: no panic on any input,
+// and no allocation driven by the attacker-controlled length prefix
+// beyond MaxFrame (ReadFrame validates the length before allocating —
+// a 4 GiB claim must fail fast, not OOM).
+func FuzzFrameDecode(f *testing.F) {
+	for _, s := range seedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("payload %d exceeds MaxFrame", len(payload))
+			}
+			// Decode must never panic, whatever the payload bytes.
+			if _, err := Decode(typ, payload); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip: any payload that decodes re-encodes to a frame
+// that reads and decodes back to the same message (canonical-JSON
+// fixpoint), i.e. encode∘decode is idempotent on the wire.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, s := range seedFrames(f) {
+		if len(s) > 5 {
+			f.Add(s[4], s[5:])
+		}
+	}
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		msg, err := Decode(typ, payload)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, msg); err != nil {
+			// Only legitimate failure: canonical encoding exceeds MaxFrame.
+			if buf.Len() == 0 {
+				return
+			}
+			t.Fatalf("re-encode wrote partial frame: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if typ2 != typ {
+			t.Fatalf("type %d became %d", typ, typ2)
+		}
+		msg2, err := Decode(typ2, payload2)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		want, _ := json.Marshal(msg)
+		got, _ := json.Marshal(msg2)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("round trip changed message: %s -> %s", want, got)
+		}
+	})
+}
+
+// TestRegenCorpus rewrites the checked-in FuzzFrameDecode seed corpus
+// from seedFrames. Run with WIRE_REGEN_CORPUS=1 after changing the
+// frame format or message set.
+func TestRegenCorpus(t *testing.T) {
+	if os.Getenv("WIRE_REGEN_CORPUS") == "" {
+		t.Skip("set WIRE_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzFrameDecode")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seedFrames(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

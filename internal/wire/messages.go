@@ -1,0 +1,399 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/metric"
+)
+
+// Frame type bytes. Requests and responses share one space; each
+// request type documents its response type.
+const (
+	// THello opens a connection (client → server); the server answers
+	// THelloOK or TError. It must be the first frame on the wire.
+	THello byte = iota + 1
+	THelloOK
+	// TPing answers TPong; a no-op round-trip for liveness checks and
+	// driver Ping/IsValid.
+	TPing
+	TPong
+	// TCancel aborts the connection's in-flight request. It is the only
+	// frame with no response of its own; the aborted request still gets
+	// its response (normally TError with CodeCancelled).
+	TCancel
+	// TOK acknowledges requests with no other payload (close frames,
+	// commit, rollback).
+	TOK
+	TError
+
+	// TStmt executes one QUEL statement; answers TResult or TError.
+	TStmt
+	// TPrepare parses a statement for repeated execution; answers
+	// TPrepared with the statement handle.
+	TPrepare
+	TPrepared
+	// TStmtExec executes a prepared statement; answers TResult.
+	TStmtExec
+	// TStmtClose frees a statement handle; answers TOK.
+	TStmtClose
+
+	// TBegin opens a transaction; answers TBegun with the tx handle.
+	TBegin
+	TBegun
+	// TCommit / TRollback end a transaction; answer TOK.
+	TCommit
+	TRollback
+
+	// TFetch pulls the next rows of an open cursor; answers TFetched.
+	TFetch
+	TFetched
+	// TCursorClose frees a cursor handle; answers TOK.
+	TCursorClose
+
+	// TResult is the response to TStmt / TStmtExec.
+	TResult
+
+	// TWorldOpen builds a benchmark world (sim.Build + engine.New) on the
+	// server; answers TWorldOpened. TWorldNext executes one dealt
+	// operation for a session (answers TWorldStep), TWorldStats closes
+	// the sessions and reports the run's aggregate (answers
+	// TWorldStatsResult), TWorldClose frees the world (answers TOK).
+	TWorldOpen
+	TWorldOpened
+	TWorldNext
+	TWorldStep
+	TWorldStats
+	TWorldStatsResult
+	TWorldClose
+)
+
+// Error codes.
+const (
+	// CodeParse: the statement failed to parse.
+	CodeParse = "parse"
+	// CodeExec: the statement parsed but failed to execute.
+	CodeExec = "exec"
+	// CodeBusy: the target (a world session) already has a request in
+	// flight.
+	CodeBusy = "busy"
+	// CodeLimit: a bounded handle table or the admission gate is full.
+	CodeLimit = "limit"
+	// CodeBadHandle: the request named a handle this connection does not
+	// hold.
+	CodeBadHandle = "bad_handle"
+	// CodeCancelled: the request was aborted by TCancel or by the client
+	// vanishing.
+	CodeCancelled = "cancelled"
+	// CodeDraining: the server is shutting down and admits no new work.
+	CodeDraining = "draining"
+	// CodeProtocol: the frame sequence itself was invalid.
+	CodeProtocol = "protocol"
+)
+
+// Hello opens the connection.
+type Hello struct {
+	// Version is the protocol version the client speaks; the server
+	// rejects versions it does not know.
+	Version int `json:"version"`
+	// Client names the connecting program (diagnostics only).
+	Client string `json:"client,omitempty"`
+}
+
+// Version is the protocol version this package implements.
+const Version = 1
+
+// HelloOK acknowledges Hello.
+type HelloOK struct {
+	Version int `json:"version"`
+	// Server names the serving program.
+	Server string `json:"server,omitempty"`
+}
+
+// Error is the failure response to any request. It implements error so
+// clients can surface it directly.
+type Error struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("dbproc: %s: %s", e.Code, e.Msg) }
+
+// Ping has no fields; Pong answers it.
+type Ping struct{}
+
+// Pong answers Ping.
+type Pong struct{}
+
+// Cancel aborts the connection's in-flight request. No response.
+type Cancel struct{}
+
+// OK acknowledges a request with no other payload.
+type OK struct{}
+
+// Stmt executes one QUEL statement.
+type Stmt struct {
+	Text string `json:"text"`
+	// Tx scopes the statement to an open transaction handle; 0 runs it
+	// auto-committed.
+	Tx int `json:"tx,omitempty"`
+	// Cursor asks for cursored delivery: the Result carries the first
+	// Fetch rows plus a cursor handle for the rest.
+	Cursor bool `json:"cursor,omitempty"`
+	// Fetch is the first-batch row cap when Cursor is set (server
+	// default if 0).
+	Fetch int `json:"fetch,omitempty"`
+}
+
+// Prepare parses a statement for repeated execution.
+type Prepare struct {
+	Text string `json:"text"`
+}
+
+// Prepared answers Prepare.
+type Prepared struct {
+	// Stmt is the statement handle.
+	Stmt int `json:"stmt"`
+}
+
+// StmtExec executes a prepared statement. Fields as in Stmt.
+type StmtExec struct {
+	Stmt   int  `json:"stmt"`
+	Tx     int  `json:"tx,omitempty"`
+	Cursor bool `json:"cursor,omitempty"`
+	Fetch  int  `json:"fetch,omitempty"`
+}
+
+// StmtClose frees a statement handle.
+type StmtClose struct {
+	Stmt int `json:"stmt"`
+}
+
+// Begin opens a transaction.
+type Begin struct{}
+
+// Begun answers Begin.
+type Begun struct {
+	Tx int `json:"tx"`
+}
+
+// Commit commits a transaction.
+type Commit struct {
+	Tx int `json:"tx"`
+}
+
+// Rollback rolls a transaction back.
+type Rollback struct {
+	Tx int `json:"tx"`
+}
+
+// Fetch pulls the next rows of a cursor.
+type Fetch struct {
+	Cursor int `json:"cursor"`
+	// Max caps the batch (server default if 0).
+	Max int `json:"max,omitempty"`
+}
+
+// Fetched answers Fetch.
+type Fetched struct {
+	Rows [][]int64 `json:"rows"`
+	// More reports whether the cursor still holds rows; false means the
+	// server already freed the handle.
+	More bool `json:"more"`
+}
+
+// CursorClose frees a cursor handle.
+type CursorClose struct {
+	Cursor int `json:"cursor"`
+}
+
+// Section is one further result set of a multi-query procedure.
+type Section struct {
+	Columns []string  `json:"columns"`
+	Rows    [][]int64 `json:"rows"`
+}
+
+// Result is the response to Stmt / StmtExec.
+type Result struct {
+	// Message summarizes non-row results ("created emp", "appended", ...).
+	Message string `json:"message,omitempty"`
+	// Columns and Rows carry retrieve/execute output (the first batch
+	// under cursored delivery).
+	Columns []string  `json:"columns,omitempty"`
+	Rows    [][]int64 `json:"rows,omitempty"`
+	// Sections carries the further result sets of a multi-query
+	// procedure.
+	Sections []Section `json:"sections,omitempty"`
+	// Affected counts tuples changed by append/delete/replace (the
+	// driver's RowsAffected).
+	Affected int64 `json:"affected,omitempty"`
+	// CostMs is the statement's simulated cost; WallNs its wall-clock
+	// service time on the server (per-op latency attribution surviving
+	// the hop).
+	CostMs float64 `json:"cost_ms,omitempty"`
+	WallNs int64   `json:"wall_ns,omitempty"`
+	// Cursor and More are set under cursored delivery: the handle to
+	// Fetch the remaining rows from, and whether any remain.
+	Cursor int  `json:"cursor,omitempty"`
+	More   bool `json:"more,omitempty"`
+}
+
+// WorldOpen builds a benchmark world on the server: sim.Build(cfg) plus
+// engine.New with the given session count, history recording on. The
+// world's handle is server-global (worlds outlive any one connection's
+// request, and several connections drive one world's sessions).
+type WorldOpen struct {
+	Params   costmodel.Params `json:"params"`
+	Model    string           `json:"model"`
+	Strategy string           `json:"strategy"`
+	Seed     int64            `json:"seed"`
+	Adaptive bool             `json:"adaptive,omitempty"`
+	// R2UpdateFraction is sim.Config.R2UpdateFraction.
+	R2UpdateFraction float64 `json:"r2_update_fraction,omitempty"`
+	// Clients is the session count the workload is dealt across.
+	Clients int `json:"clients"`
+	// Ledger attaches a cache-efficacy ledger; its bytes come back in
+	// WorldStatsResult.
+	Ledger bool `json:"ledger,omitempty"`
+	// CritPath enables per-op critical-path decomposition; the segments
+	// ride on each WorldStep.
+	CritPath bool `json:"critpath,omitempty"`
+}
+
+// WorldOpened answers WorldOpen.
+type WorldOpened struct {
+	// World is the world handle.
+	World int `json:"world"`
+	// Sessions echoes the session count; Ops is the dealt per-session
+	// operation count (engine.Deal of the canonical stream).
+	Sessions int   `json:"sessions"`
+	Ops      []int `json:"ops"`
+}
+
+// WorldNext executes session Session's next dealt operation.
+type WorldNext struct {
+	World   int `json:"world"`
+	Session int `json:"session"`
+}
+
+// WorldStep answers WorldNext: one committed operation's attributes, or
+// Done when the session's stream is drained.
+type WorldStep struct {
+	// Done is set when the session has no operations left; the other
+	// fields are then zero.
+	Done bool `json:"done,omitempty"`
+	// Seq is the engine's global commit sequence.
+	Seq int `json:"seq"`
+	// Update distinguishes update ops from queries.
+	Update bool `json:"update,omitempty"`
+	// Tuples counts the query's result tuples.
+	Tuples int `json:"tuples,omitempty"`
+	// CostMs is the op's simulated cost; the *Ns fields are the per-op
+	// wall-clock critical path (docs/DIAGNOSIS.md) — IONs, RecomputeNs
+	// and ComputeNs only under WorldOpen.CritPath.
+	CostMs      float64 `json:"cost_ms"`
+	WallNs      int64   `json:"wall_ns"`
+	WaitNs      int64   `json:"wait_ns,omitempty"`
+	IONs        int64   `json:"io_ns,omitempty"`
+	RecomputeNs int64   `json:"recompute_ns,omitempty"`
+	ComputeNs   int64   `json:"compute_ns,omitempty"`
+}
+
+// WorldStats seals the world's sessions and reports the run aggregate.
+type WorldStats struct {
+	World int `json:"world"`
+}
+
+// WorldStatsResult answers WorldStats.
+type WorldStatsResult struct {
+	Ops     int `json:"ops"`
+	Queries int `json:"queries"`
+	Updates int `json:"updates"`
+	Tuples  int `json:"tuples"`
+	// SimTotalMs and Counters are the run's simulated cost, the
+	// quantities the identity test compares against sim.Run.
+	SimTotalMs float64         `json:"sim_total_ms"`
+	Counters   metric.Counters `json:"counters"`
+	// HistoryDigest hashes the committed history in commit order
+	// (session, seq, op kind, proc, result digest, tuple count, cost).
+	HistoryDigest string `json:"history_digest,omitempty"`
+	// Ledger is the cache-efficacy ledger serialized by
+	// cache.WriteLedger; nil unless WorldOpen.Ledger.
+	Ledger []byte `json:"ledger,omitempty"`
+}
+
+// WorldClose frees the world handle.
+type WorldClose struct {
+	World int `json:"world"`
+}
+
+// Decode unmarshals a frame payload into its message struct — the
+// single table tying type bytes to payload shapes. Unknown type bytes
+// are an error; FuzzFrameDecode drives every arm with adversarial
+// payloads.
+func Decode(typ byte, payload []byte) (any, error) {
+	var msg any
+	switch typ {
+	case THello:
+		msg = &Hello{}
+	case THelloOK:
+		msg = &HelloOK{}
+	case TPing:
+		msg = &Ping{}
+	case TPong:
+		msg = &Pong{}
+	case TCancel:
+		msg = &Cancel{}
+	case TOK:
+		msg = &OK{}
+	case TError:
+		msg = &Error{}
+	case TStmt:
+		msg = &Stmt{}
+	case TPrepare:
+		msg = &Prepare{}
+	case TPrepared:
+		msg = &Prepared{}
+	case TStmtExec:
+		msg = &StmtExec{}
+	case TStmtClose:
+		msg = &StmtClose{}
+	case TBegin:
+		msg = &Begin{}
+	case TBegun:
+		msg = &Begun{}
+	case TCommit:
+		msg = &Commit{}
+	case TRollback:
+		msg = &Rollback{}
+	case TFetch:
+		msg = &Fetch{}
+	case TFetched:
+		msg = &Fetched{}
+	case TCursorClose:
+		msg = &CursorClose{}
+	case TResult:
+		msg = &Result{}
+	case TWorldOpen:
+		msg = &WorldOpen{}
+	case TWorldOpened:
+		msg = &WorldOpened{}
+	case TWorldNext:
+		msg = &WorldNext{}
+	case TWorldStep:
+		msg = &WorldStep{}
+	case TWorldStats:
+		msg = &WorldStats{}
+	case TWorldStatsResult:
+		msg = &WorldStatsResult{}
+	case TWorldClose:
+		msg = &WorldClose{}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", typ)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return nil, fmt.Errorf("wire: decode type %d: %w", typ, err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,83 @@
+// Package wire is the framed protocol between a dbproc client and
+// cmd/procserved (docs/SERVING.md).
+//
+// A frame is a 4-byte big-endian length, one type byte, and a JSON
+// payload; the length covers the type byte plus the payload, so the
+// smallest legal frame is a bare type (length 1). The length field is
+// bounded by MaxFrame before any allocation happens, so a malformed or
+// adversarial prefix can never make ReadFrame allocate more than
+// MaxFrame bytes — FuzzFrameDecode holds the package to that.
+//
+//	+--------+--------+--------+--------+------+----------------+
+//	|        length (big endian)        | type |  JSON payload  |
+//	+--------+--------+--------+--------+------+----------------+
+//
+// One request frame gets exactly one response frame, with a single
+// exception: Cancel is fire-and-forget (no response of its own — the
+// in-flight request it aborts still gets its response, normally an
+// Error with CodeCancelled). Handles (statements, cursors,
+// transactions, worlds) are small integers scoped to the connection
+// that created them; the server bounds every handle table and rejects
+// allocation past the bound with CodeLimit.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds the length field: type byte plus payload. Frames
+// claiming more are rejected before allocation.
+const MaxFrame = 1 << 20
+
+// headerSize is the length prefix's width.
+const headerSize = 4
+
+// WriteFrame marshals msg and writes one frame. The msg must be one of
+// the package's message structs (its type tag is typ).
+func WriteFrame(w io.Writer, typ byte, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("wire: marshal type %d: %w", typ, err)
+	}
+	return WriteRawFrame(w, typ, payload)
+}
+
+// WriteRawFrame writes one frame with an already-encoded payload.
+func WriteRawFrame(w io.Writer, typ byte, payload []byte) error {
+	n := 1 + len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d > %d)", n, MaxFrame)
+	}
+	buf := make([]byte, headerSize+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[headerSize] = typ
+	copy(buf[headerSize+1:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, returning the type byte and payload. The
+// length field is validated against MaxFrame before the payload buffer
+// is allocated; truncated input surfaces as io.ErrUnexpectedEOF, a
+// clean EOF before any header byte as io.EOF.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}

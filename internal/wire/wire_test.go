@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []struct {
+		typ byte
+		msg any
+	}{
+		{THello, &Hello{Version: 1, Client: "test"}},
+		{TStmt, &Stmt{Text: "retrieve (emp.name)", Cursor: true, Fetch: 10}},
+		{TResult, &Result{Columns: []string{"a"}, Rows: [][]int64{{1}, {2}}, CostMs: 31, Affected: 2}},
+		{TError, &Error{Code: CodeParse, Msg: "bad statement"}},
+		{TWorldNext, &WorldNext{World: 3, Session: 1}},
+		{TOK, &OK{}},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m.typ, m.msg); err != nil {
+			t.Fatalf("write type %d: %v", m.typ, err)
+		}
+	}
+	for _, m := range msgs {
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read type %d: %v", m.typ, err)
+		}
+		if typ != m.typ {
+			t.Fatalf("read type %d, want %d", typ, m.typ)
+		}
+		got, err := Decode(typ, payload)
+		if err != nil {
+			t.Fatalf("decode type %d: %v", typ, err)
+		}
+		want, _ := json.Marshal(m.msg)
+		have, _ := json.Marshal(got)
+		if !bytes.Equal(want, have) {
+			t.Fatalf("type %d round-trip: got %s want %s", typ, have, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over", buf.Len())
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	// Zero length.
+	var zero [4]byte
+	if _, _, err := ReadFrame(bytes.NewReader(zero[:])); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Length beyond MaxFrame: must error before trying to read (or
+	// allocate) the claimed body.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(huge[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Adversarial prefix claiming 4 GiB.
+	var adv [4]byte
+	binary.BigEndian.PutUint32(adv[:], 0xFFFFFFFF)
+	if _, _, err := ReadFrame(bytes.NewReader(adv[:])); err == nil {
+		t.Fatal("4GiB frame accepted")
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TStmt, &Stmt{Text: "retrieve (emp.all)"}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("truncated frame (%d/%d bytes) accepted", cut, len(whole))
+		}
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	big := &Stmt{Text: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(io.Discard, TStmt, big); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := Decode(0, []byte("{}")); err == nil {
+		t.Fatal("type 0 decoded")
+	}
+	if _, err := Decode(200, []byte("{}")); err == nil {
+		t.Fatal("type 200 decoded")
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var err error = &Error{Code: CodeBusy, Msg: "session 2 busy"}
+	if !strings.Contains(err.Error(), CodeBusy) {
+		t.Fatalf("error string %q lacks code", err.Error())
+	}
+}

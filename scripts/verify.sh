@@ -6,9 +6,12 @@
 #   tier 3: concurrency + parallel sweep guards     (docs/CONCURRENCY.md,
 #           docs/PARALLEL.md: serializability oracle, race-stress soak,
 #           determinism oracles, fuzz smokes), the telemetry smoke
-#           (docs/TELEMETRY.md: -listen endpoints, procmon, procstat)
-#           and the diagnosis smoke (docs/DIAGNOSIS.md: -critpath,
-#           -ledger, procdoctor)
+#           (docs/TELEMETRY.md: -listen endpoints, procmon, procstat),
+#           the diagnosis smoke (docs/DIAGNOSIS.md: -critpath,
+#           -ledger, procdoctor), and the serving guards
+#           (docs/SERVING.md: wire-frame fuzz smokes, the served race
+#           soak + driver conformance under -race, the procserved
+#           process smoke via scripts/server_smoke.sh)
 #   tier 4: zero-diagnosis overhead guards          (vs seed meter, seed
 #           lock table, blame-off acquire and ledger-off invalidate;
 #           minima of VERIFY_OVERHEAD_RUNS interleaved runs)
@@ -83,6 +86,25 @@ go test -fuzz='^FuzzParse$' -fuzztime=10s -run '^FuzzParse$' ./internal/quel/
 # Planner determinism fuzz smoke: concurrent compilation of transcript
 # corpora must render identical plans (docs/CONCURRENCY.md).
 go test -fuzz='^FuzzPlan$' -fuzztime=10s -run '^FuzzPlan$' ./internal/quel/
+
+# Wire-frame fuzz smokes (docs/SERVING.md): the decoder must survive
+# malformed, truncated and adversarial length-prefixed frames without
+# panicking or over-allocating, and encode->decode must round-trip.
+go test -fuzz='^FuzzFrameDecode$' -fuzztime=10s -run '^FuzzFrameDecode$' ./internal/wire/
+go test -fuzz='^FuzzFrameRoundTrip$' -fuzztime=10s -run '^FuzzFrameRoundTrip$' ./internal/wire/
+
+# Served race soak + driver conformance + cross-wire identity: 8
+# concurrent database/sql clients over loopback procserved under the
+# race detector, the conformance suite's handle-table drain checks, and
+# the byte-identity of a served 1-client world against sim.Run
+# (docs/SERVING.md).
+GOMAXPROCS=4 go test -race \
+    -run 'TestServedRaceSoak|TestServedIdentity|TestDriverConformance|TestAdmissionLimit|TestGracefulDrain' \
+    ./client/
+
+# procserved process smoke: real server process, database/sql driver
+# workload, /metrics scrape, clean SIGINT drain (docs/SERVING.md).
+sh scripts/server_smoke.sh
 
 # Telemetry smoke: a live concurrent procsim must expose /metrics that
 # procmon can scrape (with the run's committed-op and per-lock counters),
