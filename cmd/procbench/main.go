@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"dbproc/internal/experiments"
 	"dbproc/internal/telemetry"
+	"dbproc/internal/workload"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func main() {
 	obsJSON := flag.String("obs-json", "", "write the per-strategy observability benchmark (BENCH_obs.json) to this file and exit")
 	parallelJSON := flag.String("parallel-json", "", "write the parallel sweep-engine benchmark (BENCH_parallel.json) to this file and exit")
 	concurrentJSON := flag.String("concurrent-json", "", "write the multi-session engine benchmark (BENCH_concurrent.json) to this file and exit")
+	scenariosJSON := flag.String("scenarios-json", "", "write the hostile-workload scenario benchmark (BENCH_scenarios.json) to this file and exit")
+	scenarioFilter := flag.String("scenario-filter", "", "comma-separated scenario names to restrict -scenarios-json to (default: full catalog)")
 	clients := flag.Int("clients", 0, "cap the concurrent benchmark's session ladder (0 = full 1/2/4/8)")
 	think := flag.Float64("think", 0, "mean per-session think time in ms for the concurrent benchmark (0 = none)")
 	serve := flag.Bool("serve", false, "add a measured wall_served pass to each concurrent-benchmark cell via a loopback procserved")
@@ -68,6 +72,20 @@ func main() {
 		Served:      *serve || *connect != "",
 		ServedAddr:  *connect,
 	}
+	if *scenarioFilter != "" {
+		for _, name := range strings.Split(*scenarioFilter, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := workload.ByName(name); !ok && name != experiments.PoliteScenario {
+				fmt.Fprintf(os.Stderr, "procbench: unknown scenario %q; catalog: %s\n",
+					name, strings.Join(workload.Names(), ", "))
+				os.Exit(1)
+			}
+			opt.Scenarios = append(opt.Scenarios, name)
+		}
+	}
 	if *listen != "" {
 		hub := telemetry.NewHub()
 		hub.SetRecorder(telemetry.NewRecorder(1 << 14))
@@ -97,6 +115,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s written to %s\n", desc, path)
+	}
+
+	if *scenariosJSON != "" {
+		rep := experiments.ScenarioBench(ctx, opt)
+		flipped := 0
+		for _, v := range rep.Verdicts {
+			if v.Flipped {
+				flipped++
+			}
+		}
+		writeJSON(*scenariosJSON, rep,
+			fmt.Sprintf("scenario benchmark (%d scenarios, %d rows, %d verdict(s) flipped from polite)",
+				len(rep.Scenarios), len(rep.Rows), flipped))
+		return
 	}
 
 	if *obsJSON != "" {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/costmodel"
+	"dbproc/internal/experiments"
+	"dbproc/internal/sim"
+)
+
+// TestScenarioVerdictReproducesGolden closes the loop between the two
+// verdict paths: for the adversarial-invalidation scenario it
+// regenerates the 1-client ledger evidence for every caching strategy
+// and golden seed, runs it through procdoctor's ledgerVerdicts ranking,
+// and requires the per-seed winners to equal the
+// per_seed_caching_winners recorded in BENCH_scenarios.json. One-client
+// scenario runs are replayable from (scenario, seed) alone, so exact
+// agreement is required — no schedule-variance allowance.
+func TestScenarioVerdictReproducesGolden(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_scenarios.json")
+	if err != nil {
+		t.Skipf("benchmark artifact not present: %v", err)
+	}
+	var rep experiments.ScenarioBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_scenarios.json: %v", err)
+	}
+
+	const scenario = "adversarial-inval"
+	models := []costmodel.Model{costmodel.Model1, costmodel.Model2}
+	caching := []costmodel.Strategy{
+		costmodel.CacheInvalidate, costmodel.UpdateCacheAVM, costmodel.UpdateCacheRVM,
+	}
+	p := experiments.ScenarioBenchParams(experiments.Options{Scale: rep.Scale})
+
+	var buf bytes.Buffer
+	for _, model := range models {
+		for _, strat := range caching {
+			for i := 0; i < rep.SeedsPerCell; i++ {
+				cfg := sim.Config{
+					Params: p, Model: model, Strategy: strat,
+					Seed: rep.Seed + int64(i), Scenario: scenario,
+				}
+				cfg.Ledger = cache.NewLedger()
+				res := sim.Run(cfg)
+				meta := cache.LedgerMeta{
+					Strategy: strat.String(), Model: int(model), Clients: 1,
+					Seed: cfg.Seed, Queries: res.Queries, Updates: res.Updates,
+					TotalMs: res.TotalMs,
+				}
+				if err := cache.WriteLedger(&buf, meta, cfg.Ledger); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	runs, err := cache.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := ledgerVerdicts(runs)
+
+	for _, model := range models {
+		want, ok := rep.FindScenarioVerdict(scenario, model.String())
+		if !ok {
+			t.Fatalf("artifact has no %s verdict for %s", model, scenario)
+		}
+		if len(want.PerSeedCachingWinners) != rep.SeedsPerCell {
+			t.Fatalf("artifact verdict %s/%s has %d per-seed caching winners, want %d",
+				scenario, model, len(want.PerSeedCachingWinners), rep.SeedsPerCell)
+		}
+		for i := 0; i < rep.SeedsPerCell; i++ {
+			seed := rep.Seed + int64(i)
+			got := ""
+			for _, v := range verdicts {
+				if v.Model == int(model) && v.Clients == 1 && v.Seed == seed {
+					got = v.Winner()
+				}
+			}
+			if got == "" {
+				t.Fatalf("no ledger verdict for %s seed %d", model, seed)
+			}
+			if got != want.PerSeedCachingWinners[i] {
+				t.Errorf("%s seed %d: ledger evidence says %q, artifact says %q",
+					model, seed, got, want.PerSeedCachingWinners[i])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	procsim -model 2 -f 0.01 -N 50000     # tweak parameters
 //	procsim -seeds 5 -workers 4           # average 5 seeds, 4 cells at a time
 //	procsim -clients 8 -think 1           # 8 concurrent sessions (docs/CONCURRENCY.md)
+//	procsim -scenario hot-key-storm       # hostile-workload scenario (docs/SCENARIOS.md)
 //	procsim -serve -clients 4             # drive a loopback procserved via database/sql (docs/SERVING.md)
 //	procsim -connect 127.0.0.1:7141       # same, against an external procserved
 //	procsim -clients 8 -listen :9090      # live /metrics, /debug/pprof, /events (docs/TELEMETRY.md)
@@ -46,6 +47,7 @@ import (
 	"dbproc/internal/sim"
 	"dbproc/internal/telemetry"
 	"dbproc/internal/wire"
+	"dbproc/internal/workload"
 )
 
 var strategyNames = map[string]costmodel.Strategy{
@@ -115,6 +117,7 @@ func main() {
 	upd := flag.Float64("P", -1, "update probability (overrides -k, keeping -q)")
 	modelFlag := flag.Int("model", 1, "procedure model: 1 (2-way joins) or 2 (3-way)")
 	strategyFlag := flag.String("strategy", "", "recompute | ci | uc-avm | uc-rvm (default: all)")
+	scenario := flag.String("scenario", "", "hostile-workload scenario from the catalog (see docs/SCENARIOS.md; default: polite workload)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "consecutive workload seeds per strategy (averaged in the drift table)")
 	workers := flag.Int("workers", 0, "concurrent (strategy x seed) cells (0 = one per CPU); output is identical for any value")
@@ -140,6 +143,14 @@ func main() {
 	if *seeds < 1 {
 		fmt.Fprintf(os.Stderr, "procsim: -seeds must be >= 1\n")
 		os.Exit(1)
+	}
+
+	if *scenario != "" {
+		if _, ok := workload.ByName(*scenario); !ok {
+			fmt.Fprintf(os.Stderr, "procsim: unknown scenario %q; catalog: %s\n",
+				*scenario, strings.Join(workload.Names(), ", "))
+			os.Exit(1)
+		}
 	}
 
 	var strategies []costmodel.Strategy
@@ -199,13 +210,13 @@ func main() {
 	}
 
 	if *serve || *connect != "" {
-		runServed(ctx, p, model, strategies, *seed, *clients, *connect, *jsonOut)
+		runServed(ctx, p, model, strategies, *scenario, *seed, *clients, *connect, *jsonOut)
 		waitServe(ctx, hub)
 		return
 	}
 
 	if *clients > 1 {
-		runConcurrent(ctx, p, model, strategies, *seed, *clients, *think,
+		runConcurrent(ctx, p, model, strategies, *scenario, *seed, *clients, *think,
 			traceFile, ledgerFile, *critpath, *jsonOut, hub, rec)
 		waitServe(ctx, hub)
 		return
@@ -234,7 +245,7 @@ func main() {
 	cells, err := parallel.Map(ctx, parallel.Workers(*workers), len(cellCfgs),
 		func(ctx context.Context, i int) (cellOut, error) {
 			c := cellCfgs[i]
-			cfg := sim.Config{Params: p, Model: model, Strategy: c.strategy, Seed: c.seed}
+			cfg := sim.Config{Params: p, Model: model, Strategy: c.strategy, Seed: c.seed, Scenario: *scenario}
 			if traceFile != nil {
 				cfg.Tracer = obs.NewTracer()
 			}
@@ -293,8 +304,16 @@ func main() {
 	var jsonRuns []runJSON
 
 	if !*jsonOut {
-		fmt.Printf("%s, P = %.2f (k=%.0f q=%.0f), f = %g, N1+N2 = %.0f, SF = %g, Z = %g, C_inval = %g ms\n\n",
+		fmt.Printf("%s, P = %.2f (k=%.0f q=%.0f), f = %g, N1+N2 = %.0f, SF = %g, Z = %g, C_inval = %g ms\n",
 			model, p.UpdateProbability(), p.K, p.Q, p.F, p.NumProcs(), p.SF, p.Z, p.CInval)
+		if *scenario != "" {
+			if sc, ok := workload.ByName(*scenario); ok {
+				fmt.Printf("scenario: %s\n", workload.BuildSchedule(sc, workload.Base{
+					K: int(p.K + 0.5), Q: int(p.Q + 0.5), Z: p.Z, L: int(p.L + 0.5),
+				}).Describe())
+			}
+		}
+		fmt.Println()
 		fmt.Printf("%-22s %12s %12s %7s %6s   %s\n",
 			"strategy", "measured", "predicted", "ratio", "cold", "events")
 	}
@@ -366,6 +385,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]any{
 			"model":           model.String(),
+			"scenario":        *scenario,
 			"seed":            *seed,
 			"seeds":           *seeds,
 			"drift_threshold": *driftThreshold,
@@ -440,12 +460,16 @@ type blockerJSON struct {
 // -ledger, each strategy's cache-efficacy ledger is appended to the
 // ledger file as one section.
 func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Model,
-	strategies []costmodel.Strategy, seed int64, clients int, think float64,
+	strategies []costmodel.Strategy, scenario string, seed int64, clients int, think float64,
 	traceFile, ledgerFile *os.File, critpath, jsonOut bool,
 	hub *telemetry.Hub, rec *telemetry.Recorder) {
 	if !jsonOut {
-		fmt.Printf("%s, concurrent: %d sessions, think = %g ms, k=%.0f q=%.0f, seed = %d\n\n",
-			model, clients, think, p.K, p.Q, seed)
+		label := ""
+		if scenario != "" {
+			label = fmt.Sprintf(", scenario %s", scenario)
+		}
+		fmt.Printf("%s, concurrent: %d sessions, think = %g ms, k=%.0f q=%.0f, seed = %d%s\n\n",
+			model, clients, think, p.K, p.Q, seed, label)
 		fmt.Printf("%-22s %8s %12s %10s %10s %12s\n",
 			"strategy", "wall", "throughput", "p50", "p95", "sim cost")
 	}
@@ -455,7 +479,7 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 		if ctx.Err() != nil {
 			break
 		}
-		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: seed}
+		cfg := sim.Config{Params: p, Model: model, Strategy: s, Seed: seed, Scenario: scenario}
 		if ledgerFile != nil {
 			cfg.Ledger = cache.NewLedger()
 		}
@@ -588,11 +612,12 @@ func runConcurrent(ctx context.Context, p costmodel.Params, model costmodel.Mode
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]any{
-			"model":   model.String(),
-			"clients": clients,
-			"think":   think,
-			"seed":    seed,
-			"runs":    jsonRows,
+			"model":    model.String(),
+			"scenario": scenario,
+			"clients":  clients,
+			"think":    think,
+			"seed":     seed,
+			"runs":     jsonRows,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
 			os.Exit(1)
@@ -626,7 +651,7 @@ type servedJSON struct {
 // server; otherwise a loopback procserved lives for the run's duration.
 // One-client runs additionally check identity against sim.Run.
 func runServed(ctx context.Context, p costmodel.Params, model costmodel.Model,
-	strategies []costmodel.Strategy, seed int64, clients int, addr string, jsonOut bool) {
+	strategies []costmodel.Strategy, scenario string, seed int64, clients int, addr string, jsonOut bool) {
 	if addr == "" {
 		srv := server.New(server.Options{})
 		a, err := srv.ListenAndServe("127.0.0.1:0")
@@ -661,6 +686,7 @@ func runServed(ctx context.Context, p costmodel.Params, model costmodel.Model,
 			Strategy: experiments.WireStrategy(s),
 			Seed:     seed,
 			Clients:  clients,
+			Scenario: scenario,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
@@ -669,7 +695,7 @@ func runServed(ctx context.Context, p costmodel.Params, model costmodel.Model,
 		identity := "-"
 		match := false
 		if clients == 1 {
-			sq := sim.Run(sim.Config{Params: p, Model: model, Strategy: s, Seed: seed})
+			sq := sim.Run(sim.Config{Params: p, Model: model, Strategy: s, Seed: seed, Scenario: scenario})
 			match = res.Counters == sq.Counters && res.SimTotalMs == sq.TotalMs
 			if match {
 				identity = "= sim.Run"
@@ -698,11 +724,12 @@ func runServed(ctx context.Context, p costmodel.Params, model costmodel.Model,
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]any{
-			"model":   model.String(),
-			"clients": clients,
-			"seed":    seed,
-			"served":  true,
-			"runs":    jsonRows,
+			"model":    model.String(),
+			"scenario": scenario,
+			"clients":  clients,
+			"seed":     seed,
+			"served":   true,
+			"runs":     jsonRows,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "procsim: %v\n", err)
 			os.Exit(1)

@@ -11,6 +11,7 @@
 //	procstat -chrome t.json out.jsonl   # export for chrome://tracing
 //	procstat -flight dump.jsonl         # render a flight-recorder dump
 //	procstat -concurrent BENCH_concurrent.json  # session-ladder table
+//	procstat -scenarios BENCH_scenarios.json    # hostile-workload winner regions
 //
 // Multiple trace files aggregate: histograms and drift entries accumulate
 // across all of them, so a directory of per-seed traces summarizes as one
@@ -30,6 +31,13 @@
 // cores than sessions. Reports written with procbench -serve carry an
 // extra served column: the same cell measured through procserved over
 // the database/sql driver, wire round-trips included (docs/SERVING.md).
+//
+// With -scenarios the inputs are BENCH_scenarios.json reports (written by
+// procbench -scenarios-json): procstat renders the hostile-workload
+// winner-region table — which strategy wins each scenario × model cell,
+// by what margin, and whether the hostile conditions flipped the polite
+// workload's verdict — followed by the per-strategy cost grid
+// (docs/SCENARIOS.md).
 package main
 
 import (
@@ -65,6 +73,7 @@ func main() {
 	chromePath := flag.String("chrome", "", "also write a Chrome trace-event file (chrome://tracing, perfetto)")
 	flight := flag.Bool("flight", false, "treat inputs as flight-recorder dumps and render event timelines")
 	concurrent := flag.Bool("concurrent", false, "treat inputs as BENCH_concurrent.json reports and render session-ladder tables")
+	scenarios := flag.Bool("scenarios", false, "treat inputs as BENCH_scenarios.json reports and render winner-region tables")
 	topK := flag.Int("topk", 10, "locks shown per contention report in -flight mode (0 = all)")
 	driftThreshold := flag.Float64("drift-threshold", obs.DefaultDriftThreshold,
 		"relative error above which measured cost is flagged as drifting from the model")
@@ -80,6 +89,10 @@ func main() {
 	}
 	if *concurrent {
 		renderConcurrent(flag.Args())
+		return
+	}
+	if *scenarios {
+		renderScenarios(flag.Args())
 		return
 	}
 
@@ -233,6 +246,57 @@ served is measured ops/sec through procserved over the database/sql driver
 (wire round-trips included); "=srv" marks served 1-client rows byte-equal to sim.Run.`
 		}
 		fmt.Println(note)
+	}
+}
+
+// renderScenarios renders hostile-workload scenario benchmark reports:
+// the winner-region table first — one row per scenario × model with the
+// winning strategy, its margin over the runner-up, the caching-only
+// winner by ledger evidence, and a FLIP mark where hostile traffic
+// dethrones the polite workload's winner — then the full per-strategy
+// cost grid the verdicts were derived from.
+func renderScenarios(paths []string) {
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		var rep experiments.ScenarioBenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fail("%s: %v", path, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s: scale=%g seed=%d seeds/cell=%d scenarios=%d\n\n",
+			path, rep.Scale, rep.Seed, rep.SeedsPerCell, len(rep.Scenarios))
+
+		fmt.Printf("%-18s %-8s %-22s %8s %-22s %-22s %5s\n",
+			"scenario", "model", "winner", "margin", "runner-up", "caching winner", "")
+		for _, v := range rep.Verdicts {
+			flip := ""
+			if v.Flipped {
+				flip = "FLIP"
+			}
+			fmt.Printf("%-18s %-8s %-22s %7.1f%% %-22s %-22s %5s\n",
+				v.Scenario, v.Model, v.Winner, v.MarginPct, v.RunnerUp, v.CachingWinner, flip)
+		}
+		fmt.Println(`margin is the runner-up's mean cost over the winner's; FLIP marks scenarios
+whose winner differs from the polite baseline's for the same model.`)
+
+		fmt.Printf("\n%-18s %-8s %-22s %10s %12s %12s %8s\n",
+			"scenario", "model", "strategy", "ms/query", "total ms", "ledger ms", "wasted")
+		for _, r := range rep.Rows {
+			ledger, wasted := "-", "-"
+			if r.LedgerEventMs != nil {
+				ledger = fmt.Sprintf("%.1f", *r.LedgerEventMs)
+			}
+			if r.WastedWorkMs != nil {
+				wasted = fmt.Sprintf("%.1f", *r.WastedWorkMs)
+			}
+			fmt.Printf("%-18s %-8s %-22s %10.1f %12.1f %12s %8s\n",
+				r.Scenario, r.Model, r.Strategy, r.MsPerQuery, r.TotalMs, ledger, wasted)
+		}
 	}
 }
 

@@ -360,14 +360,21 @@ func (e *Engine) footprint(op workload.Op) Footprint {
 			}
 		}
 	case workload.Query:
-		for _, rel := range e.w.ProcRelations(op.ProcID) {
-			f.Shared(RelLock(rel))
-		}
-		switch {
-		case cfg.Adaptive || cfg.Strategy == costmodel.CacheInvalidate:
-			f.Exclusive(EntryLock(op.ProcID))
-		case cfg.Strategy == costmodel.UpdateCacheAVM || cfg.Strategy == costmodel.UpdateCacheRVM:
-			f.Shared(EntryLock(op.ProcID))
+		// A nested query accesses further procedures inside its body;
+		// the 2PL footprint must cover every one up front. InnerProcs
+		// derives them from the op alone, and normalize dedupes the
+		// repeated relation/entry names.
+		procs := append([]int{op.ProcID}, workload.InnerProcs(op, e.w.ProcIDs())...)
+		for _, id := range procs {
+			for _, rel := range e.w.ProcRelations(id) {
+				f.Shared(RelLock(rel))
+			}
+			switch {
+			case cfg.Adaptive || cfg.Strategy == costmodel.CacheInvalidate:
+				f.Exclusive(EntryLock(id))
+			case cfg.Strategy == costmodel.UpdateCacheAVM || cfg.Strategy == costmodel.UpdateCacheRVM:
+				f.Shared(EntryLock(id))
+			}
 		}
 	}
 	return f
@@ -392,9 +399,13 @@ func (e *Engine) Run(ctx context.Context) Result {
 
 	var wg sync.WaitGroup
 	start := time.Now()
+	sched := e.w.Schedule()
 	for s := 0; s < n; s++ {
 		sess := e.OpenSession(s)
-		think := workload.NewThinker(e.w.Config().Seed+7001+int64(s), e.opt.ThinkMeanMs)
+		// Scenario schedules can mark sessions as slow consumers; their
+		// mean think time is scaled up, stretching the closed-loop tail.
+		think := workload.NewThinker(e.w.Config().Seed+7001+int64(s),
+			e.opt.ThinkMeanMs*sched.ThinkScale(s))
 		wg.Add(1)
 		go func(sess *Session, myOps []workload.Op) {
 			defer wg.Done()

@@ -57,6 +57,10 @@ type Options struct {
 	// duration.
 	Served     bool
 	ServedAddr string
+	// Scenarios restricts the hostile-workload scenario benchmark
+	// (ScenarioBench) to a subset of the catalog; empty sweeps it all.
+	// The polite baseline is always included.
+	Scenarios []string
 }
 
 // Table is one rendered result: a titled grid of cells.

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"dbproc/internal/dbtest"
+)
+
+// TestGoldenScenarioVerdicts is the golden-verdict regression gate: the
+// checked-in BENCH_scenarios.json must be exactly reproducible from its
+// own recorded (scale, seed) — every row, every per-seed total, and
+// every winner verdict. A deliberate change to the workload, the
+// scenario catalog or the cost model shows up here as a diff to commit;
+// an accidental one shows up as a failure.
+func TestGoldenScenarioVerdicts(t *testing.T) {
+	defer dbtest.Watchdog(t, 4*time.Minute)()
+	data, err := os.ReadFile("../../BENCH_scenarios.json")
+	if err != nil {
+		t.Skipf("benchmark artifact not present: %v", err)
+	}
+	var golden ScenarioBenchReport
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("BENCH_scenarios.json: %v", err)
+	}
+	if len(golden.Scenarios) < 7 || len(golden.Verdicts) != len(golden.Scenarios)*2 {
+		t.Fatalf("artifact too small: %d scenarios, %d verdicts", len(golden.Scenarios), len(golden.Verdicts))
+	}
+
+	got := ScenarioBench(context.Background(), Options{Scale: golden.Scale, SimSeed: golden.Seed})
+	if !reflect.DeepEqual(got.Scenarios, golden.Scenarios) {
+		t.Fatalf("scenario axis drifted:\n got  %v\n want %v", got.Scenarios, golden.Scenarios)
+	}
+	if !reflect.DeepEqual(got.Rows, golden.Rows) {
+		for i := range got.Rows {
+			if i < len(golden.Rows) && !reflect.DeepEqual(got.Rows[i], golden.Rows[i]) {
+				t.Fatalf("row %d diverges from the artifact:\n got  %+v\n want %+v", i, got.Rows[i], golden.Rows[i])
+			}
+		}
+		t.Fatalf("rows diverge from the artifact (%d vs %d rows)", len(got.Rows), len(golden.Rows))
+	}
+	if !reflect.DeepEqual(got.Verdicts, golden.Verdicts) {
+		for i := range got.Verdicts {
+			if i < len(golden.Verdicts) && !reflect.DeepEqual(got.Verdicts[i], golden.Verdicts[i]) {
+				t.Fatalf("verdict %d diverges from the artifact:\n got  %+v\n want %+v", i, got.Verdicts[i], golden.Verdicts[i])
+			}
+		}
+		t.Fatalf("verdicts diverge from the artifact (%d vs %d)", len(got.Verdicts), len(golden.Verdicts))
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"dbproc/internal/cache"
+	"dbproc/internal/costmodel"
+	"dbproc/internal/parallel"
+	"dbproc/internal/sim"
+	"dbproc/internal/workload"
+)
+
+// PoliteScenario names the baseline row set of the scenario benchmark:
+// the paper's unmodified workload, included so every hostile scenario's
+// verdict can report whether the winner flipped relative to it.
+const PoliteScenario = "polite"
+
+// scenarioBenchSeeds is the number of workload seeds each
+// (scenario, model, strategy) cell averages over — and the number of
+// per-seed winner columns the golden-verdict regression test pins.
+const scenarioBenchSeeds = 3
+
+// ScenarioBenchRow is one (scenario, model, strategy) aggregate in
+// BENCH_scenarios.json, averaged over scenarioBenchSeeds seeds with the
+// per-seed totals retained (the winner-region evidence).
+type ScenarioBenchRow struct {
+	Scenario string `json:"scenario"`
+	Model    string `json:"model"`
+	Strategy string `json:"strategy"`
+	// Queries/Updates are per-seed op counts; the schedule fixes them,
+	// so they are identical across the row's seeds.
+	Queries int `json:"queries"`
+	Updates int `json:"updates"`
+	// TotalMs is the mean simulated cost across seeds; MsPerQuery
+	// divides it by the query count.
+	TotalMs        float64   `json:"total_ms"`
+	MsPerQuery     float64   `json:"ms_per_query"`
+	PerSeedTotalMs []float64 `json:"per_seed_total_ms"`
+	// LedgerEventMs is the mean cache-lifecycle event cost from the
+	// per-cell efficacy ledger — the evidence procdoctor ranks caching
+	// strategies by. Nil for Always Recompute (no cache, no events).
+	LedgerEventMs  *float64  `json:"ledger_event_ms,omitempty"`
+	PerSeedLedger  []float64 `json:"per_seed_ledger_event_ms,omitempty"`
+	WastedWorkMs   *float64  `json:"wasted_work_ms,omitempty"`
+	FalseInvalRate *float64  `json:"false_invalidation_rate,omitempty"`
+}
+
+// ScenarioVerdict is one scenario × model winner-region cell: which
+// strategy wins under hostile traffic, by how much, and whether the
+// hostile conditions flipped the verdict the polite workload gives.
+type ScenarioVerdict struct {
+	Scenario string `json:"scenario"`
+	Model    string `json:"model"`
+	// Winner is the cheapest strategy by mean simulated total;
+	// PerSeedWinners pins the per-seed outcomes for regression.
+	Winner           string   `json:"winner"`
+	WinnerMsPerQuery float64  `json:"winner_ms_per_query"`
+	RunnerUp         string   `json:"runner_up"`
+	MarginPct        float64  `json:"margin_pct"`
+	PerSeedWinners   []string `json:"per_seed_winners"`
+	// CachingWinner ranks only the ledger-recording strategies by mean
+	// ledger event cost — the same evidence and ordering procdoctor's
+	// ledger verdict uses, so the two must agree.
+	CachingWinner         string   `json:"caching_winner"`
+	PerSeedCachingWinners []string `json:"per_seed_caching_winners"`
+	// PoliteWinner is the same model's winner under the polite
+	// workload; Flipped marks scenarios that dethrone it.
+	PoliteWinner string `json:"polite_winner"`
+	Flipped      bool   `json:"flipped_from_polite"`
+}
+
+// ScenarioBenchReport is the top-level shape of BENCH_scenarios.json.
+type ScenarioBenchReport struct {
+	Scale        float64            `json:"scale"`
+	Seed         int64              `json:"seed"`
+	SeedsPerCell int                `json:"seeds_per_cell"`
+	Scenarios    []string           `json:"scenarios"`
+	Params       costmodel.Params   `json:"params"`
+	Rows         []ScenarioBenchRow `json:"rows"`
+	Verdicts     []ScenarioVerdict  `json:"verdicts"`
+}
+
+// ScenarioBenchParams is the parameter point the scenario benchmark
+// runs at (divided by opt.Scale): small enough that the full
+// scenario × model × strategy × seed grid finishes in CI time, large
+// enough that bands overlap (adversarial invalidation has a densest
+// region to aim at) and the cache actually pays rent.
+func ScenarioBenchParams(opt Options) costmodel.Params {
+	p := costmodel.Default()
+	p.N = 3000
+	p.N1 = 8
+	p.N2 = 8
+	p.F = 0.004
+	p.K = 30
+	p.Q = 45
+	p.L = 10
+	return scaled(p, opt)
+}
+
+// scenarioList resolves the benchmark's scenario axis: the polite
+// baseline first, then opt.Scenarios (or the full catalog when empty),
+// in canonical order.
+func scenarioList(opt Options) []string {
+	names := opt.Scenarios
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	out := []string{PoliteScenario}
+	for _, n := range names {
+		if n != PoliteScenario {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+type scenarioCell struct {
+	res       sim.Result
+	led       cache.LedgerStats
+	ledEvents int
+}
+
+// ScenarioBench measures every strategy under both models across the
+// hostile-workload scenario catalog (plus the polite baseline),
+// averaging over scenarioBenchSeeds seeds, and derives a winner verdict
+// per scenario × model. Cells run sequentially within a worker and fan
+// out across opt.Workers; the reduction walks the canonical
+// (scenario, model, strategy, seed) order, so any worker count renders
+// a byte-identical report — and each cell is a 1-client sim.Run,
+// replayable from (scenario, seed) alone.
+func ScenarioBench(ctx context.Context, opt Options) ScenarioBenchReport {
+	p := ScenarioBenchParams(opt)
+	scenarios := scenarioList(opt)
+	models := []costmodel.Model{costmodel.Model1, costmodel.Model2}
+
+	var cfgs []sim.Config
+	for _, sc := range scenarios {
+		name := sc
+		if name == PoliteScenario {
+			name = ""
+		}
+		for _, m := range models {
+			for _, s := range costmodel.Strategies {
+				for i := 0; i < scenarioBenchSeeds; i++ {
+					cfgs = append(cfgs, sim.Config{
+						Params: p, Model: m, Strategy: s,
+						Seed: opt.SimSeed + int64(i), Scenario: name,
+					})
+				}
+			}
+		}
+	}
+
+	tm := parallel.TimingsFrom(ctx)
+	cells, err := parallel.Map(ctx, parallel.Workers(opt.Workers), len(cfgs), func(ctx context.Context, i int) (scenarioCell, error) {
+		start := time.Now()
+		cfg := cfgs[i]
+		cfg.Ledger = cache.NewLedger() // per-cell: workers must not share
+		res := sim.Run(cfg)
+		tm.Observe(time.Since(start))
+		return scenarioCell{
+			res: res, led: cfg.Ledger.Stats(), ledEvents: len(cfg.Ledger.Events()),
+		}, nil
+	})
+
+	rep := ScenarioBenchReport{
+		Scale:        opt.Scale,
+		Seed:         opt.SimSeed,
+		SeedsPerCell: scenarioBenchSeeds,
+		Scenarios:    scenarios,
+		Params:       p,
+	}
+	if err != nil {
+		return rep
+	}
+
+	// Reduce in canonical order; remember each scenario × model's rows
+	// so the verdict pass below can rank them.
+	type groupKey struct {
+		scenario string
+		model    string
+	}
+	rowsOf := map[groupKey][]ScenarioBenchRow{}
+	next := 0
+	for _, sc := range scenarios {
+		for _, m := range models {
+			for _, s := range costmodel.Strategies {
+				row := ScenarioBenchRow{Scenario: sc, Model: m.String(), Strategy: s.String()}
+				ledgered := 0
+				wastedSum := 0.0
+				falseInv, comparable := 0, 0
+				for i := 0; i < scenarioBenchSeeds; i++ {
+					cell := cells[next]
+					next++
+					row.Queries = cell.res.Queries
+					row.Updates = cell.res.Updates
+					row.TotalMs += cell.res.TotalMs
+					row.PerSeedTotalMs = append(row.PerSeedTotalMs, cell.res.TotalMs)
+					if cell.ledEvents > 0 {
+						ledgered++
+						row.PerSeedLedger = append(row.PerSeedLedger, cell.led.TotalMs)
+						wastedSum += cell.led.WastedMs
+						falseInv += cell.led.FalseInvalidations
+						comparable += cell.led.ComparableRecomputes
+					}
+				}
+				row.TotalMs /= scenarioBenchSeeds
+				if row.Queries > 0 {
+					row.MsPerQuery = row.TotalMs / float64(row.Queries)
+				}
+				if ledgered > 0 {
+					var ledSum float64
+					for _, v := range row.PerSeedLedger {
+						ledSum += v
+					}
+					mean := ledSum / float64(ledgered)
+					wasted := wastedSum / float64(ledgered)
+					row.LedgerEventMs, row.WastedWorkMs = &mean, &wasted
+					rate := 0.0
+					if comparable > 0 {
+						rate = float64(falseInv) / float64(comparable)
+					}
+					row.FalseInvalRate = &rate
+				}
+				k := groupKey{sc, m.String()}
+				rowsOf[k] = append(rowsOf[k], row)
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+
+	politeWinner := map[string]string{} // model -> polite winner
+	for _, sc := range scenarios {
+		for _, m := range models {
+			v := deriveVerdict(sc, m.String(), rowsOf[groupKey{sc, m.String()}])
+			if sc == PoliteScenario {
+				politeWinner[v.Model] = v.Winner
+			}
+			v.PoliteWinner = politeWinner[v.Model]
+			v.Flipped = sc != PoliteScenario && v.Winner != v.PoliteWinner
+			rep.Verdicts = append(rep.Verdicts, v)
+		}
+	}
+	return rep
+}
+
+// deriveVerdict ranks one scenario × model's strategy rows. Winners are
+// strict minima walked in canonical strategy order, so ties break to
+// the earlier strategy — the same stable ordering procdoctor's
+// sort.SliceStable ledger ranking produces.
+func deriveVerdict(scenario, model string, rows []ScenarioBenchRow) ScenarioVerdict {
+	v := ScenarioVerdict{Scenario: scenario, Model: model}
+	winner, runner := -1, -1
+	for i, r := range rows {
+		if winner < 0 || r.TotalMs < rows[winner].TotalMs {
+			winner, runner = i, winner
+		} else if runner < 0 || r.TotalMs < rows[runner].TotalMs {
+			runner = i
+		}
+	}
+	if winner < 0 {
+		return v
+	}
+	v.Winner = rows[winner].Strategy
+	v.WinnerMsPerQuery = rows[winner].MsPerQuery
+	if runner >= 0 {
+		v.RunnerUp = rows[runner].Strategy
+		if rows[winner].TotalMs > 0 {
+			v.MarginPct = 100 * (rows[runner].TotalMs - rows[winner].TotalMs) / rows[winner].TotalMs
+		}
+	}
+	for seed := 0; seed < scenarioBenchSeeds; seed++ {
+		best := -1
+		for i, r := range rows {
+			if seed >= len(r.PerSeedTotalMs) {
+				continue
+			}
+			if best < 0 || r.PerSeedTotalMs[seed] < rows[best].PerSeedTotalMs[seed] {
+				best = i
+			}
+		}
+		if best >= 0 {
+			v.PerSeedWinners = append(v.PerSeedWinners, rows[best].Strategy)
+		}
+	}
+	// Caching-only ranking by ledger event cost (procdoctor's metric).
+	best := -1
+	for i, r := range rows {
+		if r.LedgerEventMs == nil {
+			continue
+		}
+		if best < 0 || *r.LedgerEventMs < *rows[best].LedgerEventMs {
+			best = i
+		}
+	}
+	if best >= 0 {
+		v.CachingWinner = rows[best].Strategy
+	}
+	for seed := 0; seed < scenarioBenchSeeds; seed++ {
+		sbest := -1
+		for i, r := range rows {
+			if seed >= len(r.PerSeedLedger) {
+				continue
+			}
+			if sbest < 0 || r.PerSeedLedger[seed] < rows[sbest].PerSeedLedger[seed] {
+				sbest = i
+			}
+		}
+		if sbest >= 0 {
+			v.PerSeedCachingWinners = append(v.PerSeedCachingWinners, rows[sbest].Strategy)
+		}
+	}
+	return v
+}
+
+// DeriveScenarioVerdict re-derives the winner verdict for one
+// scenario × model cell from its rows alone — the same procedure
+// ScenarioBench runs, exported so procadvisor -scenarios can check a
+// report's recorded verdicts against the evidence that produced them.
+// The returned verdict carries no polite baseline (PoliteWinner and
+// Flipped are cross-scenario facts the caller fills in).
+func DeriveScenarioVerdict(scenario, model string, rows []ScenarioBenchRow) ScenarioVerdict {
+	return deriveVerdict(scenario, model, rows)
+}
+
+// FindScenarioVerdict returns the report's verdict for a scenario ×
+// model cell, if present.
+func (r *ScenarioBenchReport) FindScenarioVerdict(scenario, model string) (ScenarioVerdict, bool) {
+	for _, v := range r.Verdicts {
+		if v.Scenario == scenario && v.Model == model {
+			return v, true
+		}
+	}
+	return ScenarioVerdict{}, false
+}

@@ -70,6 +70,11 @@ func (c *conn) handleWorldOpen(m *wire.WorldOpen) error {
 	if params == (costmodel.Params{}) {
 		params = costmodel.Default()
 	}
+	if m.Scenario != "" {
+		if _, ok := workload.ByName(m.Scenario); !ok {
+			return c.writeError(wire.CodeParse, fmt.Sprintf("unknown scenario %q", m.Scenario))
+		}
+	}
 	clients := m.Clients
 	if clients < 1 {
 		clients = 1
@@ -79,6 +84,7 @@ func (c *conn) handleWorldOpen(m *wire.WorldOpen) error {
 		Model:            model,
 		Strategy:         strat,
 		Seed:             m.Seed,
+		Scenario:         m.Scenario,
 		R2UpdateFraction: m.R2UpdateFraction,
 		Adaptive:         m.Adaptive,
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dbproc/internal/cache"
 	"dbproc/internal/costmodel"
@@ -80,9 +81,14 @@ func (w *World) Run() Result {
 // WorkloadOps draws the world's full operation stream: k update
 // transactions interleaved at random with q skewed procedure accesses,
 // consuming the workload generator exactly as the sequential Run loop
-// always has. Callers (Run, the concurrent engine) execute the returned
-// ops through ExecOp.
+// always has. With a scenario configured, the stream instead comes from
+// the scenario schedule's phased generation under the same seed
+// derivation, so (scenario, seed) fully determines the stream. Callers
+// (Run, the concurrent engine) execute the returned ops through ExecOp.
 func (w *World) WorkloadOps() []workload.Op {
+	if w.sched != nil {
+		return w.sched.Ops(w.cfg.Seed+2, w.mgr.IDs())
+	}
 	p := w.cfg.Params
 	return w.gen.Sequence(int(p.K+0.5), int(p.Q+0.5))
 }
@@ -117,7 +123,7 @@ func (w *World) ExecOpOn(pg *storage.Pager, op workload.Op) OpResult {
 	switch op.Kind {
 	case workload.Update:
 		sp := w.tracer.Begin("op.update")
-		rec := w.drawUpdate()
+		rec := w.drawUpdate(op)
 		delta, _ := w.applyUpdate(pg, rec)
 		sp.Set("rel", delta.Rel.Schema().Name())
 		sp.Set("tuples", len(delta.Inserted)+len(delta.Deleted))
@@ -131,6 +137,17 @@ func (w *World) ExecOpOn(pg *storage.Pager, op workload.Op) OpResult {
 		sp := w.tracer.Begin("op.query")
 		sp.Set("proc", op.ProcID)
 		out := w.strat.Access(pg, op.ProcID)
+		// Nested procedure calls: the body accesses further procedures,
+		// derived deterministically from the op itself. Inner results
+		// feed the body (discarded here), so the op's observable result
+		// — and every oracle digest — stays the outer access alone.
+		if op.Nest > 0 {
+			inner := workload.InnerProcs(op, w.mgr.IDs())
+			sp.Set("nested", len(inner))
+			for _, id := range inner {
+				w.strat.Access(pg, id)
+			}
+		}
 		sp.Set("tuples", len(out))
 		pg.Flush()
 		w.tracer.End(sp)
@@ -157,9 +174,22 @@ type UpdateRecord struct {
 // order the sequential simulator always has, and returns the record. By
 // default the transaction modifies R1 (re-drawing the clustering
 // attribute); with probability R2UpdateFraction it modifies R2 instead.
-func (w *World) drawUpdate() UpdateRecord {
+// Scenario ops reshape the draw: op.L overrides the tuple count (bulk
+// load) and op.Adversarial aims the footprint at the densest i-lock band
+// instead of drawing uniformly. All draws still come from the shared
+// generator, in a deterministic order, so 1-client runs stay replayable.
+func (w *World) drawUpdate(op workload.Op) UpdateRecord {
 	p := w.cfg.Params
 	l := int(p.L + 0.5)
+	if op.L > 0 {
+		l = op.L
+	}
+	if n := int(p.N); l > n {
+		l = n
+	}
+	if op.Adversarial {
+		return w.drawAdversarial(l)
+	}
 	if f := w.cfg.R2UpdateFraction; f > 0 && w.gen.Float64() < f {
 		n2 := len(w.p2)
 		if l > n2 {
@@ -177,6 +207,91 @@ func (w *World) drawUpdate() UpdateRecord {
 		rec.Vals = append(rec.Vals, int64(w.gen.Intn(n)))
 	}
 	return rec
+}
+
+// drawAdversarial draws an update aimed at the densest i-lock region:
+// the l tuples are picked (as far as supply allows) from those whose
+// current clustering value lies in the skey interval covered by the most
+// procedure bands, and their new values land back inside that interval —
+// so both the delete and the insert side of every tuple move hit the
+// maximum number of interval locks. Always an R1 transaction: R2 bands
+// are per-procedure and never stack.
+func (w *World) drawAdversarial(l int) UpdateRecord {
+	lo, hi := w.densestBand()
+	n := int(w.cfg.Params.N)
+	var cand []int
+	for tid, v := range w.skey {
+		if v >= lo && v <= hi {
+			cand = append(cand, tid)
+		}
+	}
+	var rec UpdateRecord
+	if len(cand) >= l {
+		for _, i := range w.gen.PickDistinct(l, len(cand)) {
+			rec.Tids = append(rec.Tids, cand[i])
+		}
+	} else {
+		// The band holds fewer than l tuples: take them all and fill
+		// the remainder with uniform picks outside the candidate set.
+		rec.Tids = append(rec.Tids, cand...)
+		seen := make(map[int]bool, l)
+		for _, tid := range cand {
+			seen[tid] = true
+		}
+		for len(rec.Tids) < l {
+			tid := w.gen.Intn(n)
+			if seen[tid] {
+				continue
+			}
+			seen[tid] = true
+			rec.Tids = append(rec.Tids, tid)
+		}
+	}
+	span := int(hi - lo + 1)
+	for range rec.Tids {
+		rec.Vals = append(rec.Vals, lo+int64(w.gen.Intn(span)))
+	}
+	return rec
+}
+
+// densestBand sweeps the procedure R1 bands and returns the first
+// maximal-coverage skey interval — the range whose tuples sit under the
+// most interval locks. Bands are fixed at build time, so the result is
+// cached.
+func (w *World) densestBand() (int64, int64) {
+	if w.denseBandSet {
+		return w.denseBand[0], w.denseBand[1]
+	}
+	type event struct {
+		x int64
+		d int
+	}
+	evs := make([]event, 0, 2*len(w.specs))
+	for _, spec := range w.specs {
+		evs = append(evs, event{spec.band[0], 1}, event{spec.band[1] + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].x != evs[j].x {
+			return evs[i].x < evs[j].x
+		}
+		return evs[i].d > evs[j].d // opens before closes at the same point
+	})
+	cur, best := 0, 0
+	var lo, hi int64
+	for i, e := range evs {
+		cur += e.d
+		if cur > best {
+			best = cur
+			lo = e.x
+			hi = e.x
+			if i+1 < len(evs) && evs[i+1].x-1 > lo {
+				hi = evs[i+1].x - 1
+			}
+		}
+	}
+	w.denseBand = [2]int64{lo, hi}
+	w.denseBandSet = true
+	return lo, hi
 }
 
 // applyUpdate performs the recorded transaction on the base tables
@@ -291,7 +406,7 @@ func (w *World) BaseStateHash() uint64 {
 // Update applies one update transaction outside the workload loop.
 func (w *World) Update() {
 	w.pager.BeginOp()
-	rec := w.drawUpdate()
+	rec := w.drawUpdate(workload.Op{Kind: workload.Update})
 	d, _ := w.applyUpdate(w.pager, rec)
 	w.strat.OnUpdate(w.pager, d)
 	w.pager.Flush()

@@ -51,6 +51,13 @@ type Config struct {
 	// Seed drives every random choice, so strategies can be compared on
 	// identical workloads.
 	Seed int64
+	// Scenario names a hostile-workload scenario from the workload
+	// catalog (docs/SCENARIOS.md). Empty runs the paper's polite
+	// workload; an unknown name panics in Build. The scenario reshapes
+	// WorkloadOps (phased k/q/skew, storm targeting, bulk L overrides,
+	// adversarial update footprints, nested procedure calls) and, via
+	// Schedule, the engine's per-session think-time scaling.
+	Scenario string
 	// R2UpdateFraction is the fraction of update transactions that modify
 	// R2 (re-drawing the C_f2 attribute of l tuples) instead of R1. The
 	// paper's model assumes 0 ("relations R2 and R3 are not modified");
@@ -137,8 +144,14 @@ type World struct {
 	mgr    *proc.Manager
 	specs  []*procSpec
 	gen    *workload.Generator
+	sched  *workload.Schedule // nil for the polite workload
 	strat  proc.Strategy
 	tracer *obs.Tracer
+
+	// denseBand caches the densest i-lock interval — the skey range
+	// covered by the most procedure bands — for adversarial updates.
+	denseBand    [2]int64
+	denseBandSet bool
 }
 
 // procSpec records how one procedure was generated.
@@ -336,7 +349,25 @@ func (w *World) generateProcs() {
 	}
 
 	w.gen = workload.New(w.cfg.Seed+2, p.Z, w.mgr.IDs())
+
+	if name := w.cfg.Scenario; name != "" {
+		sc, ok := workload.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("sim: unknown scenario %q", name))
+		}
+		w.sched = workload.BuildSchedule(sc, workload.Base{
+			K: int(p.K + 0.5),
+			Q: int(p.Q + 0.5),
+			Z: p.Z,
+			L: int(p.L + 0.5),
+		})
+	}
 }
+
+// Schedule returns the resolved scenario schedule, or nil for the polite
+// workload. The concurrent engine reads it for per-session modifiers
+// (slow-consumer think scaling).
+func (w *World) Schedule() *workload.Schedule { return w.sched }
 
 // p2Plan compiles the full (charged) plan of a P2 procedure: B-tree scan
 // of the C_f band, hash-probe join to R2 [then R3 in model 2], and the

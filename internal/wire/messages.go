@@ -249,6 +249,9 @@ type WorldOpen struct {
 	Strategy string           `json:"strategy"`
 	Seed     int64            `json:"seed"`
 	Adaptive bool             `json:"adaptive,omitempty"`
+	// Scenario names a hostile-workload scenario from the workload
+	// catalog (sim.Config.Scenario); empty runs the polite workload.
+	Scenario string `json:"scenario,omitempty"`
 	// R2UpdateFraction is sim.Config.R2UpdateFraction.
 	R2UpdateFraction float64 `json:"r2_update_fraction,omitempty"`
 	// Clients is the session count the workload is dealt across.

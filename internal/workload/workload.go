@@ -22,6 +22,10 @@ const (
 
 // Op is one workload operation. Updates carry no payload here; the
 // simulator picks the l tuples to modify when the operation executes.
+//
+// Op is a comparable value type: scenario attributes are scalars, never
+// slices, so histories and replay records can compare ops directly and
+// ops serialize losslessly through the wire protocol's JSON.
 type Op struct {
 	Kind Kind
 	// ProcID is the procedure accessed; meaningful for Query ops.
@@ -32,6 +36,24 @@ type Op struct {
 	// invalidated an entry ("invalidated by op #17"), independent of
 	// which session executed it.
 	Index int
+
+	// Phase is the index of the scenario phase that generated the op;
+	// zero for the polite (scenario-free) workload.
+	Phase int
+	// L overrides the per-update modified-tuple count for this op (the
+	// bulk-load scenario); zero keeps the configured L.
+	L int
+	// Adversarial marks an update whose footprint is chosen to hit the
+	// densest i-lock region instead of being drawn uniformly.
+	Adversarial bool
+	// Nest makes a query a nested procedure call: after the outer
+	// access, the executor performs Nest inner accesses to procedures
+	// derived deterministically from NestSeed via InnerProcs. Batch
+	// dedupes the inner calls (set-oriented, decorrelated execution);
+	// without it every inner call runs, duplicates included.
+	Nest     int
+	NestSeed int64
+	Batch    bool
 }
 
 // Generator produces a deterministic operation stream for a seed.
@@ -42,16 +64,38 @@ type Generator struct {
 	cold []int
 }
 
+// ZMin bounds the locality skew away from its degenerate endpoints.
+// Z = 0 would mean "zero procedures get all accesses" and Z = 1 "all
+// procedures get none" — both meaningless — so ClampZ folds any
+// requested skew into [ZMin, 1−ZMin].
+const ZMin = 0.01
+
+// ClampZ maps an arbitrary requested skew onto the valid open interval.
+// NaN (no meaningful request) becomes the neutral 0.5; anything at or
+// beyond an endpoint clamps to the nearest representable skew. The
+// result always satisfies ZMin <= z <= 1−ZMin.
+func ClampZ(z float64) float64 {
+	if z != z { // NaN
+		return 0.5
+	}
+	if z < ZMin {
+		return ZMin
+	}
+	if z > 1-ZMin {
+		return 1 - ZMin
+	}
+	return z
+}
+
 // New builds a generator over the given procedure ids with locality skew
-// z in (0, 1): ⌈z·n⌉ randomly chosen "hot" procedures receive a fraction
-// 1−z of accesses.
+// z: ⌈z·n⌉ randomly chosen "hot" procedures receive a fraction 1−z of
+// accesses. Degenerate skews are folded into (0, 1) via ClampZ; an empty
+// id slice has no sensible reading and panics.
 func New(seed int64, z float64, procIDs []int) *Generator {
 	if len(procIDs) == 0 {
 		panic("workload: no procedures")
 	}
-	if z <= 0 || z >= 1 {
-		panic(fmt.Sprintf("workload: Z = %v out of (0, 1)", z))
-	}
+	z = ClampZ(z)
 	rng := rand.New(rand.NewSource(seed))
 	ids := append([]int(nil), procIDs...)
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })

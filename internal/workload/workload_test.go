@@ -121,8 +121,7 @@ func TestPickDistinct(t *testing.T) {
 func TestPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"no procs":       func() { New(1, 0.2, nil) },
-		"bad Z low":      func() { New(1, 0, ids(5)) },
-		"bad Z high":     func() { New(1, 1, ids(5)) },
+		"no procs bad Z": func() { New(1, 0, nil) },
 		"negative k":     func() { New(1, 0.2, ids(5)).Sequence(-1, 2) },
 		"too many picks": func() { New(1, 0.2, ids(5)).PickDistinct(5, 4) },
 	} {
@@ -134,6 +133,87 @@ func TestPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestClampZ: degenerate skews fold explicitly into [ZMin, 1−ZMin]
+// instead of panicking or relying on implicit behavior downstream.
+func TestClampZ(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"zero", 0, ZMin},
+		{"one", 1, 1 - ZMin},
+		{"negative", -3, ZMin},
+		{"above one", 7, 1 - ZMin},
+		{"tiny", ZMin / 10, ZMin},
+		{"near one", 1 - ZMin/10, 1 - ZMin},
+		{"nan", math.NaN(), 0.5},
+		{"interior", 0.2, 0.2},
+		{"neutral", 0.5, 0.5},
+		{"at floor", ZMin, ZMin},
+		{"at ceiling", 1 - ZMin, 1 - ZMin},
+		{"+inf", math.Inf(1), 1 - ZMin},
+		{"-inf", math.Inf(-1), ZMin},
+	}
+	for _, c := range cases {
+		if got := ClampZ(c.in); got != c.want {
+			t.Errorf("%s: ClampZ(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestDegenerateZGenerates: Z at and beyond the endpoints must build a
+// working generator (clamped), not panic, and its sequences must stay
+// deterministic per seed.
+func TestDegenerateZGenerates(t *testing.T) {
+	for _, z := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		g := New(11, z, ids(10))
+		ops := g.Sequence(5, 15)
+		if len(ops) != 20 {
+			t.Fatalf("Z=%v: len = %d", z, len(ops))
+		}
+		for _, op := range ops {
+			if op.Kind == Query && (op.ProcID < 0 || op.ProcID >= 10) {
+				t.Fatalf("Z=%v: bad proc id %d", z, op.ProcID)
+			}
+		}
+		again := New(11, z, ids(10)).Sequence(5, 15)
+		for i := range ops {
+			if ops[i] != again[i] {
+				t.Fatalf("Z=%v: sequence not deterministic at %d", z, i)
+			}
+		}
+	}
+}
+
+// TestHotSetDeterminism: the hot set is a pure function of (seed, Z,
+// ids) — same seed, same set; and across many seeds the sets differ
+// (the shuffle actually depends on the seed).
+func TestHotSetDeterminism(t *testing.T) {
+	key := func(hs []int) string {
+		b := make([]byte, 0, len(hs)*3)
+		for _, id := range hs {
+			b = append(b, byte(id), byte(id>>8), ',')
+		}
+		return string(b)
+	}
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		a := New(seed, 0.2, ids(50)).HotSet()
+		b := New(seed, 0.2, ids(50)).HotSet()
+		if key(a) != key(b) {
+			t.Fatalf("seed %d: hot set not deterministic", seed)
+		}
+		if len(a) != 10 {
+			t.Fatalf("seed %d: hot set size %d, want 10", seed, len(a))
+		}
+		distinct[key(a)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("hot set identical across all seeds — shuffle ignores seed")
 	}
 }
 

@@ -11,7 +11,10 @@
 #           -ledger, procdoctor), and the serving guards
 #           (docs/SERVING.md: wire-frame fuzz smokes, the served race
 #           soak + driver conformance under -race, the procserved
-#           process smoke via scripts/server_smoke.sh)
+#           process smoke via scripts/server_smoke.sh), and the
+#           hostile-workload scenario guards (docs/SCENARIOS.md:
+#           adversarial-invalidation serializability soak under -race,
+#           the scenario pipeline smoke via scripts/scenario_smoke.sh)
 #   tier 4: zero-diagnosis overhead guards          (vs seed meter, seed
 #           lock table, blame-off acquire and ledger-off invalidate;
 #           minima of VERIFY_OVERHEAD_RUNS interleaved runs)
@@ -59,7 +62,7 @@ echo "== tier 3: concurrency + parallel sweep engine guards =="
 # watchdog armed (-short caps the soak matrix; GOMAXPROCS raised so
 # sessions genuinely interleave on single-core CI boxes).
 GOMAXPROCS=4 go test -race -short \
-    -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable|TestTelemetryPreservesSequentialIdentity|TestFlightRecorderCapturesRun|TestContentionProfile|TestCritPathSumsToWall|TestDiagnosisPreservesSequentialIdentity' \
+    -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable|TestTelemetryPreservesSequentialIdentity|TestFlightRecorderCapturesRun|TestContentionProfile|TestCritPathSumsToWall|TestDiagnosisPreservesSequentialIdentity|TestScenarioOracleAdversarial|TestScenarioClientsOneMatchesSequential|TestScenarioConcurrentConsistent|TestScenarioRunReplayable|TestScenarioNestedFootprintCoversInner' \
     ./internal/engine/
 # Injected-RNG audit: simulation worlds must be self-contained, so no
 # non-test code under internal/ may draw from the package-level
@@ -105,6 +108,13 @@ GOMAXPROCS=4 go test -race \
 # procserved process smoke: real server process, database/sql driver
 # workload, /metrics scrape, clean SIGINT drain (docs/SERVING.md).
 sh scripts/server_smoke.sh
+
+# Hostile-workload scenario smoke: generate a scaled scenario benchmark,
+# render its winner regions, have procadvisor re-derive the verdicts
+# from the row evidence, and soak the 8-session engine under
+# storm-adversarial traffic with the flight recorder armed
+# (docs/SCENARIOS.md).
+sh scripts/scenario_smoke.sh
 
 # Telemetry smoke: a live concurrent procsim must expose /metrics that
 # procmon can scrape (with the run's committed-op and per-lock counters),
