@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"dbproc/internal/obs"
 	"dbproc/internal/wire"
 )
 
@@ -42,6 +43,12 @@ type Conn struct {
 	// request whose response never arrived): framing is lost, so every
 	// later request fails fast instead of misreading.
 	broken bool
+
+	// tracer, when non-nil, stamps a trace context onto every request
+	// that can carry one and accounts the round trip (trace.go). connID
+	// is the tracer's id for this connection.
+	tracer *Tracer
+	connID int64
 }
 
 // Dial connects and performs the version handshake.
@@ -104,6 +111,23 @@ func (c *Conn) roundTrip(ctx context.Context, typ byte, msg any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Propagate a fresh trace context: this round trip is the root span,
+	// and the server parents its own span under SpanID. Requests that
+	// cannot carry a context (Ping) stay untraced.
+	if t := c.tracer; t != nil {
+		tc := &wire.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+		if wire.Attach(msg, tc) {
+			start := time.Now()
+			resp, err := c.exchange(ctx, typ, msg)
+			t.finish(c.connID, tc, wire.Name(typ), start, time.Since(start).Nanoseconds(), resp, err, ctx)
+			return resp, err
+		}
+	}
+	return c.exchange(ctx, typ, msg)
+}
+
+// exchange is the locked request/response cycle behind roundTrip.
+func (c *Conn) exchange(ctx context.Context, typ byte, msg any) (any, error) {
 	if err := c.send(typ, msg); err != nil {
 		c.broken = true
 		return nil, err

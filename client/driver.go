@@ -37,13 +37,21 @@ func (d *Driver) OpenConnector(addr string) (driver.Connector, error) {
 }
 
 type connector struct {
-	addr string
-	d    *Driver
+	addr   string
+	d      *Driver
+	tracer *Tracer
 }
 
 func (c connector) Connect(ctx context.Context) (driver.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if c.tracer != nil {
+		cn, err := DialTraced(c.addr, c.tracer)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlConn{c: cn}, nil
 	}
 	return c.d.Open(c.addr)
 }

@@ -12,6 +12,7 @@ import (
 	"dbproc/internal/costmodel"
 	"dbproc/internal/dbtest"
 	"dbproc/internal/engine"
+	"dbproc/internal/obs"
 	"dbproc/internal/server"
 	"dbproc/internal/sim"
 	"dbproc/internal/wire"
@@ -40,8 +41,12 @@ func identityParams(k, q int) costmodel.Params {
 // cache-efficacy ledger.
 func TestServedIdentity(t *testing.T) {
 	defer dbtest.Watchdog(t, 4*time.Minute)()
-	_, addr := startServer(t, server.Options{})
-	cn, err := client.Dial(addr)
+	// Tracing is ON for the whole run: propagated contexts and server
+	// breakdowns ride every frame, and identity must still hold — the
+	// observability layer cannot perturb what the engine computes.
+	var spans bytes.Buffer
+	_, addr := startServer(t, server.Options{TraceSink: obs.NewWireSpanSink(&spans)})
+	cn, err := client.DialTraced(addr, client.NewTracer(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

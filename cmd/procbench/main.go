@@ -133,7 +133,18 @@ func main() {
 
 	if *obsJSON != "" {
 		rep := experiments.ObsBench(ctx, opt)
-		writeJSON(*obsJSON, rep, fmt.Sprintf("observability benchmark (%d rows)", len(rep.Rows)))
+		// The served-path latency decomposition rides along: a loopback
+		// procserved driven through traced connections at 1 and 8
+		// clients (docs/TRACING.md). Wall-clock measurements, so these
+		// rows vary run to run; the simulated rows above do not.
+		served, err := experiments.ServedLatencyBench(ctx, opt, 1, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procbench: served latency decomposition: %v\n", err)
+			os.Exit(1)
+		}
+		rep.ServedLatency = served
+		writeJSON(*obsJSON, rep, fmt.Sprintf("observability benchmark (%d rows, %d served latency rows)",
+			len(rep.Rows), len(rep.ServedLatency)))
 		return
 	}
 

@@ -11,6 +11,7 @@
 //	procmon -addr ... -raw                # one poll, raw /metrics text
 //	procmon -addr ... -tail 64            # last 64 flight events as JSONL
 //	procmon -addr ... -blame              # + critical-path split and top blockers
+//	procmon -addr ... -serving            # + served request-type latency quantiles
 //
 // -raw prints a single scrape verbatim and exits; -tail fetches the
 // flight recorder's newest events as JSONL, ready to pipe into
@@ -163,7 +164,7 @@ func fetch(ctx context.Context, client *http.Client, url string) (string, error)
 // render draws one dashboard frame from a scrape and an event tail.
 // blame adds the causal-diagnosis panel (critical-path split plus top
 // blockers) fed by the dbproc_critpath_* / dbproc_blame_* series.
-func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear, blame bool) {
+func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear, blame, serving bool) {
 	if clear {
 		fmt.Fprint(w, "\x1b[H\x1b[2J")
 	}
@@ -238,6 +239,10 @@ func render(w io.Writer, addr string, m metricSet, dump *telemetry.Dump, clear, 
 		renderBlame(w, m)
 	}
 
+	if serving {
+		renderServing(w, m)
+	}
+
 	if dump != nil && len(dump.Events) > 0 {
 		fmt.Fprintln(w)
 		telemetry.WriteTimeline(w, dump.Events, 0, nil)
@@ -299,6 +304,56 @@ func renderBlame(w io.Writer, m metricSet) {
 	}
 }
 
+// renderServing draws the served-path panel from procserved's
+// dbproc_server_* series: the connection/request counters and, per
+// request type, the P² service-time quantiles
+// (dbproc_server_request_seconds{type,quantile}).
+func renderServing(w io.Writer, m metricSet) {
+	fmt.Fprintf(w, "\n  serving:")
+	for _, c := range []struct{ label, name string }{
+		{"conns", "dbproc_server_connections"},
+		{"requests", "dbproc_server_requests_total"},
+		{"errors", "dbproc_server_errors_total"},
+		{"cancels", "dbproc_server_cancels_total"},
+		{"worlds", "dbproc_server_worlds_open"},
+	} {
+		if v, ok := m.value(c.name); ok {
+			fmt.Fprintf(w, "  %s=%g", c.label, v)
+		}
+	}
+	fmt.Fprintln(w)
+
+	counts := m.byLabel("dbproc_server_request_seconds_count", "type")
+	byType := map[string]map[string]float64{}
+	for _, s := range m.samplesOf("dbproc_server_request_seconds") {
+		typ := s.labels["type"]
+		if byType[typ] == nil {
+			byType[typ] = map[string]float64{}
+		}
+		byType[typ][s.labels["quantile"]] = s.value
+	}
+	if len(byType) == 0 {
+		fmt.Fprintf(w, "  serving: no dbproc_server_request_seconds series (is the observed process procserved?)\n")
+		return
+	}
+	types := make([]string, 0, len(byType))
+	for typ := range byType {
+		types = append(types, typ)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if counts[types[i]] != counts[types[j]] {
+			return counts[types[i]] > counts[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	fmt.Fprintf(w, "\n  %-14s %9s %10s %10s %10s %10s\n", "request", "count", "p50", "p90", "p95", "p99")
+	for _, typ := range types {
+		qs := byType[typ]
+		fmt.Fprintf(w, "  %-14s %9.0f %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			typ, counts[typ], qs["0.5"]*1e3, qs["0.9"]*1e3, qs["0.95"]*1e3, qs["0.99"]*1e3)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:9090", "base URL of the -listen telemetry endpoint")
 	interval := flag.Duration("interval", time.Second, "polling interval")
@@ -307,6 +362,7 @@ func main() {
 	raw := flag.Bool("raw", false, "poll /metrics once, print the raw scrape, and exit")
 	tail := flag.Int("tail", 0, "fetch the last K flight events as raw JSONL and exit (pipe into procstat -flight)")
 	blame := flag.Bool("blame", false, "add the causal-diagnosis panel: critical-path split and top blockers (needs -critpath on the observed process)")
+	serving := flag.Bool("serving", false, "add the served-path panel: connection counters and per-request-type service-time quantiles (observe procserved -telemetry)")
 	flag.Parse()
 
 	base := strings.TrimSuffix(*addr, "/")
@@ -353,6 +409,6 @@ func main() {
 				dump, _ = telemetry.ReadDump(strings.NewReader(tail))
 			}
 		}
-		render(os.Stdout, base, metricSet{parseMetrics(body)}, dump, n > 0 || *polls != 1, *blame)
+		render(os.Stdout, base, metricSet{parseMetrics(body)}, dump, n > 0 || *polls != 1, *blame, *serving)
 	}
 }

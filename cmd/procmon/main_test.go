@@ -57,7 +57,7 @@ func TestRenderFrame(t *testing.T) {
 		{Kind: telemetry.EvOpCommit, Session: 1, Seq: 3, Name: "update"},
 	}}
 	var out strings.Builder
-	render(&out, "http://x", metricSet{parseMetrics(b.String())}, dump, false, false)
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, dump, false, false, false)
 	for _, want := range []string{"committed ops", "rel:r1", "op.commit", "p50=1.5us"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("frame missing %q:\n%s", want, out.String())
@@ -81,7 +81,7 @@ func TestRenderBlamePanel(t *testing.T) {
 			map[string]string{"lock": "proc:9", "holder_session": "0", "holder_op": "query proc:9"}),
 	})
 	var out strings.Builder
-	render(&out, "http://x", metricSet{parseMetrics(b.String())}, nil, false, true)
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, nil, false, true, false)
 	for _, want := range []string{
 		"critical path:", "lock_wait=3.00ms (30%)", "compute=7.00ms (70%)",
 		"blamed lock", "session 3 (update)", "rel:r1", "proc:9",
@@ -98,8 +98,42 @@ func TestRenderBlamePanel(t *testing.T) {
 	// Without the series, the panel says what to enable instead of
 	// rendering an empty table.
 	out.Reset()
-	render(&out, "http://x", metricSet{}, nil, false, true)
+	render(&out, "http://x", metricSet{}, nil, false, true, false)
 	if !strings.Contains(out.String(), "-critpath") {
+		t.Fatalf("missing-series hint absent:\n%s", out.String())
+	}
+}
+
+// TestRenderServingPanel feeds the -serving panel procserved's counter
+// and per-type quantile series and checks the latency table comes out.
+func TestRenderServingPanel(t *testing.T) {
+	var b strings.Builder
+	lbl := func(q string) map[string]string { return map[string]string{"type": "stmt", "quantile": q} }
+	telemetry.WriteMetrics(&b, []telemetry.Metric{
+		telemetry.Gauge("dbproc_server_connections", "", 3, nil),
+		telemetry.Counter("dbproc_server_requests_total", "", 120, nil),
+		telemetry.Counter("dbproc_server_cancels_total", "", 2, nil),
+		telemetry.Counter("dbproc_server_request_seconds_count", "", 100, map[string]string{"type": "stmt"}),
+		telemetry.Gauge("dbproc_server_request_seconds", "", 0.001, lbl("0.5")),
+		telemetry.Gauge("dbproc_server_request_seconds", "", 0.002, lbl("0.9")),
+		telemetry.Gauge("dbproc_server_request_seconds", "", 0.003, lbl("0.95")),
+		telemetry.Gauge("dbproc_server_request_seconds", "", 0.004, lbl("0.99")),
+	})
+	var out strings.Builder
+	render(&out, "http://x", metricSet{parseMetrics(b.String())}, nil, false, false, true)
+	for _, want := range []string{
+		"serving:", "conns=3", "requests=120", "cancels=2",
+		"stmt", "1.00ms", "4.00ms",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("serving panel missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Without the series, the panel names what is missing.
+	out.Reset()
+	render(&out, "http://x", metricSet{}, nil, false, false, true)
+	if !strings.Contains(out.String(), "procserved") {
 		t.Fatalf("missing-series hint absent:\n%s", out.String())
 	}
 }

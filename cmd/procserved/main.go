@@ -9,6 +9,7 @@
 //	procserved -listen :7141              # all interfaces
 //	procserved -telemetry 127.0.0.1:9141  # live /metrics, /events, /debug/pprof
 //	procserved -flight flight.jsonl       # flight dump on fault
+//	procserved -trace server.jsonl        # server-side wire spans (docs/TRACING.md)
 //	procserved -max-conns 16              # admission bound
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"dbproc/internal/obs"
 	"dbproc/internal/server"
 	"dbproc/internal/telemetry"
 )
@@ -32,6 +34,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7141", "address to serve the wire protocol on")
 	telemetryAddr := flag.String("telemetry", "", "address for the live ops endpoint (/metrics, /events, /debug/pprof); empty disables")
 	flight := flag.String("flight", "", "flight-recorder auto-dump file (JSONL); empty disables the recorder")
+	trace := flag.String("trace", "", "server-side wire-span file (JSONL, one span per sampled traced request); empty disables")
 	maxConns := flag.Int("max-conns", 64, "maximum concurrently open connections")
 	maxWorlds := flag.Int("max-worlds", 8, "maximum concurrently open bench worlds")
 	page := flag.Int("page", 0, "pager page size for the shared session (0 = paper default, 4000)")
@@ -52,6 +55,18 @@ func main() {
 			rec.SetAutoDumpFile(*flight)
 		}
 		opt.Recorder = rec
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procserved: trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		opt.TraceSink = obs.NewWireSpanSink(f)
+		th := telemetry.DefaultThresholds()
+		opt.Detect = &th
 	}
 	srv := server.New(opt)
 
@@ -81,6 +96,10 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "procserved: drain: %v\n", err)
+	}
+	if traceFile != nil {
+		fmt.Fprintf(os.Stderr, "procserved: wrote %d wire spans to %s\n", opt.TraceSink.Count(), *trace)
+		traceFile.Close()
 	}
 	fmt.Fprintln(os.Stderr, "procserved: bye")
 }

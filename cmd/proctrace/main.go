@@ -1,0 +1,216 @@
+// Command proctrace works with end-to-end wire traces (docs/TRACING.md).
+// Its main job is the merge: the client-side and server-side wire-span
+// JSONL files of one served run — written by a client.Tracer and by
+// procserved -trace — become a single clock-aligned Chrome trace with
+// cross-wire flow arrows (load it in chrome://tracing or
+// ui.perfetto.dev).
+//
+// Usage:
+//
+//	proctrace client.jsonl server.jsonl -o merged.json   # merge
+//	proctrace -check client.jsonl server.jsonl           # verify sum-to-total, no output
+//	proctrace -drive 127.0.0.1:7141 -o client.jsonl      # run a traced workload
+//
+// -check verifies every server span's segments partition its wall time
+// exactly and exits nonzero on a violation (it composes with merging:
+// -check -o merged.json does both). -drive runs a small mixed workload
+// against a procserved instance — pooled database/sql statements, a
+// cursored query closed mid-read, a transaction, and a 2-session
+// critical-path bench world — writing the client half of the trace; run
+// procserved with -trace to capture the matching server half.
+package main
+
+import (
+	"context"
+	"database/sql"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dbproc/client"
+	"dbproc/internal/obs"
+	"dbproc/internal/wire"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (merged Chrome trace, or client JSONL under -drive); empty = stdout")
+	check := flag.Bool("check", false, "verify the server-side sum-to-total invariant; exit 1 on violation")
+	drive := flag.String("drive", "", "drive a traced workload against this procserved address instead of merging")
+	flag.Parse()
+
+	if *drive != "" {
+		if err := driveWorkload(*drive, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "proctrace: drive: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "proctrace: no trace files (usage: proctrace [-check] [-o merged.json] client.jsonl server.jsonl)")
+		os.Exit(2)
+	}
+	var spans []obs.WireSpanRecord
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proctrace: %v\n", err)
+			os.Exit(1)
+		}
+		tr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proctrace: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		spans = append(spans, tr.WireSpans...)
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "proctrace: no wire spans in the given files")
+		os.Exit(1)
+	}
+
+	if *check {
+		if errs := obs.CheckWireSpans(spans); len(errs) > 0 {
+			for _, err := range errs {
+				fmt.Fprintf(os.Stderr, "proctrace: check: %v\n", err)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "proctrace: check: %d spans, server segments sum to wall\n", len(spans))
+		if *out == "" {
+			return
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proctrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	st, err := obs.MergeWireTrace(w, spans)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proctrace: merge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "proctrace: merged %d client + %d server spans, %d pairs, %d flow arrows, clock offset %dns\n",
+		st.ClientSpans, st.ServerSpans, st.Pairs, st.Arrows, st.MeanOffsetNs)
+}
+
+// driveWorkload exercises every traced wire path against addr and
+// writes the client-side spans to out (JSONL).
+func driveWorkload(addr, out string) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tracer := client.NewTracer(obs.NewWireSpanSink(w))
+	ctx := context.Background()
+
+	// Pooled statements through database/sql: schema, appends, plain and
+	// cursored retrieves (the cursor is closed mid-read, so cursor.close
+	// goes over the wire), and one transaction.
+	db := sql.OpenDB(client.NewConnector(addr, tracer))
+	defer db.Close()
+	db.SetMaxOpenConns(4)
+	stmts := []string{
+		"create emp (tid, age, dept) cluster on age",
+		"append to emp (tid = 1, age = 30, dept = 10)",
+		"append to emp (tid = 2, age = 41, dept = 20)",
+		"append to emp (tid = 3, age = 35, dept = 10)",
+		"retrieve (emp.age) where emp.dept = 10",
+	}
+	for _, s := range stmts {
+		if _, err := db.ExecContext(ctx, s); err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+	}
+	rows, err := db.QueryContext(ctx, "retrieve (emp.age)")
+	if err != nil {
+		return err
+	}
+	rows.Next()
+	if err := rows.Close(); err != nil {
+		return err
+	}
+	tx, err := db.BeginTx(ctx, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := tx.ExecContext(ctx, "append to emp (tid = 4, age = 50, dept = 20)"); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// A 2-session critical-path scenario world on the control plane:
+	// world.next breakdowns carry the engine's lock-wait/io/recompute
+	// split and scenario phase labels.
+	cn, err := client.DialTraced(addr, tracer)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	opened, err := cn.WorldOpen(ctx, &wire.WorldOpen{
+		Model: "1", Strategy: "ci", Seed: 11, Clients: 2,
+		Scenario: "hot-key-storm", R2UpdateFraction: 0.3, CritPath: true,
+	})
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, opened.Sessions)
+	for i := 0; i < opened.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := client.DialTraced(addr, tracer)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer sess.Close()
+			for {
+				step, err := sess.WorldNext(ctx, opened.World, i)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if step.Done {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := cn.WorldStats(ctx, opened.World); err != nil {
+		return err
+	}
+	if err := cn.WorldClose(ctx, opened.World); err != nil {
+		return err
+	}
+
+	st := tracer.Stats()
+	fmt.Fprintf(os.Stderr, "proctrace: drove %d traced requests (%d with server breakdown): client wall %.2fms, server wall %.2fms, network %.2fms\n",
+		st.Requests, st.WithServer, float64(st.ClientWallNs)/1e6, float64(st.ServerWallNs)/1e6, float64(st.NetworkNs)/1e6)
+	return nil
+}

@@ -259,6 +259,13 @@ type Engine struct {
 	inflight  atomic.Int64
 	committed atomic.Int64
 
+	// Scenario-phase labelling: phaseNames mirrors the workload
+	// schedule's phase list and phaseOps counts commits per phase. Both
+	// stay nil on polite (scenario-less) workloads, so spans and metrics
+	// are unchanged there.
+	phaseNames []string
+	phaseOps   []atomic.Int64
+
 	// Run-wide latency sketches; nil unless Options.Sketches.
 	wallSk *telemetry.Sketch
 	simSk  *telemetry.Sketch
@@ -318,6 +325,12 @@ func New(cfg sim.Config, opt Options) *Engine {
 		e.wallSk = telemetry.NewSketch()
 		e.simSk = telemetry.NewSketch()
 	}
+	if sched := w.Schedule(); sched != nil && sched.Scenario != "" {
+		for _, p := range sched.Phases {
+			e.phaseNames = append(e.phaseNames, p.Name)
+		}
+		e.phaseOps = make([]atomic.Int64, len(e.phaseNames))
+	}
 	if rec := opt.Recorder; rec != nil {
 		if store := w.CacheStore(); store != nil {
 			store.SetObserver(func(event string, id, session int) {
@@ -332,6 +345,23 @@ func New(cfg sim.Config, opt Options) *Engine {
 
 // World exposes the engine's world (for post-run verification).
 func (e *Engine) World() *sim.World { return e.w }
+
+// phaseName resolves an op's phase index to its schedule name; empty on
+// polite workloads or out-of-range indices.
+func (e *Engine) phaseName(idx int) string {
+	if idx < 0 || idx >= len(e.phaseNames) {
+		return ""
+	}
+	return e.phaseNames[idx]
+}
+
+// countPhase bumps the committed counter for an op's phase (no-op on
+// polite workloads).
+func (e *Engine) countPhase(idx int) {
+	if idx >= 0 && idx < len(e.phaseOps) {
+		e.phaseOps[idx].Add(1)
+	}
+}
 
 // footprint computes the conservative lock set of one operation.
 //
@@ -475,6 +505,11 @@ func (e *Engine) TelemetryMetrics() []telemetry.Metric {
 			float64(e.inflight.Load()), nil),
 		telemetry.Counter("dbproc_ops_committed_total", "Operations committed.",
 			float64(e.committed.Load()), nil),
+	}
+	for i := range e.phaseOps {
+		ms = append(ms, telemetry.Counter("dbproc_phase_ops_committed_total",
+			"Operations committed per scenario phase.", float64(e.phaseOps[i].Load()),
+			map[string]string{"phase": e.phaseNames[i]}))
 	}
 	for _, c := range e.locks.Contention() {
 		lbl := map[string]string{"lock": c.Name}

@@ -10,6 +10,7 @@ import (
 
 	"dbproc/internal/costmodel"
 	"dbproc/internal/dbtest"
+	"dbproc/internal/obs"
 	"dbproc/internal/sim"
 	"dbproc/internal/workload"
 )
@@ -158,5 +159,66 @@ func TestScenarioNestedFootprintCoversInner(t *testing.T) {
 	}
 	if nested == 0 {
 		t.Fatal("nested scenario generated no nested queries")
+	}
+}
+
+// TestScenarioPhaseLabels: on a scenario workload, committed-op spans
+// must carry the op's schedule phase name, the per-phase commit counters
+// must sum to the total, and a polite workload must stay label-free.
+func TestScenarioPhaseLabels(t *testing.T) {
+	defer dbtest.Watchdog(t, time.Minute)()
+	cfg := scenarioConfig("hot-key-storm", costmodel.CacheInvalidate, costmodel.Model1, 9, 10, 20)
+	tr := obs.NewTracer()
+	e := New(cfg, Options{Clients: 2, Tracer: tr})
+	e.Run(context.Background())
+
+	names := map[string]bool{}
+	for _, p := range e.World().Schedule().Phases {
+		names[p.Name] = true
+	}
+	labelled := 0
+	for _, sp := range tr.Spans() {
+		ph, ok := sp.Attrs["phase"].(string)
+		if !ok {
+			continue
+		}
+		labelled++
+		if !names[ph] {
+			t.Fatalf("span %s carries unknown phase %q (schedule has %v)", sp.Name, ph, names)
+		}
+	}
+	if labelled == 0 {
+		t.Fatal("no span carried a phase attribute on a scenario workload")
+	}
+	var phaseSum, total float64
+	for _, m := range e.TelemetryMetrics() {
+		switch m.Name {
+		case "dbproc_phase_ops_committed_total":
+			if !names[m.Labels["phase"]] {
+				t.Fatalf("metric phase %q not in schedule", m.Labels["phase"])
+			}
+			phaseSum += m.Value
+		case "dbproc_ops_committed_total":
+			total = m.Value
+		}
+	}
+	if phaseSum != total || total == 0 {
+		t.Fatalf("per-phase commits %v != total %v", phaseSum, total)
+	}
+
+	// Polite run: no phase attrs, no per-phase series.
+	polite := testConfig(costmodel.CacheInvalidate, costmodel.Model1, 9, 10, 20)
+	ptr := obs.NewTracer()
+	pe := New(polite, Options{Clients: 1, Tracer: ptr})
+	pe.Run(context.Background())
+	for _, sp := range ptr.Spans() {
+		if _, ok := sp.Attrs["phase"]; ok {
+			t.Fatal("polite workload span carries a phase attribute")
+		}
+	}
+	for _, m := range pe.TelemetryMetrics() {
+		if m.Name == "dbproc_phase_ops_committed_total" {
+			t.Fatal("polite workload exports per-phase series")
+		}
 	}
 }

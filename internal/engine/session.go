@@ -49,7 +49,7 @@ type OpOutcome struct {
 	Digest []byte
 	// CostMs is the op's simulated cost (the session meter's delta priced
 	// at the run's cost constants).
-	CostMs float64
+	CostMs      float64
 	WallNs      int64
 	WaitNs      int64
 	IONs        int64
@@ -204,6 +204,9 @@ func (s *Session) Exec(op workload.Op) OpOutcome {
 		}
 		sp.Set("session", s.id)
 		sp.Set("seq", seq)
+		if ph := e.phaseName(op.Phase); ph != "" {
+			sp.Set("phase", ph)
+		}
 		if rec != nil {
 			sp.Set("wall_wait_ns", int64(waited))
 		}
@@ -241,6 +244,7 @@ func (s *Session) Exec(op workload.Op) OpOutcome {
 	service := time.Since(opStart) - waited
 	e.inflight.Add(-1)
 	e.committed.Add(1)
+	e.countPhase(op.Phase)
 	e.waitNsTot.Add(int64(waited))
 	e.wallNsTot.Add(int64(waited + service))
 	out.Seq = seq

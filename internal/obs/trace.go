@@ -363,6 +363,9 @@ type Trace struct {
 	Spans      []SpanRecord
 	Runs       []RunRecord
 	Breakdowns []BreakdownRecord
+	// WireSpans are the wall-clock served-request spans
+	// (docs/TRACING.md); client and server files both contribute here.
+	WireSpans []WireSpanRecord
 }
 
 // ReadTrace parses a JSONL trace stream, dispatching lines on their "type"
@@ -403,6 +406,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
 			}
 			tr.Breakdowns = append(tr.Breakdowns, rec)
+		case RecordWireSpan:
+			var rec WireSpanRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			tr.WireSpans = append(tr.WireSpans, rec)
 		}
 	}
 	if err := sc.Err(); err != nil {

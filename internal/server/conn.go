@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dbproc/internal/obs"
 	"dbproc/internal/quel"
 	"dbproc/internal/wire"
 )
@@ -31,10 +32,24 @@ type conn struct {
 	txHandle   int
 	nextHandle int
 
-	// cancelMu guards the in-flight request's cancel func, shared with
-	// the reader goroutine.
-	cancelMu sync.Mutex
-	cancel   context.CancelFunc
+	// cancelMu guards the in-flight request's cancel func and trace id,
+	// shared with the reader goroutine (a TCancel flight event names the
+	// trace it killed).
+	cancelMu      sync.Mutex
+	cancel        context.CancelFunc
+	inflightTrace string
+
+	// Per-request tracing state, owned by the handler goroutine: the
+	// propagated context (nil when the client sent none), the server
+	// span id minted for it, when dispatch started, and what the
+	// response handler stashed for the span export — the breakdown that
+	// went out on the wire, the scenario phase, and the error code.
+	trace     *wire.TraceContext
+	spanID    string
+	reqStart  time.Time
+	breakdown *wire.ServerBreakdown
+	phase     string
+	lastErr   string
 }
 
 // cursor is the server-side remainder of a cursored statement: the rows
@@ -124,6 +139,10 @@ func (s *Server) serveConn(nc net.Conn) {
 				return
 			}
 			if typ == wire.TCancel {
+				c.cancelMu.Lock()
+				trace := c.inflightTrace
+				c.cancelMu.Unlock()
+				c.srv.recordCancel(c.id, trace)
 				c.cancelInflight()
 				continue
 			}
@@ -183,7 +202,62 @@ func (c *conn) write(typ byte, msg any) error {
 
 func (c *conn) writeError(code, msg string) error {
 	c.srv.errorsTotal.Add(1)
+	c.lastErr = code
 	return c.write(wire.TError, &wire.Error{Code: code, Msg: msg})
+}
+
+// finishRequest closes out one handled request: the service time feeds
+// the per-type sketch and the flight recorder, and a sampled traced
+// request exports its server span. When the response carried a
+// breakdown the span's duration is the breakdown's WallNs — the wall
+// the segments partition exactly — rather than the slightly larger
+// dispatch-to-here time, so the sum-to-total invariant survives into
+// the JSONL.
+func (c *conn) finishRequest(typ byte, start time.Time) {
+	service := time.Since(start).Nanoseconds()
+	name := wire.Name(typ)
+	c.srv.observe(name, service)
+	traceID := ""
+	if c.trace != nil {
+		traceID = c.trace.TraceID
+	}
+	c.srv.record(c.id, c.srv.requests.Load(), name, service, traceID)
+	if c.trace == nil || !c.trace.Sampled {
+		return
+	}
+	rec := obs.WireSpanRecord{
+		Side: obs.SideServer, TraceID: c.trace.TraceID, SpanID: c.spanID,
+		ParentSpanID: c.trace.SpanID, Name: name, Conn: c.id, Phase: c.phase,
+		StartUnixNs: start.UnixNano(), DurNs: service, Err: c.lastErr,
+	}
+	if bd := c.breakdown; bd != nil {
+		rec.DurNs = bd.WallNs
+		rec.Segments = segmentsOf(bd)
+	}
+	c.srv.opt.TraceSink.Write(rec)
+}
+
+// segmentsOf maps a wire breakdown onto the JSONL segment keys
+// (obs.SegmentOrder). Compute is always present so the partition stays
+// checkable even when it is the only segment.
+func segmentsOf(b *wire.ServerBreakdown) map[string]int64 {
+	m := map[string]int64{"compute": b.ComputeNs}
+	if b.AdmissionNs != 0 {
+		m["admission"] = b.AdmissionNs
+	}
+	if b.GateNs != 0 {
+		m["gate"] = b.GateNs
+	}
+	if b.LockWaitNs != 0 {
+		m["lock_wait"] = b.LockWaitNs
+	}
+	if b.IONs != 0 {
+		m["io"] = b.IONs
+	}
+	if b.RecomputeNs != 0 {
+		m["recompute"] = b.RecomputeNs
+	}
+	return m
 }
 
 // handle services one request frame and writes exactly one response.
@@ -192,6 +266,8 @@ func (c *conn) writeError(code, msg string) error {
 func (c *conn) handle(r request) bool {
 	c.srv.requests.Add(1)
 	start := time.Now()
+	c.reqStart = start
+	c.trace, c.spanID, c.breakdown, c.phase, c.lastErr = nil, "", nil, "", ""
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancelMu.Lock()
 	c.cancel = cancel
@@ -199,15 +275,26 @@ func (c *conn) handle(r request) bool {
 	defer func() {
 		c.cancelMu.Lock()
 		c.cancel = nil
+		c.inflightTrace = ""
 		c.cancelMu.Unlock()
 		cancel()
-		c.srv.record(c.id, c.srv.requests.Load(), wireName(r.typ), time.Since(start).Nanoseconds())
+		c.finishRequest(r.typ, start)
 	}()
 
 	msg, err := wire.Decode(r.typ, r.payload)
 	if err != nil {
 		c.writeError(wire.CodeProtocol, err.Error())
 		return false
+	}
+	// Adopt the client's propagated trace context: this request becomes
+	// a child span of the driver-side call, and the reader goroutine can
+	// name the trace if a TCancel arrives for it.
+	if tc := wire.TraceOf(msg); tc != nil {
+		c.trace = tc
+		c.spanID = obs.NewSpanID()
+		c.cancelMu.Lock()
+		c.inflightTrace = tc.TraceID
+		c.cancelMu.Unlock()
 	}
 	switch m := msg.(type) {
 	case *wire.Ping:
@@ -303,6 +390,7 @@ func (c *conn) execParsed(ctx context.Context, stmt quel.Statement, tx int, want
 	if tx != 0 && (c.tx == nil || tx != c.txHandle) {
 		return c.writeError(wire.CodeBadHandle, fmt.Sprintf("no transaction %d", tx))
 	}
+	preGate := time.Now()
 	release, err := c.enterGate(ctx)
 	if err != nil {
 		return c.writeError(wire.CodeCancelled, "cancelled waiting for the statement gate")
@@ -329,6 +417,22 @@ func (c *conn) execParsed(ctx context.Context, stmt quel.Statement, tx int, want
 			out.More = true
 			out.Rows = out.Rows[:fetch]
 		}
+	}
+	if c.trace != nil {
+		// Partition the service wall exactly: admission is dispatch to
+		// the gate attempt, gate is the wait for the statement gate, and
+		// compute is the remainder (execution plus response build), so
+		// the three always sum to WallNs.
+		wall := time.Since(c.reqStart).Nanoseconds()
+		bd := &wire.ServerBreakdown{
+			SpanID:      c.spanID,
+			WallNs:      wall,
+			AdmissionNs: preGate.Sub(c.reqStart).Nanoseconds(),
+			GateNs:      start.Sub(preGate).Nanoseconds(),
+		}
+		bd.ComputeNs = wall - bd.AdmissionNs - bd.GateNs
+		out.Server = bd
+		c.breakdown = bd
 	}
 	return c.write(wire.TResult, out)
 }
@@ -419,7 +523,39 @@ func (c *conn) handleBench(text string) error {
 		out.Message = fmt.Sprintf("committed seq %d", step.Seq)
 		out.Affected = 1
 	}
+	out.Server = c.worldBreakdown(step)
 	return c.write(wire.TResult, out)
+}
+
+// worldBreakdown partitions a traced world step's service wall. The
+// engine already decomposed the execution (WallNs = lock wait + io +
+// recompute + compute under the critical-path invariant; lock wait +
+// compute otherwise), so the server's own overhead — dispatch, dealing
+// the op, response build — lands in admission and the engine remainder
+// in compute, keeping the segments an exact partition. Returns nil on
+// untraced requests, and stashes the breakdown and scenario phase for
+// the span export.
+func (c *conn) worldBreakdown(step *wire.WorldStep) *wire.ServerBreakdown {
+	if c.trace == nil {
+		return nil
+	}
+	c.phase = step.Phase
+	wall := time.Since(c.reqStart).Nanoseconds()
+	adm := wall - step.WallNs
+	if adm < 0 {
+		adm = 0
+	}
+	bd := &wire.ServerBreakdown{
+		SpanID:      c.spanID,
+		WallNs:      wall,
+		AdmissionNs: adm,
+		LockWaitNs:  step.WaitNs,
+		IONs:        step.IONs,
+		RecomputeNs: step.RecomputeNs,
+	}
+	bd.ComputeNs = wall - adm - bd.LockWaitNs - bd.IONs - bd.RecomputeNs
+	c.breakdown = bd
+	return bd
 }
 
 // toWireResult converts a quel result for the wire.
@@ -435,31 +571,4 @@ func toWireResult(res *quel.Result) *wire.Result {
 		out.Sections = append(out.Sections, wire.Section{Columns: s.Columns, Rows: s.Rows})
 	}
 	return out
-}
-
-func wireName(typ byte) string {
-	switch typ {
-	case wire.TStmt:
-		return "stmt"
-	case wire.TPrepare:
-		return "prepare"
-	case wire.TStmtExec:
-		return "stmt.exec"
-	case wire.TBegin:
-		return "begin"
-	case wire.TCommit:
-		return "commit"
-	case wire.TRollback:
-		return "rollback"
-	case wire.TFetch:
-		return "fetch"
-	case wire.TWorldOpen:
-		return "world.open"
-	case wire.TWorldNext:
-		return "world.next"
-	case wire.TWorldStats:
-		return "world.stats"
-	default:
-		return fmt.Sprintf("frame.%d", typ)
-	}
 }

@@ -24,12 +24,15 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dbproc/internal/metric"
+	"dbproc/internal/obs"
 	"dbproc/internal/quel"
 	"dbproc/internal/telemetry"
 )
@@ -58,6 +61,14 @@ type Options struct {
 	// (kind "server.request"), so a stalled served run can be diagnosed
 	// from the same flight tail as an in-process one.
 	Recorder *telemetry.Recorder
+	// TraceSink, when non-nil, receives one server-side wire span per
+	// sampled traced request (docs/TRACING.md). Nil keeps the served
+	// path span-free.
+	TraceSink *obs.WireSpanSink
+	// Detect, when non-nil, arms the served-path SLO detector: a request
+	// type whose running p99 service time breaches ServedP99Ns records
+	// an EvDetector flight event (once per run).
+	Detect *telemetry.Thresholds
 }
 
 func (o *Options) fill() {
@@ -109,20 +120,34 @@ type Server struct {
 	rejected    atomic.Int64
 	requests    atomic.Int64
 	errorsTotal atomic.Int64
+	cancels     atomic.Int64
 	nextConnID  atomic.Int64
+
+	// Per-request-type service-time sketches (P²), always on: they feed
+	// the dbproc_server_request_seconds quantile series and the served
+	// SLO detector.
+	sketchMu sync.Mutex
+	sketches map[string]*telemetry.Sketch
+
+	det *telemetry.Detectors
 }
 
 // New builds an unstarted server with one fresh quel session.
 func New(opt Options) *Server {
 	opt.fill()
-	return &Server{
-		opt:     opt,
-		db:      quel.Open(opt.PageSize, opt.Width, opt.Costs),
-		gate:    make(chan struct{}, 1),
-		conns:   make(map[*conn]struct{}),
-		drainCh: make(chan struct{}),
-		worlds:  make(map[int]*world),
+	s := &Server{
+		opt:      opt,
+		db:       quel.Open(opt.PageSize, opt.Width, opt.Costs),
+		gate:     make(chan struct{}, 1),
+		conns:    make(map[*conn]struct{}),
+		drainCh:  make(chan struct{}),
+		worlds:   make(map[int]*world),
+		sketches: make(map[string]*telemetry.Sketch),
 	}
+	if opt.Detect != nil {
+		s.det = telemetry.NewDetectors(*opt.Detect, opt.Recorder)
+	}
+	return s
 }
 
 // DB exposes the shared quel session (tests inspect meter state through
@@ -237,6 +262,7 @@ type Stats struct {
 	Rejected int64
 	Requests int64
 	Errors   int64
+	Cancels  int64
 }
 
 // Stat snapshots the gauges.
@@ -251,6 +277,7 @@ func (s *Server) Stat() Stats {
 		Rejected: s.rejected.Load(),
 		Requests: s.requests.Load(),
 		Errors:   s.errorsTotal.Load(),
+		Cancels:  s.cancels.Load(),
 	}
 }
 
@@ -269,7 +296,26 @@ func (s *Server) TelemetryMetrics() []telemetry.Metric {
 		telemetry.Counter("dbproc_server_connections_rejected_total", "Connections refused at admission.", float64(st.Rejected), nil),
 		telemetry.Counter("dbproc_server_requests_total", "Request frames handled.", float64(st.Requests), nil),
 		telemetry.Counter("dbproc_server_errors_total", "Requests answered with an error frame.", float64(st.Errors), nil),
+		telemetry.Counter("dbproc_server_cancels_total", "TCancel frames received.", float64(st.Cancels), nil),
 	}
+	s.sketchMu.Lock()
+	types := make([]string, 0, len(s.sketches))
+	for name := range s.sketches {
+		types = append(types, name)
+	}
+	sort.Strings(types)
+	for _, name := range types {
+		sk := s.sketches[name]
+		ms = append(ms, telemetry.Counter("dbproc_server_request_seconds_count",
+			"Requests observed by the service-time sketch.", float64(sk.Count()),
+			map[string]string{"type": name}))
+		for _, q := range sk.Quantiles() {
+			ms = append(ms, telemetry.Gauge("dbproc_server_request_seconds",
+				"Per-type request service time (P² estimate).", sk.Quantile(q)/1e9,
+				map[string]string{"type": name, "quantile": fmt.Sprintf("%g", q)}))
+		}
+	}
+	s.sketchMu.Unlock()
 	s.worldMu.Lock()
 	worlds := make(map[int]*world, len(s.worlds))
 	for id, w := range s.worlds {
@@ -295,9 +341,48 @@ func (s *Server) TelemetryMetrics() []telemetry.Metric {
 	return ms
 }
 
-// record emits one flight event for a handled request. Nil-safe.
-func (s *Server) record(connID int64, seq int64, name string, serviceNs int64) {
+// record emits one flight event for a handled request; a traced request
+// stamps its trace id into the event detail so a flight tail can be
+// joined against the wire-span JSONL. Nil-safe.
+func (s *Server) record(connID int64, seq int64, name string, serviceNs int64, traceID string) {
 	if rec := s.opt.Recorder; rec != nil {
-		rec.Op("server.request", int(connID), int(seq), name, 0, serviceNs)
+		detail := ""
+		if traceID != "" {
+			detail = "trace=" + traceID
+		}
+		rec.Record(telemetry.Event{Kind: "server.request", Session: int(connID), Seq: int(seq),
+			Name: name, HoldNs: serviceNs, Detail: detail})
+	}
+}
+
+// recordCancel counts a TCancel frame and records it as a flight event
+// carrying the cancelled request's trace id (or "untraced request" when
+// the in-flight request carried no context). Cancels used to vanish
+// silently; now a flight tail shows who pulled the plug.
+func (s *Server) recordCancel(connID int64, traceID string) {
+	s.cancels.Add(1)
+	if rec := s.opt.Recorder; rec != nil {
+		detail := "untraced request"
+		if traceID != "" {
+			detail = "trace=" + traceID
+		}
+		rec.Record(telemetry.Event{Kind: telemetry.EvCancel, Session: int(connID), Seq: -1,
+			Name: "cancel", Detail: detail})
+	}
+}
+
+// observe feeds one request's service time into its type's sketch and,
+// every 16th observation, tests the running p99 against the served SLO.
+func (s *Server) observe(name string, serviceNs int64) {
+	s.sketchMu.Lock()
+	sk := s.sketches[name]
+	if sk == nil {
+		sk = telemetry.NewSketch()
+		s.sketches[name] = sk
+	}
+	s.sketchMu.Unlock()
+	sk.Observe(float64(serviceNs))
+	if n := sk.Count(); s.det != nil && n >= 16 && n%16 == 0 {
+		s.det.CheckServedLatency(name, sk.Quantile(0.99))
 	}
 }

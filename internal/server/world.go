@@ -28,6 +28,12 @@ type world struct {
 
 	sessions []*engine.Session
 	ops      [][]workload.Op
+	// scenario and phases label steps with the workload phase they
+	// belong to; both stay empty on polite (scenario-less) workloads so
+	// a polite served run's frames are byte-identical to before phases
+	// existed.
+	scenario string
+	phases   []string
 	// pos[i] is session i's next operation; semu[i] serializes the
 	// session (a session is single-submitter by contract, but wire
 	// clients may race — TryLock maps the race to CodeBusy).
@@ -113,6 +119,12 @@ func (c *conn) handleWorldOpen(m *wire.WorldOpen) error {
 	for i := 0; i < clients; i++ {
 		w.sessions[i] = eng.OpenSession(i)
 	}
+	if sched := eng.World().Schedule(); sched != nil && sched.Scenario != "" {
+		w.scenario = sched.Scenario
+		for _, p := range sched.Phases {
+			w.phases = append(w.phases, p.Name)
+		}
+	}
 
 	c.srv.worldMu.Lock()
 	c.srv.nextWorld++
@@ -157,7 +169,7 @@ func (s *Server) worldNext(id, session int) (*wire.WorldStep, *wire.Error) {
 	op := w.ops[session][w.pos[session]]
 	w.pos[session]++
 	out := w.sessions[session].Exec(op)
-	return &wire.WorldStep{
+	step := &wire.WorldStep{
 		Seq:         out.Seq,
 		Update:      op.Kind == workload.Update,
 		Tuples:      out.Tuples,
@@ -167,7 +179,11 @@ func (s *Server) worldNext(id, session int) (*wire.WorldStep, *wire.Error) {
 		IONs:        out.IONs,
 		RecomputeNs: out.RecomputeNs,
 		ComputeNs:   out.ComputeNs,
-	}, nil
+	}
+	if w.scenario != "" && op.Phase >= 0 && op.Phase < len(w.phases) {
+		step.Phase = w.phases[op.Phase]
+	}
+	return step, nil
 }
 
 func (c *conn) handleWorldNext(m *wire.WorldNext) error {
@@ -175,6 +191,7 @@ func (c *conn) handleWorldNext(m *wire.WorldNext) error {
 	if werr != nil {
 		return c.writeError(werr.Code, werr.Msg)
 	}
+	step.Server = c.worldBreakdown(step)
 	return c.write(wire.TWorldStep, step)
 }
 

@@ -18,13 +18,18 @@ type Thresholds struct {
 	// WastedWorkRatio fires when the ledger's wasted compute exceeds
 	// this fraction of all cache-compute cost.
 	WastedWorkRatio float64
+	// ServedP99Ns fires the served-path SLO detector when a request
+	// type's p99 service time (nanoseconds, measured dispatch to
+	// response build on the server) exceeds it.
+	ServedP99Ns float64
 }
 
 // DefaultThresholds returns the standard detector configuration:
 // p99 above 50ms, more than half of wall time spent waiting on locks,
-// or more than half of cache-compute cost wasted.
+// more than half of cache-compute cost wasted, or a served request
+// type's p99 above 250ms.
 func DefaultThresholds() Thresholds {
-	return Thresholds{P99WallNs: 50e6, ContentionShare: 0.5, WastedWorkRatio: 0.5}
+	return Thresholds{P99WallNs: 50e6, ContentionShare: 0.5, WastedWorkRatio: 0.5, ServedP99Ns: 250e6}
 }
 
 // Detectors evaluates the thresholds against live run statistics and,
@@ -39,6 +44,7 @@ type Detectors struct {
 	latencyFired    atomic.Bool
 	contentionFired atomic.Bool
 	wastedFired     atomic.Bool
+	servedFired     atomic.Bool
 }
 
 // NewDetectors builds a detector set recording through rec (which may
@@ -87,4 +93,14 @@ func (d *Detectors) CheckWastedWork(wastedMs, computeMs float64) {
 	}
 	d.fire(&d.wastedFired, "wasted_work",
 		fmt.Sprintf("wasted-work ratio %.2f exceeds %.2f (%.1fms of %.1fms)", ratio, d.th.WastedWorkRatio, wastedMs, computeMs))
+}
+
+// CheckServedLatency tests one request type's running p99 service time
+// (ns) against the served-path SLO.
+func (d *Detectors) CheckServedLatency(reqType string, p99Ns float64) {
+	if d == nil || d.th.ServedP99Ns <= 0 || p99Ns <= d.th.ServedP99Ns {
+		return
+	}
+	d.fire(&d.servedFired, "served_p99",
+		fmt.Sprintf("served %s p99 %.2fms exceeds %.2fms", reqType, p99Ns/1e6, d.th.ServedP99Ns/1e6))
 }

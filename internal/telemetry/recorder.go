@@ -43,6 +43,7 @@ const (
 	EvWatchdog       = "watchdog.fire"
 	EvViolation      = "oracle.violation"
 	EvDetector       = "detector.fire"
+	EvCancel         = "server.cancel"
 )
 
 // Event is one flight-recorder entry. I is the global record index (total

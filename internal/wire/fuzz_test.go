@@ -35,6 +35,20 @@ func seedFrames(t testing.TB) [][]byte {
 		frame(TWorldStep, &WorldStep{Seq: 14, Tuples: 100, CostMs: 431, WallNs: 812345, WaitNs: 1000}),
 		frame(TWorldStats, &WorldStats{World: 1}),
 		frame(TCancel, &Cancel{}),
+		// Trace-bearing requests and breakdown-bearing responses
+		// (docs/TRACING.md): the fuzzer mutates the trace/server fields
+		// too, so the decoder's coverage includes the tracing shapes.
+		frame(TStmt, &Stmt{Text: "retrieve (emp.all)",
+			Trace: &TraceContext{TraceID: "3f2a9c1d00aa55ee", SpanID: "0000000000000001", Sampled: true}}),
+		frame(TWorldNext, &WorldNext{World: 1, Session: 3,
+			Trace: &TraceContext{TraceID: "deadbeefcafef00d", SpanID: "0000000000000002"}}),
+		frame(TResult, &Result{Message: "committed seq 9", Affected: 1, WallNs: 52000,
+			Server: &ServerBreakdown{SpanID: "00000000000000aa", WallNs: 52000,
+				AdmissionNs: 1000, GateNs: 11000, ComputeNs: 40000}}),
+		frame(TWorldStep, &WorldStep{Seq: 15, CostMs: 12, WallNs: 90000, WaitNs: 20000,
+			IONs: 30000, RecomputeNs: 10000, ComputeNs: 30000, Phase: "storm",
+			Server: &ServerBreakdown{SpanID: "00000000000000ab", WallNs: 95000,
+				AdmissionNs: 5000, LockWaitNs: 20000, IONs: 30000, RecomputeNs: 10000, ComputeNs: 30000}}),
 	}
 	// Adversarial shapes.
 	var wild [4]byte

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAttachTraceOfAgree: every request type Attach accepts must yield
+// the same context back through TraceOf after an encode/decode round
+// trip, and the sum helper must match the documented partition.
+func TestAttachTraceOfAgree(t *testing.T) {
+	tc := &TraceContext{TraceID: "t1", SpanID: "s1", Sampled: true}
+	msgs := []struct {
+		typ byte
+		msg any
+	}{
+		{TStmt, &Stmt{Text: "x"}},
+		{TPrepare, &Prepare{Text: "x"}},
+		{TStmtExec, &StmtExec{Stmt: 1}},
+		{TStmtClose, &StmtClose{Stmt: 1}},
+		{TBegin, &Begin{}},
+		{TCommit, &Commit{Tx: 1}},
+		{TRollback, &Rollback{Tx: 1}},
+		{TFetch, &Fetch{Cursor: 1}},
+		{TCursorClose, &CursorClose{Cursor: 1}},
+		{TWorldNext, &WorldNext{World: 1}},
+		{TWorldStats, &WorldStats{World: 1}},
+	}
+	for _, m := range msgs {
+		if !Attach(m.msg, tc) {
+			t.Fatalf("Attach refused %T", m.msg)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m.typ, m.msg); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(typ, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TraceOf(dec)
+		if got == nil || *got != *tc {
+			t.Errorf("%T: trace context did not survive the wire: %+v", m.msg, got)
+		}
+	}
+	if Attach(&Ping{}, tc) || TraceOf(&Ping{}) != nil {
+		t.Error("Ping should not carry a trace context")
+	}
+	bd := &ServerBreakdown{WallNs: 60, AdmissionNs: 10, GateNs: 20, LockWaitNs: 5, IONs: 5, RecomputeNs: 5, ComputeNs: 15}
+	if bd.SegmentSum() != bd.WallNs {
+		t.Errorf("SegmentSum %d != WallNs %d", bd.SegmentSum(), bd.WallNs)
+	}
+}
+
+// TestTracingOffByteIdentity pins the encoded bytes of every frame a
+// tracing-off client or server produces. The expected strings were
+// captured before trace contexts and server breakdowns existed, so this
+// test is the wire half of the PR's compatibility contract: a client
+// that never sets Trace and a server that never attaches a breakdown
+// put exactly the pre-tracing bytes on the wire. (The trace fields are
+// omitempty pointers appended after the pre-existing fields, which is
+// what makes this hold.)
+func TestTracingOffByteIdentity(t *testing.T) {
+	frames := []struct {
+		name string
+		typ  byte
+		msg  any
+		want string // JSON payload inside the frame
+	}{
+		{"stmt", TStmt, &Stmt{Text: "retrieve (e.all)"},
+			`{"text":"retrieve (e.all)"}`},
+		{"stmt_tx_cursor", TStmt, &Stmt{Text: "retrieve (e.all)", Tx: 3, Cursor: true, Fetch: 16},
+			`{"text":"retrieve (e.all)","tx":3,"cursor":true,"fetch":16}`},
+		{"prepare", TPrepare, &Prepare{Text: "retrieve (e.all)"},
+			`{"text":"retrieve (e.all)"}`},
+		{"stmt_exec", TStmtExec, &StmtExec{Stmt: 2, Cursor: true},
+			`{"stmt":2,"cursor":true}`},
+		{"stmt_close", TStmtClose, &StmtClose{Stmt: 2},
+			`{"stmt":2}`},
+		{"begin", TBegin, &Begin{},
+			`{}`},
+		{"commit", TCommit, &Commit{Tx: 4},
+			`{"tx":4}`},
+		{"rollback", TRollback, &Rollback{Tx: 4},
+			`{"tx":4}`},
+		{"fetch", TFetch, &Fetch{Cursor: 7, Max: 32},
+			`{"cursor":7,"max":32}`},
+		{"cursor_close", TCursorClose, &CursorClose{Cursor: 7},
+			`{"cursor":7}`},
+		{"result", TResult, &Result{Message: "appended", Affected: 3, CostMs: 1.5, WallNs: 42},
+			`{"message":"appended","affected":3,"cost_ms":1.5,"wall_ns":42}`},
+		{"result_rows", TResult, &Result{Columns: []string{"age"}, Rows: [][]int64{{30}}, Cursor: 7, More: true},
+			`{"columns":["age"],"rows":[[30]],"cursor":7,"more":true}`},
+		{"world_next", TWorldNext, &WorldNext{World: 1, Session: 5},
+			`{"world":1,"session":5}`},
+		{"world_step", TWorldStep, &WorldStep{Seq: 9, Update: true, CostMs: 2.5, WallNs: 100, WaitNs: 10},
+			`{"seq":9,"update":true,"cost_ms":2.5,"wall_ns":100,"wait_ns":10}`},
+		{"world_stats", TWorldStats, &WorldStats{World: 1},
+			`{"world":1}`},
+	}
+	for _, f := range frames {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f.typ, f.msg); err != nil {
+			t.Fatalf("%s: WriteFrame: %v", f.name, err)
+		}
+		b := buf.Bytes()
+		if len(b) < headerSize+1 {
+			t.Fatalf("%s: short frame %x", f.name, b)
+		}
+		got := string(b[headerSize+1:])
+		if got != f.want {
+			t.Errorf("%s: tracing-off payload changed\n got: %s\nwant: %s", f.name, got, f.want)
+		}
+	}
+}

@@ -92,6 +92,54 @@ const (
 	CodeProtocol = "protocol"
 )
 
+// TraceContext is the trace identity a client propagates with a
+// request (docs/TRACING.md). The server adopts it: the request's
+// server-side span is created with SpanID as its parent, under TraceID.
+// All trace fields are omitempty pointers appended after the
+// pre-tracing fields, so a request without one encodes byte-identically
+// to the pre-tracing protocol (TestTracingOffByteIdentity).
+type TraceContext struct {
+	// TraceID names the end-to-end trace (one driver call, usually).
+	TraceID string `json:"trace_id"`
+	// SpanID is the client-side span the server's span nests under.
+	SpanID string `json:"span_id"`
+	// Sampled asks the server to export the request's span; an
+	// unsampled context still propagates identity for flight events.
+	Sampled bool `json:"sampled,omitempty"`
+}
+
+// ServerBreakdown partitions a request's server-side wall time exactly:
+//
+//	WallNs = AdmissionNs + GateNs + LockWaitNs + IONs + RecomputeNs + ComputeNs
+//
+// WallNs here is the full service time from frame dispatch to response
+// build (a superset of the legacy Result.WallNs, which times execution
+// only and is unchanged). AdmissionNs is pre-execution overhead
+// (decode, parse, handle lookup, world bookkeeping), GateNs the
+// statement-gate queue, LockWaitNs the engine lock-table wait, IONs and
+// RecomputeNs the engine critical-path segments, and ComputeNs the
+// remainder — computed as WallNs minus the others, so the sum-to-total
+// invariant holds by construction and is asserted end to end by
+// TestServerBreakdownSumsToWall and proctrace -check.
+type ServerBreakdown struct {
+	// SpanID is the server-side span exported for this request, a child
+	// of the propagated TraceContext.SpanID.
+	SpanID      string `json:"span_id,omitempty"`
+	WallNs      int64  `json:"wall_ns"`
+	AdmissionNs int64  `json:"admission_ns,omitempty"`
+	GateNs      int64  `json:"gate_ns,omitempty"`
+	LockWaitNs  int64  `json:"lock_wait_ns,omitempty"`
+	IONs        int64  `json:"io_ns,omitempty"`
+	RecomputeNs int64  `json:"recompute_ns,omitempty"`
+	ComputeNs   int64  `json:"compute_ns"`
+}
+
+// SegmentSum adds the six segments; it equals WallNs on any breakdown
+// the server builds.
+func (b *ServerBreakdown) SegmentSum() int64 {
+	return b.AdmissionNs + b.GateNs + b.LockWaitNs + b.IONs + b.RecomputeNs + b.ComputeNs
+}
+
 // Hello opens the connection.
 type Hello struct {
 	// Version is the protocol version the client speaks; the server
@@ -144,11 +192,15 @@ type Stmt struct {
 	// Fetch is the first-batch row cap when Cursor is set (server
 	// default if 0).
 	Fetch int `json:"fetch,omitempty"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Prepare parses a statement for repeated execution.
 type Prepare struct {
 	Text string `json:"text"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Prepared answers Prepare.
@@ -163,15 +215,22 @@ type StmtExec struct {
 	Tx     int  `json:"tx,omitempty"`
 	Cursor bool `json:"cursor,omitempty"`
 	Fetch  int  `json:"fetch,omitempty"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // StmtClose frees a statement handle.
 type StmtClose struct {
 	Stmt int `json:"stmt"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Begin opens a transaction.
-type Begin struct{}
+type Begin struct {
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
+}
 
 // Begun answers Begin.
 type Begun struct {
@@ -181,11 +240,15 @@ type Begun struct {
 // Commit commits a transaction.
 type Commit struct {
 	Tx int `json:"tx"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Rollback rolls a transaction back.
 type Rollback struct {
 	Tx int `json:"tx"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Fetch pulls the next rows of a cursor.
@@ -193,6 +256,8 @@ type Fetch struct {
 	Cursor int `json:"cursor"`
 	// Max caps the batch (server default if 0).
 	Max int `json:"max,omitempty"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Fetched answers Fetch.
@@ -206,6 +271,8 @@ type Fetched struct {
 // CursorClose frees a cursor handle.
 type CursorClose struct {
 	Cursor int `json:"cursor"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Section is one further result set of a multi-query procedure.
@@ -237,6 +304,9 @@ type Result struct {
 	// Fetch the remaining rows from, and whether any remain.
 	Cursor int  `json:"cursor,omitempty"`
 	More   bool `json:"more,omitempty"`
+	// Server is the exact server-side wall-time partition, attached
+	// only when the request carried a trace context.
+	Server *ServerBreakdown `json:"server,omitempty"`
 }
 
 // WorldOpen builds a benchmark world on the server: sim.Build(cfg) plus
@@ -278,6 +348,8 @@ type WorldOpened struct {
 type WorldNext struct {
 	World   int `json:"world"`
 	Session int `json:"session"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // WorldStep answers WorldNext: one committed operation's attributes, or
@@ -301,11 +373,19 @@ type WorldStep struct {
 	IONs        int64   `json:"io_ns,omitempty"`
 	RecomputeNs int64   `json:"recompute_ns,omitempty"`
 	ComputeNs   int64   `json:"compute_ns,omitempty"`
+	// Phase names the op's scenario phase (empty on polite workloads,
+	// so 1-client polite steps stay byte-identical to pre-tracing runs).
+	Phase string `json:"phase,omitempty"`
+	// Server is the exact server-side wall-time partition, attached
+	// only when the request carried a trace context.
+	Server *ServerBreakdown `json:"server,omitempty"`
 }
 
 // WorldStats seals the world's sessions and reports the run aggregate.
 type WorldStats struct {
 	World int `json:"world"`
+	// Trace is the propagated trace context (nil when untraced).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // WorldStatsResult answers WorldStats.
@@ -329,6 +409,106 @@ type WorldStatsResult struct {
 // WorldClose frees the world handle.
 type WorldClose struct {
 	World int `json:"world"`
+}
+
+// Attach sets the trace context on a request message that carries one
+// and reports whether it did. Handshake, liveness and cancel frames
+// carry no context (TCancel aborts the request that did).
+func Attach(msg any, tc *TraceContext) bool {
+	switch m := msg.(type) {
+	case *Stmt:
+		m.Trace = tc
+	case *Prepare:
+		m.Trace = tc
+	case *StmtExec:
+		m.Trace = tc
+	case *StmtClose:
+		m.Trace = tc
+	case *Begin:
+		m.Trace = tc
+	case *Commit:
+		m.Trace = tc
+	case *Rollback:
+		m.Trace = tc
+	case *Fetch:
+		m.Trace = tc
+	case *CursorClose:
+		m.Trace = tc
+	case *WorldNext:
+		m.Trace = tc
+	case *WorldStats:
+		m.Trace = tc
+	default:
+		return false
+	}
+	return true
+}
+
+// TraceOf returns the trace context a decoded request carries (nil when
+// untraced or the frame type has no trace field).
+func TraceOf(msg any) *TraceContext {
+	switch m := msg.(type) {
+	case *Stmt:
+		return m.Trace
+	case *Prepare:
+		return m.Trace
+	case *StmtExec:
+		return m.Trace
+	case *StmtClose:
+		return m.Trace
+	case *Begin:
+		return m.Trace
+	case *Commit:
+		return m.Trace
+	case *Rollback:
+		return m.Trace
+	case *Fetch:
+		return m.Trace
+	case *CursorClose:
+		return m.Trace
+	case *WorldNext:
+		return m.Trace
+	case *WorldStats:
+		return m.Trace
+	}
+	return nil
+}
+
+// Name returns the short request name used for span names, flight
+// events and the per-type latency sketches ("stmt", "world.next", ...).
+func Name(typ byte) string {
+	switch typ {
+	case TPing:
+		return "ping"
+	case TStmt:
+		return "stmt"
+	case TPrepare:
+		return "prepare"
+	case TStmtExec:
+		return "stmt.exec"
+	case TStmtClose:
+		return "stmt.close"
+	case TBegin:
+		return "begin"
+	case TCommit:
+		return "commit"
+	case TRollback:
+		return "rollback"
+	case TFetch:
+		return "fetch"
+	case TCursorClose:
+		return "cursor.close"
+	case TWorldOpen:
+		return "world.open"
+	case TWorldNext:
+		return "world.next"
+	case TWorldStats:
+		return "world.stats"
+	case TWorldClose:
+		return "world.close"
+	default:
+		return fmt.Sprintf("frame.%d", typ)
+	}
 }
 
 // Decode unmarshals a frame payload into its message struct — the

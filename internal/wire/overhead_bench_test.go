@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The tier-4 tracing-off overhead guard (scripts/verify.sh). The trace
+// plumbing added optional fields to the hot frame types — Trace on
+// requests, Server on responses — all pointer-valued and omitempty, so
+// an untraced frame must cost what it did before the fields existed.
+// seedStmt / seedResult replicate the pre-tracing struct layouts; the
+// guard interleaves both benchmarks and bounds the candidate's minimum
+// against the baseline's. Byte-identity of the untraced encoding is
+// pinned separately by TestTracingOffByteIdentity.
+
+type seedStmt struct {
+	Text   string `json:"text"`
+	Tx     int    `json:"tx,omitempty"`
+	Cursor bool   `json:"cursor,omitempty"`
+	Fetch  int    `json:"fetch,omitempty"`
+}
+
+type seedResult struct {
+	Message  string    `json:"message,omitempty"`
+	Columns  []string  `json:"columns,omitempty"`
+	Rows     [][]int64 `json:"rows,omitempty"`
+	Sections []Section `json:"sections,omitempty"`
+	Affected int64     `json:"affected,omitempty"`
+	CostMs   float64   `json:"cost_ms,omitempty"`
+	WallNs   int64     `json:"wall_ns,omitempty"`
+	Cursor   int       `json:"cursor,omitempty"`
+	More     bool      `json:"more,omitempty"`
+}
+
+// benchRows is a realistic small result batch: four rows of three
+// columns, the shape a cursored retrieve puts in its first frame.
+var benchRows = [][]int64{{1, 30, 10}, {2, 41, 20}, {3, 35, 10}, {4, 50, 20}}
+
+// roundTrip encodes a request and a response frame into buf and decodes
+// both back — one full wire exchange without the socket.
+func roundTrip(b *testing.B, buf *bytes.Buffer, req any, reqOut any, res any, resOut any) {
+	buf.Reset()
+	if err := WriteFrame(buf, TStmt, req); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteFrame(buf, TResult, res); err != nil {
+		b.Fatal(err)
+	}
+	for _, out := range []any{reqOut, resOut} {
+		_, payload, err := ReadFrame(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.Unmarshal(payload, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameSeedBaseline(b *testing.B) {
+	var buf bytes.Buffer
+	req := &seedStmt{Text: "retrieve (emp.age) where emp.dept = 10", Cursor: true, Fetch: 4}
+	res := &seedResult{Columns: []string{"tid", "age", "dept"}, Rows: benchRows,
+		CostMs: 12.5, WallNs: 41_200, Cursor: 7, More: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reqOut seedStmt
+		var resOut seedResult
+		roundTrip(b, &buf, req, &reqOut, res, &resOut)
+	}
+}
+
+func BenchmarkFrameTraceOff(b *testing.B) {
+	var buf bytes.Buffer
+	req := &Stmt{Text: "retrieve (emp.age) where emp.dept = 10", Cursor: true, Fetch: 4}
+	res := &Result{Columns: []string{"tid", "age", "dept"}, Rows: benchRows,
+		CostMs: 12.5, WallNs: 41_200, Cursor: 7, More: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reqOut Stmt
+		var resOut Result
+		roundTrip(b, &buf, req, &reqOut, res, &resOut)
+	}
+}

@@ -11,13 +11,17 @@
 #           -ledger, procdoctor), and the serving guards
 #           (docs/SERVING.md: wire-frame fuzz smokes, the served race
 #           soak + driver conformance under -race, the procserved
-#           process smoke via scripts/server_smoke.sh), and the
+#           process smoke via scripts/server_smoke.sh), the
 #           hostile-workload scenario guards (docs/SCENARIOS.md:
 #           adversarial-invalidation serializability soak under -race,
-#           the scenario pipeline smoke via scripts/scenario_smoke.sh)
+#           the scenario pipeline smoke via scripts/scenario_smoke.sh),
+#           and the wire-tracing guards (docs/TRACING.md: the 8-client
+#           sum-to-total breakdown soak under -race, the cross-process
+#           trace smoke via scripts/trace_smoke.sh)
 #   tier 4: zero-diagnosis overhead guards          (vs seed meter, seed
-#           lock table, blame-off acquire and ledger-off invalidate;
-#           minima of VERIFY_OVERHEAD_RUNS interleaved runs)
+#           lock table, blame-off acquire, ledger-off invalidate and
+#           trace-off wire frames; minima of VERIFY_OVERHEAD_RUNS
+#           interleaved runs)
 #
 # Run from the repository root: sh scripts/verify.sh
 #
@@ -96,18 +100,25 @@ go test -fuzz='^FuzzPlan$' -fuzztime=10s -run '^FuzzPlan$' ./internal/quel/
 go test -fuzz='^FuzzFrameDecode$' -fuzztime=10s -run '^FuzzFrameDecode$' ./internal/wire/
 go test -fuzz='^FuzzFrameRoundTrip$' -fuzztime=10s -run '^FuzzFrameRoundTrip$' ./internal/wire/
 
-# Served race soak + driver conformance + cross-wire identity: 8
-# concurrent database/sql clients over loopback procserved under the
-# race detector, the conformance suite's handle-table drain checks, and
-# the byte-identity of a served 1-client world against sim.Run
-# (docs/SERVING.md).
+# Served race soak + driver conformance + cross-wire identity + tracing
+# guards: 8 concurrent database/sql clients over loopback procserved
+# under the race detector, the conformance suite's handle-table drain
+# checks, the byte-identity of a served 1-client world against sim.Run
+# — with tracing ON (docs/SERVING.md) — and the 8-client sum-to-total
+# soak: every traced response's server breakdown must partition its wall
+# exactly (docs/TRACING.md).
 GOMAXPROCS=4 go test -race \
-    -run 'TestServedRaceSoak|TestServedIdentity|TestDriverConformance|TestAdmissionLimit|TestGracefulDrain' \
-    ./client/
+    -run 'TestServedRaceSoak|TestServedIdentity|TestDriverConformance|TestAdmissionLimit|TestGracefulDrain|TestServerBreakdownSumsToWall|TestPooledConnStats|TestTracingOffByteIdentity' \
+    ./client/ ./internal/wire/
 
 # procserved process smoke: real server process, database/sql driver
 # workload, /metrics scrape, clean SIGINT drain (docs/SERVING.md).
 sh scripts/server_smoke.sh
+
+# Wire-tracing process smoke: procserved -trace, a traced proctrace
+# -drive workload, and the cross-process merge — sum-to-total checked,
+# flow arrows counted (docs/TRACING.md).
+sh scripts/trace_smoke.sh
 
 # Hostile-workload scenario smoke: generate a scaled scenario benchmark,
 # render its winner regions, have procadvisor re-derive the verdicts
@@ -276,6 +287,21 @@ else
         'BenchmarkInvalidateSeedBaseline|BenchmarkInvalidateLedgerOff' ./internal/cache/
     overhead_guard /tmp/ledger_bench.txt \
         '^BenchmarkInvalidateSeedBaseline' '^BenchmarkInvalidateLedgerOff' 'ledger-off' ratio 1.05
+
+    # Trace off: an untraced request/response frame round trip (encode +
+    # decode) vs the pre-tracing struct layouts. The bound is looser
+    # than the engine guards' 1.05 because the cost being admitted is
+    # encoding/json's per-field omitempty checks on the added pointer
+    # fields (~6% of an ~8us round trip) — the inherent price of the
+    # fields existing at all. A real regression on the untraced path
+    # (allocating trace state, eagerly building breakdowns) costs
+    # multiples of that and still trips the guard. Byte-identity of the
+    # untraced encoding is pinned separately by
+    # TestTracingOffByteIdentity (tier 1).
+    bench_samples /tmp/trace_bench.txt \
+        'BenchmarkFrameSeedBaseline|BenchmarkFrameTraceOff' ./internal/wire/
+    overhead_guard /tmp/trace_bench.txt \
+        '^BenchmarkFrameSeedBaseline' '^BenchmarkFrameTraceOff' 'trace-off' ratio 1.12
 fi
 
 echo "== all tiers passed =="
