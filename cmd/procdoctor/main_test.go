@@ -144,3 +144,31 @@ func TestBottleneck(t *testing.T) {
 		t.Errorf("bottleneck = %q, want recompute", name)
 	}
 }
+
+// TestFlightReportWaitClasses: the flight report must causally separate
+// waits on an update's declared 2PL footprint from waits on the MVCC
+// version-chain GC lock, both per blocker line and in the summary split.
+func TestFlightReportWaitClasses(t *testing.T) {
+	if got := waitClass("rel:r1"); got != waitClassFootprint {
+		t.Errorf("waitClass(rel:r1) = %q", got)
+	}
+	if got := waitClass("ent:proc:7"); got != waitClassFootprint {
+		t.Errorf("waitClass(ent:proc:7) = %q", got)
+	}
+	if got := waitClass(engine.GCLock); got != waitClassGC {
+		t.Errorf("waitClass(%s) = %q", engine.GCLock, got)
+	}
+	d := &telemetry.Dump{Events: []telemetry.Event{
+		{Kind: telemetry.EvLockAcquire, Name: "rel:r1", WaitNs: 4_000_000, Detail: "held by session 2 (update)"},
+		{Kind: telemetry.EvLockAcquire, Name: engine.GCLock, WaitNs: 1_000_000, Detail: "held by session 1 (gc)"},
+	}}
+	var buf bytes.Buffer
+	flightReport(&buf, d, 10)
+	out := buf.String()
+	if !strings.Contains(out, "4.000 ms waited on update footprints, 1.000 ms on version-chain GC") {
+		t.Errorf("missing wait split:\n%s", out)
+	}
+	if !strings.Contains(out, "[waited on update footprint]") || !strings.Contains(out, "[waited on version-chain GC]") {
+		t.Errorf("blocker lines missing wait classes:\n%s", out)
+	}
+}

@@ -11,9 +11,10 @@
 //
 // A Tree is bound to a Disk; every access method takes the calling
 // session's Pager, so concurrent sessions can read one shared tree while
-// each charges its own meter. The tree's directory state (meta table,
-// root, height) is not internally synchronized — callers serialize
-// mutations against reads (the engine's 2PL relation locks do).
+// each charges its own meter. The tree's live directory state (meta table,
+// root, height) is not internally synchronized — mutations are serialized
+// by the engine's update locks, and snapshot readers traverse an immutable
+// published directory copy at their stamp instead (docs/MVCC.md).
 package btree
 
 import (
@@ -36,12 +37,20 @@ type Tree struct {
 	stride  int // bytes reserved per index entry (the paper's d)
 	keyOf   KeyFunc
 
+	dir       treeDir
+	dv        *storage.DirVersions
+	noRootPin bool
+}
+
+// treeDir is the tree's in-memory directory: the node meta table and the
+// shape counters. The live copy is mutated in place by updates; published
+// copies are immutable and traversed by snapshot readers.
+type treeDir struct {
 	root      storage.PageID
 	meta      map[storage.PageID]*nodeMeta
 	height    int // levels including the leaf level; 1 = root is a leaf
 	n         int
 	numLeaves int
-	noRootPin bool
 }
 
 // SetRootPinned controls whether descending through the root of a
@@ -80,22 +89,49 @@ func New(disk *storage.Disk, recSize, indexEntrySize int, keyOf KeyFunc) *Tree {
 		fanout:  fanout,
 		stride:  indexEntrySize,
 		keyOf:   keyOf,
-		meta:    make(map[storage.PageID]*nodeMeta),
-		height:  1,
+		dir:     treeDir{meta: make(map[storage.PageID]*nodeMeta), height: 1},
 	}
-	t.root = t.newNode(true)
-	t.numLeaves = 1
+	t.dir.root = t.newNode(true)
+	t.dir.numLeaves = 1
+	t.dv = disk.RegisterDir(t.snapshotDir)
 	return t
 }
 
+// snapshotDir returns an immutable deep copy of the live directory.
+func (t *Tree) snapshotDir() any {
+	d := &treeDir{
+		root:      t.dir.root,
+		meta:      make(map[storage.PageID]*nodeMeta, len(t.dir.meta)),
+		height:    t.dir.height,
+		n:         t.dir.n,
+		numLeaves: t.dir.numLeaves,
+	}
+	for id, m := range t.dir.meta {
+		cp := *m
+		d.meta[id] = &cp
+	}
+	return d
+}
+
+// dirFor resolves the directory a reader should traverse: the newest
+// published copy at the pager's snapshot stamp, else the live directory.
+func (t *Tree) dirFor(pg *storage.Pager) *treeDir {
+	if s, ok := pg.Snapshot(); ok {
+		if d := t.dv.Lookup(s); d != nil {
+			return d.(*treeDir)
+		}
+	}
+	return &t.dir
+}
+
 // Len returns the number of records.
-func (t *Tree) Len() int { return t.n }
+func (t *Tree) Len() int { return t.dir.n }
 
 // Height returns the number of levels including the leaf level.
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.dir.height }
 
 // LeafPages returns the number of leaf pages.
-func (t *Tree) LeafPages() int { return t.numLeaves }
+func (t *Tree) LeafPages() int { return t.dir.numLeaves }
 
 // LeafCapacity returns the blocking factor of leaf pages.
 func (t *Tree) LeafCapacity() int { return t.leafCap }
@@ -105,14 +141,14 @@ func (t *Tree) Fanout() int { return t.fanout }
 
 func (t *Tree) newNode(leaf bool) storage.PageID {
 	id := t.disk.Alloc()
-	t.meta[id] = &nodeMeta{leaf: leaf, next: storage.NilPage, prev: storage.NilPage}
+	t.dir.meta[id] = &nodeMeta{leaf: leaf, next: storage.NilPage, prev: storage.NilPage}
 	return id
 }
 
-// readNode fetches a node page for reading. The root of a multi-level
-// tree is pinned: no charge.
-func (t *Tree) readNode(pg *storage.Pager, id storage.PageID) []byte {
-	if id == t.root && t.height > 1 && !t.noRootPin {
+// readNode fetches a node page for reading against directory d. The root
+// of a multi-level tree is pinned: no charge.
+func (t *Tree) readNode(pg *storage.Pager, d *treeDir, id storage.PageID) []byte {
+	if id == d.root && d.height > 1 && !t.noRootPin {
 		prev := pg.SetCharging(false)
 		buf := pg.Read(id)
 		pg.SetCharging(prev)
@@ -122,7 +158,7 @@ func (t *Tree) readNode(pg *storage.Pager, id storage.PageID) []byte {
 }
 
 func (t *Tree) writeNode(pg *storage.Pager, id storage.PageID) []byte {
-	if id == t.root && t.height > 1 && !t.noRootPin {
+	if id == t.dir.root && t.dir.height > 1 && !t.noRootPin {
 		prev := pg.SetCharging(false)
 		buf := pg.Update(id)
 		pg.SetCharging(prev)
@@ -206,31 +242,32 @@ func (t *Tree) Insert(pg *storage.Pager, rec []byte) {
 	if len(rec) != t.recSize {
 		panic(fmt.Sprintf("btree: record of %d bytes, want %d", len(rec), t.recSize))
 	}
+	t.dv.MarkDirty()
 	key := t.keyOf(rec)
-	newID, sep, split := t.insertAt(pg, t.root, key, rec)
+	newID, sep, split := t.insertAt(pg, t.dir.root, key, rec)
 	if split {
-		oldRoot := t.root
+		oldRoot := t.dir.root
 		newRoot := t.newNode(false)
 		// Temporarily make newRoot the root before writing so pin logic
 		// applies consistently; height grows by one level.
-		t.root = newRoot
-		t.height++
+		t.dir.root = newRoot
+		t.dir.height++
 		buf := t.writeNode(pg, newRoot)
 		t.setEntry(buf, 0, 0, oldRoot) // leftmost separator is an open bound
 		t.setEntry(buf, 1, sep, newID)
-		t.meta[newRoot].count = 2
+		t.dir.meta[newRoot].count = 2
 	}
-	t.n++
+	t.dir.n++
 }
 
 // insertAt inserts into the subtree rooted at id, returning a new right
 // sibling and its separator key if the node split.
 func (t *Tree) insertAt(pg *storage.Pager, id storage.PageID, key uint64, rec []byte) (storage.PageID, uint64, bool) {
-	m := t.meta[id]
+	m := t.dir.meta[id]
 	if m.leaf {
 		return t.insertLeaf(pg, id, m, key, rec)
 	}
-	buf := t.readNode(pg, id)
+	buf := t.readNode(pg, &t.dir, id)
 	ci := t.childIndex(buf, m.count, key)
 	child := t.entryChild(buf, ci)
 	newChild, sep, split := t.insertAt(pg, child, key, rec)
@@ -254,8 +291,8 @@ func (t *Tree) insertLeaf(pg *storage.Pager, id storage.PageID, m *nodeMeta, key
 	}
 	// Split: upper half moves to a new right sibling.
 	rightID := t.newNode(true)
-	t.numLeaves++
-	rm := t.meta[rightID]
+	t.dir.numLeaves++
+	rm := t.dir.meta[rightID]
 	half := m.count / 2
 	rbuf := pg.Overwrite(rightID)
 	copy(rbuf, buf[half*t.recSize:m.count*t.recSize])
@@ -265,7 +302,7 @@ func (t *Tree) insertLeaf(pg *storage.Pager, id storage.PageID, m *nodeMeta, key
 	// Fix the leaf chain.
 	rm.next, rm.prev = m.next, id
 	if m.next != storage.NilPage {
-		t.meta[m.next].prev = rightID
+		t.dir.meta[m.next].prev = rightID
 	}
 	m.next = rightID
 	// Insert into the proper side.
@@ -294,7 +331,7 @@ func (t *Tree) insertEntry(pg *storage.Pager, id storage.PageID, m *nodeMeta, po
 		return storage.NilPage, 0, false
 	}
 	rightID := t.newNode(false)
-	rm := t.meta[rightID]
+	rm := t.dir.meta[rightID]
 	half := m.count / 2
 	rbuf := pg.Overwrite(rightID)
 	copy(rbuf, buf[half*t.stride:m.count*t.stride])
@@ -317,13 +354,14 @@ func (t *Tree) insertEntry(pg *storage.Pager, id storage.PageID, m *nodeMeta, po
 
 // Get returns a copy of the record with the given key.
 func (t *Tree) Get(pg *storage.Pager, key uint64) ([]byte, bool) {
-	id := t.root
-	for !t.meta[id].leaf {
-		buf := t.readNode(pg, id)
-		id = t.entryChild(buf, t.childIndex(buf, t.meta[id].count, key))
+	d := t.dirFor(pg)
+	id := d.root
+	for !d.meta[id].leaf {
+		buf := t.readNode(pg, d, id)
+		id = t.entryChild(buf, t.childIndex(buf, d.meta[id].count, key))
 	}
-	m := t.meta[id]
-	buf := t.readNode(pg, id)
+	m := d.meta[id]
+	buf := t.readNode(pg, d, id)
 	slot, found := t.leafSlot(buf, m.count, key)
 	if !found {
 		return nil, false
@@ -337,20 +375,21 @@ func (t *Tree) Get(pg *storage.Pager, key uint64) ([]byte, bool) {
 // present. Emptied nodes are freed and unlinked; no other rebalancing is
 // performed (the workload's delete+insert churn keeps pages near full).
 func (t *Tree) Delete(pg *storage.Pager, key uint64) bool {
+	t.dv.MarkDirty()
 	// Record the descent path for cascade cleanup.
 	type step struct {
 		id storage.PageID
 		ci int
 	}
 	var path []step
-	id := t.root
-	for !t.meta[id].leaf {
-		buf := t.readNode(pg, id)
-		ci := t.childIndex(buf, t.meta[id].count, key)
+	id := t.dir.root
+	for !t.dir.meta[id].leaf {
+		buf := t.readNode(pg, &t.dir, id)
+		ci := t.childIndex(buf, t.dir.meta[id].count, key)
 		path = append(path, step{id, ci})
 		id = t.entryChild(buf, ci)
 	}
-	m := t.meta[id]
+	m := t.dir.meta[id]
 	buf := t.writeNode(pg, id)
 	slot, found := t.leafSlot(buf, m.count, key)
 	if !found {
@@ -359,23 +398,23 @@ func (t *Tree) Delete(pg *storage.Pager, key uint64) bool {
 	copy(buf[slot*t.recSize:], buf[(slot+1)*t.recSize:m.count*t.recSize])
 	clear(buf[(m.count-1)*t.recSize : m.count*t.recSize])
 	m.count--
-	t.n--
+	t.dir.n--
 
 	// Cascade removal of emptied nodes.
-	for m.count == 0 && id != t.root {
+	for m.count == 0 && id != t.dir.root {
 		if m.leaf {
 			if m.prev != storage.NilPage {
-				t.meta[m.prev].next = m.next
+				t.dir.meta[m.prev].next = m.next
 			}
 			if m.next != storage.NilPage {
-				t.meta[m.next].prev = m.prev
+				t.dir.meta[m.next].prev = m.prev
 			}
-			t.numLeaves--
+			t.dir.numLeaves--
 		}
 		t.freeNode(pg, id)
 		parent := path[len(path)-1]
 		path = path[:len(path)-1]
-		pm := t.meta[parent.id]
+		pm := t.dir.meta[parent.id]
 		pbuf := t.writeNode(pg, parent.id)
 		copy(pbuf[parent.ci*t.stride:], pbuf[(parent.ci+1)*t.stride:pm.count*t.stride])
 		clear(pbuf[(pm.count-1)*t.stride : pm.count*t.stride])
@@ -384,25 +423,25 @@ func (t *Tree) Delete(pg *storage.Pager, key uint64) bool {
 	}
 
 	// Collapse a single-child root to reduce height.
-	for id == t.root && m.count == 1 && !m.leaf {
-		buf := t.readNode(pg, id)
+	for id == t.dir.root && m.count == 1 && !m.leaf {
+		buf := t.readNode(pg, &t.dir, id)
 		child := t.entryChild(buf, 0)
 		t.freeNode(pg, id)
-		t.root = child
-		t.height--
-		id, m = child, t.meta[child]
+		t.dir.root = child
+		t.dir.height--
+		id, m = child, t.dir.meta[child]
 	}
-	if m.count == 0 && m.leaf && id == t.root {
+	if m.count == 0 && m.leaf && id == t.dir.root {
 		// Tree is empty; keep the root leaf.
-		t.numLeaves = 1
+		t.dir.numLeaves = 1
 	}
 	return true
 }
 
 func (t *Tree) freeNode(pg *storage.Pager, id storage.PageID) {
-	delete(t.meta, id)
+	delete(t.dir.meta, id)
 	pg.Drop(id)
-	t.disk.Free(id)
+	pg.FreePage(id)
 }
 
 // ScanRange calls fn for each record with lo <= key <= hi in ascending key
@@ -410,17 +449,18 @@ func (t *Tree) freeNode(pg *storage.Pager, id storage.PageID) {
 // reads below the pinned root) and then follows the leaf chain, charging
 // one read per leaf touched. The rec slice is only valid during the call.
 func (t *Tree) ScanRange(pg *storage.Pager, lo, hi uint64, fn func(rec []byte) bool) {
-	if lo > hi || t.n == 0 {
+	d := t.dirFor(pg)
+	if lo > hi || d.n == 0 {
 		return
 	}
-	id := t.root
-	for !t.meta[id].leaf {
-		buf := t.readNode(pg, id)
-		id = t.entryChild(buf, t.childIndex(buf, t.meta[id].count, lo))
+	id := d.root
+	for !d.meta[id].leaf {
+		buf := t.readNode(pg, d, id)
+		id = t.entryChild(buf, t.childIndex(buf, d.meta[id].count, lo))
 	}
 	for id != storage.NilPage {
-		m := t.meta[id]
-		buf := t.readNode(pg, id)
+		m := d.meta[id]
+		buf := t.readNode(pg, d, id)
 		start, _ := t.leafSlot(buf, m.count, lo)
 		for i := start; i < m.count; i++ {
 			rec := t.leafRec(buf, i)

@@ -45,12 +45,12 @@ func BulkLoad(pg *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, rec
 		}
 		var id storage.PageID
 		if len(level) == 0 {
-			id = t.root // reuse the empty root leaf
+			id = t.dir.root // reuse the empty root leaf
 		} else {
 			id = t.newNode(true)
-			t.numLeaves++
+			t.dir.numLeaves++
 		}
-		m := t.meta[id]
+		m := t.dir.meta[id]
 		buf := pg.Overwrite(id)
 		for i := start; i < end; i++ {
 			copy(buf[(i-start)*t.recSize:], records[i])
@@ -58,12 +58,12 @@ func BulkLoad(pg *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, rec
 		m.count = end - start
 		m.prev = prevLeaf
 		if prevLeaf != storage.NilPage {
-			t.meta[prevLeaf].next = id
+			t.dir.meta[prevLeaf].next = id
 		}
 		prevLeaf = id
 		level = append(level, nodeRef{id, keyOf(records[start])})
 	}
-	t.n = len(records)
+	t.dir.n = len(records)
 
 	// Upper levels: packed internal nodes until a single root remains.
 	for len(level) > 1 {
@@ -74,7 +74,7 @@ func BulkLoad(pg *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, rec
 				end = len(level)
 			}
 			id := t.newNode(false)
-			m := t.meta[id]
+			m := t.dir.meta[id]
 			buf := pg.Overwrite(id)
 			for i := start; i < end; i++ {
 				t.setEntry(buf, i-start, level[i].min, level[i].id)
@@ -83,8 +83,8 @@ func BulkLoad(pg *storage.Pager, recSize, indexEntrySize int, keyOf KeyFunc, rec
 			upper = append(upper, nodeRef{id, level[start].min})
 		}
 		level = upper
-		t.height++
+		t.dir.height++
 	}
-	t.root = level[0].id
+	t.dir.root = level[0].id
 	return t
 }

@@ -37,13 +37,23 @@ type Journal interface {
 // safe for concurrent lookup; each entry's validity transitions are
 // individually atomic (see Entry).
 type Store struct {
-	mu       sync.RWMutex
-	disk     *storage.Disk
-	entries  map[ID]*Entry
-	journal  Journal
-	observer func(event string, id, session int)
-	ledger   *Ledger
+	mu         sync.RWMutex
+	disk       *storage.Disk
+	entries    map[ID]*Entry
+	journal    Journal
+	observer   func(event string, id, session int)
+	ledger     *Ledger
+	maintained bool
 }
+
+// SetMaintained declares that entry contents are mutated only inside
+// update epochs (AVM/RVM differential maintenance), so their files stay
+// MVCC-versioned and snapshot readers resolve them by stamp. Call before
+// Define. Stores left unmaintained (C&I, Adaptive) rewrite entry files at
+// query time under the entry mutex, so their files opt out of directory
+// versioning and visibility is decided by the entry's stamps instead
+// (docs/MVCC.md).
+func (s *Store) SetMaintained() { s.maintained = true }
 
 // SetJournal attaches a durability journal; every subsequent validity
 // transition is logged. A journal write failure is a simulated crash and
@@ -82,6 +92,14 @@ type Entry struct {
 
 	mu    sync.Mutex
 	valid bool
+	// MVCC visibility state (docs/MVCC.md): contents were computed at
+	// snapshot stamp computedAt, and invals holds the ascending stamps of
+	// invalidations recorded since, trimmed at each install. A snapshot
+	// reader at S may serve the contents iff computedAt <= S and no inval
+	// stamp lies in (computedAt, S]. All three fields are guarded by mu.
+	hasData    bool
+	computedAt uint64
+	invals     []uint64
 }
 
 // NewStore creates an empty cache over the given disk.
@@ -101,6 +119,9 @@ func (s *Store) Define(id ID, recSize int) *Entry {
 		id:    id,
 		store: s,
 		file:  storage.NewOrderedFile(s.disk, recSize),
+	}
+	if !s.maintained {
+		e.file.Unversion()
 	}
 	s.entries[id] = e
 	return e
@@ -156,6 +177,18 @@ func (e *Entry) Invalidate(pg *storage.Pager) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.valid = false
+	if e.store.disk.MVCCEnabled() {
+		// Stamp the invalidation with a lower bound on the invalidating
+		// update's commit sequence: CommitStamp()+1. The update publishes at
+		// some csn >= that bound, and no snapshot can be acquired strictly
+		// between the bound and csn (stamps only advance at publish), so
+		// every visibility comparison against the bound decides exactly as
+		// it would against csn (docs/MVCC.md).
+		r := e.store.disk.CommitStamp() + 1
+		if n := len(e.invals); n == 0 || e.invals[n-1] < r {
+			e.invals = append(e.invals, r)
+		}
+	}
 	comp := metric.CompProc
 	if e.store.journal != nil {
 		comp = metric.CompVLog
@@ -199,6 +232,72 @@ func (e *Entry) Replace(pg *storage.Pager, keys []uint64, recs [][]byte) {
 	e.markValid(pg)
 }
 
+// ReplaceAt is the snapshot-aware install: it refreshes the contents from
+// a result computed at snapshot stamp snap (same charges as Replace), then
+// decides visibility. When no update committed or is in flight since snap
+// — the install guard — the result is current and the entry becomes
+// usable from snap onward (clean install, returns true). Otherwise the
+// result may already be stale for later snapshots, so a synthetic
+// invalidation at snap+1 confines its visibility to snapshot snap exactly
+// (the computing session and any concurrent reader at the same stamp, for
+// whom it is correct by construction); later readers recompute. See
+// docs/MVCC.md.
+func (e *Entry) ReplaceAt(pg *storage.Pager, keys []uint64, recs [][]byte, snap uint64) bool {
+	m := pg.Meter()
+	prev := m.SetComponent(metric.CompCache)
+	e.file.Replace(pg, keys, recs)
+	m.SetComponent(prev)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hasData = true
+	e.computedAt = snap
+	// Invalidations at or before snap are subsumed: the new contents were
+	// computed from a snapshot that includes those updates.
+	trim := 0
+	for trim < len(e.invals) && e.invals[trim] <= snap {
+		trim++
+	}
+	e.invals = append(e.invals[:0], e.invals[trim:]...)
+	clean := e.store.disk.CommitStamp() == snap && !e.store.disk.UpdateInFlight()
+	if !clean && (len(e.invals) == 0 || e.invals[0] > snap+1) {
+		e.invals = append([]uint64{snap + 1}, e.invals...)
+	}
+	e.valid = clean && len(e.invals) == 0
+	if e.valid {
+		if j := e.store.journal; j != nil {
+			if err := j.Validate(int(e.id)); err != nil {
+				panic("cache: journal write failed (simulated crash): " + err.Error())
+			}
+		}
+	}
+	if fn := e.store.observer; fn != nil {
+		fn("cache.refresh", int(e.id), pg.Session())
+	}
+	return e.valid
+}
+
+// UsableAt reports whether a snapshot reader at stamp s may serve the
+// cached contents: they were computed at or before s and no invalidation
+// has been recorded in (computedAt, s]. With MVCC off it degenerates to
+// the plain validity flag.
+func (e *Entry) UsableAt(s uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.disk.MVCCEnabled() {
+		return e.valid
+	}
+	return e.hasData && e.computedAt <= s && (len(e.invals) == 0 || e.invals[0] > s)
+}
+
+// ComputedAt returns the snapshot stamp the current contents were
+// computed at (0 before any stamped install).
+func (e *Entry) ComputedAt() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.computedAt
+}
+
 // MarkValid marks the entry valid without touching its contents; Update
 // Cache uses it once after the initial load, after which maintenance keeps
 // the contents current.
@@ -208,6 +307,11 @@ func (e *Entry) markValid(pg *storage.Pager) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.valid = true
+	e.hasData = true
+	e.invals = e.invals[:0]
+	if e.store.disk.MVCCEnabled() {
+		e.computedAt = e.store.disk.CommitStamp()
+	}
 	if j := e.store.journal; j != nil {
 		if err := j.Validate(int(e.id)); err != nil {
 			panic("cache: journal write failed (simulated crash): " + err.Error())

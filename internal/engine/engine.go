@@ -29,6 +29,17 @@ type Options struct {
 	// ThinkMeanMs is the mean of each session's exponentially distributed
 	// wall-clock think time between operations; zero disables thinking.
 	ThinkMeanMs float64
+	// ArrivalRatePerSec switches sessions from the closed loop to an
+	// open-loop Poisson arrival process: each session submits its i-th
+	// operation at a pre-drawn absolute instant (workload.Arrivals),
+	// regardless of when the previous one completed, so a congested
+	// engine accumulates queueing delay instead of throttling offered
+	// load. Positive values disable ThinkMeanMs pacing; the schedule is a
+	// pure function of (Config.Seed, session, rate), so reruns over the
+	// same scenario and seed replay identical arrival instants. Scenario
+	// slow-consumer scaling divides the session's rate the way it
+	// multiplies closed-loop think time.
+	ArrivalRatePerSec float64
 	// RecordHistory retains a HistoryEntry per operation (the
 	// serializability oracle's input). Off, the engine keeps only
 	// aggregate statistics.
@@ -65,6 +76,14 @@ type Options struct {
 	// EvLockAcquire details, and as blame attributes on operation spans.
 	// Implies ProfileLocks.
 	CritPath bool
+	// DisableMVCC turns snapshot reads off, restoring the pure-2PL read
+	// path: queries then acquire shared relation locks and entry locks
+	// exactly as before the MVCC refactor. On by default (zero value),
+	// MVCC gives every query a lock-free consistent snapshot — access
+	// footprints shrink to nothing and only updates serialize on the lock
+	// table (docs/MVCC.md). The flag exists for the before/after contention
+	// benchmark and the tier-4 cost-identity guard.
+	DisableMVCC bool
 	// Detect, when non-nil, arms the always-on regression detectors
 	// (p99 wall latency, lock-contention share, ledger wasted-work
 	// ratio); a firing detector records an EvDetector flight event, which
@@ -90,6 +109,9 @@ type HistoryEntry struct {
 	// CostMs is the operation's simulated cost: the session meter's delta
 	// across the operation body, priced at the run's cost parameters.
 	CostMs float64
+	// Snap is the MVCC stamp the op ran at: the snapshot a query read at,
+	// or the commit stamp an update published. Zero when MVCC is off.
+	Snap uint64
 }
 
 // SessionStats aggregates one session's activity.
@@ -287,6 +309,15 @@ type Engine struct {
 	waitNsTot atomic.Int64
 	wallNsTot atomic.Int64
 
+	// Per-op-kind wall decomposition: lock wait and wall time accumulated
+	// separately for accesses (queries) and updates. The access wait share
+	// is the quantity the MVCC refactor collapses (BENCH_concurrent.json's
+	// access_wait_share column).
+	accWaitNs atomic.Int64
+	accWallNs atomic.Int64
+	updWaitNs atomic.Int64
+	updWallNs atomic.Int64
+
 	det *telemetry.Detectors
 
 	// sessions holds the opened sessions, indexed by id (one slot per
@@ -310,6 +341,12 @@ func New(cfg sim.Config, opt Options) *Engine {
 		opt.ProfileLocks = true
 	}
 	w := sim.Build(cfg)
+	if !opt.DisableMVCC {
+		// Build is done: every file's directory is registered, so enabling
+		// MVCC publishes them all at stamp 0 — the snapshot every reader
+		// sees until the first update publishes.
+		w.Disk().EnableMVCC()
+	}
 	e := &Engine{w: w, opt: opt, locks: NewLockTable(), costs: w.Meter().Costs()}
 	e.sessions = make([]*Session, opt.Clients)
 	if opt.ProfileLocks {
@@ -345,6 +382,43 @@ func New(cfg sim.Config, opt Options) *Engine {
 
 // World exposes the engine's world (for post-run verification).
 func (e *Engine) World() *sim.World { return e.w }
+
+// MVCCEnabled reports whether the engine runs snapshot reads.
+func (e *Engine) MVCCEnabled() bool { return !e.opt.DisableMVCC }
+
+// GCLock is the lock-table resource serializing version-chain garbage
+// collection. Waits on it are MVCC bookkeeping, not update-footprint
+// contention — procdoctor classifies the two separately.
+const GCLock = "mvcc:gc"
+
+// WaitProfile is the per-op-kind wall decomposition: how much of the
+// accesses' (queries') and updates' wall time went to lock waits.
+type WaitProfile struct {
+	AccessWaitNs int64
+	AccessWallNs int64
+	UpdateWaitNs int64
+	UpdateWallNs int64
+}
+
+// AccessWaitShare is the fraction of access wall time spent waiting on
+// locks (0 when no accesses ran).
+func (w WaitProfile) AccessWaitShare() float64 {
+	if w.AccessWallNs == 0 {
+		return 0
+	}
+	return float64(w.AccessWaitNs) / float64(w.AccessWallNs)
+}
+
+// WaitProfile snapshots the per-op-kind wait/wall aggregates. Safe to
+// call while a run is live.
+func (e *Engine) WaitProfile() WaitProfile {
+	return WaitProfile{
+		AccessWaitNs: e.accWaitNs.Load(),
+		AccessWallNs: e.accWallNs.Load(),
+		UpdateWaitNs: e.updWaitNs.Load(),
+		UpdateWallNs: e.updWallNs.Load(),
+	}
+}
 
 // phaseName resolves an op's phase index to its schedule name; empty on
 // polite workloads or out-of-range indices.
@@ -390,6 +464,14 @@ func (e *Engine) footprint(op workload.Op) Footprint {
 			}
 		}
 	case workload.Query:
+		// With MVCC on, a query needs no locks at all: it reads base
+		// relations and maintained entry files through its snapshot, and
+		// the rewrite-at-query-time strategies (C&I, Adaptive) serialize on
+		// their own per-entry mutexes (docs/MVCC.md). The footprint below
+		// is the pure-2PL read path, kept for Options.DisableMVCC.
+		if !e.opt.DisableMVCC {
+			return f
+		}
 		// A nested query accesses further procedures inside its body;
 		// the 2PL footprint must cover every one up front. InnerProcs
 		// derives them from the op alone, and normalize dedupes the
@@ -416,9 +498,11 @@ func (e *Engine) OpFootprint(op workload.Op) Footprint { return e.footprint(op) 
 
 // Run executes the world's workload across Options.Clients sessions: the
 // canonical operation stream is dealt round-robin to the sessions, each
-// session submits its operations in order (closed loop, thinking between
-// them), and every operation executes atomically under its lock
-// footprint. The run ends when every session drains or ctx is cancelled.
+// session submits its operations in order — closed loop with think times
+// by default, or open loop at pre-drawn Poisson arrival instants when
+// Options.ArrivalRatePerSec is set — and every operation executes
+// atomically under its lock footprint. The run ends when every session
+// drains or ctx is cancelled.
 func (e *Engine) Run(ctx context.Context) Result {
 	ops := e.w.WorkloadOps()
 	n := e.opt.Clients
@@ -436,21 +520,41 @@ func (e *Engine) Run(ctx context.Context) Result {
 		// mean think time is scaled up, stretching the closed-loop tail.
 		think := workload.NewThinker(e.w.Config().Seed+7001+int64(s),
 			e.opt.ThinkMeanMs*sched.ThinkScale(s))
+		// Open loop: pre-drawn Poisson arrival instants replace the
+		// completion-paced think loop. Slow consumers arrive at a
+		// proportionally lower rate.
+		var arrive *workload.Arrivals
+		if e.opt.ArrivalRatePerSec > 0 {
+			arrive = workload.NewArrivals(e.w.Config().Seed+8001+int64(s),
+				e.opt.ArrivalRatePerSec/sched.ThinkScale(s))
+		}
 		wg.Add(1)
 		go func(sess *Session, myOps []workload.Op) {
 			defer wg.Done()
 			defer sess.Close()
 			for _, op := range myOps {
+				if arrive != nil {
+					if d := time.Until(start.Add(arrive.Next())); d > 0 {
+						sess.Think(d)
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
 				if ctx.Err() != nil {
 					return
 				}
 				sess.Exec(op)
-				if d := think.Next(); d > 0 {
-					sess.Think(d)
-					select {
-					case <-time.After(d):
-					case <-ctx.Done():
-						return
+				if arrive == nil {
+					if d := think.Next(); d > 0 {
+						sess.Think(d)
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
 					}
 				}
 			}

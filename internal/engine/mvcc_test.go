@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/dbtest"
+	"dbproc/internal/sim"
+	"dbproc/internal/telemetry"
+)
+
+// TestMVCCSnapshotSoak is the snapshot-read soak: 8 sessions under the
+// storm-adversarial scenario (hot-key query storm stacked on updates
+// aimed at the densest i-lock band) with MVCC on — every query reads a
+// lock-free snapshot while the adversarial updates churn version chains
+// as fast as they can. Meant for -race (scripts/verify.sh tier 3). After
+// each run the lifted history must pass the SI-aware oracle and every
+// procedure must agree with a fresh recompute. A stall leaves a flight
+// dump on disk via the watchdog hook (render with procstat -flight).
+func TestMVCCSnapshotSoak(t *testing.T) {
+	rec := telemetry.NewRecorder(1 << 14)
+	dumpPath := filepath.Join(os.TempDir(), fmt.Sprintf("dbproc-mvcc-soak-flight-%d.jsonl", os.Getpid()))
+	rec.SetAutoDumpFile(dumpPath)
+	defer dbtest.Watchdog(t, 4*time.Minute, func() {
+		rec.Record(telemetry.Event{
+			Kind:    telemetry.EvWatchdog,
+			Session: -1,
+			Seq:     -1,
+			Detail:  "mvcc snapshot soak stalled; flight dump at " + dumpPath,
+		})
+	})()
+	strategies := allStrategies
+	if testing.Short() {
+		strategies = []costmodel.Strategy{costmodel.CacheInvalidate, costmodel.UpdateCacheRVM}
+	}
+	for _, strat := range strategies {
+		t.Run(fmt.Sprintf("%v", strat), func(t *testing.T) {
+			cfg := scenarioConfig("storm-adversarial", strat, costmodel.Model2, 4242, 24, 40)
+			e := New(cfg, Options{
+				Clients: 8, ThinkMeanMs: 0.2,
+				RecordHistory: true, Recorder: rec, ProfileLocks: true,
+			})
+			res := e.Run(context.Background())
+			if res.Ops == 0 {
+				t.Fatal("soak ran no operations")
+			}
+			txns := TxnsFromHistory(res.History, e.World().ProcIDs(), e.World().ProcRelations)
+			if rep := CheckSnapshotIsolation(txns); !rep.Serializable {
+				t.Fatalf("SI oracle flagged the soak history: %s", rep.Window)
+			}
+			w := e.World()
+			for _, id := range w.ProcIDs() {
+				if !bytes.Equal(Digest(w.Access(id)), Digest(w.RecomputeOracle(id))) {
+					t.Errorf("procedure %d inconsistent after soak", id)
+				}
+			}
+		})
+	}
+}
+
+// TestMVCCOffMatchesSequential guards the opt-out: with DisableMVCC the
+// read path must be byte-identical in cost to the sequential simulator —
+// the MVCC machinery's off switch costs nothing (the tier-4 bench guard
+// checks the wall-clock side of the same claim).
+func TestMVCCOffMatchesSequential(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	for _, strat := range allStrategies {
+		t.Run(fmt.Sprintf("%v", strat), func(t *testing.T) {
+			cfg := testConfig(strat, costmodel.Model2, 41, 15, 25)
+			seq := sim.Build(cfg).Run()
+			e := New(cfg, Options{Clients: 1, DisableMVCC: true})
+			res := e.Run(context.Background())
+			if res.Counters != seq.Counters {
+				t.Fatalf("MVCC-off counters diverge from sim.Run:\nengine: %+v\nsim:    %+v",
+					res.Counters, seq.Counters)
+			}
+			if res.SimTotalMs != seq.TotalMs {
+				t.Fatalf("MVCC-off simulated cost %v, sequential %v", res.SimTotalMs, seq.TotalMs)
+			}
+		})
+	}
+}
+
+// TestMVCCAccessWaitShareCollapse is the prize invariant: under the
+// storm-adversarial scenario at 8 clients, the share of access (query)
+// wall time spent waiting on locks must be strictly lower with MVCC than
+// under pure 2PL — queries acquire no locks at all, so their wait share
+// collapses toward zero while 2PL queries queue behind the adversarial
+// updates' exclusive footprints.
+func TestMVCCAccessWaitShareCollapse(t *testing.T) {
+	defer dbtest.Watchdog(t, 4*time.Minute)()
+	cfg := scenarioConfig("storm-adversarial", costmodel.CacheInvalidate, costmodel.Model2, 1123, 24, 40)
+
+	run := func(disable bool) WaitProfile {
+		e := New(cfg, Options{Clients: 8, DisableMVCC: disable, ProfileLocks: true})
+		e.Run(context.Background())
+		return e.WaitProfile()
+	}
+	twoPL := run(true)
+	mvcc := run(false)
+	if twoPL.AccessWallNs == 0 || mvcc.AccessWallNs == 0 {
+		t.Fatal("no access wall time recorded")
+	}
+	if mvcc.AccessWaitShare() >= twoPL.AccessWaitShare() {
+		t.Fatalf("access wait share did not collapse: mvcc %.4f vs 2PL %.4f",
+			mvcc.AccessWaitShare(), twoPL.AccessWaitShare())
+	}
+	if share := mvcc.AccessWaitShare(); share > 0.10 {
+		t.Fatalf("MVCC access wait share %.4f, want near zero", share)
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/dbtest"
+	"dbproc/internal/sim"
+)
+
+// TestOpenLoopArrivals: open-loop pacing changes when operations are
+// submitted, never what the workload demands. One session submitting at
+// a Poisson arrival rate still executes the canonical stream in order,
+// so its counters stay byte-identical to sim.Run; with several sessions
+// only the interleaving may shift — reruns of the same (scenario, seed)
+// must offer the exact same operations (the replay property, end to end
+// through the engine).
+func TestOpenLoopArrivals(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	cfg := scenarioConfig("storm-adversarial", costmodel.CacheInvalidate, costmodel.Model2, 913, 16, 28)
+
+	seq := sim.Run(cfg)
+	one := New(cfg, Options{Clients: 1, ArrivalRatePerSec: 20000}).Run(context.Background())
+	if one.Counters != seq.Counters || one.SimTotalMs != seq.TotalMs {
+		t.Fatalf("1-client open-loop diverges from sim.Run:\nengine: %+v / %v\nsim:    %+v / %v",
+			one.Counters, one.SimTotalMs, seq.Counters, seq.TotalMs)
+	}
+
+	lift := func(res Result) []int {
+		idx := make([]int, 0, len(res.History))
+		for _, he := range res.History {
+			idx = append(idx, he.Op.Index)
+		}
+		sort.Ints(idx)
+		return idx
+	}
+	opts := Options{Clients: 4, ArrivalRatePerSec: 5000, RecordHistory: true}
+	a := lift(New(cfg, opts).Run(context.Background()))
+	b := lift(New(cfg, opts).Run(context.Background()))
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("open-loop reruns executed %d vs %d ops", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("open-loop reruns offered different workloads at position %d: op #%d vs #%d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dbproc/internal/costmodel"
+	"dbproc/internal/dbtest"
+)
+
+// corpusFile is the on-disk form of a seeded snapshot-isolation history
+// in testdata/writeskew.
+type corpusFile struct {
+	Name            string `json:"name"`
+	Description     string `json:"description"`
+	ExpectWriteSkew bool   `json:"expect_write_skew"`
+	Txns            []Txn  `json:"txns"`
+}
+
+func loadCorpus(t *testing.T) []corpusFile {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "writeskew", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("write-skew corpus missing: %v (%d files)", err, len(paths))
+	}
+	var out []corpusFile
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		var c corpusFile
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestSIOracleCorpus: the SI-aware oracle must flag every anomalous
+// corpus history and accept the controls, while the commit-order check —
+// the pre-MVCC oracle semantics — accepts all of them, demonstrating the
+// class of anomaly only the antidependency analysis catches.
+func TestSIOracleCorpus(t *testing.T) {
+	for _, c := range loadCorpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			old := CheckCommitOrder(c.Txns)
+			if !old.Serializable {
+				t.Fatalf("commit-order check must accept every corpus history, rejected %s: %s", c.Name, old.Window)
+			}
+			si := CheckSnapshotIsolation(c.Txns)
+			if si.Serializable == c.ExpectWriteSkew {
+				t.Fatalf("SI oracle on %s: serializable=%v, want flagged=%v", c.Name, si.Serializable, c.ExpectWriteSkew)
+			}
+			if c.ExpectWriteSkew {
+				if si.Window == "" || len(si.Cycle) == 0 {
+					t.Fatalf("flagged history %s has no window report", c.Name)
+				}
+				byID := map[int]Txn{}
+				for _, tx := range c.Txns {
+					byID[tx.ID] = tx
+				}
+				for _, id := range si.Cycle {
+					want := fmt.Sprintf("session %d", byID[id].Session)
+					if !strings.Contains(si.Window, want) {
+						t.Fatalf("window for %s does not name %s:\n%s", c.Name, want, si.Window)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSIOracleMinimalWindow: with a skew pair buried among benign
+// transactions, the report must blame exactly the guilty pair — a
+// 2-cycle naming both sessions — not any bystander.
+func TestSIOracleMinimalWindow(t *testing.T) {
+	for _, c := range loadCorpus(t) {
+		if c.Name != "skew_in_crowd" {
+			continue
+		}
+		rep := CheckSnapshotIsolation(c.Txns)
+		if rep.Serializable {
+			t.Fatal("skew_in_crowd not flagged")
+		}
+		if len(rep.Cycle) != 2 {
+			t.Fatalf("want minimal 2-cycle, got %v", rep.Cycle)
+		}
+		got := map[int]bool{rep.Cycle[0]: true, rep.Cycle[1]: true}
+		if !got[4] || !got[6] {
+			t.Fatalf("want cycle {4,6}, got %v", rep.Cycle)
+		}
+		for _, frag := range []string{"session 3", "session 5", "write skew"} {
+			if !strings.Contains(rep.Window, frag) {
+				t.Fatalf("window missing %q:\n%s", frag, rep.Window)
+			}
+		}
+		return
+	}
+	t.Fatal("skew_in_crowd.json missing from corpus")
+}
+
+// TestSIOracleSeeded: seeded random histories — a serial read-modify-
+// write chain with read-only queries sprinkled in — stay clean, and stay
+// flagged once a write-skew pair is planted at a random overlap point.
+func TestSIOracleSeeded(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		txns := seededHistory(rng, false)
+		if rep := CheckSnapshotIsolation(txns); !rep.Serializable {
+			t.Fatalf("seed %d: clean history flagged: %s", seed, rep.Window)
+		}
+		rng = rand.New(rand.NewSource(seed))
+		txns = seededHistory(rng, true)
+		rep := CheckSnapshotIsolation(txns)
+		if rep.Serializable {
+			t.Fatalf("seed %d: planted write skew not flagged", seed)
+		}
+		if old := CheckCommitOrder(txns); !old.Serializable {
+			t.Fatalf("seed %d: commit-order check should miss the planted skew", seed)
+		}
+	}
+}
+
+// seededHistory builds a history of serial updates on "base" plus
+// read-only queries; withSkew plants a concurrent pair on private items.
+func seededHistory(rng *rand.Rand, withSkew bool) []Txn {
+	n := 4 + rng.Intn(8)
+	var txns []Txn
+	id := 0
+	for i := 0; i < n; i++ {
+		// Update i: reads and rewrites base at stamps [i, i+1].
+		txns = append(txns, Txn{
+			ID: id, Session: rng.Intn(4), Start: uint64(i), Commit: uint64(i + 1),
+			Reads: []string{"base"}, Writes: []string{"base"},
+		})
+		id++
+		if rng.Intn(2) == 0 {
+			// A read-only query at a snapshot no later than the frontier.
+			s := uint64(rng.Intn(i + 1))
+			txns = append(txns, Txn{
+				ID: id, Session: 4 + rng.Intn(4), Start: s, Commit: s,
+				Reads: []string{"base"},
+			})
+			id++
+		}
+	}
+	if withSkew {
+		at := uint64(rng.Intn(n))
+		txns = append(txns,
+			Txn{ID: id, Session: 8, Start: at, Commit: at + 1,
+				Reads: []string{"skew_a", "skew_b"}, Writes: []string{"skew_a"}},
+			Txn{ID: id + 1, Session: 9, Start: at, Commit: at + 2,
+				Reads: []string{"skew_a", "skew_b"}, Writes: []string{"skew_b"}},
+		)
+	}
+	rng.Shuffle(len(txns), func(i, j int) { txns[i], txns[j] = txns[j], txns[i] })
+	return txns
+}
+
+// TestTxnsFromHistoryCleanRun: a real multi-client MVCC run, lifted to
+// transaction form, is serializable under the SI oracle — queries are
+// read-only and updates totally ordered, so no antidependency cycle can
+// form. This is the soak test's per-run assertion.
+func TestTxnsFromHistoryCleanRun(t *testing.T) {
+	defer dbtest.Watchdog(t, 2*time.Minute)()
+	for _, strat := range allStrategies {
+		cfg := testConfig(strat, costmodel.Model2, 77, 20, 30)
+		e := New(cfg, Options{Clients: 4, RecordHistory: true})
+		res := e.Run(context.Background())
+		txns := TxnsFromHistory(res.History, e.World().ProcIDs(), e.World().ProcRelations)
+		if len(txns) != res.Ops {
+			t.Fatalf("%v: lifted %d txns from %d ops", strat, len(txns), res.Ops)
+		}
+		if rep := CheckSnapshotIsolation(txns); !rep.Serializable {
+			t.Fatalf("%v: real run flagged by SI oracle: %s", strat, rep.Window)
+		}
+	}
+}

@@ -132,7 +132,9 @@ func TestScenarioConcurrentConsistent(t *testing.T) {
 // inner accesses need must be in the op's declared 2PL footprint.
 func TestScenarioNestedFootprintCoversInner(t *testing.T) {
 	cfg := scenarioConfig("nested-naive", costmodel.CacheInvalidate, costmodel.Model2, 9, 0, 20)
-	e := New(cfg, Options{Clients: 1})
+	// The declared-footprint invariant is a property of the pure-2PL read
+	// path; with MVCC on, query footprints are intentionally empty.
+	e := New(cfg, Options{Clients: 1, DisableMVCC: true})
 	w := e.World()
 	ops := w.WorkloadOps()
 	nested := 0

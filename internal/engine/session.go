@@ -154,6 +154,24 @@ func (s *Session) Exec(op workload.Op) OpOutcome {
 	held := e.locks.AcquireAs(e.footprint(op), s.id, blameTag)
 	waited := time.Since(opStart)
 	waits := held.Waits()
+	// MVCC threading (docs/MVCC.md): a query opens a snapshot — reads
+	// resolve version chains and published directory copies at that stamp,
+	// lock-free. An update opens the write epoch (its exclusive r1/r2
+	// locks guarantee it is the only one): its writes stage privately and
+	// publish atomically at commit under the commit mutex.
+	disk := e.w.Disk()
+	mvccOn := !e.opt.DisableMVCC
+	var snap uint64
+	var releaseSnap func()
+	if mvccOn {
+		if op.Kind == workload.Update {
+			disk.BeginEpoch()
+			s.pg.SetEpoch(true)
+		} else {
+			snap, releaseSnap = disk.AcquireSnapshot()
+			s.pg.SetSnapshot(snap)
+		}
+	}
 	if rec != nil {
 		for _, lw := range waits {
 			if critOn {
@@ -193,6 +211,17 @@ func (s *Session) Exec(op workload.Op) OpOutcome {
 	e.commitMu.Lock()
 	seq := e.seq
 	e.seq++
+	var stamp uint64
+	if mvccOn && op.Kind == workload.Update {
+		// The commit stamp is drawn from the same counter as the commit
+		// sequence (stamp 0 is the pre-run state), so version visibility
+		// and commit order can never disagree. Publishing under commitMu
+		// makes the version-chain links and the stamp advance one atomic
+		// step from any snapshot acquirer's point of view.
+		stamp = uint64(seq) + 1
+		disk.Publish(stamp)
+		s.pg.SetEpoch(false)
+	}
 	if t := e.opt.Tracer; t != nil {
 		name := "session.update"
 		if op.Kind == workload.Query {
@@ -232,21 +261,61 @@ func (s *Session) Exec(op workload.Op) OpOutcome {
 		he := HistoryEntry{Session: s.id, Seq: seq, Op: op, CostMs: out.CostMs}
 		if op.Kind == workload.Update {
 			he.Update = r.Update
+			he.Snap = stamp
 		} else {
 			he.Result = Digest(r.Tuples)
 			he.Tuples = len(r.Tuples)
+			he.Snap = snap
 			out.Digest = he.Result
 		}
 		e.hist = append(e.hist, he)
 	}
 	e.commitMu.Unlock()
+	if releaseSnap != nil {
+		s.pg.ClearSnapshot()
+		releaseSnap()
+	}
 	held.Release()
+	if mvccOn && op.Kind == workload.Update {
+		// Version-chain GC runs outside the update's footprint under its
+		// own lock: waits here are MVCC bookkeeping, never update-footprint
+		// contention, and procdoctor classifies them by the mvcc: name.
+		var gcf Footprint
+		gcf.Exclusive(GCLock)
+		gcHeld := e.locks.AcquireAs(gcf, s.id, "gc")
+		disk.GCVersions()
+		if critOn {
+			gcWaits := gcHeld.Waits()
+			if len(gcWaits) > 0 {
+				e.critMu.Lock()
+				for _, lw := range gcWaits {
+					k := blockerKey{lw.Name, lw.HolderSession, lw.HolderOp}
+					bs := e.blockers[k]
+					if bs == nil {
+						bs = &BlockerStat{Lock: lw.Name, HolderSession: lw.HolderSession, HolderOp: lw.HolderOp}
+						e.blockers[k] = bs
+					}
+					bs.Waits++
+					bs.WaitNs += lw.WaitNs
+				}
+				e.critMu.Unlock()
+			}
+		}
+		gcHeld.Release()
+	}
 	service := time.Since(opStart) - waited
 	e.inflight.Add(-1)
 	e.committed.Add(1)
 	e.countPhase(op.Phase)
 	e.waitNsTot.Add(int64(waited))
 	e.wallNsTot.Add(int64(waited + service))
+	if op.Kind == workload.Query {
+		e.accWaitNs.Add(int64(waited))
+		e.accWallNs.Add(int64(waited + service))
+	} else {
+		e.updWaitNs.Add(int64(waited))
+		e.updWallNs.Add(int64(waited + service))
+	}
 	out.Seq = seq
 	out.Tuples = len(r.Tuples)
 	out.WallNs = int64(waited + service)

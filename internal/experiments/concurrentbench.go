@@ -36,11 +36,16 @@ type ConcurrentBenchReport struct {
 	Rows []ConcurrentBenchRow `json:"rows"`
 }
 
-// ConcurrentBenchRow is one (strategy, model, clients) measurement.
+// ConcurrentBenchRow is one (strategy, model, clients, scenario)
+// measurement.
 type ConcurrentBenchRow struct {
 	Strategy string `json:"strategy"`
 	Model    string `json:"model"`
 	Clients  int    `json:"clients"`
+	// Scenario names the hostile workload the row ran under; empty is
+	// the polite baseline. Only the ladder's top rung — the contention
+	// cells — gets scenario rows.
+	Scenario string `json:"scenario,omitempty"`
 	// ThroughputOps is operations per wall-clock second.
 	ThroughputOps float64 `json:"throughput_ops_per_sec"`
 	// Speedup is this row's throughput over the same strategy/model's
@@ -89,6 +94,16 @@ type ConcurrentBenchRow struct {
 	// Contention is the run's per-lock wall-clock contention profile,
 	// sorted by total wait time descending.
 	Contention []telemetry.LockContentionJSON `json:"contention,omitempty"`
+	// AccessWaitShare is the fraction of access (query) wall time this
+	// row's sessions spent waiting on locks, as measured — under the
+	// default MVCC read path queries take no locks, so it collapses
+	// toward zero.
+	AccessWaitShare float64 `json:"access_wait_share"`
+	// AccessWaitShare2PL is the same cell re-run with MVCC disabled
+	// (pure-2PL read path): the "before" of the before/after wait-share
+	// delta procstat -concurrent renders. Only contention cells — the
+	// ladder's top rung — pay for the paired run.
+	AccessWaitShare2PL float64 `json:"access_wait_share_2pl,omitempty"`
 }
 
 // wallParallelSpeedup bounds the wall-clock speedup the latch-free
@@ -238,19 +253,26 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 				}
 				res := e.Run(ctx)
 				row := ConcurrentBenchRow{
-					Strategy:      strat.String(),
-					Model:         model.String(),
-					Clients:       clients,
-					ThroughputOps: res.Throughput,
-					P50LatencyUs:  float64(res.Percentile(50)) / float64(time.Microsecond),
-					P95LatencyUs:  float64(res.Percentile(95)) / float64(time.Microsecond),
-					SimTotalMs:    res.SimTotalMs,
-					WallLatency:   res.WallLatency,
-					SimLatency:    res.SimLatency,
-					Contention:    engine.ContentionJSON(res.Contention),
+					Strategy:        strat.String(),
+					Model:           model.String(),
+					Clients:         clients,
+					ThroughputOps:   res.Throughput,
+					P50LatencyUs:    float64(res.Percentile(50)) / float64(time.Microsecond),
+					P95LatencyUs:    float64(res.Percentile(95)) / float64(time.Microsecond),
+					SimTotalMs:      res.SimTotalMs,
+					WallLatency:     res.WallLatency,
+					SimLatency:      res.SimLatency,
+					Contention:      engine.ContentionJSON(res.Contention),
+					AccessWaitShare: e.WaitProfile().AccessWaitShare(),
 				}
 				row.WallParallelSpeedup = wallParallelSpeedup(e, res.History, clients)
 				row.Projected = clients > rep.Cores
+				// Contention cells (top rung, >1 session) get the paired
+				// pure-2PL run for the before/after wait-share delta.
+				topRung := clients == ladder[len(ladder)-1] && clients > 1
+				if topRung {
+					row.AccessWaitShare2PL = accessWaitShare2PL(ctx, cfg, clients, think)
+				}
 				if i == 0 {
 					base = res.Throughput
 					if clients == 1 {
@@ -283,8 +305,62 @@ func ConcurrentBench(ctx context.Context, opt Options) ConcurrentBenchReport {
 					}
 				}
 				rep.Rows = append(rep.Rows, row)
+
+				// Scenario axis: the same contention cell re-measured
+				// under the storm-adversarial workload (hot-key query
+				// storm stacked on adversarial invalidation), with its
+				// own MVCC/2PL wait-share pair. The polite top-rung row
+				// above and this one are the two scenario cells the
+				// wait-share delta is read from.
+				if topRung {
+					scfg := cfg
+					scfg.Scenario = "storm-adversarial"
+					se := engine.New(scfg, engine.Options{
+						Clients:       clients,
+						ThinkMeanMs:   think,
+						RecordHistory: true,
+						ProfileLocks:  true,
+						Sketches:      true,
+					})
+					sres := se.Run(ctx)
+					srow := ConcurrentBenchRow{
+						Strategy:        strat.String(),
+						Model:           model.String(),
+						Clients:         clients,
+						Scenario:        scfg.Scenario,
+						ThroughputOps:   sres.Throughput,
+						P50LatencyUs:    float64(sres.Percentile(50)) / float64(time.Microsecond),
+						P95LatencyUs:    float64(sres.Percentile(95)) / float64(time.Microsecond),
+						SimTotalMs:      sres.SimTotalMs,
+						WallLatency:     sres.WallLatency,
+						SimLatency:      sres.SimLatency,
+						Contention:      engine.ContentionJSON(sres.Contention),
+						AccessWaitShare: se.WaitProfile().AccessWaitShare(),
+					}
+					srow.WallParallelSpeedup = wallParallelSpeedup(se, sres.History, clients)
+					srow.Projected = clients > rep.Cores
+					srow.AccessWaitShare2PL = accessWaitShare2PL(ctx, scfg, clients, think)
+					if base > 0 {
+						srow.Speedup = sres.Throughput / base
+					}
+					rep.Rows = append(rep.Rows, srow)
+				}
 			}
 		}
 	}
 	return rep
+}
+
+// accessWaitShare2PL re-runs a cell with MVCC disabled and returns the
+// pure-2PL read path's access wait share — the "before" figure of the
+// wait-share delta.
+func accessWaitShare2PL(ctx context.Context, cfg sim.Config, clients int, think float64) float64 {
+	e := engine.New(cfg, engine.Options{
+		Clients:      clients,
+		ThinkMeanMs:  think,
+		DisableMVCC:  true,
+		ProfileLocks: true,
+	})
+	e.Run(ctx)
+	return e.WaitProfile().AccessWaitShare()
 }

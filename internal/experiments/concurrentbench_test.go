@@ -13,11 +13,25 @@ func TestConcurrentBenchShape(t *testing.T) {
 	opt := Options{Scale: 50, SimSeed: 3, Clients: 2}
 	rep := ConcurrentBench(context.Background(), opt)
 
-	// 4 strategies x 2 models x ladder {1, 2}.
-	if want := 4 * 2 * 2; len(rep.Rows) != want {
+	// 4 strategies x 2 models x ladder {1, 2}, plus one storm-adversarial
+	// contention row per strategy/model at the ladder's top rung.
+	if want := 4*2*2 + 4*2; len(rep.Rows) != want {
 		t.Fatalf("report has %d rows, want %d", len(rep.Rows), want)
 	}
+	scenarioRows := 0
 	for _, row := range rep.Rows {
+		if row.Scenario != "" {
+			scenarioRows++
+			if row.Scenario != "storm-adversarial" {
+				t.Errorf("%s/%s: scenario row %q, want storm-adversarial", row.Strategy, row.Model, row.Scenario)
+			}
+			if row.Clients != 2 {
+				t.Errorf("%s/%s: scenario row at clients=%d, want top rung 2", row.Strategy, row.Model, row.Clients)
+			}
+			if row.AccessWaitShare2PL <= 0 {
+				t.Errorf("%s/%s: scenario row missing 2PL wait-share baseline", row.Strategy, row.Model)
+			}
+		}
 		if row.ThroughputOps <= 0 {
 			t.Errorf("%s/%s clients=%d: throughput %v", row.Strategy, row.Model, row.Clients, row.ThroughputOps)
 		}
@@ -41,6 +55,9 @@ func TestConcurrentBenchShape(t *testing.T) {
 		if row.Clients == 1 && row.WallParallelSpeedup != 1 {
 			t.Errorf("%s/%s: one-client schedule bound %v, want 1", row.Strategy, row.Model, row.WallParallelSpeedup)
 		}
+	}
+	if scenarioRows != 4*2 {
+		t.Errorf("report has %d scenario rows, want %d", scenarioRows, 4*2)
 	}
 }
 

@@ -8,9 +8,10 @@
 //
 // A Table is bound to a Disk; every access method takes the calling
 // session's Pager so concurrent sessions can probe one shared table while
-// each charges its own meter. The bucket directory is not internally
-// synchronized — callers serialize mutations against reads (the engine's
-// 2PL relation locks do).
+// each charges its own meter. The live bucket directory is not internally
+// synchronized — mutations are serialized by the engine's update locks,
+// and snapshot readers probe an immutable published directory copy at
+// their stamp instead (docs/MVCC.md).
 package hashidx
 
 import (
@@ -28,6 +29,14 @@ type Table struct {
 	recSize int
 	perPage int
 	keyOf   KeyFunc
+	dir     hashDir
+	dv      *storage.DirVersions
+}
+
+// hashDir is the table's in-memory directory: the bucket chains and the
+// record count. The live copy is mutated in place; published copies are
+// immutable.
+type hashDir struct {
 	buckets []bucket
 	n       int
 }
@@ -49,26 +58,49 @@ func New(disk *storage.Disk, recSize, numBuckets int, keyOf KeyFunc) *Table {
 	if keyOf == nil {
 		panic("hashidx: nil KeyFunc")
 	}
-	return &Table{
+	t := &Table{
 		disk:    disk,
 		recSize: recSize,
 		perPage: perPage,
 		keyOf:   keyOf,
-		buckets: make([]bucket, numBuckets),
+		dir:     hashDir{buckets: make([]bucket, numBuckets)},
 	}
+	t.dv = disk.RegisterDir(t.snapshotDir)
+	return t
+}
+
+// snapshotDir returns an immutable deep copy of the live directory.
+func (t *Table) snapshotDir() any {
+	d := &hashDir{buckets: make([]bucket, len(t.dir.buckets)), n: t.dir.n}
+	for i := range t.dir.buckets {
+		b := &t.dir.buckets[i]
+		d.buckets[i] = bucket{pages: append([]storage.PageID(nil), b.pages...), count: b.count}
+	}
+	return d
+}
+
+// dirFor resolves the directory a reader should probe: the newest
+// published copy at the pager's snapshot stamp, else the live directory.
+func (t *Table) dirFor(pg *storage.Pager) *hashDir {
+	if s, ok := pg.Snapshot(); ok {
+		if d := t.dv.Lookup(s); d != nil {
+			return d.(*hashDir)
+		}
+	}
+	return &t.dir
 }
 
 // Len returns the number of records.
-func (t *Table) Len() int { return t.n }
+func (t *Table) Len() int { return t.dir.n }
 
 // NumBuckets returns the number of primary buckets.
-func (t *Table) NumBuckets() int { return len(t.buckets) }
+func (t *Table) NumBuckets() int { return len(t.dir.buckets) }
 
 // Pages returns the number of allocated bucket and overflow pages.
 func (t *Table) Pages() int {
 	total := 0
-	for i := range t.buckets {
-		total += len(t.buckets[i].pages)
+	for i := range t.dir.buckets {
+		total += len(t.dir.buckets[i].pages)
 	}
 	return total
 }
@@ -76,8 +108,8 @@ func (t *Table) Pages() int {
 // PerPage returns the blocking factor.
 func (t *Table) PerPage() int { return t.perPage }
 
-func (t *Table) bucketFor(key uint64) *bucket {
-	return &t.buckets[key%uint64(len(t.buckets))]
+func (d *hashDir) bucketFor(key uint64) *bucket {
+	return &d.buckets[key%uint64(len(d.buckets))]
 }
 
 // Insert stores a record in its key's bucket, allocating an overflow page
@@ -86,7 +118,8 @@ func (t *Table) Insert(pg *storage.Pager, rec []byte) {
 	if len(rec) != t.recSize {
 		panic(fmt.Sprintf("hashidx: record of %d bytes, want %d", len(rec), t.recSize))
 	}
-	b := t.bucketFor(t.keyOf(rec))
+	t.dv.MarkDirty()
+	b := t.dir.bucketFor(t.keyOf(rec))
 	slot := b.count % t.perPage
 	var buf []byte
 	if slot == 0 && b.count == len(b.pages)*t.perPage {
@@ -98,7 +131,7 @@ func (t *Table) Insert(pg *storage.Pager, rec []byte) {
 	}
 	copy(buf[slot*t.recSize:], rec)
 	b.count++
-	t.n++
+	t.dir.n++
 }
 
 // Lookup returns a copy of the first record with the given key, reading
@@ -119,7 +152,7 @@ func (t *Table) Lookup(pg *storage.Pager, key uint64) ([]byte, bool) {
 // predicate screen; callers charge C1 for the predicates they evaluate on
 // the results.
 func (t *Table) LookupEach(pg *storage.Pager, key uint64, fn func(rec []byte) bool) {
-	b := t.bucketFor(key)
+	b := t.dirFor(pg).bucketFor(key)
 	remaining := b.count
 	for _, id := range b.pages {
 		if remaining <= 0 {
@@ -165,7 +198,8 @@ func (t *Table) DeleteExact(pg *storage.Pager, rec []byte) bool {
 }
 
 func (t *Table) deleteWhere(pg *storage.Pager, key uint64, match func([]byte) bool) bool {
-	b := t.bucketFor(key)
+	t.dv.MarkDirty()
+	b := t.dir.bucketFor(key)
 	// Find the record's position in the chain.
 	pos := -1
 	remaining := b.count
@@ -205,12 +239,12 @@ scan:
 	lb := pg.Update(b.pages[last/t.perPage])
 	clear(lb[(last%t.perPage)*t.recSize : (last%t.perPage+1)*t.recSize])
 	b.count--
-	t.n--
+	t.dir.n--
 	if b.count%t.perPage == 0 && len(b.pages) > 0 && b.count == (len(b.pages)-1)*t.perPage {
 		id := b.pages[len(b.pages)-1]
 		b.pages = b.pages[:len(b.pages)-1]
 		pg.Drop(id)
-		t.disk.Free(id)
+		pg.FreePage(id)
 	}
 	return true
 }
@@ -218,8 +252,9 @@ scan:
 // ScanAll visits every record in bucket order. The rec slice is valid only
 // during the call.
 func (t *Table) ScanAll(pg *storage.Pager, fn func(rec []byte) bool) {
-	for i := range t.buckets {
-		b := &t.buckets[i]
+	d := t.dirFor(pg)
+	for i := range d.buckets {
+		b := &d.buckets[i]
 		remaining := b.count
 		for _, id := range b.pages {
 			if remaining <= 0 {

@@ -125,12 +125,68 @@ func (m *Manager) LockKey(rel string, key int64, owner Owner) {
 	m.addRef(owner, lockRef{rel: rel, lo: key, hi: key, isKey: true})
 }
 
+// Ref describes one lock for ReplaceOwner. Key locks use Lo == Hi with
+// IsKey set; interval locks use the inclusive bounds.
+type Ref struct {
+	Rel    string
+	Lo, Hi int64
+	IsKey  bool
+}
+
+// ReplaceOwner swaps owner's lock set for refs by adding every new lock
+// before removing any old one. A concurrent update's conflict probe
+// therefore always sees at least one of the two sets — the footprint
+// never transiently disappears, so an invalidation can be spuriously
+// duplicated (harmless: Invalidate is idempotent per update) but never
+// missed. This is what lets a snapshot-read refresh rebuild its footprint
+// without holding the entry's value locked (docs/MVCC.md).
+func (m *Manager) ReplaceOwner(owner Owner, refs []Ref) {
+	m.ownerMu.Lock()
+	old := m.owners[owner]
+	delete(m.owners, owner)
+	m.ownerMu.Unlock()
+	newRefs := make([]lockRef, 0, len(refs))
+	for _, ref := range refs {
+		r := m.rel(ref.Rel)
+		r.mu.Lock()
+		if ref.IsKey {
+			r.keys[ref.Lo] = append(r.keys[ref.Lo], owner)
+		} else {
+			if ref.Lo > ref.Hi {
+				r.mu.Unlock()
+				panic("ilock: inverted interval")
+			}
+			iv := interval{lo: ref.Lo, hi: ref.Hi, owner: owner}
+			pos := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].lo >= ref.Lo })
+			r.intervals = append(r.intervals, interval{})
+			copy(r.intervals[pos+1:], r.intervals[pos:])
+			r.intervals[pos] = iv
+			r.mu.Unlock()
+			newRefs = append(newRefs, lockRef{rel: ref.Rel, lo: ref.Lo, hi: ref.Hi})
+			continue
+		}
+		r.mu.Unlock()
+		newRefs = append(newRefs, lockRef{rel: ref.Rel, lo: ref.Lo, hi: ref.Hi, isKey: true})
+	}
+	m.ownerMu.Lock()
+	m.owners[owner] = append(m.owners[owner], newRefs...)
+	m.ownerMu.Unlock()
+	// Old locks go last: identical (owner, rel, bounds) pairs exist twice
+	// in the buckets during the window, and removal drops exactly one.
+	m.removeRefs(owner, old)
+}
+
 // Release removes every lock held by owner.
 func (m *Manager) Release(owner Owner) {
 	m.ownerMu.Lock()
 	refs := m.owners[owner]
 	delete(m.owners, owner)
 	m.ownerMu.Unlock()
+	m.removeRefs(owner, refs)
+}
+
+// removeRefs deletes one bucket entry per ref for owner.
+func (m *Manager) removeRefs(owner Owner, refs []lockRef) {
 	for _, ref := range refs {
 		r := m.lookup(ref.rel)
 		if r == nil {

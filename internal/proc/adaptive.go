@@ -2,6 +2,7 @@ package proc
 
 import (
 	"sort"
+	"sync"
 
 	"dbproc/internal/cache"
 	"dbproc/internal/ilock"
@@ -30,9 +31,10 @@ import (
 // expensive invalidation, the whole T3 term).
 //
 // The states map is frozen after Prepare; each procedure's state is
-// mutated only while the caller holds that procedure's entry lock
-// exclusively (queries under this strategy take the entry lock exclusive),
-// so no further synchronization is needed.
+// mutated only under its per-state mutex, which also serializes accesses
+// and update fan-outs touching the same procedure's (unversioned) cached
+// file in snapshot mode — the Adaptive counterpart of C&I's entry access
+// mutex (docs/MVCC.md).
 type Adaptive struct {
 	mgr    *Manager
 	store  *cache.Store
@@ -58,6 +60,13 @@ type Adaptive struct {
 }
 
 type adaptiveState struct {
+	// mu serializes this procedure's accesses and update fan-outs: mode
+	// state mutation, entry-file rewrites and reads of the (unversioned)
+	// cached file all happen under it in snapshot mode, replacing the
+	// engine entry locks that serialized them under 2PL. Lock order is
+	// st.mu before the entry's internal mutex, in both directions
+	// (docs/MVCC.md).
+	mu          sync.Mutex
 	bypass      bool
 	accesses    int
 	cold        int
@@ -118,10 +127,15 @@ func (s *Adaptive) Prepare(pg *storage.Pager) {
 
 func (s *Adaptive) refresh(pg *storage.Pager, d *Definition) uint64 {
 	owner := ilock.Owner(d.ID)
-	s.locks.Release(owner)
-	sink := &lockSink{locks: s.locks, owner: owner}
+	sink := &lockSink{}
 	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
-	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
+	s.locks.ReplaceOwner(owner, sink.refs)
+	e := s.store.MustEntry(cache.ID(d.ID))
+	if snap, ok := pg.Snapshot(); ok {
+		e.ReplaceAt(pg, keys, recs, snap)
+	} else {
+		e.Replace(pg, keys, recs)
+	}
 	if s.ledger == nil {
 		return 0
 	}
@@ -155,6 +169,8 @@ func (s *Adaptive) Access(pg *storage.Pager, id int) [][]byte {
 func (s *Adaptive) access(pg *storage.Pager, id int) ([][]byte, string, uint64) {
 	d := s.mgr.MustGet(id)
 	st := s.states[id]
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.bypass {
 		st.sinceBypass++
 		if st.sinceBypass < st.backoff {
@@ -182,17 +198,42 @@ func (s *Adaptive) access(pg *storage.Pager, id int) ([][]byte, string, uint64) 
 	st.invalSinceAccess = 0
 	kind := cache.KindHit
 	var digest uint64
-	if !e.Valid() {
+	var out [][]byte
+	served := false
+	snap, hasSnap := pg.Snapshot()
+	var usable bool
+	if hasSnap {
+		usable = e.UsableAt(snap)
+	} else {
+		usable = e.Valid()
+	}
+	if !usable {
 		st.cold++
 		s.tracer.Current().Set("cache", "cold")
 		pg.BeginRecompute()
-		digest = s.refresh(pg, d)
+		if hasSnap && e.ComputedAt() > snap {
+			// The installed value postdates this reader's snapshot:
+			// recompute at the snapshot, serve only this session, leave the
+			// newer shared value and its i-locks alone (docs/MVCC.md).
+			var keys []uint64
+			var recs [][]byte
+			keys, recs = query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: nil})
+			for _, rec := range recs {
+				out = append(out, append([]byte(nil), rec...))
+			}
+			digest = cache.ResultDigest(keys, recs)
+			served = true
+		} else {
+			digest = s.refresh(pg, d)
+		}
 		pg.EndRecompute()
 		kind = cache.KindComputed
 	} else {
 		s.tracer.Current().Set("cache", "hit")
 	}
-	out := s.readCache(pg, id)
+	if !served {
+		out = s.readCache(pg, id)
+	}
 	if st.accesses >= s.Window {
 		if float64(st.cold) > s.ColdThreshold*float64(st.accesses) {
 			// Caching is not paying: drop the cached value and its locks.
@@ -228,8 +269,8 @@ func (s *Adaptive) readCache(pg *storage.Pager, id int) [][]byte {
 
 // OnUpdate implements Strategy: invalidate conflicting cached procedures,
 // exactly as Cache and Invalidate does. Bypassed procedures hold no locks,
-// so they cost nothing here. Updates run under exclusive locks on every
-// entry, so the state mutations here cannot race with accesses.
+// so they cost nothing here. Each procedure's state mutates under its
+// per-state mutex, which snapshot-mode accesses also hold.
 func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 	rel := dl.Rel.Schema().Name()
 	field := dl.Rel.KeyField()
@@ -249,8 +290,9 @@ func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 	}
 	sort.Ints(owners)
 	for _, owner := range owners {
-		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 		st := s.states[int(owner)]
+		st.mu.Lock()
+		s.store.MustEntry(cache.ID(owner)).Invalidate(pg)
 		st.invalSinceAccess++
 		if st.invalSinceAccess >= s.BypassAfterInvalidations {
 			// The object churns faster than it is read: stop protecting
@@ -269,6 +311,7 @@ func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 			}
 			s.locks.Release(ilock.Owner(owner))
 		}
+		st.mu.Unlock()
 	}
 }
 
@@ -277,9 +320,11 @@ func (s *Adaptive) OnUpdate(pg *storage.Pager, dl Delta) {
 func (s *Adaptive) BypassedCount() int {
 	n := 0
 	for _, st := range s.states {
+		st.mu.Lock()
 		if st.bypass {
 			n++
 		}
+		st.mu.Unlock()
 	}
 	return n
 }

@@ -2,6 +2,7 @@ package proc
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"dbproc/internal/cache"
@@ -29,6 +30,20 @@ type CacheInvalidate struct {
 
 	accesses     atomic.Int64
 	coldAccesses atomic.Int64
+
+	// entryMu serializes snapshot-mode access to each entry's (unversioned)
+	// result file: refreshes rewrite it in place at query time, so reads
+	// and rewrites of one entry exclude each other. Accesses to different
+	// procedures, and readers vs. updates, never meet here (docs/MVCC.md).
+	entryMu sync.Map // proc id -> *sync.Mutex
+}
+
+func (s *CacheInvalidate) entryLock(id int) *sync.Mutex {
+	if v, ok := s.entryMu.Load(id); ok {
+		return v.(*sync.Mutex)
+	}
+	v, _ := s.entryMu.LoadOrStore(id, &sync.Mutex{})
+	return v.(*sync.Mutex)
 }
 
 // SetTracer attaches a tracer; accesses then tag the enclosing op span
@@ -91,17 +106,19 @@ func (s *CacheInvalidate) Adopt(pg *storage.Pager, id int) {
 	s.refresh(pg, d)
 }
 
-// lockSink records what a plan execution reads as i-locks for one owner.
+// lockSink collects what a plan execution reads as i-lock refs for one
+// owner; the caller installs them afterwards with ReplaceOwner, so the old
+// footprint stays in place for the whole recompute and conflict probes
+// never find a window with no locks.
 type lockSink struct {
-	locks *ilock.Manager
-	owner ilock.Owner
+	refs []ilock.Ref
 	// seenKeys dedupes key locks within one computation: probing the same
 	// hash key twice needs one lock.
 	seenKeys map[string]map[int64]struct{}
 }
 
 func (ls *lockSink) ReadRange(rel string, lo, hi int64) {
-	ls.locks.LockRange(rel, lo, hi, ls.owner)
+	ls.refs = append(ls.refs, ilock.Ref{Rel: rel, Lo: lo, Hi: hi})
 }
 
 func (ls *lockSink) ReadKey(rel string, key int64) {
@@ -117,27 +134,41 @@ func (ls *lockSink) ReadKey(rel string, key int64) {
 		return
 	}
 	m[key] = struct{}{}
-	ls.locks.LockKey(rel, key, ls.owner)
+	ls.refs = append(ls.refs, ilock.Ref{Rel: rel, Lo: key, Hi: key, IsKey: true})
 }
 
-// refresh recomputes d's value, refreshes the cache entry, and re-installs
-// i-locks on everything read. Callers hold the procedure's exclusive entry
-// lock, so the release/recompute/replace sequence is single-flight. It
-// returns the result digest when a ledger is attached (0 otherwise).
+// refresh recomputes d's value, refreshes the cache entry, and swaps the
+// owner's i-locks to cover everything read (adds before removes, so the
+// footprint never transiently disappears). In snapshot mode the install
+// goes through ReplaceAt, which applies the install guard; callers hold
+// the entry's access mutex, so the recompute/replace sequence is
+// single-flight. It returns the result digest when a ledger is attached
+// (0 otherwise).
 func (s *CacheInvalidate) refresh(pg *storage.Pager, d *Definition) uint64 {
 	owner := ilock.Owner(d.ID)
-	s.locks.Release(owner)
-	sink := &lockSink{locks: s.locks, owner: owner}
+	sink := &lockSink{}
 	keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: sink})
-	s.store.MustEntry(cache.ID(d.ID)).Replace(pg, keys, recs)
+	s.locks.ReplaceOwner(owner, sink.refs)
+	e := s.store.MustEntry(cache.ID(d.ID))
+	if snap, ok := pg.Snapshot(); ok {
+		e.ReplaceAt(pg, keys, recs, snap)
+	} else {
+		e.Replace(pg, keys, recs)
+	}
 	if s.ledger == nil {
 		return 0
 	}
 	return cache.ResultDigest(keys, recs)
 }
 
-// Access implements Strategy: serve the cache when valid, otherwise
-// recompute and refresh.
+// Access implements Strategy: serve the cache when usable at the
+// session's snapshot, otherwise recompute. In snapshot mode the entry's
+// access mutex serializes readers and refreshers of the same (unversioned)
+// result file; when the cached value was installed at a newer stamp than
+// this reader's snapshot, the reader recomputes at its own snapshot and
+// serves itself without touching the shared file or the owner's i-locks
+// (docs/MVCC.md). Without a snapshot this is exactly the validity-flag
+// protocol.
 func (s *CacheInvalidate) Access(pg *storage.Pager, id int) [][]byte {
 	d := s.mgr.MustGet(id)
 	e := s.store.MustEntry(cache.ID(id))
@@ -147,25 +178,55 @@ func (s *CacheInvalidate) Access(pg *storage.Pager, id int) [][]byte {
 	if s.ledger != nil {
 		before = m.Snapshot()
 	}
+	snap, hasSnap := pg.Snapshot()
+	var mu *sync.Mutex
+	if hasSnap {
+		mu = s.entryLock(id)
+		mu.Lock()
+	}
 	var digest uint64
-	cold := !e.Valid()
+	var out [][]byte
+	served := false
+	var cold bool
+	if hasSnap {
+		cold = !e.UsableAt(snap)
+	} else {
+		cold = !e.Valid()
+	}
 	if cold {
 		s.coldAccesses.Add(1)
 		s.tracer.Current().Set("cache", "cold")
 		sp := s.tracer.Begin("ci.refresh")
 		sp.Set("proc", id)
 		pg.BeginRecompute()
-		digest = s.refresh(pg, d)
+		if hasSnap && e.ComputedAt() > snap {
+			// The installed value postdates this reader's snapshot:
+			// recompute at the snapshot and serve only this session, leaving
+			// the newer shared value (and its i-locks) untouched.
+			sp.Set("mode", "self")
+			keys, recs := query.Materialize(d.Plan, d.ResultKey, &query.Ctx{Meter: pg.Meter(), Pager: pg, Locks: nil})
+			for _, rec := range recs {
+				out = append(out, append([]byte(nil), rec...))
+			}
+			digest = cache.ResultDigest(keys, recs)
+			served = true
+		} else {
+			digest = s.refresh(pg, d)
+		}
 		pg.EndRecompute()
 		s.tracer.End(sp)
 	} else {
 		s.tracer.Current().Set("cache", "hit")
 	}
-	var out [][]byte
-	e.ReadAll(pg, func(_ uint64, rec []byte) bool {
-		out = append(out, append([]byte(nil), rec...))
-		return true
-	})
+	if !served {
+		e.ReadAll(pg, func(_ uint64, rec []byte) bool {
+			out = append(out, append([]byte(nil), rec...))
+			return true
+		})
+	}
+	if mu != nil {
+		mu.Unlock()
+	}
 	if s.ledger != nil {
 		// Page writes are charged at flush time; flush now (idempotent —
 		// the op-level flush then finds the frames clean) so the deferred

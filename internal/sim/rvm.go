@@ -34,6 +34,9 @@ func (w *World) buildRVM() proc.Strategy {
 	p := w.cfg.Params
 	width := int(p.S)
 	store := cache.NewStore(w.pager.Disk())
+	// Rete propagation rewrites entry files only inside update epochs, so
+	// they stay MVCC-versioned like AVM's (docs/MVCC.md).
+	store.SetMaintained()
 	net := rete.NewNetwork(w.pager.Disk())
 	net.SetNaiveDispatch(w.cfg.Ablations.NaiveReteDispatch)
 	s1, s2, s3 := w.r1.Schema(), w.r2.Schema(), w.r3.Schema()

@@ -421,6 +421,10 @@ func (w *World) buildStrategy() {
 
 func (w *World) buildAVM() proc.Strategy {
 	store := cache.NewStore(w.pager.Disk())
+	// AVM mutates entry files only inside update epochs, so they stay
+	// MVCC-versioned: maintenance publishes atomically with the base
+	// relations at the update's stamp (docs/MVCC.md).
+	store.SetMaintained()
 	eng := avm.NewEngine(store, ilock.NewManager())
 	for _, spec := range w.specs {
 		spec := spec

@@ -49,6 +49,13 @@ type Disk struct {
 	free  []PageID
 
 	latches [latchStripes]sync.RWMutex
+
+	// dirs holds the registered in-memory directory version handles
+	// (guarded by mu); mvcc is non-nil once EnableMVCC has run. EnableMVCC
+	// must happen before concurrent access starts — the pointer is read
+	// without synchronization on the hot paths.
+	dirs []*DirVersions
+	mvcc *mvccState
 }
 
 // NewDisk creates an empty disk with the given page size in bytes.
@@ -170,6 +177,12 @@ type Pager struct {
 	session  int
 	opToken  int
 	frames   map[PageID]*frame
+	// snap/hasSnap route reads through the version chains at a fixed
+	// stamp; epoch routes this pager's reads and writes through the update
+	// epoch's pending buffers. At most one of the two modes is active.
+	snap    uint64
+	hasSnap bool
+	epoch   bool
 	// wall, when non-nil, accumulates wall-clock I/O and recompute time
 	// for the critical-path decomposition (docs/DIAGNOSIS.md). It lives
 	// entirely in the wall-clock domain: enabling it never touches the
@@ -265,6 +278,62 @@ func (p *Pager) EndRecompute() {
 	}
 }
 
+// SetSnapshot pins the pager's reads to the version world visible at
+// stamp s (obtained from Disk.AcquireSnapshot). Reads of versioned pages
+// and directories then resolve at s; writes still go to live pages (only
+// unversioned cache pages are written under a snapshot).
+func (p *Pager) SetSnapshot(s uint64) {
+	p.snap, p.hasSnap = s, true
+}
+
+// ClearSnapshot returns the pager to reading live state.
+func (p *Pager) ClearSnapshot() { p.hasSnap = false }
+
+// Snapshot returns the pinned stamp and whether one is set.
+func (p *Pager) Snapshot() (uint64, bool) { return p.snap, p.hasSnap }
+
+// SetEpoch marks this pager as the update epoch's writer: its writes are
+// staged in pending version buffers and its reads observe them.
+func (p *Pager) SetEpoch(on bool) { p.epoch = on }
+
+// Epoch reports whether the pager is the update epoch's writer.
+func (p *Pager) Epoch() bool { return p.epoch }
+
+// FreePage returns a page to the allocator. Inside an update epoch (with
+// MVCC on) the free is deferred until the GC horizon passes the epoch's
+// commit stamp, because older directory snapshots may still name the page.
+func (p *Pager) FreePage(id PageID) {
+	if p.epoch && p.disk.mvcc != nil {
+		p.disk.freeEpoch(id)
+		return
+	}
+	p.disk.Free(id)
+}
+
+// readPage routes a page read through the pager's version mode.
+func (p *Pager) readPage(id PageID, dst []byte) {
+	if m := p.disk.mvcc; m != nil {
+		if p.epoch {
+			p.disk.readEpoch(id, dst)
+			return
+		}
+		if p.hasSnap {
+			p.disk.readAt(id, dst, p.snap)
+			return
+		}
+	}
+	p.disk.readInto(id, dst)
+}
+
+// writePage routes a page write through the pager's version mode.
+func (p *Pager) writePage(id PageID, data []byte) {
+	if p.epoch && p.disk.mvcc != nil {
+		p.disk.writeEpoch(id, data)
+		return
+	}
+	p.disk.WriteRaw(id, data)
+}
+
 // Disk returns the underlying disk.
 func (p *Pager) Disk() *Disk { return p.disk }
 
@@ -306,10 +375,10 @@ func (p *Pager) Flush() {
 		if f.dirty {
 			if p.wall != nil {
 				t0 := time.Now()
-				p.disk.WriteRaw(id, f.data)
+				p.writePage(id, f.data)
 				p.wall.IONs += time.Since(t0).Nanoseconds()
 			} else {
-				p.disk.WriteRaw(id, f.data)
+				p.writePage(id, f.data)
 			}
 			if p.charging {
 				prev := p.meter.SetComponent(f.comp)
@@ -377,10 +446,10 @@ func (p *Pager) fetch(id PageID, charge bool) *frame {
 	data := make([]byte, p.disk.pageSize)
 	if p.wall != nil {
 		t0 := time.Now()
-		p.disk.readInto(id, data)
+		p.readPage(id, data)
 		p.wall.IONs += time.Since(t0).Nanoseconds()
 	} else {
-		p.disk.readInto(id, data)
+		p.readPage(id, data)
 	}
 	f := &frame{data: data}
 	p.frames[id] = f

@@ -20,14 +20,23 @@ import (
 // The file is bound to a Disk; every metered access takes the calling
 // session's Pager, so one shared file (a cache entry, a Rete memory) can
 // be read by concurrent sessions each charging its own meter. The file's
-// own directory state is not internally synchronized — callers serialize
-// mutations against reads (the engine's 2PL entry locks do).
+// live directory state is not internally synchronized — mutations are
+// serialized against each other by the engine's update locks (or the
+// cache layer's entry mutexes), and snapshot readers resolve an immutable
+// published directory copy instead (docs/MVCC.md).
 type OrderedFile struct {
 	disk    *Disk
 	recSize int
 	perPage int
-	pages   []*ofPage
-	n       int
+	dir     ofDir
+	dv      *DirVersions
+}
+
+// ofDir is the file's directory: the page list and the record count. The
+// live copy is mutated in place; published copies are immutable.
+type ofDir struct {
+	pages []*ofPage
+	n     int
 }
 
 type ofPage struct {
@@ -41,26 +50,53 @@ func NewOrderedFile(disk *Disk, recSize int) *OrderedFile {
 	if recSize <= 0 || perPage < 1 {
 		panic(fmt.Sprintf("storage: record size %d does not fit page size %d", recSize, disk.PageSize()))
 	}
-	return &OrderedFile{disk: disk, recSize: recSize, perPage: perPage}
+	f := &OrderedFile{disk: disk, recSize: recSize, perPage: perPage}
+	f.dv = disk.RegisterDir(f.snapshotDir)
+	return f
 }
 
-// Len returns the number of records.
-func (f *OrderedFile) Len() int { return f.n }
+// Unversion excludes the file from MVCC directory snapshots: readers
+// always see the live directory. Cache entry files rewritten at query
+// time under their entry mutex use this (docs/MVCC.md).
+func (f *OrderedFile) Unversion() { f.dv.Unversion() }
 
-// Pages returns the number of data pages.
-func (f *OrderedFile) Pages() int { return len(f.pages) }
+// snapshotDir returns an immutable deep copy of the live directory.
+func (f *OrderedFile) snapshotDir() any {
+	d := &ofDir{pages: make([]*ofPage, len(f.dir.pages)), n: f.dir.n}
+	for i, p := range f.dir.pages {
+		d.pages[i] = &ofPage{id: p.id, keys: append([]uint64(nil), p.keys...)}
+	}
+	return d
+}
+
+// dirFor resolves the directory a reader should walk: the newest published
+// copy at the pager's snapshot stamp, else the live directory.
+func (f *OrderedFile) dirFor(pg *Pager) *ofDir {
+	if s, ok := pg.Snapshot(); ok {
+		if d := f.dv.Lookup(s); d != nil {
+			return d.(*ofDir)
+		}
+	}
+	return &f.dir
+}
+
+// Len returns the number of records (live directory).
+func (f *OrderedFile) Len() int { return f.dir.n }
+
+// Pages returns the number of data pages (live directory).
+func (f *OrderedFile) Pages() int { return len(f.dir.pages) }
 
 // RecordSize returns the fixed record width in bytes.
 func (f *OrderedFile) RecordSize() int { return f.recSize }
 
 // pageFor returns the index of the page that does or should contain key.
-func (f *OrderedFile) pageFor(key uint64) int {
+func (d *ofDir) pageFor(key uint64) int {
 	// First page whose max key >= key; otherwise the last page.
-	i := sort.Search(len(f.pages), func(i int) bool {
-		ks := f.pages[i].keys
+	i := sort.Search(len(d.pages), func(i int) bool {
+		ks := d.pages[i].keys
 		return ks[len(ks)-1] >= key
 	})
-	if i == len(f.pages) {
+	if i == len(d.pages) {
 		i--
 	}
 	return i
@@ -75,16 +111,17 @@ func (f *OrderedFile) Insert(pg *Pager, key uint64, rec []byte) {
 	if len(rec) != f.recSize {
 		panic(fmt.Sprintf("storage: record of %d bytes, want %d", len(rec), f.recSize))
 	}
-	if len(f.pages) == 0 {
+	f.dv.MarkDirty()
+	if len(f.dir.pages) == 0 {
 		id := f.disk.Alloc()
 		buf := pg.Overwrite(id)
 		copy(buf, rec)
-		f.pages = append(f.pages, &ofPage{id: id, keys: []uint64{key}})
-		f.n = 1
+		f.dir.pages = append(f.dir.pages, &ofPage{id: id, keys: []uint64{key}})
+		f.dir.n = 1
 		return
 	}
-	pi := f.pageFor(key)
-	p := f.pages[pi]
+	pi := f.dir.pageFor(key)
+	p := f.dir.pages[pi]
 	slot := sort.Search(len(p.keys), func(i int) bool { return p.keys[i] >= key })
 	if slot < len(p.keys) && p.keys[slot] == key {
 		panic(fmt.Sprintf("storage: duplicate key %d", key))
@@ -92,8 +129,8 @@ func (f *OrderedFile) Insert(pg *Pager, key uint64, rec []byte) {
 	if len(p.keys) == f.perPage {
 		f.split(pg, pi)
 		// Re-locate after the split.
-		pi = f.pageFor(key)
-		p = f.pages[pi]
+		pi = f.dir.pageFor(key)
+		p = f.dir.pages[pi]
 		slot = sort.Search(len(p.keys), func(i int) bool { return p.keys[i] >= key })
 	}
 	buf := pg.Update(p.id)
@@ -103,13 +140,13 @@ func (f *OrderedFile) Insert(pg *Pager, key uint64, rec []byte) {
 	p.keys = append(p.keys, 0)
 	copy(p.keys[slot+1:], p.keys[slot:])
 	p.keys[slot] = key
-	f.n++
+	f.dir.n++
 }
 
 // split divides page pi in half, moving the upper half to a fresh page
 // inserted after it.
 func (f *OrderedFile) split(pg *Pager, pi int) {
-	p := f.pages[pi]
+	p := f.dir.pages[pi]
 	half := len(p.keys) / 2
 	newID := f.disk.Alloc()
 	oldBuf := pg.Update(p.id)
@@ -118,58 +155,60 @@ func (f *OrderedFile) split(pg *Pager, pi int) {
 	clear(oldBuf[half*f.recSize : len(p.keys)*f.recSize])
 	newPage := &ofPage{id: newID, keys: append([]uint64(nil), p.keys[half:]...)}
 	p.keys = p.keys[:half]
-	f.pages = append(f.pages, nil)
-	copy(f.pages[pi+2:], f.pages[pi+1:])
-	f.pages[pi+1] = newPage
+	f.dir.pages = append(f.dir.pages, nil)
+	copy(f.dir.pages[pi+2:], f.dir.pages[pi+1:])
+	f.dir.pages[pi+1] = newPage
 }
 
 // Delete removes the record stored under key, reporting whether it was
 // present. A hit is a read-modify-write of the record's page; an emptied
 // page is freed.
 func (f *OrderedFile) Delete(pg *Pager, key uint64) bool {
-	pi, slot, ok := f.find(key)
+	pi, slot, ok := f.dir.find(key)
 	if !ok {
 		return false
 	}
-	p := f.pages[pi]
+	f.dv.MarkDirty()
+	p := f.dir.pages[pi]
 	buf := pg.Update(p.id)
 	copy(buf[slot*f.recSize:], buf[(slot+1)*f.recSize:len(p.keys)*f.recSize])
 	clear(buf[(len(p.keys)-1)*f.recSize : len(p.keys)*f.recSize])
 	p.keys = append(p.keys[:slot], p.keys[slot+1:]...)
-	f.n--
+	f.dir.n--
 	if len(p.keys) == 0 {
 		pg.Drop(p.id)
-		f.disk.Free(p.id)
-		f.pages = append(f.pages[:pi], f.pages[pi+1:]...)
+		pg.FreePage(p.id)
+		f.dir.pages = append(f.dir.pages[:pi], f.dir.pages[pi+1:]...)
 	}
 	return true
 }
 
-// Contains reports whether key is present, using only the in-memory
+// Contains reports whether key is present, using only the live in-memory
 // directory (no charged I/O).
 func (f *OrderedFile) Contains(key uint64) bool {
-	_, _, ok := f.find(key)
+	_, _, ok := f.dir.find(key)
 	return ok
 }
 
 // Get returns a copy of the record stored under key.
 func (f *OrderedFile) Get(pg *Pager, key uint64) ([]byte, bool) {
-	pi, slot, ok := f.find(key)
+	d := f.dirFor(pg)
+	pi, slot, ok := d.find(key)
 	if !ok {
 		return nil, false
 	}
-	buf := pg.Read(f.pages[pi].id)
+	buf := pg.Read(d.pages[pi].id)
 	out := make([]byte, f.recSize)
 	copy(out, buf[slot*f.recSize:])
 	return out, true
 }
 
-func (f *OrderedFile) find(key uint64) (pi, slot int, ok bool) {
-	if len(f.pages) == 0 {
+func (d *ofDir) find(key uint64) (pi, slot int, ok bool) {
+	if len(d.pages) == 0 {
 		return 0, 0, false
 	}
-	pi = f.pageFor(key)
-	ks := f.pages[pi].keys
+	pi = d.pageFor(key)
+	ks := d.pages[pi].keys
 	slot = sort.Search(len(ks), func(i int) bool { return ks[i] >= key })
 	if slot == len(ks) || ks[slot] != key {
 		return 0, 0, false
@@ -181,7 +220,8 @@ func (f *OrderedFile) find(key uint64) (pi, slot int, ok bool) {
 // false, charging one read per page touched. The rec slice aliases the
 // page frame and is valid only during the call.
 func (f *OrderedFile) Scan(pg *Pager, fn func(key uint64, rec []byte) bool) {
-	for _, p := range f.pages {
+	d := f.dirFor(pg)
+	for _, p := range d.pages {
 		buf := pg.Read(p.id)
 		for s, k := range p.keys {
 			if !fn(k, buf[s*f.recSize:(s+1)*f.recSize]) {
@@ -194,11 +234,12 @@ func (f *OrderedFile) Scan(pg *Pager, fn func(key uint64, rec []byte) bool) {
 // ScanRange calls fn for every record with lo <= key <= hi in ascending
 // order, reading only the pages that overlap the range.
 func (f *OrderedFile) ScanRange(pg *Pager, lo, hi uint64, fn func(key uint64, rec []byte) bool) {
-	if len(f.pages) == 0 || lo > hi {
+	d := f.dirFor(pg)
+	if len(d.pages) == 0 || lo > hi {
 		return
 	}
-	for pi := f.pageFor(lo); pi < len(f.pages); pi++ {
-		p := f.pages[pi]
+	for pi := d.pageFor(lo); pi < len(d.pages); pi++ {
+		p := d.pages[pi]
 		if p.keys[0] > hi {
 			return
 		}
@@ -222,12 +263,13 @@ func (f *OrderedFile) ScanRange(pg *Pager, lo, hi uint64, fn func(key uint64, re
 
 // Clear frees every page, leaving an empty file, without charged I/O.
 func (f *OrderedFile) Clear(pg *Pager) {
-	for _, p := range f.pages {
+	f.dv.MarkDirty()
+	for _, p := range f.dir.pages {
 		pg.Drop(p.id)
-		f.disk.Free(p.id)
+		pg.FreePage(p.id)
 	}
-	f.pages = f.pages[:0]
-	f.n = 0
+	f.dir.pages = f.dir.pages[:0]
+	f.dir.n = 0
 }
 
 // Replace rebuilds the file from the given sorted records, modeling the
@@ -260,7 +302,7 @@ func (f *OrderedFile) Replace(pg *Pager, keys []uint64, recs [][]byte) {
 			}
 			copy(buf[(s-i)*f.recSize:], recs[s])
 		}
-		f.pages = append(f.pages, p)
+		f.dir.pages = append(f.dir.pages, p)
 	}
-	f.n = len(keys)
+	f.dir.n = len(keys)
 }

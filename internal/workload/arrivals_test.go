@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestArrivalsReplayable: the open-loop arrival schedule is a pure
+// function of (seed, rate) — two processes with the same parameters draw
+// identical instants, and a different seed diverges.
+func TestArrivalsReplayable(t *testing.T) {
+	a := NewArrivals(99, 500)
+	b := NewArrivals(99, 500)
+	c := NewArrivals(100, 500)
+	diverged := false
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("arrival %d: %v vs %v from identical seeds", i, x, y)
+		}
+		if x != c.Next() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}
+
+// TestArrivalsMonotoneAndPaced: offsets never decrease, and the mean
+// inter-arrival gap tracks 1/rate within loose statistical bounds.
+func TestArrivalsMonotoneAndPaced(t *testing.T) {
+	const rate = 1000.0 // 1ms mean gap
+	a := NewArrivals(7, rate)
+	prev := time.Duration(0)
+	const n = 5000
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		at := a.Next()
+		if at < prev {
+			t.Fatalf("arrival %d: offset %v before previous %v", i, at, prev)
+		}
+		prev, last = at, at
+	}
+	mean := last.Seconds() / n
+	if mean < 0.5/rate || mean > 2.0/rate {
+		t.Fatalf("mean inter-arrival gap %.6fs, want ≈ %.6fs", mean, 1/rate)
+	}
+}
+
+// TestArrivalsZeroRate: a non-positive rate degenerates to immediate
+// submission — every arrival at offset zero.
+func TestArrivalsZeroRate(t *testing.T) {
+	a := NewArrivals(1, 0)
+	for i := 0; i < 10; i++ {
+		if at := a.Next(); at != 0 {
+			t.Fatalf("zero-rate arrival %d at %v, want 0", i, at)
+		}
+	}
+}
+
+// TestScenarioSeedReplayProperty: for every catalog scenario and a spread
+// of seeds, the (scenario, seed) pair fully determines the run's inputs —
+// the op stream, every session's closed-loop think draws, and every
+// session's open-loop arrival schedule all replay identically. This is
+// the property that makes contended runs comparable across reruns: only
+// the interleaving may differ, never the offered load.
+func TestScenarioSeedReplayProperty(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	base := Base{K: 18, Q: 30, Z: 0.3, L: 2}
+	for _, sc := range Catalog() {
+		for seed := int64(1); seed <= 5; seed++ {
+			s1 := BuildSchedule(sc, base)
+			s2 := BuildSchedule(sc, base)
+			ops1, ops2 := s1.Ops(seed, ids), s2.Ops(seed, ids)
+			if len(ops1) != len(ops2) {
+				t.Fatalf("%s/seed %d: op counts %d vs %d", sc.Name(), seed, len(ops1), len(ops2))
+			}
+			for i := range ops1 {
+				if ops1[i] != ops2[i] {
+					t.Fatalf("%s/seed %d: op %d diverged: %+v vs %+v",
+						sc.Name(), seed, i, ops1[i], ops2[i])
+				}
+			}
+			for sess := 0; sess < 4; sess++ {
+				t1 := NewThinker(seed+int64(sess), 2*s1.ThinkScale(sess))
+				t2 := NewThinker(seed+int64(sess), 2*s2.ThinkScale(sess))
+				a1 := NewArrivals(seed+int64(sess), 800/s1.ThinkScale(sess))
+				a2 := NewArrivals(seed+int64(sess), 800/s2.ThinkScale(sess))
+				for i := 0; i < 50; i++ {
+					if t1.Next() != t2.Next() {
+						t.Fatalf("%s/seed %d: session %d think draw %d diverged", sc.Name(), seed, sess, i)
+					}
+					if a1.Next() != a2.Next() {
+						t.Fatalf("%s/seed %d: session %d arrival %d diverged", sc.Name(), seed, sess, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -196,3 +196,41 @@ func (t *Thinker) Next() time.Duration {
 	}
 	return time.Duration(t.rng.ExpFloat64() * t.mean * float64(time.Millisecond))
 }
+
+// Arrivals draws a deterministic open-loop arrival schedule for one
+// session: a Poisson process at a fixed rate, yielding absolute
+// submission offsets measured from the start of the run. Where the
+// closed-loop Thinker paces the next submission off the previous
+// completion (a slow server throttles its own offered load), an
+// open-loop session submits at the scheduled instant regardless of how
+// long the previous operation took — lateness accumulates as queueing
+// delay instead of vanishing into reduced demand, the standard open-loop
+// overload semantics. The schedule is a pure function of (seed, rate),
+// so two runs over the same scenario and seed replay identical arrival
+// instants no matter how the contended runs themselves interleave.
+type Arrivals struct {
+	rng   *rand.Rand
+	gapMs float64 // mean inter-arrival gap in ms; <= 0 → every arrival at t=0
+	at    time.Duration
+}
+
+// NewArrivals builds an arrival process submitting ratePerSec operations
+// per second on average. A non-positive rate degenerates to "submit
+// immediately" (every arrival at offset zero).
+func NewArrivals(seed int64, ratePerSec float64) *Arrivals {
+	a := &Arrivals{rng: rand.New(rand.NewSource(seed))}
+	if ratePerSec > 0 {
+		a.gapMs = 1000 / ratePerSec
+	}
+	return a
+}
+
+// Next returns the absolute offset from run start at which the next
+// operation is due. Successive offsets are nondecreasing.
+func (a *Arrivals) Next() time.Duration {
+	if a.gapMs <= 0 {
+		return a.at
+	}
+	a.at += time.Duration(a.rng.ExpFloat64() * a.gapMs * float64(time.Millisecond))
+	return a.at
+}

@@ -17,11 +17,16 @@
 #           the scenario pipeline smoke via scripts/scenario_smoke.sh),
 #           and the wire-tracing guards (docs/TRACING.md: the 8-client
 #           sum-to-total breakdown soak under -race, the cross-process
-#           trace smoke via scripts/trace_smoke.sh)
+#           trace smoke via scripts/trace_smoke.sh), and the MVCC
+#           snapshot guards (docs/MVCC.md: the 8-client storm-adversarial
+#           snapshot soak under -race with the SI-aware oracle and the
+#           watchdog flight dump kept as an artifact, the write-skew
+#           corpus, MVCC-off byte-identity and the open-loop arrival
+#           replay property)
 #   tier 4: zero-diagnosis overhead guards          (vs seed meter, seed
-#           lock table, blame-off acquire, ledger-off invalidate and
-#           trace-off wire frames; minima of VERIFY_OVERHEAD_RUNS
-#           interleaved runs)
+#           lock table, blame-off acquire, ledger-off invalidate,
+#           trace-off wire frames and the MVCC-off page-read route;
+#           minima of VERIFY_OVERHEAD_RUNS interleaved runs)
 #
 # Run from the repository root: sh scripts/verify.sh
 #
@@ -68,6 +73,20 @@ echo "== tier 3: concurrency + parallel sweep engine guards =="
 GOMAXPROCS=4 go test -race -short \
     -run 'TestOracleSerializable|TestOracleRejectsCorruptedHistory|TestRaceStress|TestClientsOneMatchesSequential|TestLockTable|TestTelemetryPreservesSequentialIdentity|TestFlightRecorderCapturesRun|TestContentionProfile|TestCritPathSumsToWall|TestDiagnosisPreservesSequentialIdentity|TestScenarioOracleAdversarial|TestScenarioClientsOneMatchesSequential|TestScenarioConcurrentConsistent|TestScenarioRunReplayable|TestScenarioNestedFootprintCoversInner' \
     ./internal/engine/
+# MVCC snapshot soak (docs/MVCC.md): 8 sessions under storm-adversarial
+# traffic with snapshot reads ON — every lifted history checked by the
+# SI-aware oracle, every procedure checked against a fresh recompute —
+# plus the write-skew corpus the old commit-order check must miss, the
+# MVCC-off byte-identity guard and the open-loop arrival replay
+# property. TMPDIR points at the artifact dir so a stalled soak's
+# watchdog flight dump is kept for CI upload.
+MVCC_ART="${VERIFY_ARTIFACTS:-$(mktemp -d)}"
+mkdir -p "$MVCC_ART"
+TMPDIR="$MVCC_ART" GOMAXPROCS=4 go test -race \
+    -run 'TestMVCCSnapshotSoak|TestMVCCOffMatchesSequential|TestMVCCAccessWaitShareCollapse|TestSIOracleCorpus|TestSIOracleMinimalWindow|TestSIOracleSeeded|TestTxnsFromHistoryCleanRun|TestOpenLoopArrivals' \
+    ./internal/engine/
+echo "mvcc snapshot soak: OK"
+
 # Injected-RNG audit: simulation worlds must be self-contained, so no
 # non-test code under internal/ may draw from the package-level
 # math/rand generator (rand.New(rand.NewSource(...)) instances are the
@@ -302,6 +321,16 @@ else
         'BenchmarkFrameSeedBaseline|BenchmarkFrameTraceOff' ./internal/wire/
     overhead_guard /tmp/trace_bench.txt \
         '^BenchmarkFrameSeedBaseline' '^BenchmarkFrameTraceOff' 'trace-off' ratio 1.12
+
+    # MVCC off: the production page-read routing on a disk where MVCC was
+    # never enabled vs the seed's direct live-page read. The only addition
+    # is the nil check on the disk's version state (docs/MVCC.md); the
+    # byte-identity side of the same guarantee is pinned by
+    # TestMVCCOffMatchesSequential in tier 3.
+    bench_samples /tmp/mvcc_bench.txt \
+        'BenchmarkReadPageSeedBaseline|BenchmarkReadPageMVCCOff' ./internal/storage/
+    overhead_guard /tmp/mvcc_bench.txt \
+        '^BenchmarkReadPageSeedBaseline' '^BenchmarkReadPageMVCCOff' 'mvcc-off' ratio 1.05
 fi
 
 echo "== all tiers passed =="
